@@ -1,0 +1,35 @@
+//! Criterion bench for the Adapt evaluation (X4), the paper's future-work
+//! experiment.
+
+use btfluid_bench::adapt_exp::{run, AdaptExpConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_adapt(c: &mut Criterion) {
+    // Print the sweep once for the record.
+    let cfg = AdaptExpConfig {
+        replications: 2,
+        horizon: 3000.0,
+        warmup: 800.0,
+        ..Default::default()
+    };
+    let r = run(&cfg).expect("adapt sweep runs");
+    println!("\n{}", r.table().render());
+
+    let mut group = c.benchmark_group("adapt");
+    group.sample_size(10);
+    group.bench_function("single_point_1500tu", |b| {
+        let cfg = AdaptExpConfig {
+            cheater_fractions: vec![0.5],
+            replications: 1,
+            horizon: 1500.0,
+            warmup: 400.0,
+            ..Default::default()
+        };
+        b.iter(|| black_box(run(&cfg).expect("runs")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_adapt);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench for the discrete-event simulator engine and the
+//! fluid-vs-simulation validation experiment (X3).
+
+use btfluid_bench::validate::{run as validate, ValidateConfig};
+use btfluid_des::{DesConfig, SchemeKind, Simulation};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des");
+    group.sample_size(10);
+    for (name, scheme) in [
+        ("mtsd", SchemeKind::Mtsd),
+        ("mtcd", SchemeKind::Mtcd),
+        ("cmfsd", SchemeKind::Cmfsd { rho: 0.3 }),
+    ] {
+        group.bench_function(format!("engine_{name}_2000tu"), |b| {
+            b.iter(|| {
+                let mut cfg = DesConfig::paper_small(scheme, 0.5, 7).expect("valid");
+                cfg.horizon = 2000.0;
+                cfg.warmup = 500.0;
+                cfg.drain = 2000.0;
+                black_box(Simulation::new(cfg).expect("valid").run())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_validation(c: &mut Criterion) {
+    // Print the X3 comparison once for the record.
+    let cfg = ValidateConfig {
+        replications: 2,
+        horizon: 3000.0,
+        warmup: 800.0,
+        ..Default::default()
+    };
+    let r = validate(&cfg).expect("validation runs");
+    println!("\n{}", r.table().render());
+
+    let mut group = c.benchmark_group("des");
+    group.sample_size(10);
+    group.bench_function("validate_x3_small", |b| {
+        let cfg = ValidateConfig {
+            schemes: vec![SchemeKind::Mtsd],
+            replications: 1,
+            horizon: 1500.0,
+            warmup: 400.0,
+            ..Default::default()
+        };
+        b.iter(|| black_box(validate(&cfg).expect("runs")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_validation);
+criterion_main!(benches);

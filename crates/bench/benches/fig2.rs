@@ -1,0 +1,34 @@
+//! Criterion bench for the Figure 2 sweep (MTCD vs MTSD over correlation).
+//!
+//! Also prints the regenerated series once, so `cargo bench` output doubles
+//! as the figure's data table.
+
+use btfluid_bench::fig2::{run, Fig2Config};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    // Print the paper series once for the record.
+    let full = run(&Fig2Config::default()).expect("fig2 must solve");
+    println!("\n{}", full.table().render());
+
+    let mut group = c.benchmark_group("fig2");
+    group.bench_function("sweep_50_points", |b| {
+        b.iter_batched(
+            Fig2Config::default,
+            |cfg| black_box(run(&cfg).expect("solves")),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("single_point", |b| {
+        let cfg = Fig2Config {
+            points: 2,
+            ..Default::default()
+        };
+        b.iter(|| black_box(run(&cfg).expect("solves")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

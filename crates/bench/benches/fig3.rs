@@ -1,0 +1,20 @@
+//! Criterion bench for the Figure 3 per-class evaluation.
+
+use btfluid_bench::fig3::{run, Fig3Config};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let r = run(&Fig3Config::default()).expect("fig3 must solve");
+    for t in r.tables() {
+        println!("\n{}", t.render());
+    }
+
+    c.bench_function("fig3/both_panels", |b| {
+        let cfg = Fig3Config::default();
+        b.iter(|| black_box(run(&cfg).expect("solves")))
+    });
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

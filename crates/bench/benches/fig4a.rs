@@ -1,0 +1,29 @@
+//! Criterion bench for the Figure 4(a) grid: 10×11 CMFSD steady states.
+
+use btfluid_bench::fig4a::{run, Fig4aConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig4a(c: &mut Criterion) {
+    let r = run(&Fig4aConfig::default()).expect("fig4a must solve");
+    println!("\n{}", r.table().render());
+
+    let mut group = c.benchmark_group("fig4a");
+    group.sample_size(20);
+    group.bench_function("grid_10x11", |b| {
+        let cfg = Fig4aConfig::default();
+        b.iter(|| black_box(run(&cfg).expect("solves")))
+    });
+    group.bench_function("single_cell", |b| {
+        let cfg = Fig4aConfig {
+            ps: vec![0.9],
+            rhos: vec![0.1],
+            ..Default::default()
+        };
+        b.iter(|| black_box(run(&cfg).expect("solves")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4a);
+criterion_main!(benches);

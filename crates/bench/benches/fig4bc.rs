@@ -1,0 +1,20 @@
+//! Criterion bench for Figures 4(b) and 4(c).
+
+use btfluid_bench::fig4bc::{run, Fig4bcConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig4bc(c: &mut Criterion) {
+    let r = run(&Fig4bcConfig::default()).expect("fig4bc must solve");
+    for t in r.tables() {
+        println!("\n{}", t.render());
+    }
+
+    c.bench_function("fig4bc/both_panels", |b| {
+        let cfg = Fig4bcConfig::default();
+        b.iter(|| black_box(run(&cfg).expect("solves")))
+    });
+}
+
+criterion_group!(benches, bench_fig4bc);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Micro-benchmarks of the numeric kernels underneath every figure:
+//! the ODE integrators, the CMFSD fixed-point solver, and the steady-state
+//! relaxation driver.
+
+use btfluid_core::cmfsd::Cmfsd;
+use btfluid_core::mtcd::Mtcd;
+use btfluid_core::FluidParams;
+use btfluid_numkit::ode::{
+    steady_state, Dopri5, Dopri5Options, FixedStep, LinearSystem, OdeSystem, Rk4, SteadyOptions,
+};
+use btfluid_workload::CorrelationModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_integrators(c: &mut Criterion) {
+    let sys = LinearSystem::new(vec![0.0, 1.0, -1.0, 0.0], vec![0.0, 0.0]);
+    let mut group = c.benchmark_group("integrators");
+    group.bench_function("rk4_oscillator_1000_steps", |b| {
+        b.iter(|| {
+            let mut x = vec![1.0, 0.0];
+            Rk4.integrate(&sys, 0.0, &mut x, 10.0, 0.01);
+            black_box(x)
+        })
+    });
+    group.bench_function("dopri5_oscillator", |b| {
+        b.iter(|| {
+            let mut x = vec![1.0, 0.0];
+            Dopri5
+                .integrate(&sys, 0.0, &mut x, 10.0, Dopri5Options::default(), |_, _| {})
+                .expect("integrates");
+            black_box(x)
+        })
+    });
+    group.finish();
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let params = FluidParams::paper();
+    let model = CorrelationModel::new(10, 0.7, 1.0).expect("valid");
+    let cmfsd = Cmfsd::new(params, model.class_rates(), 0.4).expect("valid");
+    let mtcd = Mtcd::new(params, model.per_torrent_rates()).expect("valid");
+
+    let mut group = c.benchmark_group("solvers");
+    group.bench_function("cmfsd_fixed_point", |b| {
+        b.iter(|| black_box(cmfsd.steady_state().expect("solves")))
+    });
+    group.bench_function("mtcd_closed_form", |b| {
+        b.iter(|| black_box(mtcd.steady_state().expect("solves")))
+    });
+    group.sample_size(10);
+    group.bench_function("cmfsd_ode_relaxation", |b| {
+        b.iter(|| {
+            let x0 = vec![0.0; cmfsd.dim()];
+            black_box(
+                steady_state(
+                    &cmfsd,
+                    &x0,
+                    SteadyOptions {
+                        residual_tol: 1e-8,
+                        ..Default::default()
+                    },
+                )
+                .expect("relaxes"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_integrators, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion bench for the popularity-skew extension (X8): K MTCD fluid
+//! solves per sweep point over Poisson-binomial class rates.
+
+use btfluid_bench::skew::{run, SkewConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_skew(c: &mut Criterion) {
+    let r = run(&SkewConfig::default()).expect("skew sweep runs");
+    println!("\n{}", r.table().render());
+
+    c.bench_function("skew/sweep_7_exponents", |b| {
+        let cfg = SkewConfig::default();
+        b.iter(|| black_box(run(&cfg).expect("runs")))
+    });
+}
+
+criterion_group!(benches, bench_skew);
+criterion_main!(benches);

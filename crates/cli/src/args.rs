@@ -1,0 +1,169 @@
+//! Tiny dependency-free option parser: `--flag`, `--key value`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed command line: positional command plus `--key [value]` options.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Options {
+    flags: BTreeMap<String, Option<String>>,
+}
+
+/// Parse failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Known value-taking options; everything else with `--` is a bare flag.
+const VALUED: &[&str] = &[
+    "points", "k", "p", "rho", "reps", "horizon", "warmup", "seed", "scheme", "cheaters", "crowd",
+    "epoch", "out",
+];
+
+impl Options {
+    /// Parses `argv` after the subcommand.
+    pub fn parse(argv: &[String]) -> Result<Self, ArgError> {
+        let mut flags = BTreeMap::new();
+        let mut it = argv.iter().peekable();
+        while let Some(arg) = it.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(ArgError(format!(
+                    "unexpected positional argument '{arg}' (options start with --)"
+                )));
+            };
+            if name.is_empty() {
+                return Err(ArgError("empty option name '--'".into()));
+            }
+            if VALUED.contains(&name) {
+                let Some(value) = it.next() else {
+                    return Err(ArgError(format!("option --{name} requires a value")));
+                };
+                flags.insert(name.to_string(), Some(value.clone()));
+            } else {
+                flags.insert(name.to_string(), None);
+            }
+        }
+        Ok(Self { flags })
+    }
+
+    /// Whether a bare flag (or any option) was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    /// String value of an option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).and_then(|v| v.as_deref())
+    }
+
+    /// Typed value with a default.
+    pub fn get_f64(&self, name: &str, default: f64) -> Result<f64, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(s) => s
+                .parse()
+                .map_err(|_| ArgError(format!("--{name}: '{s}' is not a number"))),
+        }
+    }
+
+    /// Typed integer with a default.
+    pub fn get_usize(&self, name: &str, default: usize) -> Result<usize, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(s) => s
+                .parse()
+                .map_err(|_| ArgError(format!("--{name}: '{s}' is not an integer"))),
+        }
+    }
+
+    /// Typed u64 with a default.
+    pub fn get_u64(&self, name: &str, default: u64) -> Result<u64, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(s) => s
+                .parse()
+                .map_err(|_| ArgError(format!("--{name}: '{s}' is not an integer"))),
+        }
+    }
+
+    /// Comma-separated list of numbers with a default.
+    pub fn get_f64_list(&self, name: &str, default: &[f64]) -> Result<Vec<f64>, ArgError> {
+        match self.get(name) {
+            None => Ok(default.to_vec()),
+            Some(s) => s
+                .split(',')
+                .map(|tok| {
+                    tok.trim()
+                        .parse()
+                        .map_err(|_| ArgError(format!("--{name}: '{tok}' is not a number")))
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_values() {
+        let o = Options::parse(&argv(&["--csv", "--points", "25", "--p", "0.5"])).unwrap();
+        assert!(o.has("csv"));
+        assert_eq!(o.get("points"), Some("25"));
+        assert_eq!(o.get_usize("points", 10).unwrap(), 25);
+        assert_eq!(o.get_f64("p", 0.1).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let o = Options::parse(&argv(&[])).unwrap();
+        assert_eq!(o.get_usize("points", 50).unwrap(), 50);
+        assert_eq!(o.get_f64("p", 0.9).unwrap(), 0.9);
+        assert_eq!(o.get_u64("seed", 7).unwrap(), 7);
+        assert!(!o.has("csv"));
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        assert!(Options::parse(&argv(&["--points"])).is_err());
+    }
+
+    #[test]
+    fn positional_rejected() {
+        assert!(Options::parse(&argv(&["oops"])).is_err());
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        let o = Options::parse(&argv(&["--p", "abc"])).unwrap();
+        assert!(o.get_f64("p", 0.0).is_err());
+    }
+
+    #[test]
+    fn lists_parse() {
+        let o = Options::parse(&argv(&["--cheaters", "0,0.25, 0.5"])).unwrap();
+        assert_eq!(
+            o.get_f64_list("cheaters", &[]).unwrap(),
+            vec![0.0, 0.25, 0.5]
+        );
+        let o = Options::parse(&argv(&[])).unwrap();
+        assert_eq!(o.get_f64_list("cheaters", &[0.1]).unwrap(), vec![0.1]);
+    }
+
+    #[test]
+    fn empty_option_rejected() {
+        assert!(Options::parse(&argv(&["--"])).is_err());
+    }
+}

@@ -1,0 +1,430 @@
+//! Subcommand dispatch and execution.
+
+use crate::args::Options;
+use btfluid_bench::{ablation, adapt_exp, fig2, fig3, fig4a, fig4bc, skew, transient, validate, Table};
+use btfluid_core::adapt::AdaptConfig;
+use btfluid_core::FluidParams;
+use btfluid_core::multiclass::{BandwidthClass, MultiClassFluid};
+use btfluid_des::{
+    estimate_eta, run_single_torrent, ChunkLevelConfig, DesConfig, OrderPolicy, SchemeKind,
+    Simulation, SingleTorrentConfig,
+};
+use btfluid_workload::CorrelationModel;
+use std::error::Error;
+use std::fs;
+
+type AnyError = Box<dyn Error>;
+
+const USAGE: &str = "\
+btfluid — multiple-file BitTorrent downloading, reproduced (ICPP 2006)
+
+USAGE: btfluid <command> [options]
+
+COMMANDS
+  fig2        Figure 2: MTCD vs MTSD avg online time per file vs correlation
+                [--points N] [--k K]
+  fig3        Figure 3: per-class times at p = 0.1 and p = 1.0  [--k K] [--p LIST]
+  fig4a       Figure 4(a): CMFSD avg online time per file over the (p, ρ) grid
+  fig4b       Figure 4(b): per-class CMFSD vs MFCD at p = 0.9
+  fig4c       Figure 4(c): per-class CMFSD vs MFCD at p = 0.1
+  validate    X3: fluid model vs peer-level simulator
+                [--p P] [--reps N] [--horizon H] [--warmup W] [--seed S]
+  adapt       X4: Adapt under cheaters  [--cheaters LIST] [--p P] [--reps N]
+                [--epoch E] [--horizon H] [--seed S]
+  transient   X5: flash-crowd settling  [--p P] [--crowd N]
+  ablation    X6: parameter elasticities per scheme  [--p P]
+  skew        X8: Zipf popularity skew, MTCD vs MTSD  [--k K]
+  multiclass  X7: heterogeneous bandwidth classes, fluid vs simulation
+                [--classes MU:C:LAMBDA,...] [--seed S]
+  eta         X9: measure the sharing efficiency η at chunk level [--seed S]
+  sim         one raw simulation  --scheme mtsd|mtcd|mfcd|cmfsd[:RHO]
+                [--p P] [--horizon H] [--warmup W] [--seed S]
+  all         every fluid-model figure in sequence
+
+GLOBAL OPTIONS
+  --csv            print CSV instead of an aligned table
+  --out FILE       also write the (CSV) output to FILE
+  --help           this message
+";
+
+/// Runs the command line; `Ok(())` on success.
+pub fn dispatch(argv: &[String]) -> Result<(), AnyError> {
+    let Some(cmd) = argv.first() else {
+        print!("{USAGE}");
+        return Ok(());
+    };
+    if cmd == "--help" || cmd == "help" || cmd == "-h" {
+        print!("{USAGE}");
+        return Ok(());
+    }
+    let opts = Options::parse(&argv[1..])?;
+    match cmd.as_str() {
+        "fig2" => cmd_fig2(&opts),
+        "fig3" => cmd_fig3(&opts),
+        "fig4a" => cmd_fig4a(&opts),
+        "fig4b" => cmd_fig4bc(&opts, 0.9),
+        "fig4c" => cmd_fig4bc(&opts, 0.1),
+        "validate" => cmd_validate(&opts),
+        "adapt" => cmd_adapt(&opts),
+        "transient" => cmd_transient(&opts),
+        "ablation" => cmd_ablation(&opts),
+        "multiclass" => cmd_multiclass(&opts),
+        "skew" => cmd_skew(&opts),
+        "eta" => cmd_eta(&opts),
+        "sim" => cmd_sim(&opts),
+        "all" => cmd_all(&opts),
+        other => Err(format!("unknown command '{other}' (try --help)").into()),
+    }
+}
+
+/// Prints a table (or its CSV form) and optionally writes the CSV to disk.
+fn emit(table: &Table, opts: &Options) -> Result<(), AnyError> {
+    if opts.has("csv") {
+        print!("{}", table.to_csv());
+    } else {
+        println!("{}", table.render());
+    }
+    if let Some(path) = opts.get("out") {
+        fs::write(path, table.to_csv())?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_fig2(opts: &Options) -> Result<(), AnyError> {
+    let cfg = fig2::Fig2Config {
+        points: opts.get_usize("points", 50)?,
+        k: opts.get_usize("k", 10)? as u32,
+        params: FluidParams::paper(),
+    };
+    let r = fig2::run(&cfg)?;
+    emit(&r.table(), opts)
+}
+
+fn cmd_fig3(opts: &Options) -> Result<(), AnyError> {
+    let cfg = fig3::Fig3Config {
+        k: opts.get_usize("k", 10)? as u32,
+        correlations: opts.get_f64_list("p", &[0.1, 1.0])?,
+        params: FluidParams::paper(),
+    };
+    let r = fig3::run(&cfg)?;
+    for t in r.tables() {
+        emit(&t, opts)?;
+    }
+    Ok(())
+}
+
+fn cmd_fig4a(opts: &Options) -> Result<(), AnyError> {
+    let r = fig4a::run(&fig4a::Fig4aConfig::default())?;
+    emit(&r.table(), opts)
+}
+
+fn cmd_fig4bc(opts: &Options, p: f64) -> Result<(), AnyError> {
+    let cfg = fig4bc::Fig4bcConfig {
+        correlations: vec![p],
+        ..Default::default()
+    };
+    let r = fig4bc::run(&cfg)?;
+    for t in r.tables() {
+        emit(&t, opts)?;
+    }
+    Ok(())
+}
+
+fn cmd_validate(opts: &Options) -> Result<(), AnyError> {
+    let p = opts.get_f64("p", 0.5)?;
+    let cfg = validate::ValidateConfig {
+        model: CorrelationModel::new(10, p, 0.25)?,
+        replications: opts.get_usize("reps", 4)?,
+        horizon: opts.get_f64("horizon", 4000.0)?,
+        warmup: opts.get_f64("warmup", 1000.0)?,
+        seed: opts.get_u64("seed", 2006)?,
+        ..Default::default()
+    };
+    let r = validate::run(&cfg)?;
+    emit(&r.table(), opts)?;
+    eprintln!(
+        "worst relative online-time error: {:.1}%",
+        100.0 * r.worst_online_error()
+    );
+    Ok(())
+}
+
+fn cmd_adapt(opts: &Options) -> Result<(), AnyError> {
+    let p = opts.get_f64("p", 0.9)?;
+    let cfg = adapt_exp::AdaptExpConfig {
+        model: CorrelationModel::new(10, p, 0.25)?,
+        cheater_fractions: opts.get_f64_list("cheaters", &[0.0, 0.25, 0.5, 0.75])?,
+        replications: opts.get_usize("reps", 3)?,
+        epoch: opts.get_f64("epoch", 20.0)?,
+        horizon: opts.get_f64("horizon", 4000.0)?,
+        warmup: opts.get_f64("warmup", 1000.0)?,
+        seed: opts.get_u64("seed", 43)?,
+        controller: AdaptConfig::default_for_mu(0.02),
+        params: FluidParams::paper(),
+    };
+    let r = adapt_exp::run(&cfg)?;
+    emit(&r.table(), opts)
+}
+
+fn cmd_transient(opts: &Options) -> Result<(), AnyError> {
+    let cfg = transient::TransientConfig {
+        p: opts.get_f64("p", 0.5)?,
+        flash_crowd: opts.get_f64("crowd", 200.0)?,
+        ..Default::default()
+    };
+    let r = transient::run(&cfg)?;
+    emit(&r.table(), opts)?;
+    if opts.has("csv") {
+        print!("{}", r.mtcd.to_csv());
+    }
+    Ok(())
+}
+
+fn cmd_ablation(opts: &Options) -> Result<(), AnyError> {
+    let p = opts.get_f64("p", 0.7)?;
+    let cfg = ablation::AblationConfig {
+        model: CorrelationModel::new(10, p, 1.0)?,
+        ..Default::default()
+    };
+    let r = ablation::run(&cfg)?;
+    emit(&r.table(), opts)
+}
+
+fn cmd_eta(opts: &Options) -> Result<(), AnyError> {
+    let seed = opts.get_u64("seed", 11)?;
+    let mut t = Table::new(
+        "X9 — chunk-level η: downloader upload utilization and seed byte share",
+        vec!["chunks", "1/γ", "utilization", "seed/dl bytes", "completed"],
+    );
+    for &chunks in &[4usize, 16, 64, 256] {
+        for &gamma in &[0.05, 0.2] {
+            let e = estimate_eta(&ChunkLevelConfig {
+                chunks,
+                gamma,
+                horizon: 2000.0,
+                warmup: 500.0,
+                seed,
+                ..Default::default()
+            })?;
+            t.push_row(vec![
+                format!("{chunks}"),
+                format!("{:.0}", 1.0 / gamma),
+                format!("{:.3}", e.utilization),
+                format!("{:.2}", e.seed_byte_ratio()),
+                format!("{}", e.completed),
+            ]);
+        }
+    }
+    emit(&t, opts)
+}
+
+fn cmd_skew(opts: &Options) -> Result<(), AnyError> {
+    let cfg = skew::SkewConfig {
+        k: opts.get_usize("k", 10)? as u32,
+        ..Default::default()
+    };
+    let r = skew::run(&cfg)?;
+    emit(&r.table(), opts)
+}
+
+fn parse_classes(spec: &str) -> Result<Vec<BandwidthClass>, AnyError> {
+    let mut classes = Vec::new();
+    for (i, tok) in spec.split(',').enumerate() {
+        let parts: Vec<&str> = tok.trim().split(':').collect();
+        if parts.len() != 3 {
+            return Err(format!("class {i}: expected MU:C:LAMBDA, got '{tok}'").into());
+        }
+        classes.push(BandwidthClass {
+            mu: parts[0].parse().map_err(|_| format!("class {i}: bad μ '{}'", parts[0]))?,
+            c: parts[1].parse().map_err(|_| format!("class {i}: bad c '{}'", parts[1]))?,
+            lambda: parts[2]
+                .parse()
+                .map_err(|_| format!("class {i}: bad λ '{}'", parts[2]))?,
+        });
+    }
+    Ok(classes)
+}
+
+fn cmd_multiclass(opts: &Options) -> Result<(), AnyError> {
+    let classes = match opts.get("classes") {
+        Some(spec) => parse_classes(spec)?,
+        None => vec![
+            BandwidthClass { mu: 0.005, c: 0.05, lambda: 0.2 },
+            BandwidthClass { mu: 0.02, c: 0.2, lambda: 0.3 },
+            BandwidthClass { mu: 0.08, c: 0.8, lambda: 0.1 },
+        ],
+    };
+    let fluid = MultiClassFluid::new(classes.clone(), 0.5, 0.05)?;
+    let ss = fluid.steady_state()?;
+    let sim = run_single_torrent(&SingleTorrentConfig {
+        classes: classes.clone(),
+        eta: 0.5,
+        gamma: 0.05,
+        horizon: 8000.0,
+        warmup: 2500.0,
+        drain: 4000.0,
+        seed: opts.get_u64("seed", 7)?,
+    })?;
+    let mut t = Table::new(
+        "X7 — heterogeneous bandwidth classes (Section 2), fluid vs simulation",
+        vec!["class", "μ", "c", "λ", "fluid T_dl", "sim T_dl", "users"],
+    );
+    for (i, cl) in classes.iter().enumerate() {
+        t.push_row(vec![
+            format!("{}", i + 1),
+            format!("{}", cl.mu),
+            format!("{}", cl.c),
+            format!("{}", cl.lambda),
+            format!("{:.2}", ss.download_times[i]),
+            format!("{:.2}", sim.classes[i].download.mean()),
+            format!("{}", sim.classes[i].download.count()),
+        ]);
+    }
+    emit(&t, opts)?;
+    if sim.censored > 0 {
+        eprintln!("warning: {} censored users", sim.censored);
+    }
+    Ok(())
+}
+
+fn parse_scheme(s: &str) -> Result<SchemeKind, AnyError> {
+    match s {
+        "mtsd" => Ok(SchemeKind::Mtsd),
+        "mtcd" => Ok(SchemeKind::Mtcd),
+        "mfcd" => Ok(SchemeKind::Mfcd),
+        _ => {
+            if let Some(rho) = s.strip_prefix("cmfsd") {
+                let rho = rho.strip_prefix(':').unwrap_or("0.0");
+                let rho: f64 = rho
+                    .parse()
+                    .map_err(|_| format!("bad CMFSD ρ in '{s}' (use cmfsd:0.3)"))?;
+                Ok(SchemeKind::Cmfsd { rho })
+            } else {
+                Err(format!("unknown scheme '{s}' (mtsd|mtcd|mfcd|cmfsd[:RHO])").into())
+            }
+        }
+    }
+}
+
+fn cmd_sim(opts: &Options) -> Result<(), AnyError> {
+    let scheme = parse_scheme(opts.get("scheme").unwrap_or("mtsd"))?;
+    let p = opts.get_f64("p", 0.5)?;
+    let horizon = opts.get_f64("horizon", 4000.0)?;
+    let cfg = DesConfig {
+        params: FluidParams::paper(),
+        model: CorrelationModel::new(10, p, 0.25)?,
+        scheme,
+        horizon,
+        warmup: opts.get_f64("warmup", horizon / 4.0)?,
+        drain: horizon,
+        seed: opts.get_u64("seed", 1)?,
+        adapt: None,
+        origin_seeds: opts.get_usize("origin-seeds", 1)?,
+        warm_start: false,
+            order_policy: OrderPolicy::default(),
+            record_every: None,
+    };
+    let outcome = Simulation::new(cfg)?.run();
+    let mut t = Table::new(
+        format!("simulation — {} (p = {p})", scheme.name()),
+        vec!["class", "users", "download/file", "online/file"],
+    );
+    for (i, stats) in outcome.classes.iter().enumerate() {
+        if stats.count() == 0 {
+            continue;
+        }
+        let class = (i + 1) as f64;
+        t.push_row(vec![
+            format!("{}", i + 1),
+            format!("{}", stats.count()),
+            format!("{:.2}", stats.download.mean() / class),
+            format!("{:.2}", stats.online.mean() / class),
+        ]);
+    }
+    emit(&t, opts)?;
+    eprintln!(
+        "arrivals: {}, counted: {}, censored: {}, avg online/file: {:.2}",
+        outcome.arrivals,
+        outcome.records.len(),
+        outcome.censored,
+        outcome.avg_online_per_file()?
+    );
+    Ok(())
+}
+
+fn cmd_all(opts: &Options) -> Result<(), AnyError> {
+    cmd_fig2(opts)?;
+    cmd_fig3(opts)?;
+    cmd_fig4a(opts)?;
+    cmd_fig4bc(opts, 0.9)?;
+    cmd_fig4bc(opts, 0.1)?;
+    cmd_transient(opts)?;
+    cmd_ablation(opts)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_parsing() {
+        assert_eq!(parse_scheme("mtsd").unwrap(), SchemeKind::Mtsd);
+        assert_eq!(parse_scheme("mtcd").unwrap(), SchemeKind::Mtcd);
+        assert_eq!(parse_scheme("mfcd").unwrap(), SchemeKind::Mfcd);
+        assert_eq!(
+            parse_scheme("cmfsd:0.3").unwrap(),
+            SchemeKind::Cmfsd { rho: 0.3 }
+        );
+        assert_eq!(
+            parse_scheme("cmfsd").unwrap(),
+            SchemeKind::Cmfsd { rho: 0.0 }
+        );
+        assert!(parse_scheme("cmfsd:x").is_err());
+        assert!(parse_scheme("ftp").is_err());
+    }
+
+    #[test]
+    fn dispatch_help_and_unknown() {
+        assert!(dispatch(&[]).is_ok());
+        assert!(dispatch(&["--help".into()]).is_ok());
+        assert!(dispatch(&["frobnicate".into()]).is_err());
+    }
+
+    #[test]
+    fn fig2_runs_small() {
+        let argv = vec!["fig2".into(), "--points".into(), "3".into(), "--csv".into()];
+        assert!(dispatch(&argv).is_ok());
+    }
+
+    #[test]
+    fn fig3_runs() {
+        let argv = vec!["fig3".into(), "--p".into(), "0.5".into()];
+        assert!(dispatch(&argv).is_ok());
+    }
+
+    #[test]
+    fn fig4bc_runs() {
+        assert!(dispatch(&["fig4b".into()]).is_ok());
+        assert!(dispatch(&["fig4c".into()]).is_ok());
+    }
+
+    #[test]
+    fn out_file_written() {
+        let dir = std::env::temp_dir().join("btfluid_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig2.csv");
+        let argv = vec![
+            "fig2".into(),
+            "--points".into(),
+            "3".into(),
+            "--out".into(),
+            path.to_str().unwrap().to_string(),
+        ];
+        dispatch(&argv).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("p,MTCD,MTSD"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

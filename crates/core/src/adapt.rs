@@ -1,0 +1,316 @@
+//! The **Adapt** mechanism (Section 4.3): distributed tuning of the CMFSD
+//! bandwidth allocation ratio ρ.
+//!
+//! Each obedient peer starts at `ρ = 0` (full collaboration — best for the
+//! system), then periodically observes
+//!
+//! ```text
+//! Δ = (upload it donated through its virtual seed)
+//!   − (download it received from other peers' virtual seeds)
+//! ```
+//!
+//! If Δ is *consistently* large the peer is donating more than it gets back
+//! (e.g. because many neighbours cheat with ρ = 1), so it protects itself by
+//! raising ρ; if Δ is consistently small it lowers ρ again toward full
+//! collaboration.
+//!
+//! ## A note on the paper's thresholds
+//!
+//! The paper writes "increase when Δ > φ₁ … decrease when Δ < φ₂
+//! (φ₁ ≤ φ₂)", which makes the two conditions overlap for
+//! Δ ∈ (φ₁, φ₂). A non-overlapping dead band needs the *decrease*
+//! threshold below the *increase* threshold, so this implementation names
+//! them explicitly — [`AdaptConfig::phi_inc`] (increase when Δ stays above
+//! it) and [`AdaptConfig::phi_dec`] (decrease when Δ stays below it) with
+//! `phi_dec ≤ phi_inc` — and treats the paper's ordering as a typo. The
+//! "consistently" qualifier becomes [`AdaptConfig::patience`]: the number
+//! of consecutive observations on one side of a threshold required before a
+//! step is taken.
+//!
+//! In a fully obedient homogeneous population the virtual-seed bandwidth
+//! donated equals the bandwidth received *in aggregate* (both equal `μ·V`),
+//! so the population-mean Δ is zero and ρ stays at 0 — the desirable fixed
+//! point. The fleet-level evaluation with cheaters lives in
+//! `btfluid-des::adapt`.
+
+use btfluid_numkit::NumError;
+
+/// Tuning constants of the Adapt mechanism (the paper's
+/// `φ₁, φ₂, υ₁, υ₂` plus the patience window implied by "consistently").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptConfig {
+    /// Increase ρ when Δ stays above this threshold (the paper's φ₁ read
+    /// as the *upper* edge of the dead band).
+    pub phi_inc: f64,
+    /// Decrease ρ when Δ stays below this threshold (`phi_dec ≤ phi_inc`).
+    pub phi_dec: f64,
+    /// Step added to ρ on an increase (the paper's υ₁).
+    pub v_inc: f64,
+    /// Step subtracted from ρ on a decrease (the paper's υ₂).
+    pub v_dec: f64,
+    /// Number of consecutive out-of-band observations required before a
+    /// step ("consistently larger/smaller").
+    pub patience: u32,
+}
+
+impl AdaptConfig {
+    /// A reasonable default: symmetric dead band at ±10% of a peer's upload
+    /// bandwidth share, 5% steps, patience 3.
+    ///
+    /// The band is expressed in absolute bandwidth units, so scale it to
+    /// your `μ`: this default assumes Δ is reported in units of `μ`.
+    pub fn default_for_mu(mu: f64) -> Self {
+        Self {
+            phi_inc: 0.1 * mu,
+            phi_dec: -0.1 * mu,
+            v_inc: 0.05,
+            v_dec: 0.05,
+            patience: 3,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] unless `phi_dec ≤ phi_inc`, both
+    /// steps are in `(0, 1]`, and `patience ≥ 1`.
+    pub fn validate(&self) -> Result<(), NumError> {
+        if !(self.phi_dec <= self.phi_inc) || !self.phi_dec.is_finite() || !self.phi_inc.is_finite()
+        {
+            return Err(NumError::InvalidInput {
+                what: "AdaptConfig",
+                detail: format!(
+                    "need finite phi_dec ≤ phi_inc, got phi_dec = {}, phi_inc = {}",
+                    self.phi_dec, self.phi_inc
+                ),
+            });
+        }
+        let step_ok = |v: f64| v > 0.0 && v <= 1.0;
+        if !step_ok(self.v_inc) || !step_ok(self.v_dec) {
+            return Err(NumError::InvalidInput {
+                what: "AdaptConfig",
+                detail: format!(
+                    "steps must lie in (0,1], got v_inc = {}, v_dec = {}",
+                    self.v_inc, self.v_dec
+                ),
+            });
+        }
+        if self.patience == 0 {
+            return Err(NumError::InvalidInput {
+                what: "AdaptConfig",
+                detail: "patience must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-peer Adapt state machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptController {
+    cfg: AdaptConfig,
+    rho: f64,
+    above: u32,
+    below: u32,
+}
+
+impl AdaptController {
+    /// Creates a controller at the paper's recommended initial `ρ = 0`.
+    ///
+    /// # Errors
+    /// Propagates [`AdaptConfig::validate`].
+    pub fn new(cfg: AdaptConfig) -> Result<Self, NumError> {
+        Self::with_initial_rho(cfg, 0.0)
+    }
+
+    /// Creates a controller with an explicit starting ρ.
+    ///
+    /// # Errors
+    /// Propagates config validation; rejects `ρ ∉ [0,1]`.
+    pub fn with_initial_rho(cfg: AdaptConfig, rho: f64) -> Result<Self, NumError> {
+        cfg.validate()?;
+        if !(0.0..=1.0).contains(&rho) {
+            return Err(NumError::InvalidInput {
+                what: "AdaptController",
+                detail: format!("initial ρ must lie in [0,1], got {rho}"),
+            });
+        }
+        Ok(Self {
+            cfg,
+            rho,
+            above: 0,
+            below: 0,
+        })
+    }
+
+    /// Current ρ.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AdaptConfig {
+        &self.cfg
+    }
+
+    /// Feeds one periodic observation of Δ; returns the (possibly updated)
+    /// ρ. A step happens only after [`AdaptConfig::patience`] consecutive
+    /// observations beyond the same threshold, after which the streak
+    /// resets.
+    pub fn observe(&mut self, delta: f64) -> f64 {
+        if delta > self.cfg.phi_inc {
+            self.above += 1;
+            self.below = 0;
+            if self.above >= self.cfg.patience {
+                self.rho = (self.rho + self.cfg.v_inc).min(1.0);
+                self.above = 0;
+            }
+        } else if delta < self.cfg.phi_dec {
+            self.below += 1;
+            self.above = 0;
+            if self.below >= self.cfg.patience {
+                self.rho = (self.rho - self.cfg.v_dec).max(0.0);
+                self.below = 0;
+            }
+        } else {
+            // Inside the dead band: streaks break.
+            self.above = 0;
+            self.below = 0;
+        }
+        self.rho
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AdaptConfig {
+        AdaptConfig {
+            phi_inc: 0.1,
+            phi_dec: -0.1,
+            v_inc: 0.2,
+            v_dec: 0.1,
+            patience: 3,
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(cfg().validate().is_ok());
+        let mut bad = cfg();
+        bad.phi_dec = 0.5; // above phi_inc
+        assert!(bad.validate().is_err());
+        let mut bad = cfg();
+        bad.v_inc = 0.0;
+        assert!(bad.validate().is_err());
+        let mut bad = cfg();
+        bad.v_dec = 1.5;
+        assert!(bad.validate().is_err());
+        let mut bad = cfg();
+        bad.patience = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = cfg();
+        bad.phi_inc = f64::NAN;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn starts_at_zero_rho() {
+        let c = AdaptController::new(cfg()).unwrap();
+        assert_eq!(c.rho(), 0.0);
+    }
+
+    #[test]
+    fn initial_rho_bounds() {
+        assert!(AdaptController::with_initial_rho(cfg(), 1.5).is_err());
+        assert!(AdaptController::with_initial_rho(cfg(), -0.1).is_err());
+        let c = AdaptController::with_initial_rho(cfg(), 0.7).unwrap();
+        assert_eq!(c.rho(), 0.7);
+    }
+
+    #[test]
+    fn patience_gates_the_step() {
+        let mut c = AdaptController::new(cfg()).unwrap();
+        // Two high observations: not yet.
+        c.observe(1.0);
+        c.observe(1.0);
+        assert_eq!(c.rho(), 0.0);
+        // Third consecutive: step by v_inc.
+        c.observe(1.0);
+        assert!((c.rho() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dead_band_resets_streaks() {
+        let mut c = AdaptController::new(cfg()).unwrap();
+        c.observe(1.0);
+        c.observe(1.0);
+        c.observe(0.0); // inside band: streak broken
+        c.observe(1.0);
+        c.observe(1.0);
+        assert_eq!(c.rho(), 0.0);
+        c.observe(1.0);
+        assert!((c.rho() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opposite_signal_resets_streak() {
+        let mut c = AdaptController::new(cfg()).unwrap();
+        c.observe(1.0);
+        c.observe(1.0);
+        c.observe(-1.0); // flips to the below streak
+        assert_eq!(c.rho(), 0.0);
+        c.observe(-1.0);
+        c.observe(-1.0);
+        // Below streak completes but ρ is already 0: clamped.
+        assert_eq!(c.rho(), 0.0);
+    }
+
+    #[test]
+    fn rho_clamps_at_one() {
+        let mut c = AdaptController::new(cfg()).unwrap();
+        for _ in 0..30 {
+            c.observe(5.0);
+        }
+        assert_eq!(c.rho(), 1.0);
+    }
+
+    #[test]
+    fn decrease_path_steps_down() {
+        let mut c = AdaptController::with_initial_rho(cfg(), 0.5).unwrap();
+        for _ in 0..3 {
+            c.observe(-1.0);
+        }
+        assert!((c.rho() - 0.4).abs() < 1e-12);
+        for _ in 0..30 {
+            c.observe(-1.0);
+        }
+        assert_eq!(c.rho(), 0.0);
+    }
+
+    #[test]
+    fn selfish_environment_drives_rho_to_one() {
+        // The paper's degeneration argument: when the majority cheat, every
+        // obedient peer consistently sees Δ > φ and converges to ρ = 1
+        // (system behaves like MFCD).
+        let mut c = AdaptController::new(cfg()).unwrap();
+        let mut steps = 0;
+        while c.rho() < 1.0 {
+            c.observe(0.5);
+            steps += 1;
+            assert!(steps < 100, "should converge quickly");
+        }
+        assert_eq!(c.rho(), 1.0);
+        // 5 increments × patience 3 = 15 observations.
+        assert_eq!(steps, 15);
+    }
+
+    #[test]
+    fn default_for_mu_scales_band() {
+        let d = AdaptConfig::default_for_mu(0.02);
+        assert!((d.phi_inc - 0.002).abs() < 1e-12);
+        assert!((d.phi_dec + 0.002).abs() < 1e-12);
+        assert!(d.validate().is_ok());
+    }
+}

@@ -1,0 +1,298 @@
+//! The single-torrent Qiu–Srikant fluid model (Section 2), in the
+//! upload-constrained regime the paper works in.
+//!
+//! ```text
+//! dx/dt = λ − μ(ηx + y)
+//! dy/dt = μ(ηx + y) − γy
+//! ```
+//!
+//! Steady state (for `γ > μ`):
+//!
+//! ```text
+//! ȳ = λ/γ,     x̄ = λ(γ − μ) / (γμη),     T = x̄/λ = (γ − μ)/(γμη)
+//! ```
+//!
+//! This module is the reference against which the multi-torrent models
+//! degenerate when `K = 1` (the consistency argument of Section 3.3).
+
+use crate::params::FluidParams;
+use btfluid_numkit::ode::OdeSystem;
+use btfluid_numkit::NumError;
+
+/// A single torrent with Poisson arrivals at rate `λ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SingleTorrent {
+    params: FluidParams,
+    lambda: f64,
+}
+
+/// The closed-form steady state of a [`SingleTorrent`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SingleTorrentSteady {
+    /// Equilibrium downloader population `x̄`.
+    pub downloaders: f64,
+    /// Equilibrium seed population `ȳ`.
+    pub seeds: f64,
+    /// Average download time `T = x̄/λ` (Little's law).
+    pub download_time: f64,
+    /// Average online time `T + 1/γ`.
+    pub online_time: f64,
+}
+
+impl SingleTorrent {
+    /// Creates the model.
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] unless `λ > 0` and finite.
+    pub fn new(params: FluidParams, lambda: f64) -> Result<Self, NumError> {
+        if !(lambda > 0.0) || !lambda.is_finite() {
+            return Err(NumError::InvalidInput {
+                what: "SingleTorrent::new",
+                detail: format!("arrival rate λ must be finite and > 0, got {lambda}"),
+            });
+        }
+        Ok(Self { params, lambda })
+    }
+
+    /// Model parameters.
+    pub fn params(&self) -> &FluidParams {
+        &self.params
+    }
+
+    /// Arrival rate λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Closed-form steady state.
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] when `γ ≤ μ` (the downloader
+    /// population would be non-positive; the system is then seed-capacity
+    /// constrained and outside the paper's regime).
+    pub fn steady_state(&self) -> Result<SingleTorrentSteady, NumError> {
+        self.params.require_upload_constrained()?;
+        let (mu, eta, gamma) = (self.params.mu(), self.params.eta(), self.params.gamma());
+        let download_time = (gamma - mu) / (gamma * mu * eta);
+        let downloaders = self.lambda * download_time;
+        let seeds = self.lambda / gamma;
+        Ok(SingleTorrentSteady {
+            downloaders,
+            seeds,
+            download_time,
+            online_time: download_time + self.params.seed_residence(),
+        })
+    }
+}
+
+/// Linearized relaxation behaviour around the steady state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Relaxation {
+    /// Exponential decay rate of perturbations (−max real part of the
+    /// Jacobian's eigenvalues); `1/rate` is the slowest time constant.
+    pub rate: f64,
+    /// Whether the approach is oscillatory (complex eigenvalues).
+    pub oscillatory: bool,
+    /// Oscillation period `2π/Im λ`, when oscillatory.
+    pub period: Option<f64>,
+}
+
+impl SingleTorrent {
+    /// Linearized relaxation around the steady state.
+    ///
+    /// The Jacobian of the (linear) system is constant,
+    /// `J = [[−μη, −μ], [μη, μ−γ]]`, with trace `μ(1−η) − γ` and
+    /// determinant `μηγ`. In the upload-constrained regime `γ > μ` the
+    /// trace is negative and the determinant positive, so the equilibrium
+    /// is always a stable node or spiral. With the paper's parameters the
+    /// eigenvalues are `−0.02 ± 0.01i`: flash crowds decay with time
+    /// constant 50 while *oscillating* with period ≈ 628 — the
+    /// seed-overshoot ringing that `btfluid transient` (X5) plots.
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] when `γ ≤ μ` (outside the regime
+    /// where the analyzed equilibrium exists).
+    pub fn relaxation(&self) -> Result<Relaxation, NumError> {
+        self.params.require_upload_constrained()?;
+        let (mu, eta, gamma) = (self.params.mu(), self.params.eta(), self.params.gamma());
+        let trace = mu * (1.0 - eta) - gamma;
+        let det = mu * eta * gamma;
+        let disc = trace * trace - 4.0 * det;
+        if disc >= 0.0 {
+            // Two real eigenvalues (both negative); the slow one rules.
+            let sqrt = disc.sqrt();
+            let slow = 0.5 * (trace + sqrt); // closer to zero
+            Ok(Relaxation {
+                rate: -slow,
+                oscillatory: false,
+                period: None,
+            })
+        } else {
+            let imag = 0.5 * (-disc).sqrt();
+            Ok(Relaxation {
+                rate: -0.5 * trace,
+                oscillatory: true,
+                period: Some(2.0 * std::f64::consts::PI / imag),
+            })
+        }
+    }
+}
+
+impl OdeSystem for SingleTorrent {
+    fn dim(&self) -> usize {
+        2
+    }
+
+    /// State layout: `[x, y]`.
+    fn rhs(&self, _t: f64, state: &[f64], d: &mut [f64]) {
+        let (mu, eta, gamma) = (self.params.mu(), self.params.eta(), self.params.gamma());
+        let (x, y) = (state[0].max(0.0), state[1].max(0.0));
+        // Service capacity is upload-constrained: downloaders contribute at
+        // efficiency η, seeds at full rate. Service cannot exceed demand —
+        // when there are no downloaders nothing is consumed — but in the
+        // upload-constrained regime studied here demand always exceeds
+        // capacity, matching the paper's simplification.
+        let served = mu * (eta * x + y);
+        d[0] = self.lambda - served;
+        d[1] = served - gamma * y;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btfluid_numkit::ode::{steady_state, SteadyOptions};
+
+    fn paper_torrent(lambda: f64) -> SingleTorrent {
+        SingleTorrent::new(FluidParams::paper(), lambda).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SingleTorrent::new(FluidParams::paper(), 0.0).is_err());
+        assert!(SingleTorrent::new(FluidParams::paper(), -1.0).is_err());
+        assert!(SingleTorrent::new(FluidParams::paper(), f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn closed_form_paper_values() {
+        // T = (0.05 − 0.02)/(0.05·0.02·0.5) = 60; online = 60 + 20 = 80.
+        let ss = paper_torrent(1.0).steady_state().unwrap();
+        assert!((ss.download_time - 60.0).abs() < 1e-12);
+        assert!((ss.online_time - 80.0).abs() < 1e-12);
+        assert!((ss.downloaders - 60.0).abs() < 1e-12);
+        assert!((ss.seeds - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steady_state_scales_linearly_with_lambda() {
+        let a = paper_torrent(1.0).steady_state().unwrap();
+        let b = paper_torrent(3.0).steady_state().unwrap();
+        assert!((b.downloaders - 3.0 * a.downloaders).abs() < 1e-9);
+        assert!((b.seeds - 3.0 * a.seeds).abs() < 1e-9);
+        // Times are scale-free (the paper's scalability result).
+        assert!((b.download_time - a.download_time).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closed_form_requires_gamma_above_mu() {
+        let p = FluidParams::new(0.06, 0.5, 0.05).unwrap();
+        let t = SingleTorrent::new(p, 1.0).unwrap();
+        assert!(t.steady_state().is_err());
+    }
+
+    #[test]
+    fn ode_converges_to_closed_form() {
+        let t = paper_torrent(2.0);
+        let expect = t.steady_state().unwrap();
+        let ss = steady_state(&t, &[0.0, 0.0], SteadyOptions::default()).unwrap();
+        assert!(
+            (ss.x[0] - expect.downloaders).abs() < 1e-4,
+            "x = {}, expect {}",
+            ss.x[0],
+            expect.downloaders
+        );
+        assert!((ss.x[1] - expect.seeds).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ode_rhs_balances_at_closed_form() {
+        let t = paper_torrent(1.5);
+        let ss = t.steady_state().unwrap();
+        let mut d = vec![0.0; 2];
+        t.rhs(0.0, &[ss.downloaders, ss.seeds], &mut d);
+        assert!(d[0].abs() < 1e-12 && d[1].abs() < 1e-12, "rhs = {d:?}");
+    }
+
+    #[test]
+    fn relaxation_paper_values() {
+        // J eigenvalues −0.02 ± 0.01i at the paper's parameters.
+        let r = paper_torrent(1.0).relaxation().unwrap();
+        assert!((r.rate - 0.02).abs() < 1e-12, "rate = {}", r.rate);
+        assert!(r.oscillatory);
+        let period = r.period.unwrap();
+        assert!(
+            (period - 2.0 * std::f64::consts::PI / 0.01).abs() < 1e-9,
+            "period = {period}"
+        );
+    }
+
+    #[test]
+    fn relaxation_always_stable_in_regime() {
+        // Any γ > μ gives a positive decay rate.
+        for &(mu, eta, gamma) in &[
+            (0.01, 0.9, 0.02),
+            (0.02, 0.1, 0.05),
+            (0.001, 0.5, 0.1),
+        ] {
+            let p = FluidParams::new(mu, eta, gamma).unwrap();
+            let t = SingleTorrent::new(p, 1.0).unwrap();
+            let r = t.relaxation().unwrap();
+            assert!(r.rate > 0.0, "μ={mu}, η={eta}, γ={gamma}: rate {}", r.rate);
+        }
+    }
+
+    #[test]
+    fn relaxation_real_node_case() {
+        // Large γ pushes the discriminant positive: a non-oscillatory node.
+        let p = FluidParams::new(0.02, 0.5, 1.0).unwrap();
+        let t = SingleTorrent::new(p, 1.0).unwrap();
+        let r = t.relaxation().unwrap();
+        assert!(!r.oscillatory);
+        assert!(r.period.is_none());
+        assert!(r.rate > 0.0);
+    }
+
+    #[test]
+    fn relaxation_rate_matches_observed_decay() {
+        // Integrate a perturbed state and check the decay envelope.
+        let t = paper_torrent(1.0);
+        let r = t.relaxation().unwrap();
+        let eq = t.steady_state().unwrap();
+        let x0 = vec![eq.downloaders + 50.0, eq.seeds];
+        // After time T the perturbation should shrink by ≈ e^{-rate·T}
+        // (modulo the oscillation phase, so compare over a full period).
+        let horizon = r.period.unwrap();
+        use btfluid_numkit::ode::FixedStep;
+        let mut x = x0.clone();
+        btfluid_numkit::ode::Rk4.integrate(&t, 0.0, &mut x, horizon, 0.1);
+        let dev0 = 50.0f64;
+        let dev1 = ((x[0] - eq.downloaders).powi(2) + (x[1] - eq.seeds).powi(2)).sqrt();
+        let expected = dev0 * (-r.rate * horizon).exp();
+        // Within a factor of ~2: the envelope argument ignores the
+        // eigenvector geometry.
+        assert!(
+            dev1 < 2.5 * expected && dev1 > expected / 2.5,
+            "dev after one period: {dev1}, envelope {expected}"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_decays_to_equilibrium() {
+        // Start with a big flash crowd of downloaders and no seeds.
+        let t = paper_torrent(1.0);
+        let ss = steady_state(&t, &[500.0, 0.0], SteadyOptions::default()).unwrap();
+        let expect = t.steady_state().unwrap();
+        assert!((ss.x[0] - expect.downloaders).abs() < 1e-4);
+    }
+}

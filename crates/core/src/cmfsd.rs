@@ -1,0 +1,626 @@
+//! Collaborative multi-file-torrent **sequential** downloading (CMFSD) —
+//! the paper's proposal, Section 3.5.
+//!
+//! `K` interest-correlated files live in one torrent with `K` subtorrents.
+//! A class-`i` peer downloads its files *sequentially* (full download
+//! bandwidth in the current subtorrent); once it has finished at least one
+//! file it splits its upload: a fraction `ρ` plays tit-for-tat in the
+//! subtorrent it is downloading from, and the rest `1 − ρ` serves one of
+//! its finished files as a **virtual seed**.
+//!
+//! With `x^{i,j}` the population of class-`i` peers downloading their `j`-th
+//! file and `y^i` the class-`i` (real) seeds, and
+//! `P(i,j) = 1` if `i = 1 ∨ j = 1`, else `ρ`, Eq. (5) reads
+//!
+//! ```text
+//! dx^{i,1}/dt = λᵢ − μη·P(i,1)·x^{i,1} − S^{i,1}
+//! dx^{i,j}/dt = μη·P(i,j−1)·x^{i,j−1} + S^{i,j−1}
+//!               − μη·P(i,j)·x^{i,j} − S^{i,j}          (2 ≤ j ≤ i)
+//! dy^{i}/dt   = μη·P(i,i)·x^{i,i} + S^{i,i} − γ·y^{i}
+//!
+//! S^{i,j} = μ·x^{i,j}·(V + Y) / W
+//!   W = Σ x^{l,m}   (all downloaders)
+//!   V = Σ (1 − P(l,m))·x^{l,m}   (virtual-seed bandwidth weight)
+//!   Y = Σ y^{l}     (real seeds)
+//! ```
+//!
+//! ## Steady state as a 1-D fixed point
+//!
+//! At equilibrium the flux through every stage of class `i` equals `λᵢ`,
+//! so with `s = (V + Y)/W`:
+//!
+//! ```text
+//! x^{i,j} = λᵢ / (μη·P(i,j) + μ·s)
+//! ```
+//!
+//! and `s` solves the scalar equation `s·W(s) = V(s) + Y` with
+//! `Y = Σλᵢ/γ`, which is monotone in `s` and bracketed — solved here with
+//! Brent's method and cross-validated against ODE relaxation in the test
+//! suite. Per-class download time follows immediately:
+//!
+//! ```text
+//! T_dl(i) = 1/(μη + μs) + (i−1)/(μηρ + μs)
+//! ```
+
+use crate::metrics::ClassTimes;
+use crate::params::FluidParams;
+use btfluid_numkit::ode::OdeSystem;
+use btfluid_numkit::roots::{brent, RootOptions};
+use btfluid_numkit::NumError;
+
+/// The CMFSD fluid model (Eq. 5).
+///
+/// # Examples
+///
+/// ```
+/// use btfluid_core::cmfsd::Cmfsd;
+/// use btfluid_core::FluidParams;
+/// use btfluid_workload::CorrelationModel;
+///
+/// // A 10-file torrent at high correlation, full collaboration (ρ = 0).
+/// let model = CorrelationModel::new(10, 0.9, 1.0)?;
+/// let cmfsd = Cmfsd::new(FluidParams::paper(), model.class_rates(), 0.0)?;
+/// let times = cmfsd.class_times()?;
+/// // Everyone beats the plain-MFCD 97.8 per file by a wide margin.
+/// assert!(times.online_per_file(10) < 60.0);
+/// # Ok::<(), btfluid_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cmfsd {
+    params: FluidParams,
+    /// Torrent-level class entry rates `λᵢ` (index 0 ↔ class 1).
+    lambdas: Vec<f64>,
+    /// Bandwidth allocation ratio ρ ∈ [0, 1]: fraction kept for TFT; the
+    /// virtual seed gets `1 − ρ`.
+    rho: f64,
+}
+
+/// Steady state of [`Cmfsd`] from the fixed-point solver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmfsdSteady {
+    /// The pooled-service ratio `s = (V + Y)/W` at equilibrium.
+    pub s: f64,
+    /// Stage populations `x^{i,j}` in row-major triangular order
+    /// (class 1 stage 1; class 2 stages 1,2; …).
+    pub stages: Vec<f64>,
+    /// Per-class seed populations `y^i = λᵢ/γ`.
+    pub seeds: Vec<f64>,
+    /// Total downloader mass `W`.
+    pub w: f64,
+    /// Virtual-seed weight `V`.
+    pub v: f64,
+}
+
+impl Cmfsd {
+    /// Creates the model.
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] if `lambdas` is empty/negative/all
+    /// zero or `ρ ∉ [0, 1]`.
+    pub fn new(params: FluidParams, lambdas: Vec<f64>, rho: f64) -> Result<Self, NumError> {
+        if lambdas.is_empty() {
+            return Err(NumError::InvalidInput {
+                what: "Cmfsd::new",
+                detail: "need at least one class".into(),
+            });
+        }
+        let mut total = 0.0;
+        for (idx, &l) in lambdas.iter().enumerate() {
+            if !l.is_finite() || l < 0.0 {
+                return Err(NumError::InvalidInput {
+                    what: "Cmfsd::new",
+                    detail: format!("λ for class {} is {l}", idx + 1),
+                });
+            }
+            total += l;
+        }
+        if total <= 0.0 {
+            return Err(NumError::InvalidInput {
+                what: "Cmfsd::new",
+                detail: "all class entry rates are zero".into(),
+            });
+        }
+        if !(0.0..=1.0).contains(&rho) {
+            return Err(NumError::InvalidInput {
+                what: "Cmfsd::new",
+                detail: format!("bandwidth allocation ratio ρ must lie in [0,1], got {rho}"),
+            });
+        }
+        Ok(Self {
+            params,
+            lambdas,
+            rho,
+        })
+    }
+
+    /// Number of classes `K`.
+    pub fn k(&self) -> usize {
+        self.lambdas.len()
+    }
+
+    /// Model parameters.
+    pub fn params(&self) -> &FluidParams {
+        &self.params
+    }
+
+    /// Torrent-level entry rates (index 0 ↔ class 1).
+    pub fn lambdas(&self) -> &[f64] {
+        &self.lambdas
+    }
+
+    /// The bandwidth allocation ratio ρ.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// `P(i, j)`: 1 for a peer with no finished file (`i = 1` or `j = 1`),
+    /// ρ otherwise.
+    pub fn p_fn(&self, i: usize, j: usize) -> f64 {
+        if i == 1 || j == 1 {
+            1.0
+        } else {
+            self.rho
+        }
+    }
+
+    /// Number of `x^{i,j}` stages: `K(K+1)/2`.
+    pub fn n_stages(&self) -> usize {
+        self.k() * (self.k() + 1) / 2
+    }
+
+    /// Index of stage `(i, j)` (`1 ≤ j ≤ i ≤ K`) in the triangular layout.
+    ///
+    /// # Panics
+    /// Panics for indices outside the triangle.
+    pub fn stage_index(&self, i: usize, j: usize) -> usize {
+        assert!(
+            i >= 1 && i <= self.k() && j >= 1 && j <= i,
+            "stage ({i},{j}) outside triangle with K = {}",
+            self.k()
+        );
+        (i - 1) * i / 2 + (j - 1)
+    }
+
+    /// Real-seed pool at equilibrium, `Y = Σ λᵢ/γ`.
+    pub fn seed_pool(&self) -> f64 {
+        self.lambdas.iter().sum::<f64>() / self.params.gamma()
+    }
+
+    /// Stage population at a candidate ratio `s`:
+    /// `x^{i,j}(s) = λᵢ/(μη·P(i,j) + μs)`.
+    fn stage_pop(&self, i: usize, j: usize, s: f64) -> f64 {
+        let mu = self.params.mu();
+        let eta = self.params.eta();
+        self.lambdas[i - 1] / (mu * eta * self.p_fn(i, j) + mu * s)
+    }
+
+    /// `W(s)` and `V(s)` aggregated over the triangle.
+    fn pools(&self, s: f64) -> (f64, f64) {
+        let mut w = 0.0;
+        let mut v = 0.0;
+        for i in 1..=self.k() {
+            if self.lambdas[i - 1] == 0.0 {
+                continue;
+            }
+            // Stage 1: P = 1.
+            w += self.stage_pop(i, 1, s);
+            // Stages 2..=i share P = ρ.
+            if i >= 2 {
+                let pop = self.stage_pop(i, 2, s);
+                w += (i - 1) as f64 * pop;
+                v += (i - 1) as f64 * (1.0 - self.rho) * pop;
+            }
+        }
+        (w, v)
+    }
+
+    /// The fixed-point residual `g(s) = s·W(s) − V(s) − Y`.
+    fn residual(&self, s: f64) -> f64 {
+        let (w, v) = self.pools(s);
+        s * w - v - self.seed_pool()
+    }
+
+    /// Solves the steady state via the 1-D fixed point.
+    ///
+    /// # Errors
+    /// * [`NumError::NoBracket`] / [`NumError::InvalidInput`] when the
+    ///   system is outside the regime where the equilibrium exists (e.g.
+    ///   `g(∞) = Σᵢ i·λᵢ/μ − Y ≤ 0`: real seeds alone outpace demand).
+    /// * Propagates root-finder convergence failures.
+    pub fn steady_state(&self) -> Result<CmfsdSteady, NumError> {
+        // The asymptotic value s·W(s) → Σ i·λᵢ/μ must exceed Y for a root.
+        let asymptote: f64 = self
+            .lambdas
+            .iter()
+            .enumerate()
+            .map(|(idx, &l)| (idx + 1) as f64 * l)
+            .sum::<f64>()
+            / self.params.mu();
+        if asymptote <= self.seed_pool() {
+            return Err(NumError::InvalidInput {
+                what: "Cmfsd::steady_state",
+                detail: format!(
+                    "no positive equilibrium: Σ i·λᵢ/μ = {asymptote} ≤ Y = {} \
+                     (seed capacity alone covers the arrival flow; requires γ \
+                     large enough relative to μ)",
+                    self.seed_pool()
+                ),
+            });
+        }
+        // Bracket the root: g is negative near 0 (virtual seeds + real
+        // seeds dominate) and positive for large s.
+        let lo = 1e-12;
+        let mut hi = 1.0;
+        let mut tries = 0;
+        while self.residual(hi) <= 0.0 {
+            hi *= 4.0;
+            tries += 1;
+            if tries > 200 {
+                return Err(NumError::NoConvergence {
+                    what: "Cmfsd::steady_state (bracketing)",
+                    iterations: tries,
+                    residual: self.residual(hi),
+                });
+            }
+        }
+        let root = brent(
+            |s| self.residual(s),
+            lo,
+            hi,
+            RootOptions {
+                x_tol: 1e-14,
+                f_tol: 1e-12,
+                max_iter: 300,
+            },
+        )?;
+        let s = root.x;
+        let (w, v) = self.pools(s);
+        let mut stages = vec![0.0; self.n_stages()];
+        for i in 1..=self.k() {
+            for j in 1..=i {
+                stages[self.stage_index(i, j)] = self.stage_pop(i, j, s);
+            }
+        }
+        let seeds = self
+            .lambdas
+            .iter()
+            .map(|&l| l / self.params.gamma())
+            .collect();
+        Ok(CmfsdSteady {
+            s,
+            stages,
+            seeds,
+            w,
+            v,
+        })
+    }
+
+    /// Per-class user totals from the fixed point: class `i` downloads in
+    /// `1/(μη + μs) + (i−1)/(μηρ + μs)` and then seeds for `1/γ`.
+    ///
+    /// # Errors
+    /// Propagates [`Cmfsd::steady_state`] errors.
+    pub fn class_times(&self) -> Result<ClassTimes, NumError> {
+        let ss = self.steady_state()?;
+        Ok(self.class_times_at(ss.s))
+    }
+
+    /// Per-class totals at a given pooled-service ratio `s` (exposed for
+    /// sweep warm starts and for the ODE cross-check).
+    pub fn class_times_at(&self, s: f64) -> ClassTimes {
+        let mu = self.params.mu();
+        let eta = self.params.eta();
+        let first = 1.0 / (mu * eta + mu * s);
+        let later = 1.0 / (mu * eta * self.rho + mu * s);
+        let seed = self.params.seed_residence();
+        let download: Vec<f64> = (1..=self.k())
+            .map(|i| first + (i - 1) as f64 * later)
+            .collect();
+        let online: Vec<f64> = download.iter().map(|&d| d + seed).collect();
+        ClassTimes::new(download, online).expect("times positive by construction")
+    }
+}
+
+impl OdeSystem for Cmfsd {
+    fn dim(&self) -> usize {
+        self.n_stages() + self.k()
+    }
+
+    /// State layout: the `K(K+1)/2` stage populations `x^{i,j}` in
+    /// triangular order, then the `K` seed populations `y^i`.
+    fn rhs(&self, _t: f64, state: &[f64], d: &mut [f64]) {
+        let k = self.k();
+        let nx = self.n_stages();
+        let (mu, eta, gamma) = (self.params.mu(), self.params.eta(), self.params.gamma());
+        let (xs, ys) = state.split_at(nx);
+
+        // Pools.
+        let mut w = 0.0;
+        let mut v = 0.0;
+        for i in 1..=k {
+            for j in 1..=i {
+                let x = xs[self.stage_index(i, j)].max(0.0);
+                w += x;
+                v += (1.0 - self.p_fn(i, j)) * x;
+            }
+        }
+        let y_total: f64 = ys.iter().map(|y| y.max(0.0)).sum();
+        // Service ratio towards each downloader unit; zero when nobody
+        // downloads (capacity idles).
+        let s_ratio = if w > 0.0 { (v + y_total) / w } else { 0.0 };
+
+        for i in 1..=k {
+            let lambda = self.lambdas[i - 1];
+            let mut inflow = lambda;
+            for j in 1..=i {
+                let x = xs[self.stage_index(i, j)].max(0.0);
+                let flux = mu * eta * self.p_fn(i, j) * x + mu * x * s_ratio;
+                d[self.stage_index(i, j)] = inflow - flux;
+                inflow = flux;
+            }
+            // After the last stage the peer becomes a real seed.
+            d[nx + (i - 1)] = inflow - gamma * ys[i - 1].max(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mfcd::Mfcd;
+    use btfluid_numkit::ode::{steady_state, SteadyOptions};
+    use btfluid_workload::CorrelationModel;
+
+    fn paper_cmfsd(p: f64, rho: f64) -> Cmfsd {
+        let model = CorrelationModel::new(10, p, 1.0).unwrap();
+        Cmfsd::new(FluidParams::paper(), model.class_rates(), rho).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        let params = FluidParams::paper();
+        assert!(Cmfsd::new(params, vec![], 0.5).is_err());
+        assert!(Cmfsd::new(params, vec![0.0], 0.5).is_err());
+        assert!(Cmfsd::new(params, vec![-1.0], 0.5).is_err());
+        assert!(Cmfsd::new(params, vec![1.0], -0.1).is_err());
+        assert!(Cmfsd::new(params, vec![1.0], 1.1).is_err());
+        assert!(Cmfsd::new(params, vec![1.0], 0.0).is_ok());
+        assert!(Cmfsd::new(params, vec![1.0], 1.0).is_ok());
+    }
+
+    #[test]
+    fn stage_indexing_is_triangular() {
+        let m = paper_cmfsd(0.5, 0.5);
+        assert_eq!(m.n_stages(), 55);
+        assert_eq!(m.stage_index(1, 1), 0);
+        assert_eq!(m.stage_index(2, 1), 1);
+        assert_eq!(m.stage_index(2, 2), 2);
+        assert_eq!(m.stage_index(3, 1), 3);
+        assert_eq!(m.stage_index(10, 10), 54);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside triangle")]
+    fn stage_index_rejects_j_above_i() {
+        let m = paper_cmfsd(0.5, 0.5);
+        let _ = m.stage_index(2, 3);
+    }
+
+    #[test]
+    fn p_fn_definition() {
+        let m = paper_cmfsd(0.5, 0.3);
+        assert_eq!(m.p_fn(1, 1), 1.0);
+        assert_eq!(m.p_fn(5, 1), 1.0);
+        assert_eq!(m.p_fn(5, 2), 0.3);
+        assert_eq!(m.p_fn(5, 5), 0.3);
+    }
+
+    #[test]
+    fn k1_degenerates_to_single_torrent() {
+        // With only class 1 the CMFSD model is the Qiu–Srikant torrent:
+        // download 60, online 80 with the paper's parameters.
+        let m = Cmfsd::new(FluidParams::paper(), vec![1.0], 0.5).unwrap();
+        let t = m.class_times().unwrap();
+        assert!(
+            (t.download_total(1) - 60.0).abs() < 1e-6,
+            "{}",
+            t.download_total(1)
+        );
+        assert!((t.online_total(1) - 80.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rho_one_equals_mfcd_exactly() {
+        // Section 4.2.2: "for the extreme case ρ = 1 the system performs as
+        // in MFCD" — with the rate identity λⱼⁱ = (i/K)·λᵢ this is exact.
+        for &p in &[0.1, 0.5, 0.9] {
+            let model = CorrelationModel::new(10, p, 1.0).unwrap();
+            let cm = paper_cmfsd(p, 1.0);
+            let mfcd = Mfcd::from_correlation(FluidParams::paper(), &model).unwrap();
+            let t_c = cm.class_times().unwrap();
+            let t_m = mfcd.class_times().unwrap();
+            for i in 1..=10 {
+                assert!(
+                    (t_c.download_per_file(i) - t_m.download_per_file(i)).abs() < 1e-6,
+                    "p = {p}, class {i}: CMFSD {} vs MFCD {}",
+                    t_c.download_per_file(i),
+                    t_m.download_per_file(i)
+                );
+                assert!((t_c.online_per_file(i) - t_m.online_per_file(i)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_rho_improves_high_correlation_performance() {
+        // Figure 4(a): at high p, ρ = 0 beats ρ = 1 substantially.
+        let t0 = paper_cmfsd(0.9, 0.0).class_times().unwrap();
+        let t1 = paper_cmfsd(0.9, 1.0).class_times().unwrap();
+        for i in 2..=10 {
+            assert!(
+                t0.online_per_file(i) < t1.online_per_file(i),
+                "class {i}: ρ=0 {} should beat ρ=1 {}",
+                t0.online_per_file(i),
+                t1.online_per_file(i)
+            );
+        }
+    }
+
+    #[test]
+    fn online_monotone_in_rho() {
+        // Performance degrades monotonically as ρ grows (less collaboration).
+        let mut prev = f64::NEG_INFINITY;
+        for &rho in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+            let t = paper_cmfsd(0.8, rho).class_times().unwrap();
+            let v = t.online_per_file(10);
+            assert!(v > prev, "ρ = {rho}: {v} should exceed {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn single_file_peers_download_faster() {
+        // Figure 4(b)/(c): under CMFSD with ρ < 1, class-1 peers download a
+        // file faster than multi-file peers (their later stages run at the
+        // throttled TFT rate μηρ instead of μη). At ρ = 1 fairness returns.
+        for &(p, rho) in &[(0.1, 0.0), (0.1, 0.9), (0.9, 0.1), (0.9, 0.9)] {
+            let t = paper_cmfsd(p, rho).class_times().unwrap();
+            assert!(
+                t.download_per_file(1) < t.download_per_file(10),
+                "p={p}, ρ={rho}"
+            );
+        }
+        let fair = paper_cmfsd(0.5, 1.0)
+            .class_times()
+            .unwrap()
+            .download_fairness()
+            .unwrap();
+        assert!((fair - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn download_unfairness_grows_as_rho_shrinks() {
+        // In Eq. (5)'s steady state the per-file download gap between
+        // classes widens as ρ → 0 (the later stages lose their TFT term
+        // entirely); the Jain index across classes is monotone in ρ.
+        let f: Vec<f64> = [0.0, 0.3, 0.6, 1.0]
+            .iter()
+            .map(|&rho| {
+                paper_cmfsd(0.5, rho)
+                    .class_times()
+                    .unwrap()
+                    .download_fairness()
+                    .unwrap()
+            })
+            .collect();
+        assert!(
+            f.windows(2).all(|w| w[0] < w[1] + 1e-12),
+            "fairness should rise with ρ: {f:?}"
+        );
+    }
+
+    #[test]
+    fn section_4_3_sacrifice_at_low_p_high_rho() {
+        // Section 4.3's motivation for Adapt: at low correlation and large
+        // ρ, multi-file peers gain nothing (or slightly lose) vs MFCD,
+        // while at high correlation and small ρ everyone gains a lot.
+        let model = CorrelationModel::new(10, 0.1, 1.0).unwrap();
+        let mfcd = Mfcd::from_correlation(FluidParams::paper(), &model).unwrap();
+        let mfcd_on10 = mfcd.class_times().unwrap().online_per_file(10);
+        let cm_on10 = paper_cmfsd(0.1, 0.9)
+            .class_times()
+            .unwrap()
+            .online_per_file(10);
+        assert!(
+            cm_on10 > mfcd_on10 - 0.5,
+            "class 10 should see ~no improvement: CMFSD {cm_on10} vs MFCD {mfcd_on10}"
+        );
+
+        let model_hi = CorrelationModel::new(10, 0.9, 1.0).unwrap();
+        let mfcd_hi = Mfcd::from_correlation(FluidParams::paper(), &model_hi).unwrap();
+        let mfcd_hi_on10 = mfcd_hi.class_times().unwrap().online_per_file(10);
+        let cm_hi_on10 = paper_cmfsd(0.9, 0.1)
+            .class_times()
+            .unwrap()
+            .online_per_file(10);
+        assert!(
+            cm_hi_on10 < mfcd_hi_on10 - 20.0,
+            "high-p, low-ρ should be a large win: CMFSD {cm_hi_on10} vs MFCD {mfcd_hi_on10}"
+        );
+    }
+
+    #[test]
+    fn fixed_point_matches_ode_equilibrium() {
+        for &(p, rho) in &[(0.3, 0.2), (0.9, 0.7), (0.5, 0.0), (0.2, 1.0)] {
+            let m = paper_cmfsd(p, rho);
+            let fp = m.steady_state().unwrap();
+            let x0 = vec![0.0; m.dim()];
+            let opts = SteadyOptions {
+                residual_tol: 1e-10,
+                ..Default::default()
+            };
+            let ode = steady_state(&m, &x0, opts).unwrap();
+            for i in 1..=m.k() {
+                for j in 1..=i {
+                    let idx = m.stage_index(i, j);
+                    let (a, b) = (fp.stages[idx], ode.x[idx]);
+                    assert!(
+                        (a - b).abs() < 1e-3 * a.max(1.0),
+                        "p={p}, ρ={rho}, stage ({i},{j}): fp {a} vs ode {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flux_conservation_at_fixed_point() {
+        // At equilibrium every stage of class i carries flux λᵢ.
+        let m = paper_cmfsd(0.6, 0.4);
+        let ss = m.steady_state().unwrap();
+        let mu = m.params().mu();
+        let eta = m.params().eta();
+        for i in 1..=m.k() {
+            for j in 1..=i {
+                let x = ss.stages[m.stage_index(i, j)];
+                let flux = mu * eta * m.p_fn(i, j) * x + mu * x * ss.s;
+                assert!(
+                    (flux - m.lambdas()[i - 1]).abs() < 1e-9,
+                    "stage ({i},{j}) flux {flux} vs λ {}",
+                    m.lambdas()[i - 1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seed_populations_at_fixed_point() {
+        let m = paper_cmfsd(0.5, 0.5);
+        let ss = m.steady_state().unwrap();
+        for (idx, &l) in m.lambdas().iter().enumerate() {
+            assert!((ss.seeds[idx] - l / 0.05).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn no_equilibrium_when_seeds_dominate() {
+        // γ huge ⇒ tiny seed pool: fine. γ tiny ⇒ Y huge: no equilibrium.
+        let params = FluidParams::new(0.02, 0.5, 1e-4).unwrap();
+        let m = Cmfsd::new(params, vec![1.0], 0.5).unwrap();
+        assert!(m.steady_state().is_err());
+    }
+
+    #[test]
+    fn rho_zero_with_single_file_classes_only() {
+        // All mass on class 1: ρ is irrelevant (nobody has finished files).
+        let a = Cmfsd::new(FluidParams::paper(), vec![2.0], 0.0)
+            .unwrap()
+            .class_times()
+            .unwrap();
+        let b = Cmfsd::new(FluidParams::paper(), vec![2.0], 1.0)
+            .unwrap()
+            .class_times()
+            .unwrap();
+        assert!((a.download_total(1) - b.download_total(1)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,572 @@
+//! Mixed-population CMFSD: several peer populations with *different*
+//! bandwidth allocation ratios sharing one multi-file torrent.
+//!
+//! This extends Eq. (5) beyond the paper: Section 4.3 reasons informally
+//! about cheaters (peers that pin ρ = 1) degrading the system, and leaves
+//! the Adapt mechanism's equilibrium "to be systematically evaluated". The
+//! extension is exact and cheap because the pooled-service structure
+//! survives: with populations `g` (allocation ratio `ρ_g`, class entry
+//! rates `λ_{g,i}`) the stage balance still reads
+//!
+//! ```text
+//! x^{g,i,j} = λ_{g,i} / (μη·P_g(i,j) + μ·s),
+//! P_g(i,j) = 1 if i = 1 ∨ j = 1, else ρ_g,
+//! ```
+//!
+//! and the same scalar `s = (V + Y)/W` closes the system, with `W`, `V`
+//! summed over populations. Everything the single-population fixed point
+//! gives us — per-class times, pool sizes — is therefore available per
+//! population.
+//!
+//! ## Fluid Δ and the Adapt equilibrium
+//!
+//! A class-`i` peer of population `g` donates `(1 − ρ_g)·μ` while in
+//! stages `j ≥ 2` and receives `μ·V/W` from virtual seeds in every stage,
+//! so its time-averaged imbalance over its download is
+//!
+//! ```text
+//! Δ̄_g(i) = (1 − ρ_g)·μ · (i−1)·τ_g / T_g(i)  −  μ·V/W
+//! τ_g = 1/(μηρ_g + μs),  T_g(i) = 1/(μη + μs) + (i−1)·τ_g
+//! ```
+//!
+//! Conservation pins the download-time-weighted mean of `Δ̄` over *all*
+//! downloaders to zero; cheaters (ρ = 1) sit at `Δ̄ = −μV/W < 0`, so the
+//! obedient populations must sit above zero — the analytic form of the
+//! paper's "cheating makes obedient peers donate more than they receive".
+//! [`adapt_equilibrium`] turns that into a prediction: the ρ at which the
+//! obedient population's mean Δ̄ falls back inside the Adapt dead band.
+
+use crate::adapt::AdaptConfig;
+use crate::metrics::ClassTimes;
+use crate::params::FluidParams;
+use btfluid_numkit::roots::{brent, RootOptions};
+use btfluid_numkit::NumError;
+
+/// One peer population: an allocation ratio and its class entry rates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Population {
+    /// Bandwidth allocation ratio ρ of this population.
+    pub rho: f64,
+    /// Class entry rates `λ_{g,i}` (index 0 ↔ class 1).
+    pub lambdas: Vec<f64>,
+}
+
+/// The mixed-population CMFSD fluid model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmfsdMixed {
+    params: FluidParams,
+    populations: Vec<Population>,
+}
+
+/// Steady state of [`CmfsdMixed`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixedSteady {
+    /// Pooled-service ratio `s` at equilibrium.
+    pub s: f64,
+    /// Total downloader mass `W`.
+    pub w: f64,
+    /// Virtual-seed weight `V`.
+    pub v: f64,
+    /// Real-seed pool `Y = Σ λ/γ`.
+    pub y: f64,
+}
+
+impl CmfsdMixed {
+    /// Creates the model.
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] for an empty population list,
+    /// inconsistent class counts, invalid ρ, negative rates, or an all-zero
+    /// workload.
+    pub fn new(params: FluidParams, populations: Vec<Population>) -> Result<Self, NumError> {
+        if populations.is_empty() {
+            return Err(NumError::InvalidInput {
+                what: "CmfsdMixed::new",
+                detail: "need at least one population".into(),
+            });
+        }
+        let k = populations[0].lambdas.len();
+        let mut total = 0.0;
+        for (g, pop) in populations.iter().enumerate() {
+            if pop.lambdas.len() != k || k == 0 {
+                return Err(NumError::InvalidInput {
+                    what: "CmfsdMixed::new",
+                    detail: format!(
+                        "population {g} has {} classes, expected {k} (> 0)",
+                        pop.lambdas.len()
+                    ),
+                });
+            }
+            if !(0.0..=1.0).contains(&pop.rho) {
+                return Err(NumError::InvalidInput {
+                    what: "CmfsdMixed::new",
+                    detail: format!("population {g}: ρ = {} outside [0,1]", pop.rho),
+                });
+            }
+            for (idx, &l) in pop.lambdas.iter().enumerate() {
+                if !l.is_finite() || l < 0.0 {
+                    return Err(NumError::InvalidInput {
+                        what: "CmfsdMixed::new",
+                        detail: format!("population {g}, class {}: λ = {l}", idx + 1),
+                    });
+                }
+                total += l;
+            }
+        }
+        if total <= 0.0 {
+            return Err(NumError::InvalidInput {
+                what: "CmfsdMixed::new",
+                detail: "all entry rates are zero".into(),
+            });
+        }
+        Ok(Self {
+            params,
+            populations,
+        })
+    }
+
+    /// Number of classes `K`.
+    pub fn k(&self) -> usize {
+        self.populations[0].lambdas.len()
+    }
+
+    /// The populations.
+    pub fn populations(&self) -> &[Population] {
+        &self.populations
+    }
+
+    /// Model parameters.
+    pub fn params(&self) -> &FluidParams {
+        &self.params
+    }
+
+    /// Real-seed pool `Y = Σ_{g,i} λ_{g,i}/γ`.
+    pub fn seed_pool(&self) -> f64 {
+        self.populations
+            .iter()
+            .flat_map(|p| p.lambdas.iter())
+            .sum::<f64>()
+            / self.params.gamma()
+    }
+
+    /// `W(s)` and `V(s)` aggregated over populations.
+    fn pools(&self, s: f64) -> (f64, f64) {
+        let mu = self.params.mu();
+        let eta = self.params.eta();
+        let first = 1.0 / (mu * eta + mu * s);
+        let mut w = 0.0;
+        let mut v = 0.0;
+        for pop in &self.populations {
+            let later = 1.0 / (mu * eta * pop.rho + mu * s);
+            for (idx, &l) in pop.lambdas.iter().enumerate() {
+                if l == 0.0 {
+                    continue;
+                }
+                let i = (idx + 1) as f64;
+                w += l * (first + (i - 1.0) * later);
+                v += l * (i - 1.0) * (1.0 - pop.rho) * later;
+            }
+        }
+        (w, v)
+    }
+
+    fn residual(&self, s: f64) -> f64 {
+        let (w, v) = self.pools(s);
+        s * w - v - self.seed_pool()
+    }
+
+    /// Solves the steady state.
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] when no positive equilibrium
+    /// exists (seed capacity alone covers the flow) and propagates
+    /// root-finder failures.
+    pub fn steady_state(&self) -> Result<MixedSteady, NumError> {
+        let asymptote: f64 = self
+            .populations
+            .iter()
+            .flat_map(|p| {
+                p.lambdas
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, &l)| (idx + 1) as f64 * l)
+            })
+            .sum::<f64>()
+            / self.params.mu();
+        let y = self.seed_pool();
+        if asymptote <= y {
+            return Err(NumError::InvalidInput {
+                what: "CmfsdMixed::steady_state",
+                detail: format!(
+                    "no positive equilibrium: Σ i·λ/μ = {asymptote} ≤ Y = {y}"
+                ),
+            });
+        }
+        let mut hi = 1.0;
+        let mut tries = 0;
+        while self.residual(hi) <= 0.0 {
+            hi *= 4.0;
+            tries += 1;
+            if tries > 200 {
+                return Err(NumError::NoConvergence {
+                    what: "CmfsdMixed::steady_state (bracketing)",
+                    iterations: tries,
+                    residual: self.residual(hi),
+                });
+            }
+        }
+        let root = brent(
+            |s| self.residual(s),
+            1e-12,
+            hi,
+            RootOptions {
+                x_tol: 1e-14,
+                f_tol: 1e-12,
+                max_iter: 300,
+            },
+        )?;
+        let (w, v) = self.pools(root.x);
+        Ok(MixedSteady {
+            s: root.x,
+            w,
+            v,
+            y,
+        })
+    }
+
+    /// Per-class user totals for population `g` at the mixed equilibrium.
+    ///
+    /// # Errors
+    /// Propagates [`CmfsdMixed::steady_state`] errors.
+    ///
+    /// # Panics
+    /// Panics for an out-of-range population index.
+    pub fn class_times(&self, g: usize) -> Result<ClassTimes, NumError> {
+        assert!(g < self.populations.len(), "population {g} out of range");
+        let ss = self.steady_state()?;
+        let mu = self.params.mu();
+        let eta = self.params.eta();
+        let rho = self.populations[g].rho;
+        let first = 1.0 / (mu * eta + mu * ss.s);
+        let later = 1.0 / (mu * eta * rho + mu * ss.s);
+        let seed = self.params.seed_residence();
+        let download: Vec<f64> = (1..=self.k())
+            .map(|i| first + (i - 1) as f64 * later)
+            .collect();
+        let online: Vec<f64> = download.iter().map(|&d| d + seed).collect();
+        ClassTimes::new(download, online)
+    }
+
+    /// The fluid Δ̄ (time-averaged give − take imbalance per unit time
+    /// while downloading) for a class-`i` peer of population `g`.
+    ///
+    /// # Panics
+    /// Panics for out-of-range indices.
+    pub fn delta_bar(&self, g: usize, i: usize, ss: &MixedSteady) -> f64 {
+        assert!(g < self.populations.len(), "population {g} out of range");
+        assert!((1..=self.k()).contains(&i), "class {i} out of range");
+        let mu = self.params.mu();
+        let eta = self.params.eta();
+        let rho = self.populations[g].rho;
+        let first = 1.0 / (mu * eta + mu * ss.s);
+        let later = 1.0 / (mu * eta * rho + mu * ss.s);
+        let t_dl = first + (i - 1) as f64 * later;
+        let donated = (1.0 - rho) * mu * ((i - 1) as f64 * later) / t_dl;
+        let received = mu * ss.v / ss.w;
+        donated - received
+    }
+
+    /// Entry-rate-weighted mean Δ̄ over the multi-file classes (`i ≥ 2`) of
+    /// population `g` — the signal an Adapt controller in that population
+    /// sees on average.
+    ///
+    /// # Errors
+    /// Propagates steady-state errors; fails when the population has no
+    /// multi-file mass.
+    pub fn mean_multi_file_delta(&self, g: usize) -> Result<f64, NumError> {
+        let ss = self.steady_state()?;
+        let pop = &self.populations[g];
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (idx, &l) in pop.lambdas.iter().enumerate() {
+            let i = idx + 1;
+            if i >= 2 && l > 0.0 {
+                num += l * self.delta_bar(g, i, &ss);
+                den += l;
+            }
+        }
+        if den == 0.0 {
+            return Err(NumError::InvalidInput {
+                what: "CmfsdMixed::mean_multi_file_delta",
+                detail: format!("population {g} has no multi-file classes"),
+            });
+        }
+        Ok(num / den)
+    }
+}
+
+/// Predicts where the Adapt mechanism settles: the smallest obedient ρ at
+/// which the obedient population's mean Δ̄ no longer exceeds the increase
+/// threshold `φ_inc` (peers stop raising ρ), given a cheater population
+/// pinned at ρ = 1.
+///
+/// `obedient` and `cheaters` are the class entry-rate vectors of the two
+/// populations (either may be all-zero-but-one as long as the total
+/// workload is positive).
+///
+/// Returns `0.0` when even full collaboration leaves Δ̄ inside the band and
+/// `1.0` when no ρ < 1 suffices.
+///
+/// # Errors
+/// Propagates model-construction and steady-state errors.
+pub fn adapt_equilibrium(
+    params: FluidParams,
+    obedient: Vec<f64>,
+    cheaters: Vec<f64>,
+    config: &AdaptConfig,
+) -> Result<f64, NumError> {
+    config.validate()?;
+    let delta_at = |rho: f64| -> Result<f64, NumError> {
+        let mut populations = vec![Population {
+            rho,
+            lambdas: obedient.clone(),
+        }];
+        if cheaters.iter().any(|&l| l > 0.0) {
+            populations.push(Population {
+                rho: 1.0,
+                lambdas: cheaters.clone(),
+            });
+        }
+        CmfsdMixed::new(params, populations)?.mean_multi_file_delta(0)
+    };
+    if delta_at(0.0)? <= config.phi_inc {
+        return Ok(0.0);
+    }
+    if delta_at(1.0)? > config.phi_inc {
+        return Ok(1.0);
+    }
+    // Δ̄ is monotone decreasing in ρ (less donation, same receipts to first
+    // order); bisect the crossing of φ_inc.
+    let root = brent(
+        |rho| match delta_at(rho) {
+            Ok(d) => d - config.phi_inc,
+            Err(_) => f64::NAN,
+        },
+        0.0,
+        1.0,
+        RootOptions {
+            x_tol: 1e-6,
+            f_tol: 1e-12,
+            max_iter: 200,
+        },
+    )?;
+    Ok(root.x.clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmfsd::Cmfsd;
+    use btfluid_workload::CorrelationModel;
+
+    fn rates(p: f64, lambda0: f64) -> Vec<f64> {
+        CorrelationModel::new(10, p, lambda0)
+            .unwrap()
+            .class_rates()
+    }
+
+    fn cfg() -> AdaptConfig {
+        AdaptConfig::default_for_mu(0.02)
+    }
+
+    #[test]
+    fn validation() {
+        let params = FluidParams::paper();
+        assert!(CmfsdMixed::new(params, vec![]).is_err());
+        let bad_rho = Population {
+            rho: 1.5,
+            lambdas: vec![1.0],
+        };
+        assert!(CmfsdMixed::new(params, vec![bad_rho]).is_err());
+        let a = Population {
+            rho: 0.5,
+            lambdas: vec![1.0, 2.0],
+        };
+        let b = Population {
+            rho: 0.5,
+            lambdas: vec![1.0],
+        };
+        assert!(CmfsdMixed::new(params, vec![a.clone(), b]).is_err());
+        let zero = Population {
+            rho: 0.5,
+            lambdas: vec![0.0, 0.0],
+        };
+        assert!(CmfsdMixed::new(params, vec![zero]).is_err());
+        assert!(CmfsdMixed::new(params, vec![a]).is_ok());
+    }
+
+    #[test]
+    fn single_population_matches_cmfsd() {
+        let params = FluidParams::paper();
+        for &(p, rho) in &[(0.5, 0.3), (0.9, 0.0), (0.2, 1.0)] {
+            let lambdas = rates(p, 1.0);
+            let mixed = CmfsdMixed::new(
+                params,
+                vec![Population {
+                    rho,
+                    lambdas: lambdas.clone(),
+                }],
+            )
+            .unwrap();
+            let single = Cmfsd::new(params, lambdas, rho).unwrap();
+            let ms = mixed.steady_state().unwrap();
+            let ss = single.steady_state().unwrap();
+            assert!(
+                (ms.s - ss.s).abs() < 1e-10,
+                "p={p}, ρ={rho}: mixed s {} vs single {}",
+                ms.s,
+                ss.s
+            );
+            let mt = mixed.class_times(0).unwrap();
+            let st = single.class_times().unwrap();
+            for i in 1..=10 {
+                assert!((mt.online_per_file(i) - st.online_per_file(i)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn delta_conservation_over_all_downloaders() {
+        // The x-weighted mean of Δ̄ across all downloaders vanishes:
+        // donated bandwidth equals received bandwidth in aggregate.
+        let params = FluidParams::paper();
+        let mixed = CmfsdMixed::new(
+            params,
+            vec![
+                Population {
+                    rho: 0.2,
+                    lambdas: rates(0.7, 0.6),
+                },
+                Population {
+                    rho: 1.0,
+                    lambdas: rates(0.7, 0.4),
+                },
+            ],
+        )
+        .unwrap();
+        let ss = mixed.steady_state().unwrap();
+        let mu = params.mu();
+        let eta = params.eta();
+        let mut weighted = 0.0;
+        for (g, pop) in mixed.populations().iter().enumerate() {
+            let first = 1.0 / (mu * eta + mu * ss.s);
+            let later = 1.0 / (mu * eta * pop.rho + mu * ss.s);
+            for (idx, &l) in pop.lambdas.iter().enumerate() {
+                let i = idx + 1;
+                if l == 0.0 {
+                    continue;
+                }
+                // Population of class-i downloaders: x = λ·T_dl; each sees
+                // Δ̄ per unit time, so the aggregate imbalance rate is
+                // x·Δ̄ = λ·T_dl·Δ̄.
+                let t_dl = first + (i - 1) as f64 * later;
+                weighted += l * t_dl * mixed.delta_bar(g, i, &ss);
+            }
+        }
+        assert!(weighted.abs() < 1e-10, "aggregate imbalance = {weighted}");
+    }
+
+    #[test]
+    fn cheaters_never_donate_so_their_delta_is_negative() {
+        let params = FluidParams::paper();
+        let mixed = CmfsdMixed::new(
+            params,
+            vec![
+                Population {
+                    rho: 0.0,
+                    lambdas: rates(0.9, 0.5),
+                },
+                Population {
+                    rho: 1.0,
+                    lambdas: rates(0.9, 0.5),
+                },
+            ],
+        )
+        .unwrap();
+        let ss = mixed.steady_state().unwrap();
+        for i in 2..=10 {
+            assert!(mixed.delta_bar(1, i, &ss) < 0.0, "cheater class {i}");
+            assert!(mixed.delta_bar(0, i, &ss) > 0.0, "obedient class {i}");
+        }
+    }
+
+    #[test]
+    fn honest_swarm_needs_no_protection() {
+        // With no cheaters, the obedient Δ̄ at ρ = 0 stays within the
+        // default band: Adapt predicts ρ* = 0, the paper's recommendation.
+        let rho = adapt_equilibrium(
+            FluidParams::paper(),
+            rates(0.9, 1.0),
+            vec![0.0; 10],
+            &cfg(),
+        )
+        .unwrap();
+        assert_eq!(rho, 0.0);
+    }
+
+    #[test]
+    fn equilibrium_rho_increases_with_cheating() {
+        let params = FluidParams::paper();
+        let mut prev = -1.0;
+        for frac in [0.0, 0.3, 0.6, 0.9] {
+            let rho = adapt_equilibrium(
+                params,
+                rates(0.9, 1.0 - frac),
+                rates(0.9, frac.max(1e-12)),
+                &cfg(),
+            )
+            .unwrap();
+            assert!(
+                rho >= prev - 1e-9,
+                "ρ* should not decrease with cheating: {rho} after {prev}"
+            );
+            prev = rho;
+        }
+        assert!(prev > 0.0, "heavy cheating must push ρ* above 0");
+    }
+
+    #[test]
+    fn no_multi_file_mass_rejected() {
+        let params = FluidParams::paper();
+        let mut lambdas = vec![0.0; 10];
+        lambdas[0] = 1.0; // class 1 only
+        let mixed = CmfsdMixed::new(
+            params,
+            vec![Population { rho: 0.5, lambdas }],
+        )
+        .unwrap();
+        assert!(mixed.mean_multi_file_delta(0).is_err());
+    }
+
+    #[test]
+    fn delta_bar_monotone_in_class() {
+        // Bigger classes spend a larger fraction of their download in the
+        // donating stages, so Δ̄ grows with i.
+        let params = FluidParams::paper();
+        let mixed = CmfsdMixed::new(
+            params,
+            vec![Population {
+                rho: 0.1,
+                lambdas: rates(0.8, 1.0),
+            }],
+        )
+        .unwrap();
+        let ss = mixed.steady_state().unwrap();
+        let mut prev = f64::NEG_INFINITY;
+        for i in 1..=10 {
+            let d = mixed.delta_bar(0, i, &ss);
+            assert!(d >= prev, "class {i}: Δ̄ {d} < {prev}");
+            prev = d;
+        }
+    }
+}

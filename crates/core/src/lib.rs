@@ -1,0 +1,74 @@
+//! # btfluid-core
+//!
+//! Fluid models for multiple-file downloading in BitTorrent — the primary
+//! contribution of "Analyzing Multiple File Downloading in BitTorrent"
+//! (Tian, Wu, Ng; ICPP 2006), implemented as a library.
+//!
+//! ## Model family
+//!
+//! Everything builds on the Qiu–Srikant fluid model of a single torrent,
+//! restricted (as the paper does) to the upload-constrained regime:
+//!
+//! ```text
+//! dx/dt = λ − μ(ηx + y)          x: downloaders
+//! dy/dt = μ(ηx + y) − γy         y: seeds
+//! ```
+//!
+//! * [`base`] — that single-torrent model plus its closed-form steady state
+//!   (Section 2 of the paper; the K = 1 degeneration check of Section 3.3).
+//! * [`multiclass`] — the bandwidth-class generalization of Section 2
+//!   (classes `Cᵢ(μᵢ, cᵢ)` with the two proportional-service assumptions).
+//! * [`mtcd`] — multi-torrent **concurrent** downloading, Eq. (1), with the
+//!   closed-form steady state of Eq. (2).
+//! * [`mtsd`] — multi-torrent **sequential** downloading, Eqs. (3)–(4).
+//! * [`mfcd`] — multi-file-torrent concurrent downloading, shown by the
+//!   paper to be equivalent to MTCD in the fluid limit.
+//! * [`cmfsd`] — the paper's proposal: collaborative multi-file-torrent
+//!   sequential downloading, Eq. (5), solved both by ODE relaxation and by
+//!   the 1-D fixed point derived in DESIGN.md §5.3.
+//! * [`cmfsd_mixed`] — an exact extension to several coexisting
+//!   populations with different ρ (obedient vs cheaters), yielding an
+//!   analytic prediction of the Adapt equilibrium (Section 4.3's informal
+//!   argument, made quantitative).
+//! * [`adapt`] — the **Adapt** control law of Section 4.3 for tuning the
+//!   partial-seeding ratio ρ in a distributed fashion.
+//! * [`metrics`] / [`schemes`] — the per-class and population metrics
+//!   (online/download time per file) and a unified scheme-evaluation entry
+//!   point used by the figure harness.
+//!
+//! ## Conventions
+//!
+//! File size is the unit of work and `μ` is upload bandwidth in files per
+//! time unit, so all times are in the paper's abstract time units. With the
+//! paper's parameters (`μ = 0.02, η = 0.5, γ = 0.05`) the MTSD online time
+//! per file is `(γ−μ)/(γμη) + 1/γ = 80`.
+//!
+//! Classes are indexed `1..=K` (a class-`i` user requested `i` files);
+//! vectors indexed by class use offset 0 ↔ class 1 throughout.
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)` is used deliberately throughout: unlike `x <= 0.0` it also
+// rejects NaN, which is exactly what parameter validation wants.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod adapt;
+pub mod base;
+pub mod cmfsd;
+pub mod cmfsd_mixed;
+pub mod metrics;
+pub mod mfcd;
+pub mod mtcd;
+pub mod mtsd;
+pub mod multiclass;
+pub mod params;
+pub mod schemes;
+pub mod sensitivity;
+
+pub use metrics::ClassTimes;
+pub use params::FluidParams;
+pub use schemes::{evaluate_scheme, Scheme, SchemeReport};
+
+/// Convenience error alias (the crate reports through the shared numeric
+/// error type).
+pub type CoreError = btfluid_numkit::NumError;

@@ -1,0 +1,225 @@
+//! Per-class and population performance metrics.
+//!
+//! The paper's headline metric is the **average online time per file**: the
+//! sum of the online time over all peers divided by the total number of
+//! files requested (Section 4.2.1). Per class `i` this is the user's total
+//! online time divided by `i`; the population average weights classes by
+//! their file-request rate `i·λᵢ`, i.e.
+//!
+//! ```text
+//! avg online per file = Σᵢ λᵢ·Tᵢ / Σᵢ i·λᵢ
+//! ```
+//!
+//! where `Tᵢ` is the class-`i` user's total online time. [`ClassTimes`]
+//! stores the per-class *totals* (download and online) and derives every
+//! per-file and population-average view from them, so each scheme module
+//! only has to produce totals.
+
+use btfluid_numkit::stats::jain_fairness;
+use btfluid_numkit::NumError;
+use btfluid_workload::ClassMix;
+
+/// Per-class user-total download and online times for one scheme at one
+/// parameter point.
+///
+/// `download_total[i-1]` / `online_total[i-1]` are the class-`i` user's
+/// expected total download time and total online time (download + seeding).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassTimes {
+    download_total: Vec<f64>,
+    online_total: Vec<f64>,
+}
+
+impl ClassTimes {
+    /// Builds from per-class totals.
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] if the vectors are empty, differ
+    /// in length, contain non-finite or negative entries, or online time is
+    /// smaller than download time for some class.
+    pub fn new(download_total: Vec<f64>, online_total: Vec<f64>) -> Result<Self, NumError> {
+        if download_total.is_empty() || download_total.len() != online_total.len() {
+            return Err(NumError::InvalidInput {
+                what: "ClassTimes::new",
+                detail: format!(
+                    "need equal, non-zero lengths; got {} download and {} online entries",
+                    download_total.len(),
+                    online_total.len()
+                ),
+            });
+        }
+        for (idx, (&d, &o)) in download_total.iter().zip(&online_total).enumerate() {
+            if !d.is_finite() || d < 0.0 || !o.is_finite() || o < 0.0 {
+                return Err(NumError::InvalidInput {
+                    what: "ClassTimes::new",
+                    detail: format!("class {}: download {d}, online {o}", idx + 1),
+                });
+            }
+            if o + 1e-9 < d {
+                return Err(NumError::InvalidInput {
+                    what: "ClassTimes::new",
+                    detail: format!("class {}: online time {o} < download time {d}", idx + 1),
+                });
+            }
+        }
+        Ok(Self {
+            download_total,
+            online_total,
+        })
+    }
+
+    /// Number of classes `K`.
+    pub fn k(&self) -> usize {
+        self.download_total.len()
+    }
+
+    /// Class-`i` user's total download time (`1 ≤ i ≤ K`).
+    ///
+    /// # Panics
+    /// Panics for out-of-range classes.
+    pub fn download_total(&self, i: usize) -> f64 {
+        self.check(i);
+        self.download_total[i - 1]
+    }
+
+    /// Class-`i` user's total online time.
+    ///
+    /// # Panics
+    /// Panics for out-of-range classes.
+    pub fn online_total(&self, i: usize) -> f64 {
+        self.check(i);
+        self.online_total[i - 1]
+    }
+
+    /// Class-`i` download time per file.
+    ///
+    /// # Panics
+    /// Panics for out-of-range classes.
+    pub fn download_per_file(&self, i: usize) -> f64 {
+        self.download_total(i) / i as f64
+    }
+
+    /// Class-`i` online time per file.
+    ///
+    /// # Panics
+    /// Panics for out-of-range classes.
+    pub fn online_per_file(&self, i: usize) -> f64 {
+        self.online_total(i) / i as f64
+    }
+
+    /// All per-file download times (index 0 ↔ class 1).
+    pub fn download_per_file_vec(&self) -> Vec<f64> {
+        (1..=self.k()).map(|i| self.download_per_file(i)).collect()
+    }
+
+    /// All per-file online times (index 0 ↔ class 1).
+    pub fn online_per_file_vec(&self) -> Vec<f64> {
+        (1..=self.k()).map(|i| self.online_per_file(i)).collect()
+    }
+
+    /// Population **average online time per file** under the given class
+    /// mix — the y-axis of Figures 2 and 4(a).
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] when the mix has a different
+    /// class count.
+    pub fn avg_online_per_file(&self, mix: &ClassMix) -> Result<f64, NumError> {
+        mix.file_mean(&self.online_per_file_vec())
+    }
+
+    /// Population average download time per file under the given class mix.
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] when the mix has a different
+    /// class count.
+    pub fn avg_download_per_file(&self, mix: &ClassMix) -> Result<f64, NumError> {
+        mix.file_mean(&self.download_per_file_vec())
+    }
+
+    /// Jain fairness index of the per-file download times across classes —
+    /// 1.0 means every class downloads a file equally fast (the fairness
+    /// the paper notes MTCD/MTSD maintain and CMFSD sacrifices).
+    ///
+    /// # Errors
+    /// Propagates [`jain_fairness`] input errors (never for constructed
+    /// values).
+    pub fn download_fairness(&self) -> Result<f64, NumError> {
+        jain_fairness(&self.download_per_file_vec())
+    }
+
+    fn check(&self, i: usize) {
+        assert!(
+            (1..=self.k()).contains(&i),
+            "class {i} out of 1..={}",
+            self.k()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn times() -> ClassTimes {
+        // Class 1: download 60, online 80. Class 2: download 120, online 140.
+        ClassTimes::new(vec![60.0, 120.0], vec![80.0, 140.0]).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ClassTimes::new(vec![], vec![]).is_err());
+        assert!(ClassTimes::new(vec![1.0], vec![1.0, 2.0]).is_err());
+        assert!(ClassTimes::new(vec![-1.0], vec![1.0]).is_err());
+        assert!(ClassTimes::new(vec![f64::NAN], vec![1.0]).is_err());
+        // online < download is inconsistent
+        assert!(ClassTimes::new(vec![10.0], vec![5.0]).is_err());
+        assert!(ClassTimes::new(vec![10.0], vec![10.0]).is_ok());
+    }
+
+    #[test]
+    fn per_file_views() {
+        let t = times();
+        assert_eq!(t.k(), 2);
+        assert_eq!(t.download_per_file(1), 60.0);
+        assert_eq!(t.download_per_file(2), 60.0);
+        assert_eq!(t.online_per_file(1), 80.0);
+        assert_eq!(t.online_per_file(2), 70.0);
+        assert_eq!(t.download_per_file_vec(), vec![60.0, 60.0]);
+        assert_eq!(t.online_per_file_vec(), vec![80.0, 70.0]);
+    }
+
+    #[test]
+    fn population_average_is_file_weighted() {
+        let t = times();
+        let mix = ClassMix::new(vec![1.0, 1.0]).unwrap();
+        // files: class1 contributes 1, class2 contributes 2.
+        // avg online/file = (1·80 + 2·70)/3 = 220/3
+        let avg = t.avg_online_per_file(&mix).unwrap();
+        assert!((avg - 220.0 / 3.0).abs() < 1e-12);
+        // Equivalent to Σλ·T / Σiλ on the totals: (80 + 140)/3.
+        assert!((avg - (80.0 + 140.0) / 3.0).abs() < 1e-12);
+        let avg_d = t.avg_download_per_file(&mix).unwrap();
+        assert!((avg_d - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_of_equal_download_rates() {
+        let t = times();
+        assert!((t.download_fairness().unwrap() - 1.0).abs() < 1e-12);
+        let unfair = ClassTimes::new(vec![10.0, 400.0], vec![20.0, 420.0]).unwrap();
+        assert!(unfair.download_fairness().unwrap() < 0.8);
+    }
+
+    #[test]
+    fn mix_length_mismatch_rejected() {
+        let t = times();
+        let mix = ClassMix::new(vec![1.0, 1.0, 1.0]).unwrap();
+        assert!(t.avg_online_per_file(&mix).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 1..=")]
+    fn out_of_range_class_panics() {
+        let _ = times().online_total(3);
+    }
+}

@@ -1,0 +1,131 @@
+//! Multi-file-torrent **concurrent** downloading (MFCD) — Section 3.4.
+//!
+//! Several files are published in one torrent; clients that do not
+//! differentiate multi-file content download the chunks of all chosen files
+//! at random, which is concurrent downloading across the `K` *subtorrents*.
+//! A peer requesting `i` files behaves as `i` virtual peers with `μ/i`
+//! bandwidth each — exactly the MTCD setup. The paper argues the only
+//! difference (virtual peers of one user depart together instead of
+//! independently) does not change the fluid model because the mean seed
+//! service time is `1/γ` either way, and evaluates MFCD with Eq. (2).
+//!
+//! [`Mfcd`] therefore *delegates to* [`crate::mtcd::Mtcd`], constructed with
+//! the per-subtorrent entry rates `λⱼⁱ = λ₀·C(K−1,i−1)pⁱ(1−p)^{K−i}`; the
+//! type exists so call sites say what they mean and so the equivalence is
+//! pinned by tests rather than by convention.
+
+use crate::metrics::ClassTimes;
+use crate::mtcd::{Mtcd, MtcdSteady};
+use crate::params::FluidParams;
+use btfluid_numkit::NumError;
+use btfluid_workload::CorrelationModel;
+
+/// The MFCD performance model (fluid-equivalent to MTCD).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mfcd {
+    inner: Mtcd,
+}
+
+impl Mfcd {
+    /// Builds the model for a multi-file torrent whose users follow the
+    /// given correlation model.
+    ///
+    /// # Errors
+    /// Propagates rate validation errors (e.g. `p = 0`: nobody enters).
+    pub fn from_correlation(
+        params: FluidParams,
+        model: &CorrelationModel,
+    ) -> Result<Self, NumError> {
+        Ok(Self {
+            inner: Mtcd::new(params, model.per_torrent_rates())?,
+        })
+    }
+
+    /// Builds the model from explicit per-subtorrent class rates.
+    ///
+    /// # Errors
+    /// Propagates [`Mtcd::new`] validation errors.
+    pub fn new(params: FluidParams, lambdas: Vec<f64>) -> Result<Self, NumError> {
+        Ok(Self {
+            inner: Mtcd::new(params, lambdas)?,
+        })
+    }
+
+    /// The underlying MTCD model (the fluid equivalence made explicit).
+    pub fn as_mtcd(&self) -> &Mtcd {
+        &self.inner
+    }
+
+    /// Number of classes `K`.
+    pub fn k(&self) -> usize {
+        self.inner.k()
+    }
+
+    /// Shared per-file download time `G` (Eq. 2).
+    ///
+    /// # Errors
+    /// Propagates the closed-form validity check.
+    pub fn g(&self) -> Result<f64, NumError> {
+        self.inner.g()
+    }
+
+    /// Closed-form steady state per subtorrent.
+    ///
+    /// # Errors
+    /// Propagates the closed-form validity check.
+    pub fn steady_state(&self) -> Result<MtcdSteady, NumError> {
+        self.inner.steady_state()
+    }
+
+    /// Per-class user totals (same as MTCD's).
+    ///
+    /// # Errors
+    /// Propagates the closed-form validity check.
+    pub fn class_times(&self) -> Result<ClassTimes, NumError> {
+        self.inner.class_times()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(p: f64) -> CorrelationModel {
+        CorrelationModel::new(10, p, 1.0).unwrap()
+    }
+
+    #[test]
+    fn equivalent_to_mtcd_by_construction() {
+        let m = model(0.9);
+        let mfcd = Mfcd::from_correlation(FluidParams::paper(), &m).unwrap();
+        let mtcd = Mtcd::new(FluidParams::paper(), m.per_torrent_rates()).unwrap();
+        assert_eq!(mfcd.g().unwrap(), mtcd.g().unwrap());
+        assert_eq!(
+            mfcd.class_times().unwrap().online_per_file_vec(),
+            mtcd.class_times().unwrap().online_per_file_vec()
+        );
+        assert_eq!(mfcd.k(), 10);
+    }
+
+    #[test]
+    fn p_zero_rejected() {
+        assert!(Mfcd::from_correlation(FluidParams::paper(), &model(0.0)).is_err());
+    }
+
+    #[test]
+    fn explicit_rates_constructor() {
+        let mfcd = Mfcd::new(FluidParams::paper(), vec![0.5, 0.25]).unwrap();
+        assert_eq!(mfcd.k(), 2);
+        assert!(mfcd.g().unwrap() > 0.0);
+        assert_eq!(mfcd.as_mtcd().lambdas(), &[0.5, 0.25]);
+    }
+
+    #[test]
+    fn high_correlation_hurts_mfcd() {
+        // The observation motivating CMFSD: at p near 1, the per-file time
+        // under MFCD is well above the single-file baseline of 80.
+        let mfcd = Mfcd::from_correlation(FluidParams::paper(), &model(0.95)).unwrap();
+        let times = mfcd.class_times().unwrap();
+        assert!(times.online_per_file(10) > 90.0);
+    }
+}

@@ -1,0 +1,378 @@
+//! The bandwidth-class generalization of the fluid model (Section 2).
+//!
+//! Peers fall into `S` classes `Cᵢ(μᵢ, cᵢ)` — upload bandwidth `μᵢ`,
+//! download bandwidth `cᵢ` — arriving at rates `λᵢ`. The paper's two
+//! service assumptions become:
+//!
+//! * downloader-to-downloader (TFT): class `i` receives `η·μᵢ·xᵢ` — what it
+//!   uploads, scaled by the sharing efficiency;
+//! * seed-to-downloader (altruistic): the seed pool `Σₗ μₗ·yₗ` is split in
+//!   proportion to download capacity, class `i` receiving the fraction
+//!   `xᵢcᵢ / Σₗ xₗcₗ`.
+//!
+//! ```text
+//! dxᵢ/dt = λᵢ − η·μᵢ·xᵢ − (xᵢcᵢ/Σₗxₗcₗ)·Σₗ μₗ·yₗ
+//! dyᵢ/dt = η·μᵢ·xᵢ + (xᵢcᵢ/Σₗxₗcₗ)·Σₗ μₗ·yₗ − γ·yᵢ
+//! ```
+//!
+//! The steady state reduces to a 1-D fixed point like CMFSD's: with
+//! `s = (Σₗ μₗyₗ)/(Σₗ xₗcₗ)` (seed service per unit of download capacity),
+//! `xᵢ = λᵢ/(ημᵢ + cᵢ·s)`, and `s` solves the monotone scalar equation
+//! `s·Σₗ cₗxₗ(s) = Σₗ μₗλₗ/γ`.
+//!
+//! This module underpins MTCD: a class-`i` MTCD peer *is* a bandwidth class
+//! `(μ/i, c/i)` (tested in `tests/degeneration.rs`).
+
+use crate::params::FluidParams;
+use btfluid_numkit::ode::OdeSystem;
+use btfluid_numkit::roots::{brent, RootOptions};
+use btfluid_numkit::NumError;
+
+/// One bandwidth class `Cᵢ(μᵢ, cᵢ)` with its arrival rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthClass {
+    /// Upload bandwidth `μᵢ` (files per time unit).
+    pub mu: f64,
+    /// Download bandwidth `cᵢ` (files per time unit).
+    pub c: f64,
+    /// Arrival rate `λᵢ`.
+    pub lambda: f64,
+}
+
+/// The multi-class fluid model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiClassFluid {
+    classes: Vec<BandwidthClass>,
+    eta: f64,
+    gamma: f64,
+}
+
+/// Steady state of [`MultiClassFluid`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiClassSteady {
+    /// The seed-service-per-download-capacity ratio `s` at equilibrium.
+    pub s: f64,
+    /// Per-class downloader populations.
+    pub downloaders: Vec<f64>,
+    /// Per-class seed populations `λᵢ/γ`.
+    pub seeds: Vec<f64>,
+    /// Per-class download times `1/(ημᵢ + cᵢs)`.
+    pub download_times: Vec<f64>,
+}
+
+impl MultiClassFluid {
+    /// Creates the model from classes and the shared `η`, `γ`.
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] for empty classes, non-positive
+    /// bandwidths, negative rates, all-zero rates, `η ∉ (0,1]` or `γ ≤ 0`.
+    pub fn new(classes: Vec<BandwidthClass>, eta: f64, gamma: f64) -> Result<Self, NumError> {
+        if classes.is_empty() {
+            return Err(NumError::InvalidInput {
+                what: "MultiClassFluid::new",
+                detail: "need at least one class".into(),
+            });
+        }
+        if !(eta > 0.0 && eta <= 1.0) {
+            return Err(NumError::InvalidInput {
+                what: "MultiClassFluid::new",
+                detail: format!("η must lie in (0,1], got {eta}"),
+            });
+        }
+        if !(gamma > 0.0) || !gamma.is_finite() {
+            return Err(NumError::InvalidInput {
+                what: "MultiClassFluid::new",
+                detail: format!("γ must be finite and > 0, got {gamma}"),
+            });
+        }
+        let mut total = 0.0;
+        for (i, cl) in classes.iter().enumerate() {
+            if !(cl.mu > 0.0) || !(cl.c > 0.0) || !cl.mu.is_finite() || !cl.c.is_finite() {
+                return Err(NumError::InvalidInput {
+                    what: "MultiClassFluid::new",
+                    detail: format!("class {i}: bandwidths must be finite and > 0"),
+                });
+            }
+            if !(cl.lambda >= 0.0) || !cl.lambda.is_finite() {
+                return Err(NumError::InvalidInput {
+                    what: "MultiClassFluid::new",
+                    detail: format!("class {i}: λ = {} invalid", cl.lambda),
+                });
+            }
+            total += cl.lambda;
+        }
+        if total <= 0.0 {
+            return Err(NumError::InvalidInput {
+                what: "MultiClassFluid::new",
+                detail: "all arrival rates are zero".into(),
+            });
+        }
+        Ok(Self {
+            classes,
+            eta,
+            gamma,
+        })
+    }
+
+    /// Builds a homogeneous single-class model from [`FluidParams`]
+    /// (download capacity taken as `10·μ`, irrelevant in the
+    /// upload-constrained regime).
+    ///
+    /// # Errors
+    /// Propagates validation failures.
+    pub fn homogeneous(params: FluidParams, lambda: f64) -> Result<Self, NumError> {
+        Self::new(
+            vec![BandwidthClass {
+                mu: params.mu(),
+                c: 10.0 * params.mu(),
+                lambda,
+            }],
+            params.eta(),
+            params.gamma(),
+        )
+    }
+
+    /// The classes.
+    pub fn classes(&self) -> &[BandwidthClass] {
+        &self.classes
+    }
+
+    /// Number of classes `S`.
+    pub fn s_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Seed-service pool at equilibrium, `Q = Σ μₗλₗ/γ`.
+    pub fn seed_service_pool(&self) -> f64 {
+        self.classes.iter().map(|c| c.mu * c.lambda).sum::<f64>() / self.gamma
+    }
+
+    fn residual(&self, s: f64) -> f64 {
+        let served: f64 = self
+            .classes
+            .iter()
+            .filter(|c| c.lambda > 0.0)
+            .map(|c| c.c * c.lambda / (self.eta * c.mu + c.c * s))
+            .sum();
+        s * served - self.seed_service_pool()
+    }
+
+    /// Solves the steady state via the 1-D fixed point.
+    ///
+    /// # Errors
+    /// [`NumError::InvalidInput`] when no positive equilibrium exists
+    /// (`Σλₗ ≤ Q`: seeds outpace the arrival flow) and root-finder failures.
+    pub fn steady_state(&self) -> Result<MultiClassSteady, NumError> {
+        // s·Σ cₗxₗ(s) → Σ λₗ as s → ∞; a root needs that to exceed Q.
+        let asymptote: f64 = self.classes.iter().map(|c| c.lambda).sum();
+        if asymptote <= self.seed_service_pool() {
+            return Err(NumError::InvalidInput {
+                what: "MultiClassFluid::steady_state",
+                detail: format!(
+                    "no positive equilibrium: Σλ = {asymptote} ≤ Q = {} — the \
+                     seeds alone can serve the flow (γ too small)",
+                    self.seed_service_pool()
+                ),
+            });
+        }
+        let mut hi = 1.0;
+        let mut tries = 0;
+        while self.residual(hi) <= 0.0 {
+            hi *= 4.0;
+            tries += 1;
+            if tries > 200 {
+                return Err(NumError::NoConvergence {
+                    what: "MultiClassFluid::steady_state (bracketing)",
+                    iterations: tries,
+                    residual: self.residual(hi),
+                });
+            }
+        }
+        let root = brent(
+            |s| self.residual(s),
+            1e-15,
+            hi,
+            RootOptions {
+                x_tol: 1e-14,
+                f_tol: 1e-12,
+                max_iter: 300,
+            },
+        )?;
+        let s = root.x;
+        let download_times: Vec<f64> = self
+            .classes
+            .iter()
+            .map(|c| 1.0 / (self.eta * c.mu + c.c * s))
+            .collect();
+        let downloaders = self
+            .classes
+            .iter()
+            .zip(&download_times)
+            .map(|(c, &t)| c.lambda * t)
+            .collect();
+        let seeds = self.classes.iter().map(|c| c.lambda / self.gamma).collect();
+        Ok(MultiClassSteady {
+            s,
+            downloaders,
+            seeds,
+            download_times,
+        })
+    }
+}
+
+impl OdeSystem for MultiClassFluid {
+    fn dim(&self) -> usize {
+        2 * self.s_classes()
+    }
+
+    /// State layout: `[x₁..x_S, y₁..y_S]`.
+    fn rhs(&self, _t: f64, state: &[f64], d: &mut [f64]) {
+        let n = self.s_classes();
+        let (xs, ys) = state.split_at(n);
+        let seed_pool: f64 = self
+            .classes
+            .iter()
+            .zip(ys)
+            .map(|(c, &y)| c.mu * y.max(0.0))
+            .sum();
+        let capacity: f64 = self
+            .classes
+            .iter()
+            .zip(xs)
+            .map(|(c, &x)| c.c * x.max(0.0))
+            .sum();
+        for i in 0..n {
+            let cl = &self.classes[i];
+            let x = xs[i].max(0.0);
+            let tft = self.eta * cl.mu * x;
+            let from_seeds = if capacity > 0.0 {
+                (x * cl.c) / capacity * seed_pool
+            } else {
+                0.0
+            };
+            let served = tft + from_seeds;
+            d[i] = cl.lambda - served;
+            d[n + i] = served - self.gamma * ys[i].max(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base::SingleTorrent;
+    use btfluid_numkit::ode::{steady_state, SteadyOptions};
+
+    fn class(mu: f64, c: f64, lambda: f64) -> BandwidthClass {
+        BandwidthClass { mu, c, lambda }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(MultiClassFluid::new(vec![], 0.5, 0.05).is_err());
+        assert!(MultiClassFluid::new(vec![class(0.0, 1.0, 1.0)], 0.5, 0.05).is_err());
+        assert!(MultiClassFluid::new(vec![class(1.0, 0.0, 1.0)], 0.5, 0.05).is_err());
+        assert!(MultiClassFluid::new(vec![class(1.0, 1.0, -1.0)], 0.5, 0.05).is_err());
+        assert!(MultiClassFluid::new(vec![class(1.0, 1.0, 0.0)], 0.5, 0.05).is_err());
+        assert!(MultiClassFluid::new(vec![class(1.0, 1.0, 1.0)], 0.0, 0.05).is_err());
+        assert!(MultiClassFluid::new(vec![class(1.0, 1.0, 1.0)], 0.5, 0.0).is_err());
+        assert!(MultiClassFluid::new(vec![class(1.0, 1.0, 1.0)], 0.5, 0.05).is_ok());
+    }
+
+    #[test]
+    fn homogeneous_matches_single_torrent() {
+        // One class = the Qiu–Srikant model: T = (γ−μ)/(γμη) = 60.
+        let params = FluidParams::paper();
+        let m = MultiClassFluid::homogeneous(params, 1.0).unwrap();
+        let ss = m.steady_state().unwrap();
+        let reference = SingleTorrent::new(params, 1.0)
+            .unwrap()
+            .steady_state()
+            .unwrap();
+        assert!(
+            (ss.download_times[0] - reference.download_time).abs() < 1e-9,
+            "multiclass {} vs single {}",
+            ss.download_times[0],
+            reference.download_time
+        );
+        assert!((ss.downloaders[0] - reference.downloaders).abs() < 1e-6);
+        assert!((ss.seeds[0] - reference.seeds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faster_uploaders_download_faster() {
+        // TFT: the class that uploads more gets more.
+        let m = MultiClassFluid::new(
+            vec![class(0.02, 0.2, 1.0), class(0.08, 0.2, 1.0)],
+            0.5,
+            0.2, // γ large enough that seeds alone cannot serve the flow
+        )
+        .unwrap();
+        let ss = m.steady_state().unwrap();
+        assert!(
+            ss.download_times[1] < ss.download_times[0],
+            "fast uploader should finish first: {:?}",
+            ss.download_times
+        );
+    }
+
+    #[test]
+    fn larger_download_capacity_attracts_more_seed_service() {
+        let m = MultiClassFluid::new(
+            vec![class(0.02, 0.1, 1.0), class(0.02, 0.4, 1.0)],
+            0.5,
+            0.05,
+        )
+        .unwrap();
+        let ss = m.steady_state().unwrap();
+        assert!(ss.download_times[1] < ss.download_times[0]);
+    }
+
+    #[test]
+    fn fixed_point_matches_ode() {
+        let m = MultiClassFluid::new(
+            vec![
+                class(0.02, 0.2, 1.0),
+                class(0.05, 0.3, 0.5),
+                class(0.01, 0.1, 2.0),
+            ],
+            0.5,
+            0.08,
+        )
+        .unwrap();
+        let fp = m.steady_state().unwrap();
+        let ode = steady_state(&m, &vec![0.0; m.dim()], SteadyOptions::default()).unwrap();
+        for i in 0..3 {
+            assert!(
+                (fp.downloaders[i] - ode.x[i]).abs() < 1e-3 * fp.downloaders[i].max(1.0),
+                "class {i}: fp {} vs ode {}",
+                fp.downloaders[i],
+                ode.x[i]
+            );
+        }
+    }
+
+    #[test]
+    fn no_equilibrium_when_seeds_dominate() {
+        // γ → 0: seeds linger forever, Q explodes.
+        let m = MultiClassFluid::new(vec![class(0.02, 0.2, 1.0)], 0.5, 1e-5).unwrap();
+        assert!(m.steady_state().is_err());
+    }
+
+    #[test]
+    fn little_law_consistency() {
+        let m = MultiClassFluid::new(
+            vec![class(0.02, 0.2, 2.0), class(0.03, 0.3, 1.0)],
+            0.5,
+            0.06,
+        )
+        .unwrap();
+        let ss = m.steady_state().unwrap();
+        for (i, cl) in m.classes().iter().enumerate() {
+            assert!(
+                (ss.downloaders[i] - cl.lambda * ss.download_times[i]).abs() < 1e-9,
+                "Little's law broken for class {i}"
+            );
+        }
+    }
+}

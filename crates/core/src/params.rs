@@ -1,0 +1,148 @@
+//! The fluid-model parameters of Table 1.
+
+use btfluid_numkit::NumError;
+
+/// The per-peer parameters of the fluid model (Table 1 of the paper):
+/// upload bandwidth `μ`, downloader sharing efficiency `η` and seed
+/// departure rate `γ`.
+///
+/// The peer arrival rate `λ` is *not* part of this struct — it comes from
+/// the workload (correlation model) and differs per scheme and per class.
+///
+/// The paper fixes `η = 0.5` (from the Izal et al. measurement: seeds
+/// contribute about twice the downloader bytes) and evaluates with
+/// `μ = 0.02`, `γ = 0.05`; [`FluidParams::paper`] returns those values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FluidParams {
+    mu: f64,
+    eta: f64,
+    gamma: f64,
+}
+
+impl FluidParams {
+    /// Creates validated parameters.
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] unless `μ > 0`, `γ > 0` (both
+    /// finite) and `η ∈ (0, 1]`.
+    pub fn new(mu: f64, eta: f64, gamma: f64) -> Result<Self, NumError> {
+        if !(mu > 0.0) || !mu.is_finite() {
+            return Err(NumError::InvalidInput {
+                what: "FluidParams::new",
+                detail: format!("upload bandwidth μ must be finite and > 0, got {mu}"),
+            });
+        }
+        if !(eta > 0.0 && eta <= 1.0) {
+            return Err(NumError::InvalidInput {
+                what: "FluidParams::new",
+                detail: format!("sharing efficiency η must lie in (0, 1], got {eta}"),
+            });
+        }
+        if !(gamma > 0.0) || !gamma.is_finite() {
+            return Err(NumError::InvalidInput {
+                what: "FluidParams::new",
+                detail: format!("seed departure rate γ must be finite and > 0, got {gamma}"),
+            });
+        }
+        Ok(Self { mu, eta, gamma })
+    }
+
+    /// The evaluation parameters used throughout the paper's Section 4:
+    /// `μ = 0.02, η = 0.5, γ = 0.05`.
+    pub fn paper() -> Self {
+        Self {
+            mu: 0.02,
+            eta: 0.5,
+            gamma: 0.05,
+        }
+    }
+
+    /// Upload bandwidth `μ` (files per time unit).
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Downloader sharing efficiency `η`.
+    pub fn eta(&self) -> f64 {
+        self.eta
+    }
+
+    /// Seed departure rate `γ`.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Mean seed residence time `1/γ`.
+    pub fn seed_residence(&self) -> f64 {
+        1.0 / self.gamma
+    }
+
+    /// Whether the single-torrent steady state is *upload-constrained with
+    /// a positive downloader population*, i.e. `γ > μ`.
+    ///
+    /// When `γ ≤ μ` the seeds alone can serve the arrival flow and the
+    /// Qiu–Srikant downloader population collapses to the boundary; the
+    /// closed forms of Eqs. (2) and (4) are then not valid.
+    pub fn upload_constrained(&self) -> bool {
+        self.gamma > self.mu
+    }
+
+    /// Requires `γ > μ`, returning a descriptive error otherwise. Called by
+    /// every closed-form steady state.
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] when `γ ≤ μ`.
+    pub fn require_upload_constrained(&self) -> Result<(), NumError> {
+        if self.upload_constrained() {
+            Ok(())
+        } else {
+            Err(NumError::InvalidInput {
+                what: "FluidParams",
+                detail: format!(
+                    "steady-state closed forms require γ > μ (seeds depart faster than \
+                     one peer can serve the flow); got γ = {}, μ = {}",
+                    self.gamma, self.mu
+                ),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values() {
+        let p = FluidParams::paper();
+        assert_eq!(p.mu(), 0.02);
+        assert_eq!(p.eta(), 0.5);
+        assert_eq!(p.gamma(), 0.05);
+        assert_eq!(p.seed_residence(), 20.0);
+        assert!(p.upload_constrained());
+        assert!(p.require_upload_constrained().is_ok());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(FluidParams::new(0.0, 0.5, 0.05).is_err());
+        assert!(FluidParams::new(-0.02, 0.5, 0.05).is_err());
+        assert!(FluidParams::new(0.02, 0.0, 0.05).is_err());
+        assert!(FluidParams::new(0.02, 1.5, 0.05).is_err());
+        assert!(FluidParams::new(0.02, 0.5, 0.0).is_err());
+        assert!(FluidParams::new(f64::NAN, 0.5, 0.05).is_err());
+        assert!(FluidParams::new(0.02, 0.5, f64::INFINITY).is_err());
+        assert!(FluidParams::new(0.02, 1.0, 0.05).is_ok());
+    }
+
+    #[test]
+    fn upload_constraint_boundary() {
+        // γ = μ is NOT upload-constrained (closed form degenerates to 0
+        // download time, which only holds in the limit).
+        let p = FluidParams::new(0.05, 0.5, 0.05).unwrap();
+        assert!(!p.upload_constrained());
+        assert!(p.require_upload_constrained().is_err());
+        let p = FluidParams::new(0.06, 0.5, 0.05).unwrap();
+        assert!(!p.upload_constrained());
+    }
+}

@@ -1,0 +1,167 @@
+//! Unified scheme evaluation: one entry point the figure harness calls for
+//! every curve.
+//!
+//! Population averages always weight classes by the *system-wide* entry
+//! rates `λᵢ = λ₀·C(K,i)pⁱ(1−p)^{K−i}` (a class-`i` user counts once, with
+//! `i` files), regardless of which rate family parameterizes the underlying
+//! model — MTCD/MFCD are driven by per-torrent rates internally, but the
+//! per-file metric of Figures 2 and 4 is a statement about users.
+
+use crate::cmfsd::Cmfsd;
+use crate::metrics::ClassTimes;
+use crate::mfcd::Mfcd;
+use crate::mtcd::Mtcd;
+use crate::mtsd::Mtsd;
+use crate::params::FluidParams;
+use btfluid_numkit::NumError;
+use btfluid_workload::{ClassMix, CorrelationModel};
+
+/// The four downloading schemes analyzed in the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scheme {
+    /// Multi-torrent concurrent downloading (Section 3.2).
+    Mtcd,
+    /// Multi-torrent sequential downloading (Section 3.3).
+    Mtsd,
+    /// Multi-file-torrent concurrent downloading (Section 3.4).
+    Mfcd,
+    /// Collaborative multi-file-torrent sequential downloading with
+    /// bandwidth allocation ratio ρ (Section 3.5).
+    Cmfsd {
+        /// Fraction of upload kept for TFT; `1 − ρ` feeds the virtual seed.
+        rho: f64,
+    },
+}
+
+impl Scheme {
+    /// Short name used in tables and CSV headers.
+    pub fn name(&self) -> String {
+        match self {
+            Scheme::Mtcd => "MTCD".into(),
+            Scheme::Mtsd => "MTSD".into(),
+            Scheme::Mfcd => "MFCD".into(),
+            Scheme::Cmfsd { rho } => format!("CMFSD(ρ={rho})"),
+        }
+    }
+}
+
+/// Everything the harness needs about one scheme at one parameter point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeReport {
+    /// Which scheme (and ρ, if CMFSD).
+    pub scheme: Scheme,
+    /// Per-class user-total times.
+    pub times: ClassTimes,
+    /// Population average online time per file (Figures 2 / 4a).
+    pub avg_online_per_file: f64,
+    /// Population average download time per file.
+    pub avg_download_per_file: f64,
+    /// Jain fairness of per-file download times across classes.
+    pub download_fairness: f64,
+}
+
+/// Evaluates a scheme under the given parameters and correlation model.
+///
+/// # Errors
+/// Propagates model-construction and closed-form validity errors (e.g.
+/// `p = 0`, `γ ≤ μ`, seed-capacity-constrained regimes).
+pub fn evaluate_scheme(
+    params: FluidParams,
+    model: &CorrelationModel,
+    scheme: Scheme,
+) -> Result<SchemeReport, NumError> {
+    let times = match scheme {
+        Scheme::Mtcd => Mtcd::new(params, model.per_torrent_rates())?.class_times()?,
+        Scheme::Mtsd => Mtsd::new(params).class_times(model.k() as usize)?,
+        Scheme::Mfcd => Mfcd::from_correlation(params, model)?.class_times()?,
+        Scheme::Cmfsd { rho } => Cmfsd::new(params, model.class_rates(), rho)?.class_times()?,
+    };
+    let mix = ClassMix::system_wide(model)?;
+    Ok(SchemeReport {
+        scheme,
+        avg_online_per_file: times.avg_online_per_file(&mix)?,
+        avg_download_per_file: times.avg_download_per_file(&mix)?,
+        download_fairness: times.download_fairness()?,
+        times,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(p: f64) -> CorrelationModel {
+        CorrelationModel::new(10, p, 1.0).unwrap()
+    }
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(Scheme::Mtcd.name(), "MTCD");
+        assert_eq!(Scheme::Mtsd.name(), "MTSD");
+        assert_eq!(Scheme::Mfcd.name(), "MFCD");
+        assert_eq!(Scheme::Cmfsd { rho: 0.5 }.name(), "CMFSD(ρ=0.5)");
+    }
+
+    #[test]
+    fn mtsd_average_is_flat_eighty() {
+        for &p in &[0.1, 0.5, 0.9] {
+            let r = evaluate_scheme(FluidParams::paper(), &model(p), Scheme::Mtsd).unwrap();
+            assert!((r.avg_online_per_file - 80.0).abs() < 1e-9, "p = {p}");
+            assert!((r.avg_download_per_file - 60.0).abs() < 1e-9);
+            assert!((r.download_fairness - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mtcd_worsens_with_correlation_mtsd_does_not() {
+        // The Figure 2 crossing story.
+        let low = evaluate_scheme(FluidParams::paper(), &model(0.01), Scheme::Mtcd).unwrap();
+        let high = evaluate_scheme(FluidParams::paper(), &model(0.95), Scheme::Mtcd).unwrap();
+        assert!(high.avg_online_per_file > low.avg_online_per_file);
+        assert!(high.avg_online_per_file > 90.0);
+        // Near p = 0, MTCD ≈ MTSD (converges to 80 from above).
+        assert!(low.avg_online_per_file >= 80.0);
+        assert!((low.avg_online_per_file - 80.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn mfcd_equals_mtcd() {
+        let m = model(0.7);
+        let a = evaluate_scheme(FluidParams::paper(), &m, Scheme::Mtcd).unwrap();
+        let b = evaluate_scheme(FluidParams::paper(), &m, Scheme::Mfcd).unwrap();
+        assert!((a.avg_online_per_file - b.avg_online_per_file).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cmfsd_rho_zero_beats_mfcd_at_high_p() {
+        let m = model(0.9);
+        let mfcd = evaluate_scheme(FluidParams::paper(), &m, Scheme::Mfcd).unwrap();
+        let cm = evaluate_scheme(FluidParams::paper(), &m, Scheme::Cmfsd { rho: 0.0 }).unwrap();
+        assert!(
+            cm.avg_online_per_file < mfcd.avg_online_per_file,
+            "CMFSD(0) {} should beat MFCD {}",
+            cm.avg_online_per_file,
+            mfcd.avg_online_per_file
+        );
+    }
+
+    #[test]
+    fn cmfsd_rho_one_equals_mfcd_average() {
+        let m = model(0.4);
+        let mfcd = evaluate_scheme(FluidParams::paper(), &m, Scheme::Mfcd).unwrap();
+        let cm = evaluate_scheme(FluidParams::paper(), &m, Scheme::Cmfsd { rho: 1.0 }).unwrap();
+        assert!((cm.avg_online_per_file - mfcd.avg_online_per_file).abs() < 1e-6);
+    }
+
+    #[test]
+    fn p_zero_fails_cleanly_for_all_schemes() {
+        let m = model(0.0);
+        for scheme in [Scheme::Mtcd, Scheme::Mfcd, Scheme::Cmfsd { rho: 0.5 }] {
+            assert!(
+                evaluate_scheme(FluidParams::paper(), &m, scheme).is_err(),
+                "{:?}",
+                scheme
+            );
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Arrival-time policy assignment: ρ, cheater status and the per-peer
+//! Adapt controller.
+
+use crate::config::{AdaptSetup, SchemeKind};
+use crate::peer::Peer;
+use btfluid_core::adapt::AdaptController;
+use btfluid_numkit::rng::RngCore;
+
+/// Configures a freshly arrived peer's ρ/cheating/Adapt state according to
+/// the scheme and (optional) Adapt setup.
+///
+/// * Non-CMFSD schemes: ρ is irrelevant, left at 1.
+/// * CMFSD without Adapt: every peer obeys the configured default ρ.
+/// * CMFSD with Adapt: a coin with the configured cheater fraction decides;
+///   cheaters pin ρ = 1 (they never donate), obedient peers start at the
+///   paper's recommended ρ = 0 and adapt from there.
+pub fn assign_arrival_policy<R: RngCore + ?Sized>(
+    peer: &mut Peer,
+    scheme: SchemeKind,
+    adapt: Option<&AdaptSetup>,
+    rng: &mut R,
+) {
+    let SchemeKind::Cmfsd { rho } = scheme else {
+        peer.rho = 1.0;
+        return;
+    };
+    match adapt {
+        None => {
+            peer.rho = rho;
+        }
+        Some(setup) => {
+            if rng.next_f64() < setup.cheater_fraction {
+                peer.cheater = true;
+                peer.rho = 1.0;
+            } else {
+                let ctrl = AdaptController::new(setup.controller)
+                    .expect("setup validated by DesConfig::validate");
+                peer.rho = ctrl.rho();
+                peer.adapt = Some(ctrl);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btfluid_core::adapt::AdaptConfig;
+    use btfluid_numkit::rng::Xoshiro256StarStar;
+
+    fn peer() -> Peer {
+        Peer::new(0, 0.0, vec![1, 2], vec![0, 1], 0.42)
+    }
+
+    fn setup(cheater_fraction: f64) -> AdaptSetup {
+        AdaptSetup {
+            controller: AdaptConfig::default_for_mu(0.02),
+            epoch: 10.0,
+            cheater_fraction,
+        }
+    }
+
+    #[test]
+    fn non_cmfsd_pins_rho_one() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        for scheme in [SchemeKind::Mtsd, SchemeKind::Mtcd, SchemeKind::Mfcd] {
+            let mut p = peer();
+            assign_arrival_policy(&mut p, scheme, None, &mut rng);
+            assert_eq!(p.rho, 1.0);
+            assert!(!p.cheater);
+            assert!(p.adapt.is_none());
+        }
+    }
+
+    #[test]
+    fn cmfsd_without_adapt_uses_default_rho() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        let mut p = peer();
+        assign_arrival_policy(&mut p, SchemeKind::Cmfsd { rho: 0.3 }, None, &mut rng);
+        assert_eq!(p.rho, 0.3);
+        assert!(p.adapt.is_none());
+    }
+
+    #[test]
+    fn adapt_obedient_starts_at_zero() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let mut p = peer();
+        assign_arrival_policy(
+            &mut p,
+            SchemeKind::Cmfsd { rho: 0.5 },
+            Some(&setup(0.0)),
+            &mut rng,
+        );
+        assert!(!p.cheater);
+        assert_eq!(p.rho, 0.0);
+        assert!(p.adapt.is_some());
+    }
+
+    #[test]
+    fn all_cheaters_when_fraction_is_one() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+        let mut p = peer();
+        assign_arrival_policy(
+            &mut p,
+            SchemeKind::Cmfsd { rho: 0.0 },
+            Some(&setup(1.0)),
+            &mut rng,
+        );
+        assert!(p.cheater);
+        assert_eq!(p.rho, 1.0);
+        assert!(p.adapt.is_none());
+    }
+
+    #[test]
+    fn cheater_fraction_is_respected_statistically() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        let s = setup(0.3);
+        let n = 10_000;
+        let cheaters = (0..n)
+            .filter(|_| {
+                let mut p = peer();
+                assign_arrival_policy(&mut p, SchemeKind::Cmfsd { rho: 0.0 }, Some(&s), &mut rng);
+                p.cheater
+            })
+            .count();
+        let frac = cheaters as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.02, "fraction = {frac}");
+    }
+}

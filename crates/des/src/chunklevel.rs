@@ -1,0 +1,459 @@
+//! A chunk-level single-torrent simulator for measuring the sharing
+//! efficiency η.
+//!
+//! The fluid models treat η — the usefulness of a downloader's upload
+//! relative to a seed's — as a constant. Qiu–Srikant prove it approaches 1
+//! when files have many chunks; the paper argues from the Izal et al.
+//! measurement (seeds serve ~2× the downloader bytes despite being fewer)
+//! that 0.5 is more realistic, and adopts `η = 0.5`. This module settles
+//! the question *within the model's own assumptions* by simulating actual
+//! chunk exchange:
+//!
+//! * one file of `C` chunks; peers arrive Poisson(λ), leave `Exp(γ)` after
+//!   completing;
+//! * every uploader (downloader or seed) serves one connection at a time at
+//!   rate μ (one chunk takes `1/(Cμ)` time units);
+//! * matching: a free uploader picks a random peer that *needs* at least
+//!   one of its chunks not already in flight to it (receivers accept any
+//!   number of parallel inbound transfers — download capacity is not the
+//!   constraint, matching the fluid model's regime); the chunk transferred
+//!   is rarest-first among the candidates;
+//! * a downloader whose chunks are useful to nobody idles — that idleness
+//!   is exactly the `1 − η` the fluid model prices in.
+//!
+//! The estimator reports downloader upload **utilization** (busy time over
+//! downloading time) and the seed/downloader byte split, so both the
+//! theoretical (`P[useful]`) and the measurement-based (byte-ratio) notions
+//! of η can be read off. See `EXPERIMENTS.md` X9 for results: utilization
+//! is near 1 with many chunks (vindicating Qiu–Srikant *given* the
+//! protocol assumptions), while the byte split reproduces Izal-style
+//! seed-heavy ratios whenever seeds linger long — supporting the paper's
+//! point that *effective* η in the wild is lower.
+
+use btfluid_numkit::dist::Exponential;
+use btfluid_numkit::rng::{RngCore, Xoshiro256StarStar};
+use btfluid_numkit::NumError;
+
+/// Configuration of the chunk-level run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkLevelConfig {
+    /// Number of chunks `C` in the file.
+    pub chunks: usize,
+    /// Upload bandwidth μ (files per time unit; a chunk takes `1/(Cμ)`).
+    pub mu: f64,
+    /// Peer arrival rate λ.
+    pub lambda: f64,
+    /// Seed departure rate γ.
+    pub gamma: f64,
+    /// Arrivals stop here.
+    pub horizon: f64,
+    /// Measurements start here.
+    pub warmup: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Permanent origin seeds.
+    pub origin_seeds: usize,
+}
+
+impl Default for ChunkLevelConfig {
+    fn default() -> Self {
+        Self {
+            chunks: 100,
+            mu: 0.02,
+            lambda: 0.5,
+            gamma: 0.05,
+            horizon: 3000.0,
+            warmup: 800.0,
+            seed: 1,
+            origin_seeds: 1,
+        }
+    }
+}
+
+/// What the run measures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EtaEstimate {
+    /// Downloader upload utilization: busy time / downloading time — the
+    /// theoretical η (probability a downloader's upload is useful).
+    pub utilization: f64,
+    /// Chunks served by downloaders in the measurement window.
+    pub downloader_chunks: u64,
+    /// Chunks served by seeds (incl. origin) in the window.
+    pub seed_chunks: u64,
+    /// Mean download time of counted users.
+    pub mean_download_time: f64,
+    /// Counted (completed, post-warm-up) users.
+    pub completed: usize,
+}
+
+impl EtaEstimate {
+    /// Seed-to-downloader byte ratio (the Izal et al. metric; ∞ when
+    /// downloaders served nothing).
+    pub fn seed_byte_ratio(&self) -> f64 {
+        self.seed_chunks as f64 / self.downloader_chunks.max(1) as f64
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ChunkPeer {
+    have: Vec<u64>,
+    have_count: usize,
+    arrival: f64,
+    /// Busy transfer: (receiver index, chunk, completion time).
+    transfer: Option<(usize, usize, f64)>,
+    /// Seed departure deadline once complete.
+    depart_at: f64,
+    /// Set for permanent origin seeds.
+    origin: bool,
+    /// Accumulated busy upload time while downloading.
+    busy_while_downloading: f64,
+    /// Time spent in the downloading phase.
+    downloading_time: f64,
+    /// Time the current phase segment started.
+    completed_at: f64,
+}
+
+impl ChunkPeer {
+    fn new(chunks: usize, arrival: f64, full: bool, origin: bool) -> Self {
+        let words = chunks.div_ceil(64);
+        let mut have = vec![0u64; words];
+        if full {
+            for (w, slot) in have.iter_mut().enumerate() {
+                let bits = (chunks - w * 64).min(64);
+                *slot = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            }
+        }
+        Self {
+            have,
+            have_count: if full { chunks } else { 0 },
+            arrival,
+            transfer: None,
+            depart_at: f64::INFINITY,
+            origin,
+            busy_while_downloading: 0.0,
+            downloading_time: 0.0,
+            completed_at: f64::NAN,
+        }
+    }
+
+    fn has(&self, c: usize) -> bool {
+        self.have[c / 64] >> (c % 64) & 1 == 1
+    }
+
+    fn set(&mut self, c: usize) {
+        if !self.has(c) {
+            self.have[c / 64] |= 1 << (c % 64);
+            self.have_count += 1;
+        }
+    }
+
+    fn complete(&self, chunks: usize) -> bool {
+        self.have_count >= chunks
+    }
+}
+
+/// Runs the chunk-level simulation and estimates η.
+///
+/// # Errors
+/// Returns [`NumError::InvalidInput`] for nonsensical parameters.
+pub fn estimate_eta(cfg: &ChunkLevelConfig) -> Result<EtaEstimate, NumError> {
+    if cfg.chunks == 0 {
+        return Err(NumError::InvalidInput {
+            what: "estimate_eta",
+            detail: "need at least one chunk".into(),
+        });
+    }
+    if !(cfg.mu > 0.0) || !(cfg.lambda > 0.0) || !(cfg.gamma > 0.0) {
+        return Err(NumError::InvalidInput {
+            what: "estimate_eta",
+            detail: "μ, λ and γ must all be > 0".into(),
+        });
+    }
+    if !(cfg.horizon > 0.0) || !(cfg.warmup >= 0.0) || cfg.warmup >= cfg.horizon {
+        return Err(NumError::InvalidInput {
+            what: "estimate_eta",
+            detail: "need 0 <= warmup < horizon".into(),
+        });
+    }
+    let chunk_time = 1.0 / (cfg.chunks as f64 * cfg.mu);
+    let mut rng = Xoshiro256StarStar::stream(cfg.seed, 2);
+    let gap = Exponential::new(cfg.lambda)?;
+    let gamma = Exponential::new(cfg.gamma)?;
+
+    let mut peers: Vec<ChunkPeer> = (0..cfg.origin_seeds)
+        .map(|_| ChunkPeer::new(cfg.chunks, 0.0, true, true))
+        .collect();
+    let mut rarity = vec![cfg.origin_seeds as u32; cfg.chunks];
+    let mut t: f64 = 0.0;
+    let mut next_arrival = gap.sample(&mut rng);
+    let end = cfg.horizon * 2.0;
+
+    let mut downloader_chunks = 0u64;
+    let mut seed_chunks = 0u64;
+    let mut total_dl_time = 0.0;
+    let mut completed = 0usize;
+    let mut busy_total = 0.0;
+    let mut phase_total = 0.0;
+
+    // Matches a free uploader to a receiver; returns the transfer.
+    // Receivers take any number of parallel inbound transfers, but the same
+    // chunk is never sent to the same receiver twice concurrently.
+    let rematch = |peers: &[ChunkPeer],
+                   rarity: &[u32],
+                   up: usize,
+                   rng: &mut Xoshiro256StarStar,
+                   chunks: usize,
+                   t: f64|
+     -> Option<(usize, usize, f64)> {
+        // In-flight (receiver, chunk) pairs.
+        let inflight: Vec<(usize, usize)> = peers
+            .iter()
+            .filter_map(|p| p.transfer.map(|(rx, c, _)| (rx, c)))
+            .collect();
+        // Candidate receivers with at least one needed, not-in-flight chunk
+        // the uploader holds; remember the rarest such chunk per receiver.
+        let mut candidates: Vec<(usize, usize)> = Vec::new();
+        for (i, p) in peers.iter().enumerate() {
+            if i == up || p.complete(chunks) {
+                continue;
+            }
+            let mut best_chunk = None;
+            let mut best_rarity = u32::MAX;
+            for (c, &r) in rarity.iter().enumerate().take(chunks) {
+                if peers[up].has(c)
+                    && !p.has(c)
+                    && r < best_rarity
+                    && !inflight.contains(&(i, c))
+                {
+                    best_rarity = r;
+                    best_chunk = Some(c);
+                }
+            }
+            if let Some(c) = best_chunk {
+                candidates.push((i, c));
+            }
+        }
+        if candidates.is_empty() {
+            return None;
+        }
+        let (rx, c) = candidates[rng.next_below(candidates.len() as u64) as usize];
+        Some((rx, c, t))
+    };
+
+    loop {
+        // Next event: arrival, earliest transfer completion, seed departure.
+        let mut t_next = end;
+        enum Ev {
+            End,
+            Arrival,
+            Done(usize),
+            Depart(usize),
+        }
+        let mut ev = Ev::End;
+        if next_arrival < cfg.horizon && next_arrival < t_next {
+            t_next = next_arrival;
+            ev = Ev::Arrival;
+        }
+        for (i, p) in peers.iter().enumerate() {
+            if let Some((_, _, done_at)) = p.transfer {
+                if done_at < t_next {
+                    t_next = done_at;
+                    ev = Ev::Done(i);
+                }
+            }
+            if p.depart_at < t_next {
+                t_next = p.depart_at;
+                ev = Ev::Depart(i);
+            }
+        }
+
+        // Accumulate busy/downloading time inside the measurement window.
+        let dt = (t_next.min(end) - t.max(cfg.warmup)).max(0.0);
+        if dt > 0.0 {
+            for p in peers.iter_mut() {
+                if !p.complete(cfg.chunks) && !p.origin {
+                    p.downloading_time += dt;
+                    if p.transfer.is_some() {
+                        p.busy_while_downloading += dt;
+                    }
+                }
+            }
+        }
+        t = t_next;
+
+        match ev {
+            Ev::End => break,
+            Ev::Arrival => {
+                peers.push(ChunkPeer::new(cfg.chunks, t, false, false));
+                next_arrival = t + gap.sample(&mut rng);
+            }
+            Ev::Done(up) => {
+                let (rx, chunk, _) = peers[up].transfer.take().expect("transfer done");
+                let was_seed = peers[up].complete(cfg.chunks);
+                if t >= cfg.warmup {
+                    if was_seed {
+                        seed_chunks += 1;
+                    } else {
+                        downloader_chunks += 1;
+                    }
+                }
+                if !peers[rx].has(chunk) {
+                    peers[rx].set(chunk);
+                    rarity[chunk] += 1;
+                }
+                if peers[rx].complete(cfg.chunks) && peers[rx].depart_at.is_infinite() {
+                    peers[rx].completed_at = t;
+                    peers[rx].depart_at = t + gamma.sample(&mut rng);
+                    if peers[rx].arrival >= cfg.warmup {
+                        total_dl_time += t - peers[rx].arrival;
+                        completed += 1;
+                    }
+                }
+            }
+            Ev::Depart(i) => {
+                // Remove from rarity counts.
+                for (c, r) in rarity.iter_mut().enumerate().take(cfg.chunks) {
+                    if peers[i].has(c) {
+                        *r -= 1;
+                    }
+                }
+                busy_total += peers[i].busy_while_downloading;
+                phase_total += peers[i].downloading_time;
+                // Fix up transfer receiver indices: transfers *to* the
+                // departing peer abort, and transfers to the last peer
+                // (about to be swapped into slot i) are re-pointed.
+                let last = peers.len() - 1;
+                for p in peers.iter_mut() {
+                    if let Some((rx, ch, done)) = p.transfer {
+                        if rx == i {
+                            p.transfer = None;
+                        } else if rx == last {
+                            p.transfer = Some((i, ch, done));
+                        }
+                    }
+                }
+                peers.swap_remove(i);
+            }
+        }
+        // Re-match every free uploader (cheap: candidates only at events).
+        for up in 0..peers.len() {
+            if peers[up].transfer.is_none() && peers[up].have_count > 0 {
+                if let Some((rx, c, _)) = rematch(&peers, &rarity, up, &mut rng, cfg.chunks, t)
+                {
+                    peers[up].transfer = Some((rx, c, t + chunk_time));
+                }
+            }
+        }
+    }
+
+    // Utilization over departed peers plus whoever is still present.
+    let mut busy = busy_total;
+    let mut phase = phase_total;
+    for p in &peers {
+        busy += p.busy_while_downloading;
+        phase += p.downloading_time;
+    }
+    Ok(EtaEstimate {
+        utilization: if phase > 0.0 { busy / phase } else { 0.0 },
+        downloader_chunks,
+        seed_chunks,
+        mean_download_time: if completed > 0 {
+            total_dl_time / completed as f64
+        } else {
+            f64::NAN
+        },
+        completed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        let c = ChunkLevelConfig {
+            chunks: 0,
+            ..Default::default()
+        };
+        assert!(estimate_eta(&c).is_err());
+        let c = ChunkLevelConfig {
+            mu: 0.0,
+            ..Default::default()
+        };
+        assert!(estimate_eta(&c).is_err());
+        let base = ChunkLevelConfig::default();
+        let c = ChunkLevelConfig {
+            warmup: base.horizon,
+            ..base
+        };
+        assert!(estimate_eta(&c).is_err());
+    }
+
+    #[test]
+    fn downloads_complete_and_eta_in_range() {
+        let cfg = ChunkLevelConfig {
+            horizon: 1500.0,
+            warmup: 400.0,
+            ..Default::default()
+        };
+        let e = estimate_eta(&cfg).unwrap();
+        assert!(e.completed > 100, "completed = {}", e.completed);
+        assert!(
+            e.utilization > 0.3 && e.utilization <= 1.0,
+            "utilization = {}",
+            e.utilization
+        );
+        assert!(e.downloader_chunks + e.seed_chunks > 0);
+        assert!(e.mean_download_time.is_finite());
+    }
+
+    #[test]
+    fn more_chunks_raise_utilization() {
+        // The Qiu–Srikant argument: with many chunks a downloader almost
+        // always holds something useful.
+        let run = |chunks: usize| {
+            estimate_eta(&ChunkLevelConfig {
+                chunks,
+                horizon: 1200.0,
+                warmup: 300.0,
+                seed: 3,
+                ..Default::default()
+            })
+            .unwrap()
+            .utilization
+        };
+        let coarse = run(4);
+        let fine = run(128);
+        assert!(
+            fine > coarse,
+            "η should grow with chunk count: {coarse} vs {fine}"
+        );
+        assert!(fine > 0.8, "many-chunk η should be high, got {fine}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = ChunkLevelConfig {
+            horizon: 600.0,
+            warmup: 150.0,
+            ..Default::default()
+        };
+        let a = estimate_eta(&cfg).unwrap();
+        let b = estimate_eta(&cfg).unwrap();
+        assert_eq!(a.utilization, b.utilization);
+        assert_eq!(a.completed, b.completed);
+    }
+
+    #[test]
+    fn seed_ratio_reported() {
+        let cfg = ChunkLevelConfig {
+            horizon: 1000.0,
+            warmup: 250.0,
+            seed: 9,
+            ..Default::default()
+        };
+        let e = estimate_eta(&cfg).unwrap();
+        assert!(e.seed_byte_ratio() > 0.0);
+    }
+}

@@ -1,0 +1,760 @@
+//! The event loop: exact flow-level simulation with analytic advancement
+//! between events.
+
+use crate::adapt::assign_arrival_policy;
+use crate::config::{DesConfig, OrderPolicy, SchemeKind};
+use crate::observer::{SimOutcome, UserRecord};
+use crate::peer::{Peer, Phase};
+use crate::rate::{compute_rates, RateSnapshot};
+use btfluid_numkit::dist::Exponential;
+use btfluid_numkit::rng::{RngCore, Xoshiro256StarStar};
+use btfluid_numkit::NumError;
+use btfluid_workload::requests::{FileId, RequestSampler};
+
+/// What happens next.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Event {
+    /// Hard stop at `horizon + drain`.
+    End,
+    /// A new user enters.
+    Arrival,
+    /// Download (peer index, slot) completes.
+    Completion(usize, usize),
+    /// A seed deadline (per-file seed, virtual-seed linger, or whole-user
+    /// departure) expires for the peer index.
+    SeedExpiry(usize),
+    /// Periodic Adapt observation.
+    Epoch,
+}
+
+/// A configured, runnable simulation.
+pub struct Simulation {
+    cfg: DesConfig,
+    rng_arrivals: Xoshiro256StarStar,
+    rng_service: Xoshiro256StarStar,
+    sampler: RequestSampler,
+    gap: Exponential,
+    gamma: Exponential,
+    t: f64,
+    peers: Vec<Peer>,
+    next_arrival: Option<(f64, Vec<FileId>)>,
+    next_epoch: Option<f64>,
+    user_counter: u64,
+    outcome: SimOutcome,
+}
+
+impl Simulation {
+    /// Builds a simulation from a validated configuration.
+    ///
+    /// # Errors
+    /// Propagates [`DesConfig::validate`] failures.
+    pub fn new(cfg: DesConfig) -> Result<Self, NumError> {
+        cfg.validate()?;
+        let rng_arrivals = Xoshiro256StarStar::stream(cfg.seed, 0);
+        let rng_service = Xoshiro256StarStar::stream(cfg.seed, 1);
+        let sampler = RequestSampler::new(cfg.model);
+        let gap = Exponential::new(cfg.model.lambda0())?;
+        let gamma = Exponential::new(cfg.params.gamma())?;
+        let k = cfg.model.k() as usize;
+        let next_epoch = cfg.adapt.as_ref().map(|a| a.epoch);
+        let mut sim = Self {
+            cfg,
+            rng_arrivals,
+            rng_service,
+            sampler,
+            gap,
+            gamma,
+            t: 0.0,
+            peers: Vec::new(),
+            next_arrival: None,
+            next_epoch,
+            user_counter: 0,
+            outcome: SimOutcome::new(k),
+        };
+        if sim.cfg.warm_start {
+            sim.populate_from_fluid()?;
+        }
+        Ok(sim)
+    }
+
+    /// Seeds the initial population from the CMFSD fluid fixed point.
+    ///
+    /// Warm-start peers carry arrival time −1 so the warm-up cut always
+    /// excludes them from the statistics.
+    fn populate_from_fluid(&mut self) -> Result<(), NumError> {
+        let SchemeKind::Cmfsd { rho } = self.cfg.scheme else {
+            unreachable!("validated by DesConfig::validate");
+        };
+        let fluid =
+            btfluid_core::cmfsd::Cmfsd::new(self.cfg.params, self.cfg.model.class_rates(), rho)?;
+        let ss = fluid.steady_state()?;
+        let k = self.cfg.model.k() as usize;
+        for i in 1..=k {
+            // Downloader stages.
+            for j in 1..=i {
+                let n = ss.stages[fluid.stage_index(i, j)].round() as usize;
+                for _ in 0..n {
+                    let mut peer = self.make_warm_peer(i, k);
+                    // Stages 1..j−1 finished; stage j has uniform residual.
+                    for pos in 0..j - 1 {
+                        let slot = peer.order[pos];
+                        peer.remaining[slot] = 0.0;
+                        peer.completed_at[slot] = Some(0.0);
+                    }
+                    peer.cursor = j - 1;
+                    let slot = peer.order[peer.cursor];
+                    peer.remaining[slot] = self.rng_service.next_f64_open();
+                    self.peers.push(peer);
+                }
+            }
+            // Real seeds: y^i = λᵢ/γ.
+            let n = ss.seeds[i - 1].round() as usize;
+            for _ in 0..n {
+                let mut peer = self.make_warm_peer(i, k);
+                for slot in 0..i {
+                    peer.remaining[slot] = 0.0;
+                    peer.completed_at[slot] = Some(0.0);
+                }
+                peer.cursor = i;
+                peer.phase = Phase::SeedingAll;
+                peer.depart_at = Some(self.gamma.sample(&mut self.rng_service));
+                self.peers.push(peer);
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds a warm-start peer of class `i` with a uniform random file set
+    /// and order.
+    fn make_warm_peer(&mut self, i: usize, k: usize) -> Peer {
+        // Partial Fisher–Yates: pick i distinct files uniformly.
+        let mut pool: Vec<FileId> = (0..k as FileId).collect();
+        for idx in 0..i {
+            let j = idx + self.rng_service.next_below((k - idx) as u64) as usize;
+            pool.swap(idx, j);
+        }
+        let mut files: Vec<FileId> = pool[..i].to_vec();
+        files.sort_unstable();
+        let mut order: Vec<usize> = (0..i).collect();
+        for idx in (1..i).rev() {
+            let j = self.rng_service.next_below(idx as u64 + 1) as usize;
+            order.swap(idx, j);
+        }
+        let mut peer = Peer::new(self.user_counter, -1.0, files, order, 1.0);
+        self.user_counter += 1;
+        assign_arrival_policy(
+            &mut peer,
+            self.cfg.scheme,
+            self.cfg.adapt.as_ref(),
+            &mut self.rng_service,
+        );
+        peer
+    }
+
+    /// Runs to completion and returns the outcome.
+    pub fn run(mut self) -> SimOutcome {
+        let end = self.cfg.horizon + self.cfg.drain;
+        let trace = std::env::var_os("BTFLUID_DES_TRACE").is_some();
+        let mut next_trace = 0.0;
+        let mut trajectory = self.cfg.record_every.map(|_| {
+            btfluid_numkit::series::TimeSeries::new(vec!["downloaders", "seeds"])
+                .expect("two channels")
+        });
+        let mut next_record = 0.0;
+        self.schedule_arrival();
+        loop {
+            if let (Some(series), Some(dt)) = (trajectory.as_mut(), self.cfg.record_every) {
+                if self.t >= next_record {
+                    let mut downloaders = 0usize;
+                    let mut seeds = 0usize;
+                    for p in &self.peers {
+                        match p.phase {
+                            Phase::Downloading => downloaders += 1,
+                            Phase::SeedingFile(_) | Phase::SeedingAll => seeds += 1,
+                            Phase::Departed => {}
+                        }
+                    }
+                    series
+                        .push(self.t, &[downloaders as f64, seeds as f64])
+                        .expect("time is monotone");
+                    while next_record <= self.t {
+                        next_record += dt;
+                    }
+                }
+            }
+            if trace && self.t >= next_trace {
+                let snapshot = compute_rates(
+                    &self.peers,
+                    self.cfg.scheme,
+                    &self.cfg.params,
+                    self.cfg.model.k() as usize,
+                    self.cfg.origin_seeds,
+                );
+                let total: f64 = snapshot.downloads.iter().map(|d| d.rate).sum();
+                let don: f64 = snapshot.donations.iter().sum();
+                let zero = snapshot.downloads.iter().filter(|d| d.rate <= 0.0).count();
+                let k = self.cfg.model.k() as usize;
+                let mut demand = vec![0usize; k];
+                for d in &snapshot.downloads {
+                    demand[self.peers[d.peer_idx].files[d.slot] as usize] += 1;
+                }
+                let mut holders = vec![0usize; k];
+                for p in &self.peers {
+                    for s in p.finished_slots() {
+                        holders[p.files[s] as usize] += 1;
+                    }
+                }
+                eprintln!(
+                    "[trace] t={:.0} peers={} downloads={} zero-rate={} total_rate={:.4} donations={:.4} demand={demand:?} holders={holders:?}",
+                    self.t,
+                    self.peers.len(),
+                    snapshot.downloads.len(),
+                    zero,
+                    total,
+                    don
+                );
+                next_trace = self.t + 500.0;
+            }
+            let snapshot = compute_rates(
+                &self.peers,
+                self.cfg.scheme,
+                &self.cfg.params,
+                self.cfg.model.k() as usize,
+                self.cfg.origin_seeds,
+            );
+            let (t_next, event) = self.next_event(&snapshot, end);
+            let dt = t_next - self.t;
+            debug_assert!(dt >= -1e-9, "time went backwards: dt = {dt}");
+            if dt > 0.0 {
+                self.advance(dt.max(0.0), &snapshot);
+            }
+            self.t = t_next;
+            match event {
+                Event::End => break,
+                Event::Arrival => self.handle_arrival(),
+                Event::Completion(p, slot) => self.handle_completion(p, slot),
+                Event::SeedExpiry(p) => self.handle_seed_expiry(p),
+                Event::Epoch => self.handle_epoch(),
+            }
+        }
+        // Whatever is still alive is censored (if it would have counted).
+        let warmup = self.cfg.warmup;
+        for p in &self.peers {
+            if p.phase != Phase::Departed && p.arrival >= warmup {
+                self.outcome.censored += 1;
+                let remaining = p
+                    .remaining
+                    .iter()
+                    .cloned()
+                    .filter(|&r| r > 0.0)
+                    .fold(0.0, f64::max);
+                self.outcome.inflight.push(crate::observer::InflightInfo {
+                    class: p.class(),
+                    done: p.done_count(),
+                    remaining,
+                    arrival: p.arrival,
+                });
+            }
+        }
+        self.outcome.trajectory = trajectory;
+        self.outcome
+    }
+
+    /// Finds the earliest pending event.
+    fn next_event(&self, snapshot: &RateSnapshot, end: f64) -> (f64, Event) {
+        let mut t_best = end;
+        let mut best = Event::End;
+        if let Some((ta, _)) = &self.next_arrival {
+            if *ta < t_best {
+                t_best = *ta;
+                best = Event::Arrival;
+            }
+        }
+        if let Some(te) = self.next_epoch {
+            if te < t_best {
+                t_best = te;
+                best = Event::Epoch;
+            }
+        }
+        for d in &snapshot.downloads {
+            if d.rate > 0.0 {
+                let tc = self.t + self.peers[d.peer_idx].remaining[d.slot] / d.rate;
+                if tc < t_best {
+                    t_best = tc;
+                    best = Event::Completion(d.peer_idx, d.slot);
+                }
+            }
+        }
+        for (idx, peer) in self.peers.iter().enumerate() {
+            if peer.phase == Phase::Departed {
+                continue;
+            }
+            for su in peer.seed_until.iter().flatten() {
+                if su.is_finite() && *su < t_best {
+                    t_best = *su;
+                    best = Event::SeedExpiry(idx);
+                }
+            }
+            if let Some(da) = peer.depart_at {
+                if da < t_best {
+                    t_best = da;
+                    best = Event::SeedExpiry(idx);
+                }
+            }
+        }
+        (t_best.max(self.t), best)
+    }
+
+    /// Advances all progress and accumulators by `dt` at constant rates.
+    fn advance(&mut self, dt: f64, snapshot: &RateSnapshot) {
+        // Download progress + virtual-seed receipts.
+        let mut active = vec![false; self.peers.len()];
+        for d in &snapshot.downloads {
+            let peer = &mut self.peers[d.peer_idx];
+            peer.remaining[d.slot] = (peer.remaining[d.slot] - d.rate * dt).max(0.0);
+            peer.received_vs += d.vs_rate * dt;
+            active[d.peer_idx] = true;
+        }
+        for (peer, (&don, &act)) in self
+            .peers
+            .iter_mut()
+            .zip(snapshot.donations.iter().zip(&active))
+        {
+            peer.donated += don * dt;
+            if act {
+                peer.download_time_acc += dt;
+            }
+        }
+        // Population integrals over the stationary window.
+        let win_lo = self.t.max(self.cfg.warmup);
+        let win_hi = (self.t + dt).min(self.cfg.horizon);
+        if win_hi > win_lo {
+            let k = self.outcome.k();
+            let mut downloader_peers = vec![0usize; k];
+            let mut download_pairs = vec![0usize; k];
+            let mut seed_pairs = vec![0usize; k];
+            for d in &snapshot.downloads {
+                download_pairs[self.peers[d.peer_idx].class() - 1] += 1;
+            }
+            for peer in &self.peers {
+                let c = peer.class() - 1;
+                match peer.phase {
+                    Phase::Downloading => downloader_peers[c] += 1,
+                    Phase::SeedingFile(_) => seed_pairs[c] += 1,
+                    Phase::SeedingAll => match self.cfg.scheme {
+                        // MT schemes: one seed entity per lingering slot.
+                        SchemeKind::Mtcd | SchemeKind::Mfcd => {
+                            seed_pairs[c] += peer.seed_until.iter().flatten().count();
+                        }
+                        // CMFSD: the whole peer is one real seed.
+                        _ => seed_pairs[c] += 1,
+                    },
+                    Phase::Departed => {}
+                }
+                // MTCD/MFCD peers seed finished slots while still
+                // downloading others.
+                if peer.phase == Phase::Downloading
+                    && matches!(self.cfg.scheme, SchemeKind::Mtcd | SchemeKind::Mfcd)
+                {
+                    seed_pairs[c] += peer.seed_until.iter().flatten().count();
+                }
+            }
+            self.outcome.population.accumulate(
+                win_hi - win_lo,
+                &downloader_peers,
+                &download_pairs,
+                &seed_pairs,
+            );
+        }
+    }
+
+    /// Draws the next *entering* arrival (Poisson visitors thinned by
+    /// non-empty request sets), if it lands before the horizon.
+    fn schedule_arrival(&mut self) {
+        let mut t = self.next_arrival.take().map(|(ta, _)| ta).unwrap_or(self.t);
+        loop {
+            t += self.gap.sample(&mut self.rng_arrivals);
+            if t >= self.cfg.horizon {
+                self.next_arrival = None;
+                return;
+            }
+            let files = self.sampler.sample_visitor(&mut self.rng_arrivals);
+            if !files.is_empty() {
+                self.next_arrival = Some((t, files));
+                return;
+            }
+        }
+    }
+
+    fn handle_arrival(&mut self) {
+        let (ta, files) = self
+            .next_arrival
+            .take()
+            .expect("arrival event without a scheduled arrival");
+        debug_assert!((ta - self.t).abs() < 1e-9);
+        // Random download order (sequential schemes).
+        let n = files.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = self.rng_service.next_below(i as u64 + 1) as usize;
+            order.swap(i, j);
+        }
+        let mut peer = Peer::new(self.user_counter, self.t, files, order, 1.0);
+        self.user_counter += 1;
+        assign_arrival_policy(
+            &mut peer,
+            self.cfg.scheme,
+            self.cfg.adapt.as_ref(),
+            &mut self.rng_service,
+        );
+        self.peers.push(peer);
+        self.apply_order_policy(self.peers.len() - 1);
+        self.outcome.arrivals += 1;
+        // Re-arm from the consumed arrival's time.
+        self.next_arrival = Some((ta, Vec::new()));
+        self.schedule_arrival();
+    }
+
+    /// Counts holders (finished copies among present peers, plus origin
+    /// seeds) of every file.
+    fn holder_counts(&self) -> Vec<usize> {
+        let k = self.cfg.model.k() as usize;
+        let mut counts = vec![self.cfg.origin_seeds; k];
+        for p in &self.peers {
+            if p.phase == Phase::Departed {
+                continue;
+            }
+            for s in 0..p.class() {
+                if p.finished(s) {
+                    counts[p.files[s] as usize] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Under [`OrderPolicy::RarestFirst`], swaps the rarest unfinished file
+    /// into the peer's next download position.
+    fn apply_order_policy(&mut self, idx: usize) {
+        if self.cfg.order_policy != OrderPolicy::RarestFirst
+            || !self.cfg.scheme.is_sequential()
+        {
+            return;
+        }
+        let counts = self.holder_counts();
+        let peer = &mut self.peers[idx];
+        if peer.phase != Phase::Downloading || peer.cursor >= peer.class() {
+            return;
+        }
+        let mut best: Vec<usize> = Vec::new();
+        let mut best_count = usize::MAX;
+        for pos in peer.cursor..peer.class() {
+            let f = peer.files[peer.order[pos]] as usize;
+            match counts[f].cmp(&best_count) {
+                std::cmp::Ordering::Less => {
+                    best_count = counts[f];
+                    best.clear();
+                    best.push(pos);
+                }
+                std::cmp::Ordering::Equal => best.push(pos),
+                std::cmp::Ordering::Greater => {}
+            }
+        }
+        let pick = best[self.rng_service.next_below(best.len() as u64) as usize];
+        let cursor = peer.cursor;
+        peer.order.swap(cursor, pick);
+    }
+
+    fn handle_completion(&mut self, idx: usize, slot: usize) {
+        let t = self.t;
+        let peer = &mut self.peers[idx];
+        peer.remaining[slot] = 0.0;
+        peer.completed_at[slot] = Some(t);
+        match self.cfg.scheme {
+            SchemeKind::Mtsd => {
+                let dur = self.gamma.sample(&mut self.rng_service);
+                peer.seed_duration[slot] = dur;
+                peer.seed_until[slot] = Some(t + dur);
+                peer.phase = Phase::SeedingFile(slot);
+            }
+            SchemeKind::Mtcd => {
+                let dur = self.gamma.sample(&mut self.rng_service);
+                peer.seed_duration[slot] = dur;
+                peer.seed_until[slot] = Some(t + dur);
+                if peer.all_done() {
+                    peer.phase = Phase::SeedingAll;
+                }
+            }
+            SchemeKind::Mfcd => {
+                // Virtual seed persists until the user departs as a whole.
+                peer.seed_until[slot] = Some(f64::INFINITY);
+                if peer.all_done() {
+                    let dur = self.gamma.sample(&mut self.rng_service);
+                    peer.depart_at = Some(t + dur);
+                    peer.phase = Phase::SeedingAll;
+                }
+            }
+            SchemeKind::Cmfsd { .. } => {
+                peer.cursor += 1;
+                if peer.cursor >= peer.class() {
+                    let dur = self.gamma.sample(&mut self.rng_service);
+                    peer.depart_at = Some(t + dur);
+                    peer.phase = Phase::SeedingAll;
+                } else {
+                    // While downloading continues, the (1−ρ)μ virtual seed
+                    // serves the finished files demand-aware (see `rate`),
+                    // and the next file follows the order policy.
+                    self.apply_order_policy(idx);
+                }
+            }
+        }
+    }
+
+    fn handle_seed_expiry(&mut self, idx: usize) {
+        let t = self.t;
+        let scheme = self.cfg.scheme;
+        let peer = &mut self.peers[idx];
+        match scheme {
+            SchemeKind::Mtsd => {
+                if let Phase::SeedingFile(slot) = peer.phase {
+                    if peer.seed_until[slot].is_some_and(|su| su <= t + 1e-9) {
+                        peer.seed_until[slot] = None;
+                        peer.cursor += 1;
+                        if peer.cursor < peer.class() {
+                            peer.phase = Phase::Downloading;
+                            self.apply_order_policy(idx);
+                        } else {
+                            self.depart(idx);
+                        }
+                    }
+                }
+            }
+            SchemeKind::Mtcd => {
+                for slot in 0..peer.class() {
+                    if peer.seed_until[slot].is_some_and(|su| su <= t + 1e-9) {
+                        peer.seed_until[slot] = None;
+                    }
+                }
+                if peer.all_done() && peer.seed_until.iter().all(Option::is_none) {
+                    self.depart(idx);
+                }
+            }
+            SchemeKind::Mfcd | SchemeKind::Cmfsd { .. } => {
+                if peer.depart_at.is_some_and(|da| da <= t + 1e-9) {
+                    self.depart(idx);
+                }
+            }
+        }
+    }
+
+    fn handle_epoch(&mut self) {
+        let setup = self.cfg.adapt.expect("epoch event without adapt setup");
+        for peer in &mut self.peers {
+            if peer.phase == Phase::Downloading && peer.class() >= 2 {
+                if let Some(ctrl) = peer.adapt.as_mut() {
+                    // Δ in bandwidth units: give minus take, per unit time.
+                    let delta = (peer.donated - peer.received_vs) / setup.epoch;
+                    peer.rho = ctrl.observe(delta);
+                }
+            }
+            peer.donated = 0.0;
+            peer.received_vs = 0.0;
+        }
+        self.next_epoch = Some(self.next_epoch.expect("epoch scheduled") + setup.epoch);
+    }
+
+    /// Finalizes and removes a finished user.
+    fn depart(&mut self, idx: usize) {
+        let t = self.t;
+        let peer = &mut self.peers[idx];
+        peer.phase = Phase::Departed;
+        let counted = peer.arrival >= self.cfg.warmup && peer.arrival < self.cfg.horizon;
+        if counted {
+            let online_fluid = match self.cfg.scheme {
+                SchemeKind::Mtcd => {
+                    // Per-virtual-peer mean: (completion − arrival) + own
+                    // seed duration, averaged over the user's torrents.
+                    let sum: f64 = (0..peer.class())
+                        .map(|s| {
+                            peer.completed_at[s].expect("departed ⇒ all complete") - peer.arrival
+                                + peer.seed_duration[s]
+                        })
+                        .sum();
+                    sum / peer.class() as f64
+                }
+                _ => t - peer.arrival,
+            };
+            let record = UserRecord {
+                id: peer.id,
+                class: peer.class(),
+                arrival: peer.arrival,
+                departure: t,
+                download_span: peer.download_time_acc,
+                online_fluid,
+                final_rho: peer.rho,
+                cheater: peer.cheater,
+            };
+            self.outcome.record(record);
+        }
+        self.peers.swap_remove(idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DesConfig;
+
+    fn run(scheme: SchemeKind, p: f64, seed: u64) -> SimOutcome {
+        let cfg = DesConfig::paper_small(scheme, p, seed).unwrap();
+        Simulation::new(cfg).unwrap().run()
+    }
+
+    #[test]
+    fn mtsd_matches_fluid_prediction() {
+        // Fluid: download per file 60, online per file 80.
+        let o = run(SchemeKind::Mtsd, 0.3, 42);
+        assert!(o.records.len() > 200, "only {} records", o.records.len());
+        let dl = o.avg_download_per_file().unwrap();
+        let on = o.avg_online_per_file().unwrap();
+        assert!((dl - 60.0).abs() < 6.0, "download/file = {dl}");
+        assert!((on - 80.0).abs() < 7.0, "online/file = {on}");
+    }
+
+    #[test]
+    fn mtcd_single_class_k1_matches_fluid() {
+        // K = 1 forces class 1 only; MTCD degenerates to the single
+        // torrent: download 60.
+        let cfg = DesConfig {
+            model: btfluid_workload::CorrelationModel::new(1, 0.9, 0.3).unwrap(),
+            ..DesConfig::paper_small(SchemeKind::Mtcd, 0.9, 7).unwrap()
+        };
+        let o = Simulation::new(cfg).unwrap().run();
+        assert!(o.classes[0].count() > 200);
+        let dl = o.classes[0].download.mean();
+        assert!((dl - 60.0).abs() < 6.0, "download = {dl}");
+    }
+
+    #[test]
+    fn arrivals_accounted() {
+        let o = run(SchemeKind::Mtsd, 0.5, 3);
+        assert!(o.arrivals > 0);
+        // Everything that arrived post-warm-up either finished or is
+        // censored. records may also include pre-horizon arrivals only.
+        assert!(o.records.len() + o.censored <= o.arrivals);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = run(SchemeKind::Cmfsd { rho: 0.3 }, 0.6, 11);
+        let b = run(SchemeKind::Cmfsd { rho: 0.3 }, 0.6, 11);
+        assert_eq!(a.records.len(), b.records.len());
+        for (ra, rb) in a.records.iter().zip(&b.records) {
+            assert_eq!(ra.id, rb.id);
+            assert!((ra.online_fluid - rb.online_fluid).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run(SchemeKind::Mtsd, 0.5, 1);
+        let b = run(SchemeKind::Mtsd, 0.5, 2);
+        assert_ne!(a.records.len(), 0);
+        // Astronomically unlikely to match exactly.
+        assert!(
+            a.records.len() != b.records.len()
+                || a.avg_online_per_file().unwrap() != b.avg_online_per_file().unwrap()
+        );
+    }
+
+    #[test]
+    fn cmfsd_rho_zero_beats_rho_one_at_high_p() {
+        let fast = run(SchemeKind::Cmfsd { rho: 0.0 }, 0.9, 5);
+        let slow = run(SchemeKind::Cmfsd { rho: 1.0 }, 0.9, 5);
+        let f = fast.avg_online_per_file().unwrap();
+        let s = slow.avg_online_per_file().unwrap();
+        assert!(f < s, "ρ=0 ({f}) should beat ρ=1 ({s})");
+    }
+
+    #[test]
+    fn mtsd_per_class_online_proportional_to_class() {
+        // p = 0.2 gives classes 1-3 substantial mass.
+        let o = run(SchemeKind::Mtsd, 0.2, 9);
+        // Classes with decent support: compare class 3 vs class 1 online.
+        let c1 = &o.classes[0];
+        let c3 = &o.classes[2];
+        if c1.count() > 30 && c3.count() > 30 {
+            let ratio = c3.online.mean() / c1.online.mean();
+            assert!((ratio - 3.0).abs() < 0.6, "ratio = {ratio}");
+        } else {
+            panic!(
+                "not enough support: c1 = {}, c3 = {}",
+                c1.count(),
+                c3.count()
+            );
+        }
+    }
+
+    #[test]
+    fn population_tracking_nonzero() {
+        let o = run(SchemeKind::Mtsd, 0.5, 13);
+        assert!(o.population.window > 0.0);
+        let total: f64 = (1..=10).map(|i| o.population.avg_downloader_peers(i)).sum();
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn censoring_is_rare_with_ample_drain() {
+        let o = run(SchemeKind::Mtsd, 0.3, 17);
+        assert_eq!(o.censored, 0, "drain should let everyone finish");
+    }
+
+    #[test]
+    fn trajectory_recording() {
+        let mut cfg = DesConfig::paper_small(SchemeKind::Mtsd, 0.4, 23).unwrap();
+        cfg.horizon = 1500.0;
+        cfg.warmup = 300.0;
+        cfg.drain = 1500.0;
+        cfg.record_every = Some(50.0);
+        let o = Simulation::new(cfg).unwrap().run();
+        let series = o.trajectory.expect("recording enabled");
+        assert!(series.len() > 20, "rows = {}", series.len());
+        assert_eq!(series.names(), &["downloaders", "seeds"]);
+        // Populations eventually become positive and the series is in time
+        // order (enforced by TimeSeries::push).
+        let downloaders = series.channel(0);
+        assert!(downloaders.iter().any(|&x| x > 0.0));
+        // The stationary level (between warm-up and the horizon — after
+        // the horizon arrivals stop and the population drains) should be
+        // near the fluid prediction x_total = λ₀·K·p·T = 60.
+        let stationary: Vec<f64> = series
+            .times()
+            .iter()
+            .zip(&downloaders)
+            .filter(|(&t, _)| (600.0..=1500.0).contains(&t))
+            .map(|(_, &x)| x)
+            .collect();
+        assert!(stationary.len() > 10);
+        let mean: f64 = stationary.iter().sum::<f64>() / stationary.len() as f64;
+        let expect = 0.25 * 10.0 * 0.4 * 60.0;
+        assert!(
+            (mean - expect).abs() / expect < 0.35,
+            "stationary mean {mean} vs fluid {expect}"
+        );
+    }
+
+    #[test]
+    fn trajectory_disabled_by_default() {
+        let o = run(SchemeKind::Mtsd, 0.3, 29);
+        assert!(o.trajectory.is_none());
+    }
+
+    #[test]
+    fn record_every_validation() {
+        let mut cfg = DesConfig::paper_small(SchemeKind::Mtsd, 0.4, 1).unwrap();
+        cfg.record_every = Some(0.0);
+        assert!(cfg.validate().is_err());
+        cfg.record_every = Some(f64::NAN);
+        assert!(cfg.validate().is_err());
+    }
+}

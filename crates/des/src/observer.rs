@@ -1,0 +1,314 @@
+//! Measurement: per-user records, per-class statistics, population
+//! time-averages.
+
+use btfluid_numkit::stats::Welford;
+use btfluid_numkit::NumError;
+
+/// What the simulator records about one departed user.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UserRecord {
+    /// User id.
+    pub id: u64,
+    /// Class (files requested).
+    pub class: usize,
+    /// Arrival time.
+    pub arrival: f64,
+    /// Departure time.
+    pub departure: f64,
+    /// Wall-clock time spent with at least one active download.
+    pub download_span: f64,
+    /// The fluid model's notion of online time for this user (see crate
+    /// docs: wall-clock for sequential schemes and MFCD; per-virtual-peer
+    /// mean for MTCD).
+    pub online_fluid: f64,
+    /// Final individual ρ (CMFSD; 1.0 elsewhere).
+    pub final_rho: f64,
+    /// Whether the peer was a cheater.
+    pub cheater: bool,
+}
+
+/// Per-class aggregation of user records.
+#[derive(Debug, Clone, Default)]
+pub struct ClassStats {
+    /// Download-span accumulator.
+    pub download: Welford,
+    /// Fluid-online accumulator.
+    pub online: Welford,
+    /// Final-ρ accumulator.
+    pub rho: Welford,
+}
+
+impl ClassStats {
+    fn push(&mut self, r: &UserRecord) {
+        self.download.push(r.download_span);
+        self.online.push(r.online_fluid);
+        self.rho.push(r.final_rho);
+    }
+
+    /// Number of users recorded.
+    pub fn count(&self) -> u64 {
+        self.download.count()
+    }
+}
+
+/// Time-averaged populations per class, measured over the stationary
+/// window `[warmup, horizon]`.
+#[derive(Debug, Clone, Default)]
+pub struct PopulationStats {
+    /// ∫ (number of users in a downloading phase, per class) dt.
+    pub downloader_peer_integral: Vec<f64>,
+    /// ∫ (number of active (peer,file) downloads, per class) dt.
+    pub download_pair_integral: Vec<f64>,
+    /// ∫ (number of (peer,file) seeding pairs, per class) dt.
+    pub seed_pair_integral: Vec<f64>,
+    /// Length of the measured window.
+    pub window: f64,
+}
+
+impl PopulationStats {
+    /// Creates an accumulator for `k` classes.
+    pub fn new(k: usize) -> Self {
+        Self {
+            downloader_peer_integral: vec![0.0; k],
+            download_pair_integral: vec![0.0; k],
+            seed_pair_integral: vec![0.0; k],
+            window: 0.0,
+        }
+    }
+
+    /// Adds `dt` at the current per-class counts.
+    pub fn accumulate(
+        &mut self,
+        dt: f64,
+        downloader_peers: &[usize],
+        download_pairs: &[usize],
+        seed_pairs: &[usize],
+    ) {
+        self.window += dt;
+        for (acc, &n) in self
+            .downloader_peer_integral
+            .iter_mut()
+            .zip(downloader_peers)
+        {
+            *acc += dt * n as f64;
+        }
+        for (acc, &n) in self.download_pair_integral.iter_mut().zip(download_pairs) {
+            *acc += dt * n as f64;
+        }
+        for (acc, &n) in self.seed_pair_integral.iter_mut().zip(seed_pairs) {
+            *acc += dt * n as f64;
+        }
+    }
+
+    /// Time-averaged number of downloading users of class `i` (1-based).
+    pub fn avg_downloader_peers(&self, i: usize) -> f64 {
+        if self.window == 0.0 {
+            0.0
+        } else {
+            self.downloader_peer_integral[i - 1] / self.window
+        }
+    }
+
+    /// Time-averaged number of active (peer,file) downloads of class `i`.
+    pub fn avg_download_pairs(&self, i: usize) -> f64 {
+        if self.window == 0.0 {
+            0.0
+        } else {
+            self.download_pair_integral[i - 1] / self.window
+        }
+    }
+
+    /// Time-averaged number of (peer,file) seeding pairs of class `i`.
+    pub fn avg_seed_pairs(&self, i: usize) -> f64 {
+        if self.window == 0.0 {
+            0.0
+        } else {
+            self.seed_pair_integral[i - 1] / self.window
+        }
+    }
+}
+
+/// Diagnostic snapshot of a peer still in flight at the hard stop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InflightInfo {
+    /// The peer's class.
+    pub class: usize,
+    /// Files already finished.
+    pub done: usize,
+    /// Remaining work on the file currently downloading (sequential
+    /// schemes) or the largest remaining work (concurrent), `0..=1`.
+    pub remaining: f64,
+    /// Arrival time.
+    pub arrival: f64,
+}
+
+/// Everything one simulation run produces.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Per-class statistics over users that arrived after warm-up and
+    /// completed before the hard stop (index 0 ↔ class 1).
+    pub classes: Vec<ClassStats>,
+    /// Same, restricted to obedient (non-cheating) peers — the population
+    /// whose welfare Adapt is meant to protect.
+    pub obedient: Vec<ClassStats>,
+    /// Same, restricted to cheaters.
+    pub cheaters: Vec<ClassStats>,
+    /// All raw records (arrival order).
+    pub records: Vec<UserRecord>,
+    /// Population time-averages over the stationary window.
+    pub population: PopulationStats,
+    /// Users still in flight at the hard stop (excluded from stats;
+    /// non-zero values signal censoring — enlarge `drain`).
+    pub censored: usize,
+    /// Diagnostic details of the censored users.
+    pub inflight: Vec<InflightInfo>,
+    /// Total arrivals (including warm-up ones).
+    pub arrivals: usize,
+    /// Optional population trajectory (channels `downloaders`, `seeds`),
+    /// recorded when [`crate::config::DesConfig::record_every`] is set.
+    pub trajectory: Option<btfluid_numkit::series::TimeSeries>,
+}
+
+impl SimOutcome {
+    /// Creates an empty outcome for `k` classes.
+    pub fn new(k: usize) -> Self {
+        Self {
+            classes: vec![ClassStats::default(); k],
+            obedient: vec![ClassStats::default(); k],
+            cheaters: vec![ClassStats::default(); k],
+            records: Vec::new(),
+            population: PopulationStats::new(k),
+            censored: 0,
+            inflight: Vec::new(),
+            arrivals: 0,
+            trajectory: None,
+        }
+    }
+
+    /// Number of classes.
+    pub fn k(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Records one counted (post-warm-up) user.
+    pub fn record(&mut self, r: UserRecord) {
+        let idx = r.class - 1;
+        self.classes[idx].push(&r);
+        if r.cheater {
+            self.cheaters[idx].push(&r);
+        } else {
+            self.obedient[idx].push(&r);
+        }
+        self.records.push(r);
+    }
+
+    /// Mean online time per file across all counted users — the paper's
+    /// headline metric: `Σ online / Σ files`.
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] when no users were recorded.
+    pub fn avg_online_per_file(&self) -> Result<f64, NumError> {
+        let mut online = 0.0;
+        let mut files = 0.0;
+        for r in &self.records {
+            online += r.online_fluid;
+            files += r.class as f64;
+        }
+        if files == 0.0 {
+            return Err(NumError::InvalidInput {
+                what: "SimOutcome::avg_online_per_file",
+                detail: "no completed users recorded".into(),
+            });
+        }
+        Ok(online / files)
+    }
+
+    /// Mean download time per file across all counted users.
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] when no users were recorded.
+    pub fn avg_download_per_file(&self) -> Result<f64, NumError> {
+        let mut dl = 0.0;
+        let mut files = 0.0;
+        for r in &self.records {
+            dl += r.download_span;
+            files += r.class as f64;
+        }
+        if files == 0.0 {
+            return Err(NumError::InvalidInput {
+                what: "SimOutcome::avg_download_per_file",
+                detail: "no completed users recorded".into(),
+            });
+        }
+        Ok(dl / files)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(class: usize, dl: f64, online: f64, cheater: bool) -> UserRecord {
+        UserRecord {
+            id: 0,
+            class,
+            arrival: 0.0,
+            departure: online,
+            download_span: dl,
+            online_fluid: online,
+            final_rho: 0.5,
+            cheater,
+        }
+    }
+
+    #[test]
+    fn record_routing() {
+        let mut o = SimOutcome::new(3);
+        o.record(rec(1, 60.0, 80.0, false));
+        o.record(rec(3, 200.0, 220.0, true));
+        assert_eq!(o.classes[0].count(), 1);
+        assert_eq!(o.classes[2].count(), 1);
+        assert_eq!(o.obedient[0].count(), 1);
+        assert_eq!(o.obedient[2].count(), 0);
+        assert_eq!(o.cheaters[2].count(), 1);
+        assert_eq!(o.records.len(), 2);
+        assert_eq!(o.k(), 3);
+    }
+
+    #[test]
+    fn per_file_averages() {
+        let mut o = SimOutcome::new(3);
+        o.record(rec(1, 60.0, 80.0, false));
+        o.record(rec(3, 180.0, 240.0, false));
+        // online: (80 + 240)/(1 + 3) = 80; download: (60 + 180)/4 = 60.
+        assert!((o.avg_online_per_file().unwrap() - 80.0).abs() < 1e-12);
+        assert!((o.avg_download_per_file().unwrap() - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_outcome_errors() {
+        let o = SimOutcome::new(2);
+        assert!(o.avg_online_per_file().is_err());
+        assert!(o.avg_download_per_file().is_err());
+    }
+
+    #[test]
+    fn population_accumulation() {
+        let mut p = PopulationStats::new(2);
+        p.accumulate(2.0, &[3, 0], &[3, 0], &[1, 2]);
+        p.accumulate(2.0, &[1, 2], &[1, 4], &[0, 0]);
+        assert_eq!(p.window, 4.0);
+        assert!((p.avg_downloader_peers(1) - 2.0).abs() < 1e-12);
+        assert!((p.avg_downloader_peers(2) - 1.0).abs() < 1e-12);
+        assert!((p.avg_download_pairs(2) - 2.0).abs() < 1e-12);
+        assert!((p.avg_seed_pairs(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_population_window() {
+        let p = PopulationStats::new(1);
+        assert_eq!(p.avg_downloader_peers(1), 0.0);
+        assert_eq!(p.avg_download_pairs(1), 0.0);
+        assert_eq!(p.avg_seed_pairs(1), 0.0);
+    }
+}

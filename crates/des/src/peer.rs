@@ -1,0 +1,205 @@
+//! The simulated peer: request set, per-file progress, lifecycle phase.
+
+use btfluid_core::adapt::AdaptController;
+use btfluid_workload::requests::FileId;
+
+/// Lifecycle phase of a peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Actively downloading (sequential: the file at the cursor;
+    /// concurrent: every unfinished file).
+    Downloading,
+    /// MTSD only: seeding the just-finished file (slot index) before moving
+    /// to the next torrent.
+    SeedingFile(usize),
+    /// All files finished; seeding until departure (CMFSD/MFCD real seed,
+    /// MTCD lingering virtual seeds).
+    SeedingAll,
+    /// Left the system (record finalized).
+    Departed,
+}
+
+/// One simulated user/peer.
+///
+/// Field semantics vary slightly per scheme (documented inline); the engine
+/// interprets them via [`crate::config::SchemeKind`].
+#[derive(Debug, Clone)]
+pub struct Peer {
+    /// Unique id (monotone arrival counter).
+    pub id: u64,
+    /// Arrival time.
+    pub arrival: f64,
+    /// Requested files (non-empty, sorted).
+    pub files: Vec<FileId>,
+    /// Remaining work per file slot, `1.0 → 0.0`.
+    pub remaining: Vec<f64>,
+    /// Completion time per slot.
+    pub completed_at: Vec<Option<f64>>,
+    /// Sequential download order: a permutation of slot indices.
+    pub order: Vec<usize>,
+    /// Position in [`Peer::order`] (sequential schemes).
+    pub cursor: usize,
+    /// Current phase.
+    pub phase: Phase,
+    /// Per-slot seed expiry (MTSD: the one being seeded; MTCD: each virtual
+    /// seed's own deadline).
+    pub seed_until: Vec<Option<f64>>,
+    /// Pre-sampled seed durations per slot (recorded for the fluid-metric
+    /// online time).
+    pub seed_duration: Vec<f64>,
+    /// Whole-user departure time (CMFSD/MFCD real-seed phase end).
+    pub depart_at: Option<f64>,
+    /// CMFSD: individual bandwidth allocation ratio ρ.
+    pub rho: f64,
+    /// Whether this peer cheats (pins ρ = 1, never donates).
+    pub cheater: bool,
+    /// Optional per-peer Adapt controller.
+    pub adapt: Option<AdaptController>,
+    /// Adapt accounting: bandwidth·time donated through the virtual seed in
+    /// the current epoch.
+    pub donated: f64,
+    /// Adapt accounting: bandwidth·time received from others' virtual
+    /// seeds in the current epoch.
+    pub received_vs: f64,
+    /// Accumulated wall-clock time with at least one active download.
+    pub download_time_acc: f64,
+}
+
+impl Peer {
+    /// Creates a freshly arrived peer.
+    pub fn new(id: u64, arrival: f64, files: Vec<FileId>, order: Vec<usize>, rho: f64) -> Self {
+        let n = files.len();
+        debug_assert!(n > 0, "peers always request at least one file");
+        debug_assert_eq!(order.len(), n);
+        Self {
+            id,
+            arrival,
+            files,
+            remaining: vec![1.0; n],
+            completed_at: vec![None; n],
+            order,
+            cursor: 0,
+            phase: Phase::Downloading,
+            seed_until: vec![None; n],
+            seed_duration: vec![0.0; n],
+            depart_at: None,
+            rho,
+            cheater: false,
+            adapt: None,
+            donated: 0.0,
+            received_vs: 0.0,
+            download_time_acc: 0.0,
+        }
+    }
+
+    /// The user's class: number of requested files.
+    pub fn class(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether slot `i` has finished downloading.
+    pub fn finished(&self, slot: usize) -> bool {
+        self.remaining[slot] <= 0.0
+    }
+
+    /// Number of finished files.
+    pub fn done_count(&self) -> usize {
+        self.remaining.iter().filter(|&&r| r <= 0.0).count()
+    }
+
+    /// Whether every requested file is finished.
+    pub fn all_done(&self) -> bool {
+        self.done_count() == self.class()
+    }
+
+    /// The slot currently being downloaded under a sequential scheme.
+    ///
+    /// # Panics
+    /// Panics when the cursor has run past the order (the peer should then
+    /// be in a seeding phase).
+    pub fn current_slot(&self) -> usize {
+        assert!(
+            self.cursor < self.order.len(),
+            "cursor {} past the end for peer {}",
+            self.cursor,
+            self.id
+        );
+        self.order[self.cursor]
+    }
+
+    /// Time of the last file completion, if all are done.
+    pub fn last_completion(&self) -> Option<f64> {
+        if !self.all_done() {
+            return None;
+        }
+        self.completed_at
+            .iter()
+            .map(|c| c.expect("all slots completed"))
+            .fold(None, |acc: Option<f64>, t| {
+                Some(acc.map_or(t, |a| a.max(t)))
+            })
+    }
+
+    /// Slots whose download is finished (what a CMFSD virtual seed can
+    /// serve).
+    pub fn finished_slots(&self) -> Vec<usize> {
+        (0..self.class()).filter(|&s| self.finished(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peer3() -> Peer {
+        Peer::new(7, 10.0, vec![2, 5, 9], vec![1, 0, 2], 0.3)
+    }
+
+    #[test]
+    fn new_peer_state() {
+        let p = peer3();
+        assert_eq!(p.class(), 3);
+        assert_eq!(p.done_count(), 0);
+        assert!(!p.all_done());
+        assert_eq!(p.phase, Phase::Downloading);
+        assert_eq!(p.current_slot(), 1);
+        assert_eq!(p.rho, 0.3);
+        assert!(p.last_completion().is_none());
+        assert!(p.finished_slots().is_empty());
+    }
+
+    #[test]
+    fn progress_and_completion_tracking() {
+        let mut p = peer3();
+        p.remaining[1] = 0.0;
+        p.completed_at[1] = Some(42.0);
+        assert!(p.finished(1));
+        assert_eq!(p.done_count(), 1);
+        assert_eq!(p.finished_slots(), vec![1]);
+        assert!(!p.all_done());
+        p.remaining[0] = 0.0;
+        p.completed_at[0] = Some(50.0);
+        p.remaining[2] = 0.0;
+        p.completed_at[2] = Some(47.0);
+        assert!(p.all_done());
+        assert_eq!(p.last_completion(), Some(50.0));
+    }
+
+    #[test]
+    fn cursor_walks_the_order() {
+        let mut p = peer3();
+        assert_eq!(p.current_slot(), 1);
+        p.cursor = 1;
+        assert_eq!(p.current_slot(), 0);
+        p.cursor = 2;
+        assert_eq!(p.current_slot(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "past the end")]
+    fn cursor_overflow_panics() {
+        let mut p = peer3();
+        p.cursor = 3;
+        let _ = p.current_slot();
+    }
+}

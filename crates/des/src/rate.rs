@@ -1,0 +1,516 @@
+//! Bandwidth allocation: turns the current peer population into per-download
+//! service rates, mirroring the fluid model's two service assumptions.
+//!
+//! For every subtorrent `f` the snapshot aggregates
+//!
+//! * `pool_real[f]` — bandwidth of real seeds (and MTSD/MTCD per-file
+//!   seeds) serving `f`;
+//! * `pool_virtual[f]` — bandwidth of CMFSD virtual seeds serving `f`;
+//! * `weight[f]` — total download-capacity weight of the downloaders in
+//!   `f` (`1/class` under concurrent schemes, `1` under sequential ones).
+//!
+//! A downloader of `f` with own TFT upload `u` and weight `w` then receives
+//!
+//! ```text
+//! rate = η·u + (w / weight[f]) · (pool_real[f] + pool_virtual[f])
+//! ```
+//!
+//! which conserves bandwidth exactly: summing over downloaders of `f`
+//! reproduces `η·Σu + pool_real[f] + pool_virtual[f]`, the fluid model's
+//! per-torrent service capacity.
+//!
+//! ## Demand-aware CMFSD seeding
+//!
+//! The fluid model of Eq. (5) pools all virtual-seed and real-seed
+//! bandwidth *globally* over the torrent's downloaders. A physical peer can
+//! only serve files it has finished, so this simulator realizes the pooling
+//! by splitting each CMFSD seed's bandwidth across its finished subtorrents
+//! in proportion to their current downloader weight (a seed never wastes
+//! bandwidth on an empty subtorrent). A naive alternative — pinning each
+//! virtual seed to one randomly chosen finished file — matches the fluid
+//! model at moderate ρ but collapses at ρ → 0, where downloaders have no
+//! TFT income and starve whenever their subtorrent happens to attract no
+//! donor; the paper's model implicitly assumes the perfectly mixed
+//! allocation implemented here.
+//!
+//! MTCD/MFCD virtual peers, by contrast, are genuinely separate peers in
+//! separate (sub)torrents with a fixed `μ/i` each (that is the scheme), so
+//! their seed bandwidth stays pinned to its own file.
+
+use crate::config::SchemeKind;
+use crate::peer::{Peer, Phase};
+use btfluid_core::FluidParams;
+
+/// One active (peer, file-slot) download with its current rates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActiveDownload {
+    /// Index into the engine's peer vector.
+    pub peer_idx: usize,
+    /// File slot within that peer.
+    pub slot: usize,
+    /// Total download rate (files per time unit).
+    pub rate: f64,
+    /// Portion of [`ActiveDownload::rate`] received from *virtual seeds*
+    /// (CMFSD Adapt accounting).
+    pub vs_rate: f64,
+}
+
+/// The rate snapshot between two events.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RateSnapshot {
+    /// Every active download and its rate.
+    pub downloads: Vec<ActiveDownload>,
+    /// Per-peer bandwidth currently donated through a virtual seed and
+    /// actually consumed by someone (parallel to the engine's peer vector;
+    /// CMFSD only).
+    pub donations: Vec<f64>,
+}
+
+/// A seed capacity source: `bandwidth` spread over `files` (demand-aware
+/// when `files` has several entries).
+struct SeedSource {
+    files: Vec<usize>,
+    bandwidth: f64,
+    is_virtual: bool,
+}
+
+/// What a peer contributes and consumes under the configured scheme.
+struct PeerView {
+    /// Active downloads: `(slot, tft_upload, weight)`.
+    active: Vec<(usize, f64, f64)>,
+    /// Seed capacity sources.
+    seeds: Vec<SeedSource>,
+}
+
+fn view(peer: &Peer, scheme: SchemeKind, params: &FluidParams) -> PeerView {
+    let mu = params.mu();
+    let class = peer.class() as f64;
+    let mut v = PeerView {
+        active: Vec::new(),
+        seeds: Vec::new(),
+    };
+    match scheme {
+        SchemeKind::Mtsd => match peer.phase {
+            Phase::Downloading => {
+                let slot = peer.current_slot();
+                v.active.push((slot, mu, 1.0));
+            }
+            Phase::SeedingFile(slot) => {
+                v.seeds.push(SeedSource {
+                    files: vec![peer.files[slot] as usize],
+                    bandwidth: mu,
+                    is_virtual: false,
+                });
+            }
+            Phase::SeedingAll | Phase::Departed => {}
+        },
+        SchemeKind::Mtcd | SchemeKind::Mfcd => {
+            if peer.phase == Phase::Departed {
+                return v;
+            }
+            let share = mu / class;
+            for slot in 0..peer.class() {
+                if !peer.finished(slot) {
+                    v.active.push((slot, share, 1.0 / class));
+                } else if peer.seed_until[slot].is_some() {
+                    // Finished slot: this virtual peer seeds its own
+                    // torrent (MTCD: until its deadline; MFCD: until the
+                    // user departs).
+                    v.seeds.push(SeedSource {
+                        files: vec![peer.files[slot] as usize],
+                        bandwidth: share,
+                        is_virtual: false,
+                    });
+                }
+            }
+        }
+        SchemeKind::Cmfsd { .. } => match peer.phase {
+            Phase::Downloading => {
+                let slot = peer.current_slot();
+                if peer.done_count() >= 1 {
+                    // Partial seed: ρμ plays TFT in the current subtorrent,
+                    // (1−ρ)μ serves the finished files demand-aware.
+                    let rho = peer.rho;
+                    v.active.push((slot, rho * mu, 1.0));
+                    let donated = (1.0 - rho) * mu;
+                    if donated > 0.0 {
+                        let files = peer
+                            .finished_slots()
+                            .into_iter()
+                            .map(|s| peer.files[s] as usize)
+                            .collect();
+                        v.seeds.push(SeedSource {
+                            files,
+                            bandwidth: donated,
+                            is_virtual: true,
+                        });
+                    }
+                } else {
+                    v.active.push((slot, mu, 1.0));
+                }
+            }
+            Phase::SeedingAll => {
+                // Real seed: μ over all its files, demand-aware.
+                v.seeds.push(SeedSource {
+                    files: peer.files.iter().map(|&f| f as usize).collect(),
+                    bandwidth: mu,
+                    is_virtual: false,
+                });
+            }
+            Phase::SeedingFile(_) | Phase::Departed => {}
+        },
+    }
+    v
+}
+
+/// Builds the rate snapshot for the current population.
+///
+/// `origin_seeds` is the number of permanent publisher seeds: under the
+/// multi-torrent schemes each of the `K` torrents has that many publishers
+/// (bandwidth `μ` each, pinned to their torrent); under the multi-file
+/// schemes the single torrent has that many publishers, each splitting `μ`
+/// demand-aware over the `K` subtorrents.
+pub fn compute_rates(
+    peers: &[Peer],
+    scheme: SchemeKind,
+    params: &FluidParams,
+    k: usize,
+    origin_seeds: usize,
+) -> RateSnapshot {
+    let eta = params.eta();
+    let mut weight = vec![0.0; k];
+    let mut pool_real = vec![0.0; k];
+    let mut pool_virtual = vec![0.0; k];
+
+    // Pass 1: build views and downloader weights.
+    let mut views = Vec::with_capacity(peers.len());
+    for peer in peers {
+        let v = view(peer, scheme, params);
+        for &(slot, _u, w) in &v.active {
+            weight[peer.files[slot] as usize] += w;
+        }
+        views.push(v);
+    }
+
+    // Pass 2: seed capacity flows where there is demand.
+    let mut snapshot = RateSnapshot {
+        downloads: Vec::new(),
+        donations: vec![0.0; peers.len()],
+    };
+    if origin_seeds > 0 {
+        let bw = origin_seeds as f64 * params.mu();
+        match scheme {
+            SchemeKind::Mtsd | SchemeKind::Mtcd => {
+                // One publisher per torrent, pinned.
+                for pool in pool_real.iter_mut() {
+                    *pool += bw;
+                }
+            }
+            SchemeKind::Mfcd | SchemeKind::Cmfsd { .. } => {
+                // One multi-file publisher, demand-aware over subtorrents.
+                let demand: f64 = weight.iter().sum();
+                if demand > 0.0 {
+                    for f in 0..k {
+                        if weight[f] > 0.0 {
+                            pool_real[f] += bw * weight[f] / demand;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for (peer_idx, v) in views.iter().enumerate() {
+        for src in &v.seeds {
+            let demand: f64 = src.files.iter().map(|&f| weight[f]).sum();
+            if demand <= 0.0 {
+                // Nobody to serve: the capacity idles.
+                continue;
+            }
+            for &f in &src.files {
+                if weight[f] > 0.0 {
+                    let share = src.bandwidth * weight[f] / demand;
+                    if src.is_virtual {
+                        pool_virtual[f] += share;
+                    } else {
+                        pool_real[f] += share;
+                    }
+                }
+            }
+            if src.is_virtual {
+                snapshot.donations[peer_idx] += src.bandwidth;
+            }
+        }
+    }
+
+    // Pass 3: per-download rates.
+    for (peer_idx, (peer, v)) in peers.iter().zip(&views).enumerate() {
+        for &(slot, u, w) in &v.active {
+            let f = peer.files[slot] as usize;
+            let share = if weight[f] > 0.0 { w / weight[f] } else { 0.0 };
+            let from_real = share * pool_real[f];
+            let from_virtual = share * pool_virtual[f];
+            snapshot.downloads.push(ActiveDownload {
+                peer_idx,
+                slot,
+                rate: eta * u + from_real + from_virtual,
+                vs_rate: from_virtual,
+            });
+        }
+    }
+    snapshot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btfluid_core::FluidParams;
+
+    fn params() -> FluidParams {
+        FluidParams::paper() // μ = 0.02, η = 0.5, γ = 0.05
+    }
+
+    fn peer(id: u64, files: Vec<u16>) -> Peer {
+        let order: Vec<usize> = (0..files.len()).collect();
+        Peer::new(id, 0.0, files, order, 1.0)
+    }
+
+    #[test]
+    fn lone_mtsd_downloader_gets_only_tft() {
+        let peers = vec![peer(0, vec![3])];
+        let snap = compute_rates(&peers, SchemeKind::Mtsd, &params(), 10, 0);
+        assert_eq!(snap.downloads.len(), 1);
+        let d = snap.downloads[0];
+        assert_eq!(d.slot, 0);
+        // η·μ = 0.01
+        assert!((d.rate - 0.01).abs() < 1e-15);
+        assert_eq!(d.vs_rate, 0.0);
+    }
+
+    #[test]
+    fn mtsd_seed_feeds_downloader() {
+        let mut seeder = peer(0, vec![3]);
+        seeder.remaining[0] = 0.0;
+        seeder.phase = Phase::SeedingFile(0);
+        let downloader = peer(1, vec![3]);
+        let peers = vec![seeder, downloader];
+        let snap = compute_rates(&peers, SchemeKind::Mtsd, &params(), 10, 0);
+        assert_eq!(snap.downloads.len(), 1);
+        // η·μ + μ (full seed bandwidth to the only downloader).
+        assert!((snap.downloads[0].rate - (0.01 + 0.02)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mtsd_seed_in_other_torrent_does_not_help() {
+        let mut seeder = peer(0, vec![4]);
+        seeder.remaining[0] = 0.0;
+        seeder.phase = Phase::SeedingFile(0);
+        let downloader = peer(1, vec![3]);
+        let peers = vec![seeder, downloader];
+        let snap = compute_rates(&peers, SchemeKind::Mtsd, &params(), 10, 0);
+        assert!((snap.downloads[0].rate - 0.01).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mtcd_splits_bandwidth_across_torrents() {
+        let peers = vec![peer(0, vec![0, 1, 2, 3])];
+        let snap = compute_rates(&peers, SchemeKind::Mtcd, &params(), 10, 0);
+        assert_eq!(snap.downloads.len(), 4);
+        for d in &snap.downloads {
+            // η·μ/4 each.
+            assert!((d.rate - 0.5 * 0.02 / 4.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn mtcd_seed_share_weighted_by_inverse_class() {
+        // A seed with μ/2 serves torrent 0; two downloaders compete: one of
+        // class 1 (weight 1) and one of class 4 (weight 1/4).
+        let mut seeder = peer(0, vec![0, 5]);
+        seeder.remaining[0] = 0.0;
+        seeder.seed_until[0] = Some(100.0);
+        let d1 = peer(1, vec![0]);
+        let d4 = peer(2, vec![0, 1, 2, 3]);
+        let peers = vec![seeder, d1, d4];
+        let snap = compute_rates(&peers, SchemeKind::Mtcd, &params(), 10, 0);
+        let pool = 0.02 / 2.0; // seeder of class 2
+        let total_w = 1.0 + 0.25;
+        let r1 = snap
+            .downloads
+            .iter()
+            .find(|d| d.peer_idx == 1)
+            .unwrap()
+            .rate;
+        let r4 = snap
+            .downloads
+            .iter()
+            .find(|d| d.peer_idx == 2 && d.slot == 0)
+            .unwrap()
+            .rate;
+        assert!((r1 - (0.5 * 0.02 + 1.0 / total_w * pool)).abs() < 1e-15);
+        assert!((r4 - (0.5 * 0.02 / 4.0 + 0.25 / total_w * pool)).abs() < 1e-15);
+        // The seeder still downloads its unfinished slot 1.
+        assert!(snap
+            .downloads
+            .iter()
+            .any(|d| d.peer_idx == 0 && d.slot == 1));
+    }
+
+    #[test]
+    fn mtcd_seed_bandwidth_stays_pinned_to_its_torrent() {
+        // An MTCD virtual seed of torrent 0 idles when torrent 0 has no
+        // downloaders — it cannot redirect to torrent 5.
+        let mut seeder = peer(0, vec![0, 5]);
+        seeder.remaining = vec![0.0, 0.0];
+        seeder.seed_until = vec![Some(100.0), None];
+        seeder.phase = Phase::SeedingAll;
+        let other = peer(1, vec![5]);
+        let peers = vec![seeder, other];
+        let snap = compute_rates(&peers, SchemeKind::Mtcd, &params(), 10, 0);
+        let r = snap
+            .downloads
+            .iter()
+            .find(|d| d.peer_idx == 1)
+            .unwrap()
+            .rate;
+        assert!((r - 0.01).abs() < 1e-15, "only TFT: {r}");
+    }
+
+    #[test]
+    fn cmfsd_first_file_full_tft() {
+        let mut p = peer(0, vec![2, 7]);
+        p.rho = 0.3;
+        let peers = vec![p];
+        let snap = compute_rates(&peers, SchemeKind::Cmfsd { rho: 0.3 }, &params(), 10, 0);
+        // No finished file yet: P = 1 → η·μ.
+        assert!((snap.downloads[0].rate - 0.01).abs() < 1e-15);
+        assert_eq!(snap.donations[0], 0.0);
+    }
+
+    #[test]
+    fn cmfsd_partial_seed_splits_upload() {
+        // Peer A finished slot 0, downloading slot 1; its virtual seed can
+        // only serve file 2, where peer B downloads.
+        let mut a = peer(0, vec![2, 7]);
+        a.rho = 0.25;
+        a.remaining[0] = 0.0;
+        a.completed_at[0] = Some(1.0);
+        a.cursor = 1;
+        let b = peer(1, vec![2]);
+        let peers = vec![a, b];
+        let snap = compute_rates(&peers, SchemeKind::Cmfsd { rho: 0.25 }, &params(), 10, 0);
+        // A's download: η·ρμ (nobody serves file 7).
+        let ra = snap.downloads.iter().find(|d| d.peer_idx == 0).unwrap();
+        assert!((ra.rate - 0.5 * 0.25 * 0.02).abs() < 1e-15);
+        // B gets η·μ TFT + A's donated (1−ρ)μ as vs_rate.
+        let rb = snap.downloads.iter().find(|d| d.peer_idx == 1).unwrap();
+        let donated = 0.75 * 0.02;
+        assert!((rb.rate - (0.01 + donated)).abs() < 1e-15);
+        assert!((rb.vs_rate - donated).abs() < 1e-15);
+        assert!((snap.donations[0] - donated).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cmfsd_virtual_seed_is_demand_aware() {
+        // A has finished files 2 and 7. File 2 has two downloaders, file 7
+        // has one — the donated bandwidth splits 2:1 by weight.
+        let mut a = peer(0, vec![2, 7, 9]);
+        a.rho = 0.0;
+        a.remaining[0] = 0.0;
+        a.remaining[1] = 0.0;
+        a.completed_at[0] = Some(1.0);
+        a.completed_at[1] = Some(2.0);
+        a.cursor = 2;
+        let b = peer(1, vec![2]);
+        let c = peer(2, vec![2]);
+        let d = peer(3, vec![7]);
+        let peers = vec![a, b, c, d];
+        let snap = compute_rates(&peers, SchemeKind::Cmfsd { rho: 0.0 }, &params(), 10, 0);
+        let donated = 0.02;
+        // Demand: weight(file 2) = 2, weight(file 7) = 1 → 2/3 vs 1/3.
+        let rb = snap.downloads.iter().find(|x| x.peer_idx == 1).unwrap();
+        assert!((rb.vs_rate - donated * (2.0 / 3.0) / 2.0).abs() < 1e-15);
+        let rd = snap.downloads.iter().find(|x| x.peer_idx == 3).unwrap();
+        assert!((rd.vs_rate - donated * (1.0 / 3.0)).abs() < 1e-15);
+        assert!((snap.donations[0] - donated).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cmfsd_idle_virtual_seed_not_counted_as_donation() {
+        // A's only finished file has no downloaders: capacity idles and Δ
+        // accounting sees no donation.
+        let mut a = peer(0, vec![2, 7]);
+        a.rho = 0.0;
+        a.remaining[0] = 0.0;
+        a.completed_at[0] = Some(1.0);
+        a.cursor = 1;
+        let peers = vec![a];
+        let snap = compute_rates(&peers, SchemeKind::Cmfsd { rho: 0.0 }, &params(), 10, 0);
+        assert_eq!(snap.donations[0], 0.0);
+    }
+
+    #[test]
+    fn cmfsd_real_seed_demand_aware_over_its_files() {
+        let mut s = peer(0, vec![2, 7]);
+        s.remaining = vec![0.0, 0.0];
+        s.completed_at = vec![Some(1.0), Some(2.0)];
+        s.phase = Phase::SeedingAll;
+        let b = peer(1, vec![2]);
+        let peers = vec![s, b];
+        let snap = compute_rates(&peers, SchemeKind::Cmfsd { rho: 0.5 }, &params(), 10, 0);
+        // Only file 2 has demand: the WHOLE μ goes there.
+        let rb = snap.downloads.iter().find(|d| d.peer_idx == 1).unwrap();
+        assert!((rb.rate - (0.01 + 0.02)).abs() < 1e-15);
+        assert_eq!(rb.vs_rate, 0.0);
+    }
+
+    #[test]
+    fn bandwidth_conservation_per_subtorrent() {
+        // Sum of downloader rates in a subtorrent equals η·Σ uploads + pools.
+        let mut a = peer(0, vec![0, 1, 2]);
+        a.rho = 0.4;
+        a.remaining[0] = 0.0;
+        a.completed_at[0] = Some(1.0);
+        a.cursor = 1;
+        let b = peer(1, vec![1]);
+        let c = peer(2, vec![1, 2]);
+        let peers = vec![a, b, c];
+        let snap = compute_rates(&peers, SchemeKind::Cmfsd { rho: 0.4 }, &params(), 10, 0);
+        // Total received must equal η·ΣTFT + Σ consumed donations.
+        let total_received: f64 = snap.downloads.iter().map(|d| d.rate).sum();
+        let eta = 0.5;
+        let tft = eta * (0.4 * 0.02 + 0.02 + 0.02);
+        let donations: f64 = snap.donations.iter().sum();
+        assert!(
+            (total_received - (tft + donations)).abs() < 1e-12,
+            "received {total_received} vs capacity {}",
+            tft + donations
+        );
+    }
+
+    #[test]
+    fn departed_peers_contribute_nothing() {
+        let mut p = peer(0, vec![1]);
+        p.phase = Phase::Departed;
+        let snap = compute_rates(&[p], SchemeKind::Mtcd, &params(), 10, 0);
+        assert!(snap.downloads.is_empty());
+    }
+
+    #[test]
+    fn mfcd_finished_slots_keep_seeding_until_departure() {
+        let mut p = peer(0, vec![0, 1]);
+        p.remaining[0] = 0.0;
+        p.completed_at[0] = Some(5.0);
+        p.seed_until[0] = Some(f64::INFINITY); // engine sets departure later
+        let q = peer(1, vec![0]);
+        let peers = vec![p, q];
+        let snap = compute_rates(&peers, SchemeKind::Mfcd, &params(), 10, 0);
+        let rq = snap
+            .downloads
+            .iter()
+            .find(|d| d.peer_idx == 1)
+            .unwrap()
+            .rate;
+        // q: η·μ + the virtual seed's μ/2.
+        assert!((rq - (0.01 + 0.01)).abs() < 1e-15);
+    }
+}

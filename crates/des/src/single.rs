@@ -1,0 +1,311 @@
+//! A focused single-torrent simulator with heterogeneous bandwidth
+//! classes, validating the Section 2 multiclass fluid model
+//! ([`btfluid_core::multiclass::MultiClassFluid`]).
+//!
+//! Peers of class `Cᵢ(μᵢ, cᵢ)` arrive Poisson(λᵢ), download one file, seed
+//! for `Exp(γ)` and leave. Service follows the model's two assumptions
+//! literally:
+//!
+//! * TFT: each downloader receives `η·μᵢ` (what it uploads, discounted);
+//! * seeds: the pooled seed bandwidth `Σ μ·(seeds)` is split across
+//!   downloaders in proportion to their download capacity `cᵢ`.
+//!
+//! The main multi-file engine fixes `(μᵢ, cᵢ) = (μ/i, c/i)`; this one frees
+//! both, so the bandwidth-heterogeneity assumptions get exercised on their
+//! own.
+
+use btfluid_core::multiclass::{BandwidthClass, MultiClassFluid};
+use btfluid_numkit::dist::{DiscreteCdf, Exponential};
+use btfluid_numkit::rng::Xoshiro256StarStar;
+use btfluid_numkit::stats::Welford;
+use btfluid_numkit::NumError;
+
+/// Configuration of the heterogeneous single-torrent simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SingleTorrentConfig {
+    /// The bandwidth classes (upload, download, arrival rate each).
+    pub classes: Vec<BandwidthClass>,
+    /// Sharing efficiency η.
+    pub eta: f64,
+    /// Seed departure rate γ.
+    pub gamma: f64,
+    /// Arrivals stop at this time.
+    pub horizon: f64,
+    /// Users arriving before this time are not counted.
+    pub warmup: f64,
+    /// Extra time to let in-flight users finish.
+    pub drain: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Per-class measurement.
+#[derive(Debug, Clone, Default)]
+pub struct SingleClassStats {
+    /// Download-time accumulator.
+    pub download: Welford,
+    /// Online-time accumulator (download + seeding).
+    pub online: Welford,
+}
+
+/// Result of one run.
+#[derive(Debug, Clone)]
+pub struct SingleTorrentOutcome {
+    /// Per-class stats, parallel to the config's class list.
+    pub classes: Vec<SingleClassStats>,
+    /// Users still in flight at the hard stop.
+    pub censored: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum MiniPhase {
+    Downloading,
+    Seeding,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MiniPeer {
+    class: usize,
+    arrival: f64,
+    remaining: f64,
+    download_done_at: f64,
+    seed_until: f64,
+    phase: MiniPhase,
+}
+
+/// Runs the simulation.
+///
+/// # Errors
+/// Returns [`NumError::InvalidInput`] for invalid parameters (delegated to
+/// the fluid model's validation plus time-window checks).
+pub fn run_single_torrent(cfg: &SingleTorrentConfig) -> Result<SingleTorrentOutcome, NumError> {
+    // Reuse the fluid model's validation of classes/η/γ.
+    let _fluid = MultiClassFluid::new(cfg.classes.clone(), cfg.eta, cfg.gamma)?;
+    if !(cfg.horizon > 0.0) || !(cfg.warmup >= 0.0) || cfg.warmup >= cfg.horizon {
+        return Err(NumError::InvalidInput {
+            what: "run_single_torrent",
+            detail: "need 0 <= warmup < horizon".into(),
+        });
+    }
+    if !(cfg.drain >= 0.0) {
+        return Err(NumError::InvalidInput {
+            what: "run_single_torrent",
+            detail: format!("drain must be >= 0, got {}", cfg.drain),
+        });
+    }
+
+    let mut rng = Xoshiro256StarStar::stream(cfg.seed, 0);
+    let total_rate: f64 = cfg.classes.iter().map(|c| c.lambda).sum();
+    let gap = Exponential::new(total_rate)?;
+    let gamma_dist = Exponential::new(cfg.gamma)?;
+    let class_pick = DiscreteCdf::new(
+        &cfg.classes.iter().map(|c| c.lambda).collect::<Vec<_>>(),
+    )?;
+
+    let mut peers: Vec<MiniPeer> = Vec::new();
+    let mut stats = vec![SingleClassStats::default(); cfg.classes.len()];
+    let mut t = 0.0;
+    let mut next_arrival = gap.sample(&mut rng);
+    let end = cfg.horizon + cfg.drain;
+
+    loop {
+        // Rates: seeds pool split by download capacity.
+        let seed_pool: f64 = peers
+            .iter()
+            .filter(|p| p.phase == MiniPhase::Seeding)
+            .map(|p| cfg.classes[p.class].mu)
+            .sum();
+        let capacity: f64 = peers
+            .iter()
+            .filter(|p| p.phase == MiniPhase::Downloading)
+            .map(|p| cfg.classes[p.class].c)
+            .sum();
+
+        // Next event.
+        let mut t_next = end;
+        enum Ev {
+            End,
+            Arrival,
+            Complete(usize),
+            SeedOut(usize),
+        }
+        let mut ev = Ev::End;
+        if next_arrival < cfg.horizon && next_arrival < t_next {
+            t_next = next_arrival;
+            ev = Ev::Arrival;
+        }
+        for (i, p) in peers.iter().enumerate() {
+            match p.phase {
+                MiniPhase::Downloading => {
+                    let cl = &cfg.classes[p.class];
+                    let rate = cfg.eta * cl.mu
+                        + if capacity > 0.0 {
+                            cl.c / capacity * seed_pool
+                        } else {
+                            0.0
+                        };
+                    if rate > 0.0 {
+                        let tc = t + p.remaining / rate;
+                        if tc < t_next {
+                            t_next = tc;
+                            ev = Ev::Complete(i);
+                        }
+                    }
+                }
+                MiniPhase::Seeding => {
+                    if p.seed_until < t_next {
+                        t_next = p.seed_until;
+                        ev = Ev::SeedOut(i);
+                    }
+                }
+            }
+        }
+
+        // Advance all downloads.
+        let dt = (t_next - t).max(0.0);
+        if dt > 0.0 {
+            for p in peers.iter_mut() {
+                if p.phase == MiniPhase::Downloading {
+                    let cl = &cfg.classes[p.class];
+                    let rate = cfg.eta * cl.mu
+                        + if capacity > 0.0 {
+                            cl.c / capacity * seed_pool
+                        } else {
+                            0.0
+                        };
+                    p.remaining = (p.remaining - rate * dt).max(0.0);
+                }
+            }
+        }
+        t = t_next;
+
+        match ev {
+            Ev::End => break,
+            Ev::Arrival => {
+                let class = class_pick.sample(&mut rng);
+                peers.push(MiniPeer {
+                    class,
+                    arrival: t,
+                    remaining: 1.0,
+                    download_done_at: f64::NAN,
+                    seed_until: f64::INFINITY,
+                    phase: MiniPhase::Downloading,
+                });
+                next_arrival = t + gap.sample(&mut rng);
+            }
+            Ev::Complete(i) => {
+                let p = &mut peers[i];
+                p.remaining = 0.0;
+                p.download_done_at = t;
+                p.seed_until = t + gamma_dist.sample(&mut rng);
+                p.phase = MiniPhase::Seeding;
+            }
+            Ev::SeedOut(i) => {
+                let p = peers[i];
+                if p.arrival >= cfg.warmup && p.arrival < cfg.horizon {
+                    stats[p.class].download.push(p.download_done_at - p.arrival);
+                    stats[p.class].online.push(t - p.arrival);
+                }
+                peers.swap_remove(i);
+            }
+        }
+    }
+
+    let censored = peers
+        .iter()
+        .filter(|p| p.arrival >= cfg.warmup && p.arrival < cfg.horizon)
+        .count();
+    Ok(SingleTorrentOutcome {
+        classes: stats,
+        censored,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class(mu: f64, c: f64, lambda: f64) -> BandwidthClass {
+        BandwidthClass { mu, c, lambda }
+    }
+
+    fn cfg(classes: Vec<BandwidthClass>, seed: u64) -> SingleTorrentConfig {
+        SingleTorrentConfig {
+            classes,
+            eta: 0.5,
+            gamma: 0.05,
+            horizon: 5000.0,
+            warmup: 1500.0,
+            drain: 3000.0,
+            seed,
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let mut c = cfg(vec![class(0.02, 0.2, 0.5)], 1);
+        c.warmup = c.horizon;
+        assert!(run_single_torrent(&c).is_err());
+        let mut c = cfg(vec![class(0.02, 0.2, 0.5)], 1);
+        c.drain = -1.0;
+        assert!(run_single_torrent(&c).is_err());
+        assert!(run_single_torrent(&cfg(vec![], 1)).is_err());
+    }
+
+    #[test]
+    fn homogeneous_matches_qiu_srikant() {
+        // One class at the paper's parameters: download 60, online 80.
+        let c = cfg(vec![class(0.02, 0.2, 0.5)], 7);
+        let o = run_single_torrent(&c).unwrap();
+        assert!(o.classes[0].download.count() > 400);
+        let dl = o.classes[0].download.mean();
+        let on = o.classes[0].online.mean();
+        assert!((dl - 60.0).abs() < 5.0, "download = {dl}");
+        assert!((on - 80.0).abs() < 6.0, "online = {on}");
+        assert_eq!(o.censored, 0);
+    }
+
+    #[test]
+    fn heterogeneous_matches_multiclass_fluid() {
+        // Two very different classes; compare against the Section 2 fixed
+        // point per class.
+        let classes = vec![class(0.01, 0.1, 0.4), class(0.05, 0.5, 0.2)];
+        let fluid = MultiClassFluid::new(classes.clone(), 0.5, 0.05)
+            .unwrap()
+            .steady_state()
+            .unwrap();
+        let mut c = cfg(classes, 11);
+        c.horizon = 8000.0;
+        c.warmup = 2500.0;
+        let o = run_single_torrent(&c).unwrap();
+        for (i, st) in o.classes.iter().enumerate() {
+            assert!(st.download.count() > 200, "class {i} support");
+            let sim = st.download.mean();
+            let pred = fluid.download_times[i];
+            let rel = ((sim - pred) / pred).abs();
+            assert!(
+                rel < 0.10,
+                "class {i}: sim {sim:.1} vs fluid {pred:.1} ({:.0}% off)",
+                rel * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn fast_uploader_finishes_first_in_sim_too() {
+        let classes = vec![class(0.01, 0.2, 0.3), class(0.08, 0.2, 0.3)];
+        let o = run_single_torrent(&cfg(classes, 3)).unwrap();
+        assert!(
+            o.classes[1].download.mean() < o.classes[0].download.mean(),
+            "fast uploader should finish first"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let classes = vec![class(0.02, 0.2, 0.5)];
+        let a = run_single_torrent(&cfg(classes.clone(), 5)).unwrap();
+        let b = run_single_torrent(&cfg(classes, 5)).unwrap();
+        assert_eq!(a.classes[0].download.mean(), b.classes[0].download.mean());
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the bandwidth allocator: conservation and
+//! non-negativity over randomized peer populations.
+
+use btfluid_core::FluidParams;
+use btfluid_des::config::SchemeKind;
+use btfluid_des::peer::{Peer, Phase};
+use btfluid_des::rate::compute_rates;
+use proptest::prelude::*;
+
+const K: usize = 6;
+
+/// Strategy: a random CMFSD peer in a consistent state.
+fn cmfsd_peer(id: u64) -> impl Strategy<Value = Peer> {
+    (
+        prop::collection::btree_set(0u16..K as u16, 1..=K),
+        0.0f64..=1.0,
+        any::<bool>(),
+        0usize..K,
+    )
+        .prop_map(move |(files, rho, seeding_all, progress)| {
+            let files: Vec<u16> = files.into_iter().collect();
+            let n = files.len();
+            let order: Vec<usize> = (0..n).collect();
+            let mut p = Peer::new(id, 0.0, files, order, rho);
+            if seeding_all {
+                for s in 0..n {
+                    p.remaining[s] = 0.0;
+                    p.completed_at[s] = Some(1.0);
+                }
+                p.cursor = n;
+                p.phase = Phase::SeedingAll;
+            } else {
+                let done = progress.min(n - 1);
+                for s in 0..done {
+                    let slot = p.order[s];
+                    p.remaining[slot] = 0.0;
+                    p.completed_at[slot] = Some(1.0);
+                }
+                p.cursor = done;
+            }
+            p
+        })
+}
+
+fn population() -> impl Strategy<Value = Vec<Peer>> {
+    prop::collection::vec(any::<u64>(), 1..20).prop_flat_map(|ids| {
+        ids.into_iter()
+            .enumerate()
+            .map(|(i, _)| cmfsd_peer(i as u64))
+            .collect::<Vec<_>>()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cmfsd_conserves_bandwidth(peers in population(), origin in 0usize..3) {
+        let params = FluidParams::paper();
+        let scheme = SchemeKind::Cmfsd { rho: 0.5 }; // per-peer ρ is on the peer
+        let snap = compute_rates(&peers, scheme, &params, K, origin);
+
+        // Non-negativity and vs_rate ≤ rate.
+        for d in &snap.downloads {
+            prop_assert!(d.rate >= 0.0);
+            prop_assert!(d.vs_rate >= -1e-15 && d.vs_rate <= d.rate + 1e-12);
+        }
+
+        // Conservation: total received = η·Σ(TFT uploads) + consumed
+        // donations + consumed real-seed/origin bandwidth. We can't see
+        // "consumed real" directly, so check the weaker sound bound:
+        // total received ≤ η·ΣTFT + all donations + all real capacity.
+        let eta = params.eta();
+        let mu = params.mu();
+        let mut tft = 0.0;
+        let mut real_capacity = origin as f64 * mu;
+        for p in &peers {
+            match p.phase {
+                Phase::Downloading => {
+                    let u = if p.done_count() >= 1 { p.rho * mu } else { mu };
+                    tft += u;
+                }
+                Phase::SeedingAll => real_capacity += mu,
+                _ => {}
+            }
+        }
+        let donations: f64 = snap.donations.iter().sum();
+        let received: f64 = snap.downloads.iter().map(|d| d.rate).sum();
+        prop_assert!(
+            received <= eta * tft + donations + real_capacity + 1e-9,
+            "received {received} exceeds capacity {}",
+            eta * tft + donations + real_capacity
+        );
+
+        // Per-download TFT floor: every downloader gets at least η·(own
+        // upload).
+        for d in &snap.downloads {
+            let p = &peers[d.peer_idx];
+            let own = if p.done_count() >= 1 { p.rho * mu } else { mu };
+            prop_assert!(d.rate >= eta * own - 1e-12);
+        }
+
+        // Donations only come from peers with a finished file still
+        // downloading.
+        for (idx, &don) in snap.donations.iter().enumerate() {
+            if don > 0.0 {
+                let p = &peers[idx];
+                prop_assert_eq!(p.phase, Phase::Downloading);
+                prop_assert!(p.done_count() >= 1);
+                prop_assert!((don - (1.0 - p.rho) * mu).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn mtcd_rates_respect_class_split(peers in population()) {
+        // Reinterpreting the same peers under MTCD: each unfinished slot
+        // downloads at ≥ η·μ/class.
+        let params = FluidParams::paper();
+        let snap = compute_rates(&peers, SchemeKind::Mtcd, &params, K, 0);
+        for d in &snap.downloads {
+            let p = &peers[d.peer_idx];
+            let floor = params.eta() * params.mu() / p.class() as f64;
+            prop_assert!(d.rate >= floor - 1e-12);
+        }
+    }
+}

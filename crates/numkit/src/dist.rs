@@ -1,0 +1,432 @@
+//! Random-variate samplers used by the workload model and the simulator.
+//!
+//! Only the distributions the paper's model actually needs are implemented:
+//!
+//! * [`Exponential`] — inter-arrival gaps of the Poisson peer-arrival process
+//!   and the seed residence time (rate `γ`).
+//! * [`Bernoulli`] — per-file request decisions (probability `p`).
+//! * [`Binomial`] — the number of files a user requests,
+//!   `i ~ Binomial(K, p)` (Section 4.1 of the paper).
+//! * [`DiscreteCdf`] — alias-free inverse-CDF sampling over small weighted
+//!   supports (class selection from entry rates).
+//!
+//! Every sampler takes `&mut impl RngCore` so generators can be shared and
+//! tests can inject deterministic streams.
+
+use crate::error::NumError;
+use crate::rng::RngCore;
+
+/// Exponential distribution with rate `rate` (mean `1/rate`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given rate.
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] when `rate` is not strictly
+    /// positive and finite.
+    pub fn new(rate: f64) -> Result<Self, NumError> {
+        if !(rate > 0.0) || !rate.is_finite() {
+            return Err(NumError::InvalidInput {
+                what: "Exponential::new",
+                detail: format!("rate must be finite and > 0, got {rate}"),
+            });
+        }
+        Ok(Self { rate })
+    }
+
+    /// The rate parameter λ.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Mean `1/λ`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    /// Draws a variate by inverse CDF: `-ln(U)/λ` with `U ∈ (0,1]`.
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        -rng.next_f64_open().ln() / self.rate
+    }
+}
+
+/// Bernoulli distribution with success probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Creates a Bernoulli distribution.
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] unless `p ∈ [0, 1]`.
+    pub fn new(p: f64) -> Result<Self, NumError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(NumError::InvalidInput {
+                what: "Bernoulli::new",
+                detail: format!("p must lie in [0,1], got {p}"),
+            });
+        }
+        Ok(Self { p })
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Draws `true` with probability `p`.
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_f64() < self.p
+    }
+}
+
+/// Binomial distribution `Binomial(n, p)`.
+///
+/// The workload model only ever uses small `n` (the number of files in the
+/// system, `K = 10` in the paper), so the sampler is the straightforward sum
+/// of `n` Bernoulli trials — exact, branch-light and plenty fast for `n ≲ 64`.
+/// For larger `n` it switches to the BINV inverse-CDF walk, which is still
+/// exact and `O(n·p)` expected time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u32,
+    p: f64,
+}
+
+impl Binomial {
+    /// Creates a binomial distribution over `n` trials with per-trial
+    /// success probability `p`.
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] unless `p ∈ [0, 1]`.
+    pub fn new(n: u32, p: f64) -> Result<Self, NumError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(NumError::InvalidInput {
+                what: "Binomial::new",
+                detail: format!("p must lie in [0,1], got {p}"),
+            });
+        }
+        Ok(Self { n, p })
+    }
+
+    /// Number of trials.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Per-trial success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Mean `n·p`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Draws the number of successes.
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        if self.p == 0.0 {
+            return 0;
+        }
+        if self.p == 1.0 {
+            return self.n;
+        }
+        if self.n <= 64 {
+            let mut k = 0;
+            for _ in 0..self.n {
+                if rng.next_f64() < self.p {
+                    k += 1;
+                }
+            }
+            k
+        } else {
+            self.sample_binv(rng)
+        }
+    }
+
+    /// BINV inverse-CDF walk (Kachitvichyanukul & Schmeiser 1988), exact for
+    /// any `n`, efficient when `n·min(p, 1−p)` is moderate.
+    fn sample_binv<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        // Walk from the smaller tail for numerical robustness.
+        let flipped = self.p > 0.5;
+        let p = if flipped { 1.0 - self.p } else { self.p };
+        let n = self.n as f64;
+        let q = 1.0 - p;
+        let s = p / q;
+        let a = (n + 1.0) * s;
+        let mut f = q.powf(n);
+        let mut u = rng.next_f64();
+        let mut k = 0u32;
+        loop {
+            if u < f {
+                break;
+            }
+            u -= f;
+            k += 1;
+            if k > self.n {
+                // Floating-point leakage past the support; clamp.
+                k = self.n;
+                break;
+            }
+            f *= a / k as f64 - s;
+        }
+        if flipped {
+            self.n - k
+        } else {
+            k
+        }
+    }
+}
+
+/// Inverse-CDF sampler over a small discrete support with arbitrary
+/// non-negative weights.
+///
+/// Construction normalizes the weights; sampling is a linear CDF walk, which
+/// beats alias tables for the tiny supports (≤ `K = 10` classes) used here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscreteCdf {
+    /// Cumulative normalized weights; last entry is exactly 1.0.
+    cdf: Vec<f64>,
+}
+
+impl DiscreteCdf {
+    /// Builds the sampler from raw weights.
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] if `weights` is empty, contains a
+    /// negative or non-finite entry, or sums to zero.
+    pub fn new(weights: &[f64]) -> Result<Self, NumError> {
+        if weights.is_empty() {
+            return Err(NumError::InvalidInput {
+                what: "DiscreteCdf::new",
+                detail: "weights must be non-empty".into(),
+            });
+        }
+        let mut total = 0.0;
+        for (i, &w) in weights.iter().enumerate() {
+            if !w.is_finite() || w < 0.0 {
+                return Err(NumError::InvalidInput {
+                    what: "DiscreteCdf::new",
+                    detail: format!("weight[{i}] = {w} is negative or non-finite"),
+                });
+            }
+            total += w;
+        }
+        if total <= 0.0 {
+            return Err(NumError::InvalidInput {
+                what: "DiscreteCdf::new",
+                detail: "weights sum to zero".into(),
+            });
+        }
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        // Pin the final entry so a draw of u -> 1-eps can never fall off the
+        // end due to rounding.
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        Ok(Self { cdf })
+    }
+
+    /// Number of support points.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the support is empty (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Probability mass of support point `i` (for tests/diagnostics).
+    pub fn pmf(&self, i: usize) -> f64 {
+        let lo = if i == 0 { 0.0 } else { self.cdf[i - 1] };
+        self.cdf[i] - lo
+    }
+
+    /// Draws an index distributed according to the normalized weights.
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        let u = rng.next_f64();
+        // Linear walk; supports here have ≤ ~10 entries.
+        for (i, &c) in self.cdf.iter().enumerate() {
+            if u < c {
+                return i;
+            }
+        }
+        self.cdf.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256StarStar;
+    use crate::stats::Welford;
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn exponential_rejects_bad_rate() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::new(f64::NAN).is_err());
+        assert!(Exponential::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn exponential_mean_and_variance() {
+        let d = Exponential::new(0.05).unwrap();
+        let mut r = rng(1);
+        let mut w = Welford::new();
+        for _ in 0..200_000 {
+            w.push(d.sample(&mut r));
+        }
+        // mean 20, variance 400
+        assert!((w.mean() - 20.0).abs() < 0.3, "mean = {}", w.mean());
+        assert!(
+            (w.variance() - 400.0).abs() / 400.0 < 0.05,
+            "var = {}",
+            w.variance()
+        );
+    }
+
+    #[test]
+    fn exponential_samples_positive() {
+        let d = Exponential::new(3.0).unwrap();
+        let mut r = rng(2);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut r) > 0.0);
+        }
+    }
+
+    #[test]
+    fn bernoulli_bounds() {
+        assert!(Bernoulli::new(-0.1).is_err());
+        assert!(Bernoulli::new(1.1).is_err());
+        assert!(Bernoulli::new(0.0).is_ok());
+        assert!(Bernoulli::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn bernoulli_frequency_matches_p() {
+        let d = Bernoulli::new(0.3).unwrap();
+        let mut r = rng(3);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| d.sample(&mut r)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.3).abs() < 0.01, "freq = {freq}");
+    }
+
+    #[test]
+    fn bernoulli_degenerate_cases() {
+        let mut r = rng(4);
+        assert!(!Bernoulli::new(0.0).unwrap().sample(&mut r));
+        assert!(Bernoulli::new(1.0).unwrap().sample(&mut r));
+    }
+
+    #[test]
+    fn binomial_mean_small_n() {
+        let d = Binomial::new(10, 0.4).unwrap();
+        let mut r = rng(5);
+        let mut w = Welford::new();
+        for _ in 0..100_000 {
+            w.push(d.sample(&mut r) as f64);
+        }
+        assert!((w.mean() - 4.0).abs() < 0.05, "mean = {}", w.mean());
+        // variance = n p (1-p) = 2.4
+        assert!((w.variance() - 2.4).abs() < 0.1, "var = {}", w.variance());
+    }
+
+    #[test]
+    fn binomial_binv_path_mean() {
+        let d = Binomial::new(200, 0.02).unwrap();
+        let mut r = rng(6);
+        let mut w = Welford::new();
+        for _ in 0..50_000 {
+            let k = d.sample(&mut r);
+            assert!(k <= 200);
+            w.push(k as f64);
+        }
+        assert!((w.mean() - 4.0).abs() < 0.1, "mean = {}", w.mean());
+    }
+
+    #[test]
+    fn binomial_binv_high_p_flips() {
+        let d = Binomial::new(500, 0.97).unwrap();
+        let mut r = rng(7);
+        let mut w = Welford::new();
+        for _ in 0..20_000 {
+            let k = d.sample(&mut r);
+            assert!(k <= 500);
+            w.push(k as f64);
+        }
+        assert!((w.mean() - 485.0).abs() < 0.5, "mean = {}", w.mean());
+    }
+
+    #[test]
+    fn binomial_degenerate_p() {
+        let mut r = rng(8);
+        assert_eq!(Binomial::new(12, 0.0).unwrap().sample(&mut r), 0);
+        assert_eq!(Binomial::new(12, 1.0).unwrap().sample(&mut r), 12);
+    }
+
+    #[test]
+    fn binomial_rejects_bad_p() {
+        assert!(Binomial::new(5, 1.5).is_err());
+        assert!(Binomial::new(5, -0.5).is_err());
+    }
+
+    #[test]
+    fn discrete_cdf_validation() {
+        assert!(DiscreteCdf::new(&[]).is_err());
+        assert!(DiscreteCdf::new(&[0.0, 0.0]).is_err());
+        assert!(DiscreteCdf::new(&[1.0, -1.0]).is_err());
+        assert!(DiscreteCdf::new(&[1.0, f64::NAN]).is_err());
+        assert!(DiscreteCdf::new(&[2.0]).is_ok());
+    }
+
+    #[test]
+    fn discrete_cdf_pmf_normalized() {
+        let d = DiscreteCdf::new(&[1.0, 2.0, 7.0]).unwrap();
+        assert!((d.pmf(0) - 0.1).abs() < 1e-12);
+        assert!((d.pmf(1) - 0.2).abs() < 1e-12);
+        assert!((d.pmf(2) - 0.7).abs() < 1e-12);
+        let total: f64 = (0..d.len()).map(|i| d.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discrete_cdf_sampling_frequencies() {
+        let d = DiscreteCdf::new(&[1.0, 3.0, 6.0]).unwrap();
+        let mut r = rng(9);
+        let n = 120_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[d.sample(&mut r)] += 1;
+        }
+        let freqs: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+        assert!((freqs[0] - 0.1).abs() < 0.01);
+        assert!((freqs[1] - 0.3).abs() < 0.01);
+        assert!((freqs[2] - 0.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn discrete_cdf_single_point() {
+        let d = DiscreteCdf::new(&[5.0]).unwrap();
+        let mut r = rng(10);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut r), 0);
+        }
+    }
+}

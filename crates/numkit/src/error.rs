@@ -1,0 +1,132 @@
+//! Error types shared by the numeric routines.
+
+use std::fmt;
+
+/// Errors produced by the numeric kernels in this crate.
+///
+/// Every solver in `btfluid-numkit` reports failure through this type instead
+/// of panicking, so callers (the fluid-model crate, the experiment harness)
+/// can surface diagnostics to the user.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumError {
+    /// An argument was outside the routine's domain.
+    InvalidInput {
+        /// Which routine rejected the input.
+        what: &'static str,
+        /// Human-readable detail about the violation.
+        detail: String,
+    },
+    /// An iterative method exhausted its iteration budget without meeting
+    /// its tolerance.
+    NoConvergence {
+        /// Which routine failed to converge.
+        what: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+        /// The residual (or error estimate) at the final iterate.
+        residual: f64,
+    },
+    /// A root-bracketing method was given endpoints that do not bracket a
+    /// sign change.
+    NoBracket {
+        /// Function value at the left endpoint.
+        fa: f64,
+        /// Function value at the right endpoint.
+        fb: f64,
+    },
+    /// An adaptive step-size controller underflowed the minimum step.
+    StepUnderflow {
+        /// Time at which the step collapsed.
+        t: f64,
+        /// The step size that fell below the admissible minimum.
+        h: f64,
+    },
+    /// A computation produced a non-finite value (NaN or ±∞).
+    NonFinite {
+        /// Which routine observed the non-finite value.
+        what: &'static str,
+        /// Time or iterate index at which it appeared.
+        at: f64,
+    },
+}
+
+impl fmt::Display for NumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumError::InvalidInput { what, detail } => {
+                write!(f, "invalid input to {what}: {detail}")
+            }
+            NumError::NoConvergence {
+                what,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{what} failed to converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            NumError::NoBracket { fa, fb } => write!(
+                f,
+                "root not bracketed: f(a) = {fa:.3e} and f(b) = {fb:.3e} have the same sign"
+            ),
+            NumError::StepUnderflow { t, h } => {
+                write!(f, "step size underflow at t = {t:.6e} (h = {h:.3e})")
+            }
+            NumError::NonFinite { what, at } => {
+                write!(f, "{what} produced a non-finite value at {at:.6e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NumError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_input() {
+        let e = NumError::InvalidInput {
+            what: "bisect",
+            detail: "a >= b".into(),
+        };
+        assert!(e.to_string().contains("bisect"));
+        assert!(e.to_string().contains("a >= b"));
+    }
+
+    #[test]
+    fn display_no_convergence_mentions_counts() {
+        let e = NumError::NoConvergence {
+            what: "newton",
+            iterations: 17,
+            residual: 1e-3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("newton"));
+        assert!(s.contains("17"));
+    }
+
+    #[test]
+    fn display_no_bracket_shows_values() {
+        let e = NumError::NoBracket { fa: 1.0, fb: 2.0 };
+        assert!(e.to_string().contains("same sign"));
+    }
+
+    #[test]
+    fn display_step_underflow_and_nonfinite() {
+        let e = NumError::StepUnderflow { t: 1.0, h: 1e-18 };
+        assert!(e.to_string().contains("underflow"));
+        let e = NumError::NonFinite {
+            what: "dopri5",
+            at: 3.0,
+        };
+        assert!(e.to_string().contains("non-finite"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        let e = NumError::NoBracket { fa: 1.0, fb: 2.0 };
+        takes_err(&e);
+    }
+}

@@ -1,0 +1,175 @@
+//! Piecewise-linear interpolation over monotone grids.
+//!
+//! Used by the experiment harness to read figure series at arbitrary
+//! abscissae (e.g. locating the `p` at which MTCD crosses a given online
+//! time) and by the ODE observers for resampling trajectories onto uniform
+//! grids.
+
+use crate::error::NumError;
+
+/// A piecewise-linear function defined by strictly increasing knots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearInterp {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl LinearInterp {
+    /// Builds the interpolant from knot abscissae `xs` (strictly increasing)
+    /// and ordinates `ys`.
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] if the slices differ in length,
+    /// have fewer than two points, contain non-finite values, or `xs` is not
+    /// strictly increasing.
+    pub fn new(xs: &[f64], ys: &[f64]) -> Result<Self, NumError> {
+        if xs.len() != ys.len() {
+            return Err(NumError::InvalidInput {
+                what: "LinearInterp::new",
+                detail: format!("length mismatch: {} xs vs {} ys", xs.len(), ys.len()),
+            });
+        }
+        if xs.len() < 2 {
+            return Err(NumError::InvalidInput {
+                what: "LinearInterp::new",
+                detail: "need at least two knots".into(),
+            });
+        }
+        for (i, w) in xs.windows(2).enumerate() {
+            if !(w[0] < w[1]) {
+                return Err(NumError::InvalidInput {
+                    what: "LinearInterp::new",
+                    detail: format!(
+                        "xs must be strictly increasing, xs[{i}] = {} >= xs[{}] = {}",
+                        w[0],
+                        i + 1,
+                        w[1]
+                    ),
+                });
+            }
+        }
+        if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
+            return Err(NumError::InvalidInput {
+                what: "LinearInterp::new",
+                detail: "knots must be finite".into(),
+            });
+        }
+        Ok(Self {
+            xs: xs.to_vec(),
+            ys: ys.to_vec(),
+        })
+    }
+
+    /// Domain of the interpolant `[x_min, x_max]`.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.xs[0], *self.xs.last().expect("≥2 knots"))
+    }
+
+    /// Evaluates the interpolant, clamping outside the domain (constant
+    /// extrapolation).
+    pub fn eval(&self, x: f64) -> f64 {
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        let last = self.xs.len() - 1;
+        if x >= self.xs[last] {
+            return self.ys[last];
+        }
+        // Binary search for the bracketing segment.
+        let idx = match self
+            .xs
+            .binary_search_by(|probe| probe.partial_cmp(&x).expect("finite knots"))
+        {
+            Ok(i) => return self.ys[i],
+            Err(i) => i - 1,
+        };
+        let (x0, x1) = (self.xs[idx], self.xs[idx + 1]);
+        let (y0, y1) = (self.ys[idx], self.ys[idx + 1]);
+        let t = (x - x0) / (x1 - x0);
+        y0 + t * (y1 - y0)
+    }
+
+    /// Finds the abscissa at which the interpolant first crosses `level`,
+    /// scanning segments left to right. Returns `None` if it never does.
+    pub fn first_crossing(&self, level: f64) -> Option<f64> {
+        for i in 0..self.xs.len() - 1 {
+            let (y0, y1) = (self.ys[i] - level, self.ys[i + 1] - level);
+            if y0 == 0.0 {
+                return Some(self.xs[i]);
+            }
+            if y0.signum() != y1.signum() {
+                // Linear crossing within the segment.
+                let t = y0 / (y0 - y1);
+                return Some(self.xs[i] + t * (self.xs[i + 1] - self.xs[i]));
+            }
+        }
+        if *self.ys.last().expect("≥2 knots") == level {
+            return Some(*self.xs.last().expect("≥2 knots"));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_on_knots_and_between() {
+        let f = LinearInterp::new(&[0.0, 1.0, 2.0], &[0.0, 10.0, 0.0]).unwrap();
+        assert_eq!(f.eval(0.0), 0.0);
+        assert_eq!(f.eval(1.0), 10.0);
+        assert_eq!(f.eval(0.5), 5.0);
+        assert_eq!(f.eval(1.5), 5.0);
+    }
+
+    #[test]
+    fn eval_clamps_outside_domain() {
+        let f = LinearInterp::new(&[0.0, 1.0], &[2.0, 4.0]).unwrap();
+        assert_eq!(f.eval(-1.0), 2.0);
+        assert_eq!(f.eval(9.0), 4.0);
+    }
+
+    #[test]
+    fn rejects_bad_knots() {
+        assert!(LinearInterp::new(&[0.0], &[1.0]).is_err());
+        assert!(LinearInterp::new(&[0.0, 0.0], &[1.0, 2.0]).is_err());
+        assert!(LinearInterp::new(&[1.0, 0.0], &[1.0, 2.0]).is_err());
+        assert!(LinearInterp::new(&[0.0, 1.0], &[1.0]).is_err());
+        assert!(LinearInterp::new(&[0.0, f64::NAN], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn domain_reported() {
+        let f = LinearInterp::new(&[-2.0, 3.0], &[0.0, 1.0]).unwrap();
+        assert_eq!(f.domain(), (-2.0, 3.0));
+    }
+
+    #[test]
+    fn first_crossing_found() {
+        let f = LinearInterp::new(&[0.0, 1.0, 2.0], &[0.0, 10.0, 0.0]).unwrap();
+        let x = f.first_crossing(5.0).unwrap();
+        assert!((x - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_crossing_none_when_never_crossed() {
+        let f = LinearInterp::new(&[0.0, 1.0], &[0.0, 1.0]).unwrap();
+        assert!(f.first_crossing(5.0).is_none());
+    }
+
+    #[test]
+    fn first_crossing_at_knot() {
+        let f = LinearInterp::new(&[0.0, 1.0, 2.0], &[5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(f.first_crossing(5.0), Some(0.0));
+        assert_eq!(f.first_crossing(9.0), Some(2.0));
+    }
+
+    #[test]
+    fn binary_search_dense_grid() {
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x).collect();
+        let f = LinearInterp::new(&xs, &ys).unwrap();
+        assert!((f.eval(123.456) - 246.912).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,68 @@
+//! # btfluid-numkit
+//!
+//! Self-contained numerics substrate for the `btfluid` workspace.
+//!
+//! The paper this workspace reproduces ("Analyzing Multiple File Downloading
+//! in BitTorrent", Tian/Wu/Ng, ICPP 2006) is evaluated purely numerically:
+//! every figure is a steady-state solution of a fluid ordinary-differential
+//! -equation model, and the companion discrete-event simulator needs
+//! reproducible random streams. This crate provides everything those
+//! computations need, with no external dependencies:
+//!
+//! * [`ode`] — fixed-step (Euler, Heun, classical RK4) and adaptive
+//!   (Dormand–Prince 5(4)) integrators over a generic [`ode::OdeSystem`]
+//!   trait, plus a steady-state driver that integrates until the right-hand
+//!   side vanishes.
+//! * [`rng`] — SplitMix64 and Xoshiro256★★ generators with cheap independent
+//!   stream splitting, chosen over the `rand` crate for bit-exact
+//!   reproducibility of every figure (see DESIGN.md §5.1).
+//! * [`dist`] — the exact samplers the workload model needs: uniform,
+//!   Bernoulli, exponential, binomial and Poisson-process arrival gaps.
+//! * [`roots`] — bisection, Brent and safeguarded Newton scalar root finders
+//!   (used by the CMFSD fixed-point steady-state solver).
+//! * [`special`] — `ln_gamma`, stable binomial coefficients and pmf.
+//! * [`stats`] — Welford online moments, confidence intervals, percentiles,
+//!   histograms and Jain's fairness index.
+//! * [`linalg`] — small dense LU with partial pivoting (Newton steps of
+//!   the implicit integrator).
+//! * [`quadrature`] — trapezoid/Simpson rules and sampled-series
+//!   time-averages.
+//! * [`interp`] / [`series`] — piecewise-linear interpolation and labelled
+//!   time-series containers used by ODE observers and the simulator.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use btfluid_numkit::ode::{OdeSystem, Rk4, FixedStep};
+//!
+//! /// dx/dt = -x, x(0) = 1  =>  x(t) = e^{-t}
+//! struct Decay;
+//! impl OdeSystem for Decay {
+//!     fn dim(&self) -> usize { 1 }
+//!     fn rhs(&self, _t: f64, x: &[f64], dx: &mut [f64]) { dx[0] = -x[0]; }
+//! }
+//!
+//! let mut x = vec![1.0];
+//! Rk4.integrate(&Decay, 0.0, &mut x, 1.0, 1e-3);
+//! assert!((x[0] - (-1.0f64).exp()).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)` is used deliberately throughout: unlike `x <= 0.0` it also
+// rejects NaN, which is exactly what parameter validation wants.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod error;
+pub mod interp;
+pub mod linalg;
+pub mod ode;
+pub mod quadrature;
+pub mod rng;
+pub mod roots;
+pub mod series;
+pub mod special;
+pub mod stats;
+
+pub use error::NumError;

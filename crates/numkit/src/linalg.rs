@@ -1,0 +1,247 @@
+//! Small dense linear algebra: LU factorization with partial pivoting.
+//!
+//! Sized for the workspace's needs — Newton steps inside the implicit ODE
+//! solver factor Jacobians of dimension `≤ K(K+1)/2 + K` (65 for the
+//! paper's `K = 10`), where a simple `O(n³)` LU is exactly right.
+
+use crate::error::NumError;
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates an `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Creates the identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from row-major data.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != n²`.
+    pub fn from_rows(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n, "need n² entries");
+        Self { n, data }
+    }
+
+    /// Dimension `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        (0..self.n)
+            .map(|i| {
+                self.data[i * self.n..(i + 1) * self.n]
+                    .iter()
+                    .zip(x)
+                    .map(|(a, b)| a * b)
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.n + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.n + j]
+    }
+}
+
+/// An LU factorization `P·A = L·U` with partial pivoting.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    lu: Matrix,
+    pivots: Vec<usize>,
+    /// Sign of the permutation (for the determinant).
+    sign: f64,
+}
+
+impl Lu {
+    /// Factors the matrix.
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] when the matrix is numerically
+    /// singular (a pivot below `1e-300`).
+    pub fn factor(a: &Matrix) -> Result<Self, NumError> {
+        let n = a.n();
+        let mut lu = a.clone();
+        let mut pivots: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for col in 0..n {
+            // Partial pivot: largest |entry| in this column at/below the
+            // diagonal.
+            let mut p = col;
+            let mut best = lu[(col, col)].abs();
+            for row in col + 1..n {
+                let v = lu[(row, col)].abs();
+                if v > best {
+                    best = v;
+                    p = row;
+                }
+            }
+            if best < 1e-300 {
+                return Err(NumError::InvalidInput {
+                    what: "Lu::factor",
+                    detail: format!("matrix is singular at column {col}"),
+                });
+            }
+            if p != col {
+                for j in 0..n {
+                    let tmp = lu[(col, j)];
+                    lu[(col, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                pivots.swap(col, p);
+                sign = -sign;
+            }
+            let pivot = lu[(col, col)];
+            for row in col + 1..n {
+                let factor = lu[(row, col)] / pivot;
+                lu[(row, col)] = factor;
+                for j in col + 1..n {
+                    let upper = lu[(col, j)];
+                    lu[(row, j)] -= factor * upper;
+                }
+            }
+        }
+        Ok(Self { lu, pivots, sign })
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.lu.n();
+        assert_eq!(b.len(), n);
+        // Apply the permutation.
+        let mut x: Vec<f64> = self.pivots.iter().map(|&p| b[p]).collect();
+        // Forward substitution (L has unit diagonal).
+        for i in 1..n {
+            for j in 0..i {
+                x[i] -= self.lu[(i, j)] * x[j];
+            }
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            for j in i + 1..n {
+                x[i] -= self.lu[(i, j)] * x[j];
+            }
+            x[i] /= self.lu[(i, i)];
+        }
+        x
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let n = self.lu.n();
+        (0..n).map(|i| self.lu[(i, i)]).product::<f64>() * self.sign
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solves_trivially() {
+        let lu = Lu::factor(&Matrix::identity(4)).unwrap();
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(lu.solve(&b), b);
+        assert!((lu.det() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_known_system() {
+        // [[2, 1], [1, 3]] x = [3, 5] -> x = [4/5, 7/5]
+        let a = Matrix::from_rows(2, vec![2.0, 1.0, 1.0, 3.0]);
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&[3.0, 5.0]);
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+        assert!((lu.det() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(2, vec![0.0, 1.0, 1.0, 0.0]);
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&[2.0, 3.0]);
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+        assert!((lu.det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(Lu::factor(&a).is_err());
+    }
+
+    #[test]
+    fn residual_small_for_random_system() {
+        // Deterministic pseudo-random 8×8 system.
+        let n = 8;
+        let mut a = Matrix::zeros(n);
+        let mut state = 1u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+        };
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = next();
+            }
+            a[(i, i)] += 4.0; // diagonally dominant => well conditioned
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 3.0).collect();
+        let b = a.mul_vec(&x_true);
+        let x = Lu::factor(&a).unwrap().solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn mul_vec_works() {
+        let a = Matrix::from_rows(2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+        assert_eq!(a.n(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "n² entries")]
+    fn bad_shape_panics() {
+        let _ = Matrix::from_rows(2, vec![1.0, 2.0, 3.0]);
+    }
+}

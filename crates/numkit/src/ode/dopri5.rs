@@ -1,0 +1,518 @@
+//! Adaptive Dormand–Prince 5(4) integrator with PI step-size control.
+//!
+//! This is the default solver for steady-state runs of the multi-class fluid
+//! models: early transients (flash crowds) need small steps, while the long
+//! relaxation tail towards equilibrium can take steps of many time units.
+
+use super::system::OdeSystem;
+use crate::error::NumError;
+
+/// Tolerances and budgets for [`Dopri5`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dopri5Options {
+    /// Relative tolerance per component.
+    pub rtol: f64,
+    /// Absolute tolerance per component.
+    pub atol: f64,
+    /// Initial step size (`None` → heuristic from the first derivative).
+    pub h0: Option<f64>,
+    /// Upper bound on the step size (`f64::INFINITY` to disable).
+    pub h_max: f64,
+    /// Hard cap on accepted + rejected steps.
+    pub max_steps: usize,
+}
+
+impl Default for Dopri5Options {
+    fn default() -> Self {
+        Self {
+            rtol: 1e-8,
+            atol: 1e-10,
+            h0: None,
+            h_max: f64::INFINITY,
+            max_steps: 1_000_000,
+        }
+    }
+}
+
+/// Counters reported after a successful integration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Dopri5Stats {
+    /// Steps whose error estimate passed the tolerance.
+    pub accepted: usize,
+    /// Steps that were retried with a smaller h.
+    pub rejected: usize,
+    /// Right-hand-side evaluations.
+    pub rhs_evals: usize,
+}
+
+/// The Dormand–Prince 5(4) embedded Runge–Kutta pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Dopri5;
+
+// Butcher tableau (Dormand & Prince 1980).
+const C: [f64; 7] = [0.0, 1.0 / 5.0, 3.0 / 10.0, 4.0 / 5.0, 8.0 / 9.0, 1.0, 1.0];
+const A: [[f64; 6]; 7] = [
+    [0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+    [1.0 / 5.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+    [3.0 / 40.0, 9.0 / 40.0, 0.0, 0.0, 0.0, 0.0],
+    [44.0 / 45.0, -56.0 / 15.0, 32.0 / 9.0, 0.0, 0.0, 0.0],
+    [
+        19372.0 / 6561.0,
+        -25360.0 / 2187.0,
+        64448.0 / 6561.0,
+        -212.0 / 729.0,
+        0.0,
+        0.0,
+    ],
+    [
+        9017.0 / 3168.0,
+        -355.0 / 33.0,
+        46732.0 / 5247.0,
+        49.0 / 176.0,
+        -5103.0 / 18656.0,
+        0.0,
+    ],
+    [
+        35.0 / 384.0,
+        0.0,
+        500.0 / 1113.0,
+        125.0 / 192.0,
+        -2187.0 / 6784.0,
+        11.0 / 84.0,
+    ],
+];
+/// 5th-order weights (same as the last row of A — FSAL).
+const B5: [f64; 7] = [
+    35.0 / 384.0,
+    0.0,
+    500.0 / 1113.0,
+    125.0 / 192.0,
+    -2187.0 / 6784.0,
+    11.0 / 84.0,
+    0.0,
+];
+/// 4th-order (embedded) weights.
+const B4: [f64; 7] = [
+    5179.0 / 57600.0,
+    0.0,
+    7571.0 / 16695.0,
+    393.0 / 640.0,
+    -92097.0 / 339200.0,
+    187.0 / 2100.0,
+    1.0 / 40.0,
+];
+
+impl Dopri5 {
+    /// Integrates `sys` from `t0` to `t1`, updating `x` in place.
+    ///
+    /// `on_step(t, x)` is invoked after every *accepted* step (and once at
+    /// `t0` with the initial state); use it to record trajectories.
+    ///
+    /// # Errors
+    /// * [`NumError::StepUnderflow`] when the controller cannot meet the
+    ///   tolerance even with the minimum representable step.
+    /// * [`NumError::NoConvergence`] when `max_steps` is exhausted.
+    /// * [`NumError::NonFinite`] when the RHS produces NaN/∞.
+    /// * [`NumError::InvalidInput`] for a backwards interval or bad
+    ///   tolerances.
+    pub fn integrate<S, F>(
+        &self,
+        sys: &S,
+        t0: f64,
+        x: &mut [f64],
+        t1: f64,
+        opts: Dopri5Options,
+        mut on_step: F,
+    ) -> Result<Dopri5Stats, NumError>
+    where
+        S: OdeSystem,
+        F: FnMut(f64, &[f64]),
+    {
+        if !(t1 >= t0) {
+            return Err(NumError::InvalidInput {
+                what: "Dopri5::integrate",
+                detail: format!("require t1 >= t0, got t0 = {t0}, t1 = {t1}"),
+            });
+        }
+        if !(opts.rtol > 0.0 && opts.atol > 0.0) {
+            return Err(NumError::InvalidInput {
+                what: "Dopri5::integrate",
+                detail: format!(
+                    "tolerances must be > 0, got rtol = {}, atol = {}",
+                    opts.rtol, opts.atol
+                ),
+            });
+        }
+        let n = sys.dim();
+        debug_assert_eq!(x.len(), n);
+        let mut stats = Dopri5Stats::default();
+        if t1 == t0 {
+            on_step(t0, x);
+            return Ok(stats);
+        }
+
+        let mut k = vec![vec![0.0; n]; 7];
+        let mut x5 = vec![0.0; n];
+        let mut stage = vec![0.0; n];
+
+        let mut t = t0;
+        // FSAL: k[0] holds f(t, x).
+        sys.rhs(t, x, &mut k[0]);
+        stats.rhs_evals += 1;
+        on_step(t, x);
+
+        let mut h = match opts.h0 {
+            Some(h0) => h0.min(t1 - t0).min(opts.h_max),
+            None => initial_step(sys, t, x, &k[0], opts, &mut stats),
+        };
+        // PI controller memory.
+        let mut err_prev: f64 = 1.0;
+        const SAFETY: f64 = 0.9;
+        const MIN_SCALE: f64 = 0.2;
+        const MAX_SCALE: f64 = 10.0;
+        const ALPHA: f64 = 0.7 / 5.0;
+        const BETA: f64 = 0.4 / 5.0;
+
+        while t < t1 {
+            if stats.accepted + stats.rejected >= opts.max_steps {
+                return Err(NumError::NoConvergence {
+                    what: "Dopri5::integrate",
+                    iterations: opts.max_steps,
+                    residual: t1 - t,
+                });
+            }
+            h = h.min(t1 - t).min(opts.h_max);
+            if h <= f64::EPSILON * t.abs().max(1.0) {
+                return Err(NumError::StepUnderflow { t, h });
+            }
+
+            // Stages 1..6 (stage 0 is FSAL-carried).
+            for s in 1..7 {
+                for i in 0..n {
+                    let mut acc = 0.0;
+                    for (j, kj) in k.iter().enumerate().take(s) {
+                        let a = A[s][j];
+                        if a != 0.0 {
+                            acc += a * kj[i];
+                        }
+                    }
+                    stage[i] = x[i] + h * acc;
+                }
+                let (head, tail) = k.split_at_mut(s);
+                let _ = head;
+                sys.rhs(t + C[s] * h, &stage, &mut tail[0]);
+                stats.rhs_evals += 1;
+            }
+
+            // 5th-order solution and embedded error estimate.
+            let mut err_norm = 0.0f64;
+            for i in 0..n {
+                let mut acc5 = 0.0;
+                let mut acc4 = 0.0;
+                for (j, kj) in k.iter().enumerate() {
+                    acc5 += B5[j] * kj[i];
+                    acc4 += B4[j] * kj[i];
+                }
+                x5[i] = x[i] + h * acc5;
+                let e = h * (acc5 - acc4);
+                let scale = opts.atol + opts.rtol * x[i].abs().max(x5[i].abs());
+                let r = e / scale;
+                err_norm += r * r;
+            }
+            err_norm = (err_norm / n as f64).sqrt();
+            if !err_norm.is_finite() || x5.iter().any(|v| !v.is_finite()) {
+                return Err(NumError::NonFinite {
+                    what: "Dopri5::integrate",
+                    at: t,
+                });
+            }
+
+            if err_norm <= 1.0 {
+                // Accept.
+                t += h;
+                x.copy_from_slice(&x5);
+                // FSAL: k[6] = f(t+h, x5) is next step's k[0].
+                let k6 = k[6].clone();
+                k[0].copy_from_slice(&k6);
+                stats.accepted += 1;
+                on_step(t, x);
+                let scale = SAFETY * err_norm.max(1e-10).powf(-ALPHA) * err_prev.powf(BETA);
+                h *= scale.clamp(MIN_SCALE, MAX_SCALE);
+                err_prev = err_norm.max(1e-10);
+            } else {
+                stats.rejected += 1;
+                let scale = SAFETY * err_norm.powf(-ALPHA);
+                h *= scale.clamp(MIN_SCALE, 1.0);
+            }
+        }
+        Ok(stats)
+    }
+}
+
+/// Hairer–Nørsett–Wanner style initial step heuristic.
+fn initial_step<S: OdeSystem>(
+    sys: &S,
+    t: f64,
+    x: &[f64],
+    f0: &[f64],
+    opts: Dopri5Options,
+    stats: &mut Dopri5Stats,
+) -> f64 {
+    let n = x.len();
+    let sc: Vec<f64> = x
+        .iter()
+        .map(|xi| opts.atol + opts.rtol * xi.abs())
+        .collect();
+    let d0 = norm_scaled(x, &sc);
+    let d1 = norm_scaled(f0, &sc);
+    let h0 = if d0 < 1e-5 || d1 < 1e-5 {
+        1e-6
+    } else {
+        0.01 * d0 / d1
+    };
+    // One Euler probe to estimate the second derivative.
+    let x1: Vec<f64> = x.iter().zip(f0).map(|(xi, fi)| xi + h0 * fi).collect();
+    let mut f1 = vec![0.0; n];
+    sys.rhs(t + h0, &x1, &mut f1);
+    stats.rhs_evals += 1;
+    let d2 = {
+        let diff: Vec<f64> = f1.iter().zip(f0).map(|(a, b)| a - b).collect();
+        norm_scaled(&diff, &sc) / h0
+    };
+    let h1 = if d1.max(d2) <= 1e-15 {
+        (h0 * 1e-3).max(1e-6)
+    } else {
+        (0.01 / d1.max(d2)).powf(1.0 / 5.0)
+    };
+    (100.0 * h0).min(h1).min(opts.h_max)
+}
+
+fn norm_scaled(v: &[f64], sc: &[f64]) -> f64 {
+    let s: f64 = v.iter().zip(sc).map(|(vi, si)| (vi / si) * (vi / si)).sum();
+    (s / v.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ode::system::{LinearSystem, OdeSystem};
+
+    fn decay() -> LinearSystem {
+        LinearSystem::new(vec![-1.0], vec![0.0])
+    }
+
+    #[test]
+    fn decay_to_tolerance() {
+        let mut x = vec![1.0];
+        let stats = Dopri5
+            .integrate(
+                &decay(),
+                0.0,
+                &mut x,
+                5.0,
+                Dopri5Options::default(),
+                |_, _| {},
+            )
+            .unwrap();
+        assert!((x[0] - (-5.0f64).exp()).abs() < 1e-7);
+        assert!(stats.accepted > 0);
+    }
+
+    #[test]
+    fn tighter_tolerance_means_smaller_error() {
+        let run = |rtol: f64| {
+            let mut x = vec![1.0];
+            Dopri5
+                .integrate(
+                    &decay(),
+                    0.0,
+                    &mut x,
+                    2.0,
+                    Dopri5Options {
+                        rtol,
+                        atol: rtol * 1e-2,
+                        ..Default::default()
+                    },
+                    |_, _| {},
+                )
+                .unwrap();
+            (x[0] - (-2.0f64).exp()).abs()
+        };
+        let loose = run(1e-4);
+        let tight = run(1e-10);
+        assert!(tight < loose, "tight {tight} should beat loose {loose}");
+        assert!(tight < 1e-10);
+    }
+
+    #[test]
+    fn oscillator_long_horizon() {
+        let sys = LinearSystem::new(vec![0.0, 1.0, -1.0, 0.0], vec![0.0, 0.0]);
+        let mut x = vec![1.0, 0.0];
+        let t1 = 20.0 * std::f64::consts::PI; // 10 full periods
+        Dopri5
+            .integrate(&sys, 0.0, &mut x, t1, Dopri5Options::default(), |_, _| {})
+            .unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-5, "x = {:?}", x);
+        assert!(x[1].abs() < 1e-5);
+    }
+
+    #[test]
+    fn observer_sees_monotone_times_and_endpoints() {
+        let mut x = vec![1.0];
+        let mut times = Vec::new();
+        Dopri5
+            .integrate(
+                &decay(),
+                0.0,
+                &mut x,
+                1.0,
+                Dopri5Options::default(),
+                |t, _| times.push(t),
+            )
+            .unwrap();
+        assert_eq!(times[0], 0.0);
+        assert_eq!(*times.last().unwrap(), 1.0);
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn zero_interval_reports_initial_state_only() {
+        let mut x = vec![3.0];
+        let mut calls = 0;
+        let stats = Dopri5
+            .integrate(
+                &decay(),
+                1.0,
+                &mut x,
+                1.0,
+                Dopri5Options::default(),
+                |_, _| calls += 1,
+            )
+            .unwrap();
+        assert_eq!(calls, 1);
+        assert_eq!(stats.accepted, 0);
+        assert_eq!(x[0], 3.0);
+    }
+
+    #[test]
+    fn backwards_interval_rejected() {
+        let mut x = vec![1.0];
+        let e = Dopri5
+            .integrate(
+                &decay(),
+                1.0,
+                &mut x,
+                0.0,
+                Dopri5Options::default(),
+                |_, _| {},
+            )
+            .unwrap_err();
+        assert!(matches!(e, NumError::InvalidInput { .. }));
+    }
+
+    #[test]
+    fn bad_tolerances_rejected() {
+        let mut x = vec![1.0];
+        let opts = Dopri5Options {
+            rtol: 0.0,
+            ..Default::default()
+        };
+        let e = Dopri5
+            .integrate(&decay(), 0.0, &mut x, 1.0, opts, |_, _| {})
+            .unwrap_err();
+        assert!(matches!(e, NumError::InvalidInput { .. }));
+    }
+
+    #[test]
+    fn max_steps_budget_enforced() {
+        let mut x = vec![1.0];
+        let opts = Dopri5Options {
+            max_steps: 3,
+            h0: Some(1e-9),
+            ..Default::default()
+        };
+        let e = Dopri5
+            .integrate(&decay(), 0.0, &mut x, 1.0e9, opts, |_, _| {})
+            .unwrap_err();
+        assert!(matches!(e, NumError::NoConvergence { .. }));
+    }
+
+    #[test]
+    fn nonfinite_rhs_detected() {
+        struct Blowup;
+        impl OdeSystem for Blowup {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn rhs(&self, _t: f64, x: &[f64], d: &mut [f64]) {
+                // x' = x², blows up at t = 1/x0; NaNs appear past the pole.
+                d[0] = x[0] * x[0];
+            }
+        }
+        let mut x = vec![10.0];
+        // Integration to t = 1 passes through the pole at t = 0.1.
+        let r = Dopri5.integrate(
+            &Blowup,
+            0.0,
+            &mut x,
+            1.0,
+            Dopri5Options::default(),
+            |_, _| {},
+        );
+        assert!(r.is_err(), "integration through a pole must fail");
+    }
+
+    #[test]
+    fn stiff_ish_relaxation_uses_few_steps_late() {
+        // Fast transient then slow tail: x' = -100(x - cos t) (mildly stiff).
+        struct Relax;
+        impl OdeSystem for Relax {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn rhs(&self, t: f64, x: &[f64], d: &mut [f64]) {
+                d[0] = -100.0 * (x[0] - t.cos());
+            }
+        }
+        let mut x = vec![2.0];
+        let stats = Dopri5
+            .integrate(
+                &Relax,
+                0.0,
+                &mut x,
+                10.0,
+                Dopri5Options::default(),
+                |_, _| {},
+            )
+            .unwrap();
+        // Exact particular solution: (a² cos t + a sin t)/(a² + 1), a = 100.
+        let a = 100.0f64;
+        let exact = (a * a * 10.0f64.cos() + a * 10.0f64.sin()) / (a * a + 1.0);
+        assert!((x[0] - exact).abs() < 1e-6, "x = {}, exact = {exact}", x[0]);
+        assert!(stats.accepted > 10);
+    }
+
+    #[test]
+    fn h_max_is_respected() {
+        let mut x = vec![1.0];
+        let mut max_seen: f64 = 0.0;
+        let mut last_t = 0.0;
+        Dopri5
+            .integrate(
+                &decay(),
+                0.0,
+                &mut x,
+                10.0,
+                Dopri5Options {
+                    h_max: 0.25,
+                    ..Default::default()
+                },
+                |t, _| {
+                    max_seen = max_seen.max(t - last_t);
+                    last_t = t;
+                },
+            )
+            .unwrap();
+        assert!(max_seen <= 0.25 + 1e-12, "max step = {max_seen}");
+    }
+}

@@ -1,0 +1,234 @@
+//! Fixed-step explicit Runge–Kutta methods: Euler, Heun and classical RK4.
+
+use super::system::OdeSystem;
+
+/// A fixed-step one-step method.
+///
+/// `step` advances the state in place by `h`; the default `integrate` walks
+/// from `t0` to `t1` with steps of at most `h`, shrinking the final step to
+/// land on `t1` exactly.
+pub trait FixedStep {
+    /// Classical order of accuracy of the method (for tests/step heuristics).
+    fn order(&self) -> usize;
+
+    /// Advances `x` from `t` to `t + h` in place.
+    fn step<S: OdeSystem>(&self, sys: &S, t: f64, x: &mut [f64], h: f64);
+
+    /// Integrates from `t0` to `t1` with step `h` (the last step shrinks to
+    /// hit `t1` exactly). `x` holds `x(t0)` on entry and `x(t1)` on exit.
+    ///
+    /// # Panics
+    /// Panics when `h <= 0` or `t1 < t0` (programming errors — all call
+    /// sites in this workspace construct these from validated parameters).
+    fn integrate<S: OdeSystem>(&self, sys: &S, t0: f64, x: &mut [f64], t1: f64, h: f64) {
+        assert!(h > 0.0, "step size must be positive, got {h}");
+        assert!(t1 >= t0, "t1 = {t1} must be >= t0 = {t0}");
+        let mut t = t0;
+        while t < t1 {
+            let step = h.min(t1 - t);
+            self.step(sys, t, x, step);
+            t += step;
+        }
+    }
+}
+
+/// Forward Euler (order 1). Mostly useful as a baseline in convergence tests
+/// and for very smooth relaxation dynamics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Euler;
+
+impl FixedStep for Euler {
+    fn order(&self) -> usize {
+        1
+    }
+
+    fn step<S: OdeSystem>(&self, sys: &S, t: f64, x: &mut [f64], h: f64) {
+        let n = sys.dim();
+        debug_assert_eq!(x.len(), n);
+        let mut k = vec![0.0; n];
+        sys.rhs(t, x, &mut k);
+        for (xi, ki) in x.iter_mut().zip(&k) {
+            *xi += h * ki;
+        }
+    }
+}
+
+/// Heun's method (explicit trapezoid, order 2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Heun;
+
+impl FixedStep for Heun {
+    fn order(&self) -> usize {
+        2
+    }
+
+    fn step<S: OdeSystem>(&self, sys: &S, t: f64, x: &mut [f64], h: f64) {
+        let n = sys.dim();
+        let mut k1 = vec![0.0; n];
+        let mut k2 = vec![0.0; n];
+        let mut pred = vec![0.0; n];
+        sys.rhs(t, x, &mut k1);
+        for i in 0..n {
+            pred[i] = x[i] + h * k1[i];
+        }
+        sys.rhs(t + h, &pred, &mut k2);
+        for i in 0..n {
+            x[i] += 0.5 * h * (k1[i] + k2[i]);
+        }
+    }
+}
+
+/// Classical fourth-order Runge–Kutta.
+///
+/// The default fixed-step method for transient fluid-model trajectories
+/// (Figure X5, flash-crowd analysis); cheap, fourth order, and the step can
+/// be chosen from the slowest time constant `1/γ`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Rk4;
+
+impl FixedStep for Rk4 {
+    fn order(&self) -> usize {
+        4
+    }
+
+    fn step<S: OdeSystem>(&self, sys: &S, t: f64, x: &mut [f64], h: f64) {
+        let n = sys.dim();
+        let mut k1 = vec![0.0; n];
+        let mut k2 = vec![0.0; n];
+        let mut k3 = vec![0.0; n];
+        let mut k4 = vec![0.0; n];
+        let mut tmp = vec![0.0; n];
+
+        sys.rhs(t, x, &mut k1);
+        for i in 0..n {
+            tmp[i] = x[i] + 0.5 * h * k1[i];
+        }
+        sys.rhs(t + 0.5 * h, &tmp, &mut k2);
+        for i in 0..n {
+            tmp[i] = x[i] + 0.5 * h * k2[i];
+        }
+        sys.rhs(t + 0.5 * h, &tmp, &mut k3);
+        for i in 0..n {
+            tmp[i] = x[i] + h * k3[i];
+        }
+        sys.rhs(t + h, &tmp, &mut k4);
+        for i in 0..n {
+            x[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ode::system::LinearSystem;
+
+    /// dx/dt = -x, exact solution e^{-t}.
+    fn decay() -> LinearSystem {
+        LinearSystem::new(vec![-1.0], vec![0.0])
+    }
+
+    fn integrate_decay<M: FixedStep>(m: &M, h: f64) -> f64 {
+        let mut x = vec![1.0];
+        m.integrate(&decay(), 0.0, &mut x, 1.0, h);
+        (x[0] - (-1.0f64).exp()).abs()
+    }
+
+    #[test]
+    fn euler_converges_first_order() {
+        let e1 = integrate_decay(&Euler, 1e-2);
+        let e2 = integrate_decay(&Euler, 5e-3);
+        let ratio = e1 / e2;
+        assert!(
+            (ratio - 2.0).abs() < 0.2,
+            "halving h should halve the error, ratio = {ratio}"
+        );
+    }
+
+    #[test]
+    fn heun_converges_second_order() {
+        let e1 = integrate_decay(&Heun, 1e-2);
+        let e2 = integrate_decay(&Heun, 5e-3);
+        let ratio = e1 / e2;
+        assert!(
+            (ratio - 4.0).abs() < 0.5,
+            "halving h should quarter the error, ratio = {ratio}"
+        );
+    }
+
+    #[test]
+    fn rk4_converges_fourth_order() {
+        let e1 = integrate_decay(&Rk4, 1e-1);
+        let e2 = integrate_decay(&Rk4, 5e-2);
+        let ratio = e1 / e2;
+        assert!(
+            (ratio - 16.0).abs() < 3.0,
+            "halving h should give 16x smaller error, ratio = {ratio}"
+        );
+    }
+
+    #[test]
+    fn rk4_high_accuracy_small_step() {
+        assert!(integrate_decay(&Rk4, 1e-3) < 1e-12);
+    }
+
+    #[test]
+    fn orders_reported() {
+        assert_eq!(Euler.order(), 1);
+        assert_eq!(Heun.order(), 2);
+        assert_eq!(Rk4.order(), 4);
+    }
+
+    #[test]
+    fn harmonic_oscillator_energy_rk4() {
+        // x'' = -x as a 2-system; energy x² + v² should be conserved to
+        // O(h⁴) per unit time.
+        let sys = LinearSystem::new(vec![0.0, 1.0, -1.0, 0.0], vec![0.0, 0.0]);
+        let mut x = vec![1.0, 0.0];
+        Rk4.integrate(&sys, 0.0, &mut x, 2.0 * std::f64::consts::PI, 1e-2);
+        let energy = x[0] * x[0] + x[1] * x[1];
+        assert!((energy - 1.0).abs() < 1e-7, "energy drifted to {energy}");
+        // One full period returns to the start.
+        assert!((x[0] - 1.0).abs() < 1e-6 && x[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn integrate_lands_exactly_on_t1() {
+        // h does not divide the interval; the final shortened step must land
+        // on t1 so the comparison against the analytic value is fair.
+        let mut x = vec![1.0];
+        Rk4.integrate(&decay(), 0.0, &mut x, 0.95, 0.1);
+        // RK4 global error at h = 0.1 is O(h⁴) ≈ 1e-7 for this problem.
+        assert!((x[0] - (-0.95f64).exp()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_length_interval_is_identity() {
+        let mut x = vec![7.0];
+        Rk4.integrate(&decay(), 3.0, &mut x, 3.0, 0.1);
+        assert_eq!(x[0], 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "step size must be positive")]
+    fn nonpositive_step_panics() {
+        let mut x = vec![1.0];
+        Euler.integrate(&decay(), 0.0, &mut x, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >=")]
+    fn backwards_interval_panics() {
+        let mut x = vec![1.0];
+        Euler.integrate(&decay(), 1.0, &mut x, 0.0, 0.1);
+    }
+
+    #[test]
+    fn forced_linear_system_reaches_fixed_point() {
+        // dx/dt = -(x - 5) relaxes to 5.
+        let sys = LinearSystem::new(vec![-1.0], vec![5.0]);
+        let mut x = vec![0.0];
+        Rk4.integrate(&sys, 0.0, &mut x, 40.0, 0.05);
+        assert!((x[0] - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,234 @@
+//! Implicit (stiff-capable) integration: backward Euler with a damped
+//! Newton iteration and finite-difference Jacobians.
+//!
+//! The fluid models become stiff when bandwidth scales are widely spread
+//! (e.g. multiclass systems mixing dial-up and fiber peers: rates differing
+//! by 10³). Explicit methods then need steps at the fastest scale; backward
+//! Euler is L-stable and can stride over it.
+
+use super::system::OdeSystem;
+use crate::error::NumError;
+use crate::linalg::{Lu, Matrix};
+
+/// Options for [`BackwardEuler`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImplicitOptions {
+    /// Newton convergence tolerance on the scaled update norm.
+    pub newton_tol: f64,
+    /// Maximum Newton iterations per step.
+    pub max_newton: usize,
+    /// Relative perturbation for finite-difference Jacobians.
+    pub fd_eps: f64,
+}
+
+impl Default for ImplicitOptions {
+    fn default() -> Self {
+        Self {
+            newton_tol: 1e-10,
+            max_newton: 25,
+            fd_eps: 1e-7,
+        }
+    }
+}
+
+/// Backward (implicit) Euler: solves `x₁ = x₀ + h·f(t₁, x₁)` per step.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BackwardEuler {
+    /// Newton/Jacobian options.
+    pub options: ImplicitOptions,
+}
+
+impl BackwardEuler {
+    /// Creates the method with default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finite-difference Jacobian of `f` at `(t, x)`.
+    fn jacobian<S: OdeSystem>(&self, sys: &S, t: f64, x: &[f64]) -> Matrix {
+        let n = sys.dim();
+        let mut jac = Matrix::zeros(n);
+        let mut f0 = vec![0.0; n];
+        sys.rhs(t, x, &mut f0);
+        let mut xp = x.to_vec();
+        let mut fp = vec![0.0; n];
+        for j in 0..n {
+            let h = self.options.fd_eps * x[j].abs().max(1.0);
+            xp[j] = x[j] + h;
+            sys.rhs(t, &xp, &mut fp);
+            xp[j] = x[j];
+            for i in 0..n {
+                jac[(i, j)] = (fp[i] - f0[i]) / h;
+            }
+        }
+        jac
+    }
+
+    /// Advances `x` from `t` to `t + h` in place.
+    ///
+    /// # Errors
+    /// Returns [`NumError::NoConvergence`] when Newton stalls and
+    /// propagates singular-Jacobian failures.
+    pub fn step<S: OdeSystem>(
+        &self,
+        sys: &S,
+        t: f64,
+        x: &mut [f64],
+        h: f64,
+    ) -> Result<(), NumError> {
+        let n = sys.dim();
+        let t1 = t + h;
+        // Predictor: explicit Euler.
+        let mut f = vec![0.0; n];
+        sys.rhs(t, x, &mut f);
+        let x0 = x.to_vec();
+        let mut xk: Vec<f64> = x.iter().zip(&f).map(|(xi, fi)| xi + h * fi).collect();
+
+        for _iter in 0..self.options.max_newton {
+            // Residual g(x) = x − x0 − h·f(t1, x).
+            sys.rhs(t1, &xk, &mut f);
+            let g: Vec<f64> = (0..n).map(|i| xk[i] - x0[i] - h * f[i]).collect();
+            // Newton matrix M = I − h·J.
+            let jac = self.jacobian(sys, t1, &xk);
+            let mut m = Matrix::identity(n);
+            for i in 0..n {
+                for j in 0..n {
+                    m[(i, j)] -= h * jac[(i, j)];
+                }
+            }
+            let delta = Lu::factor(&m)?.solve(&g);
+            let mut norm = 0.0f64;
+            for i in 0..n {
+                xk[i] -= delta[i];
+                norm = norm.max(delta[i].abs() / xk[i].abs().max(1.0));
+            }
+            if norm < self.options.newton_tol {
+                x.copy_from_slice(&xk);
+                return Ok(());
+            }
+        }
+        Err(NumError::NoConvergence {
+            what: "BackwardEuler::step (Newton)",
+            iterations: self.options.max_newton,
+            residual: f64::NAN,
+        })
+    }
+
+    /// Integrates from `t0` to `t1` with fixed step `h` (last step shrinks
+    /// to land on `t1`).
+    ///
+    /// # Errors
+    /// Propagates per-step failures.
+    pub fn integrate<S: OdeSystem>(
+        &self,
+        sys: &S,
+        t0: f64,
+        x: &mut [f64],
+        t1: f64,
+        h: f64,
+    ) -> Result<(), NumError> {
+        if !(h > 0.0) || t1 < t0 {
+            return Err(NumError::InvalidInput {
+                what: "BackwardEuler::integrate",
+                detail: format!("need h > 0 and t1 >= t0, got h = {h}, t0 = {t0}, t1 = {t1}"),
+            });
+        }
+        let mut t = t0;
+        while t < t1 {
+            let step = h.min(t1 - t);
+            self.step(sys, t, x, step)?;
+            t += step;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ode::fixed::{FixedStep, Rk4};
+    use crate::ode::system::LinearSystem;
+
+    /// Very stiff decay: x' = -1000(x - cos t).
+    struct Stiff;
+    impl OdeSystem for Stiff {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn rhs(&self, t: f64, x: &[f64], d: &mut [f64]) {
+            d[0] = -1000.0 * (x[0] - t.cos());
+        }
+    }
+
+    #[test]
+    fn stable_on_stiff_problem_with_large_steps() {
+        // Explicit RK4 at h = 0.01 has hλ = -10 — far outside its
+        // stability region, so it explodes; backward Euler strides along.
+        let mut x_exp = vec![2.0];
+        Rk4.integrate(&Stiff, 0.0, &mut x_exp, 1.0, 0.01);
+        assert!(
+            !x_exp[0].is_finite() || x_exp[0].abs() > 1e3,
+            "RK4 should blow up, got {}",
+            x_exp[0]
+        );
+
+        let mut x_imp = vec![2.0];
+        BackwardEuler::new()
+            .integrate(&Stiff, 0.0, &mut x_imp, 1.0, 0.01)
+            .unwrap();
+        // Tracks cos(t) within O(h) + boundary layer.
+        assert!((x_imp[0] - 1.0f64.cos()).abs() < 0.02, "x = {}", x_imp[0]);
+    }
+
+    #[test]
+    fn first_order_accuracy() {
+        let sys = LinearSystem::new(vec![-1.0], vec![0.0]);
+        let run = |h: f64| {
+            let mut x = vec![1.0];
+            BackwardEuler::new().integrate(&sys, 0.0, &mut x, 1.0, h).unwrap();
+            (x[0] - (-1.0f64).exp()).abs()
+        };
+        let e1 = run(1e-2);
+        let e2 = run(5e-3);
+        let ratio = e1 / e2;
+        assert!((ratio - 2.0).abs() < 0.3, "first order: ratio = {ratio}");
+    }
+
+    #[test]
+    fn matches_exact_on_linear_system() {
+        // 2x2 coupled system, small step for accuracy.
+        let sys = LinearSystem::new(vec![-1.0, -1.0, 1.0, -2.0], vec![1.0, 0.0]);
+        let mut x = vec![0.0, 0.0];
+        BackwardEuler::new()
+            .integrate(&sys, 0.0, &mut x, 50.0, 0.05)
+            .unwrap();
+        // Equilibrium x = 2/3, y = 1/3.
+        assert!((x[0] - 2.0 / 3.0).abs() < 1e-4);
+        assert!((x[1] - 1.0 / 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn invalid_input_rejected() {
+        let sys = LinearSystem::new(vec![-1.0], vec![0.0]);
+        let mut x = vec![1.0];
+        assert!(BackwardEuler::new().integrate(&sys, 0.0, &mut x, 1.0, 0.0).is_err());
+        assert!(BackwardEuler::new().integrate(&sys, 1.0, &mut x, 0.0, 0.1).is_err());
+    }
+
+    #[test]
+    fn works_on_cmfsd_scale_dimensions() {
+        // A 30-dimensional relaxation system: x' = -(x - b).
+        let n = 30;
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            a[i * n + i] = -(1.0 + i as f64);
+        }
+        let b: Vec<f64> = (0..n).map(|i| (1.0 + i as f64) * 2.0).collect();
+        let sys = LinearSystem::new(a, b);
+        let mut x = vec![0.0; n];
+        BackwardEuler::new().integrate(&sys, 0.0, &mut x, 30.0, 0.1).unwrap();
+        for &xi in &x {
+            assert!((xi - 2.0).abs() < 1e-3, "xi = {xi}");
+        }
+    }
+}

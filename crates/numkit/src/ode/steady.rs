@@ -1,0 +1,186 @@
+//! Integrate-to-equilibrium driver.
+//!
+//! Every steady-state figure in the paper is the equilibrium of a fluid ODE.
+//! Where a closed form exists (MTCD, MTSD) we use it directly; where it does
+//! not (CMFSD transients, sanity cross-checks) we integrate until the scaled
+//! right-hand side falls below a tolerance.
+
+use super::dopri5::{Dopri5, Dopri5Options};
+use super::system::OdeSystem;
+use crate::error::NumError;
+
+/// Stopping rule and budgets for [`steady_state`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SteadyOptions {
+    /// Residual tolerance: stop when
+    /// `max_i |f_i(x)| / max(1, |x_i|) < residual_tol`.
+    pub residual_tol: f64,
+    /// Check the residual after every chunk of this much simulated time.
+    pub check_interval: f64,
+    /// Give up at this simulated time.
+    pub t_max: f64,
+    /// Tolerances handed to the inner adaptive integrator.
+    pub integrator: Dopri5Options,
+}
+
+impl Default for SteadyOptions {
+    fn default() -> Self {
+        Self {
+            residual_tol: 1e-9,
+            check_interval: 50.0,
+            t_max: 1e7,
+            integrator: Dopri5Options {
+                rtol: 1e-9,
+                atol: 1e-11,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// A converged equilibrium.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SteadyState {
+    /// Equilibrium state vector.
+    pub x: Vec<f64>,
+    /// Simulated time at which convergence was declared.
+    pub t: f64,
+    /// Scaled residual at the reported state.
+    pub residual: f64,
+}
+
+/// Scaled sup-norm residual `max_i |f_i| / max(1, |x_i|)`.
+pub(crate) fn residual<S: OdeSystem>(sys: &S, t: f64, x: &[f64], scratch: &mut [f64]) -> f64 {
+    sys.rhs(t, x, scratch);
+    x.iter()
+        .zip(scratch.iter())
+        .map(|(xi, fi)| fi.abs() / xi.abs().max(1.0))
+        .fold(0.0, f64::max)
+}
+
+/// Integrates `sys` from `x0` until equilibrium.
+///
+/// # Errors
+/// * [`NumError::NoConvergence`] if the residual has not met the tolerance
+///   by `t_max`.
+/// * Propagates integrator failures ([`NumError::StepUnderflow`] etc.).
+/// * [`NumError::InvalidInput`] for nonsensical options.
+pub fn steady_state<S: OdeSystem>(
+    sys: &S,
+    x0: &[f64],
+    opts: SteadyOptions,
+) -> Result<SteadyState, NumError> {
+    if !(opts.residual_tol > 0.0) || !(opts.check_interval > 0.0) || !(opts.t_max > 0.0) {
+        return Err(NumError::InvalidInput {
+            what: "steady_state",
+            detail: "residual_tol, check_interval and t_max must all be > 0".into(),
+        });
+    }
+    let n = sys.dim();
+    if x0.len() != n {
+        return Err(NumError::InvalidInput {
+            what: "steady_state",
+            detail: format!("x0 has {} entries, system dim is {n}", x0.len()),
+        });
+    }
+    let mut x = x0.to_vec();
+    let mut scratch = vec![0.0; n];
+    let mut t = 0.0;
+
+    // Initial state might already be the equilibrium (e.g. warm starts along
+    // a parameter sweep).
+    let r0 = residual(sys, t, &x, &mut scratch);
+    if r0 < opts.residual_tol {
+        return Ok(SteadyState { x, t, residual: r0 });
+    }
+
+    while t < opts.t_max {
+        let t_next = (t + opts.check_interval).min(opts.t_max);
+        Dopri5.integrate(sys, t, &mut x, t_next, opts.integrator, |_, _| {})?;
+        t = t_next;
+        let r = residual(sys, t, &x, &mut scratch);
+        if r < opts.residual_tol {
+            return Ok(SteadyState { x, t, residual: r });
+        }
+    }
+    let r = residual(sys, t, &x, &mut scratch);
+    Err(NumError::NoConvergence {
+        what: "steady_state",
+        iterations: (opts.t_max / opts.check_interval) as usize,
+        residual: r,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ode::system::LinearSystem;
+
+    #[test]
+    fn relaxation_finds_fixed_point() {
+        // x' = -(x - 5): equilibrium x = 5.
+        let sys = LinearSystem::new(vec![-1.0], vec![5.0]);
+        let ss = steady_state(&sys, &[0.0], SteadyOptions::default()).unwrap();
+        assert!((ss.x[0] - 5.0).abs() < 1e-7, "x = {}", ss.x[0]);
+        assert!(ss.residual < 1e-9);
+    }
+
+    #[test]
+    fn coupled_system_equilibrium() {
+        // x' = 1 - x - y, y' = x - 2y  =>  y = x/2, x + x/2 = 1 => x = 2/3.
+        let sys = LinearSystem::new(vec![-1.0, -1.0, 1.0, -2.0], vec![1.0, 0.0]);
+        let ss = steady_state(&sys, &[0.0, 0.0], SteadyOptions::default()).unwrap();
+        assert!((ss.x[0] - 2.0 / 3.0).abs() < 1e-7);
+        assert!((ss.x[1] - 1.0 / 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn already_at_equilibrium_returns_immediately() {
+        let sys = LinearSystem::new(vec![-1.0], vec![5.0]);
+        let ss = steady_state(&sys, &[5.0], SteadyOptions::default()).unwrap();
+        assert_eq!(ss.t, 0.0);
+    }
+
+    #[test]
+    fn oscillator_never_converges() {
+        // Undamped oscillator has no attracting equilibrium away from 0.
+        let sys = LinearSystem::new(vec![0.0, 1.0, -1.0, 0.0], vec![0.0, 0.0]);
+        let opts = SteadyOptions {
+            t_max: 200.0,
+            ..Default::default()
+        };
+        let e = steady_state(&sys, &[1.0, 0.0], opts).unwrap_err();
+        assert!(matches!(e, NumError::NoConvergence { .. }));
+    }
+
+    #[test]
+    fn option_validation() {
+        let sys = LinearSystem::new(vec![-1.0], vec![0.0]);
+        let bad = SteadyOptions {
+            residual_tol: 0.0,
+            ..Default::default()
+        };
+        assert!(steady_state(&sys, &[1.0], bad).is_err());
+        let bad_dim = steady_state(&sys, &[1.0, 2.0], SteadyOptions::default());
+        assert!(bad_dim.is_err());
+    }
+
+    #[test]
+    fn residual_is_scaled() {
+        // Large state: residual should be relative.
+        let sys = LinearSystem::new(vec![-1e-6], vec![1.0]);
+        // Equilibrium at 1e6 — the absolute RHS near eq is tiny relative to x.
+        let ss = steady_state(
+            &sys,
+            &[0.9e6],
+            SteadyOptions {
+                check_interval: 1e6,
+                t_max: 1e9,
+                residual_tol: 1e-8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!((ss.x[0] - 1e6).abs() / 1e6 < 1e-2);
+    }
+}

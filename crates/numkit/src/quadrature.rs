@@ -1,0 +1,169 @@
+//! Numerical quadrature over functions and sampled series.
+//!
+//! Used for time-averaging simulator trajectories (`∫x(t)dt / T`) and for
+//! turning per-file distributions into means in the experiment harness.
+
+use crate::error::NumError;
+
+/// Composite trapezoid rule for `f` over `[a, b]` with `n` panels.
+///
+/// # Errors
+/// Returns [`NumError::InvalidInput`] for `n == 0` or a reversed interval.
+pub fn trapezoid<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> Result<f64, NumError> {
+    if n == 0 {
+        return Err(NumError::InvalidInput {
+            what: "trapezoid",
+            detail: "need at least one panel".into(),
+        });
+    }
+    if !(b >= a) {
+        return Err(NumError::InvalidInput {
+            what: "trapezoid",
+            detail: format!("reversed interval [{a}, {b}]"),
+        });
+    }
+    let h = (b - a) / n as f64;
+    let mut acc = 0.5 * (f(a) + f(b));
+    for i in 1..n {
+        acc += f(a + i as f64 * h);
+    }
+    Ok(acc * h)
+}
+
+/// Composite Simpson rule for `f` over `[a, b]` with `n` panels (`n` is
+/// rounded up to even).
+///
+/// # Errors
+/// Returns [`NumError::InvalidInput`] for `n == 0` or a reversed interval.
+pub fn simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> Result<f64, NumError> {
+    if n == 0 {
+        return Err(NumError::InvalidInput {
+            what: "simpson",
+            detail: "need at least one panel".into(),
+        });
+    }
+    if !(b >= a) {
+        return Err(NumError::InvalidInput {
+            what: "simpson",
+            detail: format!("reversed interval [{a}, {b}]"),
+        });
+    }
+    let n = if n.is_multiple_of(2) { n } else { n + 1 };
+    let h = (b - a) / n as f64;
+    let mut acc = f(a) + f(b);
+    for i in 1..n {
+        let w = if i % 2 == 1 { 4.0 } else { 2.0 };
+        acc += w * f(a + i as f64 * h);
+    }
+    Ok(acc * h / 3.0)
+}
+
+/// Trapezoid integral of an irregularly sampled series `(ts, ys)`.
+///
+/// # Errors
+/// Returns [`NumError::InvalidInput`] for mismatched lengths, fewer than
+/// two samples, or non-increasing timestamps.
+pub fn trapezoid_sampled(ts: &[f64], ys: &[f64]) -> Result<f64, NumError> {
+    if ts.len() != ys.len() {
+        return Err(NumError::InvalidInput {
+            what: "trapezoid_sampled",
+            detail: format!("{} timestamps vs {} values", ts.len(), ys.len()),
+        });
+    }
+    if ts.len() < 2 {
+        return Err(NumError::InvalidInput {
+            what: "trapezoid_sampled",
+            detail: "need at least two samples".into(),
+        });
+    }
+    let mut acc = 0.0;
+    for i in 1..ts.len() {
+        let dt = ts[i] - ts[i - 1];
+        if dt < 0.0 {
+            return Err(NumError::InvalidInput {
+                what: "trapezoid_sampled",
+                detail: format!("timestamps decrease at index {i}"),
+            });
+        }
+        acc += 0.5 * (ys[i] + ys[i - 1]) * dt;
+    }
+    Ok(acc)
+}
+
+/// Time-average of a sampled series: `∫y dt / (t_end − t_start)`.
+///
+/// # Errors
+/// Propagates [`trapezoid_sampled`] errors; fails on a zero-length window.
+pub fn time_average(ts: &[f64], ys: &[f64]) -> Result<f64, NumError> {
+    let integral = trapezoid_sampled(ts, ys)?;
+    let span = ts[ts.len() - 1] - ts[0];
+    if span <= 0.0 {
+        return Err(NumError::InvalidInput {
+            what: "time_average",
+            detail: "zero-length window".into(),
+        });
+    }
+    Ok(integral / span)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trapezoid_polynomial() {
+        // ∫₀¹ x dx = 1/2 exactly for the trapezoid rule.
+        let v = trapezoid(|x| x, 0.0, 1.0, 10).unwrap();
+        assert!((v - 0.5).abs() < 1e-14);
+        // ∫₀¹ x² dx = 1/3 with O(h²) error.
+        let v = trapezoid(|x| x * x, 0.0, 1.0, 1000).unwrap();
+        assert!((v - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn simpson_is_exact_for_cubics() {
+        let v = simpson(|x| x * x * x - 2.0 * x * x + x, 0.0, 2.0, 2).unwrap();
+        // ∫₀² = 4 − 16/3 + 2 = 2/3.
+        assert!((v - 2.0 / 3.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn simpson_odd_panels_rounded_up() {
+        let a = simpson(|x| x.sin(), 0.0, std::f64::consts::PI, 7).unwrap();
+        // composite error bound: (b−a)h⁴/180·max|f⁗| ≈ 4e-4 at 8 panels
+        assert!((a - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn convergence_order() {
+        let exact = 1.0 - (-1.0f64).exp();
+        let f = |x: f64| (-x).exp();
+        let t1 = (trapezoid(f, 0.0, 1.0, 10).unwrap() - exact).abs();
+        let t2 = (trapezoid(f, 0.0, 1.0, 20).unwrap() - exact).abs();
+        assert!((t1 / t2 - 4.0).abs() < 0.2, "trapezoid O(h²): {}", t1 / t2);
+        let s1 = (simpson(f, 0.0, 1.0, 10).unwrap() - exact).abs();
+        let s2 = (simpson(f, 0.0, 1.0, 20).unwrap() - exact).abs();
+        assert!((s1 / s2 - 16.0).abs() < 1.0, "simpson O(h⁴): {}", s1 / s2);
+    }
+
+    #[test]
+    fn sampled_series_integral() {
+        let ts = [0.0, 1.0, 3.0];
+        let ys = [0.0, 2.0, 2.0];
+        // 0→1: area 1; 1→3: area 4.
+        assert!((trapezoid_sampled(&ts, &ys).unwrap() - 5.0).abs() < 1e-14);
+        assert!((time_average(&ts, &ys).unwrap() - 5.0 / 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(trapezoid(|x| x, 0.0, 1.0, 0).is_err());
+        assert!(trapezoid(|x| x, 1.0, 0.0, 4).is_err());
+        assert!(simpson(|x| x, 0.0, 1.0, 0).is_err());
+        assert!(simpson(|x| x, 1.0, 0.0, 4).is_err());
+        assert!(trapezoid_sampled(&[0.0], &[1.0]).is_err());
+        assert!(trapezoid_sampled(&[0.0, 1.0], &[1.0]).is_err());
+        assert!(trapezoid_sampled(&[1.0, 0.0], &[1.0, 1.0]).is_err());
+        assert!(time_average(&[1.0, 1.0], &[2.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,291 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The workspace deliberately ships its own generators instead of depending
+//! on the `rand` crate: every figure in EXPERIMENTS.md must be bit-exact
+//! reproducible across platforms and across dependency upgrades, and the
+//! simulator needs cheap *stream splitting* (one independent stream per
+//! replication, per peer-arrival process, per subsystem) with a documented
+//! algorithm.
+//!
+//! Two generators are provided:
+//!
+//! * [`SplitMix64`] — a tiny 64-bit generator used for seeding and for
+//!   deriving independent substreams.
+//! * [`Xoshiro256StarStar`] — the workhorse generator (Blackman & Vigna,
+//!   2018): 256-bit state, period `2^256 − 1`, excellent statistical quality
+//!   and a `jump()` function giving `2^128` non-overlapping subsequences.
+
+/// Minimal trait implemented by the generators in this module.
+///
+/// The simulator and samplers are generic over `RngCore` so tests can inject
+/// counting or constant generators.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns a uniform `f64` in the half-open interval `[0, 1)`.
+    ///
+    /// Uses the top 53 bits of [`RngCore::next_u64`], the standard
+    /// "multiply by 2^-53" construction, so every returned value is an exact
+    /// multiple of 2⁻⁵³.
+    fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits scaled into [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform `f64` in the open interval `(0, 1]`.
+    ///
+    /// Useful for `ln(u)` style inverse-CDF sampling where `u = 0` would
+    /// produce `-inf`.
+    fn next_f64_open(&mut self) -> f64 {
+        ((self.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform integer in `[0, n)` using Lemire's rejection method
+    /// (unbiased).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    fn next_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "next_below(0) is meaningless");
+        // Lemire's multiply-shift rejection sampling.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+}
+
+/// SplitMix64 (Steele, Lea & Flood 2014). Used for seeding and splitting.
+///
+/// Not a statistical workhorse on its own, but its output function is a
+/// strong 64-bit mix, which makes it the canonical seeder for xoshiro-family
+/// generators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed. Any seed (including 0) is fine.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Derives an independent child seed; advancing `self` once per call.
+    ///
+    /// Children derived from distinct indices of the same parent are
+    /// statistically independent for all practical purposes.
+    pub fn split(&mut self) -> u64 {
+        self.next_u64()
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Xoshiro256★★ (Blackman & Vigna 2018): the workspace's default generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Seeds the 256-bit state from a 64-bit seed through SplitMix64, as
+    /// recommended by the xoshiro authors.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = sm.next_u64();
+        }
+        // An all-zero state is the one forbidden fixed point; SplitMix64
+        // cannot emit four consecutive zeros, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { s }
+    }
+
+    /// Derives the `index`-th independent stream from a base seed.
+    ///
+    /// Streams with distinct `(seed, index)` pairs are independent: the index
+    /// is folded into the seed through a SplitMix64 round, then the state is
+    /// expanded as usual.
+    pub fn stream(seed: u64, index: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        // Burn `index`-dependent entropy into the seeder so that nearby
+        // indices yield unrelated states.
+        let folded = sm.next_u64() ^ index.wrapping_mul(0xA076_1D64_78BD_642F);
+        Self::seed_from_u64(folded)
+    }
+
+    /// Advances the state by 2¹²⁸ steps, equivalent to that many `next_u64`
+    /// calls; used to carve non-overlapping subsequences out of one stream.
+    pub fn jump(&mut self) {
+        const JUMP: [u64; 4] = [
+            0x180E_C6D3_3CFD_0ABA,
+            0xD5A6_1266_F0C9_392C,
+            0xA958_9759_90E0_741C,
+            0x39AB_DC45_29B1_661C,
+        ];
+        let mut s0 = 0u64;
+        let mut s1 = 0u64;
+        let mut s2 = 0u64;
+        let mut s3 = 0u64;
+        for j in JUMP {
+            for b in 0..64 {
+                if (j & (1u64 << b)) != 0 {
+                    s0 ^= self.s[0];
+                    s1 ^= self.s[1];
+                    s2 ^= self.s[2];
+                    s3 ^= self.s[3];
+                }
+                self.next_u64();
+            }
+        }
+        self.s = [s0, s1, s2, s3];
+    }
+}
+
+impl RngCore for Xoshiro256StarStar {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_values() {
+        // Reference outputs for seed 0 from the public-domain C version.
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(sm.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(sm.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_per_seed() {
+        let mut a = Xoshiro256StarStar::seed_from_u64(42);
+        let mut b = Xoshiro256StarStar::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn xoshiro_distinct_seeds_differ() {
+        let mut a = Xoshiro256StarStar::seed_from_u64(1);
+        let mut b = Xoshiro256StarStar::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn streams_are_distinct() {
+        let mut s0 = Xoshiro256StarStar::stream(7, 0);
+        let mut s1 = Xoshiro256StarStar::stream(7, 1);
+        let collisions = (0..64).filter(|_| s0.next_u64() == s1.next_u64()).count();
+        assert_eq!(collisions, 0);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = Xoshiro256StarStar::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let u = r.next_f64();
+            assert!((0.0..1.0).contains(&u), "u = {u}");
+        }
+    }
+
+    #[test]
+    fn next_f64_open_never_zero() {
+        // A generator that always yields 0 exercises the open-interval shift.
+        struct Zero;
+        impl RngCore for Zero {
+            fn next_u64(&mut self) -> u64 {
+                0
+            }
+        }
+        let mut z = Zero;
+        assert!(z.next_f64() == 0.0);
+        assert!(z.next_f64_open() > 0.0);
+        assert!(z.next_f64_open() <= 1.0);
+    }
+
+    #[test]
+    fn next_below_covers_range_uniformly() {
+        let mut r = Xoshiro256StarStar::seed_from_u64(11);
+        let n = 10u64;
+        let mut counts = [0usize; 10];
+        let draws = 100_000;
+        for _ in 0..draws {
+            counts[r.next_below(n) as usize] += 1;
+        }
+        let expect = draws as f64 / n as f64;
+        for (v, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(dev < 0.05, "value {v} count {c} deviates {dev:.3}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "next_below(0)")]
+    fn next_below_zero_panics() {
+        let mut r = SplitMix64::new(0);
+        let _ = r.next_below(0);
+    }
+
+    #[test]
+    fn mean_of_uniform_is_half() {
+        let mut r = Xoshiro256StarStar::seed_from_u64(5);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean = {mean}");
+    }
+
+    #[test]
+    fn jump_produces_disjoint_sequence_prefix() {
+        let mut base = Xoshiro256StarStar::seed_from_u64(99);
+        let mut jumped = base.clone();
+        jumped.jump();
+        let matches = (0..64)
+            .filter(|_| base.next_u64() == jumped.next_u64())
+            .count();
+        assert_eq!(matches, 0);
+    }
+
+    #[test]
+    fn split_derives_child_seeds() {
+        let mut parent = SplitMix64::new(123);
+        let a = parent.split();
+        let b = parent.split();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,411 @@
+//! Scalar root finding: bisection, Brent's method, safeguarded Newton.
+//!
+//! The CMFSD steady state (DESIGN.md §5.3) reduces to one scalar monotone
+//! equation in the pooled-service ratio `s`; these solvers find it. They are
+//! also used by tests to invert Little's-law relations.
+
+use crate::error::NumError;
+
+/// Convergence/budget options shared by the root finders.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RootOptions {
+    /// Absolute tolerance on the root location.
+    pub x_tol: f64,
+    /// Absolute tolerance on the function value.
+    pub f_tol: f64,
+    /// Maximum number of iterations before giving up.
+    pub max_iter: usize,
+}
+
+impl Default for RootOptions {
+    fn default() -> Self {
+        Self {
+            x_tol: 1e-12,
+            f_tol: 1e-12,
+            max_iter: 200,
+        }
+    }
+}
+
+/// Result of a successful root search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Root {
+    /// Location of the root.
+    pub x: f64,
+    /// Function value at [`Root::x`] (should be ≈ 0).
+    pub f: f64,
+    /// Iterations consumed.
+    pub iterations: usize,
+}
+
+/// Bisection on `[a, b]`; requires `f(a)` and `f(b)` to have opposite signs.
+///
+/// Robust and monotone-convergent; used as the fallback safeguard.
+///
+/// # Errors
+/// * [`NumError::InvalidInput`] if `a >= b` or an endpoint evaluates
+///   non-finite.
+/// * [`NumError::NoBracket`] if the endpoints do not bracket a sign change.
+/// * [`NumError::NoConvergence`] if the iteration budget runs out.
+pub fn bisect<F>(mut f: F, a: f64, b: f64, opts: RootOptions) -> Result<Root, NumError>
+where
+    F: FnMut(f64) -> f64,
+{
+    if !(a < b) {
+        return Err(NumError::InvalidInput {
+            what: "bisect",
+            detail: format!("require a < b, got a = {a}, b = {b}"),
+        });
+    }
+    let (mut lo, mut hi) = (a, b);
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if !flo.is_finite() || !fhi.is_finite() {
+        return Err(NumError::InvalidInput {
+            what: "bisect",
+            detail: format!("endpoint values not finite: f(a) = {flo}, f(b) = {fhi}"),
+        });
+    }
+    if flo == 0.0 {
+        return Ok(Root {
+            x: lo,
+            f: 0.0,
+            iterations: 0,
+        });
+    }
+    if fhi == 0.0 {
+        return Ok(Root {
+            x: hi,
+            f: 0.0,
+            iterations: 0,
+        });
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(NumError::NoBracket { fa: flo, fb: fhi });
+    }
+    for it in 1..=opts.max_iter {
+        let mid = 0.5 * (lo + hi);
+        let fmid = f(mid);
+        if fmid == 0.0 || (hi - lo) < opts.x_tol || fmid.abs() < opts.f_tol {
+            return Ok(Root {
+                x: mid,
+                f: fmid,
+                iterations: it,
+            });
+        }
+        if fmid.signum() == flo.signum() {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    Err(NumError::NoConvergence {
+        what: "bisect",
+        iterations: opts.max_iter,
+        residual: hi - lo,
+    })
+}
+
+/// Brent's method (inverse quadratic interpolation + secant + bisection).
+///
+/// Superlinear on smooth functions while keeping bisection's bracketing
+/// guarantee. This is the default solver for the CMFSD fixed point.
+///
+/// # Errors
+/// Same conditions as [`bisect`].
+pub fn brent<F>(mut f: F, a: f64, b: f64, opts: RootOptions) -> Result<Root, NumError>
+where
+    F: FnMut(f64) -> f64,
+{
+    if !(a < b) {
+        return Err(NumError::InvalidInput {
+            what: "brent",
+            detail: format!("require a < b, got a = {a}, b = {b}"),
+        });
+    }
+    let (mut a, mut b) = (a, b);
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if !fa.is_finite() || !fb.is_finite() {
+        return Err(NumError::InvalidInput {
+            what: "brent",
+            detail: format!("endpoint values not finite: f(a) = {fa}, f(b) = {fb}"),
+        });
+    }
+    if fa == 0.0 {
+        return Ok(Root {
+            x: a,
+            f: 0.0,
+            iterations: 0,
+        });
+    }
+    if fb == 0.0 {
+        return Ok(Root {
+            x: b,
+            f: 0.0,
+            iterations: 0,
+        });
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumError::NoBracket { fa, fb });
+    }
+    // Ensure |f(b)| <= |f(a)|: b is the best iterate.
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut mflag = true;
+    let mut d = 0.0f64;
+    for it in 1..=opts.max_iter {
+        if fb.abs() < opts.f_tol || (b - a).abs() < opts.x_tol {
+            return Ok(Root {
+                x: b,
+                f: fb,
+                iterations: it,
+            });
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+        let between = {
+            let lo = (3.0 * a + b) / 4.0;
+            let (lo, hi) = if lo < b { (lo, b) } else { (b, lo) };
+            s > lo && s < hi
+        };
+        let use_bisect = !between
+            || (mflag && (s - b).abs() >= (b - c).abs() / 2.0)
+            || (!mflag && (s - b).abs() >= (c - d).abs() / 2.0)
+            || (mflag && (b - c).abs() < opts.x_tol)
+            || (!mflag && (c - d).abs() < opts.x_tol);
+        if use_bisect {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        if !fs.is_finite() {
+            return Err(NumError::NonFinite {
+                what: "brent",
+                at: s,
+            });
+        }
+        d = c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(NumError::NoConvergence {
+        what: "brent",
+        iterations: opts.max_iter,
+        residual: fb.abs(),
+    })
+}
+
+/// Newton's method with a bracketing safeguard.
+///
+/// Takes the function and its derivative; whenever a Newton step leaves the
+/// current bracket (or the derivative vanishes) it falls back to bisection,
+/// so convergence is guaranteed for a bracketed root.
+///
+/// # Errors
+/// Same conditions as [`bisect`].
+pub fn newton_safeguarded<F, D>(
+    mut f: F,
+    mut df: D,
+    a: f64,
+    b: f64,
+    opts: RootOptions,
+) -> Result<Root, NumError>
+where
+    F: FnMut(f64) -> f64,
+    D: FnMut(f64) -> f64,
+{
+    if !(a < b) {
+        return Err(NumError::InvalidInput {
+            what: "newton_safeguarded",
+            detail: format!("require a < b, got a = {a}, b = {b}"),
+        });
+    }
+    let (mut lo, mut hi) = (a, b);
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if flo == 0.0 {
+        return Ok(Root {
+            x: lo,
+            f: 0.0,
+            iterations: 0,
+        });
+    }
+    if fhi == 0.0 {
+        return Ok(Root {
+            x: hi,
+            f: 0.0,
+            iterations: 0,
+        });
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(NumError::NoBracket { fa: flo, fb: fhi });
+    }
+    let mut x = 0.5 * (lo + hi);
+    for it in 1..=opts.max_iter {
+        let fx = f(x);
+        if !fx.is_finite() {
+            return Err(NumError::NonFinite {
+                what: "newton_safeguarded",
+                at: x,
+            });
+        }
+        if fx.abs() < opts.f_tol {
+            return Ok(Root {
+                x,
+                f: fx,
+                iterations: it,
+            });
+        }
+        // Maintain the bracket.
+        if fx.signum() == flo.signum() {
+            lo = x;
+            flo = fx;
+        } else {
+            hi = x;
+        }
+        let dfx = df(x);
+        let newton_x = if dfx != 0.0 { x - fx / dfx } else { f64::NAN };
+        x = if newton_x.is_finite() && newton_x > lo && newton_x < hi {
+            newton_x
+        } else {
+            0.5 * (lo + hi)
+        };
+        if (hi - lo) < opts.x_tol {
+            let fx = f(x);
+            return Ok(Root {
+                x,
+                f: fx,
+                iterations: it,
+            });
+        }
+    }
+    Err(NumError::NoConvergence {
+        what: "newton_safeguarded",
+        iterations: opts.max_iter,
+        residual: hi - lo,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> RootOptions {
+        RootOptions::default()
+    }
+
+    #[test]
+    fn bisect_sqrt_two() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, opts()).unwrap();
+        assert!((r.x - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_detects_no_bracket() {
+        let e = bisect(|x| x * x + 1.0, -1.0, 1.0, opts()).unwrap_err();
+        assert!(matches!(e, NumError::NoBracket { .. }));
+    }
+
+    #[test]
+    fn bisect_rejects_reversed_interval() {
+        let e = bisect(|x| x, 1.0, -1.0, opts()).unwrap_err();
+        assert!(matches!(e, NumError::InvalidInput { .. }));
+    }
+
+    #[test]
+    fn bisect_exact_endpoint_root() {
+        let r = bisect(|x| x, 0.0, 1.0, opts()).unwrap();
+        assert_eq!(r.x, 0.0);
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn brent_sqrt_two_fast() {
+        let r = brent(|x| x * x - 2.0, 0.0, 2.0, opts()).unwrap();
+        assert!((r.x - std::f64::consts::SQRT_2).abs() < 1e-10);
+        // Brent should converge much faster than bisection's ~40 iterations.
+        assert!(r.iterations < 15, "iterations = {}", r.iterations);
+    }
+
+    #[test]
+    fn brent_transcendental() {
+        // x e^x = 1 -> x = W(1) ≈ 0.5671432904
+        let r = brent(|x| x * x.exp() - 1.0, 0.0, 1.0, opts()).unwrap();
+        assert!((r.x - 0.567_143_290_409_783_8).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_no_bracket() {
+        let e = brent(|x| x * x + 0.5, -1.0, 1.0, opts()).unwrap_err();
+        assert!(matches!(e, NumError::NoBracket { .. }));
+    }
+
+    #[test]
+    fn brent_handles_flat_regions() {
+        // Piecewise function with a long flat stretch.
+        let f = |x: f64| if x < 2.0 { -1.0 } else { x - 3.0 };
+        let r = brent(f, 0.0, 10.0, opts()).unwrap();
+        assert!((r.x - 3.0).abs() < 1e-8, "x = {}", r.x);
+    }
+
+    #[test]
+    fn newton_cubic() {
+        let r = newton_safeguarded(|x| x * x * x - 8.0, |x| 3.0 * x * x, 0.0, 5.0, opts()).unwrap();
+        assert!((r.x - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn newton_survives_zero_derivative() {
+        // f(x) = x^3 has f'(0) = 0; start bracket includes it.
+        let r = newton_safeguarded(|x| x * x * x, |x| 3.0 * x * x, -1.0, 2.0, opts()).unwrap();
+        assert!(r.x.abs() < 1e-3, "x = {}", r.x);
+    }
+
+    #[test]
+    fn newton_respects_bracket_on_wild_derivative() {
+        // Derivative lies (returns garbage) — safeguard must still converge.
+        let r = newton_safeguarded(|x| x - 1.5, |_| 1e-30, 0.0, 2.0, opts()).unwrap();
+        assert!((r.x - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_solvers_agree_on_monotone_rational() {
+        // Shape of the CMFSD fixed-point equation: s·W(s) − V(s) − Y = 0
+        // with W, V rational in s.
+        let y = 3.0;
+        let g = |s: f64| {
+            let w = 10.0 / (0.5 + s) + 5.0 / (0.1 + s);
+            let v = 4.0 / (0.1 + s);
+            s * w - v - y
+        };
+        let r1 = bisect(g, 0.0, 100.0, opts()).unwrap().x;
+        let r2 = brent(g, 0.0, 100.0, opts()).unwrap().x;
+        assert!((r1 - r2).abs() < 1e-8, "bisect {r1} vs brent {r2}");
+    }
+}

@@ -1,0 +1,623 @@
+//! Online statistics: Welford moments, confidence intervals, percentiles,
+//! histograms and Jain's fairness index.
+//!
+//! The simulator aggregates per-peer completion times across replications;
+//! these utilities compute the summary rows printed by the experiment
+//! harness. Jain's fairness index quantifies the class-unfairness the paper
+//! observes under CMFSD (Section 4.2.2).
+
+use crate::error::NumError;
+
+/// Numerically stable single-pass mean/variance accumulator (Welford 1962).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel reduction;
+    /// Chan et al. pairwise update).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (∞ when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Symmetric confidence half-width for the mean at the given confidence
+    /// level, using the normal approximation for `n ≥ 30` and a small
+    /// Student-t table below that.
+    pub fn ci_half_width(&self, confidence: Confidence) -> f64 {
+        if self.n < 2 {
+            return f64::INFINITY;
+        }
+        confidence.critical_value(self.n - 1) * self.std_err()
+    }
+}
+
+/// Supported confidence levels for interval estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Confidence {
+    /// 90% two-sided confidence.
+    P90,
+    /// 95% two-sided confidence.
+    P95,
+    /// 99% two-sided confidence.
+    P99,
+}
+
+impl Confidence {
+    /// Critical value (t for small df, z asymptotically).
+    fn critical_value(self, df: u64) -> f64 {
+        // Student-t two-sided critical values for small df, indexed df 1..=30.
+        const T95: [f64; 30] = [
+            12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+            2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+            2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        ];
+        const T90: [f64; 30] = [
+            6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812, 1.796, 1.782,
+            1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725, 1.721, 1.717, 1.714, 1.711,
+            1.708, 1.706, 1.703, 1.701, 1.699, 1.697,
+        ];
+        const T99: [f64; 30] = [
+            63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169, 3.106, 3.055,
+            3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845, 2.831, 2.819, 2.807, 2.797,
+            2.787, 2.779, 2.771, 2.763, 2.756, 2.750,
+        ];
+        let (table, z) = match self {
+            Confidence::P90 => (&T90, 1.645),
+            Confidence::P95 => (&T95, 1.960),
+            Confidence::P99 => (&T99, 2.576),
+        };
+        if df == 0 {
+            f64::INFINITY
+        } else if df <= 30 {
+            table[(df - 1) as usize]
+        } else {
+            z
+        }
+    }
+}
+
+/// Jain's fairness index: `(Σxᵢ)² / (n·Σxᵢ²)`.
+///
+/// Equals 1 when all values are identical and `1/n` when one value dominates.
+/// Used to quantify per-class download-time unfairness under CMFSD.
+///
+/// # Errors
+/// Returns [`NumError::InvalidInput`] if `values` is empty or contains a
+/// negative/non-finite entry.
+pub fn jain_fairness(values: &[f64]) -> Result<f64, NumError> {
+    if values.is_empty() {
+        return Err(NumError::InvalidInput {
+            what: "jain_fairness",
+            detail: "values must be non-empty".into(),
+        });
+    }
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for (i, &v) in values.iter().enumerate() {
+        if !v.is_finite() || v < 0.0 {
+            return Err(NumError::InvalidInput {
+                what: "jain_fairness",
+                detail: format!("values[{i}] = {v} is negative or non-finite"),
+            });
+        }
+        sum += v;
+        sum_sq += v * v;
+    }
+    if sum_sq == 0.0 {
+        // All zeros: perfectly fair by convention.
+        return Ok(1.0);
+    }
+    Ok(sum * sum / (values.len() as f64 * sum_sq))
+}
+
+/// Percentile (inclusive, linear interpolation between closest ranks) of an
+/// unsorted slice. `q ∈ [0, 1]`.
+///
+/// # Errors
+/// Returns [`NumError::InvalidInput`] for an empty slice or `q ∉ [0,1]`.
+pub fn percentile(values: &[f64], q: f64) -> Result<f64, NumError> {
+    if values.is_empty() {
+        return Err(NumError::InvalidInput {
+            what: "percentile",
+            detail: "values must be non-empty".into(),
+        });
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(NumError::InvalidInput {
+            what: "percentile",
+            detail: format!("q must lie in [0,1], got {q}"),
+        });
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN values"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Ok(sorted[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi)` with values outside the range
+/// clamped into the edge bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width buckets over `[lo, hi)`.
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, NumError> {
+        if bins == 0 {
+            return Err(NumError::InvalidInput {
+                what: "Histogram::new",
+                detail: "bins must be > 0".into(),
+            });
+        }
+        if !(lo < hi) {
+            return Err(NumError::InvalidInput {
+                what: "Histogram::new",
+                detail: format!("require lo < hi, got lo = {lo}, hi = {hi}"),
+            });
+        }
+        Ok(Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        })
+    }
+
+    /// Records one observation (out-of-range values clamp to edge bins).
+    pub fn push(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let idx = if x < self.lo {
+            0
+        } else if x >= self.hi {
+            bins - 1
+        } else {
+            let f = (x - self.lo) / (self.hi - self.lo);
+            ((f * bins as f64) as usize).min(bins - 1)
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of mass in bin `i`.
+    pub fn frac(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / self.total as f64
+        }
+    }
+
+    /// Midpoint of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+}
+
+/// Weighted mean of `(value, weight)` pairs.
+///
+/// # Errors
+/// Returns [`NumError::InvalidInput`] if the slices differ in length, any
+/// weight is negative, or all weights are zero.
+pub fn weighted_mean(values: &[f64], weights: &[f64]) -> Result<f64, NumError> {
+    if values.len() != weights.len() {
+        return Err(NumError::InvalidInput {
+            what: "weighted_mean",
+            detail: format!(
+                "length mismatch: {} values vs {} weights",
+                values.len(),
+                weights.len()
+            ),
+        });
+    }
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (i, (&v, &w)) in values.iter().zip(weights).enumerate() {
+        if w < 0.0 || !w.is_finite() {
+            return Err(NumError::InvalidInput {
+                what: "weighted_mean",
+                detail: format!("weights[{i}] = {w} is negative or non-finite"),
+            });
+        }
+        num += v * w;
+        den += w;
+    }
+    if den == 0.0 {
+        return Err(NumError::InvalidInput {
+            what: "weighted_mean",
+            detail: "all weights are zero".into(),
+        });
+    }
+    Ok(num / den)
+}
+
+/// Batch-means confidence interval for *autocorrelated* sequences (e.g.
+/// per-user times from one simulation run, where consecutive users share
+/// swarm state).
+///
+/// Splits the sequence into `batches` contiguous batches (discarding the
+/// remainder at the front), treats the batch means as approximately
+/// independent, and returns `(mean, half_width)` at the given confidence.
+///
+/// # Errors
+/// Returns [`NumError::InvalidInput`] when fewer than two batches are
+/// requested or there are not at least two observations per batch.
+pub fn batch_means_ci(
+    samples: &[f64],
+    batches: usize,
+    confidence: Confidence,
+) -> Result<(f64, f64), NumError> {
+    if batches < 2 {
+        return Err(NumError::InvalidInput {
+            what: "batch_means_ci",
+            detail: format!("need at least 2 batches, got {batches}"),
+        });
+    }
+    let per_batch = samples.len() / batches;
+    if per_batch < 2 {
+        return Err(NumError::InvalidInput {
+            what: "batch_means_ci",
+            detail: format!(
+                "need ≥ 2 observations per batch; {} samples / {batches} batches",
+                samples.len()
+            ),
+        });
+    }
+    let start = samples.len() - per_batch * batches;
+    let mut acc = Welford::new();
+    for b in 0..batches {
+        let lo = start + b * per_batch;
+        let batch = &samples[lo..lo + per_batch];
+        let mean = batch.iter().sum::<f64>() / per_batch as f64;
+        acc.push(mean);
+    }
+    Ok((acc.mean(), acc.ci_half_width(confidence)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_mean_variance_known() {
+        let mut w = Welford::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // Unbiased sample variance of this classic set is 32/7.
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(w.min(), 2.0);
+        assert_eq!(w.max(), 9.0);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = Welford::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.variance() - all.variance()).abs() < 1e-10);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn welford_merge_with_empty() {
+        let mut a = Welford::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a;
+        a.merge(&Welford::new());
+        assert_eq!(a, before);
+        let mut e = Welford::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn welford_empty_defaults() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.ci_half_width(Confidence::P95), f64::INFINITY);
+    }
+
+    #[test]
+    fn ci_uses_t_for_small_samples() {
+        let mut w = Welford::new();
+        for x in [1.0, 2.0, 3.0] {
+            w.push(x);
+        }
+        // df = 2 -> t = 4.303 at 95%.
+        let expected = 4.303 * w.std_err();
+        assert!((w.ci_half_width(Confidence::P95) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_uses_z_for_large_samples() {
+        let mut w = Welford::new();
+        for i in 0..1000 {
+            w.push(i as f64 % 10.0);
+        }
+        let expected = 1.960 * w.std_err();
+        assert!((w.ci_half_width(Confidence::P95) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_ordering_by_confidence() {
+        let mut w = Welford::new();
+        for i in 0..100 {
+            w.push(i as f64);
+        }
+        let c90 = w.ci_half_width(Confidence::P90);
+        let c95 = w.ci_half_width(Confidence::P95);
+        let c99 = w.ci_half_width(Confidence::P99);
+        assert!(c90 < c95 && c95 < c99);
+    }
+
+    #[test]
+    fn jain_extremes() {
+        assert!((jain_fairness(&[5.0, 5.0, 5.0]).unwrap() - 1.0).abs() < 1e-12);
+        let n = 4;
+        let mut vals = vec![0.0; n];
+        vals[0] = 10.0;
+        assert!((jain_fairness(&vals).unwrap() - 1.0 / n as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_rejects_bad_input() {
+        assert!(jain_fairness(&[]).is_err());
+        assert!(jain_fairness(&[1.0, -2.0]).is_err());
+        assert!(jain_fairness(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn jain_all_zero_is_fair() {
+        assert_eq!(jain_fairness(&[0.0, 0.0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn percentile_basics() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0).unwrap(), 1.0);
+        assert_eq!(percentile(&v, 1.0).unwrap(), 5.0);
+        assert_eq!(percentile(&v, 0.5).unwrap(), 3.0);
+        // Interpolated quartile.
+        assert!((percentile(&v, 0.25).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [10.0, 20.0];
+        assert!((percentile(&v, 0.5).unwrap() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_rejects_bad_input() {
+        assert!(percentile(&[], 0.5).is_err());
+        assert!(percentile(&[1.0], 1.5).is_err());
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        for i in 0..10 {
+            h.push(i as f64 + 0.5);
+        }
+        for (i, &c) in h.counts().iter().enumerate() {
+            assert_eq!(c, 1, "bin {i}");
+        }
+        assert_eq!(h.total(), 10);
+        assert!((h.bin_center(0) - 0.5).abs() < 1e-12);
+        assert!((h.frac(3) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_clamps_out_of_range() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        h.push(-5.0);
+        h.push(5.0);
+        h.push(1.0); // hi is exclusive -> clamps to last bin
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[3], 2);
+    }
+
+    #[test]
+    fn histogram_rejects_bad_config() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 0.0, 4).is_err());
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn weighted_mean_basics() {
+        let m = weighted_mean(&[1.0, 3.0], &[1.0, 1.0]).unwrap();
+        assert!((m - 2.0).abs() < 1e-12);
+        let m = weighted_mean(&[1.0, 3.0], &[3.0, 1.0]).unwrap();
+        assert!((m - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_mean_rejects_bad_input() {
+        assert!(weighted_mean(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(weighted_mean(&[1.0], &[-1.0]).is_err());
+        assert!(weighted_mean(&[1.0, 2.0], &[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn batch_means_validation() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert!(batch_means_ci(&xs, 1, Confidence::P95).is_err());
+        assert!(batch_means_ci(&xs[..3], 2, Confidence::P95).is_err());
+        assert!(batch_means_ci(&xs, 10, Confidence::P95).is_ok());
+    }
+
+    #[test]
+    fn batch_means_mean_matches_sample_mean_for_exact_split() {
+        let xs: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let (mean, hw) = batch_means_ci(&xs, 10, Confidence::P95).unwrap();
+        assert!((mean - 4.5).abs() < 1e-12);
+        // Identical batches ⇒ zero variance between batch means.
+        assert!(hw < 1e-12);
+    }
+
+    #[test]
+    fn batch_means_widens_ci_for_correlated_data() {
+        // AR(1) with φ = 0.95: strong positive autocorrelation. The naive
+        // iid CI underestimates; batch means must be wider.
+        let mut xs = Vec::with_capacity(5000);
+        let mut x = 0.0f64;
+        let mut state = 9u64;
+        let mut next_u = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for _ in 0..5000 {
+            x = 0.95 * x + next_u();
+            xs.push(x);
+        }
+        let mut naive = Welford::new();
+        for &v in &xs {
+            naive.push(v);
+        }
+        let naive_hw = naive.ci_half_width(Confidence::P95);
+        let (_, batch_hw) = batch_means_ci(&xs, 20, Confidence::P95).unwrap();
+        assert!(
+            batch_hw > 2.0 * naive_hw,
+            "batch CI {batch_hw} should dwarf naive {naive_hw}"
+        );
+    }
+
+    #[test]
+    fn batch_means_discards_leading_remainder() {
+        // 103 samples, 10 batches of 10: the first 3 are dropped.
+        let mut xs = vec![1000.0, 1000.0, 1000.0];
+        xs.extend((0..100).map(|_| 1.0));
+        let (mean, _) = batch_means_ci(&xs, 10, Confidence::P95).unwrap();
+        assert!((mean - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,131 @@
+//! Poisson arrival processes.
+//!
+//! The fluid model (and the original Qiu–Srikant analysis it extends)
+//! assumes peers arrive according to a Poisson process. [`PoissonProcess`]
+//! generates the event times — an iterator of exponentially spaced stamps —
+//! for the simulator's arrival stream.
+
+use btfluid_numkit::dist::Exponential;
+use btfluid_numkit::rng::RngCore;
+use btfluid_numkit::NumError;
+
+/// A homogeneous Poisson process with rate `λ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonProcess {
+    gap: Exponential,
+}
+
+impl PoissonProcess {
+    /// Creates a process with the given event rate.
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] unless `rate > 0` and finite.
+    pub fn new(rate: f64) -> Result<Self, NumError> {
+        Ok(Self {
+            gap: Exponential::new(rate)?,
+        })
+    }
+
+    /// The event rate λ.
+    pub fn rate(&self) -> f64 {
+        self.gap.rate()
+    }
+
+    /// Draws the gap to the next event.
+    pub fn next_gap<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.gap.sample(rng)
+    }
+
+    /// Generates all event times in `[0, horizon)`.
+    pub fn times_until<R: RngCore + ?Sized>(&self, rng: &mut R, horizon: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut t = self.next_gap(rng);
+        while t < horizon {
+            out.push(t);
+            t += self.next_gap(rng);
+        }
+        out
+    }
+
+    /// Generates the first `n` event times.
+    pub fn first_n<R: RngCore + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(n);
+        let mut t = 0.0;
+        for _ in 0..n {
+            t += self.next_gap(rng);
+            out.push(t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btfluid_numkit::rng::Xoshiro256StarStar;
+    use btfluid_numkit::stats::Welford;
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn validation() {
+        assert!(PoissonProcess::new(0.0).is_err());
+        assert!(PoissonProcess::new(-1.0).is_err());
+        assert!(PoissonProcess::new(2.5).is_ok());
+    }
+
+    #[test]
+    fn event_count_matches_rate() {
+        let p = PoissonProcess::new(2.0).unwrap();
+        let mut r = rng(1);
+        let mut w = Welford::new();
+        for _ in 0..2000 {
+            w.push(p.times_until(&mut r, 100.0).len() as f64);
+        }
+        // E[N(100)] = 200, Var = 200.
+        assert!((w.mean() - 200.0).abs() < 2.0, "mean = {}", w.mean());
+        assert!(
+            (w.variance() - 200.0).abs() / 200.0 < 0.15,
+            "var = {}",
+            w.variance()
+        );
+    }
+
+    #[test]
+    fn times_sorted_and_in_horizon() {
+        let p = PoissonProcess::new(5.0).unwrap();
+        let mut r = rng(2);
+        let ts = p.times_until(&mut r, 50.0);
+        assert!(ts.windows(2).all(|w| w[0] < w[1]));
+        assert!(ts.iter().all(|&t| t > 0.0 && t < 50.0));
+    }
+
+    #[test]
+    fn first_n_has_n_increasing_times() {
+        let p = PoissonProcess::new(1.0).unwrap();
+        let mut r = rng(3);
+        let ts = p.first_n(&mut r, 100);
+        assert_eq!(ts.len(), 100);
+        assert!(ts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn gaps_have_exponential_mean() {
+        let p = PoissonProcess::new(0.05).unwrap();
+        let mut r = rng(4);
+        let mut w = Welford::new();
+        for _ in 0..100_000 {
+            w.push(p.next_gap(&mut r));
+        }
+        assert!((w.mean() - 20.0).abs() < 0.3, "mean gap = {}", w.mean());
+    }
+
+    #[test]
+    fn zero_horizon_yields_no_events() {
+        let p = PoissonProcess::new(10.0).unwrap();
+        let mut r = rng(5);
+        assert!(p.times_until(&mut r, 0.0).is_empty());
+    }
+}

@@ -1,0 +1,224 @@
+//! Peer classes and class-weighted aggregation.
+//!
+//! The paper categorizes peers by the number of files their user requested:
+//! a *class-`i`* peer belongs to a user who requested `i` files. Every
+//! per-class result (Figures 3, 4b, 4c) is a vector indexed by class, and
+//! every population average (Figures 2, 4a) is a rate-weighted mean over
+//! classes. [`ClassMix`] packages those weightings so the metric code in
+//! `btfluid-core` cannot mix up "per user" and "per file" weights.
+
+use crate::correlation::CorrelationModel;
+use btfluid_numkit::NumError;
+
+/// Entry rates per class (index 0 ↔ class 1), with weighted-average helpers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassMix {
+    rates: Vec<f64>,
+}
+
+impl ClassMix {
+    /// Builds a mix from raw per-class entry rates (`rates[i]` is the rate
+    /// of class `i+1`).
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] if `rates` is empty, contains a
+    /// negative or non-finite entry, or sums to zero.
+    pub fn new(rates: Vec<f64>) -> Result<Self, NumError> {
+        if rates.is_empty() {
+            return Err(NumError::InvalidInput {
+                what: "ClassMix::new",
+                detail: "need at least one class".into(),
+            });
+        }
+        let mut total = 0.0;
+        for (i, &r) in rates.iter().enumerate() {
+            if !r.is_finite() || r < 0.0 {
+                return Err(NumError::InvalidInput {
+                    what: "ClassMix::new",
+                    detail: format!("rate for class {} is {r}", i + 1),
+                });
+            }
+            total += r;
+        }
+        if total <= 0.0 {
+            return Err(NumError::InvalidInput {
+                what: "ClassMix::new",
+                detail: "all class rates are zero — nobody enters the system".into(),
+            });
+        }
+        Ok(Self { rates })
+    }
+
+    /// System-wide mix from a correlation model (classes `1..=K`,
+    /// rates `λᵢ = λ₀·C(K,i)pⁱ(1−p)^{K−i}`).
+    ///
+    /// # Errors
+    /// Fails when `p = 0` (no entering class has positive rate).
+    pub fn system_wide(model: &CorrelationModel) -> Result<Self, NumError> {
+        Self::new(model.class_rates())
+    }
+
+    /// Per-torrent mix from a correlation model (classes `1..=K`,
+    /// rates `λⱼⁱ = λ₀·C(K−1,i−1)pⁱ(1−p)^{K−i}`).
+    ///
+    /// # Errors
+    /// Fails when `p = 0`.
+    pub fn per_torrent(model: &CorrelationModel) -> Result<Self, NumError> {
+        Self::new(model.per_torrent_rates())
+    }
+
+    /// Number of classes `K`.
+    pub fn k(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Entry rate of class `i` (`1 ≤ i ≤ K`).
+    ///
+    /// # Panics
+    /// Panics for out-of-range classes.
+    pub fn rate(&self, i: usize) -> f64 {
+        assert!(
+            (1..=self.k()).contains(&i),
+            "class {i} out of 1..={}",
+            self.k()
+        );
+        self.rates[i - 1]
+    }
+
+    /// Raw rate vector (index 0 ↔ class 1).
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Total entry rate `Σᵢ λᵢ`.
+    pub fn total_rate(&self) -> f64 {
+        self.rates.iter().sum()
+    }
+
+    /// Total *file*-request rate `Σᵢ i·λᵢ`.
+    pub fn file_rate(&self) -> f64 {
+        self.rates
+            .iter()
+            .enumerate()
+            .map(|(idx, &r)| (idx + 1) as f64 * r)
+            .sum()
+    }
+
+    /// Rate-weighted mean of a per-class quantity: `Σᵢ λᵢ·vᵢ / Σᵢ λᵢ`
+    /// — "average over users".
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] when `values.len() != K`.
+    pub fn user_mean(&self, values: &[f64]) -> Result<f64, NumError> {
+        self.check_len(values)?;
+        let num: f64 = self.rates.iter().zip(values).map(|(r, v)| r * v).sum();
+        Ok(num / self.total_rate())
+    }
+
+    /// File-weighted mean: `Σᵢ i·λᵢ·vᵢ / Σᵢ i·λᵢ` — "average over files",
+    /// the denominator of the paper's *average online time per file* metric.
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] when `values.len() != K`.
+    pub fn file_mean(&self, values: &[f64]) -> Result<f64, NumError> {
+        self.check_len(values)?;
+        let num: f64 = self
+            .rates
+            .iter()
+            .zip(values)
+            .enumerate()
+            .map(|(idx, (r, v))| (idx + 1) as f64 * r * v)
+            .sum();
+        Ok(num / self.file_rate())
+    }
+
+    fn check_len(&self, values: &[f64]) -> Result<(), NumError> {
+        if values.len() != self.k() {
+            return Err(NumError::InvalidInput {
+                what: "ClassMix mean",
+                detail: format!("{} values for {} classes", values.len(), self.k()),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(ClassMix::new(vec![]).is_err());
+        assert!(ClassMix::new(vec![0.0, 0.0]).is_err());
+        assert!(ClassMix::new(vec![1.0, -0.5]).is_err());
+        assert!(ClassMix::new(vec![f64::NAN]).is_err());
+        assert!(ClassMix::new(vec![0.0, 1.0]).is_ok());
+    }
+
+    #[test]
+    fn rates_and_totals() {
+        let m = ClassMix::new(vec![3.0, 2.0, 1.0]).unwrap();
+        assert_eq!(m.k(), 3);
+        assert_eq!(m.rate(1), 3.0);
+        assert_eq!(m.rate(3), 1.0);
+        assert_eq!(m.total_rate(), 6.0);
+        // file rate = 1·3 + 2·2 + 3·1 = 10
+        assert_eq!(m.file_rate(), 10.0);
+    }
+
+    #[test]
+    fn user_mean_weights_by_rate() {
+        let m = ClassMix::new(vec![3.0, 1.0]).unwrap();
+        // (3·10 + 1·20) / 4 = 12.5
+        assert!((m.user_mean(&[10.0, 20.0]).unwrap() - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn file_mean_weights_by_class_times_rate() {
+        let m = ClassMix::new(vec![3.0, 1.0]).unwrap();
+        // (1·3·10 + 2·1·20) / (1·3 + 2·1) = 70/5 = 14
+        assert!((m.file_mean(&[10.0, 20.0]).unwrap() - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn means_agree_for_constant_values() {
+        let m = ClassMix::new(vec![1.0, 2.0, 3.0]).unwrap();
+        let v = [7.0, 7.0, 7.0];
+        assert!((m.user_mean(&v).unwrap() - 7.0).abs() < 1e-12);
+        assert!((m.file_mean(&v).unwrap() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let m = ClassMix::new(vec![1.0, 2.0]).unwrap();
+        assert!(m.user_mean(&[1.0]).is_err());
+        assert!(m.file_mean(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn from_correlation_model() {
+        let cm = CorrelationModel::new(10, 0.3, 2.0).unwrap();
+        let sys = ClassMix::system_wide(&cm).unwrap();
+        let per = ClassMix::per_torrent(&cm).unwrap();
+        assert_eq!(sys.k(), 10);
+        assert!((sys.total_rate() - cm.entering_rate()).abs() < 1e-12);
+        assert!((per.total_rate() - cm.per_torrent_total_rate()).abs() < 1e-12);
+        // System-wide file rate must equal λ₀·K·p.
+        assert!((sys.file_rate() - cm.file_request_rate()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p_zero_mix_fails_cleanly() {
+        let cm = CorrelationModel::new(10, 0.0, 2.0).unwrap();
+        assert!(ClassMix::system_wide(&cm).is_err());
+        assert!(ClassMix::per_torrent(&cm).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 1..=")]
+    fn rate_out_of_range_panics() {
+        let m = ClassMix::new(vec![1.0]).unwrap();
+        let _ = m.rate(2);
+    }
+}

@@ -1,0 +1,294 @@
+//! The binomial file-correlation model of Section 4.1.
+
+use btfluid_numkit::special::binomial_pmf;
+use btfluid_numkit::NumError;
+
+/// The paper's file-correlation model: `K` files, index visiting rate `λ₀`,
+/// per-file request probability `p`.
+///
+/// # Examples
+///
+/// ```
+/// use btfluid_workload::CorrelationModel;
+///
+/// let m = CorrelationModel::new(10, 0.5, 2.0)?;
+/// // Class rates are a binomial pmf scaled by λ₀…
+/// assert!((m.class_rates().iter().sum::<f64>() - m.entering_rate()).abs() < 1e-12);
+/// // …and each torrent sees λ₀·p peers per time unit in total.
+/// assert!((m.per_torrent_total_rate() - 1.0).abs() < 1e-12);
+/// # Ok::<(), btfluid_workload::WorkloadError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorrelationModel {
+    k: u32,
+    p: f64,
+    lambda0: f64,
+}
+
+impl CorrelationModel {
+    /// Creates the model.
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] unless `k ≥ 1`, `p ∈ [0, 1]` and
+    /// `λ₀ > 0` (finite).
+    pub fn new(k: u32, p: f64, lambda0: f64) -> Result<Self, NumError> {
+        if k == 0 {
+            return Err(NumError::InvalidInput {
+                what: "CorrelationModel::new",
+                detail: "the system must serve at least one file (k >= 1)".into(),
+            });
+        }
+        if !(0.0..=1.0).contains(&p) {
+            return Err(NumError::InvalidInput {
+                what: "CorrelationModel::new",
+                detail: format!("file correlation p must lie in [0,1], got {p}"),
+            });
+        }
+        if !(lambda0 > 0.0) || !lambda0.is_finite() {
+            return Err(NumError::InvalidInput {
+                what: "CorrelationModel::new",
+                detail: format!("visiting rate λ₀ must be finite and > 0, got {lambda0}"),
+            });
+        }
+        Ok(Self { k, p, lambda0 })
+    }
+
+    /// Number of files `K` in the system.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// File correlation `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Index visiting rate `λ₀`.
+    pub fn lambda0(&self) -> f64 {
+        self.lambda0
+    }
+
+    /// System-wide entry rate of class-`i` users,
+    /// `λᵢ = λ₀·C(K,i)·pⁱ(1−p)^{K−i}`, for `1 ≤ i ≤ K`.
+    ///
+    /// `i = 0` returns the rate of users who request nothing (they never
+    /// enter a torrent but the mass is useful for sanity checks).
+    ///
+    /// # Panics
+    /// Panics when `i > K` (programming error).
+    pub fn class_rate(&self, i: u32) -> f64 {
+        assert!(i <= self.k, "class {i} exceeds K = {}", self.k);
+        self.lambda0 * binomial_pmf(self.k, i, self.p).expect("p validated at construction")
+    }
+
+    /// Per-torrent entry rate of class-`i` peers,
+    /// `λⱼⁱ = λ₀·C(K−1,i−1)·pⁱ(1−p)^{K−i}` (identical for every torrent by
+    /// symmetry), for `1 ≤ i ≤ K`.
+    ///
+    /// Derivation: a class-`i` user enters torrent `tⱼ` iff file `j` is among
+    /// its `i` choices; conditioning on that choice leaves `C(K−1, i−1)` ways
+    /// to pick the rest.
+    ///
+    /// # Panics
+    /// Panics when `i == 0` or `i > K`.
+    pub fn per_torrent_rate(&self, i: u32) -> f64 {
+        assert!(
+            (1..=self.k).contains(&i),
+            "per-torrent classes run 1..=K, got {i}"
+        );
+        if self.p == 0.0 {
+            return 0.0;
+        }
+        // λ₀ · C(K−1, i−1) · pⁱ (1−p)^{K−i}
+        //   = λ₀ · pmf_{K−1,p}(i−1) · p
+        self.lambda0 * binomial_pmf(self.k - 1, i - 1, self.p).expect("p validated") * self.p
+    }
+
+    /// All system-wide class rates `λ₁..λ_K` as a vector (index 0 ↔ class 1).
+    pub fn class_rates(&self) -> Vec<f64> {
+        (1..=self.k).map(|i| self.class_rate(i)).collect()
+    }
+
+    /// All per-torrent class rates `λⱼ¹..λⱼᴷ` as a vector (index 0 ↔ class 1).
+    pub fn per_torrent_rates(&self) -> Vec<f64> {
+        (1..=self.k).map(|i| self.per_torrent_rate(i)).collect()
+    }
+
+    /// Total rate of users who actually enter the system,
+    /// `λ₀·(1 − (1−p)^K)`.
+    pub fn entering_rate(&self) -> f64 {
+        self.lambda0 * (1.0 - (1.0 - self.p).powi(self.k as i32))
+    }
+
+    /// Total per-torrent peer entry rate `Σᵢ λⱼⁱ = λ₀·p` (each file is
+    /// requested with probability `p`).
+    pub fn per_torrent_total_rate(&self) -> f64 {
+        self.lambda0 * self.p
+    }
+
+    /// Expected number of files requested per *visiting* user, `K·p`.
+    pub fn mean_files_per_visitor(&self) -> f64 {
+        self.k as f64 * self.p
+    }
+
+    /// Expected number of files per *entering* user,
+    /// `K·p / (1 − (1−p)^K)`.
+    ///
+    /// Returns 0 when `p = 0` (nobody enters).
+    pub fn mean_files_per_entrant(&self) -> f64 {
+        if self.p == 0.0 {
+            return 0.0;
+        }
+        self.mean_files_per_visitor() / (1.0 - (1.0 - self.p).powi(self.k as i32))
+    }
+
+    /// Rate at which *files* are requested across the system, `λ₀·K·p`
+    /// (equals `Σᵢ i·λᵢ`).
+    pub fn file_request_rate(&self) -> f64 {
+        self.lambda0 * self.k as f64 * self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(p: f64) -> CorrelationModel {
+        CorrelationModel::new(10, p, 2.0).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(CorrelationModel::new(0, 0.5, 1.0).is_err());
+        assert!(CorrelationModel::new(10, -0.1, 1.0).is_err());
+        assert!(CorrelationModel::new(10, 1.5, 1.0).is_err());
+        assert!(CorrelationModel::new(10, 0.5, 0.0).is_err());
+        assert!(CorrelationModel::new(10, 0.5, f64::NAN).is_err());
+        assert!(CorrelationModel::new(1, 0.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn class_rates_sum_to_lambda0() {
+        let m = model(0.3);
+        let total: f64 = (0..=10).map(|i| m.class_rate(i)).sum();
+        assert!((total - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entering_rate_excludes_class_zero() {
+        let m = model(0.3);
+        let entering: f64 = (1..=10).map(|i| m.class_rate(i)).sum();
+        assert!((entering - m.entering_rate()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_torrent_rates_sum_to_lambda0_p() {
+        for &p in &[0.0, 0.1, 0.5, 0.9, 1.0] {
+            let m = model(p);
+            let total: f64 = if p == 0.0 {
+                0.0
+            } else {
+                (1..=10).map(|i| m.per_torrent_rate(i)).sum()
+            };
+            assert!(
+                (total - m.per_torrent_total_rate()).abs() < 1e-12,
+                "p = {p}: {total} vs {}",
+                m.per_torrent_total_rate()
+            );
+        }
+    }
+
+    #[test]
+    fn per_torrent_matches_paper_formula() {
+        // λⱼⁱ = λ₀·C(K−1,i−1)·pⁱ(1−p)^{K−i}, checked literally for K=10.
+        let m = model(0.1);
+        for i in 1..=10u32 {
+            let expect = 2.0
+                * btfluid_numkit::special::choose(9, i - 1)
+                * 0.1f64.powi(i as i32)
+                * 0.9f64.powi(10 - i as i32);
+            let got = m.per_torrent_rate(i);
+            assert!(
+                (got - expect).abs() < 1e-12,
+                "class {i}: got {got}, expect {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn p_one_concentrates_on_class_k() {
+        let m = model(1.0);
+        assert!((m.class_rate(10) - 2.0).abs() < 1e-12);
+        for i in 0..10 {
+            assert_eq!(m.class_rate(i), 0.0);
+        }
+        assert!((m.per_torrent_rate(10) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p_zero_means_nobody_enters() {
+        let m = model(0.0);
+        assert_eq!(m.entering_rate(), 0.0);
+        assert_eq!(m.mean_files_per_entrant(), 0.0);
+        for i in 1..=10 {
+            assert_eq!(m.per_torrent_rate(i), 0.0);
+        }
+    }
+
+    #[test]
+    fn mean_files_relations() {
+        let m = model(0.4);
+        assert!((m.mean_files_per_visitor() - 4.0).abs() < 1e-12);
+        // Entrant mean is visitor mean inflated by the entering fraction.
+        let frac = 1.0 - 0.6f64.powi(10);
+        assert!((m.mean_files_per_entrant() - 4.0 / frac).abs() < 1e-12);
+        // Entrant mean must exceed visitor mean (zero-class removed)...
+        assert!(m.mean_files_per_entrant() > m.mean_files_per_visitor());
+        // ...and equal Σ i λᵢ / Σ λᵢ.
+        let num: f64 = (1..=10).map(|i| i as f64 * m.class_rate(i)).sum();
+        let den: f64 = (1..=10).map(|i| m.class_rate(i)).sum();
+        assert!((m.mean_files_per_entrant() - num / den).abs() < 1e-12);
+    }
+
+    #[test]
+    fn file_request_rate_identity() {
+        let m = model(0.7);
+        let by_classes: f64 = (1..=10).map(|i| i as f64 * m.class_rate(i)).sum();
+        assert!((m.file_request_rate() - by_classes).abs() < 1e-12);
+        // Also equals K × per-torrent total (each torrent sees λ₀·p peers).
+        assert!((m.file_request_rate() - 10.0 * m.per_torrent_total_rate()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_equals_one_degenerates() {
+        let m = CorrelationModel::new(1, 0.25, 4.0).unwrap();
+        assert!((m.class_rate(1) - 1.0).abs() < 1e-12);
+        assert!((m.per_torrent_rate(1) - 1.0).abs() < 1e-12);
+        assert!((m.entering_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds K")]
+    fn class_rate_out_of_range_panics() {
+        let _ = model(0.5).class_rate(11);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-torrent classes")]
+    fn per_torrent_rate_zero_panics() {
+        let _ = model(0.5).per_torrent_rate(0);
+    }
+
+    #[test]
+    fn vectors_match_scalars() {
+        let m = model(0.2);
+        let cr = m.class_rates();
+        let ptr = m.per_torrent_rates();
+        assert_eq!(cr.len(), 10);
+        assert_eq!(ptr.len(), 10);
+        for i in 1..=10u32 {
+            assert_eq!(cr[(i - 1) as usize], m.class_rate(i));
+            assert_eq!(ptr[(i - 1) as usize], m.per_torrent_rate(i));
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # btfluid-workload
+//!
+//! The workload substrate for the `btfluid` workspace: everything about
+//! *who* requests *what* and *when*, as defined in Section 4.1 of
+//! "Analyzing Multiple File Downloading in BitTorrent" (Tian/Wu/Ng, ICPP
+//! 2006).
+//!
+//! ## The file-correlation model
+//!
+//! A server–torrent system serves `K` files. Users visit the index at rate
+//! `λ₀`; each visiting user requests every one of the `K` files
+//! independently with probability `p` (the *file correlation*). Hence users
+//! who request exactly `i` files arrive at rate
+//!
+//! ```text
+//! λᵢ = λ₀ · C(K, i) · pⁱ (1 − p)^{K − i}
+//! ```
+//!
+//! and, restricted to one particular torrent `tⱼ` (the file must be among
+//! the `i` chosen), class-`i` peers enter `tⱼ` at rate
+//!
+//! ```text
+//! λⱼⁱ = λ₀ · C(K−1, i−1) · pⁱ (1 − p)^{K − i}
+//! ```
+//!
+//! Users with `i = 0` never enter the system. [`CorrelationModel`]
+//! implements both rate families; [`requests`] samples concrete request
+//! sets; [`arrivals`] generates Poisson arrival traces for the simulator.
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)` is used deliberately throughout: unlike `x <= 0.0` it also
+// rejects NaN, which is exactly what parameter validation wants.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod classes;
+pub mod correlation;
+pub mod popularity;
+pub mod requests;
+pub mod trace;
+
+pub use arrivals::PoissonProcess;
+pub use classes::ClassMix;
+pub use correlation::CorrelationModel;
+pub use popularity::NonUniformModel;
+pub use requests::RequestSampler;
+pub use trace::{Arrival, ArrivalTrace};
+
+/// Convenience error alias (all fallible APIs in this crate return the
+/// shared numeric error type).
+pub type WorkloadError = btfluid_numkit::NumError;

@@ -1,0 +1,295 @@
+//! Non-uniform file popularity: the paper's correlation model with
+//! per-file request probabilities.
+//!
+//! The paper's Section 4.1 model gives every file the same probability `p`
+//! and explicitly lists "in what scale the files are correlated" as future
+//! work. This module generalizes: a visiting user requests file `f`
+//! independently with probability `p_f` (e.g. Zipf-skewed popularity). The
+//! class-size distribution then becomes **Poisson-binomial**, computed
+//! exactly by dynamic programming:
+//!
+//! ```text
+//! λᵢ      = λ₀ · P[|S| = i]                      (system-wide class rates)
+//! λⱼⁱ     = λ₀ · p_j · P[|S \ {j}| = i − 1]       (per-torrent class rates)
+//! ```
+//!
+//! With all `p_f = p` this reduces exactly to [`crate::CorrelationModel`]
+//! (tested). The per-torrent rates now differ across torrents, so the MTCD
+//! fluid model must be solved once per torrent — see
+//! `btfluid-bench::skew` for the resulting experiment.
+
+use btfluid_numkit::rng::RngCore;
+use btfluid_numkit::NumError;
+
+/// A correlation model with per-file request probabilities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NonUniformModel {
+    probs: Vec<f64>,
+    lambda0: f64,
+}
+
+impl NonUniformModel {
+    /// Creates the model from per-file probabilities and the visiting rate.
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] for an empty file list,
+    /// probabilities outside `[0, 1]`, or a non-positive `λ₀`.
+    pub fn new(probs: Vec<f64>, lambda0: f64) -> Result<Self, NumError> {
+        if probs.is_empty() {
+            return Err(NumError::InvalidInput {
+                what: "NonUniformModel::new",
+                detail: "need at least one file".into(),
+            });
+        }
+        for (f, &p) in probs.iter().enumerate() {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(NumError::InvalidInput {
+                    what: "NonUniformModel::new",
+                    detail: format!("p[{f}] = {p} outside [0,1]"),
+                });
+            }
+        }
+        if !(lambda0 > 0.0) || !lambda0.is_finite() {
+            return Err(NumError::InvalidInput {
+                what: "NonUniformModel::new",
+                detail: format!("λ₀ must be finite and > 0, got {lambda0}"),
+            });
+        }
+        Ok(Self { probs, lambda0 })
+    }
+
+    /// A Zipf-skewed popularity profile: `p_f ∝ 1/(f+1)^s`, scaled so the
+    /// *mean* probability equals `p_mean` (making skew sweeps
+    /// approximately workload-neutral: the total file request rate
+    /// `λ₀·Σp_f` is invariant in `s` as long as no probability needs
+    /// clamping). When the scaling pushes the hottest file past 1 its
+    /// probability clamps there and the realized mean drops below
+    /// `p_mean` — steep exponents with high means are not mean-exact.
+    ///
+    /// # Errors
+    /// Propagates constructor validation; rejects negative exponents and
+    /// `p_mean ∉ (0, 1]`.
+    pub fn zipf(k: u32, s: f64, p_mean: f64, lambda0: f64) -> Result<Self, NumError> {
+        if !(s >= 0.0) || !s.is_finite() {
+            return Err(NumError::InvalidInput {
+                what: "NonUniformModel::zipf",
+                detail: format!("exponent must be finite and >= 0, got {s}"),
+            });
+        }
+        if !(p_mean > 0.0 && p_mean <= 1.0) {
+            return Err(NumError::InvalidInput {
+                what: "NonUniformModel::zipf",
+                detail: format!("p_mean must lie in (0, 1], got {p_mean}"),
+            });
+        }
+        if k == 0 {
+            return Err(NumError::InvalidInput {
+                what: "NonUniformModel::zipf",
+                detail: "need at least one file".into(),
+            });
+        }
+        let raw: Vec<f64> = (0..k).map(|f| 1.0 / (f as f64 + 1.0).powf(s)).collect();
+        let mean: f64 = raw.iter().sum::<f64>() / k as f64;
+        let probs = raw
+            .into_iter()
+            .map(|r| (r * p_mean / mean).min(1.0))
+            .collect();
+        Self::new(probs, lambda0)
+    }
+
+    /// Number of files `K`.
+    pub fn k(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Per-file probabilities.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Visiting rate `λ₀`.
+    pub fn lambda0(&self) -> f64 {
+        self.lambda0
+    }
+
+    /// Poisson-binomial pmf of the number of requested files over an
+    /// arbitrary probability subset, by the standard DP.
+    fn poisson_binomial(probs: &[f64]) -> Vec<f64> {
+        let mut pmf = vec![0.0; probs.len() + 1];
+        pmf[0] = 1.0;
+        for (used, &p) in probs.iter().enumerate() {
+            // Walk down so each file is folded in once.
+            for i in (0..=used).rev() {
+                let stay = pmf[i];
+                pmf[i + 1] += stay * p;
+                pmf[i] = stay * (1.0 - p);
+            }
+        }
+        pmf
+    }
+
+    /// System-wide class rates `λ₁..λ_K` (index 0 ↔ class 1).
+    pub fn class_rates(&self) -> Vec<f64> {
+        let pmf = Self::poisson_binomial(&self.probs);
+        (1..=self.k()).map(|i| self.lambda0 * pmf[i]).collect()
+    }
+
+    /// Per-torrent class rates for torrent `j`:
+    /// `λⱼⁱ = λ₀·p_j·P[i−1 of the other files]`.
+    ///
+    /// # Panics
+    /// Panics for `j ≥ K`.
+    pub fn per_torrent_rates(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.k(), "torrent {j} out of 0..{}", self.k());
+        let others: Vec<f64> = self
+            .probs
+            .iter()
+            .enumerate()
+            .filter(|(f, _)| *f != j)
+            .map(|(_, &p)| p)
+            .collect();
+        let pmf = Self::poisson_binomial(&others);
+        (1..=self.k())
+            .map(|i| self.lambda0 * self.probs[j] * pmf[i - 1])
+            .collect()
+    }
+
+    /// Total rate at which files are requested, `λ₀·Σ p_f`.
+    pub fn file_request_rate(&self) -> f64 {
+        self.lambda0 * self.probs.iter().sum::<f64>()
+    }
+
+    /// Rate of users who enter (request ≥ 1 file):
+    /// `λ₀·(1 − Π(1−p_f))`.
+    pub fn entering_rate(&self) -> f64 {
+        let none: f64 = self.probs.iter().map(|p| 1.0 - p).product();
+        self.lambda0 * (1.0 - none)
+    }
+
+    /// Samples a visiting user's request set (possibly empty).
+    pub fn sample_visitor<R: RngCore + ?Sized>(&self, rng: &mut R) -> Vec<u16> {
+        self.probs
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| rng.next_f64() < p)
+            .map(|(f, _)| f as u16)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CorrelationModel;
+    use btfluid_numkit::rng::Xoshiro256StarStar;
+
+    #[test]
+    fn validation() {
+        assert!(NonUniformModel::new(vec![], 1.0).is_err());
+        assert!(NonUniformModel::new(vec![1.1], 1.0).is_err());
+        assert!(NonUniformModel::new(vec![-0.1], 1.0).is_err());
+        assert!(NonUniformModel::new(vec![0.5], 0.0).is_err());
+        assert!(NonUniformModel::new(vec![0.5], 1.0).is_ok());
+        assert!(NonUniformModel::zipf(10, -1.0, 0.5, 1.0).is_err());
+        assert!(NonUniformModel::zipf(10, 1.0, 0.0, 1.0).is_err());
+        assert!(NonUniformModel::zipf(0, 1.0, 0.5, 1.0).is_err());
+    }
+
+    #[test]
+    fn uniform_case_matches_correlation_model() {
+        let uniform = NonUniformModel::new(vec![0.3; 10], 2.0).unwrap();
+        let reference = CorrelationModel::new(10, 0.3, 2.0).unwrap();
+        let got = uniform.class_rates();
+        let expect = reference.class_rates();
+        for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+            assert!((g - e).abs() < 1e-12, "class {}: {g} vs {e}", i + 1);
+        }
+        // Per-torrent rates as well (every torrent identical).
+        let got = uniform.per_torrent_rates(4);
+        let expect = reference.per_torrent_rates();
+        for (g, e) in got.iter().zip(&expect) {
+            assert!((g - e).abs() < 1e-12);
+        }
+        assert!((uniform.entering_rate() - reference.entering_rate()).abs() < 1e-12);
+        assert!(
+            (uniform.file_request_rate() - reference.file_request_rate()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn poisson_binomial_sums_to_one() {
+        let m = NonUniformModel::new(vec![0.9, 0.1, 0.5, 0.7], 1.0).unwrap();
+        let pmf = NonUniformModel::poisson_binomial(m.probs());
+        let total: f64 = pmf.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // Mean of the pmf equals Σp.
+        let mean: f64 = pmf.iter().enumerate().map(|(i, &q)| i as f64 * q).sum();
+        assert!((mean - 2.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_torrent_rates_sum_to_class_identity() {
+        // Σⱼ λⱼⁱ = i·λᵢ: a class-i user appears in exactly i torrents.
+        let m = NonUniformModel::new(vec![0.8, 0.2, 0.5, 0.35, 0.6], 1.5).unwrap();
+        let class = m.class_rates();
+        for i in 1..=5usize {
+            let sum: f64 = (0..5).map(|j| m.per_torrent_rates(j)[i - 1]).sum();
+            assert!(
+                (sum - i as f64 * class[i - 1]).abs() < 1e-12,
+                "class {i}: Σⱼ λⱼⁱ = {sum} vs i·λᵢ = {}",
+                i as f64 * class[i - 1]
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_preserves_mean_and_orders_files() {
+        // p_mean small enough that no clamping occurs.
+        let m = NonUniformModel::zipf(10, 1.0, 0.2, 1.0).unwrap();
+        let mean: f64 = m.probs().iter().sum::<f64>() / 10.0;
+        assert!((mean - 0.2).abs() < 1e-9, "mean = {mean}");
+        assert!(m
+            .probs()
+            .windows(2)
+            .all(|w| w[0] >= w[1]));
+        // s = 0 is uniform.
+        let u = NonUniformModel::zipf(10, 0.0, 0.4, 1.0).unwrap();
+        assert!(u.probs().iter().all(|&p| (p - 0.4).abs() < 1e-12));
+    }
+
+    #[test]
+    fn zipf_clamps_overshooting_probabilities() {
+        // Strong skew with a high mean pushes p₀ past 1 before clamping.
+        let m = NonUniformModel::zipf(10, 2.0, 0.6, 1.0).unwrap();
+        assert!(m.probs().iter().all(|&p| p <= 1.0));
+        assert_eq!(m.probs()[0], 1.0);
+    }
+
+    #[test]
+    fn sampling_matches_marginals() {
+        let m = NonUniformModel::new(vec![0.9, 0.1, 0.5], 1.0).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        let n = 100_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            for f in m.sample_visitor(&mut rng) {
+                counts[f as usize] += 1;
+            }
+        }
+        for (f, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / n as f64;
+            assert!(
+                (freq - m.probs()[f]).abs() < 0.01,
+                "file {f}: freq {freq} vs p {}",
+                m.probs()[f]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 0..")]
+    fn per_torrent_out_of_range_panics() {
+        let m = NonUniformModel::new(vec![0.5, 0.5], 1.0).unwrap();
+        let _ = m.per_torrent_rates(2);
+    }
+}

@@ -1,0 +1,191 @@
+//! Sampling concrete request sets for the simulator.
+//!
+//! The fluid model only needs class *rates*; the discrete-event simulator
+//! needs actual users with actual file sets. [`RequestSampler`] draws, for
+//! each visiting user, the set of files requested: every file independently
+//! with probability `p`, exactly as the correlation model prescribes.
+
+use crate::correlation::CorrelationModel;
+use btfluid_numkit::rng::RngCore;
+
+/// Identifier of a file (equivalently: of its torrent or subtorrent),
+/// `0..K`.
+pub type FileId = u16;
+
+/// Draws request sets according to a [`CorrelationModel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestSampler {
+    model: CorrelationModel,
+}
+
+impl RequestSampler {
+    /// Wraps a correlation model.
+    pub fn new(model: CorrelationModel) -> Self {
+        Self { model }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &CorrelationModel {
+        &self.model
+    }
+
+    /// Samples the set of files one visiting user requests. May be empty
+    /// (the user leaves without entering any torrent).
+    ///
+    /// Each of the `K` files is included independently with probability `p`,
+    /// so `|result| ~ Binomial(K, p)` and the membership of any particular
+    /// file is `Bernoulli(p)` — both marginals the paper's rate formulas
+    /// rely on.
+    pub fn sample_visitor<R: RngCore + ?Sized>(&self, rng: &mut R) -> Vec<FileId> {
+        let p = self.model.p();
+        let mut files = Vec::new();
+        for f in 0..self.model.k() as FileId {
+            if rng.next_f64() < p {
+                files.push(f);
+            }
+        }
+        files
+    }
+
+    /// Samples request sets until one is non-empty, returning it together
+    /// with the number of visitors consumed (for rate-thinning accounting).
+    ///
+    /// With `p = 0` this would never terminate, so it returns `None` in that
+    /// case; callers should have rejected `p = 0` workloads earlier.
+    pub fn sample_entrant<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<(Vec<FileId>, u64)> {
+        if self.model.p() == 0.0 {
+            return None;
+        }
+        let mut visitors = 0u64;
+        loop {
+            visitors += 1;
+            let files = self.sample_visitor(rng);
+            if !files.is_empty() {
+                return Some((files, visitors));
+            }
+            // p > 0 ⇒ geometric number of retries; terminates almost surely.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btfluid_numkit::rng::Xoshiro256StarStar;
+    use btfluid_numkit::stats::Welford;
+
+    fn sampler(p: f64) -> RequestSampler {
+        RequestSampler::new(CorrelationModel::new(10, p, 1.0).unwrap())
+    }
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn visitor_set_size_is_binomial() {
+        let s = sampler(0.3);
+        let mut r = rng(1);
+        let mut w = Welford::new();
+        for _ in 0..100_000 {
+            w.push(s.sample_visitor(&mut r).len() as f64);
+        }
+        // mean K·p = 3, var K·p·(1−p) = 2.1
+        assert!((w.mean() - 3.0).abs() < 0.05, "mean = {}", w.mean());
+        assert!((w.variance() - 2.1).abs() < 0.1, "var = {}", w.variance());
+    }
+
+    #[test]
+    fn each_file_equally_likely() {
+        let s = sampler(0.4);
+        let mut r = rng(2);
+        let mut counts = [0usize; 10];
+        let n = 50_000;
+        for _ in 0..n {
+            for f in s.sample_visitor(&mut r) {
+                counts[f as usize] += 1;
+            }
+        }
+        for (f, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / n as f64;
+            assert!((freq - 0.4).abs() < 0.02, "file {f} freq {freq}");
+        }
+    }
+
+    #[test]
+    fn files_are_sorted_and_unique() {
+        let s = sampler(0.8);
+        let mut r = rng(3);
+        for _ in 0..1000 {
+            let files = s.sample_visitor(&mut r);
+            assert!(files.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn p_one_requests_everything() {
+        let s = sampler(1.0);
+        let mut r = rng(4);
+        let files = s.sample_visitor(&mut r);
+        assert_eq!(files.len(), 10);
+    }
+
+    #[test]
+    fn p_zero_requests_nothing() {
+        let s = sampler(0.0);
+        let mut r = rng(5);
+        assert!(s.sample_visitor(&mut r).is_empty());
+        assert!(s.sample_entrant(&mut r).is_none());
+    }
+
+    #[test]
+    fn entrant_is_never_empty() {
+        let s = sampler(0.05);
+        let mut r = rng(6);
+        for _ in 0..500 {
+            let (files, visitors) = s.sample_entrant(&mut r).unwrap();
+            assert!(!files.is_empty());
+            assert!(visitors >= 1);
+        }
+    }
+
+    #[test]
+    fn entrant_visitor_count_matches_entering_fraction() {
+        // E[visitors per entrant] = 1 / (1 − (1−p)^K)
+        let s = sampler(0.1);
+        let mut r = rng(7);
+        let mut w = Welford::new();
+        for _ in 0..20_000 {
+            let (_, visitors) = s.sample_entrant(&mut r).unwrap();
+            w.push(visitors as f64);
+        }
+        let expect = 1.0 / (1.0 - 0.9f64.powi(10));
+        assert!(
+            (w.mean() - expect).abs() < 0.02,
+            "mean visitors = {}, expect {expect}",
+            w.mean()
+        );
+    }
+
+    #[test]
+    fn entrant_class_distribution_conditional_binomial() {
+        // P[i | i ≥ 1] = C(K,i) p^i (1−p)^{K−i} / (1 − (1−p)^K)
+        let s = sampler(0.2);
+        let mut r = rng(8);
+        let n = 100_000;
+        let mut counts = [0usize; 11];
+        for _ in 0..n {
+            let (files, _) = s.sample_entrant(&mut r).unwrap();
+            counts[files.len()] += 1;
+        }
+        let norm = 1.0 - 0.8f64.powi(10);
+        for i in 1..=10u32 {
+            let expect = btfluid_numkit::special::binomial_pmf(10, i, 0.2).unwrap() / norm;
+            let freq = counts[i as usize] as f64 / n as f64;
+            assert!(
+                (freq - expect).abs() < 0.01,
+                "class {i}: freq {freq}, expect {expect}"
+            );
+        }
+    }
+}

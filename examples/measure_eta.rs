@@ -1,0 +1,49 @@
+//! Measuring the sharing efficiency η — the constant the fluid models take
+//! on faith. Qiu–Srikant argue η → 1 with many chunks; the paper argues
+//! (from the Izal measurement) that 0.5 is realistic and adopts it. This
+//! example runs the chunk-level simulator over a range of chunk counts and
+//! seed-lingering times and prints both notions of η.
+//!
+//! ```text
+//! cargo run --release --example measure_eta
+//! ```
+
+use btfluid::des::{estimate_eta, ChunkLevelConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Chunk-level measurement of η (single torrent, λ = 0.5, μ = 0.02)\n");
+    println!(
+        "{:>7} {:>8} {:>14} {:>16} {:>12}",
+        "chunks", "1/γ", "utilization", "seed/dl bytes", "completed"
+    );
+    println!("{}", "-".repeat(62));
+    for &chunks in &[4usize, 16, 64, 256] {
+        for &gamma in &[0.05, 0.2] {
+            let e = estimate_eta(&ChunkLevelConfig {
+                chunks,
+                gamma,
+                horizon: 2000.0,
+                warmup: 500.0,
+                seed: 11,
+                ..Default::default()
+            })?;
+            println!(
+                "{:>7} {:>8.0} {:>14.3} {:>16.2} {:>12}",
+                chunks,
+                1.0 / gamma,
+                e.utilization,
+                e.seed_byte_ratio(),
+                e.completed
+            );
+        }
+    }
+    println!(
+        "\nReading: utilization (the theoretical η = P[a downloader's upload is \
+         useful])\nclimbs toward 1 with finer chunking — Qiu–Srikant's argument holds \
+         inside the\nmodel. The seed/downloader byte ratio, the quantity Izal et al. \
+         measured, depends\non how long seeds linger (1/γ): patient seeds serve a \
+         multiple of the downloader\nbytes, which is why the *effective* η the paper \
+         adopts (0.5) is lower than the\ntheoretical one."
+    );
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! A downloader's view: you want several files that live in *separate*
+//! torrents. Should your client fetch them concurrently (what all clients
+//! do) or one by one? This walks the MTCD-vs-MTSD comparison across
+//! correlation levels and across user classes.
+//!
+//! ```text
+//! cargo run --example multi_torrent
+//! ```
+
+use btfluid::core::mtcd::Mtcd;
+use btfluid::core::mtsd::Mtsd;
+use btfluid::core::FluidParams;
+use btfluid::workload::CorrelationModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = FluidParams::paper();
+    let mtsd = Mtsd::new(params);
+    let mtsd_per_file = mtsd.online_time_per_file();
+
+    println!("Multi-torrent downloading: concurrent (MTCD) vs sequential (MTSD)");
+    println!("MTSD online time per file: {mtsd_per_file:.0} (independent of everything)\n");
+
+    println!(
+        "{:>5} {:>12} {:>16} {:>16}",
+        "p", "MTCD G", "class-1 /file", "class-10 /file"
+    );
+    println!("{}", "-".repeat(52));
+    for p in [0.05, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
+        let model = CorrelationModel::new(10, p, 1.0)?;
+        let mtcd = Mtcd::new(params, model.per_torrent_rates())?;
+        let times = mtcd.class_times()?;
+        println!(
+            "{p:>5.2} {:>12.2} {:>16.2} {:>16.2}",
+            mtcd.g()?,
+            times.online_per_file(1),
+            times.online_per_file(10),
+        );
+    }
+
+    println!(
+        "\nTwo things to notice (both from the paper's Figure 3):\n\
+         1. the per-file download time G — identical for every class — grows \
+         with correlation,\n   \
+         so everyone pays for concurrency once many users split bandwidth;\n\
+         2. within MTCD, heavy users (class 10) amortize seeding and look \
+         better per file,\n   \
+         but once p is high even they are worse off than plain sequential \
+         downloading ({mtsd_per_file:.0})."
+    );
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Quickstart: evaluate all four downloading schemes at one parameter
+//! point and print the comparison the paper's Section 4 is about.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use btfluid::core::{evaluate_scheme, FluidParams, Scheme};
+use btfluid::workload::CorrelationModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's parameters: K = 10 files, μ = 0.02, η = 0.5, γ = 0.05,
+    // and a fairly high file correlation (think: episodes of a TV play).
+    let params = FluidParams::paper();
+    let p = 0.8;
+    let model = CorrelationModel::new(10, p, 1.0)?;
+
+    println!("K = 10 files, correlation p = {p}, μ = 0.02, η = 0.5, γ = 0.05\n");
+    println!(
+        "{:<14} {:>14} {:>14} {:>10}",
+        "scheme", "online/file", "download/file", "fairness"
+    );
+    println!("{}", "-".repeat(56));
+    for scheme in [
+        Scheme::Mtsd,
+        Scheme::Mtcd,
+        Scheme::Mfcd,
+        Scheme::Cmfsd { rho: 0.5 },
+        Scheme::Cmfsd { rho: 0.0 },
+    ] {
+        let r = evaluate_scheme(params, &model, scheme)?;
+        println!(
+            "{:<14} {:>14.2} {:>14.2} {:>10.4}",
+            scheme.name(),
+            r.avg_online_per_file,
+            r.avg_download_per_file,
+            r.download_fairness
+        );
+    }
+
+    println!(
+        "\nReading: sequential (MTSD) beats concurrent (MTCD/MFCD) at high \
+         correlation,\nand CMFSD with full collaboration (ρ = 0) beats everything — \
+         the paper's headline result."
+    );
+    Ok(())
+}

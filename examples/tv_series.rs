@@ -1,0 +1,48 @@
+//! A publisher's view: you are about to publish a 10-episode TV series as
+//! one multi-file torrent. How much does the collaborative scheme (CMFSD)
+//! help your downloaders over the client default (MFCD), and how should
+//! the bandwidth allocation ratio ρ be set?
+//!
+//! ```text
+//! cargo run --example tv_series
+//! ```
+
+use btfluid::core::cmfsd::Cmfsd;
+use btfluid::core::mfcd::Mfcd;
+use btfluid::core::FluidParams;
+use btfluid::workload::{ClassMix, CorrelationModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = FluidParams::paper();
+    // Most viewers grab the whole season: correlation p = 0.95.
+    let model = CorrelationModel::new(10, 0.95, 1.0)?;
+    let mix = ClassMix::system_wide(&model)?;
+
+    // The client-default baseline.
+    let mfcd = Mfcd::from_correlation(params, &model)?.class_times()?;
+    let baseline = mfcd.avg_online_per_file(&mix)?;
+    println!("10-episode season, p = 0.95");
+    println!("MFCD (client default): {baseline:.1} time units online per episode\n");
+
+    println!(
+        "{:>5} {:>14} {:>12} {:>22}",
+        "ρ", "online/file", "vs MFCD", "binge-watcher (cls 10)"
+    );
+    println!("{}", "-".repeat(58));
+    for rho in [1.0, 0.75, 0.5, 0.25, 0.1, 0.0] {
+        let t = Cmfsd::new(params, model.class_rates(), rho)?.class_times()?;
+        let avg = t.avg_online_per_file(&mix)?;
+        println!(
+            "{rho:>5.2} {avg:>14.2} {:>11.1}% {:>22.2}",
+            100.0 * (avg - baseline) / baseline,
+            t.online_per_file(10),
+        );
+    }
+
+    println!(
+        "\nEvery step of collaboration (lower ρ) speeds the swarm up; at ρ = 0 \
+         the season\ndownloads ~40% faster per episode than under the default \
+         client behaviour."
+    );
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! # btfluid — multiple-file downloading in BitTorrent, as a library
+//!
+//! Umbrella crate re-exporting the whole `btfluid` workspace, a Rust
+//! reproduction of:
+//!
+//! > Ye Tian, Di Wu, Kam-Wing Ng. *"Analyzing Multiple File Downloading in
+//! > BitTorrent."* ICPP 2006.
+//!
+//! The paper extends the Qiu–Srikant fluid model of BitTorrent to users who
+//! download several interest-correlated files, analyzes four downloading
+//! schemes (MTCD, MTSD, MFCD and its proposed CMFSD), and sketches a
+//! distributed **Adapt** mechanism for tuning CMFSD's partial-seeding ratio.
+//!
+//! * [`core`] — the fluid models, closed-form steady states and metrics
+//!   (the paper's contribution).
+//! * [`workload`] — the file-correlation model and arrival processes.
+//! * [`des`] — a flow-level discrete-event BitTorrent simulator that
+//!   validates the fluid models peer-by-peer and evaluates Adapt.
+//! * [`numkit`] — the self-contained numerics substrate (ODE solvers, RNG,
+//!   statistics).
+//! * [`mod@bench`] — the experiment harness regenerating every figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use btfluid::core::{FluidParams, mtsd::Mtsd};
+//! use btfluid::workload::CorrelationModel;
+//!
+//! // The paper's parameters: K = 10 files, μ = 0.02, η = 0.5, γ = 0.05.
+//! let params = FluidParams::new(0.02, 0.5, 0.05).unwrap();
+//! let model = CorrelationModel::new(10, 0.5, 1.0).unwrap();
+//!
+//! // Under multi-torrent *sequential* downloading every class spends the
+//! // same online time per file: (γ−μ)/(γμη) + 1/γ = 80 time units.
+//! let mtsd = Mtsd::new(params);
+//! assert!((mtsd.online_time_per_file() - 80.0).abs() < 1e-12);
+//! # let _ = model;
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench` for the
+//! figure-regeneration harness.
+
+pub use btfluid_bench as bench;
+pub use btfluid_core as core;
+pub use btfluid_des as des;
+pub use btfluid_numkit as numkit;
+pub use btfluid_workload as workload;

@@ -1,0 +1,109 @@
+//! Experiment X1 — the paper's own consistency check (Section 3.3):
+//! with `K = 1` (one file, one torrent, one class) every multi-file model
+//! must degenerate to the Qiu–Srikant single-torrent result.
+
+use btfluid::core::base::SingleTorrent;
+use btfluid::core::cmfsd::Cmfsd;
+use btfluid::core::mtcd::Mtcd;
+use btfluid::core::mtsd::Mtsd;
+use btfluid::core::multiclass::{BandwidthClass, MultiClassFluid};
+use btfluid::core::FluidParams;
+
+const LAMBDA: f64 = 1.7;
+
+fn reference() -> (f64, f64) {
+    let ss = SingleTorrent::new(FluidParams::paper(), LAMBDA)
+        .unwrap()
+        .steady_state()
+        .unwrap();
+    (ss.download_time, ss.online_time)
+}
+
+#[test]
+fn mtcd_k1_matches_single_torrent() {
+    let (t_ref, online_ref) = reference();
+    let m = Mtcd::new(FluidParams::paper(), vec![LAMBDA]).unwrap();
+    let times = m.class_times().unwrap();
+    assert!((times.download_total(1) - t_ref).abs() < 1e-9);
+    assert!((times.online_total(1) - online_ref).abs() < 1e-9);
+    // Populations too: x = λ·T, y = λ/γ.
+    let ss = m.steady_state().unwrap();
+    assert!((ss.downloaders[0] - LAMBDA * t_ref).abs() < 1e-9);
+    assert!((ss.seeds[0] - LAMBDA / 0.05).abs() < 1e-9);
+}
+
+#[test]
+fn mtsd_k1_matches_single_torrent() {
+    let (t_ref, online_ref) = reference();
+    let m = Mtsd::new(FluidParams::paper());
+    assert!((m.download_time().unwrap() - t_ref).abs() < 1e-9);
+    assert!((m.online_time_per_file() - online_ref).abs() < 1e-9);
+}
+
+#[test]
+fn cmfsd_k1_matches_single_torrent() {
+    let (t_ref, online_ref) = reference();
+    for rho in [0.0, 0.5, 1.0] {
+        let m = Cmfsd::new(FluidParams::paper(), vec![LAMBDA], rho).unwrap();
+        let times = m.class_times().unwrap();
+        assert!(
+            (times.download_total(1) - t_ref).abs() < 1e-6,
+            "ρ = {rho}: {} vs {t_ref}",
+            times.download_total(1)
+        );
+        assert!((times.online_total(1) - online_ref).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn multiclass_single_class_matches_single_torrent() {
+    let (t_ref, _) = reference();
+    let m = MultiClassFluid::new(
+        vec![BandwidthClass {
+            mu: 0.02,
+            c: 1.0,
+            lambda: LAMBDA,
+        }],
+        0.5,
+        0.05,
+    )
+    .unwrap();
+    let ss = m.steady_state().unwrap();
+    assert!((ss.download_times[0] - t_ref).abs() < 1e-9);
+}
+
+#[test]
+fn mtcd_class_i_is_a_bandwidth_class() {
+    // A class-i MTCD peer is a bandwidth class (μ/i, c/i): the multi-class
+    // model of Section 2 with those classes reproduces the MTCD closed
+    // form exactly.
+    let params = FluidParams::paper();
+    let lambdas = [0.4, 0.3, 0.2, 0.1];
+    let mtcd = Mtcd::new(params, lambdas.to_vec()).unwrap();
+    let mtcd_ss = mtcd.steady_state().unwrap();
+
+    let classes: Vec<BandwidthClass> = lambdas
+        .iter()
+        .enumerate()
+        .map(|(idx, &l)| {
+            let i = (idx + 1) as f64;
+            BandwidthClass {
+                mu: params.mu() / i,
+                c: 1.0 / i, // equal users: c cancels, only the 1/i matters
+                lambda: l,
+            }
+        })
+        .collect();
+    let mc = MultiClassFluid::new(classes, params.eta(), params.gamma()).unwrap();
+    let mc_ss = mc.steady_state().unwrap();
+    for i in 0..4 {
+        assert!(
+            (mc_ss.downloaders[i] - mtcd_ss.downloaders[i]).abs()
+                < 1e-6 * mtcd_ss.downloaders[i].max(1.0),
+            "class {}: multiclass {} vs MTCD {}",
+            i + 1,
+            mc_ss.downloaders[i],
+            mtcd_ss.downloaders[i]
+        );
+    }
+}

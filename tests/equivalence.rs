@@ -1,0 +1,106 @@
+//! Experiment X2 — the paper's equivalence claims (Sections 3.4 and 4.2.2):
+//! MFCD ≡ MTCD in the fluid limit, and CMFSD with ρ = 1 performs exactly
+//! as MFCD.
+
+use btfluid::core::cmfsd::Cmfsd;
+use btfluid::core::mfcd::Mfcd;
+use btfluid::core::mtcd::Mtcd;
+use btfluid::core::{evaluate_scheme, FluidParams, Scheme};
+use btfluid::workload::CorrelationModel;
+
+#[test]
+fn mfcd_equals_mtcd_for_all_correlations() {
+    for p in [0.05, 0.2, 0.5, 0.8, 1.0] {
+        let model = CorrelationModel::new(10, p, 2.0).unwrap();
+        let mtcd = Mtcd::new(FluidParams::paper(), model.per_torrent_rates())
+            .unwrap()
+            .class_times()
+            .unwrap();
+        let mfcd = Mfcd::from_correlation(FluidParams::paper(), &model)
+            .unwrap()
+            .class_times()
+            .unwrap();
+        for i in 1..=10 {
+            assert_eq!(
+                mtcd.online_total(i),
+                mfcd.online_total(i),
+                "p = {p}, class {i}"
+            );
+            assert_eq!(mtcd.download_total(i), mfcd.download_total(i));
+        }
+    }
+}
+
+#[test]
+fn cmfsd_rho_one_is_mfcd_exactly() {
+    // The per-subtorrent rate identity λⱼⁱ = (i/K)·λᵢ makes this exact,
+    // not approximate (DESIGN.md §5.3 derives the algebra).
+    for p in [0.1, 0.4, 0.7, 0.95] {
+        let model = CorrelationModel::new(10, p, 1.0).unwrap();
+        let cmfsd = Cmfsd::new(FluidParams::paper(), model.class_rates(), 1.0)
+            .unwrap()
+            .class_times()
+            .unwrap();
+        let mfcd = Mfcd::from_correlation(FluidParams::paper(), &model)
+            .unwrap()
+            .class_times()
+            .unwrap();
+        for i in 1..=10 {
+            assert!(
+                (cmfsd.download_per_file(i) - mfcd.download_per_file(i)).abs() < 1e-8,
+                "p = {p}, class {i}: {} vs {}",
+                cmfsd.download_per_file(i),
+                mfcd.download_per_file(i)
+            );
+            assert!((cmfsd.online_per_file(i) - mfcd.online_per_file(i)).abs() < 1e-8);
+        }
+    }
+}
+
+#[test]
+fn per_torrent_rate_identity() {
+    // λⱼⁱ = (i/K)·λᵢ — the identity the equivalences rest on.
+    let model = CorrelationModel::new(10, 0.37, 3.0).unwrap();
+    for i in 1..=10u32 {
+        let lhs = model.per_torrent_rate(i);
+        let rhs = i as f64 / 10.0 * model.class_rate(i);
+        assert!((lhs - rhs).abs() < 1e-12, "class {i}: {lhs} vs {rhs}");
+    }
+}
+
+#[test]
+fn scheme_report_consistency() {
+    // The unified evaluator agrees with the direct model calls.
+    let model = CorrelationModel::new(10, 0.6, 1.0).unwrap();
+    let params = FluidParams::paper();
+    let report = evaluate_scheme(params, &model, Scheme::Cmfsd { rho: 0.3 }).unwrap();
+    let direct = Cmfsd::new(params, model.class_rates(), 0.3)
+        .unwrap()
+        .class_times()
+        .unwrap();
+    for i in 1..=10 {
+        assert_eq!(report.times.online_per_file(i), direct.online_per_file(i));
+    }
+}
+
+#[test]
+fn cmfsd_improvement_ordering_across_schemes() {
+    // The paper's overall ordering at high correlation:
+    // CMFSD(0) < CMFSD(0.5) < CMFSD(1) = MFCD = MTCD, and MTSD sits
+    // between full collaboration and no collaboration.
+    let model = CorrelationModel::new(10, 0.9, 1.0).unwrap();
+    let params = FluidParams::paper();
+    let avg = |s: Scheme| {
+        evaluate_scheme(params, &model, s)
+            .unwrap()
+            .avg_online_per_file
+    };
+    let full = avg(Scheme::Cmfsd { rho: 0.0 });
+    let half = avg(Scheme::Cmfsd { rho: 0.5 });
+    let none = avg(Scheme::Cmfsd { rho: 1.0 });
+    let mfcd = avg(Scheme::Mfcd);
+    let mtsd = avg(Scheme::Mtsd);
+    assert!(full < half && half < none, "{full} < {half} < {none}");
+    assert!((none - mfcd).abs() < 1e-6);
+    assert!(full < mtsd && mtsd < none, "{full} < {mtsd} < {none}");
+}

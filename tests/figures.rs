@@ -1,0 +1,76 @@
+//! Smoke tests over the figure harness: every experiment runs end to end
+//! and reproduces the paper's qualitative shape (who wins, where the
+//! crossovers sit).
+
+use btfluid::bench::{fig2, fig3, fig4a, fig4bc, transient};
+
+#[test]
+fn fig2_mtcd_crosses_from_similar_to_much_worse() {
+    let r = fig2::run(&fig2::Fig2Config::default()).unwrap();
+    let first = &r.points[0];
+    let last = r.points.last().unwrap();
+    // Similar at p → 0: within a couple of time units of MTSD's 80.
+    assert!(first.mtcd - first.mtsd < 3.0);
+    // Much worse at p = 1: 98 vs 80, a 22.5% penalty.
+    let penalty = (last.mtcd - last.mtsd) / last.mtsd;
+    assert!(
+        (penalty - 0.225).abs() < 0.01,
+        "penalty at p = 1 should be ≈22.5%, got {:.1}%",
+        penalty * 100.0
+    );
+}
+
+#[test]
+fn fig3_fairness_and_class_ordering() {
+    let r = fig3::run(&fig3::Fig3Config::default()).unwrap();
+    for panel in &r.panels {
+        // Both schemes keep per-file download time class-fair.
+        let g = panel.mtcd_download[0];
+        assert!(panel.mtcd_download.iter().all(|&d| (d - g).abs() < 1e-9));
+        let t = panel.mtsd_download[0];
+        assert!(panel.mtsd_download.iter().all(|&d| (d - t).abs() < 1e-9));
+    }
+}
+
+#[test]
+fn fig4a_gain_grows_with_correlation() {
+    let r = fig4a::run(&fig4a::Fig4aConfig::default()).unwrap();
+    // The ρ=1 − ρ=0 gap is monotone in p across the grid (the paper's
+    // "improvement more obvious for high correlation").
+    let gaps: Vec<f64> = r
+        .values
+        .iter()
+        .map(|row| row.last().unwrap() - row.first().unwrap())
+        .collect();
+    for w in gaps.windows(2) {
+        assert!(w[1] >= w[0] - 1e-6, "gaps not monotone: {gaps:?}");
+    }
+}
+
+#[test]
+fn fig4bc_high_p_low_rho_benefits_everyone() {
+    let r = fig4bc::run(&fig4bc::Fig4bcConfig::default()).unwrap();
+    let b = &r.panels[0]; // p = 0.9
+    for i in 0..10 {
+        assert!(b.cmfsd_low.0[i] < b.mfcd.0[i], "class {}", i + 1);
+    }
+}
+
+#[test]
+fn transient_overshoot_exists() {
+    // A big flash crowd first overshoots in seeds before settling (small
+    // crowds drain gently: with the default 200 peers the conversion flux
+    // barely exceeds the arrival flow, so force a 5000-peer crowd).
+    let r = transient::run(&transient::TransientConfig {
+        flash_crowd: 5000.0,
+        ..Default::default()
+    })
+    .unwrap();
+    let seeds = r.mtcd.channel(1);
+    let max_seeds = seeds.iter().cloned().fold(f64::MIN, f64::max);
+    let final_seeds = *seeds.last().unwrap();
+    assert!(
+        max_seeds > 1.2 * final_seeds,
+        "expected a seed overshoot: max {max_seeds:.1} vs final {final_seeds:.1}"
+    );
+}

@@ -1,0 +1,234 @@
+//! Cross-crate property tests (proptest): the closed forms really are
+//! equilibria of their ODEs, the fixed points really solve the balance
+//! equations, and the workload identities hold for arbitrary parameters.
+
+use btfluid::core::cmfsd::Cmfsd;
+use btfluid::core::cmfsd_mixed::{CmfsdMixed, Population};
+use btfluid::core::mtcd::Mtcd;
+use btfluid::core::FluidParams;
+use btfluid::numkit::ode::OdeSystem;
+use btfluid::workload::{ClassMix, CorrelationModel};
+use proptest::prelude::*;
+
+/// Strategy: valid paper-like fluid parameters with γ > μ.
+fn params() -> impl Strategy<Value = FluidParams> {
+    (0.005f64..0.05, 0.2f64..1.0, 1.2f64..4.0).prop_map(|(mu, eta, ratio)| {
+        FluidParams::new(mu, eta, mu * ratio).expect("constructed valid")
+    })
+}
+
+/// Strategy: a correlation model with 2..=12 files.
+fn correlation() -> impl Strategy<Value = CorrelationModel> {
+    (2u32..=12, 0.02f64..=1.0, 0.1f64..5.0)
+        .prop_map(|(k, p, l0)| CorrelationModel::new(k, p, l0).expect("valid"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn class_rates_sum_to_entering_rate(model in correlation()) {
+        let total: f64 = model.class_rates().iter().sum();
+        prop_assert!((total - model.entering_rate()).abs() < 1e-9 * model.lambda0());
+    }
+
+    #[test]
+    fn per_torrent_rates_sum_to_lambda0_p(model in correlation()) {
+        let total: f64 = model.per_torrent_rates().iter().sum();
+        prop_assert!((total - model.lambda0() * model.p()).abs() < 1e-9 * model.lambda0());
+    }
+
+    #[test]
+    fn file_rate_identity(model in correlation()) {
+        let mix = ClassMix::system_wide(&model).unwrap();
+        prop_assert!((mix.file_rate() - model.file_request_rate()).abs()
+            < 1e-9 * model.file_request_rate().max(1.0));
+    }
+
+    #[test]
+    fn mtcd_closed_form_is_an_ode_equilibrium(
+        params in params(),
+        model in correlation(),
+    ) {
+        let m = Mtcd::new(params, model.per_torrent_rates()).unwrap();
+        let ss = match m.steady_state() {
+            Ok(ss) => ss,
+            Err(_) => return Ok(()), // seed-capacity-constrained: no claim
+        };
+        let mut state = ss.downloaders.clone();
+        state.extend_from_slice(&ss.seeds);
+        let mut d = vec![0.0; m.dim()];
+        m.rhs(0.0, &state, &mut d);
+        let scale = model.lambda0().max(1.0);
+        for (i, &di) in d.iter().enumerate() {
+            prop_assert!(di.abs() < 1e-9 * scale, "rhs[{i}] = {di}");
+        }
+    }
+
+    #[test]
+    fn cmfsd_fixed_point_is_an_ode_equilibrium(
+        params in params(),
+        model in correlation(),
+        rho in 0.0f64..=1.0,
+    ) {
+        let m = Cmfsd::new(params, model.class_rates(), rho).unwrap();
+        let ss = match m.steady_state() {
+            Ok(ss) => ss,
+            Err(_) => return Ok(()),
+        };
+        let mut state = ss.stages.clone();
+        state.extend_from_slice(&ss.seeds);
+        let mut d = vec![0.0; m.dim()];
+        m.rhs(0.0, &state, &mut d);
+        let scale = model.lambda0().max(1.0);
+        for (i, &di) in d.iter().enumerate() {
+            prop_assert!(di.abs() < 1e-7 * scale, "rhs[{i}] = {di}");
+        }
+    }
+
+    #[test]
+    fn cmfsd_online_time_monotone_in_rho(
+        model in correlation(),
+        rho_pair in (0.0f64..=1.0, 0.0f64..=1.0),
+    ) {
+        let params = FluidParams::paper();
+        let (a, b) = rho_pair;
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let mix = ClassMix::system_wide(&model).unwrap();
+        let t_lo = Cmfsd::new(params, model.class_rates(), lo).unwrap().class_times();
+        let t_hi = Cmfsd::new(params, model.class_rates(), hi).unwrap().class_times();
+        if let (Ok(t_lo), Ok(t_hi)) = (t_lo, t_hi) {
+            let v_lo = t_lo.avg_online_per_file(&mix).unwrap();
+            let v_hi = t_hi.avg_online_per_file(&mix).unwrap();
+            prop_assert!(v_lo <= v_hi + 1e-9, "ρ={lo} gives {v_lo}, ρ={hi} gives {v_hi}");
+        }
+    }
+
+    #[test]
+    fn mtcd_per_file_download_is_class_fair(
+        params in params(),
+        model in correlation(),
+    ) {
+        let m = Mtcd::new(params, model.per_torrent_rates()).unwrap();
+        if let Ok(times) = m.class_times() {
+            let g = times.download_per_file(1);
+            for i in 1..=model.k() as usize {
+                prop_assert!((times.download_per_file(i) - g).abs() < 1e-9 * g);
+            }
+        }
+    }
+
+    #[test]
+    fn cmfsd_stage_flux_balance(
+        model in correlation(),
+        rho in 0.0f64..=1.0,
+    ) {
+        // At the fixed point every stage of class i carries flux λᵢ.
+        let params = FluidParams::paper();
+        let m = Cmfsd::new(params, model.class_rates(), rho).unwrap();
+        if let Ok(ss) = m.steady_state() {
+            let mu = params.mu();
+            let eta = params.eta();
+            for i in 1..=model.k() as usize {
+                let lambda = m.lambdas()[i - 1];
+                for j in 1..=i {
+                    let x = ss.stages[m.stage_index(i, j)];
+                    let flux = mu * eta * m.p_fn(i, j) * x + mu * x * ss.s;
+                    prop_assert!(
+                        (flux - lambda).abs() < 1e-8 * lambda.max(1e-12),
+                        "stage ({i},{j}): flux {flux} vs λ {lambda}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mtsd_flat_average_for_any_mix(model in correlation()) {
+        // MTSD's population average equals its constant per-file time no
+        // matter the class mix.
+        let params = FluidParams::paper();
+        let mtsd = btfluid::core::mtsd::Mtsd::new(params);
+        let times = mtsd.class_times(model.k() as usize).unwrap();
+        let mix = ClassMix::system_wide(&model).unwrap();
+        let avg = times.avg_online_per_file(&mix).unwrap();
+        prop_assert!((avg - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_model_with_equal_rhos_collapses_to_single(
+        model in correlation(),
+        rho in 0.0f64..=1.0,
+        split in 0.05f64..=0.95,
+    ) {
+        // Two populations with the SAME ρ must be indistinguishable from
+        // one population carrying their combined workload.
+        let params = FluidParams::paper();
+        let all = model.class_rates();
+        let a: Vec<f64> = all.iter().map(|l| l * split).collect();
+        let b: Vec<f64> = all.iter().map(|l| l * (1.0 - split)).collect();
+        let mixed = CmfsdMixed::new(
+            params,
+            vec![
+                Population { rho, lambdas: a },
+                Population { rho, lambdas: b },
+            ],
+        )
+        .unwrap();
+        let single = Cmfsd::new(params, all, rho).unwrap();
+        if let (Ok(ms), Ok(ss)) = (mixed.steady_state(), single.steady_state()) {
+            prop_assert!((ms.s - ss.s).abs() < 1e-9 * ss.s.max(1.0));
+        }
+    }
+
+    #[test]
+    fn mixed_cheaters_slow_everyone_down(
+        model in correlation(),
+        frac in 0.1f64..=0.9,
+    ) {
+        // Adding cheaters (ρ = 1) to an otherwise collaborative swarm can
+        // only raise the obedient population's online time per file.
+        let params = FluidParams::paper();
+        let all = model.class_rates();
+        let obedient: Vec<f64> = all.iter().map(|l| l * (1.0 - frac)).collect();
+        let cheaters: Vec<f64> = all.iter().map(|l| l * frac).collect();
+        let honest = CmfsdMixed::new(
+            params,
+            vec![Population { rho: 0.1, lambdas: all.clone() }],
+        )
+        .unwrap();
+        let infested = CmfsdMixed::new(
+            params,
+            vec![
+                Population { rho: 0.1, lambdas: obedient },
+                Population { rho: 1.0, lambdas: cheaters },
+            ],
+        )
+        .unwrap();
+        if let (Ok(ht), Ok(it)) = (honest.class_times(0), infested.class_times(0)) {
+            let k = model.k() as usize;
+            for i in 1..=k {
+                prop_assert!(
+                    it.online_per_file(i) >= ht.online_per_file(i) - 1e-9,
+                    "class {i}: infested {} < honest {}",
+                    it.online_per_file(i),
+                    ht.online_per_file(i)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn elasticity_mu_always_negative(
+        model in correlation(),
+        rho in 0.0f64..=1.0,
+    ) {
+        // More upload bandwidth never hurts, for any scheme configuration.
+        use btfluid::core::sensitivity::{elasticity, Knob};
+        use btfluid::core::Scheme;
+        let params = FluidParams::paper();
+        if let Ok(e) = elasticity(params, &model, Scheme::Cmfsd { rho }, Knob::Mu, 1e-4) {
+            prop_assert!(e.elasticity < 0.0, "E_mu = {}", e.elasticity);
+        }
+    }
+}
