@@ -1,10 +1,13 @@
 //! Criterion bench for the discrete-event simulator engine and the
-//! fluid-vs-simulation validation experiment (X3).
+//! fluid-vs-simulation validation experiment (X3), plus the `des_scale`
+//! scaling study comparing the incremental rate engine against the forced
+//! full-recompute baseline (written to `BENCH_des.json`).
 
 use btfluid_bench::validate::{run as validate, ValidateConfig};
 use btfluid_des::{DesConfig, SchemeKind, Simulation};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 fn bench_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("des");
@@ -14,7 +17,7 @@ fn bench_engine(c: &mut Criterion) {
         ("mtcd", SchemeKind::Mtcd),
         ("cmfsd", SchemeKind::Cmfsd { rho: 0.3 }),
     ] {
-        group.bench_function(format!("engine_{name}_2000tu"), |b| {
+        group.bench_function(&format!("engine_{name}_2000tu"), |b| {
             b.iter(|| {
                 let mut cfg = DesConfig::paper_small(scheme, 0.5, 7).expect("valid");
                 cfg.horizon = 2000.0;
@@ -53,5 +56,112 @@ fn bench_validation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine, bench_validation);
+/// One sizing point of the scaling study: the horizon shrinks as `λ₀`
+/// grows so every point dispatches a comparable number of events while the
+/// concurrent population — the thing the per-event cost depends on —
+/// spans two orders of magnitude.
+const SCALE_POINTS: [(f64, f64, f64, f64); 4] = [
+    // (λ₀, horizon, warmup, drain)
+    (2.0, 600.0, 150.0, 300.0),
+    (8.0, 300.0, 75.0, 150.0),
+    (32.0, 150.0, 40.0, 80.0),
+    (128.0, 80.0, 20.0, 40.0),
+];
+
+fn scale_config(lambda0: f64, horizon: f64, warmup: f64, drain: f64) -> DesConfig {
+    let mut cfg = DesConfig::paper_small(SchemeKind::Mtsd, 0.5, 7).expect("valid");
+    cfg.model = btfluid_workload::CorrelationModel::new(10, 0.5, lambda0).expect("valid");
+    cfg.horizon = horizon;
+    cfg.warmup = warmup;
+    cfg.drain = drain;
+    cfg.origin_seeds = 1;
+    cfg
+}
+
+/// Times one run and returns `(wall seconds, events dispatched)`.
+fn time_run(cfg: DesConfig) -> (f64, u64) {
+    let sim = Simulation::new(cfg).expect("valid");
+    let start = Instant::now();
+    let outcome = black_box(sim.run());
+    (start.elapsed().as_secs_f64(), outcome.events)
+}
+
+/// Scaling study: events/sec of the incremental engine vs the forced
+/// full-recompute baseline at λ₀ ∈ {2, 8, 32, 128}, written to
+/// `BENCH_des.json` at the repository root. The criterion group samples
+/// the incremental engine; the exact baseline is timed once per point
+/// (at λ₀ = 128 it is an order of magnitude slower — sampling it ten
+/// times would dominate the bench run for no extra information).
+fn bench_des_scale(c: &mut Criterion) {
+    let test_mode = std::env::args().any(|a| a == "--test");
+
+    let mut group = c.benchmark_group("des_scale");
+    group.sample_size(10);
+    for &(lambda0, horizon, warmup, drain) in &SCALE_POINTS {
+        if test_mode && lambda0 > 8.0 {
+            continue; // keep `cargo test --benches` fast
+        }
+        group.bench_function(&format!("incremental_lambda{lambda0}"), |b| {
+            b.iter(|| {
+                let cfg = scale_config(lambda0, horizon, warmup, drain);
+                black_box(Simulation::new(cfg).expect("valid").run())
+            })
+        });
+    }
+    group.finish();
+
+    if test_mode {
+        // Smoke-check both modes agree on the smallest point; skip the
+        // JSON artifact.
+        let (lambda0, horizon, warmup, drain) = SCALE_POINTS[0];
+        let mut exact_cfg = scale_config(lambda0, horizon, warmup, drain);
+        exact_cfg.exact_rates = true;
+        let (_, exact_events) = time_run(exact_cfg);
+        let (_, incr_events) = time_run(scale_config(lambda0, horizon, warmup, drain));
+        assert_eq!(
+            exact_events, incr_events,
+            "modes dispatched different events"
+        );
+        return;
+    }
+
+    let mut rows = Vec::new();
+    let mut speedup_at_max = 0.0;
+    for &(lambda0, horizon, warmup, drain) in &SCALE_POINTS {
+        let mut exact_cfg = scale_config(lambda0, horizon, warmup, drain);
+        exact_cfg.exact_rates = true;
+        let (exact_s, exact_events) = time_run(exact_cfg);
+        let (incr_s, incr_events) = time_run(scale_config(lambda0, horizon, warmup, drain));
+        assert_eq!(
+            exact_events, incr_events,
+            "modes dispatched different events"
+        );
+        let exact_eps = exact_events as f64 / exact_s;
+        let incr_eps = incr_events as f64 / incr_s;
+        let speedup = incr_eps / exact_eps;
+        speedup_at_max = speedup;
+        println!(
+            "des_scale λ₀={lambda0}: {incr_events} events — exact {exact_s:.3}s \
+             ({exact_eps:.0} ev/s), incremental {incr_s:.3}s ({incr_eps:.0} ev/s), \
+             speedup {speedup:.1}×"
+        );
+        rows.push(format!(
+            "    {{\"lambda0\": {lambda0}, \"horizon\": {horizon}, \"events\": {incr_events}, \
+             \"exact\": {{\"wall_s\": {exact_s:.6}, \"events_per_s\": {exact_eps:.1}}}, \
+             \"incremental\": {{\"wall_s\": {incr_s:.6}, \"events_per_s\": {incr_eps:.1}}}, \
+             \"speedup\": {speedup:.3}}}"
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"des_scale\",\n  \"scheme\": \"MTSD\",\n  \"p\": 0.5,\n  \
+         \"origin_seeds\": 1,\n  \"points\": [\n{}\n  ],\n  \
+         \"speedup_at_lambda0_128\": {speedup_at_max:.3}\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_des.json");
+    std::fs::write(path, json).expect("write BENCH_des.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench_engine, bench_validation, bench_des_scale);
 criterion_main!(benches);

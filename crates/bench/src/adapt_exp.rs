@@ -15,7 +15,7 @@
 use crate::table::Table;
 use btfluid_core::adapt::AdaptConfig;
 use btfluid_core::FluidParams;
-use btfluid_des::{OrderPolicy, run_replications, AdaptSetup, DesConfig, SchemeKind};
+use btfluid_des::{run_replications, AdaptSetup, DesConfig, OrderPolicy, SchemeKind};
 use btfluid_numkit::stats::Welford;
 use btfluid_numkit::NumError;
 use btfluid_workload::CorrelationModel;
@@ -140,6 +140,7 @@ pub fn run(cfg: &AdaptExpConfig) -> Result<AdaptResult, NumError> {
             warm_start: false,
             order_policy: OrderPolicy::default(),
             record_every: None,
+            exact_rates: false,
         };
         let summary = run_replications(&des_cfg, cfg.replications, cfg.seed)?;
         // Aggregate per-record so classes weight naturally.

@@ -12,6 +12,7 @@ use btfluid_core::mtsd::Mtsd;
 use btfluid_core::FluidParams;
 use btfluid_numkit::NumError;
 use btfluid_workload::CorrelationModel;
+use rayon::prelude::*;
 
 /// Configuration of the Figure 3 evaluation.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,19 +90,23 @@ impl Fig3Result {
 /// # Errors
 /// Propagates model validity errors.
 pub fn run(cfg: &Fig3Config) -> Result<Fig3Result, NumError> {
-    let mut panels = Vec::with_capacity(cfg.correlations.len());
-    for &p in &cfg.correlations {
-        let model = CorrelationModel::new(cfg.k, p, 1.0)?;
-        let mtcd = Mtcd::new(cfg.params, model.per_torrent_rates())?.class_times()?;
-        let mtsd = Mtsd::new(cfg.params).class_times(cfg.k as usize)?;
-        panels.push(Fig3Panel {
-            p,
-            mtcd_online: mtcd.online_per_file_vec(),
-            mtcd_download: mtcd.download_per_file_vec(),
-            mtsd_online: mtsd.online_per_file_vec(),
-            mtsd_download: mtsd.download_per_file_vec(),
-        });
-    }
+    // Panels are independent; evaluate them in parallel, order preserved.
+    let panels = cfg
+        .correlations
+        .par_iter()
+        .map(|&p| -> Result<Fig3Panel, NumError> {
+            let model = CorrelationModel::new(cfg.k, p, 1.0)?;
+            let mtcd = Mtcd::new(cfg.params, model.per_torrent_rates())?.class_times()?;
+            let mtsd = Mtsd::new(cfg.params).class_times(cfg.k as usize)?;
+            Ok(Fig3Panel {
+                p,
+                mtcd_online: mtcd.online_per_file_vec(),
+                mtcd_download: mtcd.download_per_file_vec(),
+                mtsd_online: mtsd.online_per_file_vec(),
+                mtsd_download: mtsd.download_per_file_vec(),
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
     Ok(Fig3Result { panels })
 }
 

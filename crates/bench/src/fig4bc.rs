@@ -13,6 +13,7 @@ use btfluid_core::mfcd::Mfcd;
 use btfluid_core::FluidParams;
 use btfluid_numkit::NumError;
 use btfluid_workload::CorrelationModel;
+use rayon::prelude::*;
 
 /// Configuration of the Figure 4(b)/(c) evaluation.
 #[derive(Debug, Clone, PartialEq)]
@@ -104,21 +105,25 @@ impl Fig4bcResult {
 /// # Errors
 /// Propagates model validity errors.
 pub fn run(cfg: &Fig4bcConfig) -> Result<Fig4bcResult, NumError> {
-    let mut panels = Vec::with_capacity(cfg.correlations.len());
-    for &p in &cfg.correlations {
-        let model = CorrelationModel::new(cfg.k, p, 1.0)?;
-        let eval_cmfsd = |rho: f64| -> Result<(Vec<f64>, Vec<f64>), NumError> {
-            let t = Cmfsd::new(cfg.params, model.class_rates(), rho)?.class_times()?;
-            Ok((t.online_per_file_vec(), t.download_per_file_vec()))
-        };
-        let mfcd_t = Mfcd::from_correlation(cfg.params, &model)?.class_times()?;
-        panels.push(Fig4bcPanel {
-            p,
-            cmfsd_low: eval_cmfsd(cfg.rhos.0)?,
-            cmfsd_high: eval_cmfsd(cfg.rhos.1)?,
-            mfcd: (mfcd_t.online_per_file_vec(), mfcd_t.download_per_file_vec()),
-        });
-    }
+    // Panels are independent; evaluate them in parallel, order preserved.
+    let panels = cfg
+        .correlations
+        .par_iter()
+        .map(|&p| -> Result<Fig4bcPanel, NumError> {
+            let model = CorrelationModel::new(cfg.k, p, 1.0)?;
+            let eval_cmfsd = |rho: f64| -> Result<(Vec<f64>, Vec<f64>), NumError> {
+                let t = Cmfsd::new(cfg.params, model.class_rates(), rho)?.class_times()?;
+                Ok((t.online_per_file_vec(), t.download_per_file_vec()))
+            };
+            let mfcd_t = Mfcd::from_correlation(cfg.params, &model)?.class_times()?;
+            Ok(Fig4bcPanel {
+                p,
+                cmfsd_low: eval_cmfsd(cfg.rhos.0)?,
+                cmfsd_high: eval_cmfsd(cfg.rhos.1)?,
+                mfcd: (mfcd_t.online_per_file_vec(), mfcd_t.download_per_file_vec()),
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
     Ok(Fig4bcResult {
         rhos: cfg.rhos,
         panels,

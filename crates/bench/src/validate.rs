@@ -6,7 +6,7 @@
 
 use crate::table::Table;
 use btfluid_core::{evaluate_scheme, FluidParams, Scheme};
-use btfluid_des::{OrderPolicy, run_replications, DesConfig, SchemeKind};
+use btfluid_des::{run_replications, DesConfig, OrderPolicy, SchemeKind};
 use btfluid_numkit::NumError;
 use btfluid_workload::CorrelationModel;
 
@@ -142,6 +142,7 @@ pub fn run(cfg: &ValidateConfig) -> Result<ValidateResult, NumError> {
             warm_start: false,
             order_policy: OrderPolicy::default(),
             record_every: None,
+            exact_rates: false,
         };
         let summary = run_replications(&des_cfg, cfg.replications, cfg.seed)?;
         rows.push(ValidateRow {

@@ -1,10 +1,12 @@
 //! Subcommand dispatch and execution.
 
 use crate::args::Options;
-use btfluid_bench::{ablation, adapt_exp, fig2, fig3, fig4a, fig4bc, skew, transient, validate, Table};
+use btfluid_bench::{
+    ablation, adapt_exp, fig2, fig3, fig4a, fig4bc, skew, transient, validate, Table,
+};
 use btfluid_core::adapt::AdaptConfig;
-use btfluid_core::FluidParams;
 use btfluid_core::multiclass::{BandwidthClass, MultiClassFluid};
+use btfluid_core::FluidParams;
 use btfluid_des::{
     estimate_eta, run_single_torrent, ChunkLevelConfig, DesConfig, OrderPolicy, SchemeKind,
     Simulation, SingleTorrentConfig,
@@ -236,8 +238,12 @@ fn parse_classes(spec: &str) -> Result<Vec<BandwidthClass>, AnyError> {
             return Err(format!("class {i}: expected MU:C:LAMBDA, got '{tok}'").into());
         }
         classes.push(BandwidthClass {
-            mu: parts[0].parse().map_err(|_| format!("class {i}: bad μ '{}'", parts[0]))?,
-            c: parts[1].parse().map_err(|_| format!("class {i}: bad c '{}'", parts[1]))?,
+            mu: parts[0]
+                .parse()
+                .map_err(|_| format!("class {i}: bad μ '{}'", parts[0]))?,
+            c: parts[1]
+                .parse()
+                .map_err(|_| format!("class {i}: bad c '{}'", parts[1]))?,
             lambda: parts[2]
                 .parse()
                 .map_err(|_| format!("class {i}: bad λ '{}'", parts[2]))?,
@@ -250,9 +256,21 @@ fn cmd_multiclass(opts: &Options) -> Result<(), AnyError> {
     let classes = match opts.get("classes") {
         Some(spec) => parse_classes(spec)?,
         None => vec![
-            BandwidthClass { mu: 0.005, c: 0.05, lambda: 0.2 },
-            BandwidthClass { mu: 0.02, c: 0.2, lambda: 0.3 },
-            BandwidthClass { mu: 0.08, c: 0.8, lambda: 0.1 },
+            BandwidthClass {
+                mu: 0.005,
+                c: 0.05,
+                lambda: 0.2,
+            },
+            BandwidthClass {
+                mu: 0.02,
+                c: 0.2,
+                lambda: 0.3,
+            },
+            BandwidthClass {
+                mu: 0.08,
+                c: 0.8,
+                lambda: 0.1,
+            },
         ],
     };
     let fluid = MultiClassFluid::new(classes.clone(), 0.5, 0.05)?;
@@ -322,8 +340,9 @@ fn cmd_sim(opts: &Options) -> Result<(), AnyError> {
         adapt: None,
         origin_seeds: opts.get_usize("origin-seeds", 1)?,
         warm_start: false,
-            order_policy: OrderPolicy::default(),
-            record_every: None,
+        order_policy: OrderPolicy::default(),
+        record_every: None,
+        exact_rates: false,
     };
     let outcome = Simulation::new(cfg)?.run();
     let mut t = Table::new(

@@ -240,11 +240,7 @@ mod tests {
     #[test]
     fn relaxation_always_stable_in_regime() {
         // Any γ > μ gives a positive decay rate.
-        for &(mu, eta, gamma) in &[
-            (0.01, 0.9, 0.02),
-            (0.02, 0.1, 0.05),
-            (0.001, 0.5, 0.1),
-        ] {
+        for &(mu, eta, gamma) in &[(0.01, 0.9, 0.02), (0.02, 0.1, 0.05), (0.001, 0.5, 0.1)] {
             let p = FluidParams::new(mu, eta, gamma).unwrap();
             let t = SingleTorrent::new(p, 1.0).unwrap();
             let r = t.relaxation().unwrap();

@@ -197,9 +197,7 @@ impl CmfsdMixed {
         if asymptote <= y {
             return Err(NumError::InvalidInput {
                 what: "CmfsdMixed::steady_state",
-                detail: format!(
-                    "no positive equilibrium: Σ i·λ/μ = {asymptote} ≤ Y = {y}"
-                ),
+                detail: format!("no positive equilibrium: Σ i·λ/μ = {asymptote} ≤ Y = {y}"),
             });
         }
         let mut hi = 1.0;
@@ -226,12 +224,7 @@ impl CmfsdMixed {
             },
         )?;
         let (w, v) = self.pools(root.x);
-        Ok(MixedSteady {
-            s: root.x,
-            w,
-            v,
-            y,
-        })
+        Ok(MixedSteady { s: root.x, w, v, y })
     }
 
     /// Per-class user totals for population `g` at the mixed equilibrium.
@@ -370,9 +363,7 @@ mod tests {
     use btfluid_workload::CorrelationModel;
 
     fn rates(p: f64, lambda0: f64) -> Vec<f64> {
-        CorrelationModel::new(10, p, lambda0)
-            .unwrap()
-            .class_rates()
+        CorrelationModel::new(10, p, lambda0).unwrap().class_rates()
     }
 
     fn cfg() -> AdaptConfig {
@@ -504,13 +495,8 @@ mod tests {
     fn honest_swarm_needs_no_protection() {
         // With no cheaters, the obedient Δ̄ at ρ = 0 stays within the
         // default band: Adapt predicts ρ* = 0, the paper's recommendation.
-        let rho = adapt_equilibrium(
-            FluidParams::paper(),
-            rates(0.9, 1.0),
-            vec![0.0; 10],
-            &cfg(),
-        )
-        .unwrap();
+        let rho = adapt_equilibrium(FluidParams::paper(), rates(0.9, 1.0), vec![0.0; 10], &cfg())
+            .unwrap();
         assert_eq!(rho, 0.0);
     }
 
@@ -540,11 +526,7 @@ mod tests {
         let params = FluidParams::paper();
         let mut lambdas = vec![0.0; 10];
         lambdas[0] = 1.0; // class 1 only
-        let mixed = CmfsdMixed::new(
-            params,
-            vec![Population { rho: 0.5, lambdas }],
-        )
-        .unwrap();
+        let mixed = CmfsdMixed::new(params, vec![Population { rho: 0.5, lambdas }]).unwrap();
         assert!(mixed.mean_multi_file_delta(0).is_err());
     }
 

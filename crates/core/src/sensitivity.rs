@@ -88,15 +88,13 @@ pub fn elasticity(
     }
     let base_metric = metric_at(params, model, scheme)?;
     let eval = |factor: f64| -> Result<f64, NumError> {
-        let (mu, eta, gamma, p) = (
-            params.mu(),
-            params.eta(),
-            params.gamma(),
-            model.p(),
-        );
+        let (mu, eta, gamma, p) = (params.mu(), params.eta(), params.gamma(), model.p());
         let (params2, model2) = match knob {
             Knob::Mu => (FluidParams::new(mu * factor, eta, gamma)?, *model),
-            Knob::Eta => (FluidParams::new(mu, (eta * factor).min(1.0), gamma)?, *model),
+            Knob::Eta => (
+                FluidParams::new(mu, (eta * factor).min(1.0), gamma)?,
+                *model,
+            ),
             Knob::Gamma => (FluidParams::new(mu, eta, gamma * factor)?, *model),
             Knob::P => (
                 params,
@@ -201,7 +199,11 @@ mod tests {
             let by = |k: Knob| es.iter().find(|e| e.knob == k).unwrap().elasticity;
             assert!(by(Knob::Mu) < 0.0, "{scheme:?}: E_μ = {}", by(Knob::Mu));
             assert!(by(Knob::Eta) < 0.0, "{scheme:?}: E_η = {}", by(Knob::Eta));
-            assert!(by(Knob::Gamma) > 0.0, "{scheme:?}: E_γ = {}", by(Knob::Gamma));
+            assert!(
+                by(Knob::Gamma) > 0.0,
+                "{scheme:?}: E_γ = {}",
+                by(Knob::Gamma)
+            );
         }
     }
 

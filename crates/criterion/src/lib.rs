@@ -1,0 +1,269 @@
+//! Workspace-local stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! This build environment cannot reach a crate registry, so the real
+//! criterion cannot be fetched. This crate provides the subset of its API
+//! the workspace benches use — `Criterion`, `benchmark_group`,
+//! `bench_function`, `Bencher::{iter, iter_batched}`, `BatchSize`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! wall-clock harness:
+//!
+//! * one untimed warm-up iteration, then up to `sample_size` timed
+//!   iterations (early-stopped after a ~2 s budget per benchmark);
+//! * reports min / mean / max per-iteration time on stdout in a
+//!   criterion-like `time: [..]` line;
+//! * when invoked with `--test` (as `cargo test --benches` does) each
+//!   benchmark runs exactly once, so test runs stay fast.
+//!
+//! No statistics, plots, or baselines. Swap the workspace dependency back
+//! to the real criterion when the environment can resolve crates.io.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per benchmark once warmed up.
+const SAMPLE_BUDGET: Duration = Duration::from_secs(2);
+
+/// How a batched benchmark's per-iteration inputs are sized (accepted for
+/// API compatibility; the harness treats all variants identically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: setup cost assumed negligible.
+    SmallInput,
+    /// Large inputs: setup cost assumed significant.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over several iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let _ = routine(); // warm-up, untimed
+        let budget_start = Instant::now();
+        for i in 0..self.effective_samples() {
+            let t0 = Instant::now();
+            let _ = routine();
+            self.recorded.push(t0.elapsed());
+            if i > 0 && budget_start.elapsed() > SAMPLE_BUDGET {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` with a fresh `setup()` input each iteration; the
+    /// setup is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let _ = routine(setup()); // warm-up, untimed
+        let budget_start = Instant::now();
+        for i in 0..self.effective_samples() {
+            let input = setup();
+            let t0 = Instant::now();
+            let _ = routine(input);
+            self.recorded.push(t0.elapsed());
+            if i > 0 && budget_start.elapsed() > SAMPLE_BUDGET {
+                break;
+            }
+        }
+    }
+
+    fn effective_samples(&self) -> usize {
+        if self.test_mode {
+            1
+        } else {
+            self.samples.max(1)
+        }
+    }
+}
+
+/// Entry point mirroring criterion's `Criterion` struct.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 10,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, self.sample_size, self.test_mode, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            parent: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a named benchmark inside this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, self.parent.test_mode, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, test_mode: bool, mut f: F) {
+    let mut b = Bencher {
+        samples,
+        test_mode,
+        recorded: Vec::new(),
+    };
+    f(&mut b);
+    if b.recorded.is_empty() {
+        println!("{id:<40} (no samples recorded)");
+        return;
+    }
+    let min = b.recorded.iter().min().expect("nonempty");
+    let max = b.recorded.iter().max().expect("nonempty");
+    let mean = b.recorded.iter().sum::<Duration>() / b.recorded.len() as u32;
+    println!(
+        "{id:<40} time: [{} {} {}] ({} samples)",
+        fmt_duration(*min),
+        fmt_duration(mean),
+        fmt_duration(*max),
+        b.recorded.len(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion {
+            sample_size: 3,
+            test_mode: false,
+        };
+        let mut calls = 0usize;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn groups_run_batched_benches() {
+        let mut c = Criterion {
+            sample_size: 2,
+            test_mode: false,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut setups = 0usize;
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |x| x * 2,
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        assert_eq!(setups, 3); // 1 warm-up + 2 samples
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            sample_size: 50,
+            test_mode: true,
+        };
+        let mut calls = 0usize;
+        c.bench_function("quick", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert_eq!(calls, 2); // warm-up + 1
+    }
+}

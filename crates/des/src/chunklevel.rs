@@ -120,7 +120,11 @@ impl ChunkPeer {
         if full {
             for (w, slot) in have.iter_mut().enumerate() {
                 let bits = (chunks - w * 64).min(64);
-                *slot = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+                *slot = if bits == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << bits) - 1
+                };
             }
         }
         Self {
@@ -220,11 +224,7 @@ pub fn estimate_eta(cfg: &ChunkLevelConfig) -> Result<EtaEstimate, NumError> {
             let mut best_chunk = None;
             let mut best_rarity = u32::MAX;
             for (c, &r) in rarity.iter().enumerate().take(chunks) {
-                if peers[up].has(c)
-                    && !p.has(c)
-                    && r < best_rarity
-                    && !inflight.contains(&(i, c))
-                {
+                if peers[up].has(c) && !p.has(c) && r < best_rarity && !inflight.contains(&(i, c)) {
                     best_rarity = r;
                     best_chunk = Some(c);
                 }
@@ -338,8 +338,7 @@ pub fn estimate_eta(cfg: &ChunkLevelConfig) -> Result<EtaEstimate, NumError> {
         // Re-match every free uploader (cheap: candidates only at events).
         for up in 0..peers.len() {
             if peers[up].transfer.is_none() && peers[up].have_count > 0 {
-                if let Some((rx, c, _)) = rematch(&peers, &rarity, up, &mut rng, cfg.chunks, t)
-                {
+                if let Some((rx, c, _)) = rematch(&peers, &rarity, up, &mut rng, cfg.chunks, t) {
                     peers[up].transfer = Some((rx, c, t + chunk_time));
                 }
             }

@@ -151,6 +151,12 @@ pub struct DesConfig {
     /// [`btfluid_numkit::series::TimeSeries`] every this many time units
     /// (`SimOutcome::trajectory`). `None` disables recording.
     pub record_every: Option<f64>,
+    /// Verification mode: force a full aggregate/rate recompute on every
+    /// event (the seed engine's behaviour) instead of the incremental
+    /// dirty-tracking refresh. Both modes produce bit-identical
+    /// trajectories; this one is O(peers) per event and exists so tests
+    /// can assert that equivalence.
+    pub exact_rates: bool,
 }
 
 impl DesConfig {
@@ -170,6 +176,7 @@ impl DesConfig {
             warm_start: false,
             order_policy: OrderPolicy::default(),
             record_every: None,
+            exact_rates: false,
         })
     }
 

@@ -1,11 +1,41 @@
 //! The event loop: exact flow-level simulation with analytic advancement
 //! between events.
+//!
+//! ## Event-loop architecture (post-rework)
+//!
+//! The seed engine did O(peers) work per event three times over: a full
+//! [`compute_rates`] rebuild, a linear scan of every pending deadline to
+//! find the next event, and an eager settlement of every active download.
+//! This engine replaces all three with incremental structures:
+//!
+//! * **Rates** live in a [`RateCache`]: per-subtorrent aggregates
+//!   (`weight`, `pool_real`, `pool_virtual`) plus ordered member lists,
+//!   recomputed only for subtorrents an event actually touched. Download
+//!   progress is settled lazily ([`Peer::settle_slot`]) exactly when a
+//!   rate changes, so integration stays piecewise-exact.
+//! * **Event selection** uses an [`EventQueue`] (binary heap with
+//!   stamp-based lazy invalidation) instead of scanning; completion
+//!   deadlines are (re)pushed only for downloads whose rate changed.
+//! * **Peers** live in a slab with a free list: departure leaves a
+//!   tombstone (`Phase::Departed`) whose slot is recycled by a later
+//!   arrival, keeping slab indices stable for heap entries and member
+//!   lists. Population integrals and the recorded trajectory come from
+//!   per-class counters maintained by ±contribution at each touch.
+//!
+//! Setting [`DesConfig::exact_rates`] forces a full aggregate/rate
+//! recompute on every event through the *same* code path (the cache's
+//! `force` flag). Because every recompute re-sums an ordered member list,
+//! a forced recompute of an unchanged aggregate reproduces its bits, so
+//! both modes yield bit-identical trajectories — asserted by the
+//! `equivalence` integration test over all four schemes.
 
 use crate::adapt::assign_arrival_policy;
 use crate::config::{DesConfig, OrderPolicy, SchemeKind};
+use crate::event_queue::{Entry, EventQueue, RANK_COMPLETION, RANK_EXPIRY};
 use crate::observer::{SimOutcome, UserRecord};
 use crate::peer::{Peer, Phase};
-use crate::rate::{compute_rates, RateSnapshot};
+use crate::rate::compute_rates;
+use crate::rate_cache::RateCache;
 use btfluid_numkit::dist::Exponential;
 use btfluid_numkit::rng::{RngCore, Xoshiro256StarStar};
 use btfluid_numkit::NumError;
@@ -36,11 +66,29 @@ pub struct Simulation {
     gap: Exponential,
     gamma: Exponential,
     t: f64,
+    /// Peer slab: departed peers leave tombstones, recycled via `free`.
     peers: Vec<Peer>,
+    free: Vec<usize>,
     next_arrival: Option<(f64, Vec<FileId>)>,
     next_epoch: Option<f64>,
     user_counter: u64,
     outcome: SimOutcome,
+    cache: RateCache,
+    queue: EventQueue,
+    /// Monotone stamp source for queue entries (0 means "no entry").
+    next_stamp: u64,
+    /// Number of live (non-stale) queue entries, for compaction.
+    live: usize,
+    /// Finished copies per file among present peers, plus origin seeds
+    /// (rarest-first order policy).
+    holders: Vec<usize>,
+    // Per-class population counters, maintained by ±contribution.
+    dl_peers: Vec<usize>,
+    dl_pairs: Vec<usize>,
+    seed_pairs: Vec<usize>,
+    traj_downloaders: usize,
+    traj_seeds: usize,
+    changed_buf: Vec<(u32, u32)>,
 }
 
 impl Simulation {
@@ -57,6 +105,8 @@ impl Simulation {
         let gamma = Exponential::new(cfg.params.gamma())?;
         let k = cfg.model.k() as usize;
         let next_epoch = cfg.adapt.as_ref().map(|a| a.epoch);
+        let cache = RateCache::new(k, cfg.scheme, &cfg.params, cfg.origin_seeds);
+        let holders = vec![cfg.origin_seeds; k];
         let mut sim = Self {
             cfg,
             rng_arrivals,
@@ -66,13 +116,36 @@ impl Simulation {
             gamma,
             t: 0.0,
             peers: Vec::new(),
+            free: Vec::new(),
             next_arrival: None,
             next_epoch,
             user_counter: 0,
             outcome: SimOutcome::new(k),
+            cache,
+            queue: EventQueue::new(),
+            next_stamp: 1,
+            live: 0,
+            holders,
+            dl_peers: vec![0; k],
+            dl_pairs: vec![0; k],
+            seed_pairs: vec![0; k],
+            traj_downloaders: 0,
+            traj_seeds: 0,
+            changed_buf: Vec::new(),
         };
         if sim.cfg.warm_start {
             sim.populate_from_fluid()?;
+            sim.cache.grow(sim.peers.len());
+            for idx in 0..sim.peers.len() {
+                sim.cache.register(idx, &sim.peers);
+                sim.add_counters(idx);
+                for s in 0..sim.peers[idx].class() {
+                    if sim.peers[idx].finished(s) {
+                        sim.holders[sim.peers[idx].files[s] as usize] += 1;
+                    }
+                }
+                sim.reschedule_expiry(idx);
+            }
         }
         Ok(sim)
     }
@@ -162,20 +235,16 @@ impl Simulation {
         });
         let mut next_record = 0.0;
         self.schedule_arrival();
+        // Initial build: everything registered so far is dirty.
+        self.refresh_rates(self.cfg.exact_rates);
         loop {
             if let (Some(series), Some(dt)) = (trajectory.as_mut(), self.cfg.record_every) {
                 if self.t >= next_record {
-                    let mut downloaders = 0usize;
-                    let mut seeds = 0usize;
-                    for p in &self.peers {
-                        match p.phase {
-                            Phase::Downloading => downloaders += 1,
-                            Phase::SeedingFile(_) | Phase::SeedingAll => seeds += 1,
-                            Phase::Departed => {}
-                        }
-                    }
                     series
-                        .push(self.t, &[downloaders as f64, seeds as f64])
+                        .push(
+                            self.t,
+                            &[self.traj_downloaders as f64, self.traj_seeds as f64],
+                        )
                         .expect("time is monotone");
                     while next_record <= self.t {
                         next_record += dt;
@@ -200,6 +269,9 @@ impl Simulation {
                 }
                 let mut holders = vec![0usize; k];
                 for p in &self.peers {
+                    if p.phase == Phase::Departed {
+                        continue;
+                    }
                     for s in p.finished_slots() {
                         holders[p.files[s] as usize] += 1;
                     }
@@ -207,7 +279,7 @@ impl Simulation {
                 eprintln!(
                     "[trace] t={:.0} peers={} downloads={} zero-rate={} total_rate={:.4} donations={:.4} demand={demand:?} holders={holders:?}",
                     self.t,
-                    self.peers.len(),
+                    self.peers.len() - self.free.len(),
                     snapshot.downloads.len(),
                     zero,
                     total,
@@ -215,18 +287,21 @@ impl Simulation {
                 );
                 next_trace = self.t + 500.0;
             }
-            let snapshot = compute_rates(
-                &self.peers,
-                self.cfg.scheme,
-                &self.cfg.params,
-                self.cfg.model.k() as usize,
-                self.cfg.origin_seeds,
-            );
-            let (t_next, event) = self.next_event(&snapshot, end);
+            let (t_next, event) = self.next_event(end);
+            self.outcome.events += 1;
             let dt = t_next - self.t;
             debug_assert!(dt >= -1e-9, "time went backwards: dt = {dt}");
-            if dt > 0.0 {
-                self.advance(dt.max(0.0), &snapshot);
+            // Population integrals over the stationary window, from the
+            // per-class counters (state is constant on [t, t_next)).
+            let win_lo = self.t.max(self.cfg.warmup);
+            let win_hi = t_next.min(self.cfg.horizon);
+            if win_hi > win_lo {
+                self.outcome.population.accumulate(
+                    win_hi - win_lo,
+                    &self.dl_peers,
+                    &self.dl_pairs,
+                    &self.seed_pairs,
+                );
             }
             self.t = t_next;
             match event {
@@ -236,6 +311,21 @@ impl Simulation {
                 Event::SeedExpiry(p) => self.handle_seed_expiry(p),
                 Event::Epoch => self.handle_epoch(),
             }
+            // Epochs may rewrite every ρ, so both modes recompute fully.
+            let force = self.cfg.exact_rates || matches!(event, Event::Epoch);
+            self.refresh_rates(force);
+        }
+        // Settle everyone still alive so censored diagnostics reflect the
+        // hard stop.
+        let t = self.t;
+        for peer in &mut self.peers {
+            if peer.phase == Phase::Departed {
+                continue;
+            }
+            for s in 0..peer.class() {
+                peer.settle_slot(s, t);
+            }
+            peer.settle_donation(t);
         }
         // Whatever is still alive is censored (if it would have counted).
         let warmup = self.cfg.warmup;
@@ -260,8 +350,10 @@ impl Simulation {
         self.outcome
     }
 
-    /// Finds the earliest pending event.
-    fn next_event(&self, snapshot: &RateSnapshot, end: f64) -> (f64, Event) {
+    /// Finds the earliest pending event: arrival and epoch are single
+    /// registers; completions and expiries come from the heap, discarding
+    /// stale entries from its top.
+    fn next_event(&mut self, end: f64) -> (f64, Event) {
         let mut t_best = end;
         let mut best = Event::End;
         if let Some((ta, _)) = &self.next_arrival {
@@ -276,95 +368,253 @@ impl Simulation {
                 best = Event::Epoch;
             }
         }
-        for d in &snapshot.downloads {
-            if d.rate > 0.0 {
-                let tc = self.t + self.peers[d.peer_idx].remaining[d.slot] / d.rate;
-                if tc < t_best {
-                    t_best = tc;
-                    best = Event::Completion(d.peer_idx, d.slot);
-                }
-            }
-        }
-        for (idx, peer) in self.peers.iter().enumerate() {
-            if peer.phase == Phase::Departed {
+        while let Some(e) = self.queue.peek() {
+            if !self.entry_is_live(&e) {
+                self.queue.pop();
                 continue;
             }
-            for su in peer.seed_until.iter().flatten() {
-                if su.is_finite() && *su < t_best {
-                    t_best = *su;
-                    best = Event::SeedExpiry(idx);
+            if e.rank == RANK_COMPLETION {
+                // A slowdown since the push only recorded the later
+                // deadline; reinsert the entry at its true time.
+                let due = self.peers[e.peer as usize].comp_time[e.slot as usize];
+                if e.time < due {
+                    self.queue.pop();
+                    self.queue.push(Entry { time: due, ..e });
+                    continue;
                 }
             }
-            if let Some(da) = peer.depart_at {
-                if da < t_best {
-                    t_best = da;
-                    best = Event::SeedExpiry(idx);
+            if e.time < t_best {
+                self.queue.pop();
+                self.live -= 1;
+                let peer = &mut self.peers[e.peer as usize];
+                if e.rank == RANK_COMPLETION {
+                    peer.comp_stamp[e.slot as usize] = 0;
+                    best = Event::Completion(e.peer as usize, e.slot as usize);
+                } else {
+                    peer.expiry_stamp = 0;
+                    best = Event::SeedExpiry(e.peer as usize);
                 }
+                t_best = e.time;
             }
+            break;
         }
         (t_best.max(self.t), best)
     }
 
-    /// Advances all progress and accumulators by `dt` at constant rates.
-    fn advance(&mut self, dt: f64, snapshot: &RateSnapshot) {
-        // Download progress + virtual-seed receipts.
-        let mut active = vec![false; self.peers.len()];
-        for d in &snapshot.downloads {
-            let peer = &mut self.peers[d.peer_idx];
-            peer.remaining[d.slot] = (peer.remaining[d.slot] - d.rate * dt).max(0.0);
-            peer.received_vs += d.vs_rate * dt;
-            active[d.peer_idx] = true;
-        }
-        for (peer, (&don, &act)) in self
-            .peers
-            .iter_mut()
-            .zip(snapshot.donations.iter().zip(&active))
-        {
-            peer.donated += don * dt;
-            if act {
-                peer.download_time_acc += dt;
-            }
-        }
-        // Population integrals over the stationary window.
-        let win_lo = self.t.max(self.cfg.warmup);
-        let win_hi = (self.t + dt).min(self.cfg.horizon);
-        if win_hi > win_lo {
-            let k = self.outcome.k();
-            let mut downloader_peers = vec![0usize; k];
-            let mut download_pairs = vec![0usize; k];
-            let mut seed_pairs = vec![0usize; k];
-            for d in &snapshot.downloads {
-                download_pairs[self.peers[d.peer_idx].class() - 1] += 1;
-            }
-            for peer in &self.peers {
-                let c = peer.class() - 1;
-                match peer.phase {
-                    Phase::Downloading => downloader_peers[c] += 1,
-                    Phase::SeedingFile(_) => seed_pairs[c] += 1,
-                    Phase::SeedingAll => match self.cfg.scheme {
-                        // MT schemes: one seed entity per lingering slot.
-                        SchemeKind::Mtcd | SchemeKind::Mfcd => {
-                            seed_pairs[c] += peer.seed_until.iter().flatten().count();
-                        }
-                        // CMFSD: the whole peer is one real seed.
-                        _ => seed_pairs[c] += 1,
-                    },
-                    Phase::Departed => {}
+    /// Runs the cache refresh, then (re)schedules completion deadlines for
+    /// every download whose rate changed and compacts the heap when stale
+    /// entries dominate.
+    fn refresh_rates(&mut self, force: bool) {
+        let mut changed = std::mem::take(&mut self.changed_buf);
+        self.cache
+            .refresh(&mut self.peers, self.t, force, &mut changed);
+        for &(p, s) in &changed {
+            let (pi, si) = (p as usize, s as usize);
+            let peer = &mut self.peers[pi];
+            if !(peer.rate[si] > 0.0 && peer.remaining[si] > 0.0) {
+                if peer.comp_stamp[si] != 0 {
+                    peer.comp_stamp[si] = 0;
+                    self.live -= 1;
                 }
-                // MTCD/MFCD peers seed finished slots while still
-                // downloading others.
-                if peer.phase == Phase::Downloading
-                    && matches!(self.cfg.scheme, SchemeKind::Mtcd | SchemeKind::Mfcd)
-                {
-                    seed_pairs[c] += peer.seed_until.iter().flatten().count();
+                continue;
+            }
+            let time = self.t + peer.remaining[si] / peer.rate[si];
+            if peer.comp_stamp[si] != 0 && time >= peer.comp_time[si] {
+                // Deadline unchanged or moved later: record it and let
+                // `next_event` correct the (too early) heap entry lazily —
+                // this skips a heap push for every slowdown, the common
+                // case when an arrival dilutes a subtorrent's pools.
+                peer.comp_time[si] = time;
+                continue;
+            }
+            if peer.comp_stamp[si] == 0 {
+                self.live += 1;
+            }
+            let stamp = self.next_stamp;
+            self.next_stamp += 1;
+            peer.comp_stamp[si] = stamp;
+            peer.comp_time[si] = time;
+            self.queue.push(Entry {
+                time,
+                rank: RANK_COMPLETION,
+                peer: p,
+                slot: s,
+                stamp,
+            });
+        }
+        changed.clear();
+        self.changed_buf = changed;
+        if self.queue.len() > 256 && self.queue.len() > 4 * self.live {
+            for e in self.queue.drain() {
+                if self.entry_is_live(&e) {
+                    self.queue.push(e);
                 }
             }
-            self.outcome.population.accumulate(
-                win_hi - win_lo,
-                &downloader_peers,
-                &download_pairs,
-                &seed_pairs,
-            );
+        }
+    }
+
+    /// Whether a heap entry still refers to a pending deadline. Stamps are
+    /// globally unique and zeroed on invalidation, so a stale entry can
+    /// never match — but its slot index may exceed the class of a peer
+    /// that has since recycled the slab position, hence the bounds guard.
+    fn entry_is_live(&self, e: &Entry) -> bool {
+        let p = &self.peers[e.peer as usize];
+        if e.rank == RANK_COMPLETION {
+            p.comp_stamp.get(e.slot as usize) == Some(&e.stamp)
+        } else {
+            p.expiry_stamp == e.stamp
+        }
+    }
+
+    /// Begins a touch: settles the peer's accruals at `t`, zeroes its
+    /// cached rates, invalidates its queue entries, removes its counter
+    /// contributions and cache memberships. Returns whether the peer was
+    /// downloading (for the active-time transition in [`Self::touch_end`]).
+    fn touch_begin(&mut self, idx: usize) -> bool {
+        self.sub_counters(idx);
+        let t = self.t;
+        let peer = &mut self.peers[idx];
+        for s in 0..peer.class() {
+            peer.settle_slot(s, t);
+            peer.rate[s] = 0.0;
+            peer.vs_rate[s] = 0.0;
+            if peer.comp_stamp[s] != 0 {
+                peer.comp_stamp[s] = 0;
+                self.live -= 1;
+            }
+        }
+        peer.settle_donation(t);
+        peer.donation_rate = 0.0;
+        if peer.expiry_stamp != 0 {
+            peer.expiry_stamp = 0;
+            self.live -= 1;
+        }
+        let was_downloading = peer.phase == Phase::Downloading;
+        self.cache.deregister(idx, &self.peers);
+        was_downloading
+    }
+
+    /// Ends a touch: re-registers the (mutated) peer, restores its counter
+    /// contributions, tracks the downloading-phase transition for
+    /// [`Peer::download_time_acc`], and reschedules its expiry deadline.
+    fn touch_end(&mut self, idx: usize, was_downloading: bool) {
+        // A departed tombstone has no memberships and its slab slot may be
+        // recycled; leave it deregistered.
+        if self.peers[idx].phase != Phase::Departed {
+            self.cache.register(idx, &self.peers);
+        }
+        self.add_counters(idx);
+        let t = self.t;
+        let peer = &mut self.peers[idx];
+        let now = peer.phase == Phase::Downloading;
+        if was_downloading && !now {
+            peer.download_time_acc += t - peer.active_since;
+        } else if !was_downloading && now {
+            peer.active_since = t;
+        }
+        self.reschedule_expiry(idx);
+    }
+
+    /// Pushes a fresh expiry entry at the peer's earliest finite seed or
+    /// departure deadline (its previous entry was invalidated by
+    /// [`Self::touch_begin`]).
+    fn reschedule_expiry(&mut self, idx: usize) {
+        let peer = &mut self.peers[idx];
+        if peer.phase == Phase::Departed {
+            return;
+        }
+        let mut deadline = f64::INFINITY;
+        for su in peer.seed_until.iter().flatten() {
+            if su.is_finite() {
+                deadline = deadline.min(*su);
+            }
+        }
+        if let Some(da) = peer.depart_at {
+            deadline = deadline.min(da);
+        }
+        if deadline.is_finite() {
+            let stamp = self.next_stamp;
+            self.next_stamp += 1;
+            peer.expiry_stamp = stamp;
+            self.live += 1;
+            self.queue.push(Entry {
+                time: deadline,
+                rank: RANK_EXPIRY,
+                peer: idx as u32,
+                slot: 0,
+                stamp,
+            });
+        }
+    }
+
+    /// The peer's current contribution to the per-class counters:
+    /// `(class index, downloader peers, download pairs, seed pairs,
+    /// trajectory downloaders, trajectory seeds)`.
+    fn contribution(&self, idx: usize) -> (usize, usize, usize, usize, usize, usize) {
+        let peer = &self.peers[idx];
+        let c = peer.class() - 1;
+        let concurrent = matches!(self.cfg.scheme, SchemeKind::Mtcd | SchemeKind::Mfcd);
+        let (dl_peer, pairs, traj_dl) = if peer.phase == Phase::Downloading {
+            let pairs = if concurrent {
+                peer.class() - peer.done_count()
+            } else {
+                1
+            };
+            (1, pairs, 1)
+        } else {
+            (0, 0, 0)
+        };
+        let lingering = peer.seed_until.iter().flatten().count();
+        let seeds = match peer.phase {
+            Phase::SeedingFile(_) => 1,
+            Phase::SeedingAll => {
+                if concurrent {
+                    lingering
+                } else {
+                    1
+                }
+            }
+            Phase::Downloading => {
+                if concurrent {
+                    lingering
+                } else {
+                    0
+                }
+            }
+            Phase::Departed => 0,
+        };
+        let traj_seed = matches!(peer.phase, Phase::SeedingFile(_) | Phase::SeedingAll) as usize;
+        (c, dl_peer, pairs, seeds, traj_dl, traj_seed)
+    }
+
+    fn add_counters(&mut self, idx: usize) {
+        let (c, dl_peer, pairs, seeds, traj_dl, traj_seed) = self.contribution(idx);
+        self.dl_peers[c] += dl_peer;
+        self.dl_pairs[c] += pairs;
+        self.seed_pairs[c] += seeds;
+        self.traj_downloaders += traj_dl;
+        self.traj_seeds += traj_seed;
+    }
+
+    fn sub_counters(&mut self, idx: usize) {
+        let (c, dl_peer, pairs, seeds, traj_dl, traj_seed) = self.contribution(idx);
+        self.dl_peers[c] -= dl_peer;
+        self.dl_pairs[c] -= pairs;
+        self.seed_pairs[c] -= seeds;
+        self.traj_downloaders -= traj_dl;
+        self.traj_seeds -= traj_seed;
+    }
+
+    /// Places a new peer into the slab, recycling a tombstone when one is
+    /// free.
+    fn alloc_peer(&mut self, peer: Peer) -> usize {
+        if let Some(idx) = self.free.pop() {
+            self.peers[idx] = peer;
+            idx
+        } else {
+            self.peers.push(peer);
+            self.cache.grow(self.peers.len());
+            self.peers.len() - 1
         }
     }
 
@@ -407,41 +657,24 @@ impl Simulation {
             self.cfg.adapt.as_ref(),
             &mut self.rng_service,
         );
-        self.peers.push(peer);
-        self.apply_order_policy(self.peers.len() - 1);
+        let idx = self.alloc_peer(peer);
+        self.apply_order_policy(idx);
+        self.cache.register(idx, &self.peers);
+        self.add_counters(idx);
+        self.reschedule_expiry(idx);
         self.outcome.arrivals += 1;
         // Re-arm from the consumed arrival's time.
         self.next_arrival = Some((ta, Vec::new()));
         self.schedule_arrival();
     }
 
-    /// Counts holders (finished copies among present peers, plus origin
-    /// seeds) of every file.
-    fn holder_counts(&self) -> Vec<usize> {
-        let k = self.cfg.model.k() as usize;
-        let mut counts = vec![self.cfg.origin_seeds; k];
-        for p in &self.peers {
-            if p.phase == Phase::Departed {
-                continue;
-            }
-            for s in 0..p.class() {
-                if p.finished(s) {
-                    counts[p.files[s] as usize] += 1;
-                }
-            }
-        }
-        counts
-    }
-
     /// Under [`OrderPolicy::RarestFirst`], swaps the rarest unfinished file
-    /// into the peer's next download position.
+    /// into the peer's next download position, using the incrementally
+    /// maintained holder counts.
     fn apply_order_policy(&mut self, idx: usize) {
-        if self.cfg.order_policy != OrderPolicy::RarestFirst
-            || !self.cfg.scheme.is_sequential()
-        {
+        if self.cfg.order_policy != OrderPolicy::RarestFirst || !self.cfg.scheme.is_sequential() {
             return;
         }
-        let counts = self.holder_counts();
         let peer = &mut self.peers[idx];
         if peer.phase != Phase::Downloading || peer.cursor >= peer.class() {
             return;
@@ -450,9 +683,9 @@ impl Simulation {
         let mut best_count = usize::MAX;
         for pos in peer.cursor..peer.class() {
             let f = peer.files[peer.order[pos]] as usize;
-            match counts[f].cmp(&best_count) {
+            match self.holders[f].cmp(&best_count) {
                 std::cmp::Ordering::Less => {
-                    best_count = counts[f];
+                    best_count = self.holders[f];
                     best.clear();
                     best.push(pos);
                 }
@@ -466,19 +699,26 @@ impl Simulation {
     }
 
     fn handle_completion(&mut self, idx: usize, slot: usize) {
+        let was = self.touch_begin(idx);
         let t = self.t;
-        let peer = &mut self.peers[idx];
-        peer.remaining[slot] = 0.0;
-        peer.completed_at[slot] = Some(t);
+        {
+            let peer = &mut self.peers[idx];
+            peer.remaining[slot] = 0.0;
+            peer.completed_at[slot] = Some(t);
+        }
+        // Holder count first, so rarest-first sees the fresh copy.
+        self.holders[self.peers[idx].files[slot] as usize] += 1;
         match self.cfg.scheme {
             SchemeKind::Mtsd => {
                 let dur = self.gamma.sample(&mut self.rng_service);
+                let peer = &mut self.peers[idx];
                 peer.seed_duration[slot] = dur;
                 peer.seed_until[slot] = Some(t + dur);
                 peer.phase = Phase::SeedingFile(slot);
             }
             SchemeKind::Mtcd => {
                 let dur = self.gamma.sample(&mut self.rng_service);
+                let peer = &mut self.peers[idx];
                 peer.seed_duration[slot] = dur;
                 peer.seed_until[slot] = Some(t + dur);
                 if peer.all_done() {
@@ -487,19 +727,21 @@ impl Simulation {
             }
             SchemeKind::Mfcd => {
                 // Virtual seed persists until the user departs as a whole.
+                let peer = &mut self.peers[idx];
                 peer.seed_until[slot] = Some(f64::INFINITY);
                 if peer.all_done() {
                     let dur = self.gamma.sample(&mut self.rng_service);
-                    peer.depart_at = Some(t + dur);
-                    peer.phase = Phase::SeedingAll;
+                    self.peers[idx].depart_at = Some(t + dur);
+                    self.peers[idx].phase = Phase::SeedingAll;
                 }
             }
             SchemeKind::Cmfsd { .. } => {
+                let peer = &mut self.peers[idx];
                 peer.cursor += 1;
                 if peer.cursor >= peer.class() {
                     let dur = self.gamma.sample(&mut self.rng_service);
-                    peer.depart_at = Some(t + dur);
-                    peer.phase = Phase::SeedingAll;
+                    self.peers[idx].depart_at = Some(t + dur);
+                    self.peers[idx].phase = Phase::SeedingAll;
                 } else {
                     // While downloading continues, the (1−ρ)μ virtual seed
                     // serves the finished files demand-aware (see `rate`),
@@ -508,68 +750,97 @@ impl Simulation {
                 }
             }
         }
+        self.touch_end(idx, was);
     }
 
     fn handle_seed_expiry(&mut self, idx: usize) {
+        let was = self.touch_begin(idx);
         let t = self.t;
-        let scheme = self.cfg.scheme;
-        let peer = &mut self.peers[idx];
-        match scheme {
+        let mut departed = false;
+        match self.cfg.scheme {
             SchemeKind::Mtsd => {
-                if let Phase::SeedingFile(slot) = peer.phase {
-                    if peer.seed_until[slot].is_some_and(|su| su <= t + 1e-9) {
-                        peer.seed_until[slot] = None;
-                        peer.cursor += 1;
-                        if peer.cursor < peer.class() {
-                            peer.phase = Phase::Downloading;
-                            self.apply_order_policy(idx);
-                        } else {
-                            self.depart(idx);
+                let mut resume = false;
+                {
+                    let peer = &mut self.peers[idx];
+                    if let Phase::SeedingFile(slot) = peer.phase {
+                        if peer.seed_until[slot].is_some_and(|su| su <= t + 1e-9) {
+                            peer.seed_until[slot] = None;
+                            peer.cursor += 1;
+                            if peer.cursor < peer.class() {
+                                peer.phase = Phase::Downloading;
+                                resume = true;
+                            } else {
+                                departed = true;
+                            }
                         }
                     }
                 }
+                if resume {
+                    self.apply_order_policy(idx);
+                }
             }
             SchemeKind::Mtcd => {
+                let peer = &mut self.peers[idx];
                 for slot in 0..peer.class() {
                     if peer.seed_until[slot].is_some_and(|su| su <= t + 1e-9) {
                         peer.seed_until[slot] = None;
                     }
                 }
                 if peer.all_done() && peer.seed_until.iter().all(Option::is_none) {
-                    self.depart(idx);
+                    departed = true;
                 }
             }
             SchemeKind::Mfcd | SchemeKind::Cmfsd { .. } => {
-                if peer.depart_at.is_some_and(|da| da <= t + 1e-9) {
-                    self.depart(idx);
+                if self.peers[idx].depart_at.is_some_and(|da| da <= t + 1e-9) {
+                    departed = true;
                 }
             }
+        }
+        if departed {
+            self.finalize_departure(idx);
+        }
+        self.touch_end(idx, was);
+        if departed {
+            self.free.push(idx);
         }
     }
 
     fn handle_epoch(&mut self) {
         let setup = self.cfg.adapt.expect("epoch event without adapt setup");
-        for peer in &mut self.peers {
-            if peer.phase == Phase::Downloading && peer.class() >= 2 {
-                if let Some(ctrl) = peer.adapt.as_mut() {
-                    // Δ in bandwidth units: give minus take, per unit time.
-                    let delta = (peer.donated - peer.received_vs) / setup.epoch;
-                    peer.rho = ctrl.observe(delta);
-                }
+        for idx in 0..self.peers.len() {
+            if self.peers[idx].phase == Phase::Departed {
+                continue;
             }
-            peer.donated = 0.0;
-            peer.received_vs = 0.0;
+            let was = self.touch_begin(idx);
+            {
+                let peer = &mut self.peers[idx];
+                if peer.phase == Phase::Downloading && peer.class() >= 2 {
+                    if let Some(ctrl) = peer.adapt.as_mut() {
+                        // Δ in bandwidth units: give minus take, per unit
+                        // time.
+                        let delta = (peer.donated - peer.received_vs) / setup.epoch;
+                        peer.rho = ctrl.observe(delta);
+                    }
+                }
+                peer.donated = 0.0;
+                peer.received_vs = 0.0;
+            }
+            self.touch_end(idx, was);
         }
         self.next_epoch = Some(self.next_epoch.expect("epoch scheduled") + setup.epoch);
     }
 
-    /// Finalizes and removes a finished user.
-    fn depart(&mut self, idx: usize) {
+    /// Marks a finished user departed: tombstones the slab slot, releases
+    /// its holder counts, and emits the user record if it falls in the
+    /// measured window. The caller recycles the slot via `free`.
+    fn finalize_departure(&mut self, idx: usize) {
         let t = self.t;
-        let peer = &mut self.peers[idx];
-        peer.phase = Phase::Departed;
-        let counted = peer.arrival >= self.cfg.warmup && peer.arrival < self.cfg.horizon;
-        if counted {
+        let counted;
+        let record;
+        {
+            let peer = &mut self.peers[idx];
+            peer.phase = Phase::Departed;
+            counted = peer.arrival >= self.cfg.warmup && peer.arrival < self.cfg.horizon;
             let online_fluid = match self.cfg.scheme {
                 SchemeKind::Mtcd => {
                     // Per-virtual-peer mean: (completion − arrival) + own
@@ -584,7 +855,7 @@ impl Simulation {
                 }
                 _ => t - peer.arrival,
             };
-            let record = UserRecord {
+            record = UserRecord {
                 id: peer.id,
                 class: peer.class(),
                 arrival: peer.arrival,
@@ -594,9 +865,15 @@ impl Simulation {
                 final_rho: peer.rho,
                 cheater: peer.cheater,
             };
+        }
+        for s in 0..self.peers[idx].class() {
+            if self.peers[idx].finished(s) {
+                self.holders[self.peers[idx].files[s] as usize] -= 1;
+            }
+        }
+        if counted {
             self.outcome.record(record);
         }
-        self.peers.swap_remove(idx);
     }
 }
 
@@ -645,6 +922,13 @@ mod tests {
     }
 
     #[test]
+    fn events_are_counted() {
+        let o = run(SchemeKind::Mtsd, 0.5, 3);
+        // At minimum every arrival dispatched one event, plus the End.
+        assert!(o.events > o.arrivals as u64);
+    }
+
+    #[test]
     fn determinism_per_seed() {
         let a = run(SchemeKind::Cmfsd { rho: 0.3 }, 0.6, 11);
         let b = run(SchemeKind::Cmfsd { rho: 0.3 }, 0.6, 11);
@@ -652,6 +936,28 @@ mod tests {
         for (ra, rb) in a.records.iter().zip(&b.records) {
             assert_eq!(ra.id, rb.id);
             assert!((ra.online_fluid - rb.online_fluid).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn exact_mode_matches_incremental_smoke() {
+        // The full matrix lives in tests/equivalence.rs; this is the quick
+        // in-crate guard.
+        let mut exact = DesConfig::paper_small(SchemeKind::Mtsd, 0.5, 19).unwrap();
+        exact.horizon = 800.0;
+        exact.warmup = 200.0;
+        exact.drain = 800.0;
+        let mut incr = exact.clone();
+        exact.exact_rates = true;
+        incr.exact_rates = false;
+        let a = Simulation::new(exact).unwrap().run();
+        let b = Simulation::new(incr).unwrap().run();
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.records.len(), b.records.len());
+        for (ra, rb) in a.records.iter().zip(&b.records) {
+            assert_eq!(ra.id, rb.id);
+            assert_eq!(ra.departure.to_bits(), rb.departure.to_bits());
+            assert_eq!(ra.download_span.to_bits(), rb.download_span.to_bits());
         }
     }
 

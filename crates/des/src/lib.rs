@@ -58,17 +58,20 @@ pub mod adapt;
 pub mod chunklevel;
 pub mod config;
 pub mod engine;
+pub mod event_queue;
 pub mod observer;
 pub mod peer;
 pub mod rate;
+pub mod rate_cache;
 pub mod replicate;
 pub mod single;
 
+pub use chunklevel::{estimate_eta, ChunkLevelConfig, EtaEstimate};
 pub use config::{AdaptSetup, DesConfig, OrderPolicy, SchemeKind};
 pub use engine::Simulation;
 pub use observer::{ClassStats, PopulationStats, SimOutcome, UserRecord};
+pub use rate_cache::RateCache;
 pub use replicate::{run_replications, ReplicationSummary};
-pub use chunklevel::{estimate_eta, ChunkLevelConfig, EtaEstimate};
 pub use single::{run_single_torrent, SingleTorrentConfig, SingleTorrentOutcome};
 
 /// Convenience error alias.

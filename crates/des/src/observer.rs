@@ -167,6 +167,9 @@ pub struct SimOutcome {
     /// Optional population trajectory (channels `downloaders`, `seeds`),
     /// recorded when [`crate::config::DesConfig::record_every`] is set.
     pub trajectory: Option<btfluid_numkit::series::TimeSeries>,
+    /// Number of events the engine dispatched (including the final
+    /// end-of-horizon event); the denominator for events/sec throughput.
+    pub events: u64,
 }
 
 impl SimOutcome {
@@ -182,6 +185,7 @@ impl SimOutcome {
             inflight: Vec::new(),
             arrivals: 0,
             trajectory: None,
+            events: 0,
         }
     }
 

@@ -63,6 +63,33 @@ pub struct Peer {
     pub received_vs: f64,
     /// Accumulated wall-clock time with at least one active download.
     pub download_time_acc: f64,
+    /// Cached service rate per slot, maintained by the engine's rate cache
+    /// (zero for inactive slots).
+    pub rate: Vec<f64>,
+    /// Virtual-seed portion of [`Peer::rate`] per slot.
+    pub vs_rate: Vec<f64>,
+    /// Last time each slot's progress was folded into
+    /// [`Peer::remaining`]/[`Peer::received_vs`] (lazy settlement).
+    pub settled_at: Vec<f64>,
+    /// Bandwidth currently donated through this peer's virtual seed and
+    /// consumed by someone (zero outside CMFSD).
+    pub donation_rate: f64,
+    /// Last time [`Peer::donated`] was settled.
+    pub donation_since: f64,
+    /// When the current [`Phase::Downloading`] stretch began (feeds
+    /// [`Peer::download_time_acc`] on the next phase transition).
+    pub active_since: f64,
+    /// Event-queue stamp of the pending completion entry per slot
+    /// (0 = no entry scheduled).
+    pub comp_stamp: Vec<u64>,
+    /// The slot's true completion deadline, meaningful while
+    /// [`Peer::comp_stamp`] is non-zero. A rate *decrease* only moves the
+    /// deadline later, so the engine records it here instead of re-pushing
+    /// a heap entry; the stale (too early) entry is corrected at pop time.
+    pub comp_time: Vec<f64>,
+    /// Event-queue stamp of the pending seed-expiry/departure entry
+    /// (0 = none).
+    pub expiry_stamp: u64,
 }
 
 impl Peer {
@@ -89,7 +116,53 @@ impl Peer {
             donated: 0.0,
             received_vs: 0.0,
             download_time_acc: 0.0,
+            rate: vec![0.0; n],
+            vs_rate: vec![0.0; n],
+            settled_at: vec![arrival; n],
+            donation_rate: 0.0,
+            donation_since: arrival,
+            active_since: arrival,
+            comp_stamp: vec![0; n],
+            comp_time: vec![f64::INFINITY; n],
+            expiry_stamp: 0,
         }
+    }
+
+    /// Folds the interval since the slot's last settlement into
+    /// [`Peer::remaining`] and [`Peer::received_vs`] at the cached rates,
+    /// then re-anchors the slot at `t`.
+    ///
+    /// Safe to call on inactive slots (their cached rate is zero).
+    ///
+    /// An actively downloading slot never settles all the way to zero:
+    /// only its completion *event* may finish it. A settle can land on the
+    /// deadline to within a ulp (e.g. an arrival tying with the
+    /// completion), and clamping to zero there would mark the slot
+    /// finished without ever dispatching the completion — no seed phase,
+    /// no holder count, no record. Pinning to the smallest positive value
+    /// keeps the slot alive for the completion event that is due now.
+    pub fn settle_slot(&mut self, slot: usize, t: f64) {
+        let dt = t - self.settled_at[slot];
+        if dt > 0.0 {
+            let left = self.remaining[slot] - self.rate[slot] * dt;
+            self.remaining[slot] = if left > 0.0 || !(self.rate[slot] > 0.0) {
+                left.max(0.0)
+            } else {
+                f64::MIN_POSITIVE
+            };
+            self.received_vs += self.vs_rate[slot] * dt;
+        }
+        self.settled_at[slot] = t;
+    }
+
+    /// Folds the interval since the last donation settlement into
+    /// [`Peer::donated`] at the cached donation rate, re-anchoring at `t`.
+    pub fn settle_donation(&mut self, t: f64) {
+        let dt = t - self.donation_since;
+        if dt > 0.0 {
+            self.donated += self.donation_rate * dt;
+        }
+        self.donation_since = t;
     }
 
     /// The user's class: number of requested files.

@@ -98,9 +98,7 @@ pub fn run_single_torrent(cfg: &SingleTorrentConfig) -> Result<SingleTorrentOutc
     let total_rate: f64 = cfg.classes.iter().map(|c| c.lambda).sum();
     let gap = Exponential::new(total_rate)?;
     let gamma_dist = Exponential::new(cfg.gamma)?;
-    let class_pick = DiscreteCdf::new(
-        &cfg.classes.iter().map(|c| c.lambda).collect::<Vec<_>>(),
-    )?;
+    let class_pick = DiscreteCdf::new(&cfg.classes.iter().map(|c| c.lambda).collect::<Vec<_>>())?;
 
     let mut peers: Vec<MiniPeer> = Vec::new();
     let mut stats = vec![SingleClassStats::default(); cfg.classes.len()];

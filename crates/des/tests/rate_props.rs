@@ -5,9 +5,100 @@ use btfluid_core::FluidParams;
 use btfluid_des::config::SchemeKind;
 use btfluid_des::peer::{Peer, Phase};
 use btfluid_des::rate::compute_rates;
+use btfluid_des::rate_cache::RateCache;
 use proptest::prelude::*;
 
 const K: usize = 6;
+
+const ALL_SCHEMES: [SchemeKind; 4] = [
+    SchemeKind::Mtsd,
+    SchemeKind::Mtcd,
+    SchemeKind::Mfcd,
+    SchemeKind::Cmfsd { rho: 0.5 },
+];
+
+/// The TFT upload a peer dedicates to the file of download `(peer, slot)`
+/// under `scheme` — mirrors `rate::view` / `RateCache::fill_membership`.
+fn member_u(scheme: SchemeKind, peer: &Peer, mu: f64) -> f64 {
+    match scheme {
+        SchemeKind::Mtsd => mu,
+        SchemeKind::Mtcd | SchemeKind::Mfcd => mu / peer.class() as f64,
+        SchemeKind::Cmfsd { .. } => {
+            if peer.done_count() >= 1 {
+                peer.rho * mu
+            } else {
+                mu
+            }
+        }
+    }
+}
+
+/// Builds a cache over `peers` by incremental registration, refreshing
+/// after every step so the dirty tracking (not a single full build) is
+/// what produces the final state.
+fn build_incrementally(
+    peers: &mut [Peer],
+    scheme: SchemeKind,
+    params: &FluidParams,
+    origin: usize,
+) -> RateCache {
+    let mut cache = RateCache::new(K, scheme, params, origin);
+    cache.grow(peers.len());
+    let mut changed = Vec::new();
+    for idx in 0..peers.len() {
+        cache.register(idx, peers);
+        cache.refresh(peers, 0.0, false, &mut changed);
+        changed.clear();
+    }
+    cache
+}
+
+/// Asserts the cache's snapshot equals a from-scratch `compute_rates`
+/// bit for bit.
+fn assert_matches_full(
+    cache: &RateCache,
+    peers: &[Peer],
+    scheme: SchemeKind,
+    params: &FluidParams,
+    origin: usize,
+) -> Result<(), TestCaseError> {
+    let snap = cache.snapshot(peers);
+    let full = compute_rates(peers, scheme, params, K, origin);
+    prop_assert_eq!(snap.downloads.len(), full.downloads.len());
+    for (a, b) in snap.downloads.iter().zip(&full.downloads) {
+        prop_assert_eq!(a.peer_idx, b.peer_idx);
+        prop_assert_eq!(a.slot, b.slot);
+        prop_assert_eq!(
+            a.rate.to_bits(),
+            b.rate.to_bits(),
+            "rate mismatch for peer {} slot {}: {} vs {}",
+            a.peer_idx,
+            a.slot,
+            a.rate,
+            b.rate
+        );
+        prop_assert_eq!(
+            a.vs_rate.to_bits(),
+            b.vs_rate.to_bits(),
+            "vs_rate mismatch for peer {} slot {}: {} vs {}",
+            a.peer_idx,
+            a.slot,
+            a.vs_rate,
+            b.vs_rate
+        );
+    }
+    prop_assert_eq!(snap.donations.len(), full.donations.len());
+    for (i, (a, b)) in snap.donations.iter().zip(&full.donations).enumerate() {
+        prop_assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "donation mismatch for peer {i}: {} vs {}",
+            a,
+            b
+        );
+    }
+    Ok(())
+}
 
 /// Strategy: a random CMFSD peer in a consistent state.
 fn cmfsd_peer(id: u64) -> impl Strategy<Value = Peer> {
@@ -108,6 +199,84 @@ proptest! {
                 prop_assert_eq!(p.phase, Phase::Downloading);
                 prop_assert!(p.done_count() >= 1);
                 prop_assert!((don - (1.0 - p.rho) * mu).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_matches_full_recompute_every_scheme(peers in population(), origin in 0usize..3) {
+        // The incremental cache, built peer by peer with a refresh between
+        // registrations, must agree bit for bit with a from-scratch
+        // `compute_rates` under every scheme.
+        let params = FluidParams::paper();
+        for scheme in ALL_SCHEMES {
+            let mut peers = peers.clone();
+            let cache = build_incrementally(&mut peers, scheme, &params, origin);
+            assert_matches_full(&cache, &peers, scheme, &params, origin)?;
+        }
+    }
+
+    #[test]
+    fn cache_tracks_mutation_cycles(peers in population(), origin in 0usize..3) {
+        // Deregister → mutate (complete the current file) → re-register →
+        // refresh must keep the cache in lockstep with a full recompute at
+        // every step.
+        let params = FluidParams::paper();
+        let scheme = SchemeKind::Cmfsd { rho: 0.5 };
+        let mut peers = peers.clone();
+        let mut cache = build_incrementally(&mut peers, scheme, &params, origin);
+        let mut changed = Vec::new();
+        for idx in 0..peers.len() {
+            if peers[idx].phase != Phase::Downloading {
+                continue;
+            }
+            cache.deregister(idx, &peers);
+            let slot = peers[idx].current_slot();
+            peers[idx].remaining[slot] = 0.0;
+            peers[idx].completed_at[slot] = Some(2.0);
+            peers[idx].cursor += 1;
+            if peers[idx].cursor >= peers[idx].class() {
+                peers[idx].phase = Phase::SeedingAll;
+            }
+            cache.register(idx, &peers);
+            cache.refresh(&mut peers, 0.0, false, &mut changed);
+            changed.clear();
+            assert_matches_full(&cache, &peers, scheme, &params, origin)?;
+        }
+    }
+
+    #[test]
+    fn cache_conserves_bandwidth_per_subtorrent(peers in population(), origin in 0usize..3) {
+        // On every subtorrent with at least one downloader, the shares of
+        // the pools sum to 1, so Σ rates = η·Σu + pool_real + pool_virtual.
+        let params = FluidParams::paper();
+        let eta = params.eta();
+        let mu = params.mu();
+        for scheme in ALL_SCHEMES {
+            let mut peers = peers.clone();
+            let cache = build_incrementally(&mut peers, scheme, &params, origin);
+            let snap = cache.snapshot(&peers);
+            let mut sum_rate = [0.0f64; K];
+            let mut sum_u = [0.0f64; K];
+            for d in &snap.downloads {
+                let p = &peers[d.peer_idx];
+                let f = p.files[d.slot] as usize;
+                sum_rate[f] += d.rate;
+                sum_u[f] += member_u(scheme, p, mu);
+            }
+            for f in 0..K {
+                if cache.weight()[f] <= 0.0 {
+                    continue;
+                }
+                let expect = eta * sum_u[f] + cache.pool_real()[f] + cache.pool_virtual()[f];
+                let tol = 1e-9 * expect.abs().max(1.0);
+                prop_assert!(
+                    (sum_rate[f] - expect).abs() <= tol,
+                    "{}: subtorrent {f}: Σrates {} vs η·Σu + pools {}",
+                    scheme.name(),
+                    sum_rate[f],
+                    expect
+                );
             }
         }
     }

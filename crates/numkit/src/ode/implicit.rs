@@ -185,7 +185,9 @@ mod tests {
         let sys = LinearSystem::new(vec![-1.0], vec![0.0]);
         let run = |h: f64| {
             let mut x = vec![1.0];
-            BackwardEuler::new().integrate(&sys, 0.0, &mut x, 1.0, h).unwrap();
+            BackwardEuler::new()
+                .integrate(&sys, 0.0, &mut x, 1.0, h)
+                .unwrap();
             (x[0] - (-1.0f64).exp()).abs()
         };
         let e1 = run(1e-2);
@@ -211,8 +213,12 @@ mod tests {
     fn invalid_input_rejected() {
         let sys = LinearSystem::new(vec![-1.0], vec![0.0]);
         let mut x = vec![1.0];
-        assert!(BackwardEuler::new().integrate(&sys, 0.0, &mut x, 1.0, 0.0).is_err());
-        assert!(BackwardEuler::new().integrate(&sys, 1.0, &mut x, 0.0, 0.1).is_err());
+        assert!(BackwardEuler::new()
+            .integrate(&sys, 0.0, &mut x, 1.0, 0.0)
+            .is_err());
+        assert!(BackwardEuler::new()
+            .integrate(&sys, 1.0, &mut x, 0.0, 0.1)
+            .is_err());
     }
 
     #[test]
@@ -226,7 +232,9 @@ mod tests {
         let b: Vec<f64> = (0..n).map(|i| (1.0 + i as f64) * 2.0).collect();
         let sys = LinearSystem::new(a, b);
         let mut x = vec![0.0; n];
-        BackwardEuler::new().integrate(&sys, 0.0, &mut x, 30.0, 0.1).unwrap();
+        BackwardEuler::new()
+            .integrate(&sys, 0.0, &mut x, 30.0, 0.1)
+            .unwrap();
         for &xi in &x {
             assert!((xi - 2.0).abs() < 1e-3, "xi = {xi}");
         }

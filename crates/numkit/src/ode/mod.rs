@@ -16,15 +16,15 @@
 //!   stopping rule, used for every steady-state figure.
 
 mod dopri5;
-mod implicit;
 mod driver;
 mod fixed;
+mod implicit;
 mod steady;
 mod system;
 
 pub use dopri5::{Dopri5, Dopri5Options, Dopri5Stats};
-pub use implicit::{BackwardEuler, ImplicitOptions};
 pub use driver::{integrate_observed, ObserveEvery};
 pub use fixed::{Euler, FixedStep, Heun, Rk4};
+pub use implicit::{BackwardEuler, ImplicitOptions};
 pub use steady::{steady_state, SteadyOptions, SteadyState};
 pub use system::{LinearSystem, OdeSystem};

@@ -593,7 +593,9 @@ mod tests {
         let mut x = 0.0f64;
         let mut state = 9u64;
         let mut next_u = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
         };
         for _ in 0..5000 {

@@ -21,12 +21,7 @@ fn stable_system() -> impl Strategy<Value = (LinearSystem, Vec<f64>)> {
     )
         .prop_map(|(d1, d2, o1, o2, b1, b2, x1, x2)| {
             // Diagonally dominant negative matrix ⇒ stable.
-            let a = vec![
-                -(d1 + o1.abs()),
-                o1,
-                o2,
-                -(d2 + o2.abs()),
-            ];
+            let a = vec![-(d1 + o1.abs()), o1, o2, -(d2 + o2.abs())];
             (LinearSystem::new(a, vec![b1, b2]), vec![x1, x2])
         })
 }

@@ -1,0 +1,148 @@
+//! Workspace-local stand-in for [proptest](https://crates.io/crates/proptest).
+//!
+//! This build environment cannot reach a crate registry, so the real
+//! proptest cannot be fetched. This crate implements the subset of the API
+//! the workspace's property tests use:
+//!
+//! * the `proptest!` macro with `#![proptest_config(..)]` and
+//!   `pattern in strategy` arguments;
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`;
+//! * [`Strategy`] with `prop_map` / `prop_flat_map`, implemented for
+//!   numeric ranges, `any::<T>()`, tuples (up to 8), `Vec<Strategy>`,
+//!   and [`Just`];
+//! * `prop::collection::{vec, btree_set}` with the usual size-range
+//!   conversions.
+//!
+//! Differences from real proptest: inputs are drawn from a deterministic
+//! per-test RNG (seeded from the test name, so runs are reproducible),
+//! and failing cases are **not shrunk** — the failure report prints the
+//! case number instead of a minimal input. Swap the workspace dependency
+//! back to the real proptest when the environment can resolve crates.io.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Any, FlatMap, Just, Map, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+/// The proptest-compatible prelude: `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace matching `proptest::prelude::prop` (e.g.
+    /// `prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Declares property tests. Each function runs its body against
+/// `config.cases` randomly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal recursion for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])+
+        fn $name:ident($($arg_pat:pat in $arg_strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])+
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run(
+                &__config,
+                stringify!($name),
+                ($($arg_strat,)+),
+                |__case| -> ::core::result::Result<(), $crate::TestCaseError> {
+                    let ($($arg_pat,)+) = __case;
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_cases!(($cfg) $($rest)*);
+    };
+}
+
+/// Fails the current test case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current test case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                __l,
+                __r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Fails the current test case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __l, __r
+            )));
+        }
+    }};
+}
+
+/// Rejects (skips) the current test case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}

@@ -1,0 +1,280 @@
+//! Input-generation strategies: ranges, `any`, tuples, `Just`, and the
+//! `prop_map` / `prop_flat_map` combinators.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating random values of `Self::Value`.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy
+/// simply draws a fresh value from the deterministic [`TestRng`].
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms every generated value through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Generates a value, then uses it to pick a second-stage strategy.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { source: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.new_value(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+        let first = self.source.new_value(rng);
+        (self.f)(first).new_value(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy over a type's full value domain; built by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// Generates arbitrary values of `T` (`any::<bool>()`, `any::<u64>()`, …).
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any(PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// With probability 1/16 an inclusive float range yields an exact endpoint,
+// mirroring real proptest's bias toward boundary values.
+const ENDPOINT_BIAS: u64 = 16;
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 range strategy");
+        if rng.below(ENDPOINT_BIAS) == 0 {
+            return self.start;
+        }
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty f64 range strategy");
+        match rng.below(ENDPOINT_BIAS) {
+            0 => lo,
+            1 => hi,
+            _ => lo + rng.next_f64() * (hi - lo),
+        }
+    }
+}
+
+macro_rules! int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategies! {
+    (S0.0);
+    (S0.0, S1.1);
+    (S0.0, S1.1, S2.2);
+    (S0.0, S1.1, S2.2, S3.3);
+    (S0.0, S1.1, S2.2, S3.3, S4.4);
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5);
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6);
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7);
+}
+
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        self.iter().map(|s| s.new_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..500 {
+            let x = (0.5f64..2.5).new_value(&mut rng);
+            assert!((0.5..2.5).contains(&x));
+            let y = (1u32..=7).new_value(&mut rng);
+            assert!((1..=7).contains(&y));
+            let z = (3usize..9).new_value(&mut rng);
+            assert!((3..9).contains(&z));
+        }
+    }
+
+    #[test]
+    fn inclusive_float_hits_endpoints() {
+        let mut rng = TestRng::new(11);
+        let mut hit_lo = false;
+        let mut hit_hi = false;
+        for _ in 0..2000 {
+            let x = (0.0f64..=1.0).new_value(&mut rng);
+            hit_lo |= x == 0.0;
+            hit_hi |= x == 1.0;
+        }
+        assert!(hit_lo && hit_hi);
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut rng = TestRng::new(5);
+        let s = (1u32..10).prop_map(|x| x * 2).prop_flat_map(|x| 0u32..x);
+        for _ in 0..200 {
+            let v = s.new_value(&mut rng);
+            assert!(v < 18);
+        }
+    }
+
+    #[test]
+    fn vec_of_strategies_draws_each() {
+        let mut rng = TestRng::new(9);
+        let strategies: Vec<_> = (0..4)
+            .map(|i| (i as u64 * 10)..(i as u64 * 10 + 5))
+            .collect();
+        let v = strategies.new_value(&mut rng);
+        assert_eq!(v.len(), 4);
+        for (i, x) in v.iter().enumerate() {
+            let lo = i as u64 * 10;
+            assert!((lo..lo + 5).contains(x));
+        }
+    }
+
+    #[test]
+    fn just_clones_its_value() {
+        let mut rng = TestRng::new(1);
+        assert_eq!(Just(vec![1, 2]).new_value(&mut rng), vec![1, 2]);
+    }
+
+    #[test]
+    fn tuples_draw_componentwise() {
+        let mut rng = TestRng::new(2);
+        let ((a, b, c), flag) =
+            ((0u8..4, 10i32..20, 0.0f64..1.0), any::<bool>()).new_value(&mut rng);
+        assert!(a < 4);
+        assert!((10..20).contains(&b));
+        assert!((0.0..1.0).contains(&c));
+        let _ = flag;
+    }
+}

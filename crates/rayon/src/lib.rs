@@ -1,0 +1,223 @@
+//! Workspace-local stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! This build environment has no network access and no vendored registry,
+//! so the real rayon cannot be fetched. This crate implements the small
+//! slice of rayon's API the workspace actually uses — `par_iter` /
+//! `into_par_iter` followed by `map` and `collect` — on top of
+//! `std::thread::scope`, with the same semantics:
+//!
+//! * items are processed concurrently on up to `available_parallelism`
+//!   OS threads, pulled from a shared atomic work index (so uneven work,
+//!   e.g. simulations of different lengths, load-balances);
+//! * `collect` preserves input order;
+//! * collecting into `Result<Vec<T>, E>` short-circuits on the first
+//!   error exactly like sequential `collect`.
+//!
+//! Panics in a worker propagate to the caller (the scope joins all
+//! threads and re-raises). Swap the workspace dependency back to the real
+//! rayon when the environment can resolve crates.io.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The rayon-compatible prelude: `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Runs `f` over `items` on a small thread pool, preserving order.
+fn parallel_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("item slot poisoned")
+                    .take()
+                    .expect("item taken twice");
+                let out = f(item);
+                *results[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker skipped an item")
+        })
+        .collect()
+}
+
+/// A materialized parallel iterator over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A lazily mapped parallel iterator.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+/// The subset of rayon's `ParallelIterator` this workspace needs.
+pub trait ParallelIterator: Sized {
+    /// Item type produced by the iterator.
+    type Item: Send;
+
+    /// Evaluates the pipeline, in parallel, into an ordered `Vec`.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Maps every item through `f` in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Collects the results in input order (including `Result` collects).
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.drive().into_iter().collect()
+    }
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        parallel_map(self.base.drive(), &self.f)
+    }
+}
+
+/// Conversion into a parallel iterator (rayon's `into_par_iter`).
+pub trait IntoParallelIterator {
+    /// Item type of the resulting iterator.
+    type Item: Send;
+    /// Creates the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_into_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_range_into_par!(usize, u32, u64, i32, i64);
+
+/// Borrowing conversion (rayon's `par_iter`), implemented on slices so it
+/// resolves through `Vec`'s deref like `slice::iter` does.
+pub trait IntoParallelRefIterator<'data> {
+    /// Item type (a shared reference).
+    type Item: Send;
+    /// Creates a parallel iterator over references.
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0u64..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let xs = [1.0f64, 2.0, 3.0];
+        let doubled: Vec<f64> = xs.par_iter().map(|&x| x + 1.0).collect();
+        assert_eq!(doubled, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn result_collect_short_circuits() {
+        let r: Result<Vec<u32>, String> = (0u32..10)
+            .into_par_iter()
+            .map(|x| {
+                if x == 7 {
+                    Err("seven".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(r, Err("seven".to_string()));
+    }
+
+    #[test]
+    fn chained_maps() {
+        let v: Vec<i64> = (0i64..64)
+            .into_par_iter()
+            .map(|x| x + 1)
+            .map(|x| x * 3)
+            .collect();
+        assert_eq!(v[63], 64 * 3);
+    }
+}

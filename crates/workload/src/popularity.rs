@@ -211,9 +211,7 @@ mod tests {
             assert!((g - e).abs() < 1e-12);
         }
         assert!((uniform.entering_rate() - reference.entering_rate()).abs() < 1e-12);
-        assert!(
-            (uniform.file_request_rate() - reference.file_request_rate()).abs() < 1e-12
-        );
+        assert!((uniform.file_request_rate() - reference.file_request_rate()).abs() < 1e-12);
     }
 
     #[test]
@@ -248,10 +246,7 @@ mod tests {
         let m = NonUniformModel::zipf(10, 1.0, 0.2, 1.0).unwrap();
         let mean: f64 = m.probs().iter().sum::<f64>() / 10.0;
         assert!((mean - 0.2).abs() < 1e-9, "mean = {mean}");
-        assert!(m
-            .probs()
-            .windows(2)
-            .all(|w| w[0] >= w[1]));
+        assert!(m.probs().windows(2).all(|w| w[0] >= w[1]));
         // s = 0 is uniform.
         let u = NonUniformModel::zipf(10, 0.0, 0.4, 1.0).unwrap();
         assert!(u.probs().iter().all(|&p| (p - 0.4).abs() < 1e-12));

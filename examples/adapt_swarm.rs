@@ -9,7 +9,7 @@
 
 use btfluid::core::adapt::AdaptConfig;
 use btfluid::core::FluidParams;
-use btfluid::des::{OrderPolicy, AdaptSetup, DesConfig, SchemeKind, Simulation};
+use btfluid::des::{AdaptSetup, DesConfig, OrderPolicy, SchemeKind, Simulation};
 use btfluid::workload::CorrelationModel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -34,8 +34,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }),
         origin_seeds: 1,
         warm_start: false,
-            order_policy: OrderPolicy::default(),
-            record_every: None,
+        order_policy: OrderPolicy::default(),
+        record_every: None,
+        exact_rates: false,
     };
     println!(
         "CMFSD swarm with Adapt: p = 0.9, {}% cheaters, obedient peers start at ρ = 0\n",

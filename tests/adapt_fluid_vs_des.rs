@@ -35,7 +35,8 @@ fn simulated_rho(cheater_fraction: f64, seed: u64) -> f64 {
         origin_seeds: 1,
         warm_start: false,
         order_policy: OrderPolicy::Random,
-            record_every: None,
+        record_every: None,
+        exact_rates: false,
     };
     let outcome = Simulation::new(cfg).unwrap().run();
     let mut rho = Welford::new();

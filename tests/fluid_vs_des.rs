@@ -6,7 +6,7 @@
 //! tests deterministic without being vacuous.
 
 use btfluid::core::{evaluate_scheme, FluidParams, Scheme};
-use btfluid::des::{OrderPolicy, run_replications, DesConfig, SchemeKind};
+use btfluid::des::{run_replications, DesConfig, OrderPolicy, SchemeKind};
 use btfluid::workload::CorrelationModel;
 
 fn des_cfg(scheme: SchemeKind, p: f64) -> DesConfig {
@@ -21,8 +21,9 @@ fn des_cfg(scheme: SchemeKind, p: f64) -> DesConfig {
         adapt: None,
         origin_seeds: 0,
         warm_start: false,
-            order_policy: OrderPolicy::default(),
-            record_every: None,
+        order_policy: OrderPolicy::default(),
+        record_every: None,
+        exact_rates: false,
     }
 }
 
@@ -104,7 +105,8 @@ fn cmfsd_cfg(p: f64, rho: f64) -> DesConfig {
         origin_seeds: 1,
         warm_start: true,
         order_policy: OrderPolicy::default(),
-            record_every: None,
+        record_every: None,
+        exact_rates: false,
     }
 }
 
