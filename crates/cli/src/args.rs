@@ -23,8 +23,22 @@ impl std::error::Error for ArgError {}
 
 /// Known value-taking options; everything else with `--` is a bare flag.
 const VALUED: &[&str] = &[
-    "points", "k", "p", "rho", "reps", "horizon", "warmup", "seed", "scheme", "cheaters", "crowd",
-    "epoch", "out",
+    "points",
+    "k",
+    "p",
+    "rho",
+    "reps",
+    "horizon",
+    "warmup",
+    "seed",
+    "scheme",
+    "cheaters",
+    "crowd",
+    "epoch",
+    "out",
+    "origin-seeds",
+    "classes",
+    "scale",
 ];
 
 impl Options {
@@ -165,5 +179,17 @@ mod tests {
     #[test]
     fn empty_option_rejected() {
         assert!(Options::parse(&argv(&["--"])).is_err());
+    }
+
+    #[test]
+    fn valued_options_consume_their_argument() {
+        // Regression: `--origin-seeds 0` and `--classes ...` must be
+        // treated as key/value pairs, not a flag followed by a positional.
+        let o =
+            Options::parse(&argv(&["--origin-seeds", "0", "--classes", "0.02:0.2:0.3"])).unwrap();
+        assert_eq!(o.get_usize("origin-seeds", 1).unwrap(), 0);
+        assert_eq!(o.get("classes"), Some("0.02:0.2:0.3"));
+        let o = Options::parse(&argv(&["--scale", "0.25"])).unwrap();
+        assert_eq!(o.get_f64("scale", 1.0).unwrap(), 0.25);
     }
 }

@@ -11,6 +11,7 @@ use btfluid_des::{
     estimate_eta, run_single_torrent, ChunkLevelConfig, DesConfig, OrderPolicy, SchemeKind,
     Simulation, SingleTorrentConfig,
 };
+use btfluid_scenario::{registry, runner};
 use btfluid_workload::CorrelationModel;
 use std::error::Error;
 use std::fs;
@@ -41,12 +42,23 @@ COMMANDS
   eta         X9: measure the sharing efficiency η at chunk level [--seed S]
   sim         one raw simulation  --scheme mtsd|mtcd|mfcd|cmfsd[:RHO]
                 [--p P] [--horizon H] [--warmup W] [--seed S]
+                [--origin-seeds N]
+  scenario    non-stationary scenario runs (flash crowds, churn, faults)
+                btfluid scenario list
+                btfluid scenario <name> [--scheme SCHEME] [--seed S]
+                  [--smoke | --scale F] [--exact] [--fluid]
   all         every fluid-model figure in sequence
 
 GLOBAL OPTIONS
   --csv            print CSV instead of an aligned table
   --out FILE       also write the (CSV) output to FILE
   --help           this message
+
+SEEDS
+  Every DES-running command is deterministic under --seed; reruns with the
+  same seed are bit-identical. Defaults: validate 2006, adapt 43, sim 1,
+  eta 11, multiclass 7, scenario 2006. Fluid-only commands (fig*,
+  transient, ablation, skew) take no seed.
 ";
 
 /// Runs the command line; `Ok(())` on success.
@@ -58,6 +70,10 @@ pub fn dispatch(argv: &[String]) -> Result<(), AnyError> {
     if cmd == "--help" || cmd == "help" || cmd == "-h" {
         print!("{USAGE}");
         return Ok(());
+    }
+    // `scenario` takes a positional name before the options.
+    if cmd == "scenario" {
+        return cmd_scenario(&argv[1..]);
     }
     let opts = Options::parse(&argv[1..])?;
     match cmd.as_str() {
@@ -372,6 +388,160 @@ fn cmd_sim(opts: &Options) -> Result<(), AnyError> {
     Ok(())
 }
 
+/// `btfluid scenario list` | `btfluid scenario <name> [options]`.
+///
+/// The scenario name is positional, so it is peeled off before the
+/// option parser (which rejects positionals) sees the rest.
+fn cmd_scenario(rest: &[String]) -> Result<(), AnyError> {
+    let Some(name) = rest.first() else {
+        return Err(format!(
+            "scenario: missing name (try 'btfluid scenario list'); registry: {}",
+            registry::SCENARIO_NAMES.join(", ")
+        )
+        .into());
+    };
+    let opts = Options::parse(&rest[1..])?;
+    if name == "list" {
+        return scenario_list(&opts);
+    }
+    let Some(mut program) = registry::by_name(name) else {
+        return Err(format!(
+            "scenario: unknown name '{name}'; registry: {}",
+            registry::SCENARIO_NAMES.join(", ")
+        )
+        .into());
+    };
+
+    let scale = if opts.has("smoke") {
+        0.25
+    } else {
+        opts.get_f64("scale", 1.0)?
+    };
+    if !scale.is_finite() || scale <= 0.0 {
+        return Err("scenario: --scale must be positive".into());
+    }
+    if (scale - 1.0).abs() > 1e-12 {
+        program = program.time_scaled(scale);
+    }
+    let seed = opts.get_u64("seed", 2006)?;
+    let exact = opts.has("exact");
+
+    let runs = match opts.get("scheme") {
+        Some(spec) => {
+            let scheme = parse_scheme(spec)?;
+            vec![runner::run_one(
+                &program,
+                scheme,
+                None,
+                &scheme.name(),
+                seed,
+                exact,
+            )?]
+        }
+        None => runner::run_all(&program, seed, exact)?,
+    };
+
+    eprintln!(
+        "scenario {name}: {} (seed {seed}, scale {scale})",
+        program.description
+    );
+    for run in &runs {
+        emit(&scenario_table(name, run), &opts)?;
+        eprintln!(
+            "{}: arrivals {}, completed {}, aborted {}, censored {}",
+            run.label,
+            run.outcome.arrivals,
+            run.outcome.records.len(),
+            run.outcome.aborts.len(),
+            run.outcome.censored
+        );
+    }
+
+    if opts.has("fluid") {
+        scenario_fluid_comparison(name, &program, seed)?;
+    }
+    Ok(())
+}
+
+fn scenario_list(opts: &Options) -> Result<(), AnyError> {
+    let mut t = Table::new(
+        "scenario registry — btfluid scenario <name>",
+        vec!["name", "description", "phases"],
+    );
+    for p in registry::all() {
+        let phases: Vec<String> = p.phases.iter().map(|ph| ph.name.clone()).collect();
+        t.push_row(vec![
+            p.name.clone(),
+            p.description.clone(),
+            phases.join("/"),
+        ]);
+    }
+    emit(&t, opts)
+}
+
+/// Per-phase timeline of one scheme's scenario run.
+fn scenario_table(name: &str, run: &runner::ScenarioRun) -> Table {
+    let mut t = Table::new(
+        format!("scenario {name} — {}", run.label),
+        vec![
+            "phase",
+            "window",
+            "completed",
+            "aborted",
+            "dl/file",
+            "online/file",
+        ],
+    );
+    for ph in &run.phases {
+        let mut dl = 0.0;
+        let mut files = 0.0;
+        for (idx, c) in ph.classes.iter().enumerate() {
+            dl += c.download.mean() * c.count() as f64;
+            files += (idx + 1) as f64 * c.count() as f64;
+        }
+        let per_file = |v: f64| {
+            if files > 0.0 {
+                format!("{:.2}", v / files)
+            } else {
+                "-".into()
+            }
+        };
+        t.push_row(vec![
+            ph.name.clone(),
+            format!("[{:.0}, {:.0})", ph.start, ph.end),
+            format!("{}", ph.completed()),
+            format!("{}", ph.aborted),
+            per_file(dl),
+            ph.online_per_file()
+                .map_or_else(|| "-".into(), |v| format!("{v:.2}")),
+        ]);
+    }
+    t
+}
+
+/// DES-vs-fluid transient check: the schedule-driven MTCD ODE against an
+/// MTCD DES run of the same program. Origin seeds are zeroed on both
+/// sides — the fluid model has no publisher, and under MTCD a pinned
+/// origin seed adds a full μ per subtorrent.
+fn scenario_fluid_comparison(
+    name: &str,
+    program: &btfluid_scenario::ScenarioProgram,
+    seed: u64,
+) -> Result<(), AnyError> {
+    let mut program = program.clone();
+    program.origin_seeds = 0;
+    let run = runner::run_one(&program, SchemeKind::Mtcd, None, "MTCD", seed, false)?;
+    let des = btfluid_scenario::des_avg_downloaders(&run.outcome);
+    let fluid = btfluid_scenario::fluid_avg_downloaders(&program, 0.5)?;
+    let rel = (des - fluid).abs() / fluid.max(1e-9);
+    eprintln!(
+        "fluid check ({name}, MTCD, origin seeds off): DES {des:.2} downloading users, \
+         fluid {fluid:.2}, relative error {:.1}%",
+        100.0 * rel
+    );
+    Ok(())
+}
+
 fn cmd_all(opts: &Options) -> Result<(), AnyError> {
     cmd_fig2(opts)?;
     cmd_fig3(opts)?;
@@ -427,6 +597,43 @@ mod tests {
     fn fig4bc_runs() {
         assert!(dispatch(&["fig4b".into()]).is_ok());
         assert!(dispatch(&["fig4c".into()]).is_ok());
+    }
+
+    #[test]
+    fn scenario_list_runs() {
+        assert!(dispatch(&["scenario".into(), "list".into()]).is_ok());
+    }
+
+    #[test]
+    fn scenario_requires_known_name() {
+        assert!(dispatch(&["scenario".into()]).is_err());
+        assert!(dispatch(&["scenario".into(), "nope".into()]).is_err());
+    }
+
+    #[test]
+    fn scenario_smoke_single_scheme() {
+        let argv = vec![
+            "scenario".into(),
+            "flash_crowd".into(),
+            "--smoke".into(),
+            "--scheme".into(),
+            "mtcd".into(),
+            "--seed".into(),
+            "5".into(),
+            "--csv".into(),
+        ];
+        assert!(dispatch(&argv).is_ok());
+    }
+
+    #[test]
+    fn scenario_rejects_bad_scale() {
+        let argv = vec![
+            "scenario".into(),
+            "diurnal".into(),
+            "--scale".into(),
+            "0".into(),
+        ];
+        assert!(dispatch(&argv).is_err());
     }
 
     #[test]

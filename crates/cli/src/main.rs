@@ -12,6 +12,7 @@
 //! btfluid adapt      Adapt under cheaters (X4, the paper's future work)
 //! btfluid transient  flash-crowd settling (X5 ablation)
 //! btfluid sim        one raw simulation run
+//! btfluid scenario   non-stationary scenarios: flash crowds, churn, faults
 //! btfluid all        every fluid-model figure in sequence
 //! ```
 

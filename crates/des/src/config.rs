@@ -120,6 +120,13 @@ pub struct DesConfig {
     /// finish (avoids censoring the slowest classes).
     pub drain: f64,
     /// RNG seed; every derived stream is deterministic in it.
+    ///
+    /// The engine derives three independent streams: 0 (arrival times and
+    /// request sets), 1 (service randomness: orders, seed residences,
+    /// Adapt assignment), 2 (scenario events: abort candidates and
+    /// victims). Attaching a [`crate::hook::ScenarioHook`] therefore never
+    /// perturbs the draws of streams 0 and 1 relative to a stationary run
+    /// with the same seed.
     pub seed: u64,
     /// Optional Adapt layer (CMFSD only).
     pub adapt: Option<AdaptSetup>,

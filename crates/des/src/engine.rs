@@ -32,7 +32,8 @@
 use crate::adapt::assign_arrival_policy;
 use crate::config::{DesConfig, OrderPolicy, SchemeKind};
 use crate::event_queue::{Entry, EventQueue, RANK_COMPLETION, RANK_EXPIRY};
-use crate::observer::{SimOutcome, UserRecord};
+use crate::hook::ScenarioHook;
+use crate::observer::{AbortRecord, SimOutcome, UserRecord};
 use crate::peer::{Peer, Phase};
 use crate::rate::compute_rates;
 use crate::rate_cache::RateCache;
@@ -55,6 +56,10 @@ enum Event {
     SeedExpiry(usize),
     /// Periodic Adapt observation.
     Epoch,
+    /// A thinned abort candidate fired (scenario hook only).
+    Abort,
+    /// A scenario boundary: origin-seed count or tracker state changes.
+    Control,
 }
 
 /// A configured, runnable simulation.
@@ -89,6 +94,24 @@ pub struct Simulation {
     traj_downloaders: usize,
     traj_seeds: usize,
     changed_buf: Vec<(u32, u32)>,
+    // Scenario-hook state. All of it is inert (`None` / unused) for
+    // stationary runs, so the hot path pays only `Option` checks.
+    hook: Option<Box<dyn ScenarioHook>>,
+    /// Dedicated RNG stream for scenario events (stream 2), so attaching a
+    /// hook never perturbs the arrival or service streams' draws.
+    rng_scenario: Xoshiro256StarStar,
+    /// Candidate gap sampler at the arrival majorizing rate.
+    hook_gap: Option<Exponential>,
+    /// Cached [`ScenarioHook::abort_rate_bound`].
+    abort_bound: f64,
+    /// Raw thinning clock: the last arrival *candidate* time, which can
+    /// run ahead of the (possibly tracker-deferred) scheduled arrival.
+    arrival_clock: f64,
+    next_abort: Option<f64>,
+    next_control: Option<f64>,
+    /// Origin-seed count currently in force (scenario outages move it off
+    /// `cfg.origin_seeds`).
+    origin_now: usize,
 }
 
 impl Simulation {
@@ -100,6 +123,7 @@ impl Simulation {
         cfg.validate()?;
         let rng_arrivals = Xoshiro256StarStar::stream(cfg.seed, 0);
         let rng_service = Xoshiro256StarStar::stream(cfg.seed, 1);
+        let rng_scenario = Xoshiro256StarStar::stream(cfg.seed, 2);
         let sampler = RequestSampler::new(cfg.model);
         let gap = Exponential::new(cfg.model.lambda0())?;
         let gamma = Exponential::new(cfg.params.gamma())?;
@@ -107,6 +131,7 @@ impl Simulation {
         let next_epoch = cfg.adapt.as_ref().map(|a| a.epoch);
         let cache = RateCache::new(k, cfg.scheme, &cfg.params, cfg.origin_seeds);
         let holders = vec![cfg.origin_seeds; k];
+        let origin_now = cfg.origin_seeds;
         let mut sim = Self {
             cfg,
             rng_arrivals,
@@ -132,6 +157,14 @@ impl Simulation {
             traj_downloaders: 0,
             traj_seeds: 0,
             changed_buf: Vec::new(),
+            hook: None,
+            rng_scenario,
+            hook_gap: None,
+            abort_bound: 0.0,
+            arrival_clock: 0.0,
+            next_abort: None,
+            next_control: None,
+            origin_now,
         };
         if sim.cfg.warm_start {
             sim.populate_from_fluid()?;
@@ -148,6 +181,47 @@ impl Simulation {
             }
         }
         Ok(sim)
+    }
+
+    /// Builds a simulation with a scenario hook attached.
+    ///
+    /// # Errors
+    /// Propagates [`DesConfig::validate`] failures and rejects hooks whose
+    /// majorizing bounds are unusable (see [`Self::attach_hook`]).
+    pub fn with_hook(cfg: DesConfig, hook: Box<dyn ScenarioHook>) -> Result<Self, NumError> {
+        let mut sim = Self::new(cfg)?;
+        sim.attach_hook(hook)?;
+        Ok(sim)
+    }
+
+    /// Attaches a scenario hook before the run starts.
+    ///
+    /// The hook's state at `t = 0` is applied immediately (origin-seed
+    /// count), the first control boundary is scheduled, and arrivals switch
+    /// to thinned non-homogeneous sampling. Scenario randomness draws from
+    /// its own stream (index 2), so the arrival and service streams remain
+    /// those of the stationary run with the same seed.
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] when
+    /// [`ScenarioHook::arrival_rate_bound`] is not finite and positive or
+    /// [`ScenarioHook::abort_rate_bound`] is negative or non-finite.
+    pub fn attach_hook(&mut self, hook: Box<dyn ScenarioHook>) -> Result<(), NumError> {
+        let bound = hook.arrival_rate_bound();
+        self.hook_gap = Some(Exponential::new(bound)?);
+        let abort_bound = hook.abort_rate_bound();
+        if !(abort_bound >= 0.0) || !abort_bound.is_finite() {
+            return Err(NumError::InvalidInput {
+                what: "Simulation::attach_hook",
+                detail: format!("abort_rate_bound must be finite and ≥ 0, got {abort_bound}"),
+            });
+        }
+        self.abort_bound = abort_bound;
+        let origin = hook.origin_seeds(0.0);
+        self.next_control = hook.next_boundary(0.0);
+        self.hook = Some(hook);
+        self.apply_origin(origin);
+        Ok(())
     }
 
     /// Seeds the initial population from the CMFSD fluid fixed point.
@@ -237,6 +311,9 @@ impl Simulation {
         self.schedule_arrival();
         // Initial build: everything registered so far is dirty.
         self.refresh_rates(self.cfg.exact_rates);
+        if self.hook.is_some() {
+            self.rearm_abort();
+        }
         loop {
             if let (Some(series), Some(dt)) = (trajectory.as_mut(), self.cfg.record_every) {
                 if self.t >= next_record {
@@ -257,7 +334,7 @@ impl Simulation {
                     self.cfg.scheme,
                     &self.cfg.params,
                     self.cfg.model.k() as usize,
-                    self.cfg.origin_seeds,
+                    self.origin_now,
                 );
                 let total: f64 = snapshot.downloads.iter().map(|d| d.rate).sum();
                 let don: f64 = snapshot.donations.iter().sum();
@@ -310,10 +387,18 @@ impl Simulation {
                 Event::Completion(p, slot) => self.handle_completion(p, slot),
                 Event::SeedExpiry(p) => self.handle_seed_expiry(p),
                 Event::Epoch => self.handle_epoch(),
+                Event::Abort => self.handle_abort(),
+                Event::Control => self.handle_control(),
             }
             // Epochs may rewrite every ρ, so both modes recompute fully.
             let force = self.cfg.exact_rates || matches!(event, Event::Epoch);
             self.refresh_rates(force);
+            if self.hook.is_some() {
+                // The downloader count may have changed; re-sample the
+                // abort candidate (exact by memorylessness — the thinned
+                // race is exponential at `bound · N` between events).
+                self.rearm_abort();
+            }
         }
         // Settle everyone still alive so censored diagnostics reflect the
         // hard stop.
@@ -366,6 +451,18 @@ impl Simulation {
             if te < t_best {
                 t_best = te;
                 best = Event::Epoch;
+            }
+        }
+        if let Some(tc) = self.next_control {
+            if tc < t_best {
+                t_best = tc;
+                best = Event::Control;
+            }
+        }
+        if let Some(ta) = self.next_abort {
+            if ta < t_best {
+                t_best = ta;
+                best = Event::Abort;
             }
         }
         while let Some(e) = self.queue.peek() {
@@ -621,6 +718,10 @@ impl Simulation {
     /// Draws the next *entering* arrival (Poisson visitors thinned by
     /// non-empty request sets), if it lands before the horizon.
     fn schedule_arrival(&mut self) {
+        if self.hook.is_some() {
+            self.schedule_arrival_hooked();
+            return;
+        }
         let mut t = self.next_arrival.take().map(|(ta, _)| ta).unwrap_or(self.t);
         loop {
             t += self.gap.sample(&mut self.rng_arrivals);
@@ -633,6 +734,53 @@ impl Simulation {
                 self.next_arrival = Some((t, files));
                 return;
             }
+        }
+    }
+
+    /// Hooked arrival scheduling: Lewis–Shedler thinning at the majorizing
+    /// rate, request sets drawn at the accepted candidate's instant with
+    /// `p(t)`, entry deferred to the tracker's release time.
+    ///
+    /// The raw candidate clock (`arrival_clock`) advances independently of
+    /// the (possibly deferred) scheduled time, so a blackout queues every
+    /// candidate drawn during the window at its end — the post-blackout
+    /// rush — without distorting the underlying Poisson process.
+    fn schedule_arrival_hooked(&mut self) {
+        self.next_arrival = None;
+        let gap = self
+            .hook_gap
+            .expect("hooked scheduling without a gap sampler");
+        let bound = gap.rate();
+        let mut t = self.arrival_clock;
+        loop {
+            t += gap.sample(&mut self.rng_arrivals);
+            if t >= self.cfg.horizon {
+                self.arrival_clock = t;
+                return;
+            }
+            let hook = self.hook.as_ref().expect("checked by schedule_arrival");
+            let lambda = hook.arrival_rate(t);
+            debug_assert!(
+                (0.0..=bound).contains(&lambda),
+                "arrival_rate({t}) = {lambda} escapes [0, {bound}]"
+            );
+            if self.rng_arrivals.next_f64() * bound >= lambda {
+                continue; // thinned out
+            }
+            let p = hook.correlation(t);
+            let release = hook.tracker_release(t);
+            let files = self
+                .sampler
+                .sample_visitor_with_p(&mut self.rng_arrivals, p);
+            if files.is_empty() {
+                continue; // empty request set: the visitor never enters
+            }
+            if release >= self.cfg.horizon {
+                continue; // tracker still dark at the arrival cutoff
+            }
+            self.arrival_clock = t;
+            self.next_arrival = Some((release, files));
+            return;
         }
     }
 
@@ -828,6 +976,126 @@ impl Simulation {
             self.touch_end(idx, was);
         }
         self.next_epoch = Some(self.next_epoch.expect("epoch scheduled") + setup.epoch);
+    }
+
+    /// Re-samples the abort candidate from the scenario stream: an
+    /// exponential race at rate `abort_rate_bound · N` (N = downloading
+    /// peers), thinned to `θ(t)` at acceptance time. Called after every
+    /// event while a hook is attached — exact because the exponential race
+    /// is memoryless and `N` is constant between events.
+    fn rearm_abort(&mut self) {
+        let n = self.traj_downloaders;
+        if self.abort_bound <= 0.0 || n == 0 {
+            self.next_abort = None;
+            return;
+        }
+        let rate = self.abort_bound * n as f64;
+        let gap = -self.rng_scenario.next_f64_open().ln() / rate;
+        self.next_abort = Some(self.t + gap);
+    }
+
+    /// An abort candidate fired: accept with probability
+    /// `θ(t) / abort_rate_bound`, then evict a uniformly chosen
+    /// downloading peer. Peers in a seeding phase are never aborted — the
+    /// fault models downloader impatience, not seed churn (seed churn is
+    /// the origin-outage axis).
+    fn handle_abort(&mut self) {
+        self.next_abort = None;
+        let theta = {
+            let hook = self.hook.as_ref().expect("abort event without hook");
+            hook.abort_rate(self.t)
+        };
+        debug_assert!(
+            (0.0..=self.abort_bound).contains(&theta),
+            "abort_rate({}) = {theta} escapes [0, {}]",
+            self.t,
+            self.abort_bound
+        );
+        if self.rng_scenario.next_f64() * self.abort_bound >= theta {
+            return; // thinned out
+        }
+        let n = self.traj_downloaders;
+        if n == 0 {
+            return;
+        }
+        let target = self.rng_scenario.next_below(n as u64) as usize;
+        let mut seen = 0usize;
+        let mut victim = None;
+        for (idx, p) in self.peers.iter().enumerate() {
+            if p.phase == Phase::Downloading {
+                if seen == target {
+                    victim = Some(idx);
+                    break;
+                }
+                seen += 1;
+            }
+        }
+        let idx = victim.expect("traj_downloaders counted a downloading peer");
+        let was = self.touch_begin(idx);
+        self.finalize_abort(idx);
+        self.touch_end(idx, was);
+        self.free.push(idx);
+    }
+
+    /// A scenario boundary: re-read the origin-seed count and schedule the
+    /// next boundary. Tracker transitions need no action here — deferral
+    /// is resolved at arrival-scheduling time — but their boundaries pass
+    /// through this event harmlessly.
+    fn handle_control(&mut self) {
+        let (origin, next) = {
+            let hook = self.hook.as_ref().expect("control event without hook");
+            (hook.origin_seeds(self.t), hook.next_boundary(self.t))
+        };
+        if let Some(b) = next {
+            debug_assert!(
+                b > self.t,
+                "next_boundary({}) = {b} did not advance",
+                self.t
+            );
+        }
+        self.next_control = next;
+        self.apply_origin(origin);
+    }
+
+    /// Puts a new origin-seed count in force: adjusts the rarest-first
+    /// holder counts and re-seeds the rate cache's origin bandwidth (which
+    /// marks every pool dirty for the next refresh).
+    fn apply_origin(&mut self, n: usize) {
+        if n == self.origin_now {
+            return;
+        }
+        let old = self.origin_now;
+        for h in &mut self.holders {
+            // Every holder count includes `old` origin copies, so the
+            // subtraction cannot underflow.
+            *h = *h + n - old;
+        }
+        self.cache.set_origin_seeds(n);
+        self.origin_now = n;
+    }
+
+    /// Tombstones an aborted downloader: releases its holder counts and
+    /// logs an [`AbortRecord`] (no [`UserRecord`] — the user never
+    /// finished). The caller recycles the slot via `free`.
+    fn finalize_abort(&mut self, idx: usize) {
+        let t = self.t;
+        let record = {
+            let peer = &mut self.peers[idx];
+            peer.phase = Phase::Departed;
+            AbortRecord {
+                id: peer.id,
+                class: peer.class(),
+                arrival: peer.arrival,
+                time: t,
+                done: peer.done_count(),
+            }
+        };
+        for s in 0..self.peers[idx].class() {
+            if self.peers[idx].finished(s) {
+                self.holders[self.peers[idx].files[s] as usize] -= 1;
+            }
+        }
+        self.outcome.aborts.push(record);
     }
 
     /// Marks a finished user departed: tombstones the slab slot, releases

@@ -59,6 +59,7 @@ pub mod chunklevel;
 pub mod config;
 pub mod engine;
 pub mod event_queue;
+pub mod hook;
 pub mod observer;
 pub mod peer;
 pub mod rate;
@@ -69,7 +70,8 @@ pub mod single;
 pub use chunklevel::{estimate_eta, ChunkLevelConfig, EtaEstimate};
 pub use config::{AdaptSetup, DesConfig, OrderPolicy, SchemeKind};
 pub use engine::Simulation;
-pub use observer::{ClassStats, PopulationStats, SimOutcome, UserRecord};
+pub use hook::ScenarioHook;
+pub use observer::{AbortRecord, ClassStats, PopulationStats, SimOutcome, UserRecord};
 pub use rate_cache::RateCache;
 pub use replicate::{run_replications, ReplicationSummary};
 pub use single::{run_single_torrent, SingleTorrentConfig, SingleTorrentOutcome};

@@ -128,6 +128,24 @@ impl PopulationStats {
     }
 }
 
+/// One peer abort injected by a scenario's fault plan.
+///
+/// Aborted users never produce a [`UserRecord`] — they left without
+/// finishing — so scenarios account for them separately.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbortRecord {
+    /// User id.
+    pub id: u64,
+    /// Class (files requested).
+    pub class: usize,
+    /// Arrival time.
+    pub arrival: f64,
+    /// Time the abort fired.
+    pub time: f64,
+    /// Files the user had finished when it aborted.
+    pub done: usize,
+}
+
 /// Diagnostic snapshot of a peer still in flight at the hard stop.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InflightInfo {
@@ -164,6 +182,9 @@ pub struct SimOutcome {
     pub inflight: Vec<InflightInfo>,
     /// Total arrivals (including warm-up ones).
     pub arrivals: usize,
+    /// Peer aborts injected by an attached scenario hook (empty for
+    /// stationary runs).
+    pub aborts: Vec<AbortRecord>,
     /// Optional population trajectory (channels `downloaders`, `seeds`),
     /// recorded when [`crate::config::DesConfig::record_every`] is set.
     pub trajectory: Option<btfluid_numkit::series::TimeSeries>,
@@ -184,6 +205,7 @@ impl SimOutcome {
             censored: 0,
             inflight: Vec::new(),
             arrivals: 0,
+            aborts: Vec::new(),
             trajectory: None,
             events: 0,
         }

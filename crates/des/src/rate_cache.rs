@@ -168,6 +168,29 @@ impl RateCache {
         }
     }
 
+    /// Changes the origin-publisher count mid-run (scenario seed crash /
+    /// recovery) and marks every pool dirty so the next [`Self::refresh`]
+    /// redistributes the new bandwidth.
+    ///
+    /// Marking all pools (rather than diffing) keeps the bit-exactness
+    /// contract trivially: the forced-recompute mode recomputes every pool
+    /// anyway, and an incremental recompute of an unchanged pool is a
+    /// bitwise no-op.
+    pub fn set_origin_seeds(&mut self, origin_seeds: usize) {
+        let bw = if origin_seeds > 0 {
+            origin_seeds as f64 * self.mu
+        } else {
+            0.0
+        };
+        if bw.to_bits() == self.origin_bw.to_bits() {
+            return;
+        }
+        self.origin_bw = bw;
+        for f in 0..self.k {
+            self.mark_p(f);
+        }
+    }
+
     /// Grows per-peer bookkeeping to cover `n` peer slab slots.
     pub fn grow(&mut self, n: usize) {
         while self.reg.len() < n {

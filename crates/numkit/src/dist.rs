@@ -9,6 +9,9 @@
 //!   `i ~ Binomial(K, p)` (Section 4.1 of the paper).
 //! * [`DiscreteCdf`] — alias-free inverse-CDF sampling over small weighted
 //!   supports (class selection from entry rates).
+//! * [`ThinnedPoisson`] — non-homogeneous Poisson event times by
+//!   Lewis–Shedler thinning (time-varying arrival rates `λ(t)` for the
+//!   scenario subsystem).
 //!
 //! Every sampler takes `&mut impl RngCore` so generators can be shared and
 //! tests can inject deterministic streams.
@@ -266,6 +269,89 @@ impl DiscreteCdf {
     }
 }
 
+/// Non-homogeneous Poisson process sampler by Lewis–Shedler thinning.
+///
+/// Candidate points are drawn from a homogeneous Poisson process at the
+/// majorizing rate `bound ≥ λ(t)` and accepted with probability
+/// `λ(t) / bound`, which yields exact event times of the process with
+/// instantaneous rate `λ(t)` — no discretization of the rate function is
+/// involved. The rate function is supplied as a closure so callers (the
+/// scenario subsystem's `Schedule`) stay in charge of its representation.
+///
+/// The sampler is stateless between calls: every method takes the current
+/// time and the RNG explicitly, which keeps replications and the DES's
+/// deterministic-replay contract trivial.
+#[derive(Debug, Clone)]
+pub struct ThinnedPoisson<F> {
+    rate: F,
+    bound: f64,
+    gap: Exponential,
+}
+
+impl<F: Fn(f64) -> f64> ThinnedPoisson<F> {
+    /// Creates a thinning sampler for instantaneous rate `rate(t)` under the
+    /// majorizing constant `bound`.
+    ///
+    /// Correctness requires `0 ≤ rate(t) ≤ bound` for all `t` the sampler
+    /// will visit; this is checked per candidate in debug builds.
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] when `bound` is not strictly
+    /// positive and finite.
+    pub fn new(rate: F, bound: f64) -> Result<Self, NumError> {
+        if !(bound > 0.0) || !bound.is_finite() {
+            return Err(NumError::InvalidInput {
+                what: "ThinnedPoisson::new",
+                detail: format!("bound must be finite and > 0, got {bound}"),
+            });
+        }
+        Ok(Self {
+            rate,
+            bound,
+            gap: Exponential::new(bound)?,
+        })
+    }
+
+    /// The majorizing rate.
+    pub fn bound(&self) -> f64 {
+        self.bound
+    }
+
+    /// Instantaneous rate at time `t`.
+    pub fn rate_at(&self, t: f64) -> f64 {
+        (self.rate)(t)
+    }
+
+    /// Returns the first event time strictly after `t` and strictly before
+    /// `horizon`, or `None` if the next event falls at or beyond `horizon`.
+    ///
+    /// Bounding by `horizon` (rather than looping forever) keeps the call
+    /// total even when `λ(t)` is identically zero past some point.
+    pub fn next_before<R: RngCore + ?Sized>(
+        &self,
+        t: f64,
+        horizon: f64,
+        rng: &mut R,
+    ) -> Option<f64> {
+        let mut s = t;
+        loop {
+            s += self.gap.sample(rng);
+            if s >= horizon {
+                return None;
+            }
+            let lam = (self.rate)(s);
+            debug_assert!(
+                (0.0..=self.bound).contains(&lam),
+                "rate({s}) = {lam} escapes [0, {}]",
+                self.bound
+            );
+            if rng.next_f64() * self.bound < lam {
+                return Some(s);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -419,6 +505,66 @@ mod tests {
         assert!((freqs[0] - 0.1).abs() < 0.01);
         assert!((freqs[1] - 0.3).abs() < 0.01);
         assert!((freqs[2] - 0.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn thinned_rejects_bad_bound() {
+        assert!(ThinnedPoisson::new(|_| 1.0, 0.0).is_err());
+        assert!(ThinnedPoisson::new(|_| 1.0, -2.0).is_err());
+        assert!(ThinnedPoisson::new(|_| 1.0, f64::NAN).is_err());
+        assert!(ThinnedPoisson::new(|_| 1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn thinned_constant_rate_matches_homogeneous_mean() {
+        // λ(t) = 2 with a loose bound of 5: the mean count over [0, 1000)
+        // must still be 2000 — thinning wastes candidates, not events.
+        let p = ThinnedPoisson::new(|_| 2.0, 5.0).unwrap();
+        let mut r = rng(11);
+        let mut count = 0usize;
+        let mut t = 0.0;
+        while let Some(s) = p.next_before(t, 1000.0, &mut r) {
+            count += 1;
+            t = s;
+        }
+        let rel = (count as f64 - 2000.0).abs() / 2000.0;
+        assert!(rel < 0.05, "count = {count}");
+    }
+
+    #[test]
+    fn thinned_ramp_rate_matches_integral() {
+        // λ(t) = t/100 on [0, 100): ∫λ = 50 expected events per pass.
+        let p = ThinnedPoisson::new(|t: f64| t / 100.0, 1.0).unwrap();
+        let mut r = rng(12);
+        let mut total = 0usize;
+        let passes = 400;
+        for _ in 0..passes {
+            let mut t = 0.0;
+            while let Some(s) = p.next_before(t, 100.0, &mut r) {
+                total += 1;
+                t = s;
+            }
+        }
+        let mean = total as f64 / passes as f64;
+        assert!((mean - 50.0).abs() < 1.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn thinned_zero_rate_terminates() {
+        let p = ThinnedPoisson::new(|_| 0.0, 1.0).unwrap();
+        let mut r = rng(13);
+        assert!(p.next_before(0.0, 50.0, &mut r).is_none());
+    }
+
+    #[test]
+    fn thinned_times_strictly_increase_within_horizon() {
+        let p = ThinnedPoisson::new(|t: f64| 1.5 + (t / 10.0).sin().abs(), 3.0).unwrap();
+        let mut r = rng(14);
+        let mut t = 0.0;
+        while let Some(s) = p.next_before(t, 200.0, &mut r) {
+            assert!(s > t && s < 200.0);
+            t = s;
+        }
     }
 
     #[test]

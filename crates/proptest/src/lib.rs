@@ -26,20 +26,34 @@ pub mod collection;
 pub mod strategy;
 pub mod test_runner;
 
-pub use strategy::{any, Any, FlatMap, Just, Map, Strategy};
+pub use strategy::{any, Any, FlatMap, Just, Map, Strategy, Union};
 pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
 
 /// The proptest-compatible prelude: `use proptest::prelude::*`.
 pub mod prelude {
-    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::strategy::{any, Just, Strategy, Union};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 
     /// Namespace matching `proptest::prelude::prop` (e.g.
     /// `prop::collection::vec`).
     pub mod prop {
         pub use crate::collection;
     }
+}
+
+/// Uniform choice among alternative strategies producing the same value
+/// type: `prop_oneof![stratA, stratB, ...]`. Unlike real proptest the
+/// shim does not support `weight => strategy` arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(::std::boxed::Box::new($arm) as _,)+
+        ])
+    };
 }
 
 /// Declares property tests. Each function runs its body against

@@ -1,0 +1,193 @@
+//! Fault plans: peer churn, seed crashes, tracker blackouts.
+//!
+//! A [`FaultPlan`] is the deterministic description of everything that can
+//! go *wrong* during a scenario. The randomness lives in the engine (abort
+//! candidates draw from the dedicated scenario RNG stream); the plan itself
+//! is a pure function of time, which is what keeps scenario runs
+//! reproducible and bit-identical across the engine's two rate modes.
+
+use crate::schedule::Schedule;
+use btfluid_numkit::NumError;
+
+/// Deterministic fault description attached to a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Per-downloader abort rate `θ(t)`: each downloading peer leaves
+    /// without finishing at this instantaneous Poisson rate. `Constant(0)`
+    /// disables churn.
+    pub abort: Schedule,
+    /// Origin-seed crash windows `[start, end)`: all publisher seeds are
+    /// down inside each window and recover at its end. Windows must be
+    /// sorted and non-overlapping.
+    pub seed_outages: Vec<(f64, f64)>,
+    /// Tracker blackout windows `[start, end)`: visitors arriving inside a
+    /// window enter the swarm at its end instead (a post-blackout rush).
+    /// Sorted and non-overlapping.
+    pub tracker_blackouts: Vec<(f64, f64)>,
+}
+
+impl Default for FaultPlan {
+    /// No churn, no outages, no blackouts.
+    fn default() -> Self {
+        Self {
+            abort: Schedule::Constant(0.0),
+            seed_outages: Vec::new(),
+            tracker_blackouts: Vec::new(),
+        }
+    }
+}
+
+fn validate_windows(what: &'static str, windows: &[(f64, f64)]) -> Result<(), NumError> {
+    let mut prev_end = f64::NEG_INFINITY;
+    for &(start, end) in windows {
+        if !start.is_finite() || !end.is_finite() {
+            return Err(NumError::InvalidInput {
+                what: "FaultPlan::validate",
+                detail: format!("{what} window ({start}, {end}) is not finite"),
+            });
+        }
+        if end <= start {
+            return Err(NumError::InvalidInput {
+                what: "FaultPlan::validate",
+                detail: format!("{what} window [{start}, {end}) is empty or inverted"),
+            });
+        }
+        if start < prev_end {
+            return Err(NumError::InvalidInput {
+                what: "FaultPlan::validate",
+                detail: format!(
+                    "{what} windows must be sorted and non-overlapping; \
+                     [{start}, {end}) starts before {prev_end}"
+                ),
+            });
+        }
+        prev_end = end;
+    }
+    Ok(())
+}
+
+/// Whether `t` falls inside any `[start, end)` window of a sorted list.
+pub(crate) fn in_window(windows: &[(f64, f64)], t: f64) -> bool {
+    windows.iter().any(|&(s, e)| (s..e).contains(&t))
+}
+
+/// The earliest window edge strictly after `t`, if any.
+pub(crate) fn next_edge(windows: &[(f64, f64)], t: f64) -> Option<f64> {
+    windows
+        .iter()
+        .flat_map(|&(s, e)| [s, e])
+        .filter(|&b| b > t)
+        .fold(None, |best, b| match best {
+            Some(x) if x <= b => Some(x),
+            _ => Some(b),
+        })
+}
+
+impl FaultPlan {
+    /// Validates the abort schedule and both window lists.
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] for an invalid abort schedule or
+    /// unsorted/overlapping/empty windows.
+    pub fn validate(&self) -> Result<(), NumError> {
+        self.abort.validate()?;
+        validate_windows("seed outage", &self.seed_outages)?;
+        validate_windows("tracker blackout", &self.tracker_blackouts)
+    }
+
+    /// True when the plan injects nothing at all.
+    pub fn is_quiet(&self) -> bool {
+        self.abort.upper_bound() == 0.0
+            && self.seed_outages.is_empty()
+            && self.tracker_blackouts.is_empty()
+    }
+
+    /// Rescales every time parameter by `factor` (smoke-scale variants).
+    pub fn time_scaled(&self, factor: f64) -> Self {
+        let scale = |ws: &[(f64, f64)]| {
+            ws.iter()
+                .map(|&(s, e)| (s * factor, e * factor))
+                .collect::<Vec<_>>()
+        };
+        Self {
+            abort: self.abort.time_scaled(factor),
+            seed_outages: scale(&self.seed_outages),
+            tracker_blackouts: scale(&self.tracker_blackouts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_quiet_and_valid() {
+        let plan = FaultPlan::default();
+        assert!(plan.validate().is_ok());
+        assert!(plan.is_quiet());
+    }
+
+    #[test]
+    fn window_validation() {
+        let mut plan = FaultPlan {
+            seed_outages: vec![(10.0, 20.0), (30.0, 40.0)],
+            ..FaultPlan::default()
+        };
+        assert!(plan.validate().is_ok());
+        assert!(!plan.is_quiet());
+
+        plan.seed_outages = vec![(10.0, 10.0)];
+        assert!(plan.validate().is_err());
+
+        plan.seed_outages = vec![(10.0, 20.0), (15.0, 25.0)];
+        assert!(plan.validate().is_err());
+
+        plan.seed_outages = vec![(f64::NAN, 20.0)];
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn abort_schedule_checked() {
+        let plan = FaultPlan {
+            abort: Schedule::Constant(-1.0),
+            ..FaultPlan::default()
+        };
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn window_helpers() {
+        let ws = [(10.0, 20.0), (30.0, 40.0)];
+        assert!(!in_window(&ws, 5.0));
+        assert!(in_window(&ws, 10.0));
+        assert!(in_window(&ws, 19.9));
+        assert!(!in_window(&ws, 20.0));
+        assert!(in_window(&ws, 35.0));
+
+        assert_eq!(next_edge(&ws, 5.0), Some(10.0));
+        assert_eq!(next_edge(&ws, 10.0), Some(20.0));
+        assert_eq!(next_edge(&ws, 25.0), Some(30.0));
+        assert_eq!(next_edge(&ws, 40.0), None);
+        assert_eq!(next_edge(&[], 0.0), None);
+    }
+
+    #[test]
+    fn time_scaling() {
+        let plan = FaultPlan {
+            abort: Schedule::Spike {
+                base: 0.0,
+                peak: 0.01,
+                t0: 100.0,
+                t1: 200.0,
+            },
+            seed_outages: vec![(400.0, 600.0)],
+            tracker_blackouts: vec![(40.0, 60.0)],
+        };
+        let q = plan.time_scaled(0.5);
+        assert_eq!(q.seed_outages, vec![(200.0, 300.0)]);
+        assert_eq!(q.tracker_blackouts, vec![(20.0, 30.0)]);
+        assert_eq!(q.abort.value(75.0), 0.01);
+        assert!(q.validate().is_ok());
+    }
+}

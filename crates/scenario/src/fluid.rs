@@ -1,0 +1,238 @@
+//! Time-varying fluid model: the MTCD ODE driven by the same schedules
+//! the DES hook consumes, for transient DES-vs-fluid comparison beyond
+//! steady state.
+//!
+//! [`ScheduledMtcd`] is [`btfluid_core::mtcd::Mtcd`] with the constant
+//! per-torrent entry rates replaced by
+//! `λⱼⁱ(t) = λ₀(t) · C(K−1, i−1) p(t)^{i−1} (1−p(t))^{K−i} · p(t)`
+//! — the correlation model's per-torrent rates evaluated along the
+//! program's schedules. By symmetry one torrent's trajectory suffices;
+//! system-wide download pairs are `K · Σᵢ xⱼⁱ`.
+
+use crate::program::ScenarioProgram;
+use crate::schedule::Schedule;
+use btfluid_core::FluidParams;
+use btfluid_numkit::ode::{integrate_observed, ObserveEvery, OdeSystem, Rk4};
+use btfluid_numkit::series::TimeSeries;
+use btfluid_numkit::special::binomial_pmf;
+use btfluid_numkit::NumError;
+
+/// The MTCD fluid model of one symmetric torrent with schedule-driven
+/// entry rates. State layout `[x₁..x_K, y₁..y_K]`.
+#[derive(Debug, Clone)]
+pub struct ScheduledMtcd {
+    params: FluidParams,
+    k: usize,
+    lambda0: Schedule,
+    correlation: Schedule,
+}
+
+impl ScheduledMtcd {
+    /// Builds the system from a validated program's parameters and
+    /// schedules.
+    ///
+    /// # Errors
+    /// Propagates [`ScenarioProgram::validate`] failures.
+    pub fn from_program(program: &ScenarioProgram) -> Result<Self, NumError> {
+        program.validate()?;
+        Ok(Self {
+            params: program.params,
+            k: program.k as usize,
+            lambda0: program.lambda0.clone(),
+            correlation: program.correlation.clone(),
+        })
+    }
+
+    /// Number of classes `K`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Per-torrent entry rate `λⱼⁱ(t)` for class `i` (1-based).
+    pub fn lambda_at(&self, t: f64, i: usize) -> f64 {
+        let p = self.correlation.value(t).clamp(0.0, 1.0);
+        if p == 0.0 {
+            return 0.0;
+        }
+        let others = binomial_pmf(self.k as u32 - 1, i as u32 - 1, p).unwrap_or(0.0);
+        self.lambda0.value(t) * others * p
+    }
+}
+
+impl OdeSystem for ScheduledMtcd {
+    fn dim(&self) -> usize {
+        2 * self.k
+    }
+
+    fn rhs(&self, t: f64, state: &[f64], d: &mut [f64]) {
+        let k = self.k;
+        let (mu, eta, gamma) = (self.params.mu(), self.params.eta(), self.params.gamma());
+        let (xs, ys) = state.split_at(k);
+
+        // Seed service pool Σₗ (μ/l)·yₗ and downloader share weights xᵢ/i,
+        // exactly as in the stationary MTCD rhs.
+        let mut seed_pool = 0.0;
+        let mut weight_total = 0.0;
+        for i in 0..k {
+            let class = (i + 1) as f64;
+            seed_pool += mu / class * ys[i].max(0.0);
+            weight_total += xs[i].max(0.0) / class;
+        }
+
+        for i in 0..k {
+            let class = (i + 1) as f64;
+            let x = xs[i].max(0.0);
+            let tft = eta * mu / class * x;
+            let from_seeds = if weight_total > 0.0 {
+                (x / class) / weight_total * seed_pool
+            } else {
+                0.0
+            };
+            let served = tft + from_seeds;
+            d[i] = self.lambda_at(t, i + 1) - served;
+            d[k + i] = served - gamma * ys[i].max(0.0);
+        }
+    }
+}
+
+/// Integrates the scheduled MTCD model from an empty torrent over
+/// `[0, horizon]`, sampling every `program.record_every`. Channels are
+/// named `x1..xK, y1..yK`.
+///
+/// # Errors
+/// Propagates program validation and integration errors.
+pub fn transient(program: &ScenarioProgram, h: f64) -> Result<TimeSeries, NumError> {
+    let sys = ScheduledMtcd::from_program(program)?;
+    let k = sys.k();
+    let names = (1..=k)
+        .map(|i| format!("x{i}"))
+        .chain((1..=k).map(|i| format!("y{i}")))
+        .collect();
+    let x0 = vec![0.0; sys.dim()];
+    integrate_observed(
+        &Rk4,
+        &sys,
+        0.0,
+        &x0,
+        program.horizon,
+        h,
+        ObserveEvery::Time(program.record_every),
+        Some(names),
+    )
+}
+
+/// Time-averaged system-wide **downloading users** predicted by the fluid
+/// model over the program's stationary window `[warmup, horizon]`:
+/// `Σᵢ K·x̄ⱼⁱ/i` (a class-`i` user appears in `i` of the `K` symmetric
+/// torrents, so per-torrent populations over-count users by `i/K`).
+///
+/// This is the population whose Little's-law dual — the user's full
+/// download span — is what the stationary X3 validation showed the DES
+/// reproduces; per-(peer,file) pairs finish staggered in the DES and sit
+/// systematically below the fluid `xⱼⁱ`.
+///
+/// # Errors
+/// Propagates [`transient`] errors.
+pub fn fluid_avg_downloaders(program: &ScenarioProgram, h: f64) -> Result<f64, NumError> {
+    let series = transient(program, h)?;
+    let k = program.k as usize;
+    let times = series.times();
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (idx, &t) in times.iter().enumerate() {
+        if t < program.warmup || t > program.horizon {
+            continue;
+        }
+        for i in 0..k {
+            total += k as f64 * series.channel(i)[idx].max(0.0) / (i + 1) as f64;
+        }
+        count += 1;
+    }
+    if count == 0 {
+        return Err(NumError::InvalidInput {
+            what: "fluid_avg_downloaders",
+            detail: "no samples fell inside the stationary window".into(),
+        });
+    }
+    Ok(total / count as f64)
+}
+
+/// The DES counterpart: time-averaged number of users in a downloading
+/// phase, summed over classes, from a run's population statistics.
+pub fn des_avg_downloaders(outcome: &btfluid_des::SimOutcome) -> f64 {
+    (1..=outcome.k())
+        .map(|i| outcome.population.avg_downloader_peers(i))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+
+    #[test]
+    fn stationary_schedule_matches_closed_form() {
+        // With constant schedules the scheduled system must settle at the
+        // stationary Mtcd closed form.
+        let mut program = registry::flash_crowd();
+        program.lambda0 = Schedule::Constant(0.25);
+        let sys = ScheduledMtcd::from_program(&program).unwrap();
+
+        let model = btfluid_workload::CorrelationModel::new(10, 0.4, 0.25).unwrap();
+        let mtcd =
+            btfluid_core::mtcd::Mtcd::new(program.params, model.per_torrent_rates()).unwrap();
+        let steady = mtcd.steady_state().unwrap();
+
+        // Entry rates must agree exactly with the correlation model.
+        for (i, &l) in model.per_torrent_rates().iter().enumerate() {
+            assert!(
+                (sys.lambda_at(1234.5, i + 1) - l).abs() < 1e-12,
+                "λ[{i}] mismatch"
+            );
+        }
+
+        // Long integration converges to the closed-form fixed point.
+        let series = transient(&program, 0.5).unwrap();
+        let last = series.times().len() - 1;
+        for i in 0..10 {
+            let x = series.channel(i)[last];
+            let want = steady.downloaders[i];
+            assert!(
+                (x - want).abs() < 0.05 * want.max(0.5),
+                "x[{i}] = {x}, closed form {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn flash_crowd_surge_raises_fluid_population() {
+        let program = registry::flash_crowd();
+        let series = transient(&program, 0.5).unwrap();
+        let total_at = |t_target: f64| {
+            let idx = series
+                .times()
+                .iter()
+                .position(|&t| t >= t_target)
+                .expect("time in range");
+            (0..10).map(|i| series.channel(i)[idx]).sum::<f64>()
+        };
+        let before = total_at(1550.0);
+        let peak = total_at(2200.0);
+        assert!(
+            peak > 2.0 * before,
+            "surge should visibly grow the swarm: before {before}, peak {peak}"
+        );
+    }
+
+    #[test]
+    fn zero_correlation_clamps_to_zero_rate() {
+        let mut program = registry::flash_crowd();
+        program.correlation = Schedule::Piecewise {
+            initial: 0.4,
+            steps: vec![(2000.0, 0.0)],
+        };
+        let sys = ScheduledMtcd::from_program(&program).unwrap();
+        assert!(sys.lambda_at(1000.0, 1) > 0.0);
+        assert_eq!(sys.lambda_at(3000.0, 1), 0.0);
+    }
+}

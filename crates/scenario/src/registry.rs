@@ -1,0 +1,211 @@
+//! The named scenario registry behind `btfluid scenario <name>`.
+//!
+//! Five canonical non-stationary experiments, all built on the paper's
+//! parameters (`μ = 0.02, η = 0.5, γ = 0.05`, `K = 10`) and the geometry of
+//! [`DesConfig::paper_small`](btfluid_des::DesConfig::paper_small)
+//! (horizon 4000, warm-up 800, drain 4000) so results are directly
+//! comparable with the stationary validation suite.
+
+use crate::fault::FaultPlan;
+use crate::program::{ScenarioPhase, ScenarioProgram};
+use crate::schedule::Schedule;
+use btfluid_core::FluidParams;
+
+/// Names of all registered scenarios, in registry order.
+pub const SCENARIO_NAMES: [&str; 5] = [
+    "flash_crowd",
+    "diurnal",
+    "seed_outage",
+    "abort_storm",
+    "correlation_drift",
+];
+
+fn base(name: &str, description: &str) -> ScenarioProgram {
+    ScenarioProgram {
+        name: name.into(),
+        description: description.into(),
+        lambda0: Schedule::Constant(0.25),
+        correlation: Schedule::Constant(0.4),
+        faults: FaultPlan::default(),
+        params: FluidParams::paper(),
+        k: 10,
+        horizon: 4000.0,
+        warmup: 800.0,
+        drain: 4000.0,
+        origin_seeds: 1,
+        record_every: 50.0,
+        phases: Vec::new(),
+    }
+}
+
+/// Flash crowd: the visitor rate quadruples on `[1600, 2200)`.
+pub fn flash_crowd() -> ScenarioProgram {
+    let mut p = base(
+        "flash_crowd",
+        "visitor rate spikes 0.25 -> 1.0 on [1600, 2200)",
+    );
+    p.lambda0 = Schedule::Spike {
+        base: 0.25,
+        peak: 1.0,
+        t0: 1600.0,
+        t1: 2200.0,
+    };
+    p.phases = vec![
+        ScenarioPhase::new("pre", 800.0, 1600.0),
+        ScenarioPhase::new("surge", 1600.0, 2200.0),
+        ScenarioPhase::new("post", 2200.0, 4000.0),
+    ];
+    p
+}
+
+/// Diurnal cycle: sinusoidal visitor rate, 2.5 cycles over the horizon.
+pub fn diurnal() -> ScenarioProgram {
+    let mut p = base(
+        "diurnal",
+        "sinusoidal visitor rate 0.25 ± 0.15, period 1600",
+    );
+    p.lambda0 = Schedule::Periodic {
+        mean: 0.25,
+        amplitude: 0.15,
+        period: 1600.0,
+        phase: 0.0,
+    };
+    p.phases = vec![
+        ScenarioPhase::new("cycle-1", 800.0, 2400.0),
+        ScenarioPhase::new("cycle-2", 2400.0, 4000.0),
+    ];
+    p
+}
+
+/// Seed outage: both publishers crash on `[1600, 2600)` and recover.
+pub fn seed_outage() -> ScenarioProgram {
+    let mut p = base(
+        "seed_outage",
+        "origin seeds crash on [1600, 2600), recover afterwards",
+    );
+    p.correlation = Schedule::Constant(0.3);
+    p.origin_seeds = 2;
+    p.faults.seed_outages = vec![(1600.0, 2600.0)];
+    p.phases = vec![
+        ScenarioPhase::new("healthy", 800.0, 1600.0),
+        ScenarioPhase::new("outage", 1600.0, 2600.0),
+        ScenarioPhase::new("recovery", 2600.0, 4000.0),
+    ];
+    p
+}
+
+/// Abort storm: impatience churn switches on during `[1600, 2400)`.
+///
+/// The peak per-downloader abort rate `θ = 0.004` is ~1/5 of a typical
+/// per-file service rate, so a visible fraction of the swarm walks away
+/// mid-download without emptying it.
+pub fn abort_storm() -> ScenarioProgram {
+    let mut p = base(
+        "abort_storm",
+        "per-downloader abort rate spikes to 0.004 on [1600, 2400)",
+    );
+    p.faults.abort = Schedule::Spike {
+        base: 0.0,
+        peak: 0.004,
+        t0: 1600.0,
+        t1: 2400.0,
+    };
+    p.phases = vec![
+        ScenarioPhase::new("calm", 800.0, 1600.0),
+        ScenarioPhase::new("storm", 1600.0, 2400.0),
+        ScenarioPhase::new("after", 2400.0, 4000.0),
+    ];
+    p
+}
+
+/// Correlation drift: `p(t)` ramps 0.2 → 0.8 over `[1200, 2800)` — the
+/// population slowly shifts from single-file visitors to whole-catalogue
+/// downloaders.
+pub fn correlation_drift() -> ScenarioProgram {
+    let mut p = base(
+        "correlation_drift",
+        "request correlation ramps 0.2 -> 0.8 over [1200, 2800)",
+    );
+    p.correlation = Schedule::Ramp {
+        from: 0.2,
+        to: 0.8,
+        t0: 1200.0,
+        t1: 2800.0,
+    };
+    p.phases = vec![
+        ScenarioPhase::new("low-p", 800.0, 1200.0),
+        ScenarioPhase::new("drift", 1200.0, 2800.0),
+        ScenarioPhase::new("high-p", 2800.0, 4000.0),
+    ];
+    p
+}
+
+/// Looks a scenario up by registry name.
+pub fn by_name(name: &str) -> Option<ScenarioProgram> {
+    match name {
+        "flash_crowd" => Some(flash_crowd()),
+        "diurnal" => Some(diurnal()),
+        "seed_outage" => Some(seed_outage()),
+        "abort_storm" => Some(abort_storm()),
+        "correlation_drift" => Some(correlation_drift()),
+        _ => None,
+    }
+}
+
+/// All registered scenarios, in registry order.
+pub fn all() -> Vec<ScenarioProgram> {
+    SCENARIO_NAMES
+        .iter()
+        .map(|n| by_name(n).expect("registry name"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scenario_validates() {
+        for p in all() {
+            p.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for name in SCENARIO_NAMES {
+            let p = by_name(name).expect("lookup");
+            assert_eq!(p.name, name);
+        }
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn smoke_variants_validate() {
+        for p in all() {
+            let q = p.time_scaled(0.25);
+            q.validate().unwrap_or_else(|e| panic!("{}: {e}", q.name));
+        }
+    }
+
+    #[test]
+    fn scenario_shapes() {
+        let fc = flash_crowd();
+        assert_eq!(fc.lambda0.value(1500.0), 0.25);
+        assert_eq!(fc.lambda0.value(1700.0), 1.0);
+
+        let so = seed_outage();
+        let h = so.hook();
+        use btfluid_des::ScenarioHook as _;
+        assert_eq!(h.origin_seeds(1000.0), 2);
+        assert_eq!(h.origin_seeds(2000.0), 0);
+        assert_eq!(h.origin_seeds(3000.0), 2);
+
+        let storm = abort_storm();
+        assert_eq!(storm.faults.abort.value(1000.0), 0.0);
+        assert_eq!(storm.faults.abort.value(2000.0), 0.004);
+
+        let drift = correlation_drift();
+        assert!((drift.correlation.value(2000.0) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,492 @@
+//! Piecewise / ramp / periodic / spike functions of time.
+//!
+//! A [`Schedule`] is the scenario subsystem's representation of every
+//! time-varying quantity: the visitor rate `λ₀(t)`, the correlation
+//! `p(t)`, the per-downloader abort rate `θ(t)`. It is deliberately a
+//! closed enum rather than a boxed closure: schedules must be
+//! [validated](Schedule::validate) (non-negative everywhere), must expose
+//! a finite [upper bound](Schedule::upper_bound) for thinning, and must
+//! [integrate analytically](Schedule::integral) so tests can compare a
+//! sampler's empirical counts against the exact `∫λ(t)dt`.
+
+use btfluid_numkit::NumError;
+
+/// The full circle in radians, for the periodic schedule.
+const TAU: f64 = 2.0 * std::f64::consts::PI;
+
+/// A deterministic, non-negative function of simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Schedule {
+    /// `v(t) = value` for all `t`.
+    Constant(f64),
+    /// Right-continuous step function: `initial` before the first step,
+    /// then each `(time, value)` takes effect at its time. Step times must
+    /// be strictly increasing.
+    Piecewise {
+        /// Value before the first step.
+        initial: f64,
+        /// `(time, new value)` transitions, strictly increasing in time.
+        steps: Vec<(f64, f64)>,
+    },
+    /// Linear ramp from `from` (at or before `t0`) to `to` (at or after
+    /// `t1`), constant outside `[t0, t1]`.
+    Ramp {
+        /// Value up to `t0`.
+        from: f64,
+        /// Value from `t1` on.
+        to: f64,
+        /// Ramp start.
+        t0: f64,
+        /// Ramp end (must exceed `t0`).
+        t1: f64,
+    },
+    /// Sinusoidal diurnal cycle
+    /// `v(t) = mean + amplitude · sin(2π (t − phase)/period)`.
+    /// Non-negativity requires `amplitude ≤ mean`.
+    Periodic {
+        /// Mean level.
+        mean: f64,
+        /// Oscillation amplitude (`≤ mean`).
+        amplitude: f64,
+        /// Cycle length (must be positive).
+        period: f64,
+        /// Time of the ascending zero crossing.
+        phase: f64,
+    },
+    /// Flash crowd: `peak` on `[t0, t1)`, `base` elsewhere.
+    Spike {
+        /// Level outside the spike window.
+        base: f64,
+        /// Level inside the spike window.
+        peak: f64,
+        /// Window start.
+        t0: f64,
+        /// Window end (must exceed `t0`).
+        t1: f64,
+    },
+}
+
+impl Schedule {
+    /// Evaluates the schedule at `t`.
+    pub fn value(&self, t: f64) -> f64 {
+        match self {
+            Schedule::Constant(v) => *v,
+            Schedule::Piecewise { initial, steps } => {
+                let mut v = *initial;
+                for &(at, val) in steps {
+                    if t >= at {
+                        v = val;
+                    } else {
+                        break;
+                    }
+                }
+                v
+            }
+            Schedule::Ramp { from, to, t0, t1 } => {
+                if t <= *t0 {
+                    *from
+                } else if t >= *t1 {
+                    *to
+                } else {
+                    from + (to - from) * (t - t0) / (t1 - t0)
+                }
+            }
+            Schedule::Periodic {
+                mean,
+                amplitude,
+                period,
+                phase,
+            } => mean + amplitude * (TAU * (t - phase) / period).sin(),
+            Schedule::Spike { base, peak, t0, t1 } => {
+                if (*t0..*t1).contains(&t) {
+                    *peak
+                } else {
+                    *base
+                }
+            }
+        }
+    }
+
+    /// A finite constant `≥ v(t)` for all `t` — the thinning majorizer.
+    pub fn upper_bound(&self) -> f64 {
+        match self {
+            Schedule::Constant(v) => *v,
+            Schedule::Piecewise { initial, steps } => {
+                steps.iter().map(|&(_, v)| v).fold(*initial, f64::max)
+            }
+            Schedule::Ramp { from, to, .. } => from.max(*to),
+            Schedule::Periodic {
+                mean, amplitude, ..
+            } => mean + amplitude,
+            Schedule::Spike { base, peak, .. } => base.max(*peak),
+        }
+    }
+
+    /// A constant `≤ v(t)` for all `t` (used by validation).
+    pub fn lower_bound(&self) -> f64 {
+        match self {
+            Schedule::Constant(v) => *v,
+            Schedule::Piecewise { initial, steps } => {
+                steps.iter().map(|&(_, v)| v).fold(*initial, f64::min)
+            }
+            Schedule::Ramp { from, to, .. } => from.min(*to),
+            Schedule::Periodic {
+                mean, amplitude, ..
+            } => mean - amplitude,
+            Schedule::Spike { base, peak, .. } => base.min(*peak),
+        }
+    }
+
+    /// Checks the shape parameters and that `v(t) ≥ 0` everywhere.
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] for non-finite values, inverted
+    /// or empty windows, non-increasing step times, a non-positive period,
+    /// or any reachable negative value.
+    pub fn validate(&self) -> Result<(), NumError> {
+        let fail = |detail: String| {
+            Err(NumError::InvalidInput {
+                what: "Schedule::validate",
+                detail,
+            })
+        };
+        match self {
+            Schedule::Constant(v) => {
+                if !v.is_finite() {
+                    return fail(format!("constant value {v} is not finite"));
+                }
+            }
+            Schedule::Piecewise { initial, steps } => {
+                if !initial.is_finite() {
+                    return fail(format!("initial value {initial} is not finite"));
+                }
+                let mut prev = f64::NEG_INFINITY;
+                for &(at, v) in steps {
+                    if !at.is_finite() || !v.is_finite() {
+                        return fail(format!("step ({at}, {v}) is not finite"));
+                    }
+                    if at <= prev {
+                        return fail(format!(
+                            "step times must strictly increase, got {at} after {prev}"
+                        ));
+                    }
+                    prev = at;
+                }
+            }
+            Schedule::Ramp { from, to, t0, t1 } => {
+                if ![*from, *to, *t0, *t1].iter().all(|x| x.is_finite()) {
+                    return fail("ramp has a non-finite parameter".into());
+                }
+                if t1 <= t0 {
+                    return fail(format!("ramp window [{t0}, {t1}] is empty or inverted"));
+                }
+            }
+            Schedule::Periodic {
+                mean,
+                amplitude,
+                period,
+                phase,
+            } => {
+                if ![*mean, *amplitude, *period, *phase]
+                    .iter()
+                    .all(|x| x.is_finite())
+                {
+                    return fail("periodic has a non-finite parameter".into());
+                }
+                if !(*period > 0.0) {
+                    return fail(format!("period must be > 0, got {period}"));
+                }
+                if *amplitude < 0.0 {
+                    return fail(format!("amplitude must be ≥ 0, got {amplitude}"));
+                }
+            }
+            Schedule::Spike { base, peak, t0, t1 } => {
+                if ![*base, *peak, *t0, *t1].iter().all(|x| x.is_finite()) {
+                    return fail("spike has a non-finite parameter".into());
+                }
+                if t1 <= t0 {
+                    return fail(format!("spike window [{t0}, {t1}] is empty or inverted"));
+                }
+            }
+        }
+        if self.lower_bound() < 0.0 {
+            return fail(format!(
+                "schedule reaches {} < 0; rates and probabilities must stay non-negative",
+                self.lower_bound()
+            ));
+        }
+        Ok(())
+    }
+
+    /// The exact integral `∫ₐᵇ v(t) dt` (`a ≤ b`).
+    pub fn integral(&self, a: f64, b: f64) -> f64 {
+        debug_assert!(a <= b);
+        match self {
+            Schedule::Constant(v) => v * (b - a),
+            Schedule::Piecewise { initial: _, steps } => {
+                let mut total = 0.0;
+                let mut seg_start = a;
+                let mut seg_value = self.value(a);
+                for &(at, v) in steps {
+                    if at <= a {
+                        continue;
+                    }
+                    if at >= b {
+                        break;
+                    }
+                    total += seg_value * (at - seg_start);
+                    seg_start = at;
+                    seg_value = v;
+                }
+                total + seg_value * (b - seg_start)
+            }
+            Schedule::Ramp { .. } => {
+                // Piecewise linear: trapezoid over each linear span.
+                let Schedule::Ramp { t0, t1, .. } = self else {
+                    unreachable!()
+                };
+                let mut total = 0.0;
+                let cuts = [a, t0.clamp(a, b), t1.clamp(a, b), b];
+                for w in cuts.windows(2) {
+                    let (lo, hi) = (w[0], w[1]);
+                    if hi > lo {
+                        total += 0.5 * (self.value(lo) + self.value(hi)) * (hi - lo);
+                    }
+                }
+                total
+            }
+            Schedule::Periodic {
+                mean,
+                amplitude,
+                period,
+                phase,
+            } => {
+                let arg = |t: f64| TAU * (t - phase) / period;
+                mean * (b - a) + amplitude * period / TAU * (arg(a).cos() - arg(b).cos())
+            }
+            Schedule::Spike { base, peak, t0, t1 } => {
+                let overlap = (b.min(*t1) - a.max(*t0)).max(0.0);
+                base * (b - a) + (peak - base) * overlap
+            }
+        }
+    }
+
+    /// Times at which the schedule's value jumps or kinks, in increasing
+    /// order (empty for `Constant` and `Periodic`). Scenario phases and
+    /// plots anchor to these.
+    pub fn boundaries(&self) -> Vec<f64> {
+        match self {
+            Schedule::Constant(_) | Schedule::Periodic { .. } => Vec::new(),
+            Schedule::Piecewise { steps, .. } => steps.iter().map(|&(at, _)| at).collect(),
+            Schedule::Ramp { t0, t1, .. } | Schedule::Spike { t0, t1, .. } => vec![*t0, *t1],
+        }
+    }
+
+    /// Rescales every time parameter by `factor` (values are untouched) —
+    /// how smoke-scale scenario variants are derived.
+    pub fn time_scaled(&self, factor: f64) -> Self {
+        match self {
+            Schedule::Constant(v) => Schedule::Constant(*v),
+            Schedule::Piecewise { initial, steps } => Schedule::Piecewise {
+                initial: *initial,
+                steps: steps.iter().map(|&(at, v)| (at * factor, v)).collect(),
+            },
+            Schedule::Ramp { from, to, t0, t1 } => Schedule::Ramp {
+                from: *from,
+                to: *to,
+                t0: t0 * factor,
+                t1: t1 * factor,
+            },
+            Schedule::Periodic {
+                mean,
+                amplitude,
+                period,
+                phase,
+            } => Schedule::Periodic {
+                mean: *mean,
+                amplitude: *amplitude,
+                period: period * factor,
+                phase: phase * factor,
+            },
+            Schedule::Spike { base, peak, t0, t1 } => Schedule::Spike {
+                base: *base,
+                peak: *peak,
+                t0: t0 * factor,
+                t1: t1 * factor,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_everything() {
+        let s = Schedule::Constant(2.5);
+        assert_eq!(s.value(-10.0), 2.5);
+        assert_eq!(s.value(1e9), 2.5);
+        assert_eq!(s.upper_bound(), 2.5);
+        assert_eq!(s.lower_bound(), 2.5);
+        assert!((s.integral(3.0, 7.0) - 10.0).abs() < 1e-12);
+        assert!(s.boundaries().is_empty());
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn piecewise_steps_and_integral() {
+        let s = Schedule::Piecewise {
+            initial: 1.0,
+            steps: vec![(10.0, 3.0), (20.0, 0.5)],
+        };
+        assert!(s.validate().is_ok());
+        assert_eq!(s.value(5.0), 1.0);
+        assert_eq!(s.value(10.0), 3.0);
+        assert_eq!(s.value(19.9), 3.0);
+        assert_eq!(s.value(25.0), 0.5);
+        assert_eq!(s.upper_bound(), 3.0);
+        // ∫₀³⁰ = 10·1 + 10·3 + 10·0.5 = 45.
+        assert!((s.integral(0.0, 30.0) - 45.0).abs() < 1e-12);
+        // Partial window crossing one step: ∫₅¹⁵ = 5·1 + 5·3 = 20.
+        assert!((s.integral(5.0, 15.0) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn piecewise_rejects_unordered_steps() {
+        let s = Schedule::Piecewise {
+            initial: 1.0,
+            steps: vec![(10.0, 3.0), (10.0, 0.5)],
+        };
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn ramp_shape_and_integral() {
+        let s = Schedule::Ramp {
+            from: 1.0,
+            to: 3.0,
+            t0: 10.0,
+            t1: 20.0,
+        };
+        assert!(s.validate().is_ok());
+        assert_eq!(s.value(0.0), 1.0);
+        assert_eq!(s.value(15.0), 2.0);
+        assert_eq!(s.value(30.0), 3.0);
+        // ∫₀³⁰ = 10·1 + 10·2 (trapezoid) + 10·3 = 60.
+        assert!((s.integral(0.0, 30.0) - 60.0).abs() < 1e-12);
+        assert_eq!(s.boundaries(), vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn periodic_bounds_and_full_cycle_integral() {
+        let s = Schedule::Periodic {
+            mean: 2.0,
+            amplitude: 1.5,
+            period: 100.0,
+            phase: 0.0,
+        };
+        assert!(s.validate().is_ok());
+        assert!((s.upper_bound() - 3.5).abs() < 1e-12);
+        assert!((s.lower_bound() - 0.5).abs() < 1e-12);
+        // A whole cycle integrates to mean·period.
+        assert!((s.integral(0.0, 100.0) - 200.0).abs() < 1e-9);
+        // Quarter cycle [0, 25): mean·25 + amp·period/2π.
+        let expect = 2.0 * 25.0 + 1.5 * 100.0 / TAU;
+        assert!((s.integral(0.0, 25.0) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn periodic_negative_dip_rejected() {
+        let s = Schedule::Periodic {
+            mean: 1.0,
+            amplitude: 1.5,
+            period: 100.0,
+            phase: 0.0,
+        };
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn spike_window_and_integral() {
+        let s = Schedule::Spike {
+            base: 0.25,
+            peak: 1.0,
+            t0: 100.0,
+            t1: 200.0,
+        };
+        assert!(s.validate().is_ok());
+        assert_eq!(s.value(99.9), 0.25);
+        assert_eq!(s.value(100.0), 1.0);
+        assert_eq!(s.value(199.9), 1.0);
+        assert_eq!(s.value(200.0), 0.25);
+        // ∫₀³⁰⁰ = 0.25·300 + 0.75·100 = 150.
+        assert!((s.integral(0.0, 300.0) - 150.0).abs() < 1e-12);
+        // No overlap.
+        assert!((s.integral(300.0, 400.0) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_values_rejected_everywhere() {
+        assert!(Schedule::Constant(-0.1).validate().is_err());
+        assert!(Schedule::Ramp {
+            from: 1.0,
+            to: -0.5,
+            t0: 0.0,
+            t1: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(Schedule::Spike {
+            base: 0.0,
+            peak: -1.0,
+            t0: 0.0,
+            t1: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(Schedule::Piecewise {
+            initial: 0.5,
+            steps: vec![(5.0, -0.5)]
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        assert!(Schedule::Constant(f64::NAN).validate().is_err());
+        assert!(Schedule::Spike {
+            base: 0.0,
+            peak: f64::INFINITY,
+            t0: 0.0,
+            t1: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(Schedule::Periodic {
+            mean: 1.0,
+            amplitude: 0.5,
+            period: 0.0,
+            phase: 0.0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn time_scaling_squeezes_the_axis() {
+        let s = Schedule::Spike {
+            base: 0.25,
+            peak: 1.0,
+            t0: 100.0,
+            t1: 200.0,
+        };
+        let q = s.time_scaled(0.25);
+        assert_eq!(q.value(24.9), 0.25);
+        assert_eq!(q.value(25.0), 1.0);
+        assert_eq!(q.value(50.0), 0.25);
+        // Values preserved, integral scales with the axis.
+        assert!((q.integral(0.0, 75.0) - s.integral(0.0, 300.0) * 0.25).abs() < 1e-9);
+    }
+}

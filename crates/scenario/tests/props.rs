@@ -1,0 +1,134 @@
+//! Property tests for schedules and the thinning sampler.
+//!
+//! * Every generated schedule validates, stays within its declared bounds,
+//!   and never goes negative.
+//! * The analytic integral agrees with midpoint-rule quadrature.
+//! * The Lewis–Shedler thinning sampler's event count over a window falls
+//!   inside a wide Poisson confidence band around `∫λ(t)dt`.
+
+use btfluid_numkit::dist::ThinnedPoisson;
+use btfluid_numkit::rng::Xoshiro256StarStar;
+use btfluid_scenario::Schedule;
+use proptest::prelude::*;
+
+/// Window all generated time parameters live in (keeps quadrature cheap).
+const T_MAX: f64 = 100.0;
+
+fn value() -> impl Strategy<Value = f64> {
+    0.0f64..5.0
+}
+
+fn window() -> impl Strategy<Value = (f64, f64)> {
+    (0.0f64..T_MAX, 0.1f64..T_MAX).prop_map(|(t0, len)| (t0, t0 + len))
+}
+
+fn schedule() -> impl Strategy<Value = Schedule> {
+    prop_oneof![
+        value().prop_map(Schedule::Constant),
+        (value(), prop::collection::vec(value(), 1..5)).prop_map(|(initial, vals)| {
+            // Strictly increasing step times derived from the index.
+            let steps = vals
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| ((i as f64 + 1.0) * (T_MAX / 6.0), v))
+                .collect();
+            Schedule::Piecewise { initial, steps }
+        }),
+        (value(), value(), window()).prop_map(|(from, to, (t0, t1))| Schedule::Ramp {
+            from,
+            to,
+            t0,
+            t1
+        }),
+        (value(), 0.0f64..1.0, 1.0f64..T_MAX, 0.0f64..T_MAX).prop_map(
+            |(mean, frac, period, phase)| Schedule::Periodic {
+                mean,
+                amplitude: mean * frac,
+                period,
+                phase,
+            }
+        ),
+        (value(), value(), window()).prop_map(|(base, peak, (t0, t1))| Schedule::Spike {
+            base,
+            peak,
+            t0,
+            t1
+        }),
+    ]
+}
+
+/// Midpoint-rule quadrature; exact up to the discontinuity cells.
+fn quadrature(s: &Schedule, a: f64, b: f64, n: usize) -> f64 {
+    let dx = (b - a) / n as f64;
+    (0..n)
+        .map(|i| s.value(a + (i as f64 + 0.5) * dx) * dx)
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn schedules_validate_and_respect_bounds(s in schedule(), ts in prop::collection::vec(0.0f64..2.0 * T_MAX, 1..32)) {
+        s.validate().expect("generated schedules are valid");
+        let hi = s.upper_bound();
+        let lo = s.lower_bound();
+        prop_assert!(hi.is_finite() && lo >= 0.0);
+        for t in ts {
+            let v = s.value(t);
+            prop_assert!(v >= 0.0, "value({t}) = {v} < 0");
+            prop_assert!(v <= hi + 1e-12, "value({t}) = {v} above bound {hi}");
+            prop_assert!(v >= lo - 1e-12, "value({t}) = {v} below floor {lo}");
+        }
+    }
+
+    #[test]
+    fn integral_matches_quadrature(s in schedule(), w in window()) {
+        let (a, b) = w;
+        let analytic = s.integral(a, b);
+        let numeric = quadrature(&s, a, b, 40_000);
+        // Midpoint error: O(dx²) on smooth spans plus one cell per jump.
+        let dx = (b - a) / 40_000.0;
+        let tol = 4.0 * s.upper_bound() * dx + 1e-6 * analytic.abs().max(1.0);
+        prop_assert!(
+            (analytic - numeric).abs() <= tol,
+            "∫ analytic {analytic} vs quadrature {numeric} (tol {tol})"
+        );
+        prop_assert!(analytic >= -1e-12, "integral of a non-negative schedule is negative");
+    }
+
+    #[test]
+    fn time_scaling_preserves_mass(s in schedule(), factor in 0.1f64..4.0) {
+        // ∫₀^{cT} s(t/c) dt = c · ∫₀^T s(t) dt.
+        let scaled = s.time_scaled(factor);
+        let a = s.integral(0.0, 2.0 * T_MAX);
+        let b = scaled.integral(0.0, 2.0 * T_MAX * factor);
+        prop_assert!(
+            (b - factor * a).abs() <= 1e-9 * a.abs().max(1.0),
+            "scaled mass {b} vs expected {}", factor * a
+        );
+    }
+
+    #[test]
+    fn thinning_sampler_tracks_the_integral(s in schedule(), seed in any::<u64>()) {
+        // Count events on [0, T]: a Poisson(m) draw with m = ∫λ. A 6σ band
+        // plus slack makes a false failure astronomically unlikely.
+        let horizon = 2.0 * T_MAX;
+        let m = s.integral(0.0, horizon);
+        let bound = s.upper_bound().max(1e-9);
+        let proc = ThinnedPoisson::new(move |t| s.value(t), bound).expect("sampler");
+        let mut rng = Xoshiro256StarStar::stream(seed, 0);
+        let mut t = 0.0;
+        let mut count: u64 = 0;
+        while let Some(next) = proc.next_before(t, horizon, &mut rng) {
+            prop_assert!(next > t && next < horizon);
+            t = next;
+            count += 1;
+        }
+        let slack = 6.0 * m.sqrt() + 12.0;
+        prop_assert!(
+            (count as f64 - m).abs() <= slack,
+            "{count} events vs ∫λ = {m} (slack {slack})"
+        );
+    }
+}

@@ -3,9 +3,15 @@
 //! The fluid model (and the original Qiu–Srikant analysis it extends)
 //! assumes peers arrive according to a Poisson process. [`PoissonProcess`]
 //! generates the event times — an iterator of exponentially spaced stamps —
-//! for the simulator's arrival stream.
+//! for the simulator's arrival stream. Non-stationary scenario traces use
+//! [`NonHomogeneousProcess`], whose rate varies with time.
+//!
+//! Both processes expose their streams as lazy iterators ([`ArrivalTimes`],
+//! [`ThinnedArrivalTimes`]) so long traces — a diurnal scenario can span
+//! millions of arrivals — never materialize a `Vec`; the eager
+//! [`PoissonProcess::times_until`] survives as a thin `collect()` wrapper.
 
-use btfluid_numkit::dist::Exponential;
+use btfluid_numkit::dist::{Exponential, ThinnedPoisson};
 use btfluid_numkit::rng::RngCore;
 use btfluid_numkit::NumError;
 
@@ -36,26 +42,119 @@ impl PoissonProcess {
         self.gap.sample(rng)
     }
 
-    /// Generates all event times in `[0, horizon)`.
-    pub fn times_until<R: RngCore + ?Sized>(&self, rng: &mut R, horizon: f64) -> Vec<f64> {
-        let mut out = Vec::new();
-        let mut t = self.next_gap(rng);
-        while t < horizon {
-            out.push(t);
-            t += self.next_gap(rng);
+    /// Lazily streams the event times in `[0, horizon)`.
+    ///
+    /// The iterator borrows the RNG, so the stream is consumed in place and
+    /// memory stays O(1) regardless of trace length.
+    pub fn iter_until<'r, R: RngCore + ?Sized>(
+        &self,
+        rng: &'r mut R,
+        horizon: f64,
+    ) -> ArrivalTimes<'r, R> {
+        ArrivalTimes {
+            gap: self.gap,
+            t: 0.0,
+            horizon,
+            rng,
         }
-        out
+    }
+
+    /// Generates all event times in `[0, horizon)`.
+    ///
+    /// Thin eager wrapper over [`Self::iter_until`]; prefer the iterator for
+    /// long traces.
+    pub fn times_until<R: RngCore + ?Sized>(&self, rng: &mut R, horizon: f64) -> Vec<f64> {
+        self.iter_until(rng, horizon).collect()
     }
 
     /// Generates the first `n` event times.
     pub fn first_n<R: RngCore + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
-        let mut out = Vec::with_capacity(n);
-        let mut t = 0.0;
-        for _ in 0..n {
-            t += self.next_gap(rng);
-            out.push(t);
+        self.iter_until(rng, f64::INFINITY).take(n).collect()
+    }
+}
+
+/// Lazy stream of homogeneous Poisson event times in `[0, horizon)`.
+///
+/// Produced by [`PoissonProcess::iter_until`].
+#[derive(Debug)]
+pub struct ArrivalTimes<'r, R: RngCore + ?Sized> {
+    gap: Exponential,
+    t: f64,
+    horizon: f64,
+    rng: &'r mut R,
+}
+
+impl<R: RngCore + ?Sized> Iterator for ArrivalTimes<'_, R> {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        self.t += self.gap.sample(self.rng);
+        (self.t < self.horizon).then_some(self.t)
+    }
+}
+
+/// A non-homogeneous Poisson process with instantaneous rate `λ(t)`,
+/// realized by Lewis–Shedler thinning against a majorizing bound.
+///
+/// The rate is a closure so callers (the scenario subsystem's `Schedule`)
+/// control its representation; correctness requires `0 ≤ λ(t) ≤ bound`.
+#[derive(Debug, Clone)]
+pub struct NonHomogeneousProcess<F> {
+    thinned: ThinnedPoisson<F>,
+}
+
+impl<F: Fn(f64) -> f64> NonHomogeneousProcess<F> {
+    /// Creates the process.
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] unless `bound > 0` and finite.
+    pub fn new(rate: F, bound: f64) -> Result<Self, NumError> {
+        Ok(Self {
+            thinned: ThinnedPoisson::new(rate, bound)?,
+        })
+    }
+
+    /// The majorizing rate used for candidate generation.
+    pub fn bound(&self) -> f64 {
+        self.thinned.bound()
+    }
+
+    /// Lazily streams the event times in `[0, horizon)`.
+    pub fn iter_until<'r, R: RngCore + ?Sized>(
+        &self,
+        rng: &'r mut R,
+        horizon: f64,
+    ) -> ThinnedArrivalTimes<'r, F, R>
+    where
+        F: Clone,
+    {
+        ThinnedArrivalTimes {
+            thinned: self.thinned.clone(),
+            t: 0.0,
+            horizon,
+            rng,
         }
-        out
+    }
+}
+
+/// Lazy stream of non-homogeneous Poisson event times in `[0, horizon)`.
+///
+/// Produced by [`NonHomogeneousProcess::iter_until`].
+#[derive(Debug)]
+pub struct ThinnedArrivalTimes<'r, F, R: RngCore + ?Sized> {
+    thinned: ThinnedPoisson<F>,
+    t: f64,
+    horizon: f64,
+    rng: &'r mut R,
+}
+
+impl<F: Fn(f64) -> f64, R: RngCore + ?Sized> Iterator for ThinnedArrivalTimes<'_, F, R> {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        let s = self.thinned.next_before(self.t, self.horizon, self.rng)?;
+        self.t = s;
+        Some(s)
     }
 }
 
@@ -127,5 +226,45 @@ mod tests {
         let p = PoissonProcess::new(10.0).unwrap();
         let mut r = rng(5);
         assert!(p.times_until(&mut r, 0.0).is_empty());
+    }
+
+    #[test]
+    fn iterator_matches_eager_wrapper() {
+        let p = PoissonProcess::new(3.0).unwrap();
+        let eager = p.times_until(&mut rng(6), 80.0);
+        let lazy: Vec<f64> = p.iter_until(&mut rng(6), 80.0).collect();
+        assert_eq!(eager, lazy);
+    }
+
+    #[test]
+    fn iterator_is_fused_at_horizon() {
+        let p = PoissonProcess::new(2.0).unwrap();
+        let mut r = rng(7);
+        let mut it = p.iter_until(&mut r, 5.0);
+        while it.next().is_some() {}
+        // Once past the horizon the stream stays exhausted.
+        assert!(it.next().is_none());
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn nonhomogeneous_count_matches_integral() {
+        // λ(t) = 0.4 + 0.4·1[t ≥ 50] over [0, 100): ∫λ = 60.
+        let p = NonHomogeneousProcess::new(|t: f64| if t < 50.0 { 0.4 } else { 0.8 }, 0.8).unwrap();
+        let mut r = rng(8);
+        let mut w = Welford::new();
+        for _ in 0..2000 {
+            w.push(p.iter_until(&mut r, 100.0).count() as f64);
+        }
+        assert!((w.mean() - 60.0).abs() < 1.0, "mean = {}", w.mean());
+    }
+
+    #[test]
+    fn nonhomogeneous_times_sorted() {
+        let p = NonHomogeneousProcess::new(|t: f64| 1.0 + (t / 7.0).cos().abs(), 2.0).unwrap();
+        let mut r = rng(9);
+        let ts: Vec<f64> = p.iter_until(&mut r, 300.0).collect();
+        assert!(ts.windows(2).all(|w| w[0] < w[1]));
+        assert!(ts.iter().all(|&t| t > 0.0 && t < 300.0));
     }
 }

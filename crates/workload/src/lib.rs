@@ -40,7 +40,7 @@ pub mod popularity;
 pub mod requests;
 pub mod trace;
 
-pub use arrivals::PoissonProcess;
+pub use arrivals::{ArrivalTimes, NonHomogeneousProcess, PoissonProcess, ThinnedArrivalTimes};
 pub use classes::ClassMix;
 pub use correlation::CorrelationModel;
 pub use popularity::NonUniformModel;

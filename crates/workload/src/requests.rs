@@ -37,7 +37,17 @@ impl RequestSampler {
     /// file is `Bernoulli(p)` — both marginals the paper's rate formulas
     /// rely on.
     pub fn sample_visitor<R: RngCore + ?Sized>(&self, rng: &mut R) -> Vec<FileId> {
-        let p = self.model.p();
+        self.sample_visitor_with_p(rng, self.model.p())
+    }
+
+    /// Samples a visitor's request set under an explicit correlation `p`,
+    /// overriding the model's stationary value.
+    ///
+    /// Non-stationary scenarios evaluate `p(t)` at the arrival instant and
+    /// pass it here; `p` is clamped to `[0, 1]` so schedule round-off cannot
+    /// corrupt the Bernoulli draws.
+    pub fn sample_visitor_with_p<R: RngCore + ?Sized>(&self, rng: &mut R, p: f64) -> Vec<FileId> {
+        let p = p.clamp(0.0, 1.0);
         let mut files = Vec::new();
         for f in 0..self.model.k() as FileId {
             if rng.next_f64() < p {

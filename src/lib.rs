@@ -16,6 +16,9 @@
 //! * [`workload`] — the file-correlation model and arrival processes.
 //! * [`des`] — a flow-level discrete-event BitTorrent simulator that
 //!   validates the fluid models peer-by-peer and evaluates Adapt.
+//! * [`scenario`] — non-stationary workloads, churn and fault injection
+//!   driving both the DES and the fluid transients (flash crowds, diurnal
+//!   cycles, seed outages, abort storms, correlation drift).
 //! * [`numkit`] — the self-contained numerics substrate (ODE solvers, RNG,
 //!   statistics).
 //! * [`mod@bench`] — the experiment harness regenerating every figure.
@@ -44,4 +47,5 @@ pub use btfluid_bench as bench;
 pub use btfluid_core as core;
 pub use btfluid_des as des;
 pub use btfluid_numkit as numkit;
+pub use btfluid_scenario as scenario;
 pub use btfluid_workload as workload;
