@@ -39,6 +39,17 @@ const VALUED: &[&str] = &[
     "origin-seeds",
     "classes",
     "scale",
+    "checkpoint",
+    "checkpoint-every",
+    "records",
+    "schemes",
+    "manifest",
+    "bundles",
+    "retries",
+    "workers",
+    "event-budget",
+    "wall-budget-ms",
+    "inject-panic",
 ];
 
 impl Options {

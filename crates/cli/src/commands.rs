@@ -1,6 +1,7 @@
 //! Subcommand dispatch and execution.
 
 use crate::args::Options;
+use crate::errors::{CliError, EXIT_CLOBBER, EXIT_SWEEP_FAILED};
 use btfluid_bench::{
     ablation, adapt_exp, fig2, fig3, fig4a, fig4bc, skew, transient, validate, Table,
 };
@@ -9,14 +10,14 @@ use btfluid_core::multiclass::{BandwidthClass, MultiClassFluid};
 use btfluid_core::FluidParams;
 use btfluid_des::{
     estimate_eta, run_single_torrent, ChunkLevelConfig, DesConfig, OrderPolicy, SchemeKind,
-    Simulation, SingleTorrentConfig,
+    SimOutcome, Simulation, SingleTorrentConfig, Snapshot,
 };
+use btfluid_harness as harness;
 use btfluid_scenario::{registry, runner};
 use btfluid_workload::CorrelationModel;
-use std::error::Error;
 use std::fs;
-
-type AnyError = Box<dyn Error>;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 const USAGE: &str = "\
 btfluid — multiple-file BitTorrent downloading, reproduced (ICPP 2006)
@@ -46,23 +47,51 @@ COMMANDS
   scenario    non-stationary scenario runs (flash crowds, churn, faults)
                 btfluid scenario list
                 btfluid scenario <name> [--scheme SCHEME] [--seed S]
-                  [--smoke | --scale F] [--exact] [--fluid]
+                  [--smoke | --scale F] [--exact] [--fluid] [--checked]
+                crash-safe (single-scheme only):
+                  [--checkpoint FILE] [--checkpoint-every N] [--resume]
+                  [--records FILE]
+  sweep       supervised replicate sweep with failure quarantine
+                --manifest FILE [--bundles DIR] [--schemes LIST] [--reps N]
+                [--seed S] [--p P] [--k K] [--horizon H] [--resume]
+                [--retries N] [--workers N] [--event-budget N]
+                [--wall-budget-ms MS] [--checkpoint-every N] [--checked]
+                [--exact] [--inject-panic CELL@EVENT]
+  repro       replay a quarantined cell from its repro bundle
+                btfluid repro <bundle-dir>
   all         every fluid-model figure in sequence
 
 GLOBAL OPTIONS
   --csv            print CSV instead of an aligned table
   --out FILE       also write the (CSV) output to FILE
+  --force          overwrite existing --out/--records files
   --help           this message
 
 SEEDS
   Every DES-running command is deterministic under --seed; reruns with the
   same seed are bit-identical. Defaults: validate 2006, adapt 43, sim 1,
-  eta 11, multiclass 7, scenario 2006. Fluid-only commands (fig*,
-  transient, ablation, skew) take no seed.
+  eta 11, multiclass 7, scenario 2006, sweep 2006. Fluid-only commands
+  (fig*, transient, ablation, skew) take no seed.
+
+CRASH SAFETY
+  --checkpoint FILE writes an atomic engine snapshot every
+  --checkpoint-every events (default 5000); with --resume a run killed at
+  any instant picks up from the checkpoint and finishes **bit-identical**
+  to an uninterrupted run. A finished run deletes its checkpoint. The
+  sweep command journals finished cells to --manifest (JSONL, append-only)
+  and --resume skips them; a cell that panics or blows its budget is
+  quarantined into a repro bundle under --bundles, replayable with
+  'btfluid repro'. --checked enables per-event engine invariant audits.
+
+EXIT CODES
+  0 success          1 usage or I/O     2 invalid configuration
+  3 solver diverged  4 invariant violated (--checked)
+  5 snapshot/checkpoint rejected        6 sweep had failures / repro
+  7 refused to overwrite (use --force)    reproduced the recorded failure
 ";
 
 /// Runs the command line; `Ok(())` on success.
-pub fn dispatch(argv: &[String]) -> Result<(), AnyError> {
+pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
     let Some(cmd) = argv.first() else {
         print!("{USAGE}");
         return Ok(());
@@ -71,9 +100,12 @@ pub fn dispatch(argv: &[String]) -> Result<(), AnyError> {
         print!("{USAGE}");
         return Ok(());
     }
-    // `scenario` takes a positional name before the options.
+    // `scenario` and `repro` take a positional argument before the options.
     if cmd == "scenario" {
         return cmd_scenario(&argv[1..]);
+    }
+    if cmd == "repro" {
+        return cmd_repro(&argv[1..]);
     }
     let opts = Options::parse(&argv[1..])?;
     match cmd.as_str() {
@@ -90,26 +122,45 @@ pub fn dispatch(argv: &[String]) -> Result<(), AnyError> {
         "skew" => cmd_skew(&opts),
         "eta" => cmd_eta(&opts),
         "sim" => cmd_sim(&opts),
+        "sweep" => cmd_sweep(&opts),
         "all" => cmd_all(&opts),
         other => Err(format!("unknown command '{other}' (try --help)").into()),
     }
 }
 
+thread_local! {
+    /// Paths this invocation already wrote: commands that emit several
+    /// tables to one `--out` file may keep rewriting it, only the *first*
+    /// write of a pre-existing file needs `--force`.
+    static WRITTEN: std::cell::RefCell<std::collections::BTreeSet<String>> =
+        const { std::cell::RefCell::new(std::collections::BTreeSet::new()) };
+}
+
+/// Refuses to overwrite `path` unless `--force` was given.
+fn check_clobber(path: &str, opts: &Options) -> Result<(), CliError> {
+    let first = WRITTEN.with(|w| w.borrow_mut().insert(path.to_string()));
+    if first && Path::new(path).exists() && !opts.has("force") {
+        return Err(CliError::clobber(path));
+    }
+    Ok(())
+}
+
 /// Prints a table (or its CSV form) and optionally writes the CSV to disk.
-fn emit(table: &Table, opts: &Options) -> Result<(), AnyError> {
+fn emit(table: &Table, opts: &Options) -> Result<(), CliError> {
     if opts.has("csv") {
         print!("{}", table.to_csv());
     } else {
         println!("{}", table.render());
     }
     if let Some(path) = opts.get("out") {
+        check_clobber(path, opts)?;
         fs::write(path, table.to_csv())?;
         eprintln!("wrote {path}");
     }
     Ok(())
 }
 
-fn cmd_fig2(opts: &Options) -> Result<(), AnyError> {
+fn cmd_fig2(opts: &Options) -> Result<(), CliError> {
     let cfg = fig2::Fig2Config {
         points: opts.get_usize("points", 50)?,
         k: opts.get_usize("k", 10)? as u32,
@@ -119,7 +170,7 @@ fn cmd_fig2(opts: &Options) -> Result<(), AnyError> {
     emit(&r.table(), opts)
 }
 
-fn cmd_fig3(opts: &Options) -> Result<(), AnyError> {
+fn cmd_fig3(opts: &Options) -> Result<(), CliError> {
     let cfg = fig3::Fig3Config {
         k: opts.get_usize("k", 10)? as u32,
         correlations: opts.get_f64_list("p", &[0.1, 1.0])?,
@@ -132,12 +183,12 @@ fn cmd_fig3(opts: &Options) -> Result<(), AnyError> {
     Ok(())
 }
 
-fn cmd_fig4a(opts: &Options) -> Result<(), AnyError> {
+fn cmd_fig4a(opts: &Options) -> Result<(), CliError> {
     let r = fig4a::run(&fig4a::Fig4aConfig::default())?;
     emit(&r.table(), opts)
 }
 
-fn cmd_fig4bc(opts: &Options, p: f64) -> Result<(), AnyError> {
+fn cmd_fig4bc(opts: &Options, p: f64) -> Result<(), CliError> {
     let cfg = fig4bc::Fig4bcConfig {
         correlations: vec![p],
         ..Default::default()
@@ -149,7 +200,7 @@ fn cmd_fig4bc(opts: &Options, p: f64) -> Result<(), AnyError> {
     Ok(())
 }
 
-fn cmd_validate(opts: &Options) -> Result<(), AnyError> {
+fn cmd_validate(opts: &Options) -> Result<(), CliError> {
     let p = opts.get_f64("p", 0.5)?;
     let cfg = validate::ValidateConfig {
         model: CorrelationModel::new(10, p, 0.25)?,
@@ -168,7 +219,7 @@ fn cmd_validate(opts: &Options) -> Result<(), AnyError> {
     Ok(())
 }
 
-fn cmd_adapt(opts: &Options) -> Result<(), AnyError> {
+fn cmd_adapt(opts: &Options) -> Result<(), CliError> {
     let p = opts.get_f64("p", 0.9)?;
     let cfg = adapt_exp::AdaptExpConfig {
         model: CorrelationModel::new(10, p, 0.25)?,
@@ -185,7 +236,7 @@ fn cmd_adapt(opts: &Options) -> Result<(), AnyError> {
     emit(&r.table(), opts)
 }
 
-fn cmd_transient(opts: &Options) -> Result<(), AnyError> {
+fn cmd_transient(opts: &Options) -> Result<(), CliError> {
     let cfg = transient::TransientConfig {
         p: opts.get_f64("p", 0.5)?,
         flash_crowd: opts.get_f64("crowd", 200.0)?,
@@ -199,7 +250,7 @@ fn cmd_transient(opts: &Options) -> Result<(), AnyError> {
     Ok(())
 }
 
-fn cmd_ablation(opts: &Options) -> Result<(), AnyError> {
+fn cmd_ablation(opts: &Options) -> Result<(), CliError> {
     let p = opts.get_f64("p", 0.7)?;
     let cfg = ablation::AblationConfig {
         model: CorrelationModel::new(10, p, 1.0)?,
@@ -209,7 +260,7 @@ fn cmd_ablation(opts: &Options) -> Result<(), AnyError> {
     emit(&r.table(), opts)
 }
 
-fn cmd_eta(opts: &Options) -> Result<(), AnyError> {
+fn cmd_eta(opts: &Options) -> Result<(), CliError> {
     let seed = opts.get_u64("seed", 11)?;
     let mut t = Table::new(
         "X9 — chunk-level η: downloader upload utilization and seed byte share",
@@ -237,7 +288,7 @@ fn cmd_eta(opts: &Options) -> Result<(), AnyError> {
     emit(&t, opts)
 }
 
-fn cmd_skew(opts: &Options) -> Result<(), AnyError> {
+fn cmd_skew(opts: &Options) -> Result<(), CliError> {
     let cfg = skew::SkewConfig {
         k: opts.get_usize("k", 10)? as u32,
         ..Default::default()
@@ -246,7 +297,7 @@ fn cmd_skew(opts: &Options) -> Result<(), AnyError> {
     emit(&r.table(), opts)
 }
 
-fn parse_classes(spec: &str) -> Result<Vec<BandwidthClass>, AnyError> {
+fn parse_classes(spec: &str) -> Result<Vec<BandwidthClass>, CliError> {
     let mut classes = Vec::new();
     for (i, tok) in spec.split(',').enumerate() {
         let parts: Vec<&str> = tok.trim().split(':').collect();
@@ -268,7 +319,7 @@ fn parse_classes(spec: &str) -> Result<Vec<BandwidthClass>, AnyError> {
     Ok(classes)
 }
 
-fn cmd_multiclass(opts: &Options) -> Result<(), AnyError> {
+fn cmd_multiclass(opts: &Options) -> Result<(), CliError> {
     let classes = match opts.get("classes") {
         Some(spec) => parse_classes(spec)?,
         None => vec![
@@ -322,7 +373,7 @@ fn cmd_multiclass(opts: &Options) -> Result<(), AnyError> {
     Ok(())
 }
 
-fn parse_scheme(s: &str) -> Result<SchemeKind, AnyError> {
+fn parse_scheme(s: &str) -> Result<SchemeKind, CliError> {
     match s {
         "mtsd" => Ok(SchemeKind::Mtsd),
         "mtcd" => Ok(SchemeKind::Mtcd),
@@ -341,7 +392,7 @@ fn parse_scheme(s: &str) -> Result<SchemeKind, AnyError> {
     }
 }
 
-fn cmd_sim(opts: &Options) -> Result<(), AnyError> {
+fn cmd_sim(opts: &Options) -> Result<(), CliError> {
     let scheme = parse_scheme(opts.get("scheme").unwrap_or("mtsd"))?;
     let p = opts.get_f64("p", 0.5)?;
     let horizon = opts.get_f64("horizon", 4000.0)?;
@@ -358,9 +409,10 @@ fn cmd_sim(opts: &Options) -> Result<(), AnyError> {
         warm_start: false,
         order_policy: OrderPolicy::default(),
         record_every: None,
-        exact_rates: false,
+        exact_rates: opts.has("exact"),
+        checked: opts.has("checked"),
     };
-    let outcome = Simulation::new(cfg)?.run();
+    let outcome = Simulation::new(cfg)?.try_run()?;
     let mut t = Table::new(
         format!("simulation — {} (p = {p})", scheme.name()),
         vec!["class", "users", "download/file", "online/file"],
@@ -392,7 +444,7 @@ fn cmd_sim(opts: &Options) -> Result<(), AnyError> {
 ///
 /// The scenario name is positional, so it is peeled off before the
 /// option parser (which rejects positionals) sees the rest.
-fn cmd_scenario(rest: &[String]) -> Result<(), AnyError> {
+fn cmd_scenario(rest: &[String]) -> Result<(), CliError> {
     let Some(name) = rest.first() else {
         return Err(format!(
             "scenario: missing name (try 'btfluid scenario list'); registry: {}",
@@ -425,21 +477,42 @@ fn cmd_scenario(rest: &[String]) -> Result<(), AnyError> {
     }
     let seed = opts.get_u64("seed", 2006)?;
     let exact = opts.has("exact");
+    let crash_safe = opts.get("checkpoint").is_some()
+        || opts.get("records").is_some()
+        || opts.has("resume")
+        || opts.has("checked");
 
     let runs = match opts.get("scheme") {
         Some(spec) => {
             let scheme = parse_scheme(spec)?;
-            vec![runner::run_one(
-                &program,
-                scheme,
-                None,
-                &scheme.name(),
-                seed,
-                exact,
-            )?]
+            if crash_safe {
+                vec![run_scenario_resumable(
+                    &program, scheme, seed, exact, &opts,
+                )?]
+            } else {
+                vec![runner::run_one(
+                    &program,
+                    scheme,
+                    None,
+                    &scheme.name(),
+                    seed,
+                    exact,
+                )?]
+            }
+        }
+        None if crash_safe => {
+            return Err(
+                "scenario: --checkpoint/--records/--resume/--checked need --scheme \
+                 (one engine run, one checkpoint)"
+                    .into(),
+            )
         }
         None => runner::run_all(&program, seed, exact)?,
     };
+
+    if let Some(path) = opts.get("records") {
+        write_records(path, &runs[0].outcome, &opts)?;
+    }
 
     eprintln!(
         "scenario {name}: {} (seed {seed}, scale {scale})",
@@ -463,7 +536,7 @@ fn cmd_scenario(rest: &[String]) -> Result<(), AnyError> {
     Ok(())
 }
 
-fn scenario_list(opts: &Options) -> Result<(), AnyError> {
+fn scenario_list(opts: &Options) -> Result<(), CliError> {
     let mut t = Table::new(
         "scenario registry — btfluid scenario <name>",
         vec!["name", "description", "phases"],
@@ -527,7 +600,7 @@ fn scenario_fluid_comparison(
     name: &str,
     program: &btfluid_scenario::ScenarioProgram,
     seed: u64,
-) -> Result<(), AnyError> {
+) -> Result<(), CliError> {
     let mut program = program.clone();
     program.origin_seeds = 0;
     let run = runner::run_one(&program, SchemeKind::Mtcd, None, "MTCD", seed, false)?;
@@ -542,7 +615,338 @@ fn scenario_fluid_comparison(
     Ok(())
 }
 
-fn cmd_all(opts: &Options) -> Result<(), AnyError> {
+/// A single-scheme scenario run through the crash-safe driver: honors
+/// `--checkpoint`, `--checkpoint-every`, `--resume`, and `--checked`.
+fn run_scenario_resumable(
+    program: &btfluid_scenario::ScenarioProgram,
+    scheme: SchemeKind,
+    seed: u64,
+    exact: bool,
+    opts: &Options,
+) -> Result<runner::ScenarioRun, CliError> {
+    let mut cfg = program.des_config(scheme, seed)?;
+    cfg.exact_rates = exact;
+    cfg.checked = opts.has("checked");
+    cfg.validate()?;
+    let plan = harness::CheckpointPlan {
+        path: opts.get("checkpoint").map(PathBuf::from),
+        every_events: opts.get_u64("checkpoint-every", 5000)?,
+    };
+    let hook_factory = || -> Box<dyn btfluid_des::ScenarioHook> { Box::new(program.hook()) };
+    let report = harness::drive(
+        cfg,
+        Some(&hook_factory),
+        Some(&plan),
+        opts.has("resume"),
+        &harness::RunLimits::default(),
+        None,
+        None,
+    )?;
+    if report.resumed {
+        eprintln!(
+            "resumed from checkpoint; finished at {} events ({} checkpoint(s) this run)",
+            report.events, report.checkpoints
+        );
+    }
+    let Some(outcome) = report.outcome else {
+        return Err("internal: unlimited run returned without an outcome".into());
+    };
+    let phases = runner::phase_stats(program, &outcome);
+    Ok(runner::ScenarioRun {
+        label: scheme.name(),
+        scheme,
+        outcome,
+        phases,
+    })
+}
+
+/// Writes the per-user record stream as CSV. Floats use Rust's
+/// shortest-roundtrip formatting, so two byte-identical files mean two
+/// bit-identical record streams — the resume tests compare exactly this.
+fn write_records(path: &str, outcome: &SimOutcome, opts: &Options) -> Result<(), CliError> {
+    check_clobber(path, opts)?;
+    let mut body =
+        String::from("id,class,arrival,departure,download_span,online_fluid,final_rho,cheater\n");
+    for r in &outcome.records {
+        body.push_str(&format!(
+            "{},{},{},{},{},{},{},{}\n",
+            r.id,
+            r.class,
+            r.arrival,
+            r.departure,
+            r.download_span,
+            r.online_fluid,
+            r.final_rho,
+            r.cheater
+        ));
+    }
+    fs::write(path, body)?;
+    eprintln!("wrote {path} ({} records)", outcome.records.len());
+    Ok(())
+}
+
+/// `--inject-panic CELL[@EVENT]` (default event 50).
+fn parse_inject(spec: Option<&str>) -> Result<Option<(String, u64)>, CliError> {
+    let Some(spec) = spec else { return Ok(None) };
+    match spec.rsplit_once('@') {
+        Some((cell, ev)) => {
+            let ev = ev.parse().map_err(|_| {
+                format!("--inject-panic: '{ev}' is not an event count (use CELL@EVENT)")
+            })?;
+            Ok(Some((cell.to_string(), ev)))
+        }
+        None => Ok(Some((spec.to_string(), 50))),
+    }
+}
+
+/// `btfluid sweep` — supervised replicate sweep with failure quarantine.
+fn cmd_sweep(opts: &Options) -> Result<(), CliError> {
+    let Some(manifest) = opts.get("manifest") else {
+        return Err("sweep: --manifest FILE is required (the append-only journal)".into());
+    };
+    let manifest_path = PathBuf::from(manifest);
+    let resume = opts.has("resume");
+    if !resume && fs::metadata(&manifest_path).is_ok_and(|m| m.len() > 0) {
+        return Err(CliError::new(
+            EXIT_CLOBBER,
+            format!(
+                "{manifest} already journals a sweep; pass --resume to continue it \
+                 or choose a fresh manifest path"
+            ),
+        ));
+    }
+    let bundles = opts
+        .get("bundles")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| manifest_path.with_extension("bundles"));
+
+    let scheme_specs: Vec<String> = match opts.get("schemes") {
+        Some(s) => s.split(',').map(|t| t.trim().to_string()).collect(),
+        None => ["mtsd", "mtcd", "mfcd", "cmfsd:0.5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    };
+    let reps = opts.get_usize("reps", 2)?;
+    if reps == 0 {
+        return Err("sweep: --reps must be at least 1".into());
+    }
+    let base_seed = opts.get_u64("seed", 2006)?;
+    let p = opts.get_f64("p", 0.5)?;
+    let k = opts.get_usize("k", 10)? as u32;
+    let horizon = opts.get_f64("horizon", 600.0)?;
+    let warmup = opts.get_f64("warmup", horizon / 4.0)?;
+    let inject = parse_inject(opts.get("inject-panic"))?;
+
+    let mut cells = Vec::new();
+    for spec in &scheme_specs {
+        let scheme = parse_scheme(spec)?;
+        for rep in 0..reps {
+            let seed = base_seed.wrapping_add(rep as u64);
+            let id = format!("{spec}-s{seed}");
+            let cfg = DesConfig {
+                params: FluidParams::paper(),
+                model: CorrelationModel::new(k, p, 0.25)?,
+                scheme,
+                horizon,
+                warmup,
+                drain: horizon,
+                seed,
+                adapt: None,
+                origin_seeds: 1,
+                warm_start: false,
+                order_policy: OrderPolicy::default(),
+                record_every: None,
+                exact_rates: opts.has("exact"),
+                checked: opts.has("checked"),
+            };
+            cfg.validate()?;
+            let inject_panic_at = inject
+                .as_ref()
+                .and_then(|(cell, ev)| (cell == &id).then_some(*ev));
+            cells.push(harness::CellSpec {
+                id,
+                cfg,
+                scenario: None,
+                inject_panic_at,
+            });
+        }
+    }
+    let total = cells.len();
+
+    let max_events = match opts.get("event-budget") {
+        None => None,
+        Some(_) => Some(opts.get_u64("event-budget", 0)?),
+    };
+    let max_wall = match opts.get("wall-budget-ms") {
+        None => None,
+        Some(_) => Some(Duration::from_millis(opts.get_u64("wall-budget-ms", 0)?)),
+    };
+    let sup = harness::SupervisorConfig {
+        manifest: manifest_path,
+        bundle_dir: bundles,
+        budget: harness::Budget {
+            max_events,
+            max_wall,
+        },
+        max_retries: opts.get_usize("retries", 1)? as u32,
+        backoff: Duration::from_millis(100),
+        workers: opts.get_usize("workers", 1)?,
+        resume,
+        checkpoint_every: opts.get_u64("checkpoint-every", 5000)?,
+    };
+    let report = harness::run_sweep(&sup, cells)?;
+
+    let mut t = Table::new(
+        "sweep results (this invocation)",
+        vec![
+            "cell",
+            "events",
+            "arrivals",
+            "completed",
+            "censored",
+            "aborted",
+            "online/file",
+        ],
+    );
+    for r in &report.completed {
+        t.push_row(vec![
+            r.id.clone(),
+            format!("{}", r.events),
+            format!("{}", r.arrivals),
+            format!("{}", r.completed),
+            format!("{}", r.censored),
+            format!("{}", r.aborted),
+            r.avg_online_per_file
+                .map_or_else(|| "-".into(), |v| format!("{v:.2}")),
+        ]);
+    }
+    emit(&t, opts)?;
+    if !report.skipped.is_empty() {
+        eprintln!(
+            "skipped {} cell(s) the manifest already records done",
+            report.skipped.len()
+        );
+    }
+    for f in &report.failed {
+        eprintln!(
+            "quarantined {} after {} attempt(s): {} — replay with \
+             'btfluid repro {}'",
+            f.id,
+            f.attempts,
+            f.reason,
+            f.bundle.display()
+        );
+    }
+    if report.failed.is_empty() {
+        eprintln!(
+            "sweep complete: {} ran, {} skipped, {total} total",
+            report.completed.len(),
+            report.skipped.len()
+        );
+        Ok(())
+    } else {
+        Err(CliError::new(
+            EXIT_SWEEP_FAILED,
+            format!(
+                "sweep: {} of {total} cell(s) quarantined (all others completed)",
+                report.failed.len()
+            ),
+        ))
+    }
+}
+
+/// Renders a caught panic payload.
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// `btfluid repro <bundle-dir>` — replay a quarantined cell.
+fn cmd_repro(rest: &[String]) -> Result<(), CliError> {
+    let Some(dir) = rest.first() else {
+        return Err("repro: missing bundle directory (written under a sweep's --bundles)".into());
+    };
+    let _opts = Options::parse(&rest[1..])?;
+    let bundle = harness::ReproBundle::read(Path::new(dir))?;
+    eprintln!(
+        "repro {}: recorded failure: {}",
+        bundle.cell_id, bundle.reason
+    );
+    let hook = bundle
+        .scenario
+        .as_ref()
+        .map(harness::ScenarioRef::build_hook)
+        .transpose()?;
+    let mut sim = match &bundle.checkpoint {
+        Some(bytes) => {
+            let snap = Snapshot::from_bytes(bytes)?;
+            eprintln!(
+                "restoring checkpoint at t = {:.3} ({} events)",
+                snap.sim_time(),
+                snap.events()
+            );
+            match hook {
+                Some(h) => Simulation::restore_with_hook(bundle.cfg.clone(), &snap, h)?,
+                None => Simulation::restore(bundle.cfg.clone(), &snap)?,
+            }
+        }
+        None => match hook {
+            Some(h) => Simulation::with_hook(bundle.cfg.clone(), h)?,
+            None => Simulation::new(bundle.cfg.clone())?,
+        },
+    };
+    let inject = bundle.inject_panic_at;
+    let replay = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+        move || -> Result<SimOutcome, btfluid_des::DesError> {
+            loop {
+                if inject.is_some_and(|n| sim.events() >= n) {
+                    panic!(
+                        "injected panic at event {} (t = {:.3})",
+                        sim.events(),
+                        sim.sim_time()
+                    );
+                }
+                if !sim.step()? {
+                    break;
+                }
+            }
+            Ok(sim.finish())
+        },
+    ));
+    match replay {
+        Err(payload) => Err(CliError::new(
+            EXIT_SWEEP_FAILED,
+            format!(
+                "repro {}: failure reproduced: {}",
+                bundle.cell_id,
+                panic_text(payload)
+            ),
+        )),
+        Ok(Err(e)) => {
+            eprintln!("repro {}: typed engine failure reproduced", bundle.cell_id);
+            Err(e.into())
+        }
+        Ok(Ok(outcome)) => {
+            eprintln!(
+                "repro {}: ran to completion without reproducing the failure \
+                 (events {}, arrivals {}, completed {})",
+                bundle.cell_id,
+                outcome.events,
+                outcome.arrivals,
+                outcome.records.len()
+            );
+            Ok(())
+        }
+    }
+}
+
+fn cmd_all(opts: &Options) -> Result<(), CliError> {
     cmd_fig2(opts)?;
     cmd_fig3(opts)?;
     cmd_fig4a(opts)?;
@@ -634,6 +1038,105 @@ mod tests {
             "0".into(),
         ];
         assert!(dispatch(&argv).is_err());
+    }
+
+    #[test]
+    fn inject_spec_parses() {
+        assert_eq!(parse_inject(None).unwrap(), None);
+        assert_eq!(
+            parse_inject(Some("mtsd-s7@120")).unwrap(),
+            Some(("mtsd-s7".into(), 120))
+        );
+        assert_eq!(
+            parse_inject(Some("mtsd-s7")).unwrap(),
+            Some(("mtsd-s7".into(), 50))
+        );
+        assert!(parse_inject(Some("cell@lots")).is_err());
+    }
+
+    /// End-to-end sweep robustness: an injected panic quarantines exactly
+    /// one cell (exit 6), the repro bundle replays the failure (exit 6),
+    /// `--resume` reruns only the missing cell and the sweep completes, and
+    /// a stale manifest without `--resume` is refused (exit 7).
+    #[test]
+    fn sweep_quarantine_repro_resume_cycle() {
+        let dir = std::env::temp_dir().join("btfluid_cli_sweep_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.join("sweep.jsonl");
+        let bundles = dir.join("bundles");
+        let base = vec![
+            "sweep".into(),
+            "--manifest".into(),
+            manifest.to_str().unwrap().to_string(),
+            "--bundles".into(),
+            bundles.to_str().unwrap().to_string(),
+            "--schemes".into(),
+            "mtsd".into(),
+            "--reps".into(),
+            "2".into(),
+            "--horizon".into(),
+            "120".into(),
+            "--seed".into(),
+            "42".into(),
+            "--retries".into(),
+            "0".into(),
+            "--csv".into(),
+        ];
+
+        let mut first = base.clone();
+        first.extend(["--inject-panic".into(), "mtsd-s43@20".into()]);
+        let err = dispatch(&first).unwrap_err();
+        assert_eq!(err.code, EXIT_SWEEP_FAILED, "{}", err.message);
+        let bundle = harness::bundle_path(&bundles, "mtsd-s43");
+        assert!(bundle.join("repro.json").is_file(), "bundle not written");
+
+        // The bundle must replay the recorded panic.
+        let err = dispatch(&["repro".into(), bundle.to_str().unwrap().to_string()]).unwrap_err();
+        assert_eq!(err.code, EXIT_SWEEP_FAILED, "{}", err.message);
+        assert!(err.message.contains("reproduced"), "{}", err.message);
+
+        // A second sweep against the same manifest needs --resume.
+        let err = dispatch(&base).unwrap_err();
+        assert_eq!(err.code, EXIT_CLOBBER, "{}", err.message);
+
+        // --resume (without the injection) reruns only the failed cell.
+        let mut resumed = base.clone();
+        resumed.push("--resume".into());
+        dispatch(&resumed).unwrap();
+        let journal = std::fs::read_to_string(&manifest).unwrap();
+        assert_eq!(
+            journal.matches("\"id\":\"mtsd-s42\"").count(),
+            1,
+            "the finished cell must not rerun:\n{journal}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Result-writing commands refuse to clobber without `--force`.
+    #[test]
+    fn clobber_needs_force() {
+        let dir = std::env::temp_dir().join("btfluid_cli_clobber_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig2.csv");
+        std::fs::write(&path, "old").unwrap();
+        let argv = vec![
+            "fig2".into(),
+            "--points".into(),
+            "3".into(),
+            "--out".into(),
+            path.to_str().unwrap().to_string(),
+        ];
+        let err = dispatch(&argv).unwrap_err();
+        assert_eq!(err.code, EXIT_CLOBBER, "{}", err.message);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "old");
+
+        let mut forced = argv.clone();
+        forced.push("--force".into());
+        dispatch(&forced).unwrap();
+        assert!(std::fs::read_to_string(&path).unwrap().starts_with("p,"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 mod args;
 mod commands;
+mod errors;
 
 use std::process::ExitCode;
 
@@ -27,7 +28,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("btfluid: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.code)
         }
     }
 }

@@ -1,0 +1,151 @@
+//! Crash-recovery integration test against the real `btfluid` binary:
+//! a run SIGKILLed mid-flight and resumed from its checkpoint must emit a
+//! record stream byte-identical to an uninterrupted run.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_btfluid");
+
+fn scenario_args(records: &Path) -> Vec<String> {
+    [
+        "scenario",
+        "flash_crowd",
+        "--scheme",
+        "mtcd",
+        "--seed",
+        "9",
+        "--csv",
+        "--records",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .chain([records.to_str().unwrap().to_string()])
+    .collect()
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn sigkill_then_resume_is_bit_identical() {
+    let dir = fresh_dir("btfluid_kill_resume_test");
+    let straight = dir.join("straight.csv");
+    let resumed = dir.join("resumed.csv");
+    let checkpoint = dir.join("cp.snap");
+
+    // Reference: one uninterrupted run.
+    let status = Command::new(BIN)
+        .args(scenario_args(&straight))
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("spawn reference run");
+    assert!(status.success(), "reference run failed: {status}");
+
+    // Victim: same run with checkpointing, killed (SIGKILL — no cleanup
+    // handler gets to run) as soon as the first checkpoint lands on disk.
+    let mut victim_args = scenario_args(&resumed);
+    victim_args.extend(
+        [
+            "--checkpoint",
+            checkpoint.to_str().unwrap(),
+            "--checkpoint-every",
+            "200",
+        ]
+        .map(String::from),
+    );
+    let mut child = Command::new(BIN)
+        .args(&victim_args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn victim run");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut killed = false;
+    loop {
+        if checkpoint.is_file() {
+            // `Child::kill` is SIGKILL on Unix.
+            child.kill().expect("kill victim");
+            child.wait().expect("reap victim");
+            killed = true;
+            break;
+        }
+        if let Some(status) = child.try_wait().expect("poll victim") {
+            // Finished before the first checkpoint was observed: the race
+            // went the fast way. The determinism comparison below still
+            // stands; the resume path is covered by the harness tests.
+            assert!(status.success(), "victim failed on its own: {status}");
+            break;
+        }
+        assert!(Instant::now() < deadline, "no checkpoint within 30s");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    if killed {
+        assert!(
+            !resumed.is_file(),
+            "victim was killed yet already wrote its records"
+        );
+        let mut resume_args = victim_args.clone();
+        resume_args.push("--resume".into());
+        let status = Command::new(BIN)
+            .args(&resume_args)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .status()
+            .expect("spawn resume run");
+        assert!(status.success(), "resume run failed: {status}");
+        assert!(
+            !checkpoint.is_file(),
+            "completed run must remove its checkpoint"
+        );
+    }
+
+    let straight_bytes = std::fs::read(&straight).expect("read reference records");
+    let resumed_bytes = std::fs::read(&resumed).expect("read resumed records");
+    assert!(
+        straight_bytes == resumed_bytes,
+        "resumed record stream diverged from the uninterrupted run \
+         (killed mid-run: {killed})"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Exit codes are part of the CLI contract: a corrupt checkpoint must die
+/// with the documented snapshot code, not a generic failure.
+#[test]
+fn corrupt_checkpoint_exits_with_snapshot_code() {
+    let dir = fresh_dir("btfluid_corrupt_cp_test");
+    let checkpoint = dir.join("cp.snap");
+    std::fs::write(&checkpoint, b"BTFSgarbage").unwrap();
+    let records = dir.join("records.csv");
+    let mut args = scenario_args(&records);
+    args.extend(
+        [
+            "--checkpoint",
+            checkpoint.to_str().unwrap(),
+            "--checkpoint-every",
+            "200",
+        ]
+        .map(String::from),
+    );
+    args.push("--resume".into());
+    let out = Command::new(BIN)
+        .args(&args)
+        .stdout(Stdio::null())
+        .output()
+        .expect("spawn run");
+    assert_eq!(
+        out.status.code(),
+        Some(5),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -153,6 +153,31 @@ impl AdaptController {
         &self.cfg
     }
 
+    /// Decomposes the controller into `(ρ, above-streak, below-streak)`,
+    /// for checkpointing. Inverse of [`AdaptController::from_raw_state`]
+    /// (the config is restored separately — it is immutable and lives in
+    /// the run configuration).
+    pub fn raw_state(&self) -> (f64, u32, u32) {
+        (self.rho, self.above, self.below)
+    }
+
+    /// Rebuilds a controller from a config plus state captured with
+    /// [`AdaptController::raw_state`].
+    ///
+    /// # Errors
+    /// Propagates config validation; rejects `ρ ∉ [0,1]`.
+    pub fn from_raw_state(
+        cfg: AdaptConfig,
+        rho: f64,
+        above: u32,
+        below: u32,
+    ) -> Result<Self, NumError> {
+        let mut ctrl = Self::with_initial_rho(cfg, rho)?;
+        ctrl.above = above;
+        ctrl.below = below;
+        Ok(ctrl)
+    }
+
     /// Feeds one periodic observation of Δ; returns the (possibly updated)
     /// ρ. A step happens only after [`AdaptConfig::patience`] consecutive
     /// observations beyond the same threshold, after which the streak

@@ -164,6 +164,15 @@ pub struct DesConfig {
     /// trajectories; this one is O(peers) per event and exists so tests
     /// can assert that equivalence.
     pub exact_rates: bool,
+    /// Opt-in invariant validation: after every event the engine audits
+    /// rate finiteness, event-queue/live-count consistency, and incremental
+    /// rate-cache agreement with a from-scratch recompute, turning a
+    /// violation into a typed [`crate::DesError::Invariant`] from
+    /// [`crate::engine::Simulation::step`] /
+    /// [`crate::engine::Simulation::try_run`] instead of a downstream
+    /// panic. O(peers) per event — meant for tests and debugging, not
+    /// production sweeps. Does not perturb the simulated trajectory.
+    pub checked: bool,
 }
 
 impl DesConfig {
@@ -184,6 +193,7 @@ impl DesConfig {
             order_policy: OrderPolicy::default(),
             record_every: None,
             exact_rates: false,
+            checked: false,
         })
     }
 

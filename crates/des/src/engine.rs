@@ -31,14 +31,17 @@
 
 use crate::adapt::assign_arrival_policy;
 use crate::config::{DesConfig, OrderPolicy, SchemeKind};
+use crate::error::{DesError, InvariantKind};
 use crate::event_queue::{Entry, EventQueue, RANK_COMPLETION, RANK_EXPIRY};
 use crate::hook::ScenarioHook;
 use crate::observer::{AbortRecord, SimOutcome, UserRecord};
 use crate::peer::{Peer, Phase};
 use crate::rate::compute_rates;
 use crate::rate_cache::RateCache;
+use crate::snapshot::{self, Snapshot, SnapshotError};
 use btfluid_numkit::dist::Exponential;
 use btfluid_numkit::rng::{RngCore, Xoshiro256StarStar};
+use btfluid_numkit::series::TimeSeries;
 use btfluid_numkit::NumError;
 use btfluid_workload::requests::{FileId, RequestSampler};
 
@@ -112,6 +115,19 @@ pub struct Simulation {
     /// Origin-seed count currently in force (scenario outages move it off
     /// `cfg.origin_seeds`).
     origin_now: usize,
+    // Run-in-progress state, formerly locals of `run()`; promoted to fields
+    // so a run can be suspended between steps and checkpointed.
+    /// Whether the pre-loop initialization (first arrival draw, initial
+    /// rate build, abort arming) has happened.
+    started: bool,
+    /// Population trajectory being recorded (when `record_every` is set).
+    trajectory: Option<TimeSeries>,
+    /// Next trajectory sampling time.
+    next_record: f64,
+    /// Debug tracing (`BTFLUID_DES_TRACE`); env-derived, excluded from
+    /// snapshots — stderr output is not part of the bit-identity contract.
+    trace: bool,
+    next_trace: f64,
 }
 
 impl Simulation {
@@ -165,6 +181,11 @@ impl Simulation {
             next_abort: None,
             next_control: None,
             origin_now,
+            started: false,
+            trajectory: None,
+            next_record: 0.0,
+            trace: std::env::var_os("BTFLUID_DES_TRACE").is_some(),
+            next_trace: 0.0,
         };
         if sim.cfg.warm_start {
             sim.populate_from_fluid()?;
@@ -299,107 +320,119 @@ impl Simulation {
     }
 
     /// Runs to completion and returns the outcome.
-    pub fn run(mut self) -> SimOutcome {
+    ///
+    /// # Panics
+    /// Panics when a `checked`-mode invariant audit fails; use
+    /// [`Self::try_run`] to receive the violation as a [`DesError`].
+    pub fn run(self) -> SimOutcome {
+        self.try_run()
+            .expect("invariant violation (checked mode); call try_run to handle it")
+    }
+
+    /// Runs to completion, surfacing `checked`-mode invariant violations as
+    /// typed errors.
+    ///
+    /// # Errors
+    /// Returns [`DesError::Invariant`] when [`DesConfig::checked`] is set
+    /// and a per-event audit fails.
+    pub fn try_run(mut self) -> Result<SimOutcome, DesError> {
+        while self.step()? {}
+        Ok(self.finish())
+    }
+
+    /// Dispatches the next event and returns whether the run can continue:
+    /// `Ok(true)` after a regular event, `Ok(false)` once the hard stop at
+    /// `horizon + drain` has been reached (call [`Self::finish`]).
+    ///
+    /// Driving `step()` in a loop and then calling [`Self::finish`] is
+    /// *exactly* [`Self::run`] — the checkpointing harness interleaves
+    /// [`Self::snapshot`] calls between steps without perturbing the
+    /// trajectory.
+    ///
+    /// # Errors
+    /// Returns [`DesError::Invariant`] when [`DesConfig::checked`] is set
+    /// and the post-event audit fails. Stepping past the end (after
+    /// `Ok(false)`) keeps returning `Ok(false)` without advancing.
+    pub fn step(&mut self) -> Result<bool, DesError> {
         let end = self.cfg.horizon + self.cfg.drain;
-        let trace = std::env::var_os("BTFLUID_DES_TRACE").is_some();
-        let mut next_trace = 0.0;
-        let mut trajectory = self.cfg.record_every.map(|_| {
-            btfluid_numkit::series::TimeSeries::new(vec!["downloaders", "seeds"])
-                .expect("two channels")
-        });
-        let mut next_record = 0.0;
-        self.schedule_arrival();
-        // Initial build: everything registered so far is dirty.
-        self.refresh_rates(self.cfg.exact_rates);
-        if self.hook.is_some() {
-            self.rearm_abort();
-        }
-        loop {
-            if let (Some(series), Some(dt)) = (trajectory.as_mut(), self.cfg.record_every) {
-                if self.t >= next_record {
-                    series
-                        .push(
-                            self.t,
-                            &[self.traj_downloaders as f64, self.traj_seeds as f64],
-                        )
-                        .expect("time is monotone");
-                    while next_record <= self.t {
-                        next_record += dt;
-                    }
-                }
-            }
-            if trace && self.t >= next_trace {
-                let snapshot = compute_rates(
-                    &self.peers,
-                    self.cfg.scheme,
-                    &self.cfg.params,
-                    self.cfg.model.k() as usize,
-                    self.origin_now,
-                );
-                let total: f64 = snapshot.downloads.iter().map(|d| d.rate).sum();
-                let don: f64 = snapshot.donations.iter().sum();
-                let zero = snapshot.downloads.iter().filter(|d| d.rate <= 0.0).count();
-                let k = self.cfg.model.k() as usize;
-                let mut demand = vec![0usize; k];
-                for d in &snapshot.downloads {
-                    demand[self.peers[d.peer_idx].files[d.slot] as usize] += 1;
-                }
-                let mut holders = vec![0usize; k];
-                for p in &self.peers {
-                    if p.phase == Phase::Departed {
-                        continue;
-                    }
-                    for s in p.finished_slots() {
-                        holders[p.files[s] as usize] += 1;
-                    }
-                }
-                eprintln!(
-                    "[trace] t={:.0} peers={} downloads={} zero-rate={} total_rate={:.4} donations={:.4} demand={demand:?} holders={holders:?}",
-                    self.t,
-                    self.peers.len() - self.free.len(),
-                    snapshot.downloads.len(),
-                    zero,
-                    total,
-                    don
-                );
-                next_trace = self.t + 500.0;
-            }
-            let (t_next, event) = self.next_event(end);
-            self.outcome.events += 1;
-            let dt = t_next - self.t;
-            debug_assert!(dt >= -1e-9, "time went backwards: dt = {dt}");
-            // Population integrals over the stationary window, from the
-            // per-class counters (state is constant on [t, t_next)).
-            let win_lo = self.t.max(self.cfg.warmup);
-            let win_hi = t_next.min(self.cfg.horizon);
-            if win_hi > win_lo {
-                self.outcome.population.accumulate(
-                    win_hi - win_lo,
-                    &self.dl_peers,
-                    &self.dl_pairs,
-                    &self.seed_pairs,
-                );
-            }
-            self.t = t_next;
-            match event {
-                Event::End => break,
-                Event::Arrival => self.handle_arrival(),
-                Event::Completion(p, slot) => self.handle_completion(p, slot),
-                Event::SeedExpiry(p) => self.handle_seed_expiry(p),
-                Event::Epoch => self.handle_epoch(),
-                Event::Abort => self.handle_abort(),
-                Event::Control => self.handle_control(),
-            }
-            // Epochs may rewrite every ρ, so both modes recompute fully.
-            let force = self.cfg.exact_rates || matches!(event, Event::Epoch);
-            self.refresh_rates(force);
+        if !self.started {
+            self.started = true;
+            self.trajectory = self
+                .cfg
+                .record_every
+                .map(|_| TimeSeries::new(vec!["downloaders", "seeds"]).expect("two channels"));
+            self.schedule_arrival();
+            // Initial build: everything registered so far is dirty.
+            self.refresh_rates(self.cfg.exact_rates);
             if self.hook.is_some() {
-                // The downloader count may have changed; re-sample the
-                // abort candidate (exact by memorylessness — the thinned
-                // race is exponential at `bound · N` between events).
                 self.rearm_abort();
             }
         }
+        if self.t >= end {
+            return Ok(false);
+        }
+        if let (Some(series), Some(dt)) = (self.trajectory.as_mut(), self.cfg.record_every) {
+            if self.t >= self.next_record {
+                series
+                    .push(
+                        self.t,
+                        &[self.traj_downloaders as f64, self.traj_seeds as f64],
+                    )
+                    .expect("time is monotone");
+                while self.next_record <= self.t {
+                    self.next_record += dt;
+                }
+            }
+        }
+        if self.trace && self.t >= self.next_trace {
+            self.emit_trace();
+        }
+        let (t_next, event) = self.next_event(end);
+        self.outcome.events += 1;
+        let dt = t_next - self.t;
+        debug_assert!(dt >= -1e-9, "time went backwards: dt = {dt}");
+        // Population integrals over the stationary window, from the
+        // per-class counters (state is constant on [t, t_next)).
+        let win_lo = self.t.max(self.cfg.warmup);
+        let win_hi = t_next.min(self.cfg.horizon);
+        if win_hi > win_lo {
+            self.outcome.population.accumulate(
+                win_hi - win_lo,
+                &self.dl_peers,
+                &self.dl_pairs,
+                &self.seed_pairs,
+            );
+        }
+        self.t = t_next;
+        match event {
+            Event::End => return Ok(false),
+            Event::Arrival => self.handle_arrival(),
+            Event::Completion(p, slot) => self.handle_completion(p, slot),
+            Event::SeedExpiry(p) => self.handle_seed_expiry(p),
+            Event::Epoch => self.handle_epoch(),
+            Event::Abort => self.handle_abort(),
+            Event::Control => self.handle_control(),
+        }
+        // Epochs may rewrite every ρ, so both modes recompute fully.
+        let force = self.cfg.exact_rates || matches!(event, Event::Epoch);
+        self.refresh_rates(force);
+        if self.hook.is_some() {
+            // The downloader count may have changed; re-sample the
+            // abort candidate (exact by memorylessness — the thinned
+            // race is exponential at `bound · N` between events).
+            self.rearm_abort();
+        }
+        if self.cfg.checked {
+            self.validate_invariants()?;
+        }
+        Ok(true)
+    }
+
+    /// Closes out a stepped run: settles every surviving peer at the stop
+    /// time, records censoring diagnostics, and returns the outcome. Must
+    /// only be called after [`Self::step`] returned `Ok(false)` — finishing
+    /// early yields an outcome for a truncated horizon.
+    pub fn finish(mut self) -> SimOutcome {
         // Settle everyone still alive so censored diagnostics reflect the
         // hard stop.
         let t = self.t;
@@ -431,8 +464,413 @@ impl Simulation {
                 });
             }
         }
-        self.outcome.trajectory = trajectory;
+        self.outcome.trajectory = self.trajectory.take();
         self.outcome
+    }
+
+    /// Current simulated time (between steps).
+    pub fn sim_time(&self) -> f64 {
+        self.t
+    }
+
+    /// Events dispatched so far.
+    pub fn events(&self) -> u64 {
+        self.outcome.events
+    }
+
+    /// Captures the run's full mutable state between steps.
+    ///
+    /// Restoring the snapshot (into a fresh process, after a crash, …) and
+    /// stepping on is bit-identical to never having stopped — see
+    /// [`crate::snapshot`] for the contract and what is rebuilt rather than
+    /// serialized.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut peers = self.peers.clone();
+        let adapt_states = peers
+            .iter_mut()
+            .map(|p| p.adapt.take().map(|c| c.raw_state()))
+            .collect();
+        Snapshot {
+            config_digest: snapshot::config_digest(&self.cfg),
+            hook_fp: snapshot::hook_fingerprint(self.hook.as_deref()),
+            t: self.t,
+            started: self.started,
+            rng_states: [
+                self.rng_arrivals.state(),
+                self.rng_service.state(),
+                self.rng_scenario.state(),
+            ],
+            user_counter: self.user_counter,
+            next_stamp: self.next_stamp,
+            arrival_clock: self.arrival_clock,
+            origin_now: self.origin_now as u64,
+            next_arrival: self.next_arrival.clone(),
+            next_epoch: self.next_epoch,
+            next_abort: self.next_abort,
+            next_control: self.next_control,
+            free: self.free.iter().map(|&i| i as u64).collect(),
+            peers,
+            adapt_states,
+            outcome: self.outcome.clone(),
+            trajectory: self.trajectory.clone(),
+            next_record: self.next_record,
+        }
+    }
+
+    /// Reconstructs a suspended hookless run from a snapshot.
+    ///
+    /// # Errors
+    /// [`DesError::Snapshot`] when the config does not match the one the
+    /// snapshot was taken under, the snapshot was taken with a hook
+    /// attached, or the payload is inconsistent; [`DesError::Invariant`]
+    /// when the rebuilt rate cache fails to reproduce the serialized rates
+    /// bitwise.
+    pub fn restore(cfg: DesConfig, snap: &Snapshot) -> Result<Self, DesError> {
+        Self::restore_inner(cfg, snap, None)
+    }
+
+    /// Reconstructs a suspended scenario run from a snapshot, re-attaching
+    /// its hook.
+    ///
+    /// The hook must fingerprint ([`crate::snapshot::hook_fingerprint`])
+    /// to the value embedded in the snapshot — hooks are pure functions of
+    /// `t`, so an equal fingerprint means the re-attached hook replays the
+    /// original scenario exactly.
+    ///
+    /// # Errors
+    /// As [`Self::restore`], plus [`SnapshotError::HookMismatch`] for a
+    /// hook whose state digests differently.
+    pub fn restore_with_hook(
+        cfg: DesConfig,
+        snap: &Snapshot,
+        hook: Box<dyn ScenarioHook>,
+    ) -> Result<Self, DesError> {
+        Self::restore_inner(cfg, snap, Some(hook))
+    }
+
+    fn restore_inner(
+        cfg: DesConfig,
+        snap: &Snapshot,
+        hook: Option<Box<dyn ScenarioHook>>,
+    ) -> Result<Self, DesError> {
+        cfg.validate()?;
+        if snapshot::config_digest(&cfg) != snap.config_digest {
+            return Err(SnapshotError::ConfigMismatch.into());
+        }
+        if snapshot::hook_fingerprint(hook.as_deref()) != snap.hook_fp {
+            return Err(SnapshotError::HookMismatch.into());
+        }
+        for s in &snap.rng_states {
+            if *s == [0; 4] {
+                return Err(SnapshotError::Corrupt("all-zero RNG stream state".into()).into());
+            }
+        }
+        let k = cfg.model.k() as usize;
+        let mut peers = snap.peers.clone();
+        for (p, st) in peers.iter_mut().zip(&snap.adapt_states) {
+            if let Some((rho, above, below)) = st {
+                let setup = cfg.adapt.as_ref().ok_or_else(|| {
+                    SnapshotError::Corrupt(
+                        "peer carries an Adapt controller but the config has none".into(),
+                    )
+                })?;
+                p.adapt = Some(btfluid_core::adapt::AdaptController::from_raw_state(
+                    setup.controller,
+                    *rho,
+                    *above,
+                    *below,
+                )?);
+            }
+        }
+        if snap.outcome.k() != k {
+            return Err(SnapshotError::Corrupt(format!(
+                "outcome tracks {} classes, config has {k}",
+                snap.outcome.k()
+            ))
+            .into());
+        }
+        let origin_now = snap.origin_now as usize;
+        let mut sim = Self {
+            rng_arrivals: Xoshiro256StarStar::from_state(snap.rng_states[0]),
+            rng_service: Xoshiro256StarStar::from_state(snap.rng_states[1]),
+            rng_scenario: Xoshiro256StarStar::from_state(snap.rng_states[2]),
+            sampler: RequestSampler::new(cfg.model),
+            gap: Exponential::new(cfg.model.lambda0())?,
+            gamma: Exponential::new(cfg.params.gamma())?,
+            t: snap.t,
+            peers,
+            free: snap.free.iter().map(|&i| i as usize).collect(),
+            next_arrival: snap.next_arrival.clone(),
+            next_epoch: snap.next_epoch,
+            user_counter: snap.user_counter,
+            outcome: snap.outcome.clone(),
+            cache: RateCache::new(k, cfg.scheme, &cfg.params, cfg.origin_seeds),
+            queue: EventQueue::new(),
+            next_stamp: snap.next_stamp,
+            live: 0,
+            holders: vec![origin_now; k],
+            dl_peers: vec![0; k],
+            dl_pairs: vec![0; k],
+            seed_pairs: vec![0; k],
+            traj_downloaders: 0,
+            traj_seeds: 0,
+            changed_buf: Vec::new(),
+            hook: None,
+            hook_gap: None,
+            abort_bound: 0.0,
+            arrival_clock: snap.arrival_clock,
+            next_abort: snap.next_abort,
+            next_control: snap.next_control,
+            origin_now,
+            started: snap.started,
+            trajectory: snap.trajectory.clone(),
+            next_record: snap.next_record,
+            trace: std::env::var_os("BTFLUID_DES_TRACE").is_some(),
+            next_trace: snap.t,
+            cfg,
+        };
+        if let Some(h) = hook {
+            // attach_hook minus apply_origin/next_boundary: the snapshot
+            // already carries the origin count in force and the scheduled
+            // control boundary.
+            let bound = h.arrival_rate_bound();
+            sim.hook_gap = Some(Exponential::new(bound)?);
+            let abort_bound = h.abort_rate_bound();
+            if !(abort_bound >= 0.0) || !abort_bound.is_finite() {
+                return Err(NumError::InvalidInput {
+                    what: "Simulation::restore_with_hook",
+                    detail: format!("abort_rate_bound must be finite and ≥ 0, got {abort_bound}"),
+                }
+                .into());
+            }
+            sim.abort_bound = abort_bound;
+            sim.hook = Some(h);
+        }
+        // Rebuild the derived structures: cache memberships, population
+        // counters, holder counts, and the event heap (from the per-peer
+        // stamp bookkeeping, preserving stamp values).
+        sim.cache.grow(sim.peers.len());
+        sim.cache.set_origin_seeds(origin_now);
+        for idx in 0..sim.peers.len() {
+            if sim.peers[idx].phase == Phase::Departed {
+                let p = &sim.peers[idx];
+                if p.expiry_stamp != 0 || p.comp_stamp.iter().any(|&s| s != 0) {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "departed peer {idx} still holds an armed stamp"
+                    ))
+                    .into());
+                }
+                continue;
+            }
+            sim.cache.register(idx, &sim.peers);
+            sim.add_counters(idx);
+            for s in 0..sim.peers[idx].class() {
+                if sim.peers[idx].finished(s) {
+                    sim.holders[sim.peers[idx].files[s] as usize] += 1;
+                }
+            }
+            let peer = &sim.peers[idx];
+            for s in 0..peer.class() {
+                if peer.comp_stamp[s] == 0 {
+                    continue;
+                }
+                if !peer.comp_time[s].is_finite() {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "peer {idx} slot {s}: armed completion at {}",
+                        peer.comp_time[s]
+                    ))
+                    .into());
+                }
+                sim.queue.push(Entry {
+                    time: peer.comp_time[s],
+                    rank: RANK_COMPLETION,
+                    peer: idx as u32,
+                    slot: s as u32,
+                    stamp: peer.comp_stamp[s],
+                });
+                sim.live += 1;
+            }
+            if peer.expiry_stamp != 0 {
+                let mut deadline = f64::INFINITY;
+                for su in peer.seed_until.iter().flatten() {
+                    if su.is_finite() {
+                        deadline = deadline.min(*su);
+                    }
+                }
+                if let Some(da) = peer.depart_at {
+                    deadline = deadline.min(da);
+                }
+                if !deadline.is_finite() {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "peer {idx}: armed expiry with no finite deadline"
+                    ))
+                    .into());
+                }
+                sim.queue.push(Entry {
+                    time: deadline,
+                    rank: RANK_EXPIRY,
+                    peer: idx as u32,
+                    slot: 0,
+                    stamp: peer.expiry_stamp,
+                });
+                sim.live += 1;
+            }
+        }
+        // The rebuild refresh must be a bitwise no-op: every recomputed
+        // rate has to reproduce the serialized value. Anything else means
+        // the snapshot and the cache's resummation contract disagree.
+        let t = sim.t;
+        let mut changed = Vec::new();
+        sim.cache.refresh(&mut sim.peers, t, false, &mut changed);
+        if !changed.is_empty() {
+            return Err(DesError::Invariant {
+                kind: InvariantKind::RateCacheDrift,
+                t,
+                detail: format!(
+                    "restore: {} download rates changed during cache rebuild",
+                    changed.len()
+                ),
+            });
+        }
+        for (idx, (now, was)) in sim.peers.iter().zip(&snap.peers).enumerate() {
+            if now.donation_rate.to_bits() != was.donation_rate.to_bits() {
+                return Err(DesError::Invariant {
+                    kind: InvariantKind::RateCacheDrift,
+                    t,
+                    detail: format!(
+                        "restore: peer {idx} donation rate {} rebuilt as {}",
+                        was.donation_rate, now.donation_rate
+                    ),
+                });
+            }
+        }
+        Ok(sim)
+    }
+
+    /// One `BTFLUID_DES_TRACE` stderr line (debug aid, not part of any
+    /// bit-identity contract).
+    fn emit_trace(&mut self) {
+        let snapshot = compute_rates(
+            &self.peers,
+            self.cfg.scheme,
+            &self.cfg.params,
+            self.cfg.model.k() as usize,
+            self.origin_now,
+        );
+        let total: f64 = snapshot.downloads.iter().map(|d| d.rate).sum();
+        let don: f64 = snapshot.donations.iter().sum();
+        let zero = snapshot.downloads.iter().filter(|d| d.rate <= 0.0).count();
+        let k = self.cfg.model.k() as usize;
+        let mut demand = vec![0usize; k];
+        for d in &snapshot.downloads {
+            demand[self.peers[d.peer_idx].files[d.slot] as usize] += 1;
+        }
+        let mut holders = vec![0usize; k];
+        for p in &self.peers {
+            if p.phase == Phase::Departed {
+                continue;
+            }
+            for s in p.finished_slots() {
+                holders[p.files[s] as usize] += 1;
+            }
+        }
+        eprintln!(
+            "[trace] t={:.0} peers={} downloads={} zero-rate={} total_rate={:.4} donations={:.4} demand={demand:?} holders={holders:?}",
+            self.t,
+            self.peers.len() - self.free.len(),
+            snapshot.downloads.len(),
+            zero,
+            total,
+            don
+        );
+        self.next_trace = self.t + 500.0;
+    }
+
+    /// `checked`-mode audit: rate finiteness, queue/live consistency, and
+    /// bitwise agreement of the incremental rate cache with a from-scratch
+    /// recompute. O(peers) per call.
+    fn validate_invariants(&self) -> Result<(), DesError> {
+        let violation = |kind: InvariantKind, detail: String| {
+            Err(DesError::Invariant {
+                kind,
+                t: self.t,
+                detail,
+            })
+        };
+        let mut armed = 0usize;
+        for (idx, p) in self.peers.iter().enumerate() {
+            if p.phase == Phase::Departed {
+                // Tombstones must hold no armed deadlines.
+                if p.expiry_stamp != 0 || p.comp_stamp.iter().any(|&s| s != 0) {
+                    return violation(
+                        InvariantKind::QueueInconsistency,
+                        format!("departed peer {idx} still holds an armed stamp"),
+                    );
+                }
+                continue;
+            }
+            armed += p.comp_stamp.iter().filter(|&&s| s != 0).count();
+            armed += usize::from(p.expiry_stamp != 0);
+            for s in 0..p.class() {
+                let checks = [
+                    ("rate", p.rate[s]),
+                    ("vs_rate", p.vs_rate[s]),
+                    ("remaining", p.remaining[s]),
+                    ("donation_rate", p.donation_rate),
+                ];
+                for (what, v) in checks {
+                    if !v.is_finite() || v < 0.0 {
+                        return violation(
+                            InvariantKind::NonFiniteRate,
+                            format!("peer {idx} slot {s}: {what} = {v}"),
+                        );
+                    }
+                }
+            }
+        }
+        if armed != self.live {
+            return violation(
+                InvariantKind::QueueInconsistency,
+                format!("live counter {} vs {armed} armed stamps", self.live),
+            );
+        }
+        // Full recompute vs. the incrementally maintained per-peer rates.
+        let fresh = compute_rates(
+            &self.peers,
+            self.cfg.scheme,
+            &self.cfg.params,
+            self.cfg.model.k() as usize,
+            self.origin_now,
+        );
+        for d in &fresh.downloads {
+            let p = &self.peers[d.peer_idx];
+            if p.rate[d.slot].to_bits() != d.rate.to_bits()
+                || p.vs_rate[d.slot].to_bits() != d.vs_rate.to_bits()
+            {
+                return violation(
+                    InvariantKind::RateCacheDrift,
+                    format!(
+                        "peer {} slot {}: cached ({}, {}) vs fresh ({}, {})",
+                        d.peer_idx, d.slot, p.rate[d.slot], p.vs_rate[d.slot], d.rate, d.vs_rate
+                    ),
+                );
+            }
+        }
+        for (idx, p) in self.peers.iter().enumerate() {
+            if p.phase == Phase::Departed {
+                continue;
+            }
+            if p.donation_rate.to_bits() != fresh.donations[idx].to_bits() {
+                return violation(
+                    InvariantKind::RateCacheDrift,
+                    format!(
+                        "peer {idx}: cached donation {} vs fresh {}",
+                        p.donation_rate, fresh.donations[idx]
+                    ),
+                );
+            }
+        }
+        Ok(())
     }
 
     /// Finds the earliest pending event: arrival and epoch are single

@@ -1,0 +1,108 @@
+//! Typed engine errors.
+//!
+//! Historically the engine had exactly two failure channels: configuration
+//! errors surfaced as [`NumError`] from constructors, and everything that
+//! went wrong *during* a run was a panic. [`DesError`] gives runs a third,
+//! structured channel: invariant violations detected by the opt-in
+//! `checked` mode ([`crate::DesConfig::checked`]) and snapshot/restore
+//! failures become values the caller can match on — the CLI maps each class
+//! to its own exit code, the harness supervisor to its own quarantine
+//! reason.
+
+use crate::snapshot::SnapshotError;
+use btfluid_numkit::NumError;
+use std::fmt;
+
+/// Which engine invariant a `checked`-mode audit found violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvariantKind {
+    /// A cached per-peer rate (download, virtual-seed or donation) is
+    /// non-finite or negative, or residual work went negative.
+    NonFiniteRate,
+    /// The event queue's live-entry counter disagrees with the number of
+    /// armed completion/expiry stamps in the peer slab.
+    QueueInconsistency,
+    /// The incremental rate cache diverged (bitwise) from a from-scratch
+    /// rate recomputation.
+    RateCacheDrift,
+}
+
+impl fmt::Display for InvariantKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            InvariantKind::NonFiniteRate => "non-finite rate",
+            InvariantKind::QueueInconsistency => "event-queue inconsistency",
+            InvariantKind::RateCacheDrift => "rate-cache drift",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Errors produced by the simulation engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DesError {
+    /// Numeric or configuration failure (validation, distribution setup).
+    Num(NumError),
+    /// An engine invariant was violated; only raised when
+    /// [`crate::DesConfig::checked`] is set.
+    Invariant {
+        /// Which invariant failed.
+        kind: InvariantKind,
+        /// Simulated time at which the audit failed.
+        t: f64,
+        /// Human-readable specifics (peer index, offending value, …).
+        detail: String,
+    },
+    /// A snapshot could not be encoded, decoded, or applied.
+    Snapshot(SnapshotError),
+}
+
+impl fmt::Display for DesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesError::Num(e) => write!(f, "{e}"),
+            DesError::Invariant { kind, t, detail } => {
+                write!(f, "engine invariant violated at t = {t}: {kind} ({detail})")
+            }
+            DesError::Snapshot(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DesError {}
+
+impl From<NumError> for DesError {
+    fn from(e: NumError) -> Self {
+        DesError::Num(e)
+    }
+}
+
+impl From<SnapshotError> for DesError {
+    fn from(e: SnapshotError) -> Self {
+        DesError::Snapshot(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = DesError::Invariant {
+            kind: InvariantKind::RateCacheDrift,
+            t: 12.5,
+            detail: "peer 3 slot 0".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("rate-cache drift"), "{s}");
+        assert!(s.contains("12.5"), "{s}");
+
+        let e: DesError = NumError::InvalidInput {
+            what: "test",
+            detail: "boom".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("boom"));
+    }
+}

@@ -74,6 +74,21 @@ pub trait ScenarioHook {
     /// again. The engine schedules a control event at each boundary.
     fn next_boundary(&self, t: f64) -> Option<f64>;
 
+    /// Serializes the hook's state for checkpointing.
+    ///
+    /// Hooks are required to be deterministic pure functions of `t`
+    /// (see the module docs), so there is no *mutable* state to carry
+    /// across a snapshot — the bytes act as a fingerprint: the engine
+    /// embeds a digest of them in every [`crate::Snapshot`] and
+    /// [`crate::engine::Simulation::restore_with_hook`] refuses a hook
+    /// whose state bytes do not digest to the same value. Implementations
+    /// should return a stable encoding of their full parameterization
+    /// (e.g. a `Debug` rendering); the default — an empty vector — only
+    /// ever matches another hook that also declares no state.
+    fn hook_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
     /// The earliest time `≥ t` at which the tracker is up — where an
     /// arrival at `t` actually joins. The default walks
     /// [`Self::next_boundary`] and returns `+∞` if the tracker never

@@ -58,6 +58,7 @@ pub mod adapt;
 pub mod chunklevel;
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod event_queue;
 pub mod hook;
 pub mod observer;
@@ -66,15 +67,15 @@ pub mod rate;
 pub mod rate_cache;
 pub mod replicate;
 pub mod single;
+pub mod snapshot;
 
 pub use chunklevel::{estimate_eta, ChunkLevelConfig, EtaEstimate};
 pub use config::{AdaptSetup, DesConfig, OrderPolicy, SchemeKind};
 pub use engine::Simulation;
+pub use error::{DesError, InvariantKind};
 pub use hook::ScenarioHook;
 pub use observer::{AbortRecord, ClassStats, PopulationStats, SimOutcome, UserRecord};
 pub use rate_cache::RateCache;
 pub use replicate::{run_replications, ReplicationSummary};
 pub use single::{run_single_torrent, SingleTorrentConfig, SingleTorrentOutcome};
-
-/// Convenience error alias.
-pub type DesError = btfluid_numkit::NumError;
+pub use snapshot::{Snapshot, SnapshotError};

@@ -1,0 +1,1020 @@
+//! Versioned, checksummed engine snapshots for crash-safe runs.
+//!
+//! A [`Snapshot`] captures every bit of mutable state a suspended
+//! [`crate::engine::Simulation`] needs to continue *exactly* where it
+//! stopped: the three RNG stream states, the peer slab (tombstones
+//! included), the free list, pending event registers, observer
+//! accumulators, and the in-progress trajectory. Run → snapshot → restore
+//! → run is bit-identical to an uninterrupted run — the
+//! `snapshot_resume` integration test asserts this across every scheme
+//! and both `exact_rates` modes.
+//!
+//! ## What is deliberately *not* serialized
+//!
+//! * The [`crate::rate_cache::RateCache`] and the event heap: both are
+//!   derived structures. Restore re-registers every live peer and replays
+//!   one cache refresh, which by the cache's ordered-resummation contract
+//!   must be a bitwise no-op (a non-empty change set means the snapshot
+//!   and the rebuild disagree and restore fails with
+//!   [`crate::DesError::Invariant`]). Heap entries are rebuilt from the
+//!   per-peer `comp_stamp`/`comp_time`/`expiry_stamp` bookkeeping; the
+//!   stamp values are preserved, so future pushes continue the same
+//!   monotone stamp sequence. Stale entries and lazy-later corrections
+//!   are invisible to the dispatched event order (live entries are unique
+//!   per `(time, rank, peer, slot)`), so dropping them is sound.
+//! * Per-class population counters and rarest-first holder counts: both
+//!   are recomputed from the restored slab.
+//! * The `BTFLUID_DES_TRACE` debug state: stderr tracing is not part of
+//!   the bit-identity contract.
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! magic "BTFS" | version u32 | payload | fnv1a-64 checksum
+//! ```
+//!
+//! Little-endian throughout; floats are stored as raw IEEE-754 bits so
+//! NaN/∞ round-trip exactly. The payload embeds a digest of the full
+//! [`DesConfig`] and a fingerprint of the attached hook's
+//! [`crate::ScenarioHook::hook_state`]; restore refuses a snapshot whose
+//! digests do not match the offered config/hook
+//! ([`SnapshotError::ConfigMismatch`] / [`SnapshotError::HookMismatch`]).
+//!
+//! **Compatibility policy**: the version is bumped whenever the payload
+//! layout or any serialized semantic changes; old versions are rejected
+//! ([`SnapshotError::UnsupportedVersion`]) rather than migrated —
+//! checkpoints are short-lived crash-recovery artifacts, not archives.
+//! [`Snapshot::write_file`] writes a sibling temp file and renames it
+//! into place, so a crash mid-write never corrupts the previous
+//! checkpoint.
+
+use crate::config::{DesConfig, OrderPolicy, SchemeKind};
+use crate::hook::ScenarioHook;
+use crate::observer::{AbortRecord, ClassStats, PopulationStats, SimOutcome, UserRecord};
+use crate::peer::{Peer, Phase};
+use btfluid_numkit::series::TimeSeries;
+use btfluid_numkit::stats::Welford;
+use btfluid_workload::requests::FileId;
+use std::fmt;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"BTFS";
+/// Current snapshot format version (see the module docs for the policy).
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Why a snapshot could not be encoded, decoded, or applied.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotError {
+    /// The file does not start with the `BTFS` magic.
+    BadMagic,
+    /// The file's format version is not [`SNAPSHOT_VERSION`].
+    UnsupportedVersion(u32),
+    /// The trailing FNV-1a checksum does not match the content.
+    ChecksumMismatch,
+    /// The offered [`DesConfig`] does not digest to the value embedded in
+    /// the snapshot.
+    ConfigMismatch,
+    /// The offered hook's [`ScenarioHook::hook_state`] does not digest to
+    /// the value embedded in the snapshot (includes offering no hook for
+    /// a hooked snapshot and vice versa).
+    HookMismatch,
+    /// The payload is structurally invalid (truncated, impossible
+    /// lengths, inconsistent cross-references).
+    Corrupt(String),
+    /// An I/O failure while reading or writing the snapshot file.
+    Io(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "snapshot: not a btfluid snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => write!(
+                f,
+                "snapshot: unsupported format version {v} (this build reads {SNAPSHOT_VERSION})"
+            ),
+            SnapshotError::ChecksumMismatch => write!(f, "snapshot: checksum mismatch"),
+            SnapshotError::ConfigMismatch => write!(
+                f,
+                "snapshot: configuration does not match the one it was taken under"
+            ),
+            SnapshotError::HookMismatch => write!(
+                f,
+                "snapshot: scenario hook does not match the one it was taken under"
+            ),
+            SnapshotError::Corrupt(d) => write!(f, "snapshot: corrupt payload: {d}"),
+            SnapshotError::Io(d) => write!(f, "snapshot: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+// ---------------------------------------------------------------------------
+// FNV-1a 64 (checksums and digests; no external deps).
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian writer/reader primitives.
+
+#[derive(Default)]
+struct W {
+    buf: Vec<u8>,
+}
+
+impl W {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.f64(x);
+            }
+        }
+    }
+    fn f64s(&mut self, xs: &[f64]) {
+        self.u64(xs.len() as u64);
+        for &x in xs {
+            self.f64(x);
+        }
+    }
+}
+
+struct R<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> R<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| SnapshotError::Corrupt("truncated payload".into()))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+    fn bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(SnapshotError::Corrupt(format!("bad bool byte {b}"))),
+        }
+    }
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    /// Reads a length prefix, refusing counts that cannot possibly fit in
+    /// the remaining bytes at `per` bytes each (corrupt-length guard).
+    fn len(&mut self, per: usize) -> Result<usize, SnapshotError> {
+        let n = self.u64()?;
+        let room = (self.buf.len() - self.pos) / per.max(1);
+        if n as usize > room {
+            return Err(SnapshotError::Corrupt(format!(
+                "length {n} exceeds remaining payload"
+            )));
+        }
+        Ok(n as usize)
+    }
+    fn str(&mut self) -> Result<String, SnapshotError> {
+        let n = self.len(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SnapshotError::Corrupt("non-UTF-8 string".into()))
+    }
+    fn opt_f64(&mut self) -> Result<Option<f64>, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.f64()?)),
+            b => Err(SnapshotError::Corrupt(format!("bad option tag {b}"))),
+        }
+    }
+    fn f64s(&mut self) -> Result<Vec<f64>, SnapshotError> {
+        let n = self.len(8)?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+    fn done(&self) -> Result<(), SnapshotError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(SnapshotError::Corrupt(
+                "trailing bytes after payload".into(),
+            ))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Digests.
+
+/// FNV-1a digest of the full configuration, over a canonical field
+/// encoding. *Every* field participates — resuming is only defined for
+/// the exact configuration the snapshot was taken under.
+pub fn config_digest(cfg: &DesConfig) -> u64 {
+    let mut w = W::default();
+    w.f64(cfg.params.mu());
+    w.f64(cfg.params.eta());
+    w.f64(cfg.params.gamma());
+    w.u32(cfg.model.k());
+    w.f64(cfg.model.p());
+    w.f64(cfg.model.lambda0());
+    match cfg.scheme {
+        SchemeKind::Mtsd => w.u8(0),
+        SchemeKind::Mtcd => w.u8(1),
+        SchemeKind::Mfcd => w.u8(2),
+        SchemeKind::Cmfsd { rho } => {
+            w.u8(3);
+            w.f64(rho);
+        }
+    }
+    w.f64(cfg.horizon);
+    w.f64(cfg.warmup);
+    w.f64(cfg.drain);
+    w.u64(cfg.seed);
+    match &cfg.adapt {
+        None => w.u8(0),
+        Some(a) => {
+            w.u8(1);
+            w.f64(a.controller.phi_inc);
+            w.f64(a.controller.phi_dec);
+            w.f64(a.controller.v_inc);
+            w.f64(a.controller.v_dec);
+            w.u32(a.controller.patience);
+            w.f64(a.epoch);
+            w.f64(a.cheater_fraction);
+        }
+    }
+    w.u64(cfg.origin_seeds as u64);
+    w.bool(cfg.warm_start);
+    w.u8(match cfg.order_policy {
+        OrderPolicy::Random => 0,
+        OrderPolicy::RarestFirst => 1,
+    });
+    w.opt_f64(cfg.record_every);
+    w.bool(cfg.exact_rates);
+    w.bool(cfg.checked);
+    fnv1a(&w.buf)
+}
+
+/// FNV-1a fingerprint of a hook's [`ScenarioHook::hook_state`] bytes.
+/// "No hook" digests differently from any hook, including one whose
+/// state is empty.
+pub fn hook_fingerprint(hook: Option<&dyn ScenarioHook>) -> u64 {
+    let mut bytes = Vec::new();
+    match hook {
+        None => bytes.push(0),
+        Some(h) => {
+            bytes.push(1);
+            bytes.extend_from_slice(&h.hook_state());
+        }
+    }
+    fnv1a(&bytes)
+}
+
+// ---------------------------------------------------------------------------
+// The snapshot itself.
+
+/// A suspended simulation's full mutable state (see the module docs).
+///
+/// Produced by [`crate::engine::Simulation::snapshot`]; consumed by
+/// [`crate::engine::Simulation::restore`] /
+/// [`crate::engine::Simulation::restore_with_hook`]. Serializable via
+/// [`Snapshot::to_bytes`] / [`Snapshot::from_bytes`] and the atomic
+/// file helpers.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    pub(crate) config_digest: u64,
+    pub(crate) hook_fp: u64,
+    pub(crate) t: f64,
+    pub(crate) started: bool,
+    /// Stream states in stream order: arrivals, service, scenario.
+    pub(crate) rng_states: [[u64; 4]; 3],
+    pub(crate) user_counter: u64,
+    pub(crate) next_stamp: u64,
+    pub(crate) arrival_clock: f64,
+    pub(crate) origin_now: u64,
+    pub(crate) next_arrival: Option<(f64, Vec<FileId>)>,
+    pub(crate) next_epoch: Option<f64>,
+    pub(crate) next_abort: Option<f64>,
+    pub(crate) next_control: Option<f64>,
+    pub(crate) free: Vec<u64>,
+    /// Peer slab, tombstones included. `adapt` is always `None` here; the
+    /// controllers live in [`Snapshot::adapt_states`] so decoding does not
+    /// need a config.
+    pub(crate) peers: Vec<Peer>,
+    /// Parallel to `peers`: `(rho, above, below)` of each peer's Adapt
+    /// controller, if it has one.
+    pub(crate) adapt_states: Vec<Option<(f64, u32, u32)>>,
+    /// Observer accumulators (without `inflight`/`trajectory`, which are
+    /// only populated by `finish`).
+    pub(crate) outcome: SimOutcome,
+    pub(crate) trajectory: Option<TimeSeries>,
+    pub(crate) next_record: f64,
+}
+
+impl Snapshot {
+    /// Simulated time at which the snapshot was taken.
+    pub fn sim_time(&self) -> f64 {
+        self.t
+    }
+
+    /// Events dispatched before the snapshot was taken.
+    pub fn events(&self) -> u64 {
+        self.outcome.events
+    }
+
+    /// Encodes to the versioned, checksummed byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = W::default();
+        w.buf.extend_from_slice(MAGIC);
+        w.u32(SNAPSHOT_VERSION);
+        w.u64(self.config_digest);
+        w.u64(self.hook_fp);
+        w.f64(self.t);
+        w.bool(self.started);
+        for s in &self.rng_states {
+            for &word in s {
+                w.u64(word);
+            }
+        }
+        w.u64(self.user_counter);
+        w.u64(self.next_stamp);
+        w.f64(self.arrival_clock);
+        w.u64(self.origin_now);
+        match &self.next_arrival {
+            None => w.u8(0),
+            Some((t, files)) => {
+                w.u8(1);
+                w.f64(*t);
+                w.u64(files.len() as u64);
+                for &f in files {
+                    w.u32(u32::from(f));
+                }
+            }
+        }
+        w.opt_f64(self.next_epoch);
+        w.opt_f64(self.next_abort);
+        w.opt_f64(self.next_control);
+        w.u64(self.free.len() as u64);
+        for &i in &self.free {
+            w.u64(i);
+        }
+        w.u64(self.peers.len() as u64);
+        for p in &self.peers {
+            encode_peer(&mut w, p);
+        }
+        debug_assert_eq!(self.adapt_states.len(), self.peers.len());
+        for st in &self.adapt_states {
+            match st {
+                None => w.u8(0),
+                Some((rho, above, below)) => {
+                    w.u8(1);
+                    w.f64(*rho);
+                    w.u32(*above);
+                    w.u32(*below);
+                }
+            }
+        }
+        encode_outcome(&mut w, &self.outcome);
+        match &self.trajectory {
+            None => w.u8(0),
+            Some(series) => {
+                w.u8(1);
+                w.u64(series.names().len() as u64);
+                for name in series.names() {
+                    w.str(name);
+                }
+                w.f64s(series.times());
+                w.f64s(series.raw_values());
+            }
+        }
+        w.f64(self.next_record);
+        let checksum = fnv1a(&w.buf);
+        w.u64(checksum);
+        w.buf
+    }
+
+    /// Decodes and validates the byte format (magic, version, checksum,
+    /// structural consistency).
+    ///
+    /// # Errors
+    /// Any [`SnapshotError`] variant except the mismatch ones, which are
+    /// checked at restore time against the offered config/hook.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        if bytes.len() < MAGIC.len() + 4 + 8 {
+            return Err(SnapshotError::Corrupt("file too short".into()));
+        }
+        if &bytes[..4] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let body = &bytes[..bytes.len() - 8];
+        let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+        if fnv1a(body) != stored {
+            return Err(SnapshotError::ChecksumMismatch);
+        }
+        let mut r = R::new(&body[4..]);
+        let version = r.u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let config_digest = r.u64()?;
+        let hook_fp = r.u64()?;
+        let t = r.f64()?;
+        let started = r.bool()?;
+        let mut rng_states = [[0u64; 4]; 3];
+        for s in &mut rng_states {
+            for word in s.iter_mut() {
+                *word = r.u64()?;
+            }
+        }
+        let user_counter = r.u64()?;
+        let next_stamp = r.u64()?;
+        let arrival_clock = r.f64()?;
+        let origin_now = r.u64()?;
+        let next_arrival = match r.u8()? {
+            0 => None,
+            1 => {
+                let ta = r.f64()?;
+                let n = r.len(4)?;
+                let mut files = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let f = r.u32()?;
+                    let f = FileId::try_from(f)
+                        .map_err(|_| SnapshotError::Corrupt(format!("file id {f} overflows")))?;
+                    files.push(f);
+                }
+                Some((ta, files))
+            }
+            b => return Err(SnapshotError::Corrupt(format!("bad option tag {b}"))),
+        };
+        let next_epoch = r.opt_f64()?;
+        let next_abort = r.opt_f64()?;
+        let next_control = r.opt_f64()?;
+        let n_free = r.len(8)?;
+        let free: Vec<u64> = (0..n_free).map(|_| r.u64()).collect::<Result<_, _>>()?;
+        let n_peers = r.len(1)?;
+        let mut peers = Vec::with_capacity(n_peers);
+        for _ in 0..n_peers {
+            peers.push(decode_peer(&mut r)?);
+        }
+        let mut adapt_states = Vec::with_capacity(n_peers);
+        for _ in 0..n_peers {
+            adapt_states.push(match r.u8()? {
+                0 => None,
+                1 => Some((r.f64()?, r.u32()?, r.u32()?)),
+                b => return Err(SnapshotError::Corrupt(format!("bad option tag {b}"))),
+            });
+        }
+        let outcome = decode_outcome(&mut r)?;
+        let trajectory = match r.u8()? {
+            0 => None,
+            1 => {
+                let n_names = r.len(8)?;
+                let names: Vec<String> = (0..n_names).map(|_| r.str()).collect::<Result<_, _>>()?;
+                let times = r.f64s()?;
+                let values = r.f64s()?;
+                Some(
+                    TimeSeries::from_raw(names, times, values)
+                        .map_err(|e| SnapshotError::Corrupt(format!("trajectory: {e}")))?,
+                )
+            }
+            b => return Err(SnapshotError::Corrupt(format!("bad option tag {b}"))),
+        };
+        let next_record = r.f64()?;
+        r.done()?;
+        for &i in &free {
+            let ok = (i as usize) < peers.len() && peers[i as usize].phase == Phase::Departed;
+            if !ok {
+                return Err(SnapshotError::Corrupt(format!(
+                    "free-list entry {i} does not point at a tombstone"
+                )));
+            }
+        }
+        Ok(Self {
+            config_digest,
+            hook_fp,
+            t,
+            started,
+            rng_states,
+            user_counter,
+            next_stamp,
+            arrival_clock,
+            origin_now,
+            next_arrival,
+            next_epoch,
+            next_abort,
+            next_control,
+            free,
+            peers,
+            adapt_states,
+            outcome,
+            trajectory,
+            next_record,
+        })
+    }
+
+    /// Writes the snapshot atomically: encodes to a sibling `.tmp` file,
+    /// then renames it over `path`. A crash mid-write leaves the previous
+    /// checkpoint (if any) intact.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Io`] on filesystem failures.
+    pub fn write_file(&self, path: &Path) -> Result<(), SnapshotError> {
+        let io = |e: std::io::Error| SnapshotError::Io(format!("{}: {e}", path.display()));
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, self.to_bytes()).map_err(io)?;
+        std::fs::rename(&tmp, path).map_err(io)
+    }
+
+    /// Reads and decodes a snapshot file.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Io`] on filesystem failures, plus everything
+    /// [`Snapshot::from_bytes`] reports.
+    pub fn read_file(path: &Path) -> Result<Self, SnapshotError> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| SnapshotError::Io(format!("{}: {e}", path.display())))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Component codecs.
+
+fn encode_peer(w: &mut W, p: &Peer) {
+    debug_assert!(p.adapt.is_none(), "controllers travel in adapt_states");
+    let n = p.files.len();
+    w.u64(p.id);
+    w.f64(p.arrival);
+    w.u64(n as u64);
+    for &f in &p.files {
+        w.u32(u32::from(f));
+    }
+    for &x in &p.remaining {
+        w.f64(x);
+    }
+    for &c in &p.completed_at {
+        w.opt_f64(c);
+    }
+    for &o in &p.order {
+        w.u64(o as u64);
+    }
+    w.u64(p.cursor as u64);
+    match p.phase {
+        Phase::Downloading => w.u8(0),
+        Phase::SeedingFile(slot) => {
+            w.u8(1);
+            w.u64(slot as u64);
+        }
+        Phase::SeedingAll => w.u8(2),
+        Phase::Departed => w.u8(3),
+    }
+    for &s in &p.seed_until {
+        w.opt_f64(s);
+    }
+    for &d in &p.seed_duration {
+        w.f64(d);
+    }
+    w.opt_f64(p.depart_at);
+    w.f64(p.rho);
+    w.bool(p.cheater);
+    w.f64(p.donated);
+    w.f64(p.received_vs);
+    w.f64(p.download_time_acc);
+    for &x in &p.rate {
+        w.f64(x);
+    }
+    for &x in &p.vs_rate {
+        w.f64(x);
+    }
+    for &x in &p.settled_at {
+        w.f64(x);
+    }
+    w.f64(p.donation_rate);
+    w.f64(p.donation_since);
+    w.f64(p.active_since);
+    for &s in &p.comp_stamp {
+        w.u64(s);
+    }
+    for &ct in &p.comp_time {
+        w.f64(ct);
+    }
+    w.u64(p.expiry_stamp);
+}
+
+fn decode_peer(r: &mut R) -> Result<Peer, SnapshotError> {
+    let id = r.u64()?;
+    let arrival = r.f64()?;
+    let n = r.len(4)?;
+    if n == 0 {
+        return Err(SnapshotError::Corrupt("peer with empty request set".into()));
+    }
+    let mut files = Vec::with_capacity(n);
+    for _ in 0..n {
+        let f = r.u32()?;
+        files.push(
+            FileId::try_from(f)
+                .map_err(|_| SnapshotError::Corrupt(format!("file id {f} overflows")))?,
+        );
+    }
+    let remaining: Vec<f64> = (0..n).map(|_| r.f64()).collect::<Result<_, _>>()?;
+    let completed_at: Vec<Option<f64>> = (0..n).map(|_| r.opt_f64()).collect::<Result<_, _>>()?;
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let o = r.u64()? as usize;
+        if o >= n {
+            return Err(SnapshotError::Corrupt(format!(
+                "order entry {o} out of range for class {n}"
+            )));
+        }
+        order.push(o);
+    }
+    let cursor = r.u64()? as usize;
+    let phase = match r.u8()? {
+        0 => Phase::Downloading,
+        1 => {
+            let slot = r.u64()? as usize;
+            if slot >= n {
+                return Err(SnapshotError::Corrupt(format!(
+                    "seeding slot {slot} out of range for class {n}"
+                )));
+            }
+            Phase::SeedingFile(slot)
+        }
+        2 => Phase::SeedingAll,
+        3 => Phase::Departed,
+        b => return Err(SnapshotError::Corrupt(format!("bad phase tag {b}"))),
+    };
+    let seed_until: Vec<Option<f64>> = (0..n).map(|_| r.opt_f64()).collect::<Result<_, _>>()?;
+    let seed_duration: Vec<f64> = (0..n).map(|_| r.f64()).collect::<Result<_, _>>()?;
+    let depart_at = r.opt_f64()?;
+    let rho = r.f64()?;
+    let cheater = r.bool()?;
+    let donated = r.f64()?;
+    let received_vs = r.f64()?;
+    let download_time_acc = r.f64()?;
+    let rate: Vec<f64> = (0..n).map(|_| r.f64()).collect::<Result<_, _>>()?;
+    let vs_rate: Vec<f64> = (0..n).map(|_| r.f64()).collect::<Result<_, _>>()?;
+    let settled_at: Vec<f64> = (0..n).map(|_| r.f64()).collect::<Result<_, _>>()?;
+    let donation_rate = r.f64()?;
+    let donation_since = r.f64()?;
+    let active_since = r.f64()?;
+    let comp_stamp: Vec<u64> = (0..n).map(|_| r.u64()).collect::<Result<_, _>>()?;
+    let comp_time: Vec<f64> = (0..n).map(|_| r.f64()).collect::<Result<_, _>>()?;
+    let expiry_stamp = r.u64()?;
+    if cursor > n {
+        return Err(SnapshotError::Corrupt(format!(
+            "cursor {cursor} out of range for class {n}"
+        )));
+    }
+    Ok(Peer {
+        id,
+        arrival,
+        files,
+        remaining,
+        completed_at,
+        order,
+        cursor,
+        phase,
+        seed_until,
+        seed_duration,
+        depart_at,
+        rho,
+        cheater,
+        adapt: None,
+        donated,
+        received_vs,
+        download_time_acc,
+        rate,
+        vs_rate,
+        settled_at,
+        donation_rate,
+        donation_since,
+        active_since,
+        comp_stamp,
+        comp_time,
+        expiry_stamp,
+    })
+}
+
+fn encode_welford(w: &mut W, s: &Welford) {
+    let (n, mean, m2, min, max) = s.raw_parts();
+    w.u64(n);
+    w.f64(mean);
+    w.f64(m2);
+    w.f64(min);
+    w.f64(max);
+}
+
+fn decode_welford(r: &mut R) -> Result<Welford, SnapshotError> {
+    let n = r.u64()?;
+    let mean = r.f64()?;
+    let m2 = r.f64()?;
+    let min = r.f64()?;
+    let max = r.f64()?;
+    Ok(Welford::from_raw_parts(n, mean, m2, min, max))
+}
+
+fn encode_class_stats(w: &mut W, cs: &[ClassStats]) {
+    w.u64(cs.len() as u64);
+    for c in cs {
+        encode_welford(w, &c.download);
+        encode_welford(w, &c.online);
+        encode_welford(w, &c.rho);
+    }
+}
+
+fn decode_class_stats(r: &mut R) -> Result<Vec<ClassStats>, SnapshotError> {
+    let n = r.len(5 * 8)?;
+    (0..n)
+        .map(|_| {
+            Ok(ClassStats {
+                download: decode_welford(r)?,
+                online: decode_welford(r)?,
+                rho: decode_welford(r)?,
+            })
+        })
+        .collect()
+}
+
+fn encode_outcome(w: &mut W, o: &SimOutcome) {
+    debug_assert!(
+        o.inflight.is_empty() && o.trajectory.is_none() && o.censored == 0,
+        "snapshots are taken mid-run, before finish() populates these"
+    );
+    encode_class_stats(w, &o.classes);
+    encode_class_stats(w, &o.obedient);
+    encode_class_stats(w, &o.cheaters);
+    w.u64(o.records.len() as u64);
+    for rec in &o.records {
+        w.u64(rec.id);
+        w.u64(rec.class as u64);
+        w.f64(rec.arrival);
+        w.f64(rec.departure);
+        w.f64(rec.download_span);
+        w.f64(rec.online_fluid);
+        w.f64(rec.final_rho);
+        w.bool(rec.cheater);
+    }
+    w.f64s(&o.population.downloader_peer_integral);
+    w.f64s(&o.population.download_pair_integral);
+    w.f64s(&o.population.seed_pair_integral);
+    w.f64(o.population.window);
+    w.u64(o.arrivals as u64);
+    w.u64(o.aborts.len() as u64);
+    for a in &o.aborts {
+        w.u64(a.id);
+        w.u64(a.class as u64);
+        w.f64(a.arrival);
+        w.f64(a.time);
+        w.u64(a.done as u64);
+    }
+    w.u64(o.events);
+}
+
+fn decode_outcome(r: &mut R) -> Result<SimOutcome, SnapshotError> {
+    let classes = decode_class_stats(r)?;
+    let obedient = decode_class_stats(r)?;
+    let cheaters = decode_class_stats(r)?;
+    if obedient.len() != classes.len() || cheaters.len() != classes.len() {
+        return Err(SnapshotError::Corrupt(
+            "class-stats vectors disagree on K".into(),
+        ));
+    }
+    let n_rec = r.len(6 * 8 + 2)?;
+    let mut records = Vec::with_capacity(n_rec);
+    for _ in 0..n_rec {
+        records.push(UserRecord {
+            id: r.u64()?,
+            class: r.u64()? as usize,
+            arrival: r.f64()?,
+            departure: r.f64()?,
+            download_span: r.f64()?,
+            online_fluid: r.f64()?,
+            final_rho: r.f64()?,
+            cheater: r.bool()?,
+        });
+    }
+    let population = PopulationStats {
+        downloader_peer_integral: r.f64s()?,
+        download_pair_integral: r.f64s()?,
+        seed_pair_integral: r.f64s()?,
+        window: r.f64()?,
+    };
+    if population.downloader_peer_integral.len() != classes.len()
+        || population.download_pair_integral.len() != classes.len()
+        || population.seed_pair_integral.len() != classes.len()
+    {
+        return Err(SnapshotError::Corrupt(
+            "population integrals disagree on K".into(),
+        ));
+    }
+    let arrivals = r.u64()? as usize;
+    let n_aborts = r.len(3 * 8 + 2)?;
+    let mut aborts = Vec::with_capacity(n_aborts);
+    for _ in 0..n_aborts {
+        aborts.push(AbortRecord {
+            id: r.u64()?,
+            class: r.u64()? as usize,
+            arrival: r.f64()?,
+            time: r.f64()?,
+            done: r.u64()? as usize,
+        });
+    }
+    let events = r.u64()?;
+    Ok(SimOutcome {
+        classes,
+        obedient,
+        cheaters,
+        records,
+        population,
+        censored: 0,
+        inflight: Vec::new(),
+        arrivals,
+        aborts,
+        trajectory: None,
+        events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DesConfig;
+    use crate::engine::Simulation;
+
+    fn cfg() -> DesConfig {
+        let mut cfg = DesConfig::paper_small(SchemeKind::Mtsd, 0.5, 7).unwrap();
+        cfg.horizon = 400.0;
+        cfg.warmup = 100.0;
+        cfg.drain = 400.0;
+        cfg.record_every = Some(50.0);
+        cfg
+    }
+
+    fn mid_run_snapshot() -> Snapshot {
+        let mut sim = Simulation::new(cfg()).unwrap();
+        for _ in 0..500 {
+            if !sim.step().unwrap() {
+                break;
+            }
+        }
+        sim.snapshot()
+    }
+
+    #[test]
+    fn roundtrip_is_identical_bytes() {
+        let snap = mid_run_snapshot();
+        let bytes = snap.to_bytes();
+        let back = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(bytes, back.to_bytes());
+        assert_eq!(snap.sim_time(), back.sim_time());
+        assert_eq!(snap.events(), back.events());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = mid_run_snapshot().to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(
+            Snapshot::from_bytes(&bytes).unwrap_err(),
+            SnapshotError::BadMagic
+        );
+    }
+
+    #[test]
+    fn flipped_bit_fails_checksum() {
+        let mut bytes = mid_run_snapshot().to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert_eq!(
+            Snapshot::from_bytes(&bytes).unwrap_err(),
+            SnapshotError::ChecksumMismatch
+        );
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let bytes = mid_run_snapshot().to_bytes();
+        assert!(Snapshot::from_bytes(&bytes[..bytes.len() - 20]).is_err());
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let snap = mid_run_snapshot();
+        let mut bytes = snap.to_bytes();
+        // Version sits right after the magic; bump it and re-checksum.
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        let len = bytes.len();
+        let sum = fnv1a(&bytes[..len - 8]);
+        bytes[len - 8..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            Snapshot::from_bytes(&bytes).unwrap_err(),
+            SnapshotError::UnsupportedVersion(99)
+        );
+    }
+
+    #[test]
+    fn config_digest_sensitivity() {
+        let a = config_digest(&cfg());
+        let mut other = cfg();
+        other.seed += 1;
+        assert_ne!(a, config_digest(&other));
+        let mut other = cfg();
+        other.exact_rates = true;
+        assert_ne!(a, config_digest(&other));
+        assert_eq!(a, config_digest(&cfg()));
+    }
+
+    #[test]
+    fn hook_fingerprint_distinguishes_none_from_stateless() {
+        struct Stateless;
+        impl ScenarioHook for Stateless {
+            fn arrival_rate(&self, _t: f64) -> f64 {
+                1.0
+            }
+            fn arrival_rate_bound(&self) -> f64 {
+                1.0
+            }
+            fn correlation(&self, _t: f64) -> f64 {
+                0.5
+            }
+            fn abort_rate(&self, _t: f64) -> f64 {
+                0.0
+            }
+            fn abort_rate_bound(&self) -> f64 {
+                0.0
+            }
+            fn origin_seeds(&self, _t: f64) -> usize {
+                0
+            }
+            fn tracker_up(&self, _t: f64) -> bool {
+                true
+            }
+            fn next_boundary(&self, _t: f64) -> Option<f64> {
+                None
+            }
+        }
+        assert_ne!(hook_fingerprint(None), hook_fingerprint(Some(&Stateless)));
+    }
+
+    #[test]
+    fn atomic_file_roundtrip() {
+        let snap = mid_run_snapshot();
+        let dir = std::env::temp_dir().join(format!("btfs-snap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.snap");
+        snap.write_file(&path).unwrap();
+        // The temp file must not linger after the rename.
+        assert!(!dir.join("ckpt.snap.tmp").exists());
+        let back = Snapshot::read_file(&path).unwrap();
+        assert_eq!(snap.to_bytes(), back.to_bytes());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,410 @@
+//! Repro bundles: everything needed to replay a failed cell.
+//!
+//! When the supervisor quarantines a cell it writes a directory holding
+//! `repro.json` — the full [`DesConfig`], the scenario reference (if the
+//! cell ran under a hook), the failure reason, and any injected-panic
+//! schedule — plus `checkpoint.snap`, the last engine snapshot captured
+//! before the failure (when one exists). `btfluid repro <dir>` loads the
+//! bundle and re-runs the cell from the checkpoint, reproducing the
+//! failure deterministically or demonstrating it is gone.
+
+use crate::error::{io_err, HarnessError};
+use crate::json::Json;
+use btfluid_core::adapt::AdaptConfig;
+use btfluid_core::FluidParams;
+use btfluid_des::{AdaptSetup, DesConfig, OrderPolicy, ScenarioHook, SchemeKind};
+use btfluid_scenario::registry;
+use btfluid_workload::CorrelationModel;
+use std::path::Path;
+
+/// Bundle format version; bumped on incompatible `repro.json` changes.
+pub const BUNDLE_VERSION: u64 = 1;
+
+/// A scenario program reference: enough to recompile the exact hook.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRef {
+    /// Registry name (`flash_crowd`, …).
+    pub name: String,
+    /// Time-scale factor applied before compiling the hook.
+    pub scale: f64,
+}
+
+impl ScenarioRef {
+    /// Recompiles the scenario hook this reference describes.
+    ///
+    /// # Errors
+    /// [`HarnessError::Bundle`] for an unknown registry name.
+    pub fn build_hook(&self) -> Result<Box<dyn ScenarioHook>, HarnessError> {
+        let program = registry::by_name(&self.name)
+            .ok_or_else(|| HarnessError::Bundle(format!("unknown scenario '{}'", self.name)))?;
+        let program = program.time_scaled(self.scale);
+        Ok(Box::new(program.hook()))
+    }
+}
+
+/// One quarantined cell, ready to replay.
+#[derive(Debug, Clone)]
+pub struct ReproBundle {
+    /// The failed cell's id.
+    pub cell_id: String,
+    /// Why it was quarantined (panic message, budget kind, engine error).
+    pub reason: String,
+    /// The exact engine configuration the cell ran with.
+    pub cfg: DesConfig,
+    /// The scenario the cell ran under, if any.
+    pub scenario: Option<ScenarioRef>,
+    /// Deterministic fault injection: panic when the engine reaches this
+    /// event count (used by the crash-recovery CI smoke).
+    pub inject_panic_at: Option<u64>,
+    /// Raw bytes of the last checkpoint taken before the failure.
+    pub checkpoint: Option<Vec<u8>>,
+}
+
+impl ReproBundle {
+    /// Writes the bundle directory (`repro.json` + `checkpoint.snap`).
+    ///
+    /// Bundles are failure diagnostics keyed by cell id: rewriting one for
+    /// the same cell replaces the stale diagnosis, so no `--force` gate.
+    ///
+    /// # Errors
+    /// [`HarnessError::Io`] on filesystem failure.
+    pub fn write(&self, dir: &Path) -> Result<(), HarnessError> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+        let json_path = dir.join("repro.json");
+        std::fs::write(&json_path, format!("{}\n", self.to_json()))
+            .map_err(|e| io_err(&json_path, e))?;
+        let snap_path = dir.join("checkpoint.snap");
+        match &self.checkpoint {
+            Some(bytes) => std::fs::write(&snap_path, bytes).map_err(|e| io_err(&snap_path, e))?,
+            None => {
+                // A re-written bundle must not keep a stale checkpoint.
+                if snap_path.exists() {
+                    std::fs::remove_file(&snap_path).map_err(|e| io_err(&snap_path, e))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a bundle directory back.
+    ///
+    /// # Errors
+    /// [`HarnessError::Bundle`] for a missing/undecodable `repro.json`,
+    /// [`HarnessError::Io`] for filesystem failure.
+    pub fn read(dir: &Path) -> Result<Self, HarnessError> {
+        let json_path = dir.join("repro.json");
+        let text = std::fs::read_to_string(&json_path).map_err(|e| io_err(&json_path, e))?;
+        let doc =
+            Json::parse(&text).map_err(|e| HarnessError::Bundle(format!("repro.json: {e}")))?;
+        let mut bundle = Self::from_json(&doc)?;
+        let snap_path = dir.join("checkpoint.snap");
+        bundle.checkpoint = match std::fs::read(&snap_path) {
+            Ok(bytes) => Some(bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(io_err(&snap_path, e)),
+        };
+        Ok(bundle)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("version".into(), Json::num_u64(BUNDLE_VERSION)),
+            ("cell_id".into(), Json::Str(self.cell_id.clone())),
+            ("reason".into(), Json::Str(self.reason.clone())),
+            (
+                "scenario".into(),
+                match &self.scenario {
+                    None => Json::Null,
+                    Some(s) => Json::Obj(vec![
+                        ("name".into(), Json::Str(s.name.clone())),
+                        ("scale".into(), Json::num_f64(s.scale)),
+                    ]),
+                },
+            ),
+            (
+                "inject_panic_at".into(),
+                self.inject_panic_at.map_or(Json::Null, Json::num_u64),
+            ),
+            ("config".into(), config_to_json(&self.cfg)),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, HarnessError> {
+        let bad = |what: &str| HarnessError::Bundle(format!("repro.json: missing/bad {what}"));
+        let version = doc
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("version"))?;
+        if version != BUNDLE_VERSION {
+            return Err(HarnessError::Bundle(format!(
+                "unsupported bundle version {version} (this build reads {BUNDLE_VERSION})"
+            )));
+        }
+        let scenario = match doc.get("scenario") {
+            None | Some(Json::Null) => None,
+            Some(s) => Some(ScenarioRef {
+                name: s
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("scenario.name"))?
+                    .to_string(),
+                scale: s
+                    .get("scale")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| bad("scenario.scale"))?,
+            }),
+        };
+        Ok(ReproBundle {
+            cell_id: doc
+                .get("cell_id")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("cell_id"))?
+                .to_string(),
+            reason: doc
+                .get("reason")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("reason"))?
+                .to_string(),
+            cfg: config_from_json(doc.get("config").ok_or_else(|| bad("config"))?)?,
+            scenario,
+            inject_panic_at: match doc.get("inject_panic_at") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(v.as_u64().ok_or_else(|| bad("inject_panic_at"))?),
+            },
+            checkpoint: None,
+        })
+    }
+}
+
+/// Serializes a [`DesConfig`] to JSON, field for field.
+pub fn config_to_json(cfg: &DesConfig) -> Json {
+    let (scheme, rho) = match cfg.scheme {
+        SchemeKind::Mtsd => ("mtsd", None),
+        SchemeKind::Mtcd => ("mtcd", None),
+        SchemeKind::Mfcd => ("mfcd", None),
+        SchemeKind::Cmfsd { rho } => ("cmfsd", Some(rho)),
+    };
+    Json::Obj(vec![
+        ("mu".into(), Json::num_f64(cfg.params.mu())),
+        ("eta".into(), Json::num_f64(cfg.params.eta())),
+        ("gamma".into(), Json::num_f64(cfg.params.gamma())),
+        ("k".into(), Json::num_u64(u64::from(cfg.model.k()))),
+        ("p".into(), Json::num_f64(cfg.model.p())),
+        ("lambda0".into(), Json::num_f64(cfg.model.lambda0())),
+        ("scheme".into(), Json::Str(scheme.into())),
+        ("rho".into(), rho.map_or(Json::Null, Json::num_f64)),
+        ("horizon".into(), Json::num_f64(cfg.horizon)),
+        ("warmup".into(), Json::num_f64(cfg.warmup)),
+        ("drain".into(), Json::num_f64(cfg.drain)),
+        ("seed".into(), Json::num_u64(cfg.seed)),
+        (
+            "adapt".into(),
+            match &cfg.adapt {
+                None => Json::Null,
+                Some(a) => Json::Obj(vec![
+                    ("phi_inc".into(), Json::num_f64(a.controller.phi_inc)),
+                    ("phi_dec".into(), Json::num_f64(a.controller.phi_dec)),
+                    ("v_inc".into(), Json::num_f64(a.controller.v_inc)),
+                    ("v_dec".into(), Json::num_f64(a.controller.v_dec)),
+                    (
+                        "patience".into(),
+                        Json::num_u64(u64::from(a.controller.patience)),
+                    ),
+                    ("epoch".into(), Json::num_f64(a.epoch)),
+                    ("cheater_fraction".into(), Json::num_f64(a.cheater_fraction)),
+                ]),
+            },
+        ),
+        (
+            "origin_seeds".into(),
+            Json::num_u64(cfg.origin_seeds as u64),
+        ),
+        ("warm_start".into(), Json::Bool(cfg.warm_start)),
+        (
+            "order_policy".into(),
+            Json::Str(
+                match cfg.order_policy {
+                    OrderPolicy::Random => "random",
+                    OrderPolicy::RarestFirst => "rarest-first",
+                }
+                .into(),
+            ),
+        ),
+        (
+            "record_every".into(),
+            cfg.record_every.map_or(Json::Null, Json::num_f64),
+        ),
+        ("exact_rates".into(), Json::Bool(cfg.exact_rates)),
+        ("checked".into(), Json::Bool(cfg.checked)),
+    ])
+}
+
+/// Deserializes a [`DesConfig`] from [`config_to_json`] output.
+///
+/// # Errors
+/// [`HarnessError::Bundle`] for missing/invalid fields; [`HarnessError::Num`]
+/// when the decoded values fail model validation.
+pub fn config_from_json(doc: &Json) -> Result<DesConfig, HarnessError> {
+    let bad = |what: &str| HarnessError::Bundle(format!("config: missing/bad {what}"));
+    let f = |key: &'static str| doc.get(key).and_then(Json::as_f64).ok_or_else(|| bad(key));
+    let u = |key: &'static str| doc.get(key).and_then(Json::as_u64).ok_or_else(|| bad(key));
+    let b = |key: &'static str| doc.get(key).and_then(Json::as_bool).ok_or_else(|| bad(key));
+    let opt_f = |key: &'static str| match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v.as_f64().map(Some).ok_or_else(|| bad(key)),
+    };
+
+    let scheme = match doc.get("scheme").and_then(Json::as_str) {
+        Some("mtsd") => SchemeKind::Mtsd,
+        Some("mtcd") => SchemeKind::Mtcd,
+        Some("mfcd") => SchemeKind::Mfcd,
+        Some("cmfsd") => SchemeKind::Cmfsd {
+            rho: f("rho").map_err(|_| bad("rho (required for cmfsd)"))?,
+        },
+        _ => return Err(bad("scheme")),
+    };
+    let adapt = match doc.get("adapt") {
+        None | Some(Json::Null) => None,
+        Some(a) => {
+            let af = |key: &'static str| {
+                a.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| bad(&format!("adapt.{key}")))
+            };
+            Some(AdaptSetup {
+                controller: AdaptConfig {
+                    phi_inc: af("phi_inc")?,
+                    phi_dec: af("phi_dec")?,
+                    v_inc: af("v_inc")?,
+                    v_dec: af("v_dec")?,
+                    patience: a
+                        .get("patience")
+                        .and_then(Json::as_u64)
+                        .and_then(|v| u32::try_from(v).ok())
+                        .ok_or_else(|| bad("adapt.patience"))?,
+                },
+                epoch: af("epoch")?,
+                cheater_fraction: af("cheater_fraction")?,
+            })
+        }
+    };
+    let k = u32::try_from(u("k")?).map_err(|_| bad("k"))?;
+    let cfg = DesConfig {
+        params: FluidParams::new(f("mu")?, f("eta")?, f("gamma")?)?,
+        model: CorrelationModel::new(k, f("p")?, f("lambda0")?)?,
+        scheme,
+        horizon: f("horizon")?,
+        warmup: f("warmup")?,
+        drain: f("drain")?,
+        seed: u("seed")?,
+        adapt,
+        origin_seeds: usize::try_from(u("origin_seeds")?).map_err(|_| bad("origin_seeds"))?,
+        warm_start: b("warm_start")?,
+        order_policy: match doc.get("order_policy").and_then(Json::as_str) {
+            Some("random") => OrderPolicy::Random,
+            Some("rarest-first") => OrderPolicy::RarestFirst,
+            _ => return Err(bad("order_policy")),
+        },
+        record_every: opt_f("record_every")?,
+        exact_rates: b("exact_rates")?,
+        checked: b("checked")?,
+    };
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cfg() -> DesConfig {
+        DesConfig {
+            params: FluidParams::paper(),
+            model: CorrelationModel::new(10, 0.5, 0.25).unwrap(),
+            scheme: SchemeKind::Cmfsd { rho: 0.3 },
+            horizon: 600.0,
+            warmup: 150.0,
+            drain: 600.0,
+            seed: u64::MAX - 7,
+            adapt: Some(AdaptSetup {
+                controller: AdaptConfig::default_for_mu(0.02),
+                epoch: 40.0,
+                cheater_fraction: 0.2,
+            }),
+            origin_seeds: 1,
+            warm_start: false,
+            order_policy: OrderPolicy::RarestFirst,
+            record_every: Some(25.0),
+            exact_rates: true,
+            checked: true,
+        }
+    }
+
+    #[test]
+    fn config_roundtrips_exactly() {
+        let cfg = sample_cfg();
+        let back = config_from_json(&config_to_json(&cfg)).unwrap();
+        // The digest hashes every field, so equality of digests is the
+        // same "nothing drifted" statement the snapshot layer enforces.
+        assert_eq!(
+            btfluid_des::snapshot::config_digest(&cfg),
+            btfluid_des::snapshot::config_digest(&back)
+        );
+    }
+
+    #[test]
+    fn bundle_roundtrips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("btfs-bundle-{}", std::process::id()));
+        let bundle = ReproBundle {
+            cell_id: "cmfsd:0.3-s42".into(),
+            reason: "injected panic at event 50".into(),
+            cfg: sample_cfg(),
+            scenario: Some(ScenarioRef {
+                name: "flash_crowd".into(),
+                scale: 0.25,
+            }),
+            inject_panic_at: Some(50),
+            checkpoint: Some(vec![1, 2, 3, 4]),
+        };
+        bundle.write(&dir).unwrap();
+        let back = ReproBundle::read(&dir).unwrap();
+        assert_eq!(back.cell_id, bundle.cell_id);
+        assert_eq!(back.reason, bundle.reason);
+        assert_eq!(back.scenario, bundle.scenario);
+        assert_eq!(back.inject_panic_at, Some(50));
+        assert_eq!(back.checkpoint, Some(vec![1, 2, 3, 4]));
+        assert_eq!(
+            btfluid_des::snapshot::config_digest(&back.cfg),
+            btfluid_des::snapshot::config_digest(&bundle.cfg)
+        );
+        assert!(back.scenario.unwrap().build_hook().is_ok());
+
+        // Re-writing without a checkpoint clears the stale one.
+        let mut no_snap = bundle.clone();
+        no_snap.checkpoint = None;
+        no_snap.write(&dir).unwrap();
+        assert_eq!(ReproBundle::read(&dir).unwrap().checkpoint, None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_scenario_is_refused() {
+        let r = ScenarioRef {
+            name: "nope".into(),
+            scale: 1.0,
+        };
+        assert!(matches!(r.build_hook(), Err(HarnessError::Bundle(_))));
+    }
+
+    #[test]
+    fn bad_version_is_refused() {
+        let dir = std::env::temp_dir().join(format!("btfs-bundle-v-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("repro.json"), "{\"version\":99}").unwrap();
+        assert!(matches!(
+            ReproBundle::read(&dir),
+            Err(HarnessError::Bundle(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

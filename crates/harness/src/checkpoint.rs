@@ -1,0 +1,336 @@
+//! The resumable run driver: step the engine in chunks, snapshotting
+//! atomically between chunks.
+//!
+//! The driver owns the loop the CLI and the supervisor both need: create
+//! (or restore) an engine, step it `every_events` at a time, write a
+//! checkpoint after each chunk, and honor cooperative limits — an event
+//! budget, a wall-clock deadline, a cancel flag — checked at chunk
+//! granularity. Checkpoints use the snapshot layer's atomic
+//! temp-file-and-rename write, so a kill at any instant leaves either the
+//! previous checkpoint or the new one, never a torn file. On successful
+//! completion the checkpoint file is deleted: a leftover checkpoint always
+//! means "this run did not finish".
+
+use crate::error::{io_err, HarnessError};
+use btfluid_des::{DesConfig, ScenarioHook, SimOutcome, Simulation, Snapshot};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Where and how often to checkpoint.
+#[derive(Debug, Clone)]
+pub struct CheckpointPlan {
+    /// Checkpoint file; `None` disables on-disk checkpoints (the
+    /// in-memory observer still fires).
+    pub path: Option<PathBuf>,
+    /// Snapshot after this many engine events (> 0).
+    pub every_events: u64,
+}
+
+/// Cooperative limits, checked between chunks (and the panic injection,
+/// checked per event so it is exact).
+#[derive(Debug, Default)]
+pub struct RunLimits {
+    /// Stop once the engine's *total* event count (which survives resume)
+    /// reaches this.
+    pub max_events: Option<u64>,
+    /// Stop after this instant.
+    pub deadline: Option<Instant>,
+    /// Deterministically panic when the event count reaches this value —
+    /// fault injection for the crash-recovery tests and CI smoke.
+    pub inject_panic_at: Option<u64>,
+}
+
+/// Why the driver returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunEnd {
+    /// The simulation ran to completion; the outcome is final.
+    Completed,
+    /// The event budget was reached first.
+    EventBudget,
+    /// The wall-clock deadline passed first.
+    WallBudget,
+    /// The cancel flag was raised (watchdog or operator).
+    Cancelled,
+}
+
+/// The driver's result.
+#[derive(Debug)]
+pub struct RunReport {
+    /// The finished outcome — `None` unless [`RunEnd::Completed`].
+    pub outcome: Option<SimOutcome>,
+    /// How the run ended.
+    pub end: RunEnd,
+    /// Total engine events executed (including any resumed-from prefix).
+    pub events: u64,
+    /// Whether the run started from an existing checkpoint.
+    pub resumed: bool,
+    /// Checkpoints written to disk.
+    pub checkpoints: u64,
+}
+
+/// Runs `cfg` under the plan and limits.
+///
+/// `hooks` supplies the scenario hook: called once for a fresh start or a
+/// restore (the engine consumes the box), so pass a factory, not a value.
+/// With `resume` set and the plan's path present on disk, the run picks up
+/// from that checkpoint; otherwise it starts fresh. On a non-`Completed`
+/// end a final checkpoint is written (when a path is configured) so the
+/// next invocation loses no work.
+///
+/// # Errors
+/// Engine and snapshot errors ([`HarnessError::Engine`]), filesystem
+/// failures ([`HarnessError::Io`]), and invalid plans
+/// ([`HarnessError::Config`]).
+///
+/// # Panics
+/// Panics deliberately when `limits.inject_panic_at` fires; engine bugs
+/// outside `checked` mode may also panic. Callers that must survive either
+/// wrap the call in `catch_unwind` (the supervisor does).
+pub fn drive(
+    cfg: DesConfig,
+    hook_factory: Option<&dyn Fn() -> Box<dyn ScenarioHook>>,
+    plan: Option<&CheckpointPlan>,
+    resume: bool,
+    limits: &RunLimits,
+    cancel: Option<&AtomicBool>,
+    mut on_snapshot: Option<&mut dyn FnMut(&Snapshot)>,
+) -> Result<RunReport, HarnessError> {
+    if let Some(plan) = plan {
+        if plan.every_events == 0 {
+            return Err(HarnessError::Config(
+                "checkpoint interval must be at least 1 event".into(),
+            ));
+        }
+    }
+    let checkpoint_path = plan.and_then(|p| p.path.as_deref());
+    let existing = resume
+        .then(|| checkpoint_path.filter(|p| p.exists()))
+        .flatten();
+
+    let mut sim = match existing {
+        Some(path) => {
+            let snap = Snapshot::read_file(path)?;
+            match hook_factory {
+                Some(make) => Simulation::restore_with_hook(cfg, &snap, make())?,
+                None => Simulation::restore(cfg, &snap)?,
+            }
+        }
+        None => match hook_factory {
+            Some(make) => Simulation::with_hook(cfg, make())?,
+            None => Simulation::new(cfg)?,
+        },
+    };
+    let resumed = existing.is_some();
+    let chunk = plan.map_or(u64::MAX, |p| p.every_events);
+    let mut checkpoints = 0u64;
+    let mut next_checkpoint = sim.events().saturating_add(chunk);
+
+    let take_snapshot = |sim: &Simulation, on_snapshot: &mut Option<&mut dyn FnMut(&Snapshot)>| {
+        let snap = sim.snapshot();
+        if let Some(cb) = on_snapshot.as_mut() {
+            cb(&snap);
+        }
+        if let Some(path) = checkpoint_path {
+            snap.write_file(path)?;
+            return Ok::<bool, HarnessError>(true);
+        }
+        Ok(false)
+    };
+
+    let end = loop {
+        if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+            break RunEnd::Cancelled;
+        }
+        if limits.deadline.is_some_and(|d| Instant::now() >= d) {
+            break RunEnd::WallBudget;
+        }
+        if limits.max_events.is_some_and(|n| sim.events() >= n) {
+            break RunEnd::EventBudget;
+        }
+        if limits.inject_panic_at.is_some_and(|n| sim.events() >= n) {
+            panic!(
+                "injected panic at event {} (t = {:.3})",
+                sim.events(),
+                sim.sim_time()
+            );
+        }
+        if !sim.step()? {
+            break RunEnd::Completed;
+        }
+        if sim.events() >= next_checkpoint {
+            if take_snapshot(&sim, &mut on_snapshot)? {
+                checkpoints += 1;
+            }
+            next_checkpoint = sim.events().saturating_add(chunk);
+        }
+    };
+
+    if end == RunEnd::Completed {
+        let events = sim.events();
+        let outcome = sim.finish();
+        // A finished run must not leave a checkpoint behind: its presence
+        // is the "work remains" signal for `--resume`.
+        if let Some(path) = checkpoint_path {
+            match std::fs::remove_file(path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(io_err(path, e)),
+            }
+        }
+        return Ok(RunReport {
+            outcome: Some(outcome),
+            end,
+            events,
+            resumed,
+            checkpoints,
+        });
+    }
+
+    // Interrupted: persist the frontier so nothing is lost.
+    if take_snapshot(&sim, &mut on_snapshot)? {
+        checkpoints += 1;
+    }
+    Ok(RunReport {
+        outcome: None,
+        end,
+        events: sim.events(),
+        resumed,
+        checkpoints,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btfluid_des::SchemeKind;
+
+    fn cfg(seed: u64) -> DesConfig {
+        let mut cfg = DesConfig::paper_small(SchemeKind::Mtcd, 0.5, seed).unwrap();
+        cfg.horizon = 400.0;
+        cfg.warmup = 100.0;
+        cfg.drain = 400.0;
+        cfg
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("btfs-driver-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn budget_stop_then_resume_is_bit_identical() {
+        let straight = Simulation::new(cfg(5)).unwrap().run();
+
+        let path = tmp("budget.snap");
+        let _ = std::fs::remove_file(&path);
+        let plan = CheckpointPlan {
+            path: Some(path.clone()),
+            every_events: 64,
+        };
+        let limits = RunLimits {
+            max_events: Some(333),
+            ..Default::default()
+        };
+        let first = drive(cfg(5), None, Some(&plan), true, &limits, None, None).unwrap();
+        assert_eq!(first.end, RunEnd::EventBudget);
+        assert!(first.outcome.is_none());
+        assert!(path.exists(), "interrupted run must leave a checkpoint");
+
+        let second = drive(
+            cfg(5),
+            None,
+            Some(&plan),
+            true,
+            &RunLimits::default(),
+            None,
+            None,
+        )
+        .unwrap();
+        assert_eq!(second.end, RunEnd::Completed);
+        assert!(second.resumed);
+        assert!(!path.exists(), "completion must remove the checkpoint");
+        let resumed = second.outcome.unwrap();
+        assert_eq!(straight.events, resumed.events);
+        assert_eq!(straight.records, resumed.records);
+        assert_eq!(straight.aborts, resumed.aborts);
+    }
+
+    #[test]
+    fn cancel_flag_stops_promptly() {
+        let cancel = AtomicBool::new(true);
+        let report = drive(
+            cfg(6),
+            None,
+            None,
+            false,
+            &RunLimits::default(),
+            Some(&cancel),
+            None,
+        )
+        .unwrap();
+        assert_eq!(report.end, RunEnd::Cancelled);
+    }
+
+    #[test]
+    fn snapshot_observer_sees_chunks() {
+        let mut seen = 0u64;
+        let mut last_events = 0u64;
+        let plan = CheckpointPlan {
+            path: None,
+            every_events: 100,
+        };
+        let mut observe = |snap: &Snapshot| {
+            seen += 1;
+            last_events = snap.events();
+        };
+        let report = drive(
+            cfg(7),
+            None,
+            Some(&plan),
+            false,
+            &RunLimits::default(),
+            None,
+            Some(&mut observe),
+        )
+        .unwrap();
+        assert_eq!(report.end, RunEnd::Completed);
+        assert_eq!(report.checkpoints, 0, "no path, nothing written");
+        assert!(seen > 1, "observer should fire once per chunk");
+        assert!(last_events > 0);
+    }
+
+    #[test]
+    fn injected_panic_fires_exactly() {
+        let limits = RunLimits {
+            inject_panic_at: Some(50),
+            ..Default::default()
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            drive(cfg(8), None, None, false, &limits, None, None)
+        }));
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("injected panic at event 50"), "{msg}");
+    }
+
+    #[test]
+    fn zero_interval_is_refused() {
+        let plan = CheckpointPlan {
+            path: None,
+            every_events: 0,
+        };
+        assert!(matches!(
+            drive(
+                cfg(9),
+                None,
+                Some(&plan),
+                false,
+                &RunLimits::default(),
+                None,
+                None
+            ),
+            Err(HarnessError::Config(_))
+        ));
+    }
+}

@@ -1,0 +1,39 @@
+//! Crash-safe execution for the btfluid simulator.
+//!
+//! The engine (`btfluid-des`) guarantees that run → snapshot → restore →
+//! run is bit-identical to an uninterrupted run. This crate turns that
+//! guarantee into operational robustness:
+//!
+//! * [`checkpoint::drive`] — a resumable run driver: step in chunks,
+//!   checkpoint atomically between chunks, pick up from the checkpoint
+//!   after a crash, and honor event/wall-clock budgets cooperatively.
+//! * [`supervisor::run_sweep`] — replicate/parameter-grid sweeps where
+//!   every cell runs behind `catch_unwind` with a watchdog; panicking
+//!   cells are retried with bounded backoff and then **quarantined**
+//!   without sinking the sweep, and completed cells are journaled to an
+//!   append-only JSONL [`manifest`] so a restarted sweep skips exactly
+//!   the finished work.
+//! * [`bundle::ReproBundle`] — a quarantined cell's config, seed,
+//!   scenario reference, and last checkpoint, packaged as a directory
+//!   that `btfluid repro <dir>` replays deterministically.
+//!
+//! Failures stay typed end to end: [`HarnessError`] wraps the engine's
+//! `DesError`/`SnapshotError` hierarchy so the CLI can map each failure
+//! class to a documented exit code instead of panicking.
+
+#![warn(missing_docs)]
+
+pub mod bundle;
+pub mod checkpoint;
+pub mod error;
+pub mod json;
+pub mod manifest;
+pub mod supervisor;
+
+pub use bundle::{config_from_json, config_to_json, ReproBundle, ScenarioRef};
+pub use checkpoint::{drive, CheckpointPlan, RunEnd, RunLimits, RunReport};
+pub use error::HarnessError;
+pub use manifest::{CellRecord, CellStatus, ManifestWriter};
+pub use supervisor::{
+    bundle_path, run_sweep, Budget, CellResult, CellSpec, FailedCell, SupervisorConfig, SweepReport,
+};

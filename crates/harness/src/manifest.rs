@@ -1,0 +1,227 @@
+//! The sweep journal: an append-only JSONL manifest of finished cells.
+//!
+//! Every cell the supervisor finishes — successfully or not — is recorded
+//! as one JSON object per line. A restarted sweep loads the journal and
+//! skips cells already `done`; `failed` cells are run again (their failure
+//! may have been environmental). Appends are flushed and fsynced per line,
+//! so a crash can lose at most the line being written — and a torn final
+//! line (no trailing newline) is tolerated on load, since the cell it
+//! described will simply be re-run.
+
+use crate::error::{io_err, HarnessError};
+use crate::json::Json;
+use std::collections::BTreeSet;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Terminal status of one sweep cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellStatus {
+    /// The cell ran to completion and its results are valid.
+    Done,
+    /// The cell was quarantined after exhausting its retry budget.
+    Failed,
+}
+
+impl CellStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            CellStatus::Done => "done",
+            CellStatus::Failed => "failed",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        match s {
+            "done" => Some(CellStatus::Done),
+            "failed" => Some(CellStatus::Failed),
+            _ => None,
+        }
+    }
+}
+
+/// One journal line: a cell's terminal record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRecord {
+    /// The cell id (unique within the sweep).
+    pub id: String,
+    /// Terminal status.
+    pub status: CellStatus,
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: u32,
+    /// Engine events executed by the final attempt.
+    pub events: u64,
+    /// Free-form detail: a result summary for `done`, the failure reason
+    /// for `failed`.
+    pub detail: String,
+}
+
+impl CellRecord {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("id".into(), Json::Str(self.id.clone())),
+            ("status".into(), Json::Str(self.status.as_str().into())),
+            ("attempts".into(), Json::num_u64(u64::from(self.attempts))),
+            ("events".into(), Json::num_u64(self.events)),
+            ("detail".into(), Json::Str(self.detail.clone())),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Option<Self> {
+        Some(CellRecord {
+            id: v.get("id")?.as_str()?.to_string(),
+            status: CellStatus::from_str(v.get("status")?.as_str()?)?,
+            attempts: u32::try_from(v.get("attempts")?.as_u64()?).ok()?,
+            events: v.get("events")?.as_u64()?,
+            detail: v.get("detail")?.as_str()?.to_string(),
+        })
+    }
+}
+
+/// Loads a journal. A missing file is an empty journal; a torn final line
+/// (crash mid-append) is ignored; any other malformed line is an error.
+pub fn load(path: &Path) -> Result<Vec<CellRecord>, HarnessError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(io_err(path, e)),
+    };
+    let mut records = Vec::new();
+    let complete_len = text.rfind('\n').map_or(0, |i| i + 1);
+    for (lineno, line) in text[..complete_len].lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = Json::parse(line)
+            .ok()
+            .as_ref()
+            .and_then(CellRecord::from_json);
+        match parsed {
+            Some(r) => records.push(r),
+            None => {
+                return Err(HarnessError::Manifest {
+                    path: path.display().to_string(),
+                    detail: format!("line {}: not a cell record", lineno + 1),
+                })
+            }
+        }
+    }
+    // Anything after the last newline is a torn append; drop it silently.
+    Ok(records)
+}
+
+/// The ids recorded `done` — the skip set for `--resume`.
+pub fn done_ids(records: &[CellRecord]) -> BTreeSet<String> {
+    records
+        .iter()
+        .filter(|r| r.status == CellStatus::Done)
+        .map(|r| r.id.clone())
+        .collect()
+}
+
+/// An open journal, appending one fsynced line per record.
+#[derive(Debug)]
+pub struct ManifestWriter {
+    path: PathBuf,
+    file: File,
+}
+
+impl ManifestWriter {
+    /// Opens (creating if needed) the journal for appending.
+    pub fn open(path: &Path) -> Result<Self, HarnessError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| io_err(parent, e))?;
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| io_err(path, e))?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            file,
+        })
+    }
+
+    /// Appends one record and forces it to disk.
+    pub fn append(&mut self, record: &CellRecord) -> Result<(), HarnessError> {
+        let line = format!("{}\n", record.to_json());
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.flush())
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| io_err(&self.path, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("btfs-manifest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn rec(id: &str, status: CellStatus) -> CellRecord {
+        CellRecord {
+            id: id.into(),
+            status,
+            attempts: 1,
+            events: 123,
+            detail: "ok".into(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_skip_set() {
+        let path = tmp("roundtrip.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut w = ManifestWriter::open(&path).unwrap();
+        w.append(&rec("a", CellStatus::Done)).unwrap();
+        w.append(&rec("b", CellStatus::Failed)).unwrap();
+        drop(w);
+        // Reopening appends, not truncates.
+        let mut w = ManifestWriter::open(&path).unwrap();
+        w.append(&rec("c", CellStatus::Done)).unwrap();
+        drop(w);
+
+        let records = load(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        let done = done_ids(&records);
+        assert!(done.contains("a") && done.contains("c") && !done.contains("b"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        assert_eq!(load(Path::new("/nonexistent/sweep.jsonl")).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped() {
+        let path = tmp("torn.jsonl");
+        let mut w = ManifestWriter::open(&path).unwrap();
+        w.append(&rec("a", CellStatus::Done)).unwrap();
+        drop(w);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"id\":\"b\",\"sta"); // crash mid-append
+        std::fs::write(&path, text).unwrap();
+        let records = load(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].id, "a");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn malformed_complete_line_is_an_error() {
+        let path = tmp("bad.jsonl");
+        std::fs::write(&path, "{\"id\":\"a\"}\n").unwrap();
+        assert!(matches!(load(&path), Err(HarnessError::Manifest { .. })));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

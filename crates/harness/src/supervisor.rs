@@ -1,0 +1,579 @@
+//! The sweep supervisor: run many cells under failure isolation.
+//!
+//! Each cell (one engine configuration) runs on its own worker thread
+//! behind `catch_unwind`, under an event budget and a wall-clock watchdog.
+//! A panicking cell is retried with bounded backoff (a fresh attempt of a
+//! deterministic engine reproduces a deterministic panic, but the retry
+//! also absolves environmental flukes — OOM-killed allocations, disk
+//! hiccups in the checkpoint path); budget exhaustion and typed engine
+//! errors are deterministic verdicts and fail immediately. A cell that
+//! exhausts its attempts is **quarantined**: the sweep continues, the
+//! failure is journaled, and a [`ReproBundle`] with the last in-memory
+//! checkpoint is written for offline replay via `btfluid repro`.
+//!
+//! Completed cells are journaled to the append-only manifest as they
+//! finish, so a killed sweep restarted with `resume` skips exactly the
+//! work already done (`failed` cells run again — quarantine is a verdict
+//! about an attempt, not about the configuration).
+
+use crate::bundle::{ReproBundle, ScenarioRef};
+use crate::checkpoint::{drive, CheckpointPlan, RunEnd, RunLimits};
+use crate::error::HarnessError;
+use crate::manifest::{self, CellRecord, CellStatus, ManifestWriter};
+use btfluid_des::{DesConfig, SimOutcome};
+use std::collections::{BTreeSet, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One unit of sweep work.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Unique id within the sweep (becomes the manifest/bundle key).
+    pub id: String,
+    /// The engine configuration to run.
+    pub cfg: DesConfig,
+    /// Scenario hook to attach, if any.
+    pub scenario: Option<ScenarioRef>,
+    /// Deterministic fault injection (CI crash smoke): panic at this
+    /// engine event count.
+    pub inject_panic_at: Option<u64>,
+}
+
+/// Per-cell budgets.
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    /// Maximum engine events per cell.
+    pub max_events: Option<u64>,
+    /// Maximum wall-clock time per cell attempt; also arms the watchdog
+    /// that catches a wedged engine thread.
+    pub max_wall: Option<Duration>,
+}
+
+/// Supervisor policy.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Append-only JSONL journal of finished cells.
+    pub manifest: PathBuf,
+    /// Directory receiving one repro-bundle subdirectory per quarantined
+    /// cell.
+    pub bundle_dir: PathBuf,
+    /// Per-cell budgets.
+    pub budget: Budget,
+    /// Extra attempts after the first for *panicking* cells.
+    pub max_retries: u32,
+    /// Backoff before retry `n` is `backoff * n`.
+    pub backoff: Duration,
+    /// Concurrent cells (>= 1).
+    pub workers: usize,
+    /// Skip cells the manifest records as done; without this an existing
+    /// non-empty manifest is refused.
+    pub resume: bool,
+    /// In-memory checkpoint cadence (events) feeding the repro bundle's
+    /// `checkpoint.snap`.
+    pub checkpoint_every: u64,
+}
+
+/// A completed cell's summary.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The cell id.
+    pub id: String,
+    /// Engine events executed.
+    pub events: u64,
+    /// Peers that arrived.
+    pub arrivals: usize,
+    /// Users counted in the statistics.
+    pub completed: usize,
+    /// Users censored at drain end.
+    pub censored: usize,
+    /// Aborts fired.
+    pub aborted: usize,
+    /// Mean online time per file, when computable.
+    pub avg_online_per_file: Option<f64>,
+}
+
+impl CellResult {
+    fn from_outcome(id: &str, events: u64, outcome: &SimOutcome) -> Self {
+        CellResult {
+            id: id.to_string(),
+            events,
+            arrivals: outcome.arrivals,
+            completed: outcome.records.len(),
+            censored: outcome.censored,
+            aborted: outcome.aborts.len(),
+            avg_online_per_file: outcome.avg_online_per_file().ok(),
+        }
+    }
+
+    fn summary(&self) -> String {
+        format!(
+            "arrivals {}, completed {}, censored {}, aborted {}, online/file {}",
+            self.arrivals,
+            self.completed,
+            self.censored,
+            self.aborted,
+            self.avg_online_per_file
+                .map_or_else(|| "-".into(), |v| format!("{v:.3}"))
+        )
+    }
+}
+
+/// A quarantined cell.
+#[derive(Debug, Clone)]
+pub struct FailedCell {
+    /// The cell id.
+    pub id: String,
+    /// Why it was quarantined.
+    pub reason: String,
+    /// Attempts consumed.
+    pub attempts: u32,
+    /// The repro bundle directory written for it.
+    pub bundle: PathBuf,
+}
+
+/// The sweep's aggregate result.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// Cells that ran to completion this invocation, in finish order.
+    pub completed: Vec<CellResult>,
+    /// Cell ids skipped because the manifest already records them done.
+    pub skipped: Vec<String>,
+    /// Cells quarantined this invocation.
+    pub failed: Vec<FailedCell>,
+}
+
+impl SweepReport {
+    /// Whether every cell of this invocation completed (skips count as
+    /// complete — they finished in an earlier invocation).
+    pub fn all_done(&self) -> bool {
+        self.failed.is_empty()
+    }
+}
+
+/// What one attempt of one cell produced.
+enum Attempt {
+    Done(CellResult),
+    /// Deterministic failure — retrying cannot change the verdict.
+    Fatal(String),
+    /// A panic — eligible for retry.
+    Panicked(String),
+}
+
+/// Runs every cell under the supervisor policy.
+///
+/// # Errors
+/// Setup failures only — an unreadable or refused manifest, duplicate cell
+/// ids, zero workers. Cell failures do **not** abort the sweep; they are
+/// reported in [`SweepReport::failed`].
+pub fn run_sweep(
+    sup: &SupervisorConfig,
+    cells: Vec<CellSpec>,
+) -> Result<SweepReport, HarnessError> {
+    if sup.workers == 0 {
+        return Err(HarnessError::Config("workers must be >= 1".into()));
+    }
+    if sup.checkpoint_every == 0 {
+        return Err(HarnessError::Config(
+            "checkpoint interval must be at least 1 event".into(),
+        ));
+    }
+    let mut ids = BTreeSet::new();
+    for cell in &cells {
+        if !ids.insert(cell.id.clone()) {
+            return Err(HarnessError::Config(format!(
+                "duplicate cell id '{}'",
+                cell.id
+            )));
+        }
+    }
+
+    let journal = manifest::load(&sup.manifest)?;
+    if !sup.resume && !journal.is_empty() {
+        return Err(HarnessError::Config(format!(
+            "manifest {} already records {} cells; pass resume to continue \
+             that sweep or choose a fresh manifest path",
+            sup.manifest.display(),
+            journal.len()
+        )));
+    }
+    let done = manifest::done_ids(&journal);
+
+    let mut skipped = Vec::new();
+    let mut queue = VecDeque::new();
+    for cell in cells {
+        if done.contains(&cell.id) {
+            skipped.push(cell.id);
+        } else {
+            queue.push_back(cell);
+        }
+    }
+
+    let writer = Mutex::new(ManifestWriter::open(&sup.manifest)?);
+    let queue = Mutex::new(queue);
+    let completed = Mutex::new(Vec::new());
+    let failed = Mutex::new(Vec::new());
+    let n_workers = sup.workers.min(queue.lock().unwrap().len()).max(1);
+
+    std::thread::scope(|scope| {
+        for _ in 0..n_workers {
+            scope.spawn(|| loop {
+                let Some(cell) = queue.lock().unwrap().pop_front() else {
+                    return;
+                };
+                let (record, outcome) = supervise_cell(sup, &cell);
+                // Journal first: a crash after the run must not redo it.
+                if let Err(e) = writer.lock().unwrap().append(&record) {
+                    eprintln!("warning: journaling {}: {e}", cell.id);
+                }
+                match outcome {
+                    Ok(result) => completed.lock().unwrap().push(result),
+                    Err(fail) => failed.lock().unwrap().push(fail),
+                }
+            });
+        }
+    });
+
+    Ok(SweepReport {
+        completed: completed.into_inner().unwrap(),
+        skipped,
+        failed: failed.into_inner().unwrap(),
+    })
+}
+
+/// Runs one cell through the retry protocol; returns its journal record
+/// and its result or quarantine report.
+fn supervise_cell(
+    sup: &SupervisorConfig,
+    cell: &CellSpec,
+) -> (CellRecord, Result<CellResult, FailedCell>) {
+    let attempts_allowed = 1 + sup.max_retries;
+    let mut attempt = 0u32;
+    let last_snap: Arc<Mutex<Option<Vec<u8>>>> = Arc::new(Mutex::new(None));
+    loop {
+        attempt += 1;
+        match run_attempt(sup, cell, &last_snap) {
+            Attempt::Done(result) => {
+                let record = CellRecord {
+                    id: cell.id.clone(),
+                    status: CellStatus::Done,
+                    attempts: attempt,
+                    events: result.events,
+                    detail: result.summary(),
+                };
+                return (record, Ok(result));
+            }
+            Attempt::Panicked(reason) if attempt < attempts_allowed => {
+                eprintln!(
+                    "cell {}: attempt {attempt}/{attempts_allowed} panicked ({reason}); retrying",
+                    cell.id
+                );
+                std::thread::sleep(sup.backoff.saturating_mul(attempt));
+            }
+            Attempt::Panicked(reason) | Attempt::Fatal(reason) => {
+                let bundle_dir = sup.bundle_dir.join(sanitize_id(&cell.id));
+                let bundle = ReproBundle {
+                    cell_id: cell.id.clone(),
+                    reason: reason.clone(),
+                    cfg: cell.cfg.clone(),
+                    scenario: cell.scenario.clone(),
+                    inject_panic_at: cell.inject_panic_at,
+                    checkpoint: last_snap.lock().unwrap().clone(),
+                };
+                if let Err(e) = bundle.write(&bundle_dir) {
+                    eprintln!("warning: writing repro bundle for {}: {e}", cell.id);
+                }
+                let record = CellRecord {
+                    id: cell.id.clone(),
+                    status: CellStatus::Failed,
+                    attempts: attempt,
+                    events: 0,
+                    detail: reason.clone(),
+                };
+                return (
+                    record,
+                    Err(FailedCell {
+                        id: cell.id.clone(),
+                        reason,
+                        attempts: attempt,
+                        bundle: bundle_dir,
+                    }),
+                );
+            }
+        }
+    }
+}
+
+/// One isolated attempt: worker thread + `catch_unwind` + watchdog.
+fn run_attempt(
+    sup: &SupervisorConfig,
+    cell: &CellSpec,
+    last_snap: &Arc<Mutex<Option<Vec<u8>>>>,
+) -> Attempt {
+    let cancel = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel();
+    let worker = {
+        let cell = cell.clone();
+        let cancel = Arc::clone(&cancel);
+        let last_snap = Arc::clone(last_snap);
+        let plan = CheckpointPlan {
+            path: None,
+            every_events: sup.checkpoint_every,
+        };
+        let limits = RunLimits {
+            max_events: sup.budget.max_events,
+            deadline: sup.budget.max_wall.map(|w| Instant::now() + w),
+            inject_panic_at: cell.inject_panic_at,
+        };
+        move || {
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let hook_factory = match &cell.scenario {
+                    None => None,
+                    Some(sref) => {
+                        // Resolve eagerly so a bad reference is a typed
+                        // error, then rebuild per restore inside drive.
+                        sref.build_hook()?;
+                        Some(sref)
+                    }
+                };
+                match hook_factory {
+                    None => drive(
+                        cell.cfg.clone(),
+                        None,
+                        Some(&plan),
+                        false,
+                        &limits,
+                        Some(&cancel),
+                        Some(&mut |snap: &btfluid_des::Snapshot| {
+                            *last_snap.lock().unwrap() = Some(snap.to_bytes());
+                        }),
+                    ),
+                    Some(sref) => drive(
+                        cell.cfg.clone(),
+                        Some(&|| sref.build_hook().expect("reference resolved above")),
+                        Some(&plan),
+                        false,
+                        &limits,
+                        Some(&cancel),
+                        Some(&mut |snap: &btfluid_des::Snapshot| {
+                            *last_snap.lock().unwrap() = Some(snap.to_bytes());
+                        }),
+                    ),
+                }
+            }));
+            // The receiver may have given up (watchdog); ignore send errors.
+            let _ = tx.send(run);
+        }
+    };
+    std::thread::spawn(worker);
+
+    // The watchdog allows the cooperative deadline to fire first, then a
+    // grace period for a wedged step before abandoning the thread.
+    let verdict = match sup.budget.max_wall {
+        None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+        Some(wall) => rx.recv_timeout(wall + wall / 2 + Duration::from_secs(5)),
+    };
+    match verdict {
+        Ok(Ok(Ok(report))) => match report.end {
+            RunEnd::Completed => {
+                let outcome = report.outcome.expect("completed run has an outcome");
+                Attempt::Done(CellResult::from_outcome(&cell.id, report.events, &outcome))
+            }
+            RunEnd::EventBudget => Attempt::Fatal(format!(
+                "event budget exhausted after {} events",
+                report.events
+            )),
+            RunEnd::WallBudget => Attempt::Fatal(format!(
+                "wall-clock budget exceeded after {} events",
+                report.events
+            )),
+            RunEnd::Cancelled => Attempt::Fatal("cancelled".into()),
+        },
+        Ok(Ok(Err(e))) => Attempt::Fatal(e.to_string()),
+        Ok(Err(payload)) => Attempt::Panicked(panic_message(payload.as_ref())),
+        Err(RecvTimeoutError::Timeout) => {
+            // Wedged worker: raise the cancel flag and abandon the thread.
+            cancel.store(true, Ordering::Relaxed);
+            Attempt::Fatal("wall-clock watchdog fired (engine thread unresponsive)".into())
+        }
+        Err(RecvTimeoutError::Disconnected) => {
+            Attempt::Panicked("worker thread died without reporting".into())
+        }
+    }
+}
+
+/// Renders a panic payload the way `std` would.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// Maps a cell id to a filesystem-safe directory name.
+fn sanitize_id(id: &str) -> String {
+    id.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Convenience: the bundle directory a cell id maps to under `bundle_dir`.
+pub fn bundle_path(bundle_dir: &Path, cell_id: &str) -> PathBuf {
+    bundle_dir.join(sanitize_id(cell_id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btfluid_des::SchemeKind;
+
+    fn small_cfg(seed: u64) -> DesConfig {
+        let mut cfg = DesConfig::paper_small(SchemeKind::Mtcd, 0.5, seed).unwrap();
+        cfg.horizon = 200.0;
+        cfg.warmup = 50.0;
+        cfg.drain = 200.0;
+        cfg
+    }
+
+    fn sup(dir: &Path, resume: bool) -> SupervisorConfig {
+        SupervisorConfig {
+            manifest: dir.join("sweep.jsonl"),
+            bundle_dir: dir.join("bundles"),
+            budget: Budget::default(),
+            max_retries: 0,
+            backoff: Duration::from_millis(1),
+            workers: 2,
+            resume,
+            checkpoint_every: 50,
+        }
+    }
+
+    fn cell(id: &str, seed: u64, inject: Option<u64>) -> CellSpec {
+        CellSpec {
+            id: id.into(),
+            cfg: small_cfg(seed),
+            scenario: None,
+            inject_panic_at: inject,
+        }
+    }
+
+    fn fresh_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("btfs-supervisor-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn panicking_cell_is_quarantined_and_resume_reruns_only_it() {
+        let dir = fresh_dir("quarantine");
+        let cells = vec![
+            cell("a", 1, None),
+            cell("boom", 2, Some(40)),
+            cell("c", 3, None),
+        ];
+        let report = run_sweep(&sup(&dir, false), cells).unwrap();
+        assert_eq!(report.completed.len(), 2);
+        assert_eq!(report.failed.len(), 1);
+        assert!(!report.all_done());
+        let fail = &report.failed[0];
+        assert_eq!(fail.id, "boom");
+        assert!(fail.reason.contains("injected panic"), "{}", fail.reason);
+        // The bundle replays: repro.json decodes and the checkpoint (taken
+        // at event 0..40? cadence 50 means none) may be absent — but the
+        // config must round-trip.
+        let bundle = ReproBundle::read(&fail.bundle).unwrap();
+        assert_eq!(bundle.cell_id, "boom");
+        assert_eq!(bundle.inject_panic_at, Some(40));
+
+        // Resume without injection: only the failed cell runs.
+        let cells = vec![
+            cell("a", 1, None),
+            cell("boom", 2, None),
+            cell("c", 3, None),
+        ];
+        let report = run_sweep(&sup(&dir, true), cells).unwrap();
+        assert_eq!(report.skipped.len(), 2);
+        assert_eq!(report.completed.len(), 1);
+        assert_eq!(report.completed[0].id, "boom");
+        assert!(report.all_done());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bundle_checkpoint_is_captured_when_cadence_allows() {
+        let dir = fresh_dir("bundle-snap");
+        let mut config = sup(&dir, false);
+        config.checkpoint_every = 10;
+        let report = run_sweep(&config, vec![cell("boom", 5, Some(60))]).unwrap();
+        let fail = &report.failed[0];
+        let bundle = ReproBundle::read(&fail.bundle).unwrap();
+        let snap_bytes = bundle.checkpoint.expect("cadence 10 < panic at 60");
+        let snap = btfluid_des::Snapshot::from_bytes(&snap_bytes).unwrap();
+        assert!(snap.events() <= 60, "snapshot predates the injected panic");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retries_are_counted_and_bounded() {
+        let dir = fresh_dir("retries");
+        let mut config = sup(&dir, false);
+        config.max_retries = 2;
+        let report = run_sweep(&config, vec![cell("boom", 7, Some(30))]).unwrap();
+        assert_eq!(report.failed[0].attempts, 3);
+        let journal = manifest::load(&config.manifest).unwrap();
+        assert_eq!(journal[0].attempts, 3);
+        assert_eq!(journal[0].status, CellStatus::Failed);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn event_budget_fails_without_retry() {
+        let dir = fresh_dir("budget");
+        let mut config = sup(&dir, false);
+        config.max_retries = 5;
+        config.budget.max_events = Some(50);
+        let report = run_sweep(&config, vec![cell("slow", 9, None)]).unwrap();
+        let fail = &report.failed[0];
+        assert_eq!(fail.attempts, 1, "budget exhaustion must not retry");
+        assert!(fail.reason.contains("event budget"), "{}", fail.reason);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn existing_manifest_without_resume_is_refused() {
+        let dir = fresh_dir("no-clobber");
+        let report = run_sweep(&sup(&dir, false), vec![cell("a", 1, None)]).unwrap();
+        assert!(report.all_done());
+        assert!(matches!(
+            run_sweep(&sup(&dir, false), vec![cell("a", 1, None)]),
+            Err(HarnessError::Config(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn duplicate_ids_are_refused() {
+        let dir = fresh_dir("dup");
+        assert!(matches!(
+            run_sweep(
+                &sup(&dir, false),
+                vec![cell("a", 1, None), cell("a", 2, None)]
+            ),
+            Err(HarnessError::Config(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

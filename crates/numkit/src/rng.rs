@@ -135,6 +135,30 @@ impl Xoshiro256StarStar {
         Self::seed_from_u64(folded)
     }
 
+    /// Returns the raw 256-bit state, for checkpointing.
+    ///
+    /// Round-trips exactly through [`Xoshiro256StarStar::from_state`]: a
+    /// generator rebuilt from the returned words produces the same output
+    /// sequence as the original from this point on.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state previously captured with
+    /// [`Xoshiro256StarStar::state`].
+    ///
+    /// # Panics
+    /// Panics on the all-zero state, the generator's one forbidden fixed
+    /// point (it can never be produced by a live generator, so encountering
+    /// it means the caller's bytes are corrupt).
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(
+            s != [0, 0, 0, 0],
+            "all-zero xoshiro256** state is unreachable; refusing to restore"
+        );
+        Self { s }
+    }
+
     /// Advances the state by 2¹²⁸ steps, equivalent to that many `next_u64`
     /// calls; used to carve non-overlapping subsequences out of one stream.
     pub fn jump(&mut self) {

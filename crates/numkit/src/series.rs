@@ -85,6 +85,48 @@ impl TimeSeries {
         &self.times
     }
 
+    /// The raw row-major value buffer (`values[row * channels + ch]`), for
+    /// checkpointing. Inverse of [`TimeSeries::from_raw`].
+    pub fn raw_values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Rebuilds a series from raw columns captured via
+    /// [`TimeSeries::names`], [`TimeSeries::times`] and
+    /// [`TimeSeries::raw_values`].
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] when no channels are supplied or
+    /// `values.len() != times.len() * names.len()`.
+    pub fn from_raw(
+        names: Vec<String>,
+        times: Vec<f64>,
+        values: Vec<f64>,
+    ) -> Result<Self, NumError> {
+        if names.is_empty() {
+            return Err(NumError::InvalidInput {
+                what: "TimeSeries::from_raw",
+                detail: "need at least one channel".into(),
+            });
+        }
+        if values.len() != times.len() * names.len() {
+            return Err(NumError::InvalidInput {
+                what: "TimeSeries::from_raw",
+                detail: format!(
+                    "value buffer has {} entries, expected {} rows × {} channels",
+                    values.len(),
+                    times.len(),
+                    names.len()
+                ),
+            });
+        }
+        Ok(Self {
+            names,
+            times,
+            values,
+        })
+    }
+
     /// Copies out channel `ch` as a dense vector.
     ///
     /// # Panics

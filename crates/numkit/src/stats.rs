@@ -105,6 +105,26 @@ impl Welford {
         self.max
     }
 
+    /// Decomposes the accumulator into `(n, mean, m2, min, max)`, for
+    /// checkpointing. Inverse of [`Welford::from_raw_parts`].
+    pub fn raw_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.n, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from parts captured with
+    /// [`Welford::raw_parts`]. The reconstruction is bit-exact: the restored
+    /// accumulator continues the statistic as if it had never been
+    /// serialized.
+    pub fn from_raw_parts(n: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        Self {
+            n,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Symmetric confidence half-width for the mean at the given confidence
     /// level, using the normal approximation for `n ≥ 30` and a small
     /// Student-t table below that.

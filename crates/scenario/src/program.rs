@@ -165,6 +165,7 @@ impl ScenarioProgram {
             order_policy: OrderPolicy::default(),
             record_every: Some(self.record_every),
             exact_rates: false,
+            checked: false,
         };
         cfg.validate()?;
         Ok(cfg)
@@ -246,6 +247,13 @@ impl ScenarioHook for ProgramHook {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         }
+    }
+
+    fn hook_state(&self) -> Vec<u8> {
+        // The hook is a pure function of `t`; its full parameterization is
+        // its state. The `Debug` rendering covers every field, so equal
+        // bytes ⇒ the re-attached hook replays the same scenario.
+        format!("{self:?}").into_bytes()
     }
 }
 

@@ -55,6 +55,13 @@ pub struct ScenarioRun {
     pub phases: Vec<PhaseStats>,
 }
 
+/// Buckets an outcome into the program's reporting phases — the same
+/// aggregation [`run_one`] applies, exposed for callers that drive the
+/// engine themselves (e.g. the crash-safe checkpoint driver).
+pub fn phase_stats(program: &ScenarioProgram, outcome: &SimOutcome) -> Vec<PhaseStats> {
+    bucket_phases(program, outcome)
+}
+
 fn bucket_phases(program: &ScenarioProgram, outcome: &SimOutcome) -> Vec<PhaseStats> {
     program
         .phases

@@ -1,0 +1,115 @@
+//! Checkpoint/resume under a scenario hook: cutting a hooked run at an
+//! arbitrary event index, round-tripping the snapshot through the on-disk
+//! byte format, and re-attaching a freshly compiled [`ProgramHook`] must
+//! reproduce the uninterrupted run bit for bit. A hook compiled from a
+//! *different* program must be refused.
+
+use btfluid_des::snapshot::{Snapshot, SnapshotError};
+use btfluid_des::{DesError, SchemeKind, SimOutcome, Simulation};
+use btfluid_scenario::registry;
+
+const SCHEMES: [SchemeKind; 4] = [
+    SchemeKind::Mtsd,
+    SchemeKind::Mtcd,
+    SchemeKind::Mfcd,
+    SchemeKind::Cmfsd { rho: 0.5 },
+];
+
+fn assert_same_streams(a: &SimOutcome, b: &SimOutcome, label: &str) {
+    assert_eq!(a.events, b.events, "{label}: event count differs");
+    assert_eq!(a.arrivals, b.arrivals, "{label}: arrival count differs");
+    assert_eq!(a.records, b.records, "{label}: user records differ");
+    assert_eq!(a.aborts, b.aborts, "{label}: abort records differ");
+}
+
+/// Cuts a hooked run after `cut` events and resumes it from the serialized
+/// snapshot with a freshly compiled hook.
+fn interrupted(program_name: &str, scheme: SchemeKind, seed: u64, cut: usize) -> SimOutcome {
+    let program = registry::by_name(program_name).unwrap().time_scaled(0.25);
+    let cfg = program.des_config(scheme, seed).unwrap();
+    let mut sim = Simulation::with_hook(cfg.clone(), Box::new(program.hook())).unwrap();
+    let mut alive = true;
+    for _ in 0..cut {
+        if !sim.step().unwrap() {
+            alive = false;
+            break;
+        }
+    }
+    let snap = Snapshot::from_bytes(&sim.snapshot().to_bytes()).expect("codec roundtrip");
+    drop(sim);
+    let mut resumed =
+        Simulation::restore_with_hook(cfg, &snap, Box::new(program.hook())).expect("restore");
+    if alive {
+        while resumed.step().unwrap() {}
+    }
+    resumed.finish()
+}
+
+fn straight(program_name: &str, scheme: SchemeKind, seed: u64) -> SimOutcome {
+    let program = registry::by_name(program_name).unwrap().time_scaled(0.25);
+    let cfg = program.des_config(scheme, seed).unwrap();
+    Simulation::with_hook(cfg, Box::new(program.hook()))
+        .unwrap()
+        .run()
+}
+
+#[test]
+fn flash_crowd_resumes_bit_identical_on_every_scheme() {
+    for scheme in SCHEMES {
+        let a = straight("flash_crowd", scheme, 42);
+        for cut in [0, 137, 2000] {
+            let b = interrupted("flash_crowd", scheme, 42, cut);
+            assert_same_streams(&a, &b, &format!("flash_crowd/{}/cut={cut}", scheme.name()));
+        }
+    }
+}
+
+#[test]
+fn abort_storm_resume_survives_scenario_stream() {
+    // Aborts draw from the scenario RNG stream and mutate the slab; the
+    // snapshot must carry that stream and the pending-abort schedule too.
+    let a = straight("abort_storm", SchemeKind::Mtcd, 11);
+    assert!(!a.aborts.is_empty(), "storm injected no aborts");
+    let b = interrupted("abort_storm", SchemeKind::Mtcd, 11, 500);
+    assert_same_streams(&a, &b, "abort_storm/MTCD");
+}
+
+#[test]
+fn seed_outage_resume_crosses_fault_windows() {
+    // seed_outage toggles the origin-seed count through hook boundaries;
+    // resuming mid-run must re-derive the outage state from the hook.
+    let a = straight("seed_outage", SchemeKind::Mfcd, 7);
+    let b = interrupted("seed_outage", SchemeKind::Mfcd, 7, 900);
+    assert_same_streams(&a, &b, "seed_outage/MFCD");
+}
+
+#[test]
+fn wrong_program_hook_is_refused() {
+    let program = registry::by_name("flash_crowd").unwrap().time_scaled(0.25);
+    let cfg = program.des_config(SchemeKind::Mtcd, 5).unwrap();
+    let mut sim = Simulation::with_hook(cfg.clone(), Box::new(program.hook())).unwrap();
+    for _ in 0..100 {
+        assert!(sim.step().unwrap());
+    }
+    let snap = sim.snapshot();
+    let other = registry::by_name("diurnal").unwrap().time_scaled(0.25);
+    match Simulation::restore_with_hook(cfg, &snap, Box::new(other.hook())).map(|_| ()) {
+        Err(DesError::Snapshot(SnapshotError::HookMismatch)) => {}
+        other => panic!("expected HookMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn hookless_restore_of_hooked_snapshot_is_refused() {
+    let program = registry::by_name("flash_crowd").unwrap().time_scaled(0.25);
+    let cfg = program.des_config(SchemeKind::Mtsd, 5).unwrap();
+    let mut sim = Simulation::with_hook(cfg.clone(), Box::new(program.hook())).unwrap();
+    for _ in 0..100 {
+        assert!(sim.step().unwrap());
+    }
+    let snap = sim.snapshot();
+    match Simulation::restore(cfg, &snap).map(|_| ()) {
+        Err(DesError::Snapshot(SnapshotError::HookMismatch)) => {}
+        other => panic!("expected HookMismatch, got {other:?}"),
+    }
+}

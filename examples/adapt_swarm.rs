@@ -37,6 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         order_policy: OrderPolicy::default(),
         record_every: None,
         exact_rates: false,
+        checked: false,
     };
     println!(
         "CMFSD swarm with Adapt: p = 0.9, {}% cheaters, obedient peers start at ρ = 0\n",

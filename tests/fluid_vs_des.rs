@@ -24,6 +24,7 @@ fn des_cfg(scheme: SchemeKind, p: f64) -> DesConfig {
         order_policy: OrderPolicy::default(),
         record_every: None,
         exact_rates: false,
+        checked: false,
     }
 }
 
@@ -107,6 +108,7 @@ fn cmfsd_cfg(p: f64, rho: f64) -> DesConfig {
         order_policy: OrderPolicy::default(),
         record_every: None,
         exact_rates: false,
+        checked: false,
     }
 }
 
