@@ -198,6 +198,7 @@ fn bench_checkpoint_overhead(_c: &mut Criterion) {
             &btfluid_harness::RunLimits::default(),
             None,
             None,
+            None,
         )
         .expect("drive runs");
         report.events
@@ -296,11 +297,109 @@ fn bench_checkpoint_overhead(_c: &mut Criterion) {
     println!("updated {path} with checkpoint_overhead");
 }
 
+/// Telemetry-overhead guard: with a no-op probe attached the engine must
+/// stay within 2% of the bare run (the issue's budget for "zero overhead
+/// when disabled"), and full JSONL tracing at the default cadence within
+/// 10%. Bare/no-op/traced reps are interleaved and the per-variant
+/// *minimum* kept — the work is deterministic and identical, so the min
+/// is insensitive to machine-load drift in a way means are not. Recorded
+/// under `"telemetry_overhead"` in `BENCH_des.json`.
+fn bench_telemetry_overhead(_c: &mut Criterion) {
+    use btfluid_des::{NoopProbe, SinkProbe, TraceSink};
+    use btfluid_telemetry::DEFAULT_SAMPLE_EVERY;
+
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let (lambda0, horizon, warmup, drain) = if test_mode {
+        SCALE_POINTS[0]
+    } else {
+        SCALE_POINTS[2] // λ₀ = 32: large enough population to resolve %
+    };
+    let cfg = || scale_config(lambda0, horizon, warmup, drain);
+    let reps = if test_mode { 1 } else { 7 };
+
+    let dir = std::env::temp_dir().join("btfluid_bench_telemetry");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let trace = dir.join("overhead.jsonl");
+
+    let mut bare_s = f64::INFINITY;
+    let mut noop_s = f64::INFINITY;
+    let mut sink_s = f64::INFINITY;
+    let mut bare_events = 0;
+    let mut trace_lines = 0;
+    for _ in 0..reps {
+        let start = Instant::now();
+        bare_events = Simulation::new(cfg()).expect("valid").run().events;
+        bare_s = bare_s.min(start.elapsed().as_secs_f64());
+
+        let mut sim = Simulation::new(cfg()).expect("valid");
+        sim.attach_probe(Box::new(NoopProbe));
+        let start = Instant::now();
+        let noop_events = sim.run().events;
+        noop_s = noop_s.min(start.elapsed().as_secs_f64());
+        assert_eq!(bare_events, noop_events, "no-op probe changed the run");
+
+        let _ = std::fs::remove_file(&trace);
+        let sink = TraceSink::create(&trace).expect("sink").shared();
+        let mut sim = Simulation::new(cfg()).expect("valid");
+        sim.attach_probe(Box::new(SinkProbe::new(sink.clone(), DEFAULT_SAMPLE_EVERY)));
+        let start = Instant::now();
+        let sink_events = sim.run().events;
+        sink_s = sink_s.min(start.elapsed().as_secs_f64());
+        assert_eq!(bare_events, sink_events, "trace probe changed the run");
+        let mut guard = sink.lock().unwrap_or_else(|e| e.into_inner());
+        trace_lines = guard.lines();
+        guard.finish().expect("trace finishes");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let noop_pct = (noop_s / bare_s - 1.0) * 100.0;
+    let sink_pct = (sink_s / bare_s - 1.0) * 100.0;
+    println!(
+        "telemetry_overhead λ₀={lambda0}: {bare_events} events — bare {bare_s:.3}s, \
+         no-op probe {noop_s:.3}s ({noop_pct:+.2}%), traced@{DEFAULT_SAMPLE_EVERY} \
+         {sink_s:.3}s ({sink_pct:+.2}%, {trace_lines} trace lines)"
+    );
+    if test_mode {
+        // One rep of a tiny run can't resolve percent-level overheads; the
+        // event-count equalities above are the smoke check.
+        return;
+    }
+    assert!(
+        noop_pct < 2.0,
+        "no-op probe overhead {noop_pct:.2}% blew the 2% guard"
+    );
+    assert!(
+        sink_pct < 10.0,
+        "default-cadence tracing overhead {sink_pct:.2}% blew the 10% guard"
+    );
+
+    // Merge into BENCH_des.json (written by bench_des_scale earlier in
+    // this group).
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_des.json");
+    let body = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".into());
+    let trimmed = body.trim_end();
+    let head = trimmed
+        .strip_suffix('}')
+        .expect("BENCH_des.json ends with an object")
+        .trim_end();
+    let sep = if head.ends_with('{') { "" } else { "," };
+    let merged = format!(
+        "{head}{sep}\n  \"telemetry_overhead\": {{\"lambda0\": {lambda0}, \
+         \"events\": {bare_events}, \"bare_wall_s\": {bare_s:.6}, \
+         \"noop_wall_s\": {noop_s:.6}, \"noop_overhead_pct\": {noop_pct:.3}, \
+         \"sample_every\": {DEFAULT_SAMPLE_EVERY}, \"trace_lines\": {trace_lines}, \
+         \"traced_wall_s\": {sink_s:.6}, \"traced_overhead_pct\": {sink_pct:.3}}}\n}}\n"
+    );
+    std::fs::write(path, merged).expect("write BENCH_des.json");
+    println!("updated {path} with telemetry_overhead");
+}
+
 criterion_group!(
     benches,
     bench_engine,
     bench_validation,
     bench_des_scale,
-    bench_checkpoint_overhead
+    bench_checkpoint_overhead,
+    bench_telemetry_overhead
 );
 criterion_main!(benches);

@@ -50,6 +50,9 @@ const VALUED: &[&str] = &[
     "event-budget",
     "wall-budget-ms",
     "inject-panic",
+    "trace",
+    "sample-every",
+    "csv-out",
 ];
 
 impl Options {

@@ -13,7 +13,12 @@ use btfluid_des::{
     SimOutcome, Simulation, SingleTorrentConfig, Snapshot,
 };
 use btfluid_harness as harness;
+use btfluid_harness::json::Json;
 use btfluid_scenario::{registry, runner};
+use btfluid_telemetry::{
+    diag, set_level, Counters, Level, MetaField, SinkProbe, TraceSink, DEFAULT_SAMPLE_EVERY,
+    TRACE_SCHEMA, TRACE_VERSION,
+};
 use btfluid_workload::CorrelationModel;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -48,9 +53,13 @@ COMMANDS
                 btfluid scenario list
                 btfluid scenario <name> [--scheme SCHEME] [--seed S]
                   [--smoke | --scale F] [--exact] [--fluid] [--checked]
+                  [--trace FILE] [--sample-every T]
                 crash-safe (single-scheme only):
                   [--checkpoint FILE] [--checkpoint-every N] [--resume]
                   [--records FILE]
+  inspect     summarize a telemetry trace: counters, anomaly flags,
+              per-class trajectories
+                btfluid inspect <trace.jsonl> [--csv-out FILE]
   sweep       supervised replicate sweep with failure quarantine
                 --manifest FILE [--bundles DIR] [--schemes LIST] [--reps N]
                 [--seed S] [--p P] [--k K] [--horizon H] [--resume]
@@ -65,7 +74,18 @@ GLOBAL OPTIONS
   --csv            print CSV instead of an aligned table
   --out FILE       also write the (CSV) output to FILE
   --force          overwrite existing --out/--records files
+  --verbose        debug-level stderr diagnostics (includes engine traces)
+  --quiet          errors only on stderr; result output is unaffected
   --help           this message
+
+OBSERVABILITY
+  --trace FILE streams a versioned JSONL telemetry trace (schema
+  btfluid-trace v1): per-class populations, aggregate rates, Adapt ρ/Δ,
+  and hot-loop counters, sampled every --sample-every simulated time
+  units (default 5). Traces are written atomically (FILE.tmp, renamed on
+  completion) and never mix with result files. 'btfluid inspect' reads
+  them back. All diagnostics go to stderr; --quiet/--verbose set their
+  level globally.
 
 SEEDS
   Every DES-running command is deterministic under --seed; reruns with the
@@ -92,6 +112,18 @@ EXIT CODES
 
 /// Runs the command line; `Ok(())` on success.
 pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
+    // The global verbosity flags may appear anywhere on the line; peel
+    // them before any positional/option handling so every command (and
+    // every diag! call below it) shares one threshold.
+    let mut filtered = Vec::with_capacity(argv.len());
+    for arg in argv {
+        match arg.as_str() {
+            "--verbose" => set_level(Level::Debug),
+            "--quiet" => set_level(Level::Error),
+            _ => filtered.push(arg.clone()),
+        }
+    }
+    let argv = filtered;
     let Some(cmd) = argv.first() else {
         print!("{USAGE}");
         return Ok(());
@@ -100,12 +132,16 @@ pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
         print!("{USAGE}");
         return Ok(());
     }
-    // `scenario` and `repro` take a positional argument before the options.
+    // `scenario`, `repro`, and `inspect` take a positional argument
+    // before the options.
     if cmd == "scenario" {
         return cmd_scenario(&argv[1..]);
     }
     if cmd == "repro" {
         return cmd_repro(&argv[1..]);
+    }
+    if cmd == "inspect" {
+        return cmd_inspect(&argv[1..]);
     }
     let opts = Options::parse(&argv[1..])?;
     match cmd.as_str() {
@@ -155,7 +191,7 @@ fn emit(table: &Table, opts: &Options) -> Result<(), CliError> {
     if let Some(path) = opts.get("out") {
         check_clobber(path, opts)?;
         fs::write(path, table.to_csv())?;
-        eprintln!("wrote {path}");
+        diag!(Level::Info, "wrote {path}");
     }
     Ok(())
 }
@@ -212,7 +248,8 @@ fn cmd_validate(opts: &Options) -> Result<(), CliError> {
     };
     let r = validate::run(&cfg)?;
     emit(&r.table(), opts)?;
-    eprintln!(
+    diag!(
+        Level::Info,
         "worst relative online-time error: {:.1}%",
         100.0 * r.worst_online_error()
     );
@@ -368,7 +405,7 @@ fn cmd_multiclass(opts: &Options) -> Result<(), CliError> {
     }
     emit(&t, opts)?;
     if sim.censored > 0 {
-        eprintln!("warning: {} censored users", sim.censored);
+        diag!(Level::Warn, "warning: {} censored users", sim.censored);
     }
     Ok(())
 }
@@ -430,7 +467,8 @@ fn cmd_sim(opts: &Options) -> Result<(), CliError> {
         ]);
     }
     emit(&t, opts)?;
-    eprintln!(
+    diag!(
+        Level::Info,
         "arrivals: {}, counted: {}, censored: {}, avg online/file: {:.2}",
         outcome.arrivals,
         outcome.records.len(),
@@ -482,21 +520,50 @@ fn cmd_scenario(rest: &[String]) -> Result<(), CliError> {
         || opts.has("resume")
         || opts.has("checked");
 
+    let sample_every = opts.get_f64("sample-every", DEFAULT_SAMPLE_EVERY)?;
+    if !sample_every.is_finite() || sample_every <= 0.0 {
+        return Err("scenario: --sample-every must be positive".into());
+    }
+    let sink = match opts.get("trace") {
+        Some(path) => {
+            check_clobber(path, &opts)?;
+            Some(TraceSink::create(Path::new(path))?.shared())
+        }
+        None => None,
+    };
+    // Each scheme run gets its own meta record (a trace "segment") and a
+    // fresh probe streaming into the shared sink, so one file holds the
+    // whole line-up and `btfluid inspect` can tell the runs apart.
+    let mut make_probe = |label: &str| -> Option<Box<dyn btfluid_des::Probe>> {
+        let sink = sink.as_ref()?;
+        sink.lock().unwrap_or_else(|e| e.into_inner()).meta(&[
+            ("scenario", MetaField::Str(name.clone())),
+            ("label", MetaField::Str(label.to_string())),
+            ("seed", MetaField::U64(seed)),
+            ("scale", MetaField::F64(scale)),
+            ("exact_rates", MetaField::Bool(exact)),
+            ("sample_every", MetaField::F64(sample_every)),
+        ]);
+        Some(Box::new(SinkProbe::new(sink.clone(), sample_every)))
+    };
+
     let runs = match opts.get("scheme") {
         Some(spec) => {
             let scheme = parse_scheme(spec)?;
+            let probe = make_probe(&scheme.name());
             if crash_safe {
                 vec![run_scenario_resumable(
-                    &program, scheme, seed, exact, &opts,
+                    &program, scheme, seed, exact, &opts, probe,
                 )?]
             } else {
-                vec![runner::run_one(
+                vec![runner::run_one_probed(
                     &program,
                     scheme,
                     None,
                     &scheme.name(),
                     seed,
                     exact,
+                    probe,
                 )?]
             }
         }
@@ -507,20 +574,27 @@ fn cmd_scenario(rest: &[String]) -> Result<(), CliError> {
                     .into(),
             )
         }
-        None => runner::run_all(&program, seed, exact)?,
+        None => runner::run_all_probed(&program, seed, exact, &mut make_probe)?,
     };
+
+    if let Some(sink) = sink {
+        let path = sink.lock().unwrap_or_else(|e| e.into_inner()).finish()?;
+        diag!(Level::Info, "wrote trace {}", path.display());
+    }
 
     if let Some(path) = opts.get("records") {
         write_records(path, &runs[0].outcome, &opts)?;
     }
 
-    eprintln!(
+    diag!(
+        Level::Info,
         "scenario {name}: {} (seed {seed}, scale {scale})",
         program.description
     );
     for run in &runs {
         emit(&scenario_table(name, run), &opts)?;
-        eprintln!(
+        diag!(
+            Level::Info,
             "{}: arrivals {}, completed {}, aborted {}, censored {}",
             run.label,
             run.outcome.arrivals,
@@ -607,7 +681,8 @@ fn scenario_fluid_comparison(
     let des = btfluid_scenario::des_avg_downloaders(&run.outcome);
     let fluid = btfluid_scenario::fluid_avg_downloaders(&program, 0.5)?;
     let rel = (des - fluid).abs() / fluid.max(1e-9);
-    eprintln!(
+    diag!(
+        Level::Info,
         "fluid check ({name}, MTCD, origin seeds off): DES {des:.2} downloading users, \
          fluid {fluid:.2}, relative error {:.1}%",
         100.0 * rel
@@ -623,6 +698,7 @@ fn run_scenario_resumable(
     seed: u64,
     exact: bool,
     opts: &Options,
+    probe: Option<Box<dyn btfluid_des::Probe>>,
 ) -> Result<runner::ScenarioRun, CliError> {
     let mut cfg = program.des_config(scheme, seed)?;
     cfg.exact_rates = exact;
@@ -641,11 +717,14 @@ fn run_scenario_resumable(
         &harness::RunLimits::default(),
         None,
         None,
+        probe,
     )?;
     if report.resumed {
-        eprintln!(
+        diag!(
+            Level::Info,
             "resumed from checkpoint; finished at {} events ({} checkpoint(s) this run)",
-            report.events, report.checkpoints
+            report.events,
+            report.checkpoints
         );
     }
     let Some(outcome) = report.outcome else {
@@ -681,7 +760,11 @@ fn write_records(path: &str, outcome: &SimOutcome, opts: &Options) -> Result<(),
         ));
     }
     fs::write(path, body)?;
-    eprintln!("wrote {path} ({} records)", outcome.records.len());
+    diag!(
+        Level::Info,
+        "wrote {path} ({} records)",
+        outcome.records.len()
+    );
     Ok(())
 }
 
@@ -823,13 +906,15 @@ fn cmd_sweep(opts: &Options) -> Result<(), CliError> {
     }
     emit(&t, opts)?;
     if !report.skipped.is_empty() {
-        eprintln!(
+        diag!(
+            Level::Info,
             "skipped {} cell(s) the manifest already records done",
             report.skipped.len()
         );
     }
     for f in &report.failed {
-        eprintln!(
+        diag!(
+            Level::Warn,
             "quarantined {} after {} attempt(s): {} — replay with \
              'btfluid repro {}'",
             f.id,
@@ -839,7 +924,8 @@ fn cmd_sweep(opts: &Options) -> Result<(), CliError> {
         );
     }
     if report.failed.is_empty() {
-        eprintln!(
+        diag!(
+            Level::Info,
             "sweep complete: {} ran, {} skipped, {total} total",
             report.completed.len(),
             report.skipped.len()
@@ -874,9 +960,11 @@ fn cmd_repro(rest: &[String]) -> Result<(), CliError> {
     };
     let _opts = Options::parse(&rest[1..])?;
     let bundle = harness::ReproBundle::read(Path::new(dir))?;
-    eprintln!(
+    diag!(
+        Level::Info,
         "repro {}: recorded failure: {}",
-        bundle.cell_id, bundle.reason
+        bundle.cell_id,
+        bundle.reason
     );
     let hook = bundle
         .scenario
@@ -886,7 +974,8 @@ fn cmd_repro(rest: &[String]) -> Result<(), CliError> {
     let mut sim = match &bundle.checkpoint {
         Some(bytes) => {
             let snap = Snapshot::from_bytes(bytes)?;
-            eprintln!(
+            diag!(
+                Level::Info,
                 "restoring checkpoint at t = {:.3} ({} events)",
                 snap.sim_time(),
                 snap.events()
@@ -929,11 +1018,16 @@ fn cmd_repro(rest: &[String]) -> Result<(), CliError> {
             ),
         )),
         Ok(Err(e)) => {
-            eprintln!("repro {}: typed engine failure reproduced", bundle.cell_id);
+            diag!(
+                Level::Info,
+                "repro {}: typed engine failure reproduced",
+                bundle.cell_id
+            );
             Err(e.into())
         }
         Ok(Ok(outcome)) => {
-            eprintln!(
+            diag!(
+                Level::Info,
                 "repro {}: ran to completion without reproducing the failure \
                  (events {}, arrivals {}, completed {})",
                 bundle.cell_id,
@@ -944,6 +1038,361 @@ fn cmd_repro(rest: &[String]) -> Result<(), CliError> {
             Ok(())
         }
     }
+}
+
+/// One `sample` record from a trace, decoded.
+struct TraceSample {
+    t: f64,
+    events: u64,
+    downloaders: Vec<u64>,
+    download_pairs: Vec<u64>,
+    seed_pairs: Vec<u64>,
+    rho_mean: Option<f64>,
+    delta_mean: Option<f64>,
+    counters: Counters,
+}
+
+/// One trace segment: a `meta` record plus every `sample`/`span`/`end`
+/// record up to the next `meta` (one engine run).
+struct TraceSegment {
+    label: String,
+    exact_rates: bool,
+    samples: Vec<TraceSample>,
+    spans: Vec<(String, u64)>,
+    end: Option<(f64, Counters)>,
+}
+
+impl TraceSegment {
+    /// The run's closing counters: the end record's, or the last
+    /// sample's for a truncated trace.
+    fn final_counters(&self) -> Counters {
+        self.end
+            .as_ref()
+            .map(|(_, c)| *c)
+            .or_else(|| self.samples.last().map(|s| s.counters))
+            .unwrap_or_default()
+    }
+
+    /// Appends human-readable anomaly descriptions for this segment.
+    fn detect_anomalies(&self, out: &mut Vec<String>) {
+        let label = &self.label;
+        if self.end.is_none() {
+            out.push(format!(
+                "{label}: truncated trace (no end record — the run did not finish)"
+            ));
+        }
+        let mut ts: Vec<f64> = self.samples.iter().map(|s| s.t).collect();
+        if let Some((t, _)) = self.end {
+            ts.push(t);
+        }
+        // A NaN timestamp compares as `None` and counts as non-monotone.
+        let ordered = |w: &[f64]| {
+            matches!(
+                w[0].partial_cmp(&w[1]),
+                Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+            )
+        };
+        if ts.windows(2).any(|w| !ordered(w)) {
+            out.push(format!("{label}: non-monotone clock across samples"));
+        }
+        if !self.exact_rates {
+            // Self-calibrating rate-cache health check: the marginal
+            // recompute cost per event, normalized by the live download
+            // pairs it could touch, stays flat over a healthy run (the
+            // dirty set tracks the event, not the swarm). Absolute
+            // thresholds don't work here — MFCD legitimately recomputes
+            // more pairs per event than MTSD by an order of magnitude —
+            // but a cost that *grows* several-fold over the run's own
+            // history means lazy invalidation is degenerating.
+            let mut costs = Vec::new();
+            for w in self.samples.windows(2) {
+                let de = w[1].events.saturating_sub(w[0].events);
+                let dr = w[1]
+                    .counters
+                    .rate_recomputes
+                    .saturating_sub(w[0].counters.rate_recomputes);
+                let pairs: u64 = w[1].download_pairs.iter().sum();
+                if de > 0 && pairs > 0 {
+                    costs.push(dr as f64 / de as f64 / pairs as f64);
+                }
+            }
+            let third = costs.len() / 3;
+            if third >= 8 {
+                let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+                let early = mean(&costs[..third]);
+                let late = mean(&costs[costs.len() - third..]);
+                if early > 0.0 && late > 4.0 * early {
+                    out.push(format!(
+                        "{label}: rate-cache cost drift (per-event recompute cost \
+                         grew {:.1}× over the run in incremental mode)",
+                        late / early
+                    ));
+                }
+            }
+        }
+        if self.samples.len() >= 3 {
+            // A class whose users are *present* most of the run but never
+            // form a single seeding pair never completes a download —
+            // starvation. (A class with zero downloaders throughout simply
+            // had no arrivals; that is a workload fact, not an anomaly.)
+            let k = self
+                .samples
+                .iter()
+                .map(|s| s.downloaders.len())
+                .max()
+                .unwrap_or(0);
+            let n = self.samples.len();
+            for class in 0..k {
+                let present = self
+                    .samples
+                    .iter()
+                    .filter(|s| s.downloaders.get(class).copied().unwrap_or(0) > 0)
+                    .count();
+                let ever_seeded = self
+                    .samples
+                    .iter()
+                    .any(|s| s.seed_pairs.get(class).copied().unwrap_or(0) > 0);
+                if present * 2 >= n && !ever_seeded {
+                    out.push(format!(
+                        "{label}: class {} starved (downloaders in {present} of \
+                         {n} samples but no seed pair ever formed)",
+                        class + 1
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Decodes a trace record's embedded `counters` object (absent fields
+/// read as zero, tolerating older traces).
+fn trace_counters(v: Option<&Json>) -> Counters {
+    let g = |k: &str| v.and_then(|c| c.get(k)).and_then(Json::as_u64).unwrap_or(0);
+    Counters {
+        events_popped: g("events_popped"),
+        stale_discards: g("stale_discards"),
+        heap_peak: g("heap_peak"),
+        rate_recomputes: g("rate_recomputes"),
+        rate_clean_hits: g("rate_clean_hits"),
+        snapshots_taken: g("snapshots_taken"),
+        snapshot_bytes: g("snapshot_bytes"),
+        snapshot_micros: g("snapshot_micros"),
+    }
+}
+
+/// Decodes a JSON array of non-negative integers.
+fn trace_u64_arr(v: Option<&Json>) -> Vec<u64> {
+    v.and_then(Json::as_arr)
+        .map(|xs| xs.iter().map(|x| x.as_u64().unwrap_or(0)).collect())
+        .unwrap_or_default()
+}
+
+/// Per-class trajectory export: one CSV row per sample, classes padded
+/// to the widest segment.
+fn trajectories_csv(segments: &[TraceSegment]) -> String {
+    let k = segments
+        .iter()
+        .flat_map(|seg| seg.samples.iter())
+        .map(|s| s.downloaders.len().max(s.seed_pairs.len()))
+        .max()
+        .unwrap_or(0);
+    let mut out = String::from("run,t,events,rho_mean,delta_mean");
+    for i in 1..=k {
+        out.push_str(&format!(",downloaders_{i}"));
+    }
+    for i in 1..=k {
+        out.push_str(&format!(",seed_pairs_{i}"));
+    }
+    out.push('\n');
+    let opt = |v: Option<f64>| v.map(|x| format!("{x}")).unwrap_or_default();
+    for seg in segments {
+        for s in &seg.samples {
+            out.push_str(&format!(
+                "{},{},{},{},{}",
+                seg.label,
+                s.t,
+                s.events,
+                opt(s.rho_mean),
+                opt(s.delta_mean)
+            ));
+            for i in 0..k {
+                out.push(',');
+                if let Some(d) = s.downloaders.get(i) {
+                    out.push_str(&d.to_string());
+                }
+            }
+            for i in 0..k {
+                out.push(',');
+                if let Some(d) = s.seed_pairs.get(i) {
+                    out.push_str(&d.to_string());
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// `btfluid inspect <trace.jsonl>` — summarize a telemetry trace.
+fn cmd_inspect(rest: &[String]) -> Result<(), CliError> {
+    let Some(path) = rest.first() else {
+        return Err("inspect: missing trace path (a scenario --trace JSONL file)".into());
+    };
+    let opts = Options::parse(&rest[1..])?;
+    let body = fs::read_to_string(path)?;
+    let mut segments: Vec<TraceSegment> = Vec::new();
+    for (idx, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = Json::parse(line).map_err(|e| format!("inspect: {path}:{}: {e}", idx + 1))?;
+        let Some(kind) = v.get("kind").and_then(Json::as_str).map(str::to_string) else {
+            return Err(format!("inspect: {path}:{}: record without a kind", idx + 1).into());
+        };
+        if kind == "meta" {
+            let schema = v.get("schema").and_then(Json::as_str).unwrap_or("?");
+            if schema != TRACE_SCHEMA {
+                return Err(format!(
+                    "inspect: {path}:{}: schema '{schema}' is not '{TRACE_SCHEMA}'",
+                    idx + 1
+                )
+                .into());
+            }
+            let version = v.get("version").and_then(Json::as_u64).unwrap_or(0);
+            if version != u64::from(TRACE_VERSION) {
+                diag!(
+                    Level::Warn,
+                    "inspect: {path}: trace version {version}; this build reads v{TRACE_VERSION}"
+                );
+            }
+            segments.push(TraceSegment {
+                label: v
+                    .get("label")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                exact_rates: v
+                    .get("exact_rates")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false),
+                samples: Vec::new(),
+                spans: Vec::new(),
+                end: None,
+            });
+            continue;
+        }
+        let Some(seg) = segments.last_mut() else {
+            return Err(format!(
+                "inspect: {path}:{}: '{kind}' record before any meta — not a btfluid trace?",
+                idx + 1
+            )
+            .into());
+        };
+        match kind.as_str() {
+            "sample" => seg.samples.push(TraceSample {
+                t: v.get("t").and_then(Json::as_f64).unwrap_or(f64::NAN),
+                events: v.get("events").and_then(Json::as_u64).unwrap_or(0),
+                downloaders: trace_u64_arr(v.get("downloaders")),
+                download_pairs: trace_u64_arr(v.get("download_pairs")),
+                seed_pairs: trace_u64_arr(v.get("seed_pairs")),
+                rho_mean: v.get("rho_mean").and_then(Json::as_f64),
+                delta_mean: v.get("delta_mean").and_then(Json::as_f64),
+                counters: trace_counters(v.get("counters")),
+            }),
+            "span" => seg.spans.push((
+                v.get("name")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                v.get("micros").and_then(Json::as_u64).unwrap_or(0),
+            )),
+            "end" => {
+                seg.end = Some((
+                    v.get("t").and_then(Json::as_f64).unwrap_or(f64::NAN),
+                    trace_counters(v.get("counters")),
+                ))
+            }
+            other => diag!(
+                Level::Warn,
+                "inspect: {path}:{}: unknown record kind '{other}' (skipped)",
+                idx + 1
+            ),
+        }
+    }
+    if segments.is_empty() {
+        return Err(format!("inspect: {path}: no meta records — not a btfluid trace").into());
+    }
+
+    let mut t = Table::new(
+        format!("trace {path} — {} run(s)", segments.len()),
+        vec![
+            "run",
+            "samples",
+            "spans",
+            "events",
+            "stale",
+            "heap peak",
+            "recomputes",
+            "recomp/ev",
+            "snapshots",
+        ],
+    );
+    for seg in &segments {
+        let c = seg.final_counters();
+        let per_event = c.rate_recomputes as f64 / c.events_popped.max(1) as f64;
+        t.push_row(vec![
+            seg.label.clone(),
+            format!("{}", seg.samples.len()),
+            format!("{}", seg.spans.len()),
+            format!("{}", c.events_popped),
+            format!("{}", c.stale_discards),
+            format!("{}", c.heap_peak),
+            format!("{}", c.rate_recomputes),
+            format!("{per_event:.1}"),
+            format!("{}", c.snapshots_taken),
+        ]);
+    }
+    emit(&t, &opts)?;
+
+    for seg in &segments {
+        let mut totals: Vec<(String, u64, u64)> = Vec::new();
+        for (name, micros) in &seg.spans {
+            match totals.iter_mut().find(|row| &row.0 == name) {
+                Some(row) => {
+                    row.1 += 1;
+                    row.2 += micros;
+                }
+                None => totals.push((name.clone(), 1, *micros)),
+            }
+        }
+        for (name, n, micros) in totals {
+            diag!(
+                Level::Info,
+                "{}: span {name}: {n} × totalling {micros} µs",
+                seg.label
+            );
+        }
+    }
+
+    let mut anomalies = Vec::new();
+    for seg in &segments {
+        seg.detect_anomalies(&mut anomalies);
+    }
+    if anomalies.is_empty() {
+        println!("no anomalies detected");
+    } else {
+        for a in &anomalies {
+            println!("anomaly: {a}");
+        }
+    }
+
+    if let Some(csv) = opts.get("csv-out") {
+        check_clobber(csv, &opts)?;
+        fs::write(csv, trajectories_csv(&segments))?;
+        diag!(Level::Info, "wrote {csv}");
+    }
+    Ok(())
 }
 
 fn cmd_all(opts: &Options) -> Result<(), CliError> {
@@ -1111,6 +1560,165 @@ mod tests {
             "the finished cell must not rerun:\n{journal}"
         );
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// End-to-end observability: a traced scenario line-up writes one
+    /// JSONL segment per scheme, `inspect` summarizes it, and `--csv-out`
+    /// exports the per-class trajectories.
+    #[test]
+    fn scenario_trace_then_inspect_roundtrip() {
+        let dir = std::env::temp_dir().join("btfluid_cli_trace_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("out.jsonl");
+        let argv = vec![
+            "scenario".into(),
+            "flash_crowd".into(),
+            "--smoke".into(),
+            "--seed".into(),
+            "5".into(),
+            "--trace".into(),
+            trace.to_str().unwrap().to_string(),
+            "--csv".into(),
+        ];
+        dispatch(&argv).unwrap();
+        assert!(trace.is_file(), "trace not renamed into place");
+        let body = std::fs::read_to_string(&trace).unwrap();
+        assert_eq!(
+            body.matches("\"kind\":\"meta\"").count(),
+            5,
+            "one meta segment per scheme in the line-up:\n{body}"
+        );
+        assert_eq!(body.matches("\"kind\":\"end\"").count(), 5);
+        assert!(body.contains("\"schema\":\"btfluid-trace\""));
+        assert!(body.contains("\"kind\":\"sample\""));
+
+        // Re-running without --force must refuse to clobber the trace.
+        // (Fresh thread: the per-invocation WRITTEN set is thread-local.)
+        let reinvoke = argv.clone();
+        std::thread::spawn(move || {
+            let err = dispatch(&reinvoke).unwrap_err();
+            assert_eq!(err.code, EXIT_CLOBBER, "{}", err.message);
+        })
+        .join()
+        .unwrap();
+
+        let csv = dir.join("traj.csv");
+        let inspect = vec![
+            "inspect".into(),
+            trace.to_str().unwrap().to_string(),
+            "--csv".into(),
+            "--csv-out".into(),
+            csv.to_str().unwrap().to_string(),
+        ];
+        dispatch(&inspect).unwrap();
+        let traj = std::fs::read_to_string(&csv).unwrap();
+        let header = traj.lines().next().unwrap();
+        assert!(
+            header.starts_with("run,t,events,rho_mean,delta_mean,downloaders_1"),
+            "unexpected trajectory header: {header}"
+        );
+        assert!(header.contains("seed_pairs_1"));
+        for label in ["MTSD", "MTCD", "MFCD", "CMFSD+Adapt"] {
+            assert!(
+                traj.lines().any(|l| l.starts_with(&format!("{label},"))),
+                "no trajectory rows for {label}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// `inspect` rejects non-trace input instead of mis-summarizing it.
+    #[test]
+    fn inspect_rejects_non_traces() {
+        assert!(dispatch(&["inspect".into()]).is_err());
+        assert!(dispatch(&["inspect".into(), "/nonexistent/trace.jsonl".into()]).is_err());
+        let dir = std::env::temp_dir().join("btfluid_cli_inspect_reject");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let bogus = dir.join("bogus.jsonl");
+        std::fs::write(&bogus, "{\"kind\":\"sample\",\"t\":1}\n").unwrap();
+        let err = dispatch(&["inspect".into(), bogus.to_str().unwrap().to_string()]).unwrap_err();
+        assert!(err.message.contains("before any meta"), "{}", err.message);
+        std::fs::write(
+            &bogus,
+            "{\"schema\":\"other\",\"version\":1,\"kind\":\"meta\"}\n",
+        )
+        .unwrap();
+        let err = dispatch(&["inspect".into(), bogus.to_str().unwrap().to_string()]).unwrap_err();
+        assert!(err.message.contains("schema"), "{}", err.message);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The anomaly heuristics flag truncation, clock regressions, cache
+    /// cost drift, and starved classes — and stay quiet on a healthy
+    /// trace where the same quantities are merely large but stable.
+    #[test]
+    fn inspect_anomaly_heuristics() {
+        // One sample every 5 time units, 10 events per window, class 1
+        // present throughout, class 2 present and seeding.
+        let sample = |i: u64, recomputes: u64, seed_pairs: Vec<u64>| TraceSample {
+            t: i as f64 * 5.0,
+            events: 10 * (i + 1),
+            downloaders: vec![2, 1],
+            download_pairs: vec![2, 1],
+            seed_pairs,
+            rho_mean: None,
+            delta_mean: None,
+            counters: Counters {
+                rate_recomputes: recomputes,
+                ..Default::default()
+            },
+        };
+
+        let mut recomputes = 0;
+        let bad_samples: Vec<TraceSample> = (0..30)
+            .map(|i| {
+                // Flat marginal cost for the first 20 windows, then a
+                // 50× blow-up — the drift detector's target.
+                recomputes += if i < 20 { 10 } else { 500 };
+                let mut s = sample(i, recomputes, vec![0, 1]);
+                if i == 3 {
+                    s.t = 2.0; // clock regression
+                }
+                s
+            })
+            .collect();
+        let seg = TraceSegment {
+            label: "X".into(),
+            exact_rates: false,
+            samples: bad_samples,
+            spans: Vec::new(),
+            end: None,
+        };
+        let mut out = Vec::new();
+        seg.detect_anomalies(&mut out);
+        let all = out.join("\n");
+        assert!(all.contains("truncated"), "{all}");
+        assert!(all.contains("non-monotone"), "{all}");
+        assert!(all.contains("cost drift"), "{all}");
+        assert!(all.contains("class 1 starved"), "{all}");
+        assert!(!all.contains("class 2 starved"), "{all}");
+
+        // Same per-event cost in every window (large, but stable), every
+        // present class eventually seeds, and the run finished.
+        let mut recomputes = 0;
+        let healthy_samples: Vec<TraceSample> = (0..30)
+            .map(|i| {
+                recomputes += 500;
+                sample(i, recomputes, vec![1, 1])
+            })
+            .collect();
+        let healthy = TraceSegment {
+            label: "Y".into(),
+            exact_rates: false,
+            samples: healthy_samples,
+            spans: Vec::new(),
+            end: Some((150.0, Counters::default())),
+        };
+        let mut out = Vec::new();
+        healthy.detect_anomalies(&mut out);
+        assert!(out.is_empty(), "healthy trace flagged: {out:?}");
     }
 
     /// Result-writing commands refuse to clobber without `--force`.

@@ -20,6 +20,7 @@ mod args;
 mod commands;
 mod errors;
 
+use btfluid_telemetry::{diag, Level};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -27,7 +28,7 @@ fn main() -> ExitCode {
     match commands::dispatch(&argv) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("btfluid: {e}");
+            diag!(Level::Error, "btfluid: {e}");
             ExitCode::from(e.code)
         }
     }

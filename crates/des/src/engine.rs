@@ -43,6 +43,7 @@ use btfluid_numkit::dist::Exponential;
 use btfluid_numkit::rng::{RngCore, Xoshiro256StarStar};
 use btfluid_numkit::series::TimeSeries;
 use btfluid_numkit::NumError;
+use btfluid_telemetry::{diag, Counters, Level, Probe, Sample};
 use btfluid_workload::requests::{FileId, RequestSampler};
 
 /// What happens next.
@@ -128,6 +129,22 @@ pub struct Simulation {
     /// snapshots — stderr output is not part of the bit-identity contract.
     trace: bool,
     next_trace: f64,
+    /// Hot-loop counters, maintained unconditionally (integer increments
+    /// only) and snapshotted so resumed runs continue the same series.
+    counters: Counters,
+    /// Attached observation probe. Like `trace`, probes are engine-local
+    /// observers excluded from snapshots; they receive borrowed state and
+    /// can never perturb the run.
+    probe: Option<Box<dyn Probe>>,
+    /// Probe sampling cadence in simulated time (`0.0` = sampler off);
+    /// set by [`Self::attach_probe`] from [`Probe::sample_every`].
+    sample_every: f64,
+    /// Next sampler firing time (snapshotted, so a resumed traced run
+    /// emits the exact sample tail of an uninterrupted one).
+    next_sample: f64,
+    /// Mean Adapt Δ observed at the most recent epoch (telemetry only;
+    /// feeds nothing back into the simulation).
+    last_delta: f64,
 }
 
 impl Simulation {
@@ -186,6 +203,11 @@ impl Simulation {
             next_record: 0.0,
             trace: std::env::var_os("BTFLUID_DES_TRACE").is_some(),
             next_trace: 0.0,
+            counters: Counters::default(),
+            probe: None,
+            sample_every: 0.0,
+            next_sample: 0.0,
+            last_delta: 0.0,
         };
         if sim.cfg.warm_start {
             sim.populate_from_fluid()?;
@@ -243,6 +265,84 @@ impl Simulation {
         self.hook = Some(hook);
         self.apply_origin(origin);
         Ok(())
+    }
+
+    /// Attaches an observation probe.
+    ///
+    /// Probes are engine-local observers, excluded from snapshots and
+    /// config digests the same way the `BTFLUID_DES_TRACE` flag is —
+    /// attach one to a restored simulation to continue a traced run. The
+    /// sampler cadence comes from [`Probe::sample_every`]; on a fresh run
+    /// the first sample fires at `t = 0`, on a restored run at the
+    /// snapshotted phase.
+    pub fn attach_probe(&mut self, probe: Box<dyn Probe>) {
+        self.sample_every = probe.sample_every();
+        self.probe = Some(probe);
+    }
+
+    /// Builder-style [`Self::attach_probe`].
+    #[must_use]
+    pub fn with_probe(mut self, probe: Box<dyn Probe>) -> Self {
+        self.attach_probe(probe);
+        self
+    }
+
+    /// The engine's cumulative hot-loop counters.
+    pub fn counters(&self) -> Counters {
+        self.counters
+    }
+
+    /// Records one checkpoint write's cost. Called by checkpointing
+    /// drivers (not the engine itself, which never touches disk), so
+    /// manual [`Self::snapshot`] callers see identical counters whether
+    /// or not they persist the result.
+    pub fn note_snapshot(&mut self, bytes: u64, micros: u64) {
+        self.counters.snapshots_taken += 1;
+        self.counters.snapshot_bytes += bytes;
+        self.counters.snapshot_micros += micros;
+    }
+
+    /// Forwards a named span timing to the attached probe (no-op without
+    /// one).
+    pub fn emit_span(&mut self, name: &str, micros: u64) {
+        if let Some(probe) = self.probe.as_mut() {
+            probe.on_span(name, micros);
+        }
+    }
+
+    /// Builds a [`Sample`] of the current aggregates and hands it to the
+    /// attached probe.
+    fn emit_sample(&mut self) {
+        let Some(probe) = self.probe.as_mut() else {
+            return;
+        };
+        // Mean individual ρ over present peers: an O(slab) walk, paid
+        // only at sampling cadence, never per event.
+        let mut rho_sum = 0.0;
+        let mut present = 0u64;
+        for p in &self.peers {
+            if p.phase != Phase::Departed {
+                rho_sum += p.rho;
+                present += 1;
+            }
+        }
+        probe.on_sample(&Sample {
+            t: self.t,
+            events: self.outcome.events,
+            downloaders: &self.dl_peers,
+            download_pairs: &self.dl_pairs,
+            seed_pairs: &self.seed_pairs,
+            weight: self.cache.weight(),
+            pool_real: self.cache.pool_real(),
+            pool_virtual: self.cache.pool_virtual(),
+            rho_mean: if present > 0 {
+                rho_sum / present as f64
+            } else {
+                0.0
+            },
+            delta_mean: self.last_delta,
+            counters: self.counters,
+        });
     }
 
     /// Seeds the initial population from the CMFSD fluid fixed point.
@@ -387,12 +487,29 @@ impl Simulation {
         if self.trace && self.t >= self.next_trace {
             self.emit_trace();
         }
+        if self.sample_every > 0.0 && self.t >= self.next_sample {
+            self.emit_sample();
+            while self.next_sample <= self.t {
+                self.next_sample += self.sample_every;
+            }
+        }
+        let queue_len = self.queue.len() as u64;
+        if queue_len > self.counters.heap_peak {
+            self.counters.heap_peak = queue_len;
+        }
         let (t_next, event) = self.next_event(end);
         self.outcome.events += 1;
         let dt = t_next - self.t;
         debug_assert!(dt >= -1e-9, "time went backwards: dt = {dt}");
         // Population integrals over the stationary window, from the
         // per-class counters (state is constant on [t, t_next)).
+        // Step intervals are disjoint half-open [t, t_next) slices, so
+        // clipping each to [warmup, horizon] under the strict `>` guard
+        // partitions the window exactly once: an event landing exactly
+        // at `warmup` yields a zero-width (skipped) left slice and its
+        // successor starts at `warmup` — the boundary instant is never
+        // double-counted (regression-tested in
+        // `tests/telemetry_props.rs::population_window_boundary_exact`).
         let win_lo = self.t.max(self.cfg.warmup);
         let win_hi = t_next.min(self.cfg.horizon);
         if win_hi > win_lo {
@@ -465,6 +582,9 @@ impl Simulation {
             }
         }
         self.outcome.trajectory = self.trajectory.take();
+        if let Some(probe) = self.probe.as_mut() {
+            probe.on_finish(t, &self.counters);
+        }
         self.outcome
     }
 
@@ -514,6 +634,9 @@ impl Simulation {
             outcome: self.outcome.clone(),
             trajectory: self.trajectory.clone(),
             next_record: self.next_record,
+            counters: self.counters,
+            next_sample: self.next_sample,
+            last_delta: self.last_delta,
         }
     }
 
@@ -627,6 +750,11 @@ impl Simulation {
             next_record: snap.next_record,
             trace: std::env::var_os("BTFLUID_DES_TRACE").is_some(),
             next_trace: snap.t,
+            counters: snap.counters,
+            probe: None,
+            sample_every: 0.0,
+            next_sample: snap.next_sample,
+            last_delta: snap.last_delta,
             cfg,
         };
         if let Some(h) = hook {
@@ -722,6 +850,10 @@ impl Simulation {
         let t = sim.t;
         let mut changed = Vec::new();
         sim.cache.refresh(&mut sim.peers, t, false, &mut changed);
+        // The rebuild refresh is restore machinery, not simulated work:
+        // drop its cache statistics so a resumed run's counters match an
+        // uninterrupted one's.
+        let _ = sim.cache.take_stats();
         if !changed.is_empty() {
             return Err(DesError::Invariant {
                 kind: InvariantKind::RateCacheDrift,
@@ -748,7 +880,8 @@ impl Simulation {
     }
 
     /// One `BTFLUID_DES_TRACE` stderr line (debug aid, not part of any
-    /// bit-identity contract).
+    /// bit-identity contract). Routed through `diag!` at [`Level::Debug`],
+    /// so the CLI's `--quiet` silences it even with the env var set.
     fn emit_trace(&mut self) {
         let snapshot = compute_rates(
             &self.peers,
@@ -774,7 +907,8 @@ impl Simulation {
                 holders[p.files[s] as usize] += 1;
             }
         }
-        eprintln!(
+        diag!(
+            Level::Debug,
             "[trace] t={:.0} peers={} downloads={} zero-rate={} total_rate={:.4} donations={:.4} demand={demand:?} holders={holders:?}",
             self.t,
             self.peers.len() - self.free.len(),
@@ -906,6 +1040,7 @@ impl Simulation {
         while let Some(e) = self.queue.peek() {
             if !self.entry_is_live(&e) {
                 self.queue.pop();
+                self.counters.stale_discards += 1;
                 continue;
             }
             if e.rank == RANK_COMPLETION {
@@ -920,6 +1055,7 @@ impl Simulation {
             }
             if e.time < t_best {
                 self.queue.pop();
+                self.counters.events_popped += 1;
                 self.live -= 1;
                 let peer = &mut self.peers[e.peer as usize];
                 if e.rank == RANK_COMPLETION {
@@ -943,6 +1079,9 @@ impl Simulation {
         let mut changed = std::mem::take(&mut self.changed_buf);
         self.cache
             .refresh(&mut self.peers, self.t, force, &mut changed);
+        let (recomputes, clean) = self.cache.take_stats();
+        self.counters.rate_recomputes += recomputes;
+        self.counters.rate_clean_hits += clean;
         for &(p, s) in &changed {
             let (pi, si) = (p as usize, s as usize);
             let peer = &mut self.peers[pi];
@@ -1393,6 +1532,10 @@ impl Simulation {
 
     fn handle_epoch(&mut self) {
         let setup = self.cfg.adapt.expect("epoch event without adapt setup");
+        // Telemetry-only Δ aggregation: observes the same values the
+        // controllers receive, writes nowhere but `last_delta`.
+        let mut delta_sum = 0.0;
+        let mut delta_n = 0u64;
         for idx in 0..self.peers.len() {
             if self.peers[idx].phase == Phase::Departed {
                 continue;
@@ -1406,12 +1549,17 @@ impl Simulation {
                         // time.
                         let delta = (peer.donated - peer.received_vs) / setup.epoch;
                         peer.rho = ctrl.observe(delta);
+                        delta_sum += delta;
+                        delta_n += 1;
                     }
                 }
                 peer.donated = 0.0;
                 peer.received_vs = 0.0;
             }
             self.touch_end(idx, was);
+        }
+        if delta_n > 0 {
+            self.last_delta = delta_sum / delta_n as f64;
         }
         self.next_epoch = Some(self.next_epoch.expect("epoch scheduled") + setup.epoch);
     }

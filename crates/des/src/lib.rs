@@ -79,3 +79,9 @@ pub use rate_cache::RateCache;
 pub use replicate::{run_replications, ReplicationSummary};
 pub use single::{run_single_torrent, SingleTorrentConfig, SingleTorrentOutcome};
 pub use snapshot::{Snapshot, SnapshotError};
+
+// Observability surface, re-exported so downstream crates can attach
+// probes without depending on `btfluid-telemetry` directly.
+pub use btfluid_telemetry::{
+    Counters, MemoryProbe, NoopProbe, OwnedSample, Probe, Sample, SinkProbe, TraceSink,
+};

@@ -126,6 +126,11 @@ pub struct RateCache {
     rate_flag: Vec<bool>,
     owners: Vec<usize>,
     owner_flag: Vec<bool>,
+    // Telemetry (drained via `take_stats`, never read by the cache).
+    /// Download-rate recomputations performed since the last drain.
+    stat_recomputes: u64,
+    /// Refreshes satisfied by the early return (nothing dirty).
+    stat_clean: u64,
 }
 
 impl RateCache {
@@ -165,7 +170,18 @@ impl RateCache {
             rate_flag: vec![false; k],
             owners: Vec::new(),
             owner_flag: Vec::new(),
+            stat_recomputes: 0,
+            stat_clean: 0,
         }
+    }
+
+    /// Drains the telemetry accumulated since the last call:
+    /// `(download-rate recomputations, clean refresh hits)`.
+    pub fn take_stats(&mut self) -> (u64, u64) {
+        let stats = (self.stat_recomputes, self.stat_clean);
+        self.stat_recomputes = 0;
+        self.stat_clean = 0;
+        stats
     }
 
     /// Changes the origin-publisher count mid-run (scenario seed crash /
@@ -402,6 +418,7 @@ impl RateCache {
     ) {
         changed.clear();
         if !force && self.dirty_w.is_empty() && self.dirty_p.is_empty() && self.touched.is_empty() {
+            self.stat_clean += 1;
             return;
         }
 
@@ -531,8 +548,10 @@ impl RateCache {
                 self.rate_files.push(f);
             }
         }
+        let mut recomputed = 0u64;
         for i in 0..self.rate_files.len() {
             let f = self.rate_files[i];
+            recomputed += self.downloaders[f].len() as u64;
             for j in 0..self.downloaders[f].len() {
                 let m = self.downloaders[f][j];
                 self.recompute_rate(peers, t, m.peer, m.slot, f, m.u, m.w, changed);
@@ -540,11 +559,13 @@ impl RateCache {
         }
         for i in 0..self.touched.len() {
             let p = self.touched[i];
+            recomputed += self.reg[p].active.len() as u64;
             for j in 0..self.reg[p].active.len() {
                 let (slot, file, u, w) = self.reg[p].active[j];
                 self.recompute_rate(peers, t, p as u32, slot, file as usize, u, w, changed);
             }
         }
+        self.stat_recomputes += recomputed;
 
         // Pass 5: donation rates for owners.
         if force {

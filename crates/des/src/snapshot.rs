@@ -26,6 +26,11 @@
 //!   are recomputed from the restored slab.
 //! * The `BTFLUID_DES_TRACE` debug state: stderr tracing is not part of
 //!   the bit-identity contract.
+//! * The attached [`btfluid_telemetry::Probe`], which may hold open file
+//!   handles. The telemetry *counters* and the sampler phase
+//!   (`next_sample`, `last_delta`) **are** serialized, so a run resumed
+//!   with a fresh probe attached emits the same trace tail as an
+//!   uninterrupted run.
 //!
 //! ## On-disk format
 //!
@@ -54,13 +59,17 @@ use crate::observer::{AbortRecord, ClassStats, PopulationStats, SimOutcome, User
 use crate::peer::{Peer, Phase};
 use btfluid_numkit::series::TimeSeries;
 use btfluid_numkit::stats::Welford;
+use btfluid_telemetry::Counters;
 use btfluid_workload::requests::FileId;
 use std::fmt;
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"BTFS";
 /// Current snapshot format version (see the module docs for the policy).
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// v2 added the telemetry counters and sampler phase (`next_sample`,
+/// `last_delta`) so resumed runs emit the same trace tail as
+/// uninterrupted ones.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Why a snapshot could not be encoded, decoded, or applied.
 #[derive(Debug, Clone, PartialEq)]
@@ -354,6 +363,14 @@ pub struct Snapshot {
     pub(crate) outcome: SimOutcome,
     pub(crate) trajectory: Option<TimeSeries>,
     pub(crate) next_record: f64,
+    /// Telemetry counters accumulated so far. Maintained unconditionally
+    /// (probe attached or not), so snapshot bytes never depend on
+    /// observability settings.
+    pub(crate) counters: Counters,
+    /// Sampler phase: next simulated time a probe sample is due.
+    pub(crate) next_sample: f64,
+    /// Mean Adapt Δ observed at the most recent epoch (telemetry only).
+    pub(crate) last_delta: f64,
 }
 
 impl Snapshot {
@@ -433,6 +450,16 @@ impl Snapshot {
             }
         }
         w.f64(self.next_record);
+        w.u64(self.counters.events_popped);
+        w.u64(self.counters.stale_discards);
+        w.u64(self.counters.heap_peak);
+        w.u64(self.counters.rate_recomputes);
+        w.u64(self.counters.rate_clean_hits);
+        w.u64(self.counters.snapshots_taken);
+        w.u64(self.counters.snapshot_bytes);
+        w.u64(self.counters.snapshot_micros);
+        w.f64(self.next_sample);
+        w.f64(self.last_delta);
         let checksum = fnv1a(&w.buf);
         w.u64(checksum);
         w.buf
@@ -525,6 +552,18 @@ impl Snapshot {
             b => return Err(SnapshotError::Corrupt(format!("bad option tag {b}"))),
         };
         let next_record = r.f64()?;
+        let counters = Counters {
+            events_popped: r.u64()?,
+            stale_discards: r.u64()?,
+            heap_peak: r.u64()?,
+            rate_recomputes: r.u64()?,
+            rate_clean_hits: r.u64()?,
+            snapshots_taken: r.u64()?,
+            snapshot_bytes: r.u64()?,
+            snapshot_micros: r.u64()?,
+        };
+        let next_sample = r.f64()?;
+        let last_delta = r.f64()?;
         r.done()?;
         for &i in &free {
             let ok = (i as usize) < peers.len() && peers[i as usize].phase == Phase::Departed;
@@ -554,6 +593,9 @@ impl Snapshot {
             outcome,
             trajectory,
             next_record,
+            counters,
+            next_sample,
+            last_delta,
         })
     }
 
@@ -564,11 +606,22 @@ impl Snapshot {
     /// # Errors
     /// [`SnapshotError::Io`] on filesystem failures.
     pub fn write_file(&self, path: &Path) -> Result<(), SnapshotError> {
+        Self::write_file_bytes(path, &self.to_bytes())
+    }
+
+    /// Atomically writes already-encoded snapshot bytes (from
+    /// [`Snapshot::to_bytes`]) — same temp-file-and-rename discipline as
+    /// [`Snapshot::write_file`], for callers that also need the encoded
+    /// length (e.g. telemetry byte accounting) without encoding twice.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Io`] on filesystem failures.
+    pub fn write_file_bytes(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
         let io = |e: std::io::Error| SnapshotError::Io(format!("{}: {e}", path.display()));
         let mut tmp = path.as_os_str().to_owned();
         tmp.push(".tmp");
         let tmp = std::path::PathBuf::from(tmp);
-        std::fs::write(&tmp, self.to_bytes()).map_err(io)?;
+        std::fs::write(&tmp, bytes).map_err(io)?;
         std::fs::rename(&tmp, path).map_err(io)
     }
 

@@ -1,0 +1,247 @@
+//! The telemetry contracts the rest of the workspace leans on:
+//!
+//! * **Zero perturbation** — a run with a probe attached is bit-identical
+//!   to the same seed without one, in both `exact_rates` modes, across
+//!   every scheme (probes only borrow engine state).
+//! * **Resumable traces** — counters and the sampler phase live inside
+//!   the snapshot, so a run cut at an arbitrary event and resumed emits
+//!   exactly the trace tail the uninterrupted run would have.
+//! * **Window accounting** — the `[warmup, horizon]` population window
+//!   is partitioned exactly once even when an event lands on the warmup
+//!   boundary itself.
+
+use btfluid_core::adapt::AdaptConfig;
+use btfluid_des::config::{AdaptSetup, DesConfig, OrderPolicy, SchemeKind};
+use btfluid_des::engine::Simulation;
+use btfluid_des::observer::SimOutcome;
+use btfluid_des::snapshot::Snapshot;
+use btfluid_des::{Counters, MemoryProbe, OwnedSample, Probe, Sample};
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+
+/// Forwards every observation into a shared [`MemoryProbe`] so the test
+/// can read the telemetry back after the engine consumed the probe box.
+struct Fwd(Arc<Mutex<MemoryProbe>>);
+
+impl Probe for Fwd {
+    fn sample_every(&self) -> f64 {
+        self.0.lock().unwrap().sample_every()
+    }
+    fn on_sample(&mut self, sample: &Sample<'_>) {
+        self.0.lock().unwrap().on_sample(sample);
+    }
+    fn on_span(&mut self, name: &str, micros: u64) {
+        self.0.lock().unwrap().on_span(name, micros);
+    }
+    fn on_finish(&mut self, t: f64, counters: &Counters) {
+        self.0.lock().unwrap().on_finish(t, counters);
+    }
+}
+
+fn memory_probe(cadence: f64) -> (Arc<Mutex<MemoryProbe>>, Box<dyn Probe>) {
+    let shared = Arc::new(Mutex::new(MemoryProbe::new(cadence)));
+    let probe = Box::new(Fwd(Arc::clone(&shared)));
+    (shared, probe)
+}
+
+/// The five engine configurations the contracts must hold for (kept
+/// shorter than the snapshot-resume suite: every case runs twice).
+fn variant_cfg(variant: usize, exact: bool, seed: u64) -> DesConfig {
+    let scheme = match variant {
+        0 => SchemeKind::Mtsd,
+        1 => SchemeKind::Mtcd,
+        2 => SchemeKind::Mfcd,
+        _ => SchemeKind::Cmfsd { rho: 0.3 },
+    };
+    let mut cfg = DesConfig::paper_small(scheme, 0.5, seed).unwrap();
+    cfg.horizon = 300.0;
+    cfg.warmup = 100.0;
+    cfg.drain = 300.0;
+    cfg.record_every = Some(25.0);
+    cfg.exact_rates = exact;
+    if variant == 4 {
+        cfg.adapt = Some(AdaptSetup {
+            controller: AdaptConfig::default_for_mu(cfg.params.mu()),
+            epoch: 40.0,
+            cheater_fraction: 0.2,
+        });
+        cfg.order_policy = OrderPolicy::RarestFirst;
+        cfg.origin_seeds = 1;
+    }
+    cfg
+}
+
+/// Asserts two outcomes are identical down to every float's bit pattern.
+fn assert_bit_identical(a: &SimOutcome, b: &SimOutcome) {
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.arrivals, b.arrivals);
+    assert_eq!(a.censored, b.censored);
+    assert_eq!(a.records.len(), b.records.len());
+    for (ra, rb) in a.records.iter().zip(&b.records) {
+        assert_eq!(ra.id, rb.id);
+        assert_eq!(ra.class, rb.class);
+        assert_eq!(ra.arrival.to_bits(), rb.arrival.to_bits());
+        assert_eq!(ra.departure.to_bits(), rb.departure.to_bits());
+        assert_eq!(ra.download_span.to_bits(), rb.download_span.to_bits());
+        assert_eq!(ra.online_fluid.to_bits(), rb.online_fluid.to_bits());
+        assert_eq!(ra.final_rho.to_bits(), rb.final_rho.to_bits());
+        assert_eq!(ra.cheater, rb.cheater);
+    }
+    assert_eq!(a.aborts.len(), b.aborts.len());
+    assert_eq!(a.population.window.to_bits(), b.population.window.to_bits());
+    for (xa, xb) in a
+        .population
+        .downloader_peer_integral
+        .iter()
+        .zip(&b.population.downloader_peer_integral)
+    {
+        assert_eq!(xa.to_bits(), xb.to_bits());
+    }
+    match (&a.trajectory, &b.trajectory) {
+        (Some(ta), Some(tb)) => {
+            assert_eq!(ta.times().len(), tb.times().len());
+            for (xa, xb) in ta.raw_values().iter().zip(tb.raw_values()) {
+                assert_eq!(xa.to_bits(), xb.to_bits());
+            }
+        }
+        (None, None) => {}
+        _ => panic!("one run recorded a trajectory, the other did not"),
+    }
+}
+
+/// Deterministic view of a sample: everything except the counters that
+/// legitimately differ across a resume. The `snapshot_*` trio carries
+/// wall-clock microseconds; `stale_discards` and `heap_peak` describe
+/// the queue's physical history, and restore rebuilds the queue compact
+/// from peer state — the stale entries an uninterrupted run would later
+/// pop and discard never exist on the resumed path.
+fn deterministic_view(s: &OwnedSample) -> OwnedSample {
+    let mut s = s.clone();
+    s.counters.stale_discards = 0;
+    s.counters.heap_peak = 0;
+    s.counters.snapshots_taken = 0;
+    s.counters.snapshot_bytes = 0;
+    s.counters.snapshot_micros = 0;
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Attaching a sampling probe never changes the run.
+    #[test]
+    fn telemetry_never_perturbs_the_run(
+        variant in 0usize..5,
+        exact in 0usize..2,
+        seed in 1u64..500,
+    ) {
+        let cfg = variant_cfg(variant, exact == 1, seed);
+        let bare = Simulation::new(cfg.clone()).unwrap().run();
+        let (shared, probe) = memory_probe(7.5);
+        let probed = Simulation::new(cfg).unwrap().with_probe(probe).run();
+        assert_bit_identical(&bare, &probed);
+
+        let mem = shared.lock().unwrap();
+        prop_assert!(!mem.samples.is_empty(), "sampler never fired");
+        let c = mem.finished.expect("on_finish not called");
+        prop_assert!(c.events_popped > 0);
+        // Samples carry a monotone clock and monotone counters.
+        for w in mem.samples.windows(2) {
+            prop_assert!(w[1].t >= w[0].t);
+            prop_assert!(w[1].events >= w[0].events);
+            prop_assert!(w[1].counters.events_popped >= w[0].counters.events_popped);
+        }
+    }
+}
+
+/// Counters and sampler phase round-trip through the snapshot byte
+/// format, so a cut-and-resumed run emits the same trace tail (on every
+/// deterministic field) as the uninterrupted run, and the head + tail
+/// stitch back into exactly the full series.
+#[test]
+fn resumed_run_emits_the_same_trace_tail() {
+    // The Adapt variant exercises rho/delta in the samples too.
+    let cfg = variant_cfg(4, false, 11);
+    let (full, probe) = memory_probe(5.0);
+    let full_outcome = Simulation::new(cfg.clone())
+        .unwrap()
+        .with_probe(probe)
+        .run();
+
+    let (head, probe) = memory_probe(5.0);
+    let mut sim = Simulation::new(cfg.clone()).unwrap().with_probe(probe);
+    for _ in 0..300 {
+        assert!(sim.step().unwrap(), "run too short for the cut point");
+    }
+    let counters_at_cut = sim.counters();
+    let snap = Snapshot::from_bytes(&sim.snapshot().to_bytes()).expect("codec roundtrip");
+    drop(sim);
+
+    let (tail, probe) = memory_probe(5.0);
+    let mut resumed = Simulation::restore(cfg, &snap)
+        .expect("restore")
+        .with_probe(probe);
+    // The counters survived the byte round trip exactly.
+    assert_eq!(resumed.counters(), counters_at_cut);
+    while resumed.step().unwrap() {}
+    let resumed_outcome = resumed.finish();
+    assert_bit_identical(&full_outcome, &resumed_outcome);
+
+    let full = full.lock().unwrap();
+    let head = head.lock().unwrap();
+    let tail = tail.lock().unwrap();
+    let stitched: Vec<OwnedSample> = head
+        .samples
+        .iter()
+        .chain(tail.samples.iter())
+        .map(deterministic_view)
+        .collect();
+    let straight: Vec<OwnedSample> = full.samples.iter().map(deterministic_view).collect();
+    assert_eq!(
+        stitched.len(),
+        straight.len(),
+        "resume re-fired or skipped a cadence point"
+    );
+    for (i, (a, b)) in straight.iter().zip(&stitched).enumerate() {
+        assert_eq!(a, b, "sample {i} diverged after resume");
+    }
+    // Both paths flush identical final counters on the deterministic
+    // subset (see `deterministic_view` for why the queue-path and
+    // snapshot counters are exempt).
+    let scrub = |c: Counters| Counters {
+        stale_discards: 0,
+        heap_peak: 0,
+        snapshots_taken: 0,
+        snapshot_bytes: 0,
+        snapshot_micros: 0,
+        ..c
+    };
+    assert_eq!(
+        full.finished.map(scrub),
+        tail.finished.map(scrub),
+        "final counters diverged after resume"
+    );
+}
+
+/// An Adapt epoch scheduled exactly on the warmup boundary (25 · 4 = 100
+/// is exact in binary) must not double-count the boundary instant: the
+/// measured window is exactly `horizon - warmup`.
+#[test]
+fn population_window_boundary_exact() {
+    let mut cfg = variant_cfg(4, false, 7);
+    cfg.warmup = 100.0;
+    cfg.horizon = 300.0;
+    cfg.drain = 300.0;
+    cfg.adapt.as_mut().unwrap().epoch = 25.0;
+    let outcome = Simulation::new(cfg).unwrap().run();
+    let expect = 300.0 - 100.0;
+    let window = outcome.population.window;
+    assert!(
+        (window - expect).abs() < 1e-6,
+        "window {window} != {expect} (boundary slice lost or double-counted)"
+    );
+    assert!(
+        window <= expect + 1e-9,
+        "window {window} exceeds the stationary span — an interval was counted twice"
+    );
+}

@@ -12,7 +12,7 @@
 //! means "this run did not finish".
 
 use crate::error::{io_err, HarnessError};
-use btfluid_des::{DesConfig, ScenarioHook, SimOutcome, Simulation, Snapshot};
+use btfluid_des::{DesConfig, Probe, ScenarioHook, SimOutcome, Simulation, Snapshot};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
@@ -78,6 +78,12 @@ pub struct RunReport {
 /// end a final checkpoint is written (when a path is configured) so the
 /// next invocation loses no work.
 ///
+/// `probe` attaches a telemetry probe to the engine. The driver feeds it
+/// `checkpoint` spans and per-checkpoint byte/time accounting (via
+/// [`Simulation::note_snapshot`]) on top of the engine's own samples, and
+/// an `engine` span covering the whole drive on completion. Probes only
+/// observe — attaching one never changes the run's results.
+///
 /// # Errors
 /// Engine and snapshot errors ([`HarnessError::Engine`]), filesystem
 /// failures ([`HarnessError::Io`]), and invalid plans
@@ -87,6 +93,7 @@ pub struct RunReport {
 /// Panics deliberately when `limits.inject_panic_at` fires; engine bugs
 /// outside `checked` mode may also panic. Callers that must survive either
 /// wrap the call in `catch_unwind` (the supervisor does).
+#[allow(clippy::too_many_arguments)]
 pub fn drive(
     cfg: DesConfig,
     hook_factory: Option<&dyn Fn() -> Box<dyn ScenarioHook>>,
@@ -95,6 +102,7 @@ pub fn drive(
     limits: &RunLimits,
     cancel: Option<&AtomicBool>,
     mut on_snapshot: Option<&mut dyn FnMut(&Snapshot)>,
+    probe: Option<Box<dyn Probe>>,
 ) -> Result<RunReport, HarnessError> {
     if let Some(plan) = plan {
         if plan.every_events == 0 {
@@ -121,22 +129,32 @@ pub fn drive(
             None => Simulation::new(cfg)?,
         },
     };
+    if let Some(probe) = probe {
+        sim.attach_probe(probe);
+    }
     let resumed = existing.is_some();
     let chunk = plan.map_or(u64::MAX, |p| p.every_events);
     let mut checkpoints = 0u64;
     let mut next_checkpoint = sim.events().saturating_add(chunk);
+    let drive_start = Instant::now();
 
-    let take_snapshot = |sim: &Simulation, on_snapshot: &mut Option<&mut dyn FnMut(&Snapshot)>| {
-        let snap = sim.snapshot();
-        if let Some(cb) = on_snapshot.as_mut() {
-            cb(&snap);
-        }
-        if let Some(path) = checkpoint_path {
-            snap.write_file(path)?;
-            return Ok::<bool, HarnessError>(true);
-        }
-        Ok(false)
-    };
+    let take_snapshot =
+        |sim: &mut Simulation, on_snapshot: &mut Option<&mut dyn FnMut(&Snapshot)>| {
+            let started = Instant::now();
+            let snap = sim.snapshot();
+            if let Some(cb) = on_snapshot.as_mut() {
+                cb(&snap);
+            }
+            if let Some(path) = checkpoint_path {
+                let bytes = snap.to_bytes();
+                Snapshot::write_file_bytes(path, &bytes)?;
+                let micros = started.elapsed().as_micros() as u64;
+                sim.note_snapshot(bytes.len() as u64, micros);
+                sim.emit_span("checkpoint", micros);
+                return Ok::<bool, HarnessError>(true);
+            }
+            Ok(false)
+        };
 
     let end = loop {
         if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
@@ -159,7 +177,7 @@ pub fn drive(
             break RunEnd::Completed;
         }
         if sim.events() >= next_checkpoint {
-            if take_snapshot(&sim, &mut on_snapshot)? {
+            if take_snapshot(&mut sim, &mut on_snapshot)? {
                 checkpoints += 1;
             }
             next_checkpoint = sim.events().saturating_add(chunk);
@@ -168,6 +186,7 @@ pub fn drive(
 
     if end == RunEnd::Completed {
         let events = sim.events();
+        sim.emit_span("engine", drive_start.elapsed().as_micros() as u64);
         let outcome = sim.finish();
         // A finished run must not leave a checkpoint behind: its presence
         // is the "work remains" signal for `--resume`.
@@ -188,9 +207,10 @@ pub fn drive(
     }
 
     // Interrupted: persist the frontier so nothing is lost.
-    if take_snapshot(&sim, &mut on_snapshot)? {
+    if take_snapshot(&mut sim, &mut on_snapshot)? {
         checkpoints += 1;
     }
+    sim.emit_span("engine", drive_start.elapsed().as_micros() as u64);
     Ok(RunReport {
         outcome: None,
         end,
@@ -233,7 +253,7 @@ mod tests {
             max_events: Some(333),
             ..Default::default()
         };
-        let first = drive(cfg(5), None, Some(&plan), true, &limits, None, None).unwrap();
+        let first = drive(cfg(5), None, Some(&plan), true, &limits, None, None, None).unwrap();
         assert_eq!(first.end, RunEnd::EventBudget);
         assert!(first.outcome.is_none());
         assert!(path.exists(), "interrupted run must leave a checkpoint");
@@ -244,6 +264,7 @@ mod tests {
             Some(&plan),
             true,
             &RunLimits::default(),
+            None,
             None,
             None,
         )
@@ -267,6 +288,7 @@ mod tests {
             false,
             &RunLimits::default(),
             Some(&cancel),
+            None,
             None,
         )
         .unwrap();
@@ -293,6 +315,7 @@ mod tests {
             &RunLimits::default(),
             None,
             Some(&mut observe),
+            None,
         )
         .unwrap();
         assert_eq!(report.end, RunEnd::Completed);
@@ -308,7 +331,7 @@ mod tests {
             ..Default::default()
         };
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            drive(cfg(8), None, None, false, &limits, None, None)
+            drive(cfg(8), None, None, false, &limits, None, None, None)
         }));
         let msg = *result.unwrap_err().downcast::<String>().unwrap();
         assert!(msg.contains("injected panic at event 50"), "{msg}");
@@ -328,9 +351,72 @@ mod tests {
                 false,
                 &RunLimits::default(),
                 None,
+                None,
                 None
             ),
             Err(HarnessError::Config(_))
         ));
+    }
+
+    #[test]
+    fn probe_sees_checkpoint_spans_and_snapshot_accounting() {
+        use btfluid_des::MemoryProbe;
+        use std::sync::{Arc, Mutex};
+
+        // MemoryProbe is consumed by the engine; share its observations
+        // out through a forwarding probe.
+        #[derive(Default)]
+        struct Shared {
+            spans: Vec<(String, u64)>,
+            finished: Option<btfluid_des::Counters>,
+        }
+        struct Fwd(Arc<Mutex<Shared>>, MemoryProbe);
+        impl Probe for Fwd {
+            fn sample_every(&self) -> f64 {
+                self.1.sample_every()
+            }
+            fn on_span(&mut self, name: &str, micros: u64) {
+                self.0.lock().unwrap().spans.push((name.into(), micros));
+            }
+            fn on_finish(&mut self, _t: f64, counters: &btfluid_des::Counters) {
+                self.0.lock().unwrap().finished = Some(*counters);
+            }
+        }
+
+        let path = tmp("probed.snap");
+        let _ = std::fs::remove_file(&path);
+        let plan = CheckpointPlan {
+            path: Some(path.clone()),
+            every_events: 64,
+        };
+        let shared = Arc::new(Mutex::new(Shared::default()));
+        let report = drive(
+            cfg(11),
+            None,
+            Some(&plan),
+            false,
+            &RunLimits::default(),
+            None,
+            None,
+            Some(Box::new(Fwd(Arc::clone(&shared), MemoryProbe::new(10.0)))),
+        )
+        .unwrap();
+        assert_eq!(report.end, RunEnd::Completed);
+        assert!(report.checkpoints > 0);
+        let shared = shared.lock().unwrap();
+        let n_ckpt_spans = shared
+            .spans
+            .iter()
+            .filter(|(name, _)| name == "checkpoint")
+            .count();
+        assert_eq!(n_ckpt_spans as u64, report.checkpoints);
+        assert!(
+            shared.spans.iter().any(|(name, _)| name == "engine"),
+            "completed drive emits an engine span"
+        );
+        let counters = shared.finished.expect("probe sees finish");
+        assert_eq!(counters.snapshots_taken, report.checkpoints);
+        assert!(counters.snapshot_bytes > 0);
+        assert!(counters.events_popped > 0);
     }
 }

@@ -10,6 +10,7 @@
 
 use crate::error::{io_err, HarnessError};
 use crate::json::Json;
+use btfluid_des::Counters;
 use std::collections::BTreeSet;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
@@ -52,6 +53,11 @@ pub struct CellRecord {
     pub attempts: u32,
     /// Engine events executed by the final attempt.
     pub events: u64,
+    /// Wall-clock milliseconds of the final attempt (0 when unknown —
+    /// journals written before telemetry landed carry no timing).
+    pub wall_ms: u64,
+    /// Engine telemetry counters of a successful attempt, when captured.
+    pub counters: Option<Counters>,
     /// Free-form detail: a result summary for `done`, the failure reason
     /// for `failed`.
     pub detail: String,
@@ -59,13 +65,18 @@ pub struct CellRecord {
 
 impl CellRecord {
     fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("id".into(), Json::Str(self.id.clone())),
             ("status".into(), Json::Str(self.status.as_str().into())),
             ("attempts".into(), Json::num_u64(u64::from(self.attempts))),
             ("events".into(), Json::num_u64(self.events)),
-            ("detail".into(), Json::Str(self.detail.clone())),
-        ])
+            ("wall_ms".into(), Json::num_u64(self.wall_ms)),
+        ];
+        if let Some(c) = &self.counters {
+            fields.push(("counters".into(), counters_to_json(c)));
+        }
+        fields.push(("detail".into(), Json::Str(self.detail.clone())));
+        Json::Obj(fields)
     }
 
     fn from_json(v: &Json) -> Option<Self> {
@@ -74,9 +85,39 @@ impl CellRecord {
             status: CellStatus::from_str(v.get("status")?.as_str()?)?,
             attempts: u32::try_from(v.get("attempts")?.as_u64()?).ok()?,
             events: v.get("events")?.as_u64()?,
+            // Both telemetry fields are optional so journals from before
+            // this schema grew them still load under `--resume`.
+            wall_ms: v.get("wall_ms").and_then(Json::as_u64).unwrap_or(0),
+            counters: v.get("counters").and_then(counters_from_json),
             detail: v.get("detail")?.as_str()?.to_string(),
         })
     }
+}
+
+fn counters_to_json(c: &Counters) -> Json {
+    Json::Obj(vec![
+        ("events_popped".into(), Json::num_u64(c.events_popped)),
+        ("stale_discards".into(), Json::num_u64(c.stale_discards)),
+        ("heap_peak".into(), Json::num_u64(c.heap_peak)),
+        ("rate_recomputes".into(), Json::num_u64(c.rate_recomputes)),
+        ("rate_clean_hits".into(), Json::num_u64(c.rate_clean_hits)),
+        ("snapshots_taken".into(), Json::num_u64(c.snapshots_taken)),
+        ("snapshot_bytes".into(), Json::num_u64(c.snapshot_bytes)),
+        ("snapshot_micros".into(), Json::num_u64(c.snapshot_micros)),
+    ])
+}
+
+fn counters_from_json(v: &Json) -> Option<Counters> {
+    Some(Counters {
+        events_popped: v.get("events_popped")?.as_u64()?,
+        stale_discards: v.get("stale_discards")?.as_u64()?,
+        heap_peak: v.get("heap_peak")?.as_u64()?,
+        rate_recomputes: v.get("rate_recomputes")?.as_u64()?,
+        rate_clean_hits: v.get("rate_clean_hits")?.as_u64()?,
+        snapshots_taken: v.get("snapshots_taken")?.as_u64()?,
+        snapshot_bytes: v.get("snapshot_bytes")?.as_u64()?,
+        snapshot_micros: v.get("snapshot_micros")?.as_u64()?,
+    })
 }
 
 /// Loads a journal. A missing file is an empty journal; a torn final line
@@ -173,8 +214,36 @@ mod tests {
             status,
             attempts: 1,
             events: 123,
+            wall_ms: 45,
+            counters: Some(Counters {
+                events_popped: 100,
+                heap_peak: 7,
+                ..Default::default()
+            }),
             detail: "ok".into(),
         }
+    }
+
+    #[test]
+    fn telemetry_fields_roundtrip_and_stay_optional() {
+        let path = tmp("telemetry.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut w = ManifestWriter::open(&path).unwrap();
+        w.append(&rec("a", CellStatus::Done)).unwrap();
+        drop(w);
+        let records = load(&path).unwrap();
+        assert_eq!(records[0], rec("a", CellStatus::Done));
+        // A pre-telemetry journal line (no wall_ms/counters) still loads.
+        std::fs::write(
+            &path,
+            "{\"id\":\"old\",\"status\":\"done\",\"attempts\":1,\
+             \"events\":9,\"detail\":\"ok\"}\n",
+        )
+        .unwrap();
+        let records = load(&path).unwrap();
+        assert_eq!(records[0].wall_ms, 0);
+        assert_eq!(records[0].counters, None);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

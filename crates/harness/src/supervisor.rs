@@ -20,7 +20,8 @@ use crate::bundle::{ReproBundle, ScenarioRef};
 use crate::checkpoint::{drive, CheckpointPlan, RunEnd, RunLimits};
 use crate::error::HarnessError;
 use crate::manifest::{self, CellRecord, CellStatus, ManifestWriter};
-use btfluid_des::{DesConfig, SimOutcome};
+use btfluid_des::{Counters, DesConfig, Probe, SimOutcome};
+use btfluid_telemetry::{diag, Level};
 use std::collections::{BTreeSet, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -93,10 +94,20 @@ pub struct CellResult {
     pub aborted: usize,
     /// Mean online time per file, when computable.
     pub avg_online_per_file: Option<f64>,
+    /// Wall-clock seconds the successful attempt took.
+    pub wall_s: f64,
+    /// Engine telemetry counters from the successful attempt.
+    pub counters: Counters,
 }
 
 impl CellResult {
-    fn from_outcome(id: &str, events: u64, outcome: &SimOutcome) -> Self {
+    fn from_outcome(
+        id: &str,
+        events: u64,
+        outcome: &SimOutcome,
+        wall_s: f64,
+        counters: Counters,
+    ) -> Self {
         CellResult {
             id: id.to_string(),
             events,
@@ -105,19 +116,42 @@ impl CellResult {
             censored: outcome.censored,
             aborted: outcome.aborts.len(),
             avg_online_per_file: outcome.avg_online_per_file().ok(),
+            wall_s,
+            counters,
+        }
+    }
+
+    /// Engine events per wall-clock second (0 when the attempt was too
+    /// fast to time).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.events as f64 / self.wall_s
+        } else {
+            0.0
         }
     }
 
     fn summary(&self) -> String {
         format!(
-            "arrivals {}, completed {}, censored {}, aborted {}, online/file {}",
+            "arrivals {}, completed {}, censored {}, aborted {}, online/file {}, {:.0} ev/s",
             self.arrivals,
             self.completed,
             self.censored,
             self.aborted,
             self.avg_online_per_file
-                .map_or_else(|| "-".into(), |v| format!("{v:.3}"))
+                .map_or_else(|| "-".into(), |v| format!("{v:.3}")),
+            self.events_per_sec()
         )
+    }
+}
+
+/// Probe that hands the engine's final counters back across the worker
+/// thread boundary (the engine consumes the probe box itself).
+struct CounterCapture(Arc<Mutex<Option<Counters>>>);
+
+impl Probe for CounterCapture {
+    fn on_finish(&mut self, _t: f64, counters: &Counters) {
+        *self.0.lock().unwrap() = Some(*counters);
     }
 }
 
@@ -212,10 +246,14 @@ pub fn run_sweep(
     }
 
     let writer = Mutex::new(ManifestWriter::open(&sup.manifest)?);
+    let total = queue.len();
     let queue = Mutex::new(queue);
     let completed = Mutex::new(Vec::new());
     let failed = Mutex::new(Vec::new());
     let n_workers = sup.workers.min(queue.lock().unwrap().len()).max(1);
+    // Live progress accounting: (cells done, cells failed, engine events).
+    let progress = Mutex::new((0usize, 0usize, 0u64));
+    let sweep_start = Instant::now();
 
     std::thread::scope(|scope| {
         for _ in 0..n_workers {
@@ -226,7 +264,27 @@ pub fn run_sweep(
                 let (record, outcome) = supervise_cell(sup, &cell);
                 // Journal first: a crash after the run must not redo it.
                 if let Err(e) = writer.lock().unwrap().append(&record) {
-                    eprintln!("warning: journaling {}: {e}", cell.id);
+                    diag!(Level::Warn, "warning: journaling {}: {e}", cell.id);
+                }
+                {
+                    let mut p = progress.lock().unwrap();
+                    match &outcome {
+                        Ok(result) => {
+                            p.0 += 1;
+                            p.2 += result.events;
+                        }
+                        Err(_) => p.1 += 1,
+                    }
+                    let finished = p.0 + p.1;
+                    let elapsed = sweep_start.elapsed().as_secs_f64().max(1e-9);
+                    let eta = elapsed / finished as f64 * (total - finished) as f64;
+                    diag!(
+                        Level::Info,
+                        "sweep: {}/{total} cells done, {} failed, {:.0} ev/s, ETA {eta:.0}s",
+                        p.0,
+                        p.1,
+                        p.2 as f64 / elapsed
+                    );
                 }
                 match outcome {
                     Ok(result) => completed.lock().unwrap().push(result),
@@ -261,12 +319,15 @@ fn supervise_cell(
                     status: CellStatus::Done,
                     attempts: attempt,
                     events: result.events,
+                    wall_ms: (result.wall_s * 1000.0) as u64,
+                    counters: Some(result.counters),
                     detail: result.summary(),
                 };
                 return (record, Ok(result));
             }
             Attempt::Panicked(reason) if attempt < attempts_allowed => {
-                eprintln!(
+                diag!(
+                    Level::Warn,
                     "cell {}: attempt {attempt}/{attempts_allowed} panicked ({reason}); retrying",
                     cell.id
                 );
@@ -283,13 +344,19 @@ fn supervise_cell(
                     checkpoint: last_snap.lock().unwrap().clone(),
                 };
                 if let Err(e) = bundle.write(&bundle_dir) {
-                    eprintln!("warning: writing repro bundle for {}: {e}", cell.id);
+                    diag!(
+                        Level::Warn,
+                        "warning: writing repro bundle for {}: {e}",
+                        cell.id
+                    );
                 }
                 let record = CellRecord {
                     id: cell.id.clone(),
                     status: CellStatus::Failed,
                     attempts: attempt,
                     events: 0,
+                    wall_ms: 0,
+                    counters: None,
                     detail: reason.clone(),
                 };
                 return (
@@ -314,10 +381,13 @@ fn run_attempt(
 ) -> Attempt {
     let cancel = Arc::new(AtomicBool::new(false));
     let (tx, rx) = mpsc::channel();
+    let started = Instant::now();
+    let captured: Arc<Mutex<Option<Counters>>> = Arc::new(Mutex::new(None));
     let worker = {
         let cell = cell.clone();
         let cancel = Arc::clone(&cancel);
         let last_snap = Arc::clone(last_snap);
+        let captured = Arc::clone(&captured);
         let plan = CheckpointPlan {
             path: None,
             every_events: sup.checkpoint_every,
@@ -349,6 +419,7 @@ fn run_attempt(
                         Some(&mut |snap: &btfluid_des::Snapshot| {
                             *last_snap.lock().unwrap() = Some(snap.to_bytes());
                         }),
+                        Some(Box::new(CounterCapture(Arc::clone(&captured)))),
                     ),
                     Some(sref) => drive(
                         cell.cfg.clone(),
@@ -360,6 +431,7 @@ fn run_attempt(
                         Some(&mut |snap: &btfluid_des::Snapshot| {
                             *last_snap.lock().unwrap() = Some(snap.to_bytes());
                         }),
+                        Some(Box::new(CounterCapture(Arc::clone(&captured)))),
                     ),
                 }
             }));
@@ -379,7 +451,14 @@ fn run_attempt(
         Ok(Ok(Ok(report))) => match report.end {
             RunEnd::Completed => {
                 let outcome = report.outcome.expect("completed run has an outcome");
-                Attempt::Done(CellResult::from_outcome(&cell.id, report.events, &outcome))
+                let counters = captured.lock().unwrap().take().unwrap_or_default();
+                Attempt::Done(CellResult::from_outcome(
+                    &cell.id,
+                    report.events,
+                    &outcome,
+                    started.elapsed().as_secs_f64(),
+                    counters,
+                ))
             }
             RunEnd::EventBudget => Attempt::Fatal(format!(
                 "event budget exhausted after {} events",

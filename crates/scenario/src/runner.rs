@@ -3,7 +3,7 @@
 
 use crate::program::ScenarioProgram;
 use btfluid_core::adapt::AdaptConfig;
-use btfluid_des::{AdaptSetup, ClassStats, SchemeKind, SimOutcome, Simulation, UserRecord};
+use btfluid_des::{AdaptSetup, ClassStats, Probe, SchemeKind, SimOutcome, Simulation, UserRecord};
 use btfluid_numkit::NumError;
 
 /// Per-phase aggregation of one scenario run: users are bucketed by
@@ -107,12 +107,33 @@ pub fn run_one(
     seed: u64,
     exact_rates: bool,
 ) -> Result<ScenarioRun, NumError> {
+    run_one_probed(program, scheme, adapt, label, seed, exact_rates, None)
+}
+
+/// [`run_one`] with a telemetry probe attached to the engine. Probes only
+/// observe, so the outcome is bit-identical to the probe-free run.
+///
+/// # Errors
+/// Propagates configuration validation errors.
+#[allow(clippy::too_many_arguments)]
+pub fn run_one_probed(
+    program: &ScenarioProgram,
+    scheme: SchemeKind,
+    adapt: Option<AdaptSetup>,
+    label: &str,
+    seed: u64,
+    exact_rates: bool,
+    probe: Option<Box<dyn Probe>>,
+) -> Result<ScenarioRun, NumError> {
     program.validate()?;
     let mut cfg = program.des_config(scheme, seed)?;
     cfg.adapt = adapt;
     cfg.exact_rates = exact_rates;
     cfg.validate()?;
-    let sim = Simulation::with_hook(cfg, Box::new(program.hook()))?;
+    let mut sim = Simulation::with_hook(cfg, Box::new(program.hook()))?;
+    if let Some(probe) = probe {
+        sim.attach_probe(probe);
+    }
     let outcome = sim.run();
     let phases = bucket_phases(program, &outcome);
     Ok(ScenarioRun {
@@ -150,9 +171,27 @@ pub fn run_all(
     seed: u64,
     exact_rates: bool,
 ) -> Result<Vec<ScenarioRun>, NumError> {
+    run_all_probed(program, seed, exact_rates, &mut |_| None)
+}
+
+/// [`run_all`] with a per-scheme telemetry probe: `make_probe` is called
+/// with each run's label and may return a probe for it (e.g. one
+/// [`btfluid_des::SinkProbe`] per scheme sharing a trace sink).
+///
+/// # Errors
+/// Propagates configuration validation errors from any run.
+pub fn run_all_probed(
+    program: &ScenarioProgram,
+    seed: u64,
+    exact_rates: bool,
+    make_probe: &mut dyn FnMut(&str) -> Option<Box<dyn Probe>>,
+) -> Result<Vec<ScenarioRun>, NumError> {
     scheme_lineup(program)
         .into_iter()
-        .map(|(scheme, adapt, label)| run_one(program, scheme, adapt, &label, seed, exact_rates))
+        .map(|(scheme, adapt, label)| {
+            let probe = make_probe(&label);
+            run_one_probed(program, scheme, adapt, &label, seed, exact_rates, probe)
+        })
         .collect()
 }
 
@@ -206,6 +245,64 @@ mod tests {
         let storm_start = program.faults.abort.boundaries()[0];
         for a in &run.outcome.aborts {
             assert!(a.time >= storm_start, "abort at {} before storm", a.time);
+        }
+    }
+
+    /// Telemetry probes never perturb hooked runs: with a sampling probe
+    /// attached the outcome is bit-identical to the bare run, in both
+    /// `exact_rates` modes (the des-level proptest covers hookless runs).
+    #[test]
+    fn probe_never_perturbs_hooked_runs() {
+        use btfluid_des::{Counters, MemoryProbe, Sample};
+        use std::sync::{Arc, Mutex};
+
+        struct Fwd(Arc<Mutex<MemoryProbe>>);
+        impl Probe for Fwd {
+            fn sample_every(&self) -> f64 {
+                self.0.lock().unwrap().sample_every()
+            }
+            fn on_sample(&mut self, s: &Sample<'_>) {
+                self.0.lock().unwrap().on_sample(s);
+            }
+            fn on_finish(&mut self, t: f64, c: &Counters) {
+                self.0.lock().unwrap().on_finish(t, c);
+            }
+        }
+
+        let program = registry::flash_crowd().time_scaled(0.25);
+        for exact in [false, true] {
+            let bare = run_one(&program, SchemeKind::Mtcd, None, "MTCD", 9, exact).expect("bare");
+            let shared = Arc::new(Mutex::new(MemoryProbe::new(5.0)));
+            let probed = run_one_probed(
+                &program,
+                SchemeKind::Mtcd,
+                None,
+                "MTCD",
+                9,
+                exact,
+                Some(Box::new(Fwd(Arc::clone(&shared)))),
+            )
+            .expect("probed");
+            assert_eq!(bare.outcome.events, probed.outcome.events);
+            assert_eq!(bare.outcome.arrivals, probed.outcome.arrivals);
+            assert_eq!(bare.outcome.records.len(), probed.outcome.records.len());
+            for (a, b) in bare.outcome.records.iter().zip(&probed.outcome.records) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.departure.to_bits(), b.departure.to_bits());
+                assert_eq!(a.download_span.to_bits(), b.download_span.to_bits());
+                assert_eq!(a.online_fluid.to_bits(), b.online_fluid.to_bits());
+            }
+            assert_eq!(bare.outcome.aborts.len(), probed.outcome.aborts.len());
+            assert_eq!(
+                bare.outcome.population.window.to_bits(),
+                probed.outcome.population.window.to_bits()
+            );
+            let mem = shared.lock().unwrap();
+            assert!(
+                !mem.samples.is_empty(),
+                "sampler never fired (exact={exact})"
+            );
+            assert!(mem.finished.is_some(), "on_finish not called");
         }
     }
 

@@ -1,0 +1,99 @@
+//! Minimal JSON *writing* helpers for the trace sink.
+//!
+//! The harness crate has a full JSON value/parser, but it sits *above*
+//! this crate in the dependency graph, so the sink carries its own
+//! string-level encoder. Numbers use Rust's shortest-roundtrip `{}`
+//! formatting (an `f64` parses back to identical bits); non-finite
+//! floats, which JSON cannot carry, encode as `null`.
+
+use std::fmt::Write;
+
+/// Appends a JSON string literal (quoted, escaped) to `out`.
+pub fn push_str_lit(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends an `f64` (shortest-roundtrip; non-finite becomes `null`).
+pub fn push_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        let _ = write!(out, "{x}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends a JSON array of `f64`s.
+pub fn push_f64_arr(out: &mut String, xs: &[f64]) {
+    out.push('[');
+    for (i, &x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_f64(out, x);
+    }
+    out.push(']');
+}
+
+/// Appends a JSON array of `usize`s.
+pub fn push_usize_arr(out: &mut String, xs: &[usize]) {
+    out.push('[');
+    for (i, &x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{x}");
+    }
+    out.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote() {
+        let mut s = String::new();
+        push_str_lit(&mut s, "a\"b\\c\nü\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nü\\u0001\"");
+    }
+
+    #[test]
+    fn floats_roundtrip_or_null() {
+        let mut s = String::new();
+        push_f64(&mut s, 0.1 + 0.2);
+        assert_eq!(
+            s.parse::<f64>().unwrap().to_bits(),
+            (0.1f64 + 0.2).to_bits()
+        );
+        let mut n = String::new();
+        push_f64(&mut n, f64::NAN);
+        assert_eq!(n, "null");
+    }
+
+    #[test]
+    fn arrays() {
+        let mut s = String::new();
+        push_f64_arr(&mut s, &[1.0, 2.5]);
+        assert_eq!(s, "[1,2.5]");
+        let mut u = String::new();
+        push_usize_arr(&mut u, &[3, 0, 7]);
+        assert_eq!(u, "[3,0,7]");
+        let mut e = String::new();
+        push_f64_arr(&mut e, &[]);
+        assert_eq!(e, "[]");
+    }
+}
