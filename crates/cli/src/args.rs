@@ -21,8 +21,11 @@ impl fmt::Display for ArgError {
 
 impl std::error::Error for ArgError {}
 
-/// Known value-taking options; everything else with `--` is a bare flag.
-const VALUED: &[&str] = &[
+/// Value-taking options whose argument must be a number (or a
+/// comma-separated list of numbers). Validated eagerly at parse time so a
+/// typo like `--p abc` is a hard error even for commands that never read
+/// `p` — nothing silently falls back to a default.
+const NUMERIC: &[&str] = &[
     "points",
     "k",
     "p",
@@ -31,28 +34,50 @@ const VALUED: &[&str] = &[
     "horizon",
     "warmup",
     "seed",
-    "scheme",
     "cheaters",
     "crowd",
     "epoch",
-    "out",
     "origin-seeds",
-    "classes",
     "scale",
-    "checkpoint",
     "checkpoint-every",
-    "records",
-    "schemes",
-    "manifest",
-    "bundles",
     "retries",
     "workers",
     "event-budget",
     "wall-budget-ms",
+    "sample-every",
+];
+
+/// Value-taking options with free-form string arguments (paths, scheme
+/// names, `CELL@EVENT` specs, colon/comma grammars parsed by the command).
+const STRINGLY: &[&str] = &[
+    "scheme",
+    "out",
+    "classes",
+    "checkpoint",
+    "records",
+    "schemes",
+    "manifest",
+    "bundles",
     "inject-panic",
     "trace",
-    "sample-every",
     "csv-out",
+];
+
+/// Known bare flags. Anything else starting with `--` is an unknown
+/// option and a hard error (exit 1), instead of a silently-accepted flag.
+const FLAGS: &[&str] = &[
+    "csv",
+    "force",
+    "exact",
+    "checked",
+    "smoke",
+    "resume",
+    "fluid",
+    "full",
+    "expect-fail",
+    "help",
+    "verbose",
+    "quiet",
 ];
 
 impl Options {
@@ -69,13 +94,27 @@ impl Options {
             if name.is_empty() {
                 return Err(ArgError("empty option name '--'".into()));
             }
-            if VALUED.contains(&name) {
+            let numeric = NUMERIC.contains(&name);
+            if numeric || STRINGLY.contains(&name) {
                 let Some(value) = it.next() else {
                     return Err(ArgError(format!("option --{name} requires a value")));
                 };
+                if numeric {
+                    for tok in value.split(',') {
+                        if tok.trim().parse::<f64>().is_err() {
+                            return Err(ArgError(format!(
+                                "--{name}: '{tok}' is not a number"
+                            )));
+                        }
+                    }
+                }
                 flags.insert(name.to_string(), Some(value.clone()));
-            } else {
+            } else if FLAGS.contains(&name) {
                 flags.insert(name.to_string(), None);
+            } else {
+                return Err(ArgError(format!(
+                    "unknown option --{name} (see --help for the option list)"
+                )));
             }
         }
         Ok(Self { flags })
@@ -174,9 +213,28 @@ mod tests {
     }
 
     #[test]
-    fn bad_number_rejected() {
-        let o = Options::parse(&argv(&["--p", "abc"])).unwrap();
-        assert!(o.get_f64("p", 0.0).is_err());
+    fn bad_number_rejected_at_parse_time() {
+        // Regression: `--p abc` used to parse fine and only fail (or be
+        // silently ignored) when some command happened to read `p`.
+        let err = Options::parse(&argv(&["--p", "abc"])).unwrap_err();
+        assert!(err.0.contains("not a number"), "{err}");
+        assert!(Options::parse(&argv(&["--seed", "12x"])).is_err());
+        assert!(Options::parse(&argv(&["--cheaters", "0.1,oops,0.5"])).is_err());
+        // Scientific notation and negatives are still fine.
+        assert!(Options::parse(&argv(&["--horizon", "1e6"])).is_ok());
+        assert!(Options::parse(&argv(&["--crowd", "-2.5"])).is_ok());
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        // Regression: any unrecognized `--whatever` used to become an
+        // accepted bare flag, so typos like `--forcee` were silent no-ops.
+        let err = Options::parse(&argv(&["--forcee"])).unwrap_err();
+        assert!(err.0.contains("unknown option --forcee"), "{err}");
+        assert!(Options::parse(&argv(&["--no-such-thing", "1"])).is_err());
+        // Known bare flags still parse.
+        let o = Options::parse(&argv(&["--force", "--checked", "--resume"])).unwrap();
+        assert!(o.has("force") && o.has("checked") && o.has("resume"));
     }
 
     #[test]

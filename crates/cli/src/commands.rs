@@ -68,6 +68,12 @@ COMMANDS
                 [--exact] [--inject-panic CELL@EVENT]
   repro       replay a quarantined cell from its repro bundle
                 btfluid repro <bundle-dir>
+  selfcheck   differential self-check oracle: paper-derived invariants,
+              cross-implementation agreement, decoder fuzz
+                [--full] [--seed S] [--expect-fail]
+              --full adds the simulation-heavy checks; --expect-fail seeds
+              a deliberate rate-cache corruption and exits 4 when (and only
+              when) the audit detects it
   all         every fluid-model figure in sequence
 
 GLOBAL OPTIONS
@@ -144,6 +150,10 @@ pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
         return cmd_inspect(&argv[1..]);
     }
     let opts = Options::parse(&argv[1..])?;
+    if opts.has("help") {
+        print!("{USAGE}");
+        return Ok(());
+    }
     match cmd.as_str() {
         "fig2" => cmd_fig2(&opts),
         "fig3" => cmd_fig3(&opts),
@@ -159,6 +169,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
         "eta" => cmd_eta(&opts),
         "sim" => cmd_sim(&opts),
         "sweep" => cmd_sweep(&opts),
+        "selfcheck" => cmd_selfcheck(&opts),
         "all" => cmd_all(&opts),
         other => Err(format!("unknown command '{other}' (try --help)").into()),
     }
@@ -1391,6 +1402,145 @@ fn cmd_inspect(rest: &[String]) -> Result<(), CliError> {
         check_clobber(csv, &opts)?;
         fs::write(csv, trajectories_csv(&segments))?;
         diag!(Level::Info, "wrote {csv}");
+    }
+    Ok(())
+}
+
+/// The arg parser's own structural fuzz target, registered here because
+/// `args.rs` is CLI-private: random token soup must never panic the
+/// parser, and every accepted line must round-trip through the typed
+/// getters without error.
+fn cli_arg_round_trip(cfg: &btfluid_oracle::OracleConfig) -> Result<String, String> {
+    use btfluid_numkit::rng::{RngCore, Xoshiro256StarStar};
+    let mut rng = Xoshiro256StarStar::stream(cfg.seed, 9);
+    // Exact round-trip: numbers formatted, parsed, and read back.
+    for trial in 0..64u64 {
+        let p = (rng.next_u64() % 1000) as f64 / 1000.0;
+        let seed = rng.next_u64() % 1_000_000;
+        let argv = vec![
+            format!("--p"),
+            format!("{p}"),
+            format!("--seed"),
+            format!("{seed}"),
+            format!("--exact"),
+        ];
+        let opts = Options::parse(&argv)
+            .map_err(|e| format!("trial {trial}: valid argv rejected: {e}"))?;
+        let p_back = opts.get_f64("p", f64::NAN).map_err(|e| e.to_string())?;
+        let s_back = opts.get_u64("seed", 0).map_err(|e| e.to_string())?;
+        if p_back.to_bits() != p.to_bits() || s_back != seed {
+            return Err(format!(
+                "trial {trial}: round-trip drift (p {p} → {p_back}, seed {seed} → {s_back})"
+            ));
+        }
+        if !opts.has("exact") {
+            return Err(format!("trial {trial}: flag --exact lost in parsing"));
+        }
+    }
+    // Token soup: junk must produce typed errors, never a panic or a
+    // silently-accepted unknown option.
+    let vocab = [
+        "--p", "--seed", "--horizon", "--frobnicate", "--scheme", "mtsd", "abc", "1e6", "-3",
+        "0.5,oops", "--", "--exact", "--records",
+    ];
+    let mut rejected = 0usize;
+    for trial in 0..256u64 {
+        let n = 1 + (rng.next_u64() % 5) as usize;
+        let argv: Vec<String> = (0..n)
+            .map(|_| vocab[(rng.next_u64() % vocab.len() as u64) as usize].to_string())
+            .collect();
+        let verdict = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Options::parse(&argv)
+        }));
+        match verdict {
+            Err(_) => return Err(format!("trial {trial}: parser PANICKED on {argv:?}")),
+            Ok(Err(_)) => rejected += 1,
+            Ok(Ok(opts)) => {
+                if opts.has("frobnicate") {
+                    return Err(format!("trial {trial}: unknown --frobnicate accepted"));
+                }
+            }
+        }
+    }
+    Ok(format!(
+        "64 argv round-trips bit-exact; {rejected}/256 junk lines rejected with typed errors"
+    ))
+}
+
+fn cmd_selfcheck(opts: &Options) -> Result<(), CliError> {
+    let cfg = btfluid_oracle::OracleConfig {
+        seed: opts.get_u64("seed", 42)?,
+        full: opts.has("full"),
+    };
+
+    if opts.has("expect-fail") {
+        // Mutation mode: seed a deliberate rate-cache corruption and
+        // demand the audit catch it. Detection maps to the invariant exit
+        // code (4); a miss is a usage-class failure of the oracle itself.
+        return match btfluid_oracle::differential::mutation_canary(&cfg) {
+            Ok(detail) => Err(CliError::new(
+                crate::errors::EXIT_INVARIANT,
+                format!("expect-fail: {detail}"),
+            )),
+            Err(detail) => Err(CliError::new(
+                crate::errors::EXIT_USAGE,
+                format!("expect-fail: detection MISSED — {detail}"),
+            )),
+        };
+    }
+
+    let mut report = btfluid_oracle::run_all(&cfg);
+    // Append the CLI-local check so the table covers the whole surface.
+    let started = std::time::Instant::now();
+    let result = cli_arg_round_trip(&cfg);
+    let wall_ms = started.elapsed().as_millis() as u64;
+    let (passed, detail) = match result {
+        Ok(d) => (true, d),
+        Err(d) => (false, d),
+    };
+    report.outcomes.push(btfluid_oracle::CheckOutcome {
+        name: "cli-arg-round-trip",
+        paper_ref: "CLI contract (parse → getters, no panic)",
+        passed,
+        detail,
+        wall_ms,
+    });
+
+    let mut table = Table::new(
+        format!(
+            "selfcheck ({} tier, seed {})",
+            if cfg.full { "full" } else { "quick" },
+            cfg.seed
+        ),
+        vec!["check", "pins", "status", "ms", "detail"],
+    );
+    for o in &report.outcomes {
+        table.push_row(vec![
+            o.name.to_string(),
+            o.paper_ref.to_string(),
+            if o.passed { "ok".into() } else { "FAIL".into() },
+            o.wall_ms.to_string(),
+            o.detail.clone(),
+        ]);
+    }
+    emit(&table, opts)?;
+    println!(
+        "selfcheck: {}/{} checks passed in {} ms",
+        report.outcomes.iter().filter(|o| o.passed).count(),
+        report.outcomes.len(),
+        report.wall_ms
+    );
+    if report.outcomes.iter().any(|o| !o.passed) {
+        let failed: Vec<&str> = report
+            .outcomes
+            .iter()
+            .filter(|o| !o.passed)
+            .map(|o| o.name)
+            .collect();
+        return Err(CliError::new(
+            crate::errors::EXIT_INVARIANT,
+            format!("selfcheck failed: {failed:?}"),
+        ));
     }
     Ok(())
 }

@@ -302,6 +302,33 @@ impl Simulation {
         self.counters.snapshot_micros += micros;
     }
 
+    /// Runs the full `checked`-mode invariant audit on demand (rate
+    /// finiteness, queue/live consistency, bitwise rate-cache agreement),
+    /// regardless of [`DesConfig::checked`].
+    ///
+    /// # Errors
+    /// Returns [`DesError::Invariant`] describing the first violation.
+    pub fn audit(&self) -> Result<(), DesError> {
+        self.validate_invariants()
+    }
+
+    /// Test-oracle hook: deliberately corrupts the cached donation rate of
+    /// one live peer so the next [`Self::audit`] must report
+    /// [`crate::InvariantKind::RateCacheDrift`]. Returns `false` when no
+    /// live peer exists yet (nothing to corrupt). Used by the self-check
+    /// oracle's `--expect-fail` mutation canary to prove the audit has
+    /// teeth; never called by production paths.
+    #[doc(hidden)]
+    pub fn corrupt_rate_cache_for_test(&mut self) -> bool {
+        for p in &mut self.peers {
+            if p.phase != Phase::Departed {
+                p.donation_rate += 0.25;
+                return true;
+            }
+        }
+        false
+    }
+
     /// Forwards a named span timing to the attached probe (no-op without
     /// one).
     pub fn emit_span(&mut self, name: &str, micros: u64) {

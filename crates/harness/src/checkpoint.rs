@@ -13,6 +13,7 @@
 
 use crate::error::{io_err, HarnessError};
 use btfluid_des::{DesConfig, Probe, ScenarioHook, SimOutcome, Simulation, Snapshot};
+use btfluid_telemetry::{diag, Level};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
@@ -112,6 +113,23 @@ pub fn drive(
         }
     }
     let checkpoint_path = plan.and_then(|p| p.path.as_deref());
+    // A crash between "write <path>.tmp" and "rename over <path>" leaves a
+    // partial temp file behind. It is never a valid resume source (the
+    // rename is the commit point), so clean it up rather than letting the
+    // next atomic write trip over it or an operator mistake it for state.
+    if let Some(path) = checkpoint_path {
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        if tmp.exists() {
+            diag!(
+                Level::Warn,
+                "removing leftover checkpoint temp file {} (interrupted mid-write)",
+                tmp.display()
+            );
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
     let existing = resume
         .then(|| checkpoint_path.filter(|p| p.exists()))
         .flatten();
@@ -276,6 +294,54 @@ mod tests {
         assert_eq!(straight.events, resumed.events);
         assert_eq!(straight.records, resumed.records);
         assert_eq!(straight.aborts, resumed.aborts);
+    }
+
+    #[test]
+    fn resume_cleans_leftover_tmp_from_interrupted_rename() {
+        // A SIGKILL between writing `<path>.tmp` and the rename leaves the
+        // temp file on disk next to the (older, still-valid) checkpoint.
+        // Resume must ignore the partial temp file, clean it up, and
+        // continue bit-identically from the committed checkpoint.
+        let straight = Simulation::new(cfg(11)).unwrap().run();
+
+        let path = tmp("stale-tmp.snap");
+        let _ = std::fs::remove_file(&path);
+        let plan = CheckpointPlan {
+            path: Some(path.clone()),
+            every_events: 64,
+        };
+        let limits = RunLimits {
+            max_events: Some(333),
+            ..Default::default()
+        };
+        let first = drive(cfg(11), None, Some(&plan), true, &limits, None, None, None).unwrap();
+        assert_eq!(first.end, RunEnd::EventBudget);
+        assert!(path.exists());
+
+        // Simulate the interrupted mid-rename write: garbage in `.tmp`.
+        let mut stale = path.as_os_str().to_owned();
+        stale.push(".tmp");
+        let stale = PathBuf::from(stale);
+        std::fs::write(&stale, b"partial snapshot, crash before rename").unwrap();
+
+        let second = drive(
+            cfg(11),
+            None,
+            Some(&plan),
+            true,
+            &RunLimits::default(),
+            None,
+            None,
+            None,
+        )
+        .unwrap();
+        assert_eq!(second.end, RunEnd::Completed);
+        assert!(second.resumed, "must resume from the committed checkpoint");
+        assert!(!stale.exists(), "leftover .tmp must be cleaned up");
+        assert!(!path.exists(), "completion must remove the checkpoint");
+        let resumed = second.outcome.unwrap();
+        assert_eq!(straight.events, resumed.events);
+        assert_eq!(straight.records, resumed.records);
     }
 
     #[test]

@@ -31,10 +31,29 @@ pub enum Json {
 }
 
 impl Json {
-    /// A number from an `f64`; must be finite (JSON has no NaN/∞).
+    /// A number from an `f64`. JSON has no NaN/∞, so non-finite values
+    /// encode as [`Json::Null`] and bump the workspace-wide
+    /// [`btfluid_telemetry::non_finite_null_count`] tally. (The previous
+    /// `debug_assert!` meant release builds silently emitted the invalid
+    /// tokens `NaN`/`inf`, which broke every downstream parse.)
     pub fn num_f64(x: f64) -> Json {
-        debug_assert!(x.is_finite(), "JSON cannot carry {x}");
-        Json::Num(format!("{x}"))
+        match Self::num_f64_checked(x) {
+            Ok(v) => v,
+            Err(_) => {
+                btfluid_telemetry::note_non_finite_null();
+                Json::Null
+            }
+        }
+    }
+
+    /// Like [`Json::num_f64`] but a typed error on non-finite input, for
+    /// checked-mode writers that must refuse rather than degrade.
+    pub fn num_f64_checked(x: f64) -> Result<Json, String> {
+        if x.is_finite() {
+            Ok(Json::Num(format!("{x}")))
+        } else {
+            Err(format!("JSON cannot carry non-finite value {x}"))
+        }
     }
 
     /// A number from a `u64`, exactly.
@@ -324,6 +343,25 @@ mod tests {
             back.get("rho").unwrap().as_f64().unwrap().to_bits(),
             (0.1f64 + 0.2).to_bits()
         );
+    }
+
+    #[test]
+    fn non_finite_encodes_as_null_not_invalid_tokens() {
+        // Regression: release builds used to print `NaN`/`inf` raw, which
+        // no JSON parser (including ours) accepts back.
+        let before = btfluid_telemetry::non_finite_null_count();
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let doc = Json::Obj(vec![("v".into(), Json::num_f64(x))]);
+            let text = doc.to_string();
+            assert_eq!(text, "{\"v\":null}");
+            assert_eq!(Json::parse(&text).unwrap().get("v"), Some(&Json::Null));
+        }
+        assert!(btfluid_telemetry::non_finite_null_count() >= before + 3);
+        assert!(Json::num_f64_checked(f64::NAN).is_err());
+        assert!(Json::num_f64_checked(1.5).is_ok());
+        // The old behavior would have produced these, and they must not parse.
+        assert!(Json::parse("{\"v\":NaN}").is_err());
+        assert!(Json::parse("{\"v\":inf}").is_err());
     }
 
     #[test]

@@ -9,13 +9,22 @@
 use crate::error::NumError;
 
 /// Numerically stable single-pass mean/variance accumulator (Welford 1962).
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Welford {
     n: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+/// `Default` must agree with [`Welford::new`]: a derived default would zero
+/// the min/max sentinels, so the first `push` into a defaulted accumulator
+/// would report `min = min(0, x)` instead of `x`.
+impl Default for Welford {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Welford {
@@ -219,7 +228,8 @@ pub fn jain_fairness(values: &[f64]) -> Result<f64, NumError> {
 /// unsorted slice. `q ∈ [0, 1]`.
 ///
 /// # Errors
-/// Returns [`NumError::InvalidInput`] for an empty slice or `q ∉ [0,1]`.
+/// Returns [`NumError::InvalidInput`] for an empty slice, `q ∉ [0,1]`, or a
+/// NaN entry (which has no rank).
 pub fn percentile(values: &[f64], q: f64) -> Result<f64, NumError> {
     if values.is_empty() {
         return Err(NumError::InvalidInput {
@@ -233,8 +243,14 @@ pub fn percentile(values: &[f64], q: f64) -> Result<f64, NumError> {
             detail: format!("q must lie in [0,1], got {q}"),
         });
     }
+    if let Some(i) = values.iter().position(|v| v.is_nan()) {
+        return Err(NumError::InvalidInput {
+            what: "percentile",
+            detail: format!("values[{i}] is NaN and has no rank"),
+        });
+    }
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN values"));
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN rejected above"));
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -467,6 +483,53 @@ mod tests {
     }
 
     #[test]
+    fn welford_default_carries_sentinels() {
+        // Regression: the derived Default zeroed min/max, so the first push
+        // into a defaulted accumulator clamped min to 0.
+        let d = Welford::default();
+        assert_eq!(d, Welford::new());
+        assert_eq!(d.min(), f64::INFINITY);
+        assert_eq!(d.max(), f64::NEG_INFINITY);
+        let mut w = Welford::default();
+        w.push(5.0);
+        assert_eq!(w.min(), 5.0);
+        assert_eq!(w.max(), 5.0);
+        let mut neg = Welford::default();
+        neg.push(-3.0);
+        assert_eq!(neg.max(), -3.0);
+    }
+
+    #[test]
+    fn welford_merge_empty_keeps_sentinels() {
+        // ±∞ sentinels must survive empty-into-empty merges and a
+        // raw_parts round-trip, then behave like a fresh accumulator.
+        let mut e = Welford::default();
+        e.merge(&Welford::default());
+        let (n, mean, m2, min, max) = e.raw_parts();
+        let back = Welford::from_raw_parts(n, mean, m2, min, max);
+        assert_eq!(back, Welford::new());
+        let mut w = back;
+        w.push(7.0);
+        assert_eq!((w.min(), w.max()), (7.0, 7.0));
+    }
+
+    #[test]
+    fn small_n_moments_are_defined() {
+        // n = 0 and n = 1 must yield finite std_err and a defined (infinite,
+        // not NaN) CI half-width.
+        for w in [Welford::new(), {
+            let mut w = Welford::new();
+            w.push(2.5);
+            w
+        }] {
+            assert_eq!(w.std_err(), 0.0);
+            assert!(!w.std_err().is_nan());
+            assert_eq!(w.ci_half_width(Confidence::P95), f64::INFINITY);
+            assert_eq!(w.ci_half_width(Confidence::P99), f64::INFINITY);
+        }
+    }
+
+    #[test]
     fn ci_uses_t_for_small_samples() {
         let mut w = Welford::new();
         for x in [1.0, 2.0, 3.0] {
@@ -540,6 +603,23 @@ mod tests {
     fn percentile_rejects_bad_input() {
         assert!(percentile(&[], 0.5).is_err());
         assert!(percentile(&[1.0], 1.5).is_err());
+    }
+
+    #[test]
+    fn percentile_single_sample_all_q() {
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(percentile(&[42.0], q).unwrap(), 42.0);
+        }
+    }
+
+    #[test]
+    fn percentile_nan_is_typed_error_not_panic() {
+        // Regression: NaN inputs used to panic inside the sort comparator.
+        let err = percentile(&[1.0, f64::NAN, 3.0], 0.5).unwrap_err();
+        match err {
+            NumError::InvalidInput { what, .. } => assert_eq!(what, "percentile"),
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
     }
 
     #[test]

@@ -140,3 +140,88 @@ proptest! {
         prop_assert!((got - expect).abs() < 1e-9 * expect.abs().max(1.0));
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn welford_merge_matches_sequential_any_split(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        cut in 0usize..200,
+    ) {
+        let cut = cut % (xs.len() + 1);
+        let mut all = Welford::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        // One side of the split may be empty — merging it must neither
+        // poison min/max nor shift the moments.
+        let mut a = Welford::default();
+        let mut b = Welford::default();
+        for &x in &xs[..cut] {
+            a.push(x);
+        }
+        for &x in &xs[cut..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), all.count());
+        prop_assert!((a.mean() - all.mean()).abs() < 1e-9 * all.mean().abs().max(1.0));
+        prop_assert!((a.variance() - all.variance()).abs() < 1e-6 * all.variance().max(1.0));
+        prop_assert_eq!(a.min(), all.min());
+        prop_assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn welford_raw_parts_round_trip_is_bit_exact(
+        xs in proptest::collection::vec(-1e3f64..1e3, 0..64),
+    ) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let (n, mean, m2, min, max) = w.raw_parts();
+        let back = Welford::from_raw_parts(n, mean, m2, min, max);
+        prop_assert_eq!(back.count(), w.count());
+        prop_assert_eq!(back.mean().to_bits(), w.mean().to_bits());
+        prop_assert_eq!(back.min().to_bits(), w.min().to_bits());
+        prop_assert_eq!(back.max().to_bits(), w.max().to_bits());
+        // Continuing the statistic after the round-trip matches never
+        // having serialized at all.
+        let mut cont = back;
+        let mut direct = w;
+        cont.push(0.5);
+        direct.push(0.5);
+        prop_assert_eq!(cont.mean().to_bits(), direct.mean().to_bits());
+    }
+
+    #[test]
+    fn percentile_bounded_by_extremes(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..100),
+        q in 0.0f64..=1.0,
+    ) {
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let v = btfluid_numkit::stats::percentile(&xs, q).unwrap();
+        prop_assert!(v >= lo && v <= hi, "percentile {v} outside [{lo}, {hi}]");
+        prop_assert_eq!(btfluid_numkit::stats::percentile(&xs, 0.0).unwrap(), lo);
+        prop_assert_eq!(btfluid_numkit::stats::percentile(&xs, 1.0).unwrap(), hi);
+    }
+
+    #[test]
+    fn percentile_never_panics_on_nan(
+        xs in proptest::collection::vec(
+            prop_oneof![(-1e3f64..1e3).prop_map(|x| x), Just(f64::NAN)],
+            1..32,
+        ),
+        q in 0.0f64..=1.0,
+    ) {
+        // Either a clean value or a typed error — a panic fails the test.
+        let res = btfluid_numkit::stats::percentile(&xs, q);
+        if xs.iter().any(|v| v.is_nan()) {
+            prop_assert!(res.is_err());
+        } else {
+            prop_assert!(res.unwrap().is_finite());
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Differential checks: the same physical question answered by independent
+//! implementations must agree.
+//!
+//! Three layers answer "how does a multi-file swarm behave": the closed
+//! forms (`btfluid-core`), the transient ODE (`btfluid-scenario::fluid`)
+//! and the DES (`btfluid-des`, itself in two rate-refresh modes). Any
+//! silent numerical bug in one of them shows up as a disagreement here
+//! without anyone having to know the right answer in advance.
+
+use crate::report::OracleConfig;
+use btfluid_des::{DesConfig, DesError, InvariantKind, SchemeKind, SimOutcome, Simulation};
+use btfluid_harness::{run_sweep, Budget, CellSpec, SupervisorConfig};
+use btfluid_scenario::{des_avg_downloaders, fluid_avg_downloaders, runner, ScenarioProgram};
+use std::time::Duration;
+
+/// DES-vs-fluid tolerance: finite-size effects at `λ₀ = 0.25` leave the
+/// simulated population within ~12% of the ODE mean (the same bound the
+/// scenario crate's own transient test uses).
+const DES_FLUID_REL_TOL: f64 = 0.12;
+
+/// A shortened `paper_small` so quick-tier runs stay sub-second while the
+/// swarm still reaches a few dozen concurrent peers.
+fn short(scheme: SchemeKind, p: f64, seed: u64) -> Result<DesConfig, String> {
+    let mut cfg = DesConfig::paper_small(scheme, p, seed).map_err(|e| e.to_string())?;
+    cfg.horizon = 800.0;
+    cfg.warmup = 200.0;
+    cfg.drain = 800.0;
+    Ok(cfg)
+}
+
+fn run(cfg: DesConfig) -> Result<SimOutcome, String> {
+    Simulation::new(cfg)
+        .map_err(|e| e.to_string())?
+        .try_run()
+        .map_err(|e| e.to_string())
+}
+
+/// The incremental rate cache against the forced full-recompute mode:
+/// both must produce bit-identical user records — any divergence means the
+/// dirty-tracking refresh missed an update.
+pub fn exact_vs_incremental(cfg: &OracleConfig) -> Result<String, String> {
+    let schemes = [
+        (SchemeKind::Mtsd, 0.5),
+        (SchemeKind::Cmfsd { rho: 0.3 }, 0.6),
+    ];
+    let mut records = 0usize;
+    for (i, &(scheme, p)) in schemes.iter().enumerate() {
+        let mut exact = short(scheme, p, cfg.seed.wrapping_add(i as u64))?;
+        exact.exact_rates = true;
+        let mut incr = exact.clone();
+        incr.exact_rates = false;
+        let a = run(exact)?;
+        let b = run(incr)?;
+        if a.events != b.events || a.arrivals != b.arrivals || a.records.len() != b.records.len() {
+            return Err(format!(
+                "{}: shape diverged (events {} vs {}, arrivals {} vs {}, records {} vs {})",
+                scheme.name(),
+                a.events,
+                b.events,
+                a.arrivals,
+                b.arrivals,
+                a.records.len(),
+                b.records.len()
+            ));
+        }
+        for (ra, rb) in a.records.iter().zip(&b.records) {
+            if ra.online_fluid.to_bits() != rb.online_fluid.to_bits()
+                || ra.download_span.to_bits() != rb.download_span.to_bits()
+                || ra.departure.to_bits() != rb.departure.to_bits()
+            {
+                return Err(format!(
+                    "{}: user {} records differ bitwise (online {} vs {})",
+                    scheme.name(),
+                    ra.id,
+                    ra.online_fluid,
+                    rb.online_fluid
+                ));
+            }
+        }
+        records += a.records.len();
+    }
+    Ok(format!(
+        "2 schemes × 2 rate modes: {records} user records bit-identical"
+    ))
+}
+
+/// A full `checked`-mode run: the per-event audit (rate finiteness, queue
+/// consistency, cache-vs-recompute agreement) must stay silent end to end.
+pub fn checked_run_is_clean(cfg: &OracleConfig) -> Result<String, String> {
+    let mut des = short(SchemeKind::Cmfsd { rho: 0.5 }, 0.5, cfg.seed.wrapping_add(7))?;
+    des.checked = true;
+    let outcome = run(des)?;
+    Ok(format!(
+        "checked CMFSD run clean over {} events, {} users",
+        outcome.events,
+        outcome.records.len()
+    ))
+}
+
+/// The detector's own canary: seed a deliberate rate-cache corruption into
+/// a live engine and confirm the audit *reports* it as
+/// [`InvariantKind::RateCacheDrift`]. A passing oracle with a blind
+/// detector would be worthless — this check fails if the corruption goes
+/// unnoticed.
+pub fn mutation_canary(cfg: &OracleConfig) -> Result<String, String> {
+    let des = short(SchemeKind::Mtsd, 0.5, cfg.seed.wrapping_add(13))?;
+    let mut sim = Simulation::new(des).map_err(|e| e.to_string())?;
+    // Advance far enough that peers exist, then corrupt one cached rate.
+    let mut steps = 0u32;
+    while steps < 400 && sim.step().map_err(|e| e.to_string())? {
+        steps += 1;
+        if steps >= 50 && sim.corrupt_rate_cache_for_test() {
+            return match sim.audit() {
+                Err(DesError::Invariant {
+                    kind: InvariantKind::RateCacheDrift,
+                    t,
+                    ..
+                }) => Ok(format!(
+                    "seeded corruption detected as rate-cache drift at t = {t:.1}"
+                )),
+                Err(other) => Err(format!(
+                    "seeded corruption misclassified: {other}"
+                )),
+                Ok(()) => Err(
+                    "seeded rate-cache corruption went UNDETECTED by the audit".into(),
+                ),
+            };
+        }
+    }
+    Err(format!(
+        "no live peer to corrupt within {steps} events — canary could not run"
+    ))
+}
+
+/// DES against the transient fluid ODE on a stationary program: the
+/// time-averaged downloading population must agree within
+/// [`DES_FLUID_REL_TOL`].
+pub fn des_vs_fluid_transient(cfg: &OracleConfig) -> Result<String, String> {
+    let program = ScenarioProgram::stationary("oracle-fluid", 0.25, 0.4, 10, 4000.0, 800.0, 4000.0);
+    let run = runner::run_one(&program, SchemeKind::Mtcd, None, "MTCD", cfg.seed, false)
+        .map_err(|e| e.to_string())?;
+    let des = des_avg_downloaders(&run.outcome);
+    let fluid = fluid_avg_downloaders(&program, 0.5).map_err(|e| e.to_string())?;
+    let rel = (des - fluid).abs() / fluid.max(1e-9);
+    if rel < DES_FLUID_REL_TOL {
+        Ok(format!(
+            "DES {des:.2} vs ODE {fluid:.2} downloading users (rel {rel:.3} < {DES_FLUID_REL_TOL})"
+        ))
+    } else {
+        Err(format!(
+            "DES {des:.2} vs ODE {fluid:.2} downloading users (rel {rel:.3} ≥ {DES_FLUID_REL_TOL})"
+        ))
+    }
+}
+
+/// All four schemes as parallel cells under the crash-safe harness
+/// supervisor: every cell must complete (none quarantined), produce users,
+/// and report a finite per-file online time. Exercises the supervisor's
+/// manifest/bundle machinery on a throwaway directory as a side effect.
+pub fn supervised_scheme_cells(cfg: &OracleConfig) -> Result<String, String> {
+    let dir = std::env::temp_dir().join(format!(
+        "btfluid_oracle_sweep_{}_{}",
+        std::process::id(),
+        cfg.seed
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("temp dir: {e}"))?;
+
+    let schemes = [
+        ("mtsd", SchemeKind::Mtsd),
+        ("mtcd", SchemeKind::Mtcd),
+        ("mfcd", SchemeKind::Mfcd),
+        ("cmfsd", SchemeKind::Cmfsd { rho: 0.3 }),
+    ];
+    let mut cells = Vec::new();
+    for (i, (name, scheme)) in schemes.iter().enumerate() {
+        cells.push(CellSpec {
+            id: format!("oracle-{name}"),
+            cfg: short(*scheme, 0.5, cfg.seed.wrapping_add(i as u64))?,
+            scenario: None,
+            inject_panic_at: None,
+        });
+    }
+    let sup = SupervisorConfig {
+        manifest: dir.join("manifest.jsonl"),
+        bundle_dir: dir.join("bundles"),
+        budget: Budget {
+            max_events: None,
+            max_wall: Some(Duration::from_secs(120)),
+        },
+        max_retries: 0,
+        backoff: Duration::from_millis(10),
+        workers: 4,
+        resume: false,
+        checkpoint_every: 5000,
+    };
+    let report = run_sweep(&sup, cells).map_err(|e| e.to_string())?;
+    let result = (|| {
+        if !report.all_done() {
+            let failed: Vec<&str> = report.failed.iter().map(|f| f.id.as_str()).collect();
+            return Err(format!("cells quarantined: {failed:?}"));
+        }
+        let mut events = 0u64;
+        for cell in &report.completed {
+            if cell.completed == 0 {
+                return Err(format!("{}: no users completed", cell.id));
+            }
+            match cell.avg_online_per_file {
+                Some(v) if v.is_finite() && v > 0.0 => {}
+                other => return Err(format!("{}: bad online/file {other:?}", cell.id)),
+            }
+            events += cell.events;
+        }
+        Ok(format!(
+            "4 scheme cells supervised to completion ({events} events total)"
+        ))
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+/// DES against the closed-form steady state: MTSD's per-file online time
+/// is exactly 80 in the fluid limit; the finite simulation must land
+/// within the same finite-size band the fluid comparison allows.
+pub fn des_vs_closed_form_mtsd(cfg: &OracleConfig) -> Result<String, String> {
+    let des = DesConfig::paper_small(SchemeKind::Mtsd, 0.5, cfg.seed.wrapping_add(29))
+        .map_err(|e| e.to_string())?;
+    let outcome = run(des)?;
+    let avg = outcome.avg_online_per_file().map_err(|e| e.to_string())?;
+    let rel = (avg - 80.0).abs() / 80.0;
+    if rel < DES_FLUID_REL_TOL {
+        Ok(format!(
+            "DES MTSD online/file {avg:.2} vs closed-form 80 (rel {rel:.3}, {} users)",
+            outcome.records.len()
+        ))
+    } else {
+        Err(format!(
+            "DES MTSD online/file {avg:.2} vs closed-form 80 (rel {rel:.3} ≥ {DES_FLUID_REL_TOL})"
+        ))
+    }
+}

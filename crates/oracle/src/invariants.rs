@@ -1,0 +1,169 @@
+//! Paper-derived metamorphic invariants over the *analytic* layers: the
+//! binomial workload identities of Section 4.1 and the closed-form scheme
+//! relationships of Section 3.
+//!
+//! Each check evaluates the identity over a parameter grid and reports the
+//! worst deviation, so a pass carries quantitative evidence rather than a
+//! bare boolean.
+
+use crate::report::OracleConfig;
+use btfluid_core::{evaluate_scheme, FluidParams, Scheme};
+use btfluid_workload::CorrelationModel;
+
+const P_GRID: &[f64] = &[1e-9, 0.05, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0];
+const K_GRID: &[u32] = &[1, 2, 5, 10, 25];
+
+fn worst(label: &str, worst_err: f64, tol: f64) -> Result<String, String> {
+    if worst_err.is_finite() && worst_err <= tol {
+        Ok(format!("{label}: worst |err| {worst_err:.3e} ≤ {tol:.0e}"))
+    } else {
+        Err(format!("{label}: worst |err| {worst_err:.3e} > {tol:.0e}"))
+    }
+}
+
+/// Σᵢ λᵢ = λ₀(1−(1−p)^K) — the class rates are a binomial pmf restricted
+/// to classes 1..K, so their mass is exactly the entering fraction
+/// (Section 4.1). Also pins Σᵢ i·λᵢ = λ₀·K·p (first moment).
+pub fn binomial_class_mass(_cfg: &OracleConfig) -> Result<String, String> {
+    let mut worst_err: f64 = 0.0;
+    for &k in K_GRID {
+        for &p in P_GRID {
+            let m = CorrelationModel::new(k, p, 2.0).map_err(|e| e.to_string())?;
+            let mass: f64 = (1..=k).map(|i| m.class_rate(i)).sum();
+            let scale = m.entering_rate().max(f64::MIN_POSITIVE);
+            worst_err = worst_err.max((mass - m.entering_rate()).abs() / scale);
+            let first: f64 = (1..=k).map(|i| i as f64 * m.class_rate(i)).sum();
+            worst_err =
+                worst_err.max((first - m.file_request_rate()).abs() / m.file_request_rate().max(1e-300));
+        }
+    }
+    worst("Σλᵢ = λ₀(1−(1−p)^K) and Σi·λᵢ = λ₀Kp", worst_err, 1e-9)
+}
+
+/// Per-torrent mass: Σᵢ λⱼⁱ = λ₀·p (each of the `K` torrents sees exactly
+/// the rate of users whose request set contains its file), plus the
+/// conditional-mean identity `E[files | entered] = Σi·λᵢ / Σλᵢ` and its
+/// bounds `max(1, Kp) ≤ E ≤ K` down to the `p → 0` limit.
+pub fn per_torrent_mass_and_entrant_mean(_cfg: &OracleConfig) -> Result<String, String> {
+    let mut worst_err: f64 = 0.0;
+    for &k in K_GRID {
+        for &p in P_GRID {
+            let m = CorrelationModel::new(k, p, 2.0).map_err(|e| e.to_string())?;
+            let mass: f64 = (1..=k).map(|i| m.per_torrent_rate(i)).sum();
+            worst_err = worst_err.max((mass - m.per_torrent_total_rate()).abs() / (2.0 * p).max(1e-12));
+            let mean = m.mean_files_per_entrant();
+            if !mean.is_finite() {
+                return Err(format!("K={k}, p={p}: entrant mean = {mean}"));
+            }
+            if mean + 1e-9 < m.mean_files_per_visitor().max(1.0) || mean > k as f64 + 1e-9 {
+                return Err(format!(
+                    "K={k}, p={p}: entrant mean {mean} outside [max(1, Kp), K]"
+                ));
+            }
+            let num: f64 = (1..=k).map(|i| i as f64 * m.class_rate(i)).sum();
+            let den: f64 = (1..=k).map(|i| m.class_rate(i)).sum();
+            if den > 0.0 {
+                worst_err = worst_err.max((mean - num / den).abs() / (num / den));
+            }
+        }
+        // The p = 0 limit itself: defined, and exactly 1.
+        let m = CorrelationModel::new(k, 0.0, 2.0).map_err(|e| e.to_string())?;
+        if m.mean_files_per_entrant() != 1.0 {
+            return Err(format!(
+                "K={k}, p=0: entrant mean {} ≠ 1 (limit)",
+                m.mean_files_per_entrant()
+            ));
+        }
+    }
+    worst("Σλⱼⁱ = λ₀p and entrant-mean identity", worst_err, 1e-9)
+}
+
+/// MTCD ≡ MFCD: the paper's Section 3.4 argument that one torrent with
+/// `K` subtorrents is fluid-equivalent to `K` independent torrents under
+/// concurrent downloading. Checked on every reported metric.
+pub fn mtcd_equals_mfcd(_cfg: &OracleConfig) -> Result<String, String> {
+    let mut worst_err: f64 = 0.0;
+    for &p in &P_GRID[1..] {
+        let m = CorrelationModel::new(10, p, 2.0).map_err(|e| e.to_string())?;
+        let a = evaluate_scheme(FluidParams::paper(), &m, Scheme::Mtcd).map_err(|e| e.to_string())?;
+        let b = evaluate_scheme(FluidParams::paper(), &m, Scheme::Mfcd).map_err(|e| e.to_string())?;
+        worst_err = worst_err
+            .max((a.avg_online_per_file - b.avg_online_per_file).abs())
+            .max((a.avg_download_per_file - b.avg_download_per_file).abs())
+            .max((a.download_fairness - b.download_fairness).abs());
+    }
+    worst("MTCD ≡ MFCD (Eqs. 1–2 vs Sec. 3.4)", worst_err, 1e-9)
+}
+
+/// MTSD `p`-invariance: per-file online time is `(γ−μ)/(γμη) + 1/γ`
+/// (Eqs. 3–4) — independent of the correlation `p`, and exactly 80 time
+/// units at the paper's μ=0.02, η=0.5, γ=0.05.
+pub fn mtsd_p_invariance(_cfg: &OracleConfig) -> Result<String, String> {
+    let params = FluidParams::paper();
+    let expect = (params.gamma() - params.mu()) / (params.gamma() * params.mu() * params.eta())
+        + 1.0 / params.gamma();
+    let mut worst_err: f64 = 0.0;
+    for &p in &P_GRID[1..] {
+        let m = CorrelationModel::new(10, p, 2.0).map_err(|e| e.to_string())?;
+        let r = evaluate_scheme(params, &m, Scheme::Mtsd).map_err(|e| e.to_string())?;
+        worst_err = worst_err.max((r.avg_online_per_file - expect).abs());
+    }
+    if (expect - 80.0).abs() > 1e-12 {
+        return Err(format!("paper-parameter constant drifted: {expect} ≠ 80"));
+    }
+    worst("MTSD online/file = 80, ∀p", worst_err, 1e-9)
+}
+
+/// CMFSD ρ-limit: at ρ = 1 every peer plays pure tit-for-tat (no virtual
+/// seeding), and the average per-file times collapse onto MFCD's.
+pub fn cmfsd_rho_one_equals_mfcd(_cfg: &OracleConfig) -> Result<String, String> {
+    let mut worst_err: f64 = 0.0;
+    for &p in &[0.1, 0.5, 0.9] {
+        let m = CorrelationModel::new(10, p, 2.0).map_err(|e| e.to_string())?;
+        let cm = evaluate_scheme(FluidParams::paper(), &m, Scheme::Cmfsd { rho: 1.0 })
+            .map_err(|e| e.to_string())?;
+        let mf = evaluate_scheme(FluidParams::paper(), &m, Scheme::Mfcd).map_err(|e| e.to_string())?;
+        worst_err = worst_err.max(
+            (cm.avg_online_per_file - mf.avg_online_per_file).abs() / mf.avg_online_per_file,
+        );
+    }
+    worst("CMFSD(ρ=1) ≡ MFCD averages (Eq. 5 limit)", worst_err, 1e-5)
+}
+
+/// CMFSD's other limit: at `K = 1` the subtorrent structure vanishes and
+/// CMFSD degenerates — for *every* ρ — to the single-torrent model, i.e.
+/// MTSD's per-file time (80 at paper parameters).
+pub fn cmfsd_k1_equals_mtsd(_cfg: &OracleConfig) -> Result<String, String> {
+    let mut worst_err: f64 = 0.0;
+    for &rho in &[0.0, 0.3, 0.7, 1.0] {
+        let m = CorrelationModel::new(1, 0.6, 2.0).map_err(|e| e.to_string())?;
+        let cm = evaluate_scheme(FluidParams::paper(), &m, Scheme::Cmfsd { rho })
+            .map_err(|e| e.to_string())?;
+        let mt = evaluate_scheme(FluidParams::paper(), &m, Scheme::Mtsd).map_err(|e| e.to_string())?;
+        worst_err = worst_err.max(
+            (cm.avg_online_per_file - mt.avg_online_per_file).abs() / mt.avg_online_per_file,
+        );
+    }
+    worst("CMFSD(K=1, ∀ρ) ≡ MTSD per-file time", worst_err, 1e-6)
+}
+
+/// Section 4.3's headline: at high correlation, lowering ρ (more virtual
+/// seeding) improves the population-average online time monotonically.
+pub fn cmfsd_monotone_in_rho(_cfg: &OracleConfig) -> Result<String, String> {
+    let m = CorrelationModel::new(10, 0.9, 2.0).map_err(|e| e.to_string())?;
+    let mut prev: Option<(f64, f64)> = None;
+    for &rho in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+        let r = evaluate_scheme(FluidParams::paper(), &m, Scheme::Cmfsd { rho })
+            .map_err(|e| e.to_string())?;
+        if let Some((prho, pavg)) = prev {
+            if r.avg_online_per_file < pavg - 1e-9 {
+                return Err(format!(
+                    "online/file not monotone: ρ={prho} → {pavg:.4}, ρ={rho} → {:.4}",
+                    r.avg_online_per_file
+                ));
+            }
+        }
+        prev = Some((rho, r.avg_online_per_file));
+    }
+    Ok("online/file non-decreasing in ρ at p = 0.9".into())
+}

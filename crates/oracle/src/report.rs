@@ -1,0 +1,100 @@
+//! Check descriptors and run reports.
+
+use std::time::Instant;
+
+/// When a check runs: every `selfcheck` invocation, or only with `--full`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Cheap enough for every invocation (sub-second).
+    Quick,
+    /// Simulation-heavy; runs only under `--full`.
+    Full,
+}
+
+/// Oracle run parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct OracleConfig {
+    /// Base seed for every stochastic component (DES runs, byte fuzz).
+    pub seed: u64,
+    /// Include [`Tier::Full`] checks.
+    pub full: bool,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            full: false,
+        }
+    }
+}
+
+/// One registered invariant or differential check.
+pub struct Check {
+    /// Stable kebab-case identifier.
+    pub name: &'static str,
+    /// Which paper equation/section (or engineering contract) this pins.
+    pub paper_ref: &'static str,
+    /// Cost tier.
+    pub tier: Tier,
+    /// The check body: `Ok(detail)` on pass, `Err(what diverged)` on fail.
+    pub run: fn(&OracleConfig) -> Result<String, String>,
+}
+
+/// Outcome of one executed check.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// The check's identifier.
+    pub name: &'static str,
+    /// Paper/contract reference.
+    pub paper_ref: &'static str,
+    /// Whether the check passed.
+    pub passed: bool,
+    /// Pass evidence or failure description.
+    pub detail: String,
+    /// Wall time the check took.
+    pub wall_ms: u64,
+}
+
+/// The full oracle run.
+#[derive(Debug, Clone, Default)]
+pub struct OracleReport {
+    /// Per-check outcomes, registry order.
+    pub outcomes: Vec<CheckOutcome>,
+    /// Total wall time.
+    pub wall_ms: u64,
+}
+
+impl OracleReport {
+    /// Whether every executed check passed.
+    pub fn all_passed(&self) -> bool {
+        self.outcomes.iter().all(|o| o.passed)
+    }
+
+    /// Names of failed checks.
+    pub fn failures(&self) -> Vec<&'static str> {
+        self.outcomes
+            .iter()
+            .filter(|o| !o.passed)
+            .map(|o| o.name)
+            .collect()
+    }
+}
+
+/// Executes one check with timing.
+pub(crate) fn execute(check: &Check, cfg: &OracleConfig) -> CheckOutcome {
+    let started = Instant::now();
+    let result = (check.run)(cfg);
+    let wall_ms = started.elapsed().as_millis() as u64;
+    let (passed, detail) = match result {
+        Ok(detail) => (true, detail),
+        Err(detail) => (false, detail),
+    };
+    CheckOutcome {
+        name: check.name,
+        paper_ref: check.paper_ref,
+        passed,
+        detail,
+        wall_ms,
+    }
+}

@@ -1,0 +1,140 @@
+//! Structural fuzz targets: serialized artifacts (snapshots, JSONL traces)
+//! fed back through their decoders after deterministic mutation. The
+//! contract is *typed errors, never panics, never silent acceptance of
+//! corrupt bytes*.
+
+use crate::report::OracleConfig;
+use btfluid_des::{DesConfig, SchemeKind, Simulation};
+use btfluid_harness::json::Json;
+use btfluid_numkit::rng::{RngCore, Xoshiro256StarStar};
+use btfluid_telemetry::{Counters, MetaField, Sample, TraceSink};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Builds a realistic snapshot by stepping a live engine a few hundred
+/// events.
+fn live_snapshot_bytes(seed: u64) -> Result<Vec<u8>, String> {
+    let mut cfg = DesConfig::paper_small(SchemeKind::Cmfsd { rho: 0.5 }, 0.5, seed)
+        .map_err(|e| e.to_string())?;
+    cfg.horizon = 600.0;
+    cfg.warmup = 100.0;
+    cfg.drain = 600.0;
+    let mut sim = Simulation::new(cfg).map_err(|e| e.to_string())?;
+    for _ in 0..300 {
+        if !sim.step().map_err(|e| e.to_string())? {
+            break;
+        }
+    }
+    Ok(sim.snapshot().to_bytes())
+}
+
+/// Snapshot decoder under fire: random bit flips and truncations of a
+/// genuine snapshot must every time produce a typed [`SnapshotError`] —
+/// no panic (the FNV checksum trails the content, so any mutation is
+/// detectable), and no mutated file may decode as valid.
+///
+/// [`SnapshotError`]: btfluid_des::SnapshotError
+pub fn snapshot_fuzz(cfg: &OracleConfig) -> Result<String, String> {
+    let bytes = live_snapshot_bytes(cfg.seed.wrapping_add(3))?;
+    // Sanity: the pristine bytes must decode.
+    btfluid_des::Snapshot::from_bytes(&bytes)
+        .map_err(|e| format!("pristine snapshot failed to decode: {e}"))?;
+
+    let mut rng = Xoshiro256StarStar::stream(cfg.seed, 1);
+    let trials = if cfg.full { 512 } else { 96 };
+    let mut rejected = 0usize;
+    for trial in 0..trials {
+        let mut mutated = bytes.clone();
+        let what = if trial % 3 == 2 {
+            // Truncate to a strictly shorter prefix (possibly empty).
+            let cut = (rng.next_u64() % bytes.len() as u64) as usize;
+            mutated.truncate(cut);
+            format!("truncation to {cut} bytes")
+        } else {
+            // Flip one random bit anywhere, checksum included.
+            let byte = (rng.next_u64() % bytes.len() as u64) as usize;
+            let bit = rng.next_u64() % 8;
+            mutated[byte] ^= 1u8 << bit;
+            format!("bit flip at byte {byte}, bit {bit}")
+        };
+        let verdict = catch_unwind(AssertUnwindSafe(|| {
+            btfluid_des::Snapshot::from_bytes(&mutated)
+        }));
+        match verdict {
+            Err(_) => return Err(format!("decoder PANICKED on {what}")),
+            Ok(Ok(_)) => return Err(format!("decoder ACCEPTED corrupt bytes ({what})")),
+            Ok(Err(_)) => rejected += 1,
+        }
+    }
+    Ok(format!(
+        "{rejected}/{trials} mutations of a {}-byte snapshot rejected with typed errors",
+        bytes.len()
+    ))
+}
+
+/// Trace JSONL round-trip: a sink fed non-finite samples must emit a file
+/// in which *every* line parses as JSON, the non-finite fields surface as
+/// `null`, and the process-wide downgrade counter advances.
+pub fn trace_jsonl_round_trip(cfg: &OracleConfig) -> Result<String, String> {
+    let dir = std::env::temp_dir().join(format!(
+        "btfluid_oracle_trace_{}_{}",
+        std::process::id(),
+        cfg.seed
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("temp dir: {e}"))?;
+    let result = (|| {
+        let before = btfluid_telemetry::non_finite_null_count();
+        let mut sink = TraceSink::create(&dir.join("oracle.jsonl")).map_err(|e| e.to_string())?;
+        sink.meta(&[
+            ("scheme", MetaField::Str("CMFSD".into())),
+            ("rho", MetaField::F64(0.5)),
+        ]);
+        for i in 0..8u64 {
+            let poison = if i % 2 == 0 { f64::NAN } else { f64::INFINITY };
+            sink.sample(&Sample {
+                t: i as f64 * 10.0,
+                events: i * 100,
+                downloaders: &[3, 1],
+                download_pairs: &[3, 1],
+                seed_pairs: &[1, 0],
+                weight: &[1.0, poison],
+                pool_real: &[0.25, 0.25],
+                pool_virtual: &[0.0, 0.0],
+                rho_mean: poison,
+                delta_mean: 0.1,
+                counters: Counters::default(),
+            });
+        }
+        sink.end(80.0, &Counters::default());
+        let path = sink.finish().map_err(|e| e.to_string())?;
+        let text = std::fs::read_to_string(&path).map_err(|e| e.to_string())?;
+        let mut lines = 0usize;
+        let mut null_fields = 0usize;
+        for line in text.lines() {
+            let doc = Json::parse(line).map_err(|e| format!("invalid JSON line: {e}\n{line}"))?;
+            if doc.get("kind").and_then(Json::as_str) == Some("sample")
+                && doc.get("rho_mean") == Some(&Json::Null)
+            {
+                null_fields += 1;
+            }
+            lines += 1;
+        }
+        if null_fields != 8 {
+            return Err(format!(
+                "expected 8 null rho_mean fields, found {null_fields}"
+            ));
+        }
+        let after = btfluid_telemetry::non_finite_null_count();
+        if after < before + 16 {
+            return Err(format!(
+                "downgrade counter advanced by {} — expected ≥ 16",
+                after - before
+            ));
+        }
+        Ok(format!(
+            "{lines} JSONL lines all parse; 16 non-finite fields downgraded to null and counted"
+        ))
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}

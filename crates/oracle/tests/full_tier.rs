@@ -1,0 +1,30 @@
+//! The `--full` oracle tier end to end: simulation-heavy differential
+//! checks included. This is the same set `btfluid selfcheck --full` runs.
+
+use btfluid_oracle::{run_all, registry, OracleConfig};
+
+#[test]
+fn full_tier_passes() {
+    let report = run_all(&OracleConfig {
+        seed: 42,
+        full: true,
+    });
+    assert_eq!(
+        report.outcomes.len(),
+        registry().len(),
+        "full tier must execute every registered check"
+    );
+    assert!(
+        report.all_passed(),
+        "full-tier failures: {:?}\n{:#?}",
+        report.failures(),
+        report
+            .outcomes
+            .iter()
+            .filter(|o| !o.passed)
+            .map(|o| (&o.name, &o.detail))
+            .collect::<Vec<_>>()
+    );
+    // Wall-times are recorded per check (the CLI prints them).
+    assert!(report.outcomes.iter().all(|o| o.wall_ms < 600_000));
+}

@@ -70,6 +70,37 @@ pub struct ScenarioProgram {
 }
 
 impl ScenarioProgram {
+    /// A stationary (constant-schedule, fault-free) program — the bridge
+    /// between the non-stationary machinery and the paper's steady-state
+    /// models. Used by the self-check oracle to compare the transient ODE,
+    /// the closed forms, and the DES on identical inputs. `origin_seeds`
+    /// is 0 because the fluid model has no publisher term.
+    pub fn stationary(
+        name: &str,
+        lambda0: f64,
+        p: f64,
+        k: u32,
+        horizon: f64,
+        warmup: f64,
+        drain: f64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            description: format!("stationary λ₀={lambda0}, p={p}, K={k}"),
+            lambda0: Schedule::Constant(lambda0),
+            correlation: Schedule::Constant(p),
+            faults: FaultPlan::default(),
+            params: FluidParams::paper(),
+            k,
+            horizon,
+            warmup,
+            drain,
+            origin_seeds: 0,
+            record_every: 50.0,
+            phases: Vec::new(),
+        }
+    }
+
     /// Validates schedules, faults, geometry, and phases.
     ///
     /// # Errors

@@ -7,6 +7,26 @@
 //! floats, which JSON cannot carry, encode as `null`.
 
 use std::fmt::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide tally of non-finite floats that were downgraded to JSON
+/// `null` by any writer in the workspace (this module and the harness's
+/// value-level encoder both report here). A non-zero delta across a run
+/// means some result carried NaN/∞ — the self-check oracle and `inspect`
+/// treat that as a data-quality signal rather than silently losing it.
+static NON_FINITE_NULLS: AtomicU64 = AtomicU64::new(0);
+
+/// Current value of the non-finite-to-`null` counter.
+pub fn non_finite_null_count() -> u64 {
+    NON_FINITE_NULLS.load(Ordering::Relaxed)
+}
+
+/// Records one non-finite float downgraded to `null`. Public so JSON
+/// encoders in crates above this one (harness) can report into the same
+/// tally.
+pub fn note_non_finite_null() {
+    NON_FINITE_NULLS.fetch_add(1, Ordering::Relaxed);
+}
 
 /// Appends a JSON string literal (quoted, escaped) to `out`.
 pub fn push_str_lit(out: &mut String, s: &str) {
@@ -27,11 +47,13 @@ pub fn push_str_lit(out: &mut String, s: &str) {
     out.push('"');
 }
 
-/// Appends an `f64` (shortest-roundtrip; non-finite becomes `null`).
+/// Appends an `f64` (shortest-roundtrip; non-finite becomes `null` and
+/// bumps the process-wide [`non_finite_null_count`]).
 pub fn push_f64(out: &mut String, x: f64) {
     if x.is_finite() {
         let _ = write!(out, "{x}");
     } else {
+        note_non_finite_null();
         out.push_str("null");
     }
 }

@@ -114,10 +114,18 @@ impl CorrelationModel {
         (1..=self.k).map(|i| self.per_torrent_rate(i)).collect()
     }
 
+    /// Fraction of visitors who request at least one file,
+    /// `1 − (1−p)^K`, evaluated as `−expm1(K·ln1p(−p))` so that tiny `p`
+    /// does not cancel to 0 (for `p` below machine epsilon the naive form
+    /// rounds `(1−p)^K` to exactly 1).
+    fn entering_fraction(&self) -> f64 {
+        -f64::exp_m1(self.k as f64 * f64::ln_1p(-self.p))
+    }
+
     /// Total rate of users who actually enter the system,
     /// `λ₀·(1 − (1−p)^K)`.
     pub fn entering_rate(&self) -> f64 {
-        self.lambda0 * (1.0 - (1.0 - self.p).powi(self.k as i32))
+        self.lambda0 * self.entering_fraction()
     }
 
     /// Total per-torrent peer entry rate `Σᵢ λⱼⁱ = λ₀·p` (each file is
@@ -134,12 +142,15 @@ impl CorrelationModel {
     /// Expected number of files per *entering* user,
     /// `K·p / (1 − (1−p)^K)`.
     ///
-    /// Returns 0 when `p = 0` (nobody enters).
+    /// At `p = 0` the raw expression is `0/0`; the limit as `p → 0⁺` is 1
+    /// (an entrant requests at least one file, and in the limit exactly
+    /// one), so this returns 1 there rather than NaN. The result always
+    /// lies in `[max(1, K·p), K]`.
     pub fn mean_files_per_entrant(&self) -> f64 {
         if self.p == 0.0 {
-            return 0.0;
+            return 1.0;
         }
-        self.mean_files_per_visitor() / (1.0 - (1.0 - self.p).powi(self.k as i32))
+        self.mean_files_per_visitor() / self.entering_fraction()
     }
 
     /// Rate at which *files* are requested across the system, `λ₀·K·p`
@@ -229,9 +240,55 @@ mod tests {
     fn p_zero_means_nobody_enters() {
         let m = model(0.0);
         assert_eq!(m.entering_rate(), 0.0);
-        assert_eq!(m.mean_files_per_entrant(), 0.0);
+        // The conditional mean over entrants has the p → 0⁺ limit 1: the
+        // (vanishingly rare) entrant requests exactly one file. It must
+        // never be NaN or 0.
+        assert_eq!(m.mean_files_per_entrant(), 1.0);
         for i in 1..=10 {
             assert_eq!(m.per_torrent_rate(i), 0.0);
+        }
+    }
+
+    #[test]
+    fn entrant_mean_is_continuous_at_tiny_p() {
+        // Regression: with the naive 1 − (1−p)^K denominator, p below
+        // machine epsilon rounded (1−p)^K to exactly 1 and the mean blew
+        // up to ∞ (and 0/0 = NaN in intermediate forms).
+        for &p in &[1e-18, 1e-12, 1e-9] {
+            let m = CorrelationModel::new(10, p, 2.0).unwrap();
+            let mean = m.mean_files_per_entrant();
+            assert!(
+                mean.is_finite() && (mean - 1.0).abs() < 1e-6,
+                "p = {p}: mean = {mean}"
+            );
+            assert!(m.entering_rate().is_finite());
+            assert!(m.entering_rate() > 0.0, "p = {p}: entering rate vanished");
+        }
+    }
+
+    #[test]
+    fn boundary_p_and_k_edges() {
+        // p = 1: everyone requests all K files.
+        let m = model(1.0);
+        assert_eq!(m.mean_files_per_entrant(), 10.0);
+        assert!((m.entering_rate() - 2.0).abs() < 1e-12);
+        // K = 1: an entrant requests exactly the one file for any p.
+        for &p in &[0.0, 0.25, 1.0] {
+            let m = CorrelationModel::new(1, p, 4.0).unwrap();
+            assert!(
+                (m.mean_files_per_entrant() - 1.0).abs() < 1e-12,
+                "K = 1, p = {p}"
+            );
+            if p > 0.0 {
+                assert!((m.per_torrent_rate(1) - m.entering_rate()).abs() < 1e-12);
+            }
+        }
+        // The entrant mean is bounded by [max(1, K·p), K] across the range.
+        for &p in &[0.0, 1e-6, 0.1, 0.5, 0.9, 1.0] {
+            let m = model(p);
+            let mean = m.mean_files_per_entrant();
+            assert!(mean >= m.mean_files_per_visitor().max(1.0) - 1e-12, "p = {p}");
+            assert!(mean <= 10.0 + 1e-12, "p = {p}");
         }
     }
 
