@@ -1,7 +1,8 @@
 //! Criterion bench for the discrete-event simulator engine and the
 //! fluid-vs-simulation validation experiment (X3), plus the `des_scale`
-//! scaling study comparing the incremental rate engine against the forced
-//! full-recompute baseline (written to `BENCH_des.json`).
+//! scaling study comparing the forced full-recompute baseline, the
+//! incremental rate engine, and the class-aggregated completion engine
+//! (written to `BENCH_des.json`).
 
 use btfluid_bench::validate::{run as validate, ValidateConfig};
 use btfluid_des::{DesConfig, SchemeKind, Simulation};
@@ -9,7 +10,18 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
 
+/// True when `BTFLUID_AGG_SMOKE=1`: the CI aggregate-smoke job wants the
+/// `des_scale` guards and nothing else from this bench target — the
+/// multi-second checkpoint/telemetry studies (the latter with a
+/// machine-noise-sensitive overhead guard) would dominate its wall budget.
+fn agg_smoke_only() -> bool {
+    std::env::var_os("BTFLUID_AGG_SMOKE").is_some()
+}
+
 fn bench_engine(c: &mut Criterion) {
+    if agg_smoke_only() {
+        return;
+    }
     let mut group = c.benchmark_group("des");
     group.sample_size(10);
     for (name, scheme) in [
@@ -31,6 +43,9 @@ fn bench_engine(c: &mut Criterion) {
 }
 
 fn bench_validation(c: &mut Criterion) {
+    if agg_smoke_only() {
+        return;
+    }
     // Print the X3 comparison once for the record.
     let cfg = ValidateConfig {
         replications: 2,
@@ -59,14 +74,21 @@ fn bench_validation(c: &mut Criterion) {
 /// One sizing point of the scaling study: the horizon shrinks as `λ₀`
 /// grows so every point dispatches a comparable number of events while the
 /// concurrent population — the thing the per-event cost depends on —
-/// spans two orders of magnitude.
-const SCALE_POINTS: [(f64, f64, f64, f64); 4] = [
+/// spans three orders of magnitude. The exact (full-recompute) baseline is
+/// only timed up to λ₀ = 128; beyond that it would take minutes per point
+/// for no information the 2–128 trend doesn't already carry.
+const SCALE_POINTS: [(f64, f64, f64, f64); 6] = [
     // (λ₀, horizon, warmup, drain)
     (2.0, 600.0, 150.0, 300.0),
     (8.0, 300.0, 75.0, 150.0),
     (32.0, 150.0, 40.0, 80.0),
     (128.0, 80.0, 20.0, 40.0),
+    (512.0, 40.0, 10.0, 20.0),
+    (2048.0, 20.0, 5.0, 10.0),
 ];
+
+/// Largest point at which the exact baseline is still timed.
+const EXACT_MAX_LAMBDA0: f64 = 128.0;
 
 fn scale_config(lambda0: f64, horizon: f64, warmup: f64, drain: f64) -> DesConfig {
     let mut cfg = DesConfig::paper_small(SchemeKind::Mtsd, 0.5, 7).expect("valid");
@@ -86,20 +108,42 @@ fn time_run(cfg: DesConfig) -> (f64, u64) {
     (start.elapsed().as_secs_f64(), outcome.events)
 }
 
-/// Scaling study: events/sec of the incremental engine vs the forced
-/// full-recompute baseline at λ₀ ∈ {2, 8, 32, 128}, written to
-/// `BENCH_des.json` at the repository root. The criterion group samples
-/// the incremental engine; the exact baseline is timed once per point
-/// (at λ₀ = 128 it is an order of magnitude slower — sampling it ten
-/// times would dominate the bench run for no extra information).
+/// Times one aggregate-mode run at a scale point.
+fn time_agg(lambda0: f64, horizon: f64, warmup: f64, drain: f64) -> (f64, u64) {
+    let mut cfg = scale_config(lambda0, horizon, warmup, drain);
+    cfg.aggregate = true;
+    time_run(cfg)
+}
+
+/// Scaling study: events/sec of the three scheduling modes — the forced
+/// full-recompute baseline (up to λ₀ = 128), the incremental rate cache,
+/// and the class-aggregated completion engine — at
+/// λ₀ ∈ {2, 8, 32, 128, 512, 2048}, written to `BENCH_des.json` at the
+/// repository root. The criterion group samples the incremental engine up
+/// to λ₀ = 128; everything else is timed once per point (the exact
+/// baseline is an order of magnitude slower already at λ₀ = 128 —
+/// sampling it ten times would dominate the bench for no information).
+///
+/// Two guards make the scaling claims regressions instead of prose: the
+/// aggregate engine must be ≥ 5× the incremental one at λ₀ = 128, and its
+/// per-event cost must stay flat — ev/s at λ₀ = 512 within 2× of
+/// λ₀ = 32. Setting `BTFLUID_AGG_SMOKE=1` (the CI job does) runs only
+/// those two guards on one-shot timings, skips the JSON artifact, and
+/// silences every other bench in this target (see [`agg_smoke_only`]).
 fn bench_des_scale(c: &mut Criterion) {
     let test_mode = std::env::args().any(|a| a == "--test");
+    let agg_smoke = std::env::var_os("BTFLUID_AGG_SMOKE").is_some();
+
+    if agg_smoke {
+        agg_smoke_guards();
+        return;
+    }
 
     let mut group = c.benchmark_group("des_scale");
     group.sample_size(10);
     for &(lambda0, horizon, warmup, drain) in &SCALE_POINTS {
-        if test_mode && lambda0 > 8.0 {
-            continue; // keep `cargo test --benches` fast
+        if (test_mode && lambda0 > 8.0) || lambda0 > EXACT_MAX_LAMBDA0 {
+            continue; // keep `cargo test --benches` and criterion sampling fast
         }
         group.bench_function(&format!("incremental_lambda{lambda0}"), |b| {
             b.iter(|| {
@@ -111,8 +155,7 @@ fn bench_des_scale(c: &mut Criterion) {
     group.finish();
 
     if test_mode {
-        // Smoke-check both modes agree on the smallest point; skip the
-        // JSON artifact.
+        // Smoke-check the modes on the smallest point; skip the artifact.
         let (lambda0, horizon, warmup, drain) = SCALE_POINTS[0];
         let mut exact_cfg = scale_config(lambda0, horizon, warmup, drain);
         exact_cfg.exact_rates = true;
@@ -122,45 +165,131 @@ fn bench_des_scale(c: &mut Criterion) {
             exact_events, incr_events,
             "modes dispatched different events"
         );
+        let (_, agg_events) = time_agg(lambda0, horizon, warmup, drain);
+        assert!(agg_events > 0, "aggregate mode dispatched no events");
         return;
     }
 
     let mut rows = Vec::new();
-    let mut speedup_at_max = 0.0;
+    let mut speedup_at_128 = 0.0;
+    let mut agg_speedup_at_128 = 0.0;
+    let mut agg_eps_at_32 = 0.0;
+    let mut agg_eps_at_512 = 0.0;
     for &(lambda0, horizon, warmup, drain) in &SCALE_POINTS {
-        let mut exact_cfg = scale_config(lambda0, horizon, warmup, drain);
-        exact_cfg.exact_rates = true;
-        let (exact_s, exact_events) = time_run(exact_cfg);
         let (incr_s, incr_events) = time_run(scale_config(lambda0, horizon, warmup, drain));
-        assert_eq!(
-            exact_events, incr_events,
-            "modes dispatched different events"
-        );
-        let exact_eps = exact_events as f64 / exact_s;
         let incr_eps = incr_events as f64 / incr_s;
-        let speedup = incr_eps / exact_eps;
-        speedup_at_max = speedup;
+        let (agg_s, agg_events) = time_agg(lambda0, horizon, warmup, drain);
+        let agg_eps = agg_events as f64 / agg_s;
+        let agg_speedup = agg_eps / incr_eps;
+
+        // The exact baseline (where affordable): bit-identical to the
+        // incremental path, so the event counts must match.
+        let exact_json = if lambda0 <= EXACT_MAX_LAMBDA0 {
+            let mut exact_cfg = scale_config(lambda0, horizon, warmup, drain);
+            exact_cfg.exact_rates = true;
+            let (exact_s, exact_events) = time_run(exact_cfg);
+            assert_eq!(
+                exact_events, incr_events,
+                "modes dispatched different events"
+            );
+            let exact_eps = exact_events as f64 / exact_s;
+            let speedup = incr_eps / exact_eps;
+            if lambda0 == 128.0 {
+                speedup_at_128 = speedup;
+            }
+            println!(
+                "des_scale λ₀={lambda0}: exact {exact_s:.3}s ({exact_eps:.0} ev/s), \
+                 incremental speedup {speedup:.1}×"
+            );
+            format!(
+                "\"exact\": {{\"wall_s\": {exact_s:.6}, \"events_per_s\": {exact_eps:.1}}}, \
+                 \"speedup\": {speedup:.3}, "
+            )
+        } else {
+            String::new()
+        };
+
+        if lambda0 == 128.0 {
+            agg_speedup_at_128 = agg_speedup;
+        }
+        if lambda0 == 32.0 {
+            agg_eps_at_32 = agg_eps;
+        }
+        if lambda0 == 512.0 {
+            agg_eps_at_512 = agg_eps;
+        }
         println!(
-            "des_scale λ₀={lambda0}: {incr_events} events — exact {exact_s:.3}s \
-             ({exact_eps:.0} ev/s), incremental {incr_s:.3}s ({incr_eps:.0} ev/s), \
-             speedup {speedup:.1}×"
+            "des_scale λ₀={lambda0}: incremental {incr_s:.3}s ({incr_eps:.0} ev/s, \
+             {incr_events} events), aggregate {agg_s:.3}s ({agg_eps:.0} ev/s, \
+             {agg_events} events), aggregate speedup {agg_speedup:.1}×"
         );
         rows.push(format!(
             "    {{\"lambda0\": {lambda0}, \"horizon\": {horizon}, \"events\": {incr_events}, \
-             \"exact\": {{\"wall_s\": {exact_s:.6}, \"events_per_s\": {exact_eps:.1}}}, \
+             {exact_json}\
              \"incremental\": {{\"wall_s\": {incr_s:.6}, \"events_per_s\": {incr_eps:.1}}}, \
-             \"speedup\": {speedup:.3}}}"
+             \"aggregate\": {{\"wall_s\": {agg_s:.6}, \"events\": {agg_events}, \
+             \"events_per_s\": {agg_eps:.1}}}, \
+             \"aggregate_speedup\": {agg_speedup:.3}}}"
         ));
     }
+    let flatness = agg_eps_at_512 / agg_eps_at_32;
+    println!(
+        "des_scale: aggregate speedup at λ₀=128 {agg_speedup_at_128:.1}×, \
+         flatness 512/32 {flatness:.2}"
+    );
+    assert!(
+        agg_speedup_at_128 >= 5.0,
+        "aggregate engine only {agg_speedup_at_128:.2}× over incremental at λ₀ = 128 \
+         (claim is ≥ 5×)"
+    );
+    assert!(
+        flatness >= 0.5,
+        "aggregate ev/s fell to {flatness:.2}× between λ₀ = 32 and λ₀ = 512 \
+         (claim is flat within 2×)"
+    );
     let json = format!(
         "{{\n  \"bench\": \"des_scale\",\n  \"scheme\": \"MTSD\",\n  \"p\": 0.5,\n  \
          \"origin_seeds\": 1,\n  \"points\": [\n{}\n  ],\n  \
-         \"speedup_at_lambda0_128\": {speedup_at_max:.3}\n}}\n",
+         \"speedup_at_lambda0_128\": {speedup_at_128:.3},\n  \
+         \"aggregate_speedup_at_lambda0_128\": {agg_speedup_at_128:.3},\n  \
+         \"aggregate_flatness_512_over_32\": {flatness:.3}\n}}\n",
         rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_des.json");
     std::fs::write(path, json).expect("write BENCH_des.json");
     println!("wrote {path}");
+}
+
+/// The CI smoke: one-shot timings of the two aggregate scaling guards
+/// (≥ 5× over incremental at λ₀ = 128, flat ev/s from λ₀ = 32 to 512),
+/// fast enough for a wall-time-budgeted job.
+fn agg_smoke_guards() {
+    let (incr_s, incr_events) = time_run(scale_config(128.0, 80.0, 20.0, 40.0));
+    let (agg128_s, agg128_events) = time_agg(128.0, 80.0, 20.0, 40.0);
+    let incr_eps = incr_events as f64 / incr_s;
+    let agg128_eps = agg128_events as f64 / agg128_s;
+    let speedup = agg128_eps / incr_eps;
+
+    let (agg32_s, agg32_events) = time_agg(32.0, 150.0, 40.0, 80.0);
+    let (agg512_s, agg512_events) = time_agg(512.0, 40.0, 10.0, 20.0);
+    let agg32_eps = agg32_events as f64 / agg32_s;
+    let agg512_eps = agg512_events as f64 / agg512_s;
+    let flatness = agg512_eps / agg32_eps;
+
+    println!(
+        "agg_smoke λ₀=128: incremental {incr_eps:.0} ev/s, aggregate {agg128_eps:.0} ev/s \
+         ({speedup:.1}×); flatness 512/32 {flatness:.2} \
+         ({agg32_eps:.0} → {agg512_eps:.0} ev/s)"
+    );
+    assert!(
+        speedup >= 5.0,
+        "aggregate engine only {speedup:.2}× over incremental at λ₀ = 128 (claim is ≥ 5×)"
+    );
+    assert!(
+        flatness >= 0.5,
+        "aggregate ev/s fell to {flatness:.2}× between λ₀ = 32 and λ₀ = 512 \
+         (claim is flat within 2×)"
+    );
 }
 
 /// Checkpoint-overhead guard: the crash-safe driver with checkpointing
@@ -177,6 +306,9 @@ fn bench_des_scale(c: &mut Criterion) {
 /// largest — an upper bound for every earlier checkpoint. Recorded under
 /// `"checkpoint_overhead"` in `BENCH_des.json`.
 fn bench_checkpoint_overhead(_c: &mut Criterion) {
+    if agg_smoke_only() {
+        return;
+    }
     let test_mode = std::env::args().any(|a| a == "--test");
     // Non-test mode runs a long horizon: checkpoint cost is a fixed price
     // per snapshot (clone + serialize + atomic write), so the percentage
@@ -308,6 +440,9 @@ fn bench_telemetry_overhead(_c: &mut Criterion) {
     use btfluid_des::{NoopProbe, SinkProbe, TraceSink};
     use btfluid_telemetry::DEFAULT_SAMPLE_EVERY;
 
+    if agg_smoke_only() {
+        return;
+    }
     let test_mode = std::env::args().any(|a| a == "--test");
     let (lambda0, horizon, warmup, drain) = if test_mode {
         SCALE_POINTS[0]

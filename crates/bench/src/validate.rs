@@ -143,6 +143,7 @@ pub fn run(cfg: &ValidateConfig) -> Result<ValidateResult, NumError> {
             order_policy: OrderPolicy::default(),
             record_every: None,
             exact_rates: false,
+            aggregate: false,
             checked: false,
         };
         let summary = run_replications(&des_cfg, cfg.replications, cfg.seed)?;

@@ -69,6 +69,7 @@ const FLAGS: &[&str] = &[
     "csv",
     "force",
     "exact",
+    "aggregate",
     "checked",
     "smoke",
     "resume",
@@ -102,9 +103,7 @@ impl Options {
                 if numeric {
                     for tok in value.split(',') {
                         if tok.trim().parse::<f64>().is_err() {
-                            return Err(ArgError(format!(
-                                "--{name}: '{tok}' is not a number"
-                            )));
+                            return Err(ArgError(format!("--{name}: '{tok}' is not a number")));
                         }
                     }
                 }

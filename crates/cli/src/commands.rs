@@ -14,7 +14,7 @@ use btfluid_des::{
 };
 use btfluid_harness as harness;
 use btfluid_harness::json::Json;
-use btfluid_scenario::{registry, runner};
+use btfluid_scenario::{registry, runner, RateMode};
 use btfluid_telemetry::{
     diag, set_level, Counters, Level, MetaField, SinkProbe, TraceSink, DEFAULT_SAMPLE_EVERY,
     TRACE_SCHEMA, TRACE_VERSION,
@@ -52,8 +52,8 @@ COMMANDS
   scenario    non-stationary scenario runs (flash crowds, churn, faults)
                 btfluid scenario list
                 btfluid scenario <name> [--scheme SCHEME] [--seed S]
-                  [--smoke | --scale F] [--exact] [--fluid] [--checked]
-                  [--trace FILE] [--sample-every T]
+                  [--smoke | --scale F] [--exact | --aggregate] [--fluid]
+                  [--checked] [--trace FILE] [--sample-every T]
                 crash-safe (single-scheme only):
                   [--checkpoint FILE] [--checkpoint-every N] [--resume]
                   [--records FILE]
@@ -458,6 +458,7 @@ fn cmd_sim(opts: &Options) -> Result<(), CliError> {
         order_policy: OrderPolicy::default(),
         record_every: None,
         exact_rates: opts.has("exact"),
+        aggregate: opts.has("aggregate"),
         checked: opts.has("checked"),
     };
     let outcome = Simulation::new(cfg)?.try_run()?;
@@ -525,7 +526,14 @@ fn cmd_scenario(rest: &[String]) -> Result<(), CliError> {
         program = program.time_scaled(scale);
     }
     let seed = opts.get_u64("seed", 2006)?;
-    let exact = opts.has("exact");
+    let mode = match (opts.has("exact"), opts.has("aggregate")) {
+        (true, true) => {
+            return Err("scenario: --exact and --aggregate are mutually exclusive".into())
+        }
+        (true, false) => RateMode::Exact,
+        (false, true) => RateMode::Aggregate,
+        (false, false) => RateMode::Incremental,
+    };
     let crash_safe = opts.get("checkpoint").is_some()
         || opts.get("records").is_some()
         || opts.has("resume")
@@ -552,7 +560,8 @@ fn cmd_scenario(rest: &[String]) -> Result<(), CliError> {
             ("label", MetaField::Str(label.to_string())),
             ("seed", MetaField::U64(seed)),
             ("scale", MetaField::F64(scale)),
-            ("exact_rates", MetaField::Bool(exact)),
+            ("exact_rates", MetaField::Bool(mode == RateMode::Exact)),
+            ("aggregate", MetaField::Bool(mode == RateMode::Aggregate)),
             ("sample_every", MetaField::F64(sample_every)),
         ]);
         Some(Box::new(SinkProbe::new(sink.clone(), sample_every)))
@@ -564,7 +573,7 @@ fn cmd_scenario(rest: &[String]) -> Result<(), CliError> {
             let probe = make_probe(&scheme.name());
             if crash_safe {
                 vec![run_scenario_resumable(
-                    &program, scheme, seed, exact, &opts, probe,
+                    &program, scheme, seed, mode, &opts, probe,
                 )?]
             } else {
                 vec![runner::run_one_probed(
@@ -573,7 +582,7 @@ fn cmd_scenario(rest: &[String]) -> Result<(), CliError> {
                     None,
                     &scheme.name(),
                     seed,
-                    exact,
+                    mode,
                     probe,
                 )?]
             }
@@ -585,7 +594,7 @@ fn cmd_scenario(rest: &[String]) -> Result<(), CliError> {
                     .into(),
             )
         }
-        None => runner::run_all_probed(&program, seed, exact, &mut make_probe)?,
+        None => runner::run_all_probed(&program, seed, mode, &mut make_probe)?,
     };
 
     if let Some(sink) = sink {
@@ -688,7 +697,14 @@ fn scenario_fluid_comparison(
 ) -> Result<(), CliError> {
     let mut program = program.clone();
     program.origin_seeds = 0;
-    let run = runner::run_one(&program, SchemeKind::Mtcd, None, "MTCD", seed, false)?;
+    let run = runner::run_one(
+        &program,
+        SchemeKind::Mtcd,
+        None,
+        "MTCD",
+        seed,
+        RateMode::Incremental,
+    )?;
     let des = btfluid_scenario::des_avg_downloaders(&run.outcome);
     let fluid = btfluid_scenario::fluid_avg_downloaders(&program, 0.5)?;
     let rel = (des - fluid).abs() / fluid.max(1e-9);
@@ -707,12 +723,12 @@ fn run_scenario_resumable(
     program: &btfluid_scenario::ScenarioProgram,
     scheme: SchemeKind,
     seed: u64,
-    exact: bool,
+    mode: RateMode,
     opts: &Options,
     probe: Option<Box<dyn btfluid_des::Probe>>,
 ) -> Result<runner::ScenarioRun, CliError> {
     let mut cfg = program.des_config(scheme, seed)?;
-    cfg.exact_rates = exact;
+    mode.apply(&mut cfg);
     cfg.checked = opts.has("checked");
     cfg.validate()?;
     let plan = harness::CheckpointPlan {
@@ -852,6 +868,7 @@ fn cmd_sweep(opts: &Options) -> Result<(), CliError> {
                 order_policy: OrderPolicy::default(),
                 record_every: None,
                 exact_rates: opts.has("exact"),
+                aggregate: opts.has("aggregate"),
                 checked: opts.has("checked"),
             };
             cfg.validate()?;
@@ -1068,6 +1085,7 @@ struct TraceSample {
 struct TraceSegment {
     label: String,
     exact_rates: bool,
+    aggregate: bool,
     samples: Vec<TraceSample>,
     spans: Vec<(String, u64)>,
     end: Option<(f64, Counters)>,
@@ -1106,7 +1124,49 @@ impl TraceSegment {
         if ts.windows(2).any(|w| !ordered(w)) {
             out.push(format!("{label}: non-monotone clock across samples"));
         }
-        if !self.exact_rates {
+        if self.aggregate {
+            // Aggregate-mode cost health: per-peer rate recomputes are
+            // structurally absent (the whole point of the mode), so the
+            // incremental heuristic below would see zero recomputes and
+            // report nothing even on a degenerating run. The right counter
+            // here is `agg_rate_updates` — group-rate refreshes per event.
+            // The group count is O(K²), independent of the swarm, so the
+            // marginal updates-per-event cost is NOT normalized by live
+            // download pairs: on a healthy run it is flat on its own, and
+            // growth means group invalidation is fanning out.
+            let mut costs = Vec::new();
+            for w in self.samples.windows(2) {
+                let de = w[1].events.saturating_sub(w[0].events);
+                let dr = w[1]
+                    .counters
+                    .agg_rate_updates
+                    .saturating_sub(w[0].counters.agg_rate_updates);
+                if de > 0 {
+                    costs.push(dr as f64 / de as f64);
+                }
+            }
+            let third = costs.len() / 3;
+            if third >= 8 {
+                let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+                let early = mean(&costs[..third]);
+                let late = mean(&costs[costs.len() - third..]);
+                if early > 0.0 && late > 4.0 * early {
+                    out.push(format!(
+                        "{label}: group-rate cost drift (per-event aggregate \
+                         update cost grew {:.1}× over the run in aggregate mode)",
+                        late / early
+                    ));
+                }
+            }
+            let c = self.final_counters();
+            if c.rate_recomputes > 0 {
+                out.push(format!(
+                    "{label}: {} per-peer rate recomputes in aggregate mode \
+                     (the per-peer cache should be idle)",
+                    c.rate_recomputes
+                ));
+            }
+        } else if !self.exact_rates {
             // Self-calibrating rate-cache health check: the marginal
             // recompute cost per event, normalized by the live download
             // pairs it could touch, stays flat over a healthy run (the
@@ -1188,6 +1248,8 @@ fn trace_counters(v: Option<&Json>) -> Counters {
         snapshots_taken: g("snapshots_taken"),
         snapshot_bytes: g("snapshot_bytes"),
         snapshot_micros: g("snapshot_micros"),
+        agg_rate_updates: g("agg_rate_updates"),
+        agg_samples: g("agg_samples"),
     }
 }
 
@@ -1287,6 +1349,7 @@ fn cmd_inspect(rest: &[String]) -> Result<(), CliError> {
                     .get("exact_rates")
                     .and_then(Json::as_bool)
                     .unwrap_or(false),
+                aggregate: v.get("aggregate").and_then(Json::as_bool).unwrap_or(false),
                 samples: Vec::new(),
                 spans: Vec::new(),
                 end: None,
@@ -1440,8 +1503,19 @@ fn cli_arg_round_trip(cfg: &btfluid_oracle::OracleConfig) -> Result<String, Stri
     // Token soup: junk must produce typed errors, never a panic or a
     // silently-accepted unknown option.
     let vocab = [
-        "--p", "--seed", "--horizon", "--frobnicate", "--scheme", "mtsd", "abc", "1e6", "-3",
-        "0.5,oops", "--", "--exact", "--records",
+        "--p",
+        "--seed",
+        "--horizon",
+        "--frobnicate",
+        "--scheme",
+        "mtsd",
+        "abc",
+        "1e6",
+        "-3",
+        "0.5,oops",
+        "--",
+        "--exact",
+        "--records",
     ];
     let mut rejected = 0usize;
     for trial in 0..256u64 {
@@ -1449,9 +1523,8 @@ fn cli_arg_round_trip(cfg: &btfluid_oracle::OracleConfig) -> Result<String, Stri
         let argv: Vec<String> = (0..n)
             .map(|_| vocab[(rng.next_u64() % vocab.len() as u64) as usize].to_string())
             .collect();
-        let verdict = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            Options::parse(&argv)
-        }));
+        let verdict =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| Options::parse(&argv)));
         match verdict {
             Err(_) => return Err(format!("trial {trial}: parser PANICKED on {argv:?}")),
             Ok(Err(_)) => rejected += 1,
@@ -1837,6 +1910,7 @@ mod tests {
         let seg = TraceSegment {
             label: "X".into(),
             exact_rates: false,
+            aggregate: false,
             samples: bad_samples,
             spans: Vec::new(),
             end: None,
@@ -1862,6 +1936,7 @@ mod tests {
         let healthy = TraceSegment {
             label: "Y".into(),
             exact_rates: false,
+            aggregate: false,
             samples: healthy_samples,
             spans: Vec::new(),
             end: Some((150.0, Counters::default())),
@@ -1869,6 +1944,116 @@ mod tests {
         let mut out = Vec::new();
         healthy.detect_anomalies(&mut out);
         assert!(out.is_empty(), "healthy trace flagged: {out:?}");
+    }
+
+    /// In aggregate mode the drift detector reads `agg_rate_updates` (the
+    /// per-peer recompute counter is structurally zero there), and any
+    /// nonzero per-peer recompute count is itself flagged.
+    #[test]
+    fn inspect_anomaly_heuristics_aggregate() {
+        let sample = |i: u64, agg_updates: u64, recomputes: u64| TraceSample {
+            t: i as f64 * 5.0,
+            events: 10 * (i + 1),
+            downloaders: vec![2, 1],
+            download_pairs: vec![2, 1],
+            seed_pairs: vec![1, 1],
+            rho_mean: None,
+            delta_mean: None,
+            counters: Counters {
+                agg_rate_updates: agg_updates,
+                rate_recomputes: recomputes,
+                ..Default::default()
+            },
+        };
+
+        // Flat group-update cost for 20 windows, then a 50× blow-up:
+        // invisible to the incremental heuristic (rate_recomputes stays
+        // zero), caught by the aggregate one.
+        let mut updates = 0;
+        let drifting: Vec<TraceSample> = (0..30)
+            .map(|i| {
+                updates += if i < 20 { 10 } else { 500 };
+                sample(i, updates, 0)
+            })
+            .collect();
+        let seg = TraceSegment {
+            label: "A".into(),
+            exact_rates: false,
+            aggregate: true,
+            samples: drifting,
+            spans: Vec::new(),
+            end: Some((
+                150.0,
+                Counters {
+                    agg_rate_updates: updates,
+                    ..Default::default()
+                },
+            )),
+        };
+        let mut out = Vec::new();
+        seg.detect_anomalies(&mut out);
+        let all = out.join("\n");
+        assert!(all.contains("group-rate cost drift"), "{all}");
+        assert!(!all.contains("rate-cache cost drift"), "{all}");
+
+        // Healthy aggregate run: flat group-update cost, zero per-peer
+        // recomputes — no anomalies.
+        let mut updates = 0;
+        let flat: Vec<TraceSample> = (0..30)
+            .map(|i| {
+                updates += 40;
+                sample(i, updates, 0)
+            })
+            .collect();
+        let healthy = TraceSegment {
+            label: "B".into(),
+            exact_rates: false,
+            aggregate: true,
+            samples: flat,
+            spans: Vec::new(),
+            end: Some((
+                150.0,
+                Counters {
+                    agg_rate_updates: updates,
+                    ..Default::default()
+                },
+            )),
+        };
+        let mut out = Vec::new();
+        healthy.detect_anomalies(&mut out);
+        assert!(out.is_empty(), "healthy aggregate trace flagged: {out:?}");
+
+        // A leaking per-peer cache (recomputes > 0 in aggregate mode) is
+        // flagged even when the group-update cost stays flat.
+        let mut updates = 0;
+        let leaking: Vec<TraceSample> = (0..30)
+            .map(|i| {
+                updates += 40;
+                sample(i, updates, 7)
+            })
+            .collect();
+        let leaky = TraceSegment {
+            label: "C".into(),
+            exact_rates: false,
+            aggregate: true,
+            samples: leaking,
+            spans: Vec::new(),
+            end: Some((
+                150.0,
+                Counters {
+                    agg_rate_updates: updates,
+                    rate_recomputes: 7,
+                    ..Default::default()
+                },
+            )),
+        };
+        let mut out = Vec::new();
+        leaky.detect_anomalies(&mut out);
+        let all = out.join("\n");
+        assert!(
+            all.contains("per-peer rate recomputes in aggregate mode"),
+            "{all}"
+        );
     }
 
     /// Result-writing commands refuse to clobber without `--force`.

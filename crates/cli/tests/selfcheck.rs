@@ -7,7 +7,10 @@ use std::process::Command;
 const BIN: &str = env!("CARGO_BIN_EXE_btfluid");
 
 fn run(args: &[&str]) -> (i32, String, String) {
-    let out = Command::new(BIN).args(args).output().expect("spawn btfluid");
+    let out = Command::new(BIN)
+        .args(args)
+        .output()
+        .expect("spawn btfluid");
     (
         out.status.code().expect("exit code"),
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -27,7 +30,10 @@ fn selfcheck_quick_tier_is_green() {
         stdout.contains("mutation-canary") && stdout.contains("cli-arg-round-trip"),
         "expected checks missing from table:\n{stdout}"
     );
-    assert!(!stdout.contains("FAIL"), "table reports failures:\n{stdout}");
+    assert!(
+        !stdout.contains("FAIL"),
+        "table reports failures:\n{stdout}"
+    );
 }
 
 #[test]

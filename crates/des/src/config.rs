@@ -173,6 +173,25 @@ pub struct DesConfig {
     /// panic. O(peers) per event — meant for tests and debugging, not
     /// production sweeps. Does not perturb the simulated trajectory.
     pub checked: bool,
+    /// Class-aggregated completion scheduling: instead of one heap deadline
+    /// per active download, the engine keeps **one** exponential completion
+    /// event per (file, class, upload-band) group, keyed by the group's
+    /// total service rate, and samples *which* member completed uniformly
+    /// at pop time. The event queue then holds O(classes·files) completion
+    /// entries instead of O(peers), making the per-event cost roughly flat
+    /// in the swarm size.
+    ///
+    /// Peers inside a group are rate-homogeneous under the paper's fluid
+    /// service model, so uniform member sampling is unbiased and the
+    /// per-class *mean* populations and sojourn times match the per-peer
+    /// path within statistical tolerance (deterministic residual work is
+    /// replaced by an exponential with the same mean — the class-level
+    /// Markov description). Trajectories are **not** bit-identical to the
+    /// per-peer path; snapshot/resume stays bit-identical *within* the
+    /// mode. Mutually exclusive with [`DesConfig::exact_rates`] and with
+    /// Adapt (which needs per-peer progress accounting); requires `K ≤ 64`
+    /// (collaborative source sets are tracked as 64-bit file masks).
+    pub aggregate: bool,
 }
 
 impl DesConfig {
@@ -194,6 +213,7 @@ impl DesConfig {
             record_every: None,
             exact_rates: false,
             checked: false,
+            aggregate: false,
         })
     }
 
@@ -265,6 +285,33 @@ impl DesConfig {
                 });
             }
         }
+        if self.aggregate {
+            if self.exact_rates {
+                return Err(NumError::InvalidInput {
+                    what: "DesConfig",
+                    detail: "aggregate and exact_rates are mutually exclusive \
+                             (aggregate mode has no per-peer rates to recompute)"
+                        .into(),
+                });
+            }
+            if self.adapt.is_some() {
+                return Err(NumError::InvalidInput {
+                    what: "DesConfig",
+                    detail: "aggregate mode is incompatible with Adapt \
+                             (the controller needs per-peer progress accounting)"
+                        .into(),
+                });
+            }
+            if self.model.k() > 64 {
+                return Err(NumError::InvalidInput {
+                    what: "DesConfig",
+                    detail: format!(
+                        "aggregate mode requires K <= 64 (file masks are u64), got {}",
+                        self.model.k()
+                    ),
+                });
+            }
+        }
         Ok(())
     }
 }
@@ -326,6 +373,27 @@ mod tests {
 
         let mut cfg = DesConfig::paper_small(SchemeKind::Cmfsd { rho: 0.0 }, 0.5, 1).unwrap();
         cfg.adapt = Some(setup);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn aggregate_mode_constraints() {
+        let mut cfg = DesConfig::paper_small(SchemeKind::Mtsd, 0.5, 1).unwrap();
+        cfg.aggregate = true;
+        assert!(cfg.validate().is_ok());
+
+        cfg.exact_rates = true;
+        assert!(cfg.validate().is_err(), "aggregate excludes exact_rates");
+
+        let mut cfg = DesConfig::paper_small(SchemeKind::Cmfsd { rho: 0.5 }, 0.5, 1).unwrap();
+        cfg.aggregate = true;
+        cfg.adapt = Some(AdaptSetup {
+            controller: AdaptConfig::default_for_mu(0.02),
+            epoch: 10.0,
+            cheater_fraction: 0.0,
+        });
+        assert!(cfg.validate().is_err(), "aggregate excludes Adapt");
+        cfg.adapt = None;
         assert!(cfg.validate().is_ok());
     }
 

@@ -30,9 +30,10 @@
 //! `equivalence` integration test over all four schemes.
 
 use crate::adapt::assign_arrival_policy;
+use crate::agg::AggCache;
 use crate::config::{DesConfig, OrderPolicy, SchemeKind};
 use crate::error::{DesError, InvariantKind};
-use crate::event_queue::{Entry, EventQueue, RANK_COMPLETION, RANK_EXPIRY};
+use crate::event_queue::{Entry, EventQueue, RANK_AGG, RANK_COMPLETION, RANK_EXPIRY};
 use crate::hook::ScenarioHook;
 use crate::observer::{AbortRecord, SimOutcome, UserRecord};
 use crate::peer::{Peer, Phase};
@@ -66,6 +67,12 @@ enum Event {
     Control,
 }
 
+/// One Exp(1) draw from the open-interval uniform: the hazard target of
+/// an aggregate completion group.
+fn exp1(rng: &mut Xoshiro256StarStar) -> f64 {
+    -rng.next_f64_open().ln()
+}
+
 /// A configured, runnable simulation.
 pub struct Simulation {
     cfg: DesConfig,
@@ -83,6 +90,15 @@ pub struct Simulation {
     user_counter: u64,
     outcome: SimOutcome,
     cache: RateCache,
+    /// Class-aggregated scheduling state ([`DesConfig::aggregate`]); the
+    /// per-peer `cache` stays allocated but inert while this is `Some`.
+    agg: Option<AggCache>,
+    /// Dedicated RNG stream for aggregate-mode draws (stream 3): member
+    /// sampling and Exp(1) hazard targets. Never drawn in per-peer mode,
+    /// so per-peer trajectories are unchanged by its existence.
+    rng_agg: Xoshiro256StarStar,
+    /// Scratch buffer for changed-group ids (aggregate mode).
+    agg_changed: Vec<u32>,
     queue: EventQueue,
     /// Monotone stamp source for queue entries (0 means "no entry").
     next_stamp: u64,
@@ -163,6 +179,19 @@ impl Simulation {
         let k = cfg.model.k() as usize;
         let next_epoch = cfg.adapt.as_ref().map(|a| a.epoch);
         let cache = RateCache::new(k, cfg.scheme, &cfg.params, cfg.origin_seeds);
+        let mut rng_agg = Xoshiro256StarStar::stream(cfg.seed, 3);
+        let agg = if cfg.aggregate {
+            let mut a = AggCache::new(k, cfg.scheme, &cfg.params, cfg.origin_seeds);
+            // Eager Exp(1) target draws for every group: a fixed 2·K²
+            // draws at t = 0, so the stream phase is independent of the
+            // order groups first become non-empty.
+            for g in 0..a.n_groups() as u32 {
+                a.set_initial_target(g, exp1(&mut rng_agg));
+            }
+            Some(a)
+        } else {
+            None
+        };
         let holders = vec![cfg.origin_seeds; k];
         let origin_now = cfg.origin_seeds;
         let mut sim = Self {
@@ -180,6 +209,9 @@ impl Simulation {
             user_counter: 0,
             outcome: SimOutcome::new(k),
             cache,
+            agg,
+            rng_agg,
+            agg_changed: Vec::new(),
             queue: EventQueue::new(),
             next_stamp: 1,
             live: 0,
@@ -211,9 +243,9 @@ impl Simulation {
         };
         if sim.cfg.warm_start {
             sim.populate_from_fluid()?;
-            sim.cache.grow(sim.peers.len());
+            sim.cache_grow(sim.peers.len());
             for idx in 0..sim.peers.len() {
-                sim.cache.register(idx, &sim.peers);
+                sim.cache_register(idx);
                 sim.add_counters(idx);
                 for s in 0..sim.peers[idx].class() {
                     if sim.peers[idx].finished(s) {
@@ -353,15 +385,23 @@ impl Simulation {
                 present += 1;
             }
         }
+        let (weight, pool_real, pool_virtual) = match self.agg.as_ref() {
+            Some(agg) => (agg.weight(), agg.pool_real(), agg.pool_virtual()),
+            None => (
+                self.cache.weight(),
+                self.cache.pool_real(),
+                self.cache.pool_virtual(),
+            ),
+        };
         probe.on_sample(&Sample {
             t: self.t,
             events: self.outcome.events,
             downloaders: &self.dl_peers,
             download_pairs: &self.dl_pairs,
             seed_pairs: &self.seed_pairs,
-            weight: self.cache.weight(),
-            pool_real: self.cache.pool_real(),
-            pool_virtual: self.cache.pool_virtual(),
+            weight,
+            pool_real,
+            pool_virtual,
             rho_mean: if present > 0 {
                 rho_sum / present as f64
             } else {
@@ -637,6 +677,22 @@ impl Simulation {
             .iter_mut()
             .map(|p| p.adapt.take().map(|c| c.raw_state()))
             .collect();
+        let agg = self.agg.as_ref().map(|a| snapshot::AggSnap {
+            rng_agg: self.rng_agg.state(),
+            groups: (0..a.n_groups() as u32)
+                .map(|g| {
+                    let (target, acc, anchor) = a.group_hazard(g);
+                    snapshot::GroupSnap {
+                        target,
+                        acc,
+                        anchor,
+                        deadline: a.group_deadline(g),
+                        stamp: a.group_stamp(g),
+                        members: (0..a.group_len(g)).map(|i| a.group_member(g, i)).collect(),
+                    }
+                })
+                .collect(),
+        });
         Snapshot {
             config_digest: snapshot::config_digest(&self.cfg),
             hook_fp: snapshot::hook_fingerprint(self.hook.as_deref()),
@@ -664,6 +720,7 @@ impl Simulation {
             counters: self.counters,
             next_sample: self.next_sample,
             last_delta: self.last_delta,
+            agg,
         }
     }
 
@@ -740,6 +797,30 @@ impl Simulation {
             .into());
         }
         let origin_now = snap.origin_now as usize;
+        if cfg.aggregate != snap.agg.is_some() {
+            return Err(SnapshotError::Corrupt(
+                "aggregate section does not match the config's aggregate flag".into(),
+            )
+            .into());
+        }
+        let rng_agg = match &snap.agg {
+            Some(a) => {
+                if a.rng_agg == [0; 4] {
+                    return Err(SnapshotError::Corrupt("all-zero RNG stream state".into()).into());
+                }
+                Xoshiro256StarStar::from_state(a.rng_agg)
+            }
+            // Per-peer runs never draw from this stream; seed it exactly
+            // as a fresh construction would.
+            None => Xoshiro256StarStar::stream(cfg.seed, 3),
+        };
+        let agg = if cfg.aggregate {
+            let mut a = AggCache::new(k, cfg.scheme, &cfg.params, cfg.origin_seeds);
+            a.set_origin_seeds(origin_now);
+            Some(a)
+        } else {
+            None
+        };
         let mut sim = Self {
             rng_arrivals: Xoshiro256StarStar::from_state(snap.rng_states[0]),
             rng_service: Xoshiro256StarStar::from_state(snap.rng_states[1]),
@@ -755,6 +836,9 @@ impl Simulation {
             user_counter: snap.user_counter,
             outcome: snap.outcome.clone(),
             cache: RateCache::new(k, cfg.scheme, &cfg.params, cfg.origin_seeds),
+            agg,
+            rng_agg,
+            agg_changed: Vec::new(),
             queue: EventQueue::new(),
             next_stamp: snap.next_stamp,
             live: 0,
@@ -804,8 +888,12 @@ impl Simulation {
         // Rebuild the derived structures: cache memberships, population
         // counters, holder counts, and the event heap (from the per-peer
         // stamp bookkeeping, preserving stamp values).
-        sim.cache.grow(sim.peers.len());
-        sim.cache.set_origin_seeds(origin_now);
+        let n_slab = sim.peers.len();
+        sim.cache_grow(n_slab);
+        if sim.agg.is_none() {
+            sim.cache.set_origin_seeds(origin_now);
+        }
+        let aggregate = sim.agg.is_some();
         for idx in 0..sim.peers.len() {
             if sim.peers[idx].phase == Phase::Departed {
                 let p = &sim.peers[idx];
@@ -817,7 +905,7 @@ impl Simulation {
                 }
                 continue;
             }
-            sim.cache.register(idx, &sim.peers);
+            sim.cache_register(idx);
             sim.add_counters(idx);
             for s in 0..sim.peers[idx].class() {
                 if sim.peers[idx].finished(s) {
@@ -825,6 +913,12 @@ impl Simulation {
                 }
             }
             let peer = &sim.peers[idx];
+            if aggregate && peer.comp_stamp.iter().any(|&s| s != 0) {
+                return Err(SnapshotError::Corrupt(format!(
+                    "peer {idx}: per-peer completion armed in an aggregate snapshot"
+                ))
+                .into());
+            }
             for s in 0..peer.class() {
                 if peer.comp_stamp[s] == 0 {
                     continue;
@@ -871,10 +965,77 @@ impl Simulation {
                 sim.live += 1;
             }
         }
+        let t = sim.t;
+        if let Some(snap_agg) = snap.agg.as_ref() {
+            // Aggregate rebuild: recompute group rates from the registered
+            // memberships, then install the serialized sampling order and
+            // hazard state. The registration order above generally differs
+            // from the live order (members move under swap_remove), so the
+            // member lists are overwritten — after verifying they hold the
+            // same multiset.
+            {
+                let agg = sim.agg.as_mut().expect("aggregate snapshot section");
+                let mut changed = Vec::new();
+                agg.refresh(t, true, &mut changed);
+                let _ = agg.take_stats();
+                if snap_agg.groups.len() != agg.n_groups() {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "snapshot carries {} groups, config implies {}",
+                        snap_agg.groups.len(),
+                        agg.n_groups()
+                    ))
+                    .into());
+                }
+                for (gi, gs) in snap_agg.groups.iter().enumerate() {
+                    let g = gi as u32;
+                    agg.install_members(g, &gs.members)
+                        .map_err(SnapshotError::Corrupt)?;
+                    agg.install_hazard(g, gs.target, gs.acc, gs.anchor, gs.deadline, gs.stamp);
+                }
+            }
+            // Every armed group must satisfy the hazard identity
+            // `deadline = anchor + (target − acc) / rate` bitwise against
+            // the *rebuilt* rate — the aggregate analogue of the per-peer
+            // no-op-refresh check below: a mismatch means the snapshot and
+            // the cache's resummation contract disagree.
+            let agg = sim.agg.as_ref().expect("aggregate snapshot section");
+            for (gi, gs) in snap_agg.groups.iter().enumerate() {
+                let g = gi as u32;
+                if gs.stamp == 0 {
+                    continue;
+                }
+                if !gs.deadline.is_finite() {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "group {g}: armed aggregate entry at {}",
+                        gs.deadline
+                    ))
+                    .into());
+                }
+                let expect = gs.anchor + (gs.target - gs.acc) / agg.group_rate(g);
+                if expect.to_bits() != gs.deadline.to_bits() {
+                    return Err(DesError::Invariant {
+                        kind: InvariantKind::RateCacheDrift,
+                        t,
+                        detail: format!(
+                            "restore: group {g} deadline {} rebuilt as {expect}",
+                            gs.deadline
+                        ),
+                    });
+                }
+                sim.queue.push(Entry {
+                    time: gs.deadline,
+                    rank: RANK_AGG,
+                    peer: g,
+                    slot: 0,
+                    stamp: gs.stamp,
+                });
+                sim.live += 1;
+            }
+            return Ok(sim);
+        }
         // The rebuild refresh must be a bitwise no-op: every recomputed
         // rate has to reproduce the serialized value. Anything else means
         // the snapshot and the cache's resummation contract disagree.
-        let t = sim.t;
         let mut changed = Vec::new();
         sim.cache.refresh(&mut sim.peers, t, false, &mut changed);
         // The rebuild refresh is restore machinery, not simulated work:
@@ -989,6 +1150,48 @@ impl Simulation {
                 }
             }
         }
+        if let Some(agg) = self.agg.as_ref() {
+            // Aggregate mode: completions are armed per group, not per
+            // (peer, slot), and the per-peer rate fields must stay at their
+            // untouched zeros — the group cache owns all service rates.
+            for (idx, p) in self.peers.iter().enumerate() {
+                if p.phase == Phase::Departed {
+                    continue;
+                }
+                if p.comp_stamp.iter().any(|&s| s != 0) {
+                    return violation(
+                        InvariantKind::QueueInconsistency,
+                        format!("peer {idx}: per-peer completion armed in aggregate mode"),
+                    );
+                }
+                if p.rate.iter().any(|&r| r != 0.0)
+                    || p.vs_rate.iter().any(|&r| r != 0.0)
+                    || p.donation_rate != 0.0
+                {
+                    return violation(
+                        InvariantKind::RateCacheDrift,
+                        format!("peer {idx}: per-peer rates populated in aggregate mode"),
+                    );
+                }
+            }
+            armed += (0..agg.n_groups() as u32)
+                .filter(|&g| agg.group_stamp(g) != 0)
+                .count();
+            if armed != self.live {
+                return violation(
+                    InvariantKind::QueueInconsistency,
+                    format!("live counter {} vs {armed} armed stamps", self.live),
+                );
+            }
+            // Group rates and integer aggregates vs. a from-scratch rebuild.
+            return agg
+                .audit(&self.peers)
+                .map_err(|detail| DesError::Invariant {
+                    kind: InvariantKind::RateCacheDrift,
+                    t: self.t,
+                    detail,
+                });
+        }
         if armed != self.live {
             return violation(
                 InvariantKind::QueueInconsistency,
@@ -1079,18 +1282,47 @@ impl Simulation {
                     self.queue.push(Entry { time: due, ..e });
                     continue;
                 }
+            } else if e.rank == RANK_AGG {
+                // Same lazy-later correction, keyed on the group's hazard
+                // deadline rather than a per-peer comp_time.
+                let due = self
+                    .agg
+                    .as_ref()
+                    .expect("RANK_AGG entry outside aggregate mode")
+                    .group_deadline(e.peer);
+                if e.time < due {
+                    self.queue.pop();
+                    self.queue.push(Entry { time: due, ..e });
+                    continue;
+                }
             }
             if e.time < t_best {
                 self.queue.pop();
                 self.counters.events_popped += 1;
                 self.live -= 1;
-                let peer = &mut self.peers[e.peer as usize];
-                if e.rank == RANK_COMPLETION {
-                    peer.comp_stamp[e.slot as usize] = 0;
-                    best = Event::Completion(e.peer as usize, e.slot as usize);
+                if e.rank == RANK_AGG {
+                    // Aggregate completion: the group's total hazard fired;
+                    // only now decide *which* member finished. Canonical draw
+                    // order — member index first, replacement Exp(1) target
+                    // second — is part of the reproducibility contract.
+                    let agg = self.agg.as_mut().expect("agg entry without cache");
+                    let n = agg.group_len(e.peer);
+                    debug_assert!(n > 0, "armed aggregate group with no members");
+                    let i = self.rng_agg.next_below(n as u64) as usize;
+                    let (p, s) = agg.group_member(e.peer, i);
+                    let target = exp1(&mut self.rng_agg);
+                    agg.on_pop(e.peer, target, e.time);
+                    self.counters.agg_samples += 1;
+                    best = Event::Completion(p as usize, s as usize);
                 } else {
-                    peer.expiry_stamp = 0;
-                    best = Event::SeedExpiry(e.peer as usize);
+                    let peer = &mut self.peers[e.peer as usize];
+                    if e.rank == RANK_COMPLETION {
+                        peer.comp_stamp[e.slot as usize] = 0;
+                        best = Event::Completion(e.peer as usize, e.slot as usize);
+                    } else {
+                        peer.expiry_stamp = 0;
+                        best = Event::SeedExpiry(e.peer as usize);
+                    }
                 }
                 t_best = e.time;
             }
@@ -1103,6 +1335,9 @@ impl Simulation {
     /// every download whose rate changed and compacts the heap when stale
     /// entries dominate.
     fn refresh_rates(&mut self, force: bool) {
+        if self.agg.is_some() {
+            return self.refresh_rates_agg(force);
+        }
         let mut changed = std::mem::take(&mut self.changed_buf);
         self.cache
             .refresh(&mut self.peers, self.t, force, &mut changed);
@@ -1145,6 +1380,57 @@ impl Simulation {
         }
         changed.clear();
         self.changed_buf = changed;
+        self.compact_queue();
+    }
+
+    /// Aggregate-mode counterpart of [`Self::refresh_rates`]: refreshes the
+    /// class-group cache and (re)arms one hazard deadline per changed group
+    /// instead of one per (peer, slot). The lazy-later trick carries over
+    /// unchanged — a deadline that only moved later is recorded on the group
+    /// and corrected when the stale heap entry surfaces.
+    fn refresh_rates_agg(&mut self, force: bool) {
+        let mut changed = std::mem::take(&mut self.agg_changed);
+        let agg = self.agg.as_mut().expect("refresh_rates_agg without cache");
+        agg.refresh(self.t, force, &mut changed);
+        let (updates, clean) = agg.take_stats();
+        self.counters.agg_rate_updates += updates;
+        self.counters.rate_clean_hits += clean;
+        for &g in &changed {
+            let grp = agg.group_mut(g);
+            let armed = grp.stamp != 0;
+            if grp.rate > 0.0 && !grp.peers.is_empty() {
+                let time = grp.anchor + (grp.target - grp.acc) / grp.rate;
+                if armed && time >= grp.deadline {
+                    grp.deadline = time;
+                    continue;
+                }
+                if !armed {
+                    self.live += 1;
+                }
+                let stamp = self.next_stamp;
+                self.next_stamp += 1;
+                grp.stamp = stamp;
+                grp.deadline = time;
+                self.queue.push(Entry {
+                    time,
+                    rank: RANK_AGG,
+                    peer: g,
+                    slot: 0,
+                    stamp,
+                });
+            } else if armed {
+                grp.stamp = 0;
+                grp.deadline = f64::INFINITY;
+                self.live -= 1;
+            }
+        }
+        changed.clear();
+        self.agg_changed = changed;
+        self.compact_queue();
+    }
+
+    /// Drops stale entries when they dominate the heap.
+    fn compact_queue(&mut self) {
         if self.queue.len() > 256 && self.queue.len() > 4 * self.live {
             for e in self.queue.drain() {
                 if self.entry_is_live(&e) {
@@ -1159,11 +1445,42 @@ impl Simulation {
     /// never match — but its slot index may exceed the class of a peer
     /// that has since recycled the slab position, hence the bounds guard.
     fn entry_is_live(&self, e: &Entry) -> bool {
-        let p = &self.peers[e.peer as usize];
-        if e.rank == RANK_COMPLETION {
-            p.comp_stamp.get(e.slot as usize) == Some(&e.stamp)
+        match e.rank {
+            RANK_AGG => self
+                .agg
+                .as_ref()
+                .is_some_and(|a| a.group_stamp(e.peer) == e.stamp),
+            RANK_COMPLETION => {
+                self.peers[e.peer as usize].comp_stamp.get(e.slot as usize) == Some(&e.stamp)
+            }
+            _ => self.peers[e.peer as usize].expiry_stamp == e.stamp,
+        }
+    }
+
+    /// Routes a peer registration to the active rate structure.
+    fn cache_register(&mut self, idx: usize) {
+        if let Some(agg) = self.agg.as_mut() {
+            agg.register(idx, &self.peers);
         } else {
-            p.expiry_stamp == e.stamp
+            self.cache.register(idx, &self.peers);
+        }
+    }
+
+    /// Routes a peer deregistration to the active rate structure.
+    fn cache_deregister(&mut self, idx: usize) {
+        if let Some(agg) = self.agg.as_mut() {
+            agg.deregister(idx, &self.peers);
+        } else {
+            self.cache.deregister(idx, &self.peers);
+        }
+    }
+
+    /// Grows the active rate structure's per-peer bookkeeping.
+    fn cache_grow(&mut self, n: usize) {
+        if let Some(agg) = self.agg.as_mut() {
+            agg.grow(n);
+        } else {
+            self.cache.grow(n);
         }
     }
 
@@ -1191,7 +1508,7 @@ impl Simulation {
             self.live -= 1;
         }
         let was_downloading = peer.phase == Phase::Downloading;
-        self.cache.deregister(idx, &self.peers);
+        self.cache_deregister(idx);
         was_downloading
     }
 
@@ -1202,7 +1519,7 @@ impl Simulation {
         // A departed tombstone has no memberships and its slab slot may be
         // recycled; leave it deregistered.
         if self.peers[idx].phase != Phase::Departed {
-            self.cache.register(idx, &self.peers);
+            self.cache_register(idx);
         }
         self.add_counters(idx);
         let t = self.t;
@@ -1314,8 +1631,9 @@ impl Simulation {
             idx
         } else {
             self.peers.push(peer);
-            self.cache.grow(self.peers.len());
-            self.peers.len() - 1
+            let n = self.peers.len();
+            self.cache_grow(n);
+            n - 1
         }
     }
 
@@ -1411,7 +1729,7 @@ impl Simulation {
         );
         let idx = self.alloc_peer(peer);
         self.apply_order_policy(idx);
-        self.cache.register(idx, &self.peers);
+        self.cache_register(idx);
         self.add_counters(idx);
         self.reschedule_expiry(idx);
         self.outcome.arrivals += 1;
@@ -1683,7 +2001,11 @@ impl Simulation {
             // subtraction cannot underflow.
             *h = *h + n - old;
         }
-        self.cache.set_origin_seeds(n);
+        if let Some(agg) = self.agg.as_mut() {
+            agg.set_origin_seeds(n);
+        } else {
+            self.cache.set_origin_seeds(n);
+        }
         self.origin_now = n;
     }
 

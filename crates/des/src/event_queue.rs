@@ -21,15 +21,22 @@ use std::collections::BinaryHeap;
 pub const RANK_COMPLETION: u8 = 0;
 /// Rank of a seed-expiry / departure entry.
 pub const RANK_EXPIRY: u8 = 1;
+/// Rank of an aggregate group-completion entry (aggregate scheduling mode;
+/// `Entry::peer` carries the group id). Ties behind per-peer events so the
+/// tie-break order stays deterministic; the two kinds never coexist in one
+/// run, so the relative rank is a convention, not a semantic choice.
+pub const RANK_AGG: u8 = 2;
 
 /// One scheduled future event.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Entry {
     /// Absolute simulation time at which the event fires.
     pub time: f64,
-    /// Tie-break rank: [`RANK_COMPLETION`] before [`RANK_EXPIRY`].
+    /// Tie-break rank: [`RANK_COMPLETION`] before [`RANK_EXPIRY`] before
+    /// [`RANK_AGG`].
     pub rank: u8,
-    /// Slab index of the peer the event belongs to.
+    /// Slab index of the peer the event belongs to, or the group id for
+    /// [`RANK_AGG`] entries.
     pub peer: u32,
     /// Slot index (completions only; 0 for expiries).
     pub slot: u32,
@@ -144,6 +151,16 @@ mod tests {
             order,
             vec![(RANK_COMPLETION, 3), (RANK_COMPLETION, 9), (RANK_EXPIRY, 0)]
         );
+    }
+
+    #[test]
+    fn agg_rank_ties_behind_per_peer_ranks() {
+        let mut q = EventQueue::new();
+        q.push(entry(5.0, RANK_AGG, 0, 1));
+        q.push(entry(5.0, RANK_EXPIRY, 0, 2));
+        q.push(entry(5.0, RANK_COMPLETION, 0, 3));
+        let order: Vec<u8> = std::iter::from_fn(|| q.pop()).map(|e| e.rank).collect();
+        assert_eq!(order, vec![RANK_COMPLETION, RANK_EXPIRY, RANK_AGG]);
     }
 
     #[test]

@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod adapt;
+pub mod agg;
 pub mod chunklevel;
 pub mod config;
 pub mod engine;
@@ -69,6 +70,7 @@ pub mod replicate;
 pub mod single;
 pub mod snapshot;
 
+pub use agg::AggCache;
 pub use chunklevel::{estimate_eta, ChunkLevelConfig, EtaEstimate};
 pub use config::{AdaptSetup, DesConfig, OrderPolicy, SchemeKind};
 pub use engine::Simulation;

@@ -220,6 +220,88 @@ impl Peer {
     }
 }
 
+/// Structure-of-arrays map from `(peer slab index, slot)` to the peer's
+/// position inside an aggregate group's member list.
+///
+/// Aggregate scheduling keeps one member list per (file, class, band)
+/// group and needs O(1) deregistration of an arbitrary `(peer, slot)`
+/// download from its group (the lists use `swap_remove`). Storing the
+/// back-references on the `Peer` struct would drag two more `Vec`s through
+/// every cache line the hot loop touches; this arena keeps them in two
+/// flat parallel arrays indexed `peer · K + slot`, sized like the slab and
+/// reused across the free list exactly as the slab itself is.
+#[derive(Debug, Default, Clone)]
+pub struct SlotArena {
+    /// Slots per peer (the workload's `K`; a peer's class never exceeds it).
+    k: usize,
+    /// Group id per flat index; [`SlotArena::NONE`] when unregistered.
+    group: Vec<u32>,
+    /// Position inside the group's member list, parallel to `group`.
+    pos: Vec<u32>,
+}
+
+impl SlotArena {
+    /// Sentinel for "this (peer, slot) is not in any group".
+    pub const NONE: u32 = u32::MAX;
+
+    /// Creates an arena for peers with at most `k` slots each.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            group: Vec::new(),
+            pos: Vec::new(),
+        }
+    }
+
+    fn flat(&self, peer: usize, slot: usize) -> usize {
+        debug_assert!(slot < self.k, "slot {slot} out of range (K = {})", self.k);
+        peer * self.k + slot
+    }
+
+    /// Grows the arena to cover `peers` slab entries (new cells empty).
+    pub fn ensure_peers(&mut self, peers: usize) {
+        let want = peers * self.k;
+        if self.group.len() < want {
+            self.group.resize(want, Self::NONE);
+            self.pos.resize(want, 0);
+        }
+    }
+
+    /// Records that `(peer, slot)` sits at `pos` in group `group`.
+    pub fn set(&mut self, peer: usize, slot: usize, group: u32, pos: u32) {
+        let i = self.flat(peer, slot);
+        self.group[i] = group;
+        self.pos[i] = pos;
+    }
+
+    /// Looks up `(group, pos)` for `(peer, slot)`; `None` if unregistered.
+    pub fn get(&self, peer: usize, slot: usize) -> Option<(u32, u32)> {
+        let i = self.flat(peer, slot);
+        match self.group.get(i) {
+            Some(&g) if g != Self::NONE => Some((g, self.pos[i])),
+            _ => None,
+        }
+    }
+
+    /// Clears the `(peer, slot)` cell, returning its previous `(group, pos)`.
+    pub fn clear(&mut self, peer: usize, slot: usize) -> Option<(u32, u32)> {
+        let i = self.flat(peer, slot);
+        match self.group.get(i) {
+            Some(&g) if g != Self::NONE => {
+                let p = self.pos[i];
+                self.group[i] = Self::NONE;
+                Some((g, p))
+            }
+            _ => None,
+        }
+    }
+
+    /// Drops all registrations, keeping capacity (snapshot restore).
+    pub fn reset(&mut self) {
+        self.group.fill(Self::NONE);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,5 +356,32 @@ mod tests {
         let mut p = peer3();
         p.cursor = 3;
         let _ = p.current_slot();
+    }
+
+    #[test]
+    fn slot_arena_set_get_clear() {
+        let mut a = SlotArena::new(4);
+        a.ensure_peers(3);
+        assert_eq!(a.get(2, 3), None);
+        a.set(2, 3, 17, 5);
+        assert_eq!(a.get(2, 3), Some((17, 5)));
+        // Neighbouring cells stay untouched (flat layout is peer·K + slot).
+        assert_eq!(a.get(2, 2), None);
+        assert_eq!(a.get(1, 3), None);
+        assert_eq!(a.clear(2, 3), Some((17, 5)));
+        assert_eq!(a.get(2, 3), None);
+        assert_eq!(a.clear(2, 3), None);
+    }
+
+    #[test]
+    fn slot_arena_growth_and_reset() {
+        let mut a = SlotArena::new(2);
+        a.ensure_peers(1);
+        a.set(0, 1, 3, 0);
+        a.ensure_peers(10);
+        assert_eq!(a.get(0, 1), Some((3, 0)), "growth preserves cells");
+        assert_eq!(a.get(9, 1), None);
+        a.reset();
+        assert_eq!(a.get(0, 1), None);
     }
 }

@@ -65,11 +65,17 @@ use std::fmt;
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"BTFS";
-/// Current snapshot format version (see the module docs for the policy).
-/// v2 added the telemetry counters and sampler phase (`next_sample`,
-/// `last_delta`) so resumed runs emit the same trace tail as
-/// uninterrupted ones.
+/// Snapshot format version of per-peer-scheduling runs (see the module
+/// docs for the policy). v2 added the telemetry counters and sampler
+/// phase (`next_sample`, `last_delta`) so resumed runs emit the same
+/// trace tail as uninterrupted ones.
 pub const SNAPSHOT_VERSION: u32 = 2;
+/// Snapshot format version of aggregate-scheduling runs: the v2 payload
+/// followed by the aggregate section (sampling RNG state, the two
+/// aggregate counters, and per-group hazard state plus member order).
+/// Per-peer snapshots still encode as v2, byte-identical to previous
+/// builds; the bump only applies where the extra section is present.
+pub const SNAPSHOT_VERSION_AGG: u32 = 3;
 
 /// Why a snapshot could not be encoded, decoded, or applied.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,7 +106,8 @@ impl fmt::Display for SnapshotError {
             SnapshotError::BadMagic => write!(f, "snapshot: not a btfluid snapshot (bad magic)"),
             SnapshotError::UnsupportedVersion(v) => write!(
                 f,
-                "snapshot: unsupported format version {v} (this build reads {SNAPSHOT_VERSION})"
+                "snapshot: unsupported format version {v} (this build reads \
+                 {SNAPSHOT_VERSION} and {SNAPSHOT_VERSION_AGG})"
             ),
             SnapshotError::ChecksumMismatch => write!(f, "snapshot: checksum mismatch"),
             SnapshotError::ConfigMismatch => write!(
@@ -306,6 +313,12 @@ pub fn config_digest(cfg: &DesConfig) -> u64 {
     w.opt_f64(cfg.record_every);
     w.bool(cfg.exact_rates);
     w.bool(cfg.checked);
+    // Folded in only when set, so every pre-aggregate config digests to
+    // the same value as before the field existed (old checkpoints of
+    // per-peer runs stay restorable).
+    if cfg.aggregate {
+        w.u8(0xA6);
+    }
     fnv1a(&w.buf)
 }
 
@@ -371,6 +384,36 @@ pub struct Snapshot {
     pub(crate) next_sample: f64,
     /// Mean Adapt Δ observed at the most recent epoch (telemetry only).
     pub(crate) last_delta: f64,
+    /// Aggregate-scheduling section, present exactly when the run uses
+    /// aggregate mode (and then the file encodes as
+    /// [`SNAPSHOT_VERSION_AGG`]).
+    pub(crate) agg: Option<AggSnap>,
+}
+
+/// Aggregate-mode extension: everything the group cache cannot rebuild
+/// from the peer slab. Group *rates* and the integer aggregates are
+/// recomputed at restore (and verified against the armed deadlines); the
+/// hazard state and the member-list order are not derivable — the order
+/// decides which peer a uniform sample index selects — so both travel
+/// verbatim.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct AggSnap {
+    /// Aggregate-sampling RNG stream state.
+    pub(crate) rng_agg: [u64; 4],
+    /// One entry per group, in group-id order (length `2·K²`).
+    pub(crate) groups: Vec<GroupSnap>,
+}
+
+/// One group's serialized hazard state and member order.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct GroupSnap {
+    pub(crate) target: f64,
+    pub(crate) acc: f64,
+    pub(crate) anchor: f64,
+    pub(crate) deadline: f64,
+    pub(crate) stamp: u64,
+    /// `(peer slab index, slot)` pairs in sampling order.
+    pub(crate) members: Vec<(u32, u32)>,
 }
 
 impl Snapshot {
@@ -388,7 +431,11 @@ impl Snapshot {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = W::default();
         w.buf.extend_from_slice(MAGIC);
-        w.u32(SNAPSHOT_VERSION);
+        w.u32(if self.agg.is_some() {
+            SNAPSHOT_VERSION_AGG
+        } else {
+            SNAPSHOT_VERSION
+        });
         w.u64(self.config_digest);
         w.u64(self.hook_fp);
         w.f64(self.t);
@@ -460,6 +507,26 @@ impl Snapshot {
         w.u64(self.counters.snapshot_micros);
         w.f64(self.next_sample);
         w.f64(self.last_delta);
+        if let Some(agg) = &self.agg {
+            for &word in &agg.rng_agg {
+                w.u64(word);
+            }
+            w.u64(self.counters.agg_rate_updates);
+            w.u64(self.counters.agg_samples);
+            w.u64(agg.groups.len() as u64);
+            for g in &agg.groups {
+                w.f64(g.target);
+                w.f64(g.acc);
+                w.f64(g.anchor);
+                w.f64(g.deadline);
+                w.u64(g.stamp);
+                w.u64(g.members.len() as u64);
+                for &(p, s) in &g.members {
+                    w.u32(p);
+                    w.u32(s);
+                }
+            }
+        }
         let checksum = fnv1a(&w.buf);
         w.u64(checksum);
         w.buf
@@ -485,7 +552,7 @@ impl Snapshot {
         }
         let mut r = R::new(&body[4..]);
         let version = r.u32()?;
-        if version != SNAPSHOT_VERSION {
+        if version != SNAPSHOT_VERSION && version != SNAPSHOT_VERSION_AGG {
             return Err(SnapshotError::UnsupportedVersion(version));
         }
         let config_digest = r.u64()?;
@@ -552,7 +619,7 @@ impl Snapshot {
             b => return Err(SnapshotError::Corrupt(format!("bad option tag {b}"))),
         };
         let next_record = r.f64()?;
-        let counters = Counters {
+        let mut counters = Counters {
             events_popped: r.u64()?,
             stale_discards: r.u64()?,
             heap_peak: r.u64()?,
@@ -561,9 +628,42 @@ impl Snapshot {
             snapshots_taken: r.u64()?,
             snapshot_bytes: r.u64()?,
             snapshot_micros: r.u64()?,
+            ..Counters::default()
         };
         let next_sample = r.f64()?;
         let last_delta = r.f64()?;
+        let agg = if version == SNAPSHOT_VERSION_AGG {
+            let mut rng_agg = [0u64; 4];
+            for word in &mut rng_agg {
+                *word = r.u64()?;
+            }
+            counters.agg_rate_updates = r.u64()?;
+            counters.agg_samples = r.u64()?;
+            let n_groups = r.len(6 * 8)?;
+            let mut groups = Vec::with_capacity(n_groups);
+            for _ in 0..n_groups {
+                let target = r.f64()?;
+                let acc = r.f64()?;
+                let anchor = r.f64()?;
+                let deadline = r.f64()?;
+                let stamp = r.u64()?;
+                let n_members = r.len(8)?;
+                let members = (0..n_members)
+                    .map(|_| Ok((r.u32()?, r.u32()?)))
+                    .collect::<Result<_, SnapshotError>>()?;
+                groups.push(GroupSnap {
+                    target,
+                    acc,
+                    anchor,
+                    deadline,
+                    stamp,
+                    members,
+                });
+            }
+            Some(AggSnap { rng_agg, groups })
+        } else {
+            None
+        };
         r.done()?;
         for &i in &free {
             let ok = (i as usize) < peers.len() && peers[i as usize].phase == Phase::Departed;
@@ -596,6 +696,7 @@ impl Snapshot {
             counters,
             next_sample,
             last_delta,
+            agg,
         })
     }
 

@@ -4,7 +4,9 @@
 //! A property test cuts a run at a random event index, round-trips the
 //! snapshot through the on-disk byte format, resumes, and compares every
 //! field of the two outcomes by bits — across all four schemes plus
-//! CMFSD+Adapt, in both `exact_rates` modes, with trajectory recording on.
+//! CMFSD+Adapt, in both `exact_rates` modes, with trajectory recording on,
+//! plus two aggregate-scheduling variants (snapshot format v3): the
+//! bit-identity contract holds *within* each scheduling mode.
 
 use btfluid_core::adapt::AdaptConfig;
 use btfluid_des::config::{AdaptSetup, DesConfig, OrderPolicy, SchemeKind};
@@ -14,10 +16,11 @@ use btfluid_des::snapshot::{Snapshot, SnapshotError};
 use btfluid_des::DesError;
 use proptest::prelude::*;
 
-/// The five engine configurations the contract must hold for.
+/// The seven engine configurations the contract must hold for (5 and 6
+/// run under aggregate scheduling, which excludes `exact_rates`).
 fn variant_cfg(variant: usize, exact: bool, seed: u64) -> DesConfig {
     let scheme = match variant {
-        0 => SchemeKind::Mtsd,
+        0 | 5 => SchemeKind::Mtsd,
         1 => SchemeKind::Mtcd,
         2 => SchemeKind::Mfcd,
         _ => SchemeKind::Cmfsd { rho: 0.3 },
@@ -27,7 +30,8 @@ fn variant_cfg(variant: usize, exact: bool, seed: u64) -> DesConfig {
     cfg.warmup = 150.0;
     cfg.drain = 600.0;
     cfg.record_every = Some(25.0);
-    cfg.exact_rates = exact;
+    cfg.aggregate = variant >= 5;
+    cfg.exact_rates = exact && !cfg.aggregate;
     if variant == 4 {
         cfg.adapt = Some(AdaptSetup {
             controller: AdaptConfig::default_for_mu(cfg.params.mu()),
@@ -130,7 +134,7 @@ proptest! {
 
     #[test]
     fn resume_is_bit_identical(
-        variant in 0usize..5,
+        variant in 0usize..7,
         exact in 0usize..2,
         cut in 0usize..700,
         seed in 1u64..500,
@@ -182,6 +186,81 @@ fn checked_mode_resume_holds() {
     let straight = Simulation::new(cfg.clone()).unwrap().try_run().unwrap();
     let resumed = run_interrupted(cfg, 150);
     assert_bit_identical(&straight, &resumed);
+}
+
+#[test]
+fn aggregate_snapshot_encodes_as_v3_and_resumes_from_disk() {
+    // The aggregate analog of a SIGKILL mid-run: snapshot to disk, drop the
+    // engine, read the file back cold, and finish in a fresh process image.
+    let cfg = variant_cfg(6, false, 17);
+    let straight = run_straight(cfg.clone());
+
+    let mut sim = Simulation::new(cfg.clone()).unwrap();
+    for _ in 0..250 {
+        assert!(sim.step().unwrap());
+    }
+    let bytes = sim.snapshot().to_bytes();
+    assert_eq!(
+        u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+        3,
+        "aggregate snapshots carry format version 3"
+    );
+    let dir = std::env::temp_dir().join(format!("btfs-agg-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("mid.snap");
+    Snapshot::write_file_bytes(&path, &bytes).unwrap();
+    drop(sim);
+
+    let snap = Snapshot::read_file(&path).unwrap();
+    let mut resumed = Simulation::restore(cfg, &snap).unwrap();
+    while resumed.step().unwrap() {}
+    assert_bit_identical(&straight, &resumed.finish());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn per_peer_snapshot_still_encodes_as_v2() {
+    let cfg = variant_cfg(0, false, 17);
+    let mut sim = Simulation::new(cfg).unwrap();
+    for _ in 0..50 {
+        assert!(sim.step().unwrap());
+    }
+    let bytes = sim.snapshot().to_bytes();
+    assert_eq!(
+        u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+        2,
+        "per-peer snapshots keep format version 2"
+    );
+}
+
+#[test]
+fn aggregate_checked_mode_resume_holds() {
+    let mut cfg = variant_cfg(5, false, 23);
+    cfg.checked = true;
+    cfg.horizon = 300.0;
+    cfg.warmup = 100.0;
+    cfg.drain = 300.0;
+    let straight = Simulation::new(cfg.clone()).unwrap().try_run().unwrap();
+    let resumed = run_interrupted(cfg, 150);
+    assert_bit_identical(&straight, &resumed);
+}
+
+#[test]
+fn aggregate_snapshot_refused_for_per_peer_config() {
+    let cfg = variant_cfg(5, false, 29);
+    let mut sim = Simulation::new(cfg.clone()).unwrap();
+    for _ in 0..50 {
+        assert!(sim.step().unwrap());
+    }
+    let snap = sim.snapshot();
+    let mut other = cfg;
+    other.aggregate = false;
+    // The aggregate flag folds into the config digest, so offering the
+    // per-peer twin of the config must be refused outright.
+    match Simulation::restore(other, &snap).map(|_| ()) {
+        Err(DesError::Snapshot(SnapshotError::ConfigMismatch)) => {}
+        other => panic!("expected ConfigMismatch, got {other:?}"),
+    }
 }
 
 #[test]

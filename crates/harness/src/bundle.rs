@@ -235,6 +235,7 @@ pub fn config_to_json(cfg: &DesConfig) -> Json {
             cfg.record_every.map_or(Json::Null, Json::num_f64),
         ),
         ("exact_rates".into(), Json::Bool(cfg.exact_rates)),
+        ("aggregate".into(), Json::Bool(cfg.aggregate)),
         ("checked".into(), Json::Bool(cfg.checked)),
     ])
 }
@@ -307,6 +308,11 @@ pub fn config_from_json(doc: &Json) -> Result<DesConfig, HarnessError> {
         },
         record_every: opt_f("record_every")?,
         exact_rates: b("exact_rates")?,
+        // Absent in bundles written before aggregate mode existed.
+        aggregate: doc
+            .get("aggregate")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
         checked: b("checked")?,
     };
     cfg.validate()?;
@@ -336,6 +342,7 @@ mod tests {
             order_policy: OrderPolicy::RarestFirst,
             record_every: Some(25.0),
             exact_rates: true,
+            aggregate: false,
             checked: true,
         }
     }

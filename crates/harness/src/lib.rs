@@ -13,6 +13,9 @@
 //!   without sinking the sweep, and completed cells are journaled to an
 //!   append-only JSONL [`manifest`] so a restarted sweep skips exactly
 //!   the finished work.
+//! * [`shard::run_shards`] — a rayon-sharded batch driver: many whole
+//!   runs in parallel with compact in-memory summaries (no journal, no
+//!   checkpoints), for mode-equivalence checks and replication studies.
 //! * [`bundle::ReproBundle`] — a quarantined cell's config, seed,
 //!   scenario reference, and last checkpoint, packaged as a directory
 //!   that `btfluid repro <dir>` replays deterministically.
@@ -28,12 +31,14 @@ pub mod checkpoint;
 pub mod error;
 pub mod json;
 pub mod manifest;
+pub mod shard;
 pub mod supervisor;
 
 pub use bundle::{config_from_json, config_to_json, ReproBundle, ScenarioRef};
 pub use checkpoint::{drive, CheckpointPlan, RunEnd, RunLimits, RunReport};
 pub use error::HarnessError;
 pub use manifest::{CellRecord, CellStatus, ManifestWriter};
+pub use shard::{run_shards, ShardOutcome, ShardSpec};
 pub use supervisor::{
     bundle_path, run_sweep, Budget, CellResult, CellSpec, FailedCell, SupervisorConfig, SweepReport,
 };

@@ -104,6 +104,8 @@ fn counters_to_json(c: &Counters) -> Json {
         ("snapshots_taken".into(), Json::num_u64(c.snapshots_taken)),
         ("snapshot_bytes".into(), Json::num_u64(c.snapshot_bytes)),
         ("snapshot_micros".into(), Json::num_u64(c.snapshot_micros)),
+        ("agg_rate_updates".into(), Json::num_u64(c.agg_rate_updates)),
+        ("agg_samples".into(), Json::num_u64(c.agg_samples)),
     ])
 }
 
@@ -117,6 +119,12 @@ fn counters_from_json(v: &Json) -> Option<Counters> {
         snapshots_taken: v.get("snapshots_taken")?.as_u64()?,
         snapshot_bytes: v.get("snapshot_bytes")?.as_u64()?,
         snapshot_micros: v.get("snapshot_micros")?.as_u64()?,
+        // Absent in journals written before aggregate mode existed.
+        agg_rate_updates: v
+            .get("agg_rate_updates")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        agg_samples: v.get("agg_samples").and_then(Json::as_u64).unwrap_or(0),
     })
 }
 

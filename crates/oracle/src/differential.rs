@@ -9,8 +9,10 @@
 
 use crate::report::OracleConfig;
 use btfluid_des::{DesConfig, DesError, InvariantKind, SchemeKind, SimOutcome, Simulation};
-use btfluid_harness::{run_sweep, Budget, CellSpec, SupervisorConfig};
-use btfluid_scenario::{des_avg_downloaders, fluid_avg_downloaders, runner, ScenarioProgram};
+use btfluid_harness::{run_shards, run_sweep, Budget, CellSpec, ShardSpec, SupervisorConfig};
+use btfluid_scenario::{
+    des_avg_downloaders, fluid_avg_downloaders, runner, RateMode, ScenarioProgram,
+};
 use std::time::Duration;
 
 /// DES-vs-fluid tolerance: finite-size effects at `λ₀ = 0.25` leave the
@@ -87,7 +89,11 @@ pub fn exact_vs_incremental(cfg: &OracleConfig) -> Result<String, String> {
 /// A full `checked`-mode run: the per-event audit (rate finiteness, queue
 /// consistency, cache-vs-recompute agreement) must stay silent end to end.
 pub fn checked_run_is_clean(cfg: &OracleConfig) -> Result<String, String> {
-    let mut des = short(SchemeKind::Cmfsd { rho: 0.5 }, 0.5, cfg.seed.wrapping_add(7))?;
+    let mut des = short(
+        SchemeKind::Cmfsd { rho: 0.5 },
+        0.5,
+        cfg.seed.wrapping_add(7),
+    )?;
     des.checked = true;
     let outcome = run(des)?;
     Ok(format!(
@@ -118,12 +124,8 @@ pub fn mutation_canary(cfg: &OracleConfig) -> Result<String, String> {
                 }) => Ok(format!(
                     "seeded corruption detected as rate-cache drift at t = {t:.1}"
                 )),
-                Err(other) => Err(format!(
-                    "seeded corruption misclassified: {other}"
-                )),
-                Ok(()) => Err(
-                    "seeded rate-cache corruption went UNDETECTED by the audit".into(),
-                ),
+                Err(other) => Err(format!("seeded corruption misclassified: {other}")),
+                Ok(()) => Err("seeded rate-cache corruption went UNDETECTED by the audit".into()),
             };
         }
     }
@@ -132,13 +134,174 @@ pub fn mutation_canary(cfg: &OracleConfig) -> Result<String, String> {
     ))
 }
 
+/// Aggregate scheduling is a different *sampling* of the same stochastic
+/// model, so it cannot be compared record-by-record — but with the same
+/// seed it must reproduce itself exactly. Two aggregate runs of one config
+/// must be bit-identical, and the mode's counters must show it actually
+/// engaged (group samples observed, zero per-peer recomputes).
+pub fn aggregate_determinism(cfg: &OracleConfig) -> Result<String, String> {
+    let mut des = short(
+        SchemeKind::Cmfsd { rho: 0.5 },
+        0.5,
+        cfg.seed.wrapping_add(17),
+    )?;
+    des.aggregate = true;
+    let shards = run_shards(vec![
+        ShardSpec {
+            id: "a".into(),
+            cfg: des.clone(),
+        },
+        ShardSpec {
+            id: "b".into(),
+            cfg: des,
+        },
+    ])
+    .map_err(|e| e.to_string())?;
+    let (a, b) = (&shards[0], &shards[1]);
+    if a.events != b.events
+        || a.users != b.users
+        || a.avg_online_per_file.to_bits() != b.avg_online_per_file.to_bits()
+    {
+        return Err(format!(
+            "same-seed aggregate runs diverged: events {} vs {}, users {} vs {}, online/file {} vs {}",
+            a.events, b.events, a.users, b.users, a.avg_online_per_file, b.avg_online_per_file
+        ));
+    }
+    if a.counters.agg_samples == 0 {
+        return Err("aggregate run drew no group samples — mode did not engage".into());
+    }
+    if a.counters.rate_recomputes != 0 {
+        return Err(format!(
+            "aggregate run performed {} per-peer rate recomputes — per-peer path leaked in",
+            a.counters.rate_recomputes
+        ));
+    }
+    Ok(format!(
+        "2 same-seed aggregate runs bit-identical ({} events, {} users, {} group samples)",
+        a.events, a.users, a.counters.agg_samples
+    ))
+}
+
+/// Distribution equivalence of the two scheduling modes: aggregate
+/// replaces each peer's deterministic unit of residual work with an
+/// exponential of the same mean, so per-user records differ but the
+/// class-level *means* must agree. Pools several seeds per mode (sharded
+/// across the thread pool) and compares the mean online time per file.
+pub fn aggregate_vs_incremental_means(cfg: &OracleConfig) -> Result<String, String> {
+    const SEEDS: u64 = 4;
+    let schemes = [
+        ("MTSD", SchemeKind::Mtsd, 0.5),
+        ("CMFSD", SchemeKind::Cmfsd { rho: 0.5 }, 0.6),
+    ];
+    let mut details = Vec::new();
+    for (name, scheme, p) in schemes {
+        let mut specs = Vec::new();
+        for s in 0..SEEDS {
+            for aggregate in [false, true] {
+                let mut des = short(scheme, p, cfg.seed.wrapping_add(31 + s))?;
+                des.horizon = 1500.0;
+                des.drain = 1500.0;
+                des.aggregate = aggregate;
+                specs.push(ShardSpec {
+                    id: format!("{name}-{s}-{}", if aggregate { "agg" } else { "incr" }),
+                    cfg: des,
+                });
+            }
+        }
+        let shards = run_shards(specs).map_err(|e| e.to_string())?;
+        // Pool user-weighted means per mode.
+        let pool = |suffix: &str| -> (f64, usize) {
+            let mut online = 0.0;
+            let mut users = 0usize;
+            for sh in shards.iter().filter(|sh| sh.id.ends_with(suffix)) {
+                if sh.avg_online_per_file.is_finite() {
+                    online += sh.avg_online_per_file * sh.users as f64;
+                    users += sh.users;
+                }
+            }
+            (online / users.max(1) as f64, users)
+        };
+        let (incr, n_incr) = pool("incr");
+        let (agg, n_agg) = pool("agg");
+        if n_incr == 0 || n_agg == 0 {
+            return Err(format!("{name}: a mode produced no completed users"));
+        }
+        let rel = (agg - incr).abs() / incr.max(1e-9);
+        if rel >= DES_FLUID_REL_TOL {
+            return Err(format!(
+                "{name}: aggregate online/file {agg:.2} vs incremental {incr:.2} \
+                 (rel {rel:.3} ≥ {DES_FLUID_REL_TOL}, {n_agg}/{n_incr} users)"
+            ));
+        }
+        details.push(format!("{name} {agg:.1}≈{incr:.1} (rel {rel:.3})"));
+    }
+    Ok(format!(
+        "2 schemes × {SEEDS} seeds × 2 modes agree on mean online/file: {}",
+        details.join(", ")
+    ))
+}
+
+/// Processor-sharing insensitivity at fluid scale: the aggregate engine
+/// replaces each download's deterministic unit of work with an exponential
+/// of the same mean, and in a bandwidth-sharing network the time-averaged
+/// *download* populations are insensitive to that substitution. Runs the
+/// same stationary program MTCD in both scheduling modes (sharded in
+/// parallel) and compares the total active (peer,file) download pairs.
+///
+/// Peer-level counts are deliberately *not* compared for concurrent
+/// schemes: a peer departs at the max of its staggered completions, which
+/// the exponential model inflates (see DESIGN.md §14) — the per-download
+/// populations are the measure both modes must agree on.
+pub fn aggregate_insensitivity(cfg: &OracleConfig) -> Result<String, String> {
+    let program = ScenarioProgram::stationary("oracle-agg", 0.25, 0.4, 10, 4000.0, 800.0, 4000.0);
+    let per = program
+        .des_config(SchemeKind::Mtcd, cfg.seed)
+        .map_err(|e| e.to_string())?;
+    let mut agg = per.clone();
+    agg.aggregate = true;
+    let shards = run_shards(vec![
+        ShardSpec {
+            id: "per-peer".into(),
+            cfg: per,
+        },
+        ShardSpec {
+            id: "aggregate".into(),
+            cfg: agg,
+        },
+    ])
+    .map_err(|e| e.to_string())?;
+    let pairs =
+        |sh: &btfluid_harness::ShardOutcome| -> f64 { sh.class_download_pairs.iter().sum() };
+    let (p, a) = (pairs(&shards[0]), pairs(&shards[1]));
+    if shards[1].counters.agg_samples == 0 {
+        return Err("aggregate cell drew no group samples — mode did not engage".into());
+    }
+    let rel = (a - p).abs() / p.max(1e-9);
+    if rel < DES_FLUID_REL_TOL {
+        Ok(format!(
+            "MTCD download pairs: aggregate {a:.1} vs per-peer {p:.1} (rel {rel:.4} < {DES_FLUID_REL_TOL})"
+        ))
+    } else {
+        Err(format!(
+            "MTCD download pairs: aggregate {a:.1} vs per-peer {p:.1} (rel {rel:.4} ≥ {DES_FLUID_REL_TOL})"
+        ))
+    }
+}
+
 /// DES against the transient fluid ODE on a stationary program: the
 /// time-averaged downloading population must agree within
 /// [`DES_FLUID_REL_TOL`].
 pub fn des_vs_fluid_transient(cfg: &OracleConfig) -> Result<String, String> {
     let program = ScenarioProgram::stationary("oracle-fluid", 0.25, 0.4, 10, 4000.0, 800.0, 4000.0);
-    let run = runner::run_one(&program, SchemeKind::Mtcd, None, "MTCD", cfg.seed, false)
-        .map_err(|e| e.to_string())?;
+    let run = runner::run_one(
+        &program,
+        SchemeKind::Mtcd,
+        None,
+        "MTCD",
+        cfg.seed,
+        RateMode::Incremental,
+    )
+    .map_err(|e| e.to_string())?;
     let des = des_avg_downloaders(&run.outcome);
     let fluid = fluid_avg_downloaders(&program, 0.5).map_err(|e| e.to_string())?;
     let rel = (des - fluid).abs() / fluid.max(1e-9);

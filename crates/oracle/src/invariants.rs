@@ -33,8 +33,8 @@ pub fn binomial_class_mass(_cfg: &OracleConfig) -> Result<String, String> {
             let scale = m.entering_rate().max(f64::MIN_POSITIVE);
             worst_err = worst_err.max((mass - m.entering_rate()).abs() / scale);
             let first: f64 = (1..=k).map(|i| i as f64 * m.class_rate(i)).sum();
-            worst_err =
-                worst_err.max((first - m.file_request_rate()).abs() / m.file_request_rate().max(1e-300));
+            worst_err = worst_err
+                .max((first - m.file_request_rate()).abs() / m.file_request_rate().max(1e-300));
         }
     }
     worst("Σλᵢ = λ₀(1−(1−p)^K) and Σi·λᵢ = λ₀Kp", worst_err, 1e-9)
@@ -50,7 +50,8 @@ pub fn per_torrent_mass_and_entrant_mean(_cfg: &OracleConfig) -> Result<String, 
         for &p in P_GRID {
             let m = CorrelationModel::new(k, p, 2.0).map_err(|e| e.to_string())?;
             let mass: f64 = (1..=k).map(|i| m.per_torrent_rate(i)).sum();
-            worst_err = worst_err.max((mass - m.per_torrent_total_rate()).abs() / (2.0 * p).max(1e-12));
+            worst_err =
+                worst_err.max((mass - m.per_torrent_total_rate()).abs() / (2.0 * p).max(1e-12));
             let mean = m.mean_files_per_entrant();
             if !mean.is_finite() {
                 return Err(format!("K={k}, p={p}: entrant mean = {mean}"));
@@ -85,8 +86,10 @@ pub fn mtcd_equals_mfcd(_cfg: &OracleConfig) -> Result<String, String> {
     let mut worst_err: f64 = 0.0;
     for &p in &P_GRID[1..] {
         let m = CorrelationModel::new(10, p, 2.0).map_err(|e| e.to_string())?;
-        let a = evaluate_scheme(FluidParams::paper(), &m, Scheme::Mtcd).map_err(|e| e.to_string())?;
-        let b = evaluate_scheme(FluidParams::paper(), &m, Scheme::Mfcd).map_err(|e| e.to_string())?;
+        let a =
+            evaluate_scheme(FluidParams::paper(), &m, Scheme::Mtcd).map_err(|e| e.to_string())?;
+        let b =
+            evaluate_scheme(FluidParams::paper(), &m, Scheme::Mfcd).map_err(|e| e.to_string())?;
         worst_err = worst_err
             .max((a.avg_online_per_file - b.avg_online_per_file).abs())
             .max((a.avg_download_per_file - b.avg_download_per_file).abs())
@@ -122,10 +125,10 @@ pub fn cmfsd_rho_one_equals_mfcd(_cfg: &OracleConfig) -> Result<String, String> 
         let m = CorrelationModel::new(10, p, 2.0).map_err(|e| e.to_string())?;
         let cm = evaluate_scheme(FluidParams::paper(), &m, Scheme::Cmfsd { rho: 1.0 })
             .map_err(|e| e.to_string())?;
-        let mf = evaluate_scheme(FluidParams::paper(), &m, Scheme::Mfcd).map_err(|e| e.to_string())?;
-        worst_err = worst_err.max(
-            (cm.avg_online_per_file - mf.avg_online_per_file).abs() / mf.avg_online_per_file,
-        );
+        let mf =
+            evaluate_scheme(FluidParams::paper(), &m, Scheme::Mfcd).map_err(|e| e.to_string())?;
+        worst_err = worst_err
+            .max((cm.avg_online_per_file - mf.avg_online_per_file).abs() / mf.avg_online_per_file);
     }
     worst("CMFSD(ρ=1) ≡ MFCD averages (Eq. 5 limit)", worst_err, 1e-5)
 }
@@ -139,10 +142,10 @@ pub fn cmfsd_k1_equals_mtsd(_cfg: &OracleConfig) -> Result<String, String> {
         let m = CorrelationModel::new(1, 0.6, 2.0).map_err(|e| e.to_string())?;
         let cm = evaluate_scheme(FluidParams::paper(), &m, Scheme::Cmfsd { rho })
             .map_err(|e| e.to_string())?;
-        let mt = evaluate_scheme(FluidParams::paper(), &m, Scheme::Mtsd).map_err(|e| e.to_string())?;
-        worst_err = worst_err.max(
-            (cm.avg_online_per_file - mt.avg_online_per_file).abs() / mt.avg_online_per_file,
-        );
+        let mt =
+            evaluate_scheme(FluidParams::paper(), &m, Scheme::Mtsd).map_err(|e| e.to_string())?;
+        worst_err = worst_err
+            .max((cm.avg_online_per_file - mt.avg_online_per_file).abs() / mt.avg_online_per_file);
     }
     worst("CMFSD(K=1, ∀ρ) ≡ MTSD per-file time", worst_err, 1e-6)
 }

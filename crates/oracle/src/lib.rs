@@ -13,8 +13,10 @@
 //!   analytic layers — binomial class-rate mass, MTCD ≡ MFCD, MTSD's
 //!   `p`-invariance, CMFSD's ρ- and K-limits, monotonicity in ρ.
 //! - **Differential** ([`differential`]): exact-vs-incremental DES
-//!   bit-equivalence, checked-mode audits, DES vs the fluid ODE and the
-//!   closed forms, and a supervised multi-cell sweep.
+//!   bit-equivalence, aggregate-mode determinism and distribution
+//!   equivalence (class means vs the per-peer path and the ODE),
+//!   checked-mode audits, DES vs the fluid ODE and the closed forms, and
+//!   a supervised multi-cell sweep.
 //! - **Structural** ([`structural`]): decoder fuzz — mutated snapshots
 //!   must yield typed errors, traces with non-finite samples must stay
 //!   valid JSONL.
@@ -116,6 +118,24 @@ pub fn registry() -> Vec<Check> {
             run: differential::mutation_canary,
         },
         Check {
+            name: "des-aggregate-determinism",
+            paper_ref: "engine contract (aggregate mode reproducible)",
+            tier: Tier::Quick,
+            run: differential::aggregate_determinism,
+        },
+        Check {
+            name: "des-aggregate-vs-incremental",
+            paper_ref: "Sec. 3 (class-level Markov means)",
+            tier: Tier::Full,
+            run: differential::aggregate_vs_incremental_means,
+        },
+        Check {
+            name: "des-aggregate-insensitivity",
+            paper_ref: "Sec. 3.4 (PS insensitivity of download populations)",
+            tier: Tier::Full,
+            run: differential::aggregate_insensitivity,
+        },
+        Check {
             name: "des-vs-fluid-transient",
             paper_ref: "Sec. 4 (DES tracks the ODE)",
             tier: Tier::Full,
@@ -147,7 +167,11 @@ pub fn run_all(cfg: &OracleConfig) -> OracleReport {
         diag!(Level::Debug, "oracle: running {}", check.name);
         let outcome = report::execute(check, cfg);
         diag!(
-            if outcome.passed { Level::Debug } else { Level::Warn },
+            if outcome.passed {
+                Level::Debug
+            } else {
+                Level::Warn
+            },
             "oracle: {} {} in {} ms — {}",
             check.name,
             if outcome.passed { "passed" } else { "FAILED" },
@@ -176,7 +200,8 @@ mod tests {
         assert_eq!(before, names.len(), "duplicate check names");
         for name in names {
             assert!(
-                name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                name.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
                 "non-kebab check name {name:?}"
             );
         }
@@ -217,8 +242,14 @@ mod tests {
 
     #[test]
     fn seed_changes_detail_but_not_verdict() {
-        let a = run_all(&OracleConfig { seed: 1, full: false });
-        let b = run_all(&OracleConfig { seed: 2, full: false });
+        let a = run_all(&OracleConfig {
+            seed: 1,
+            full: false,
+        });
+        let b = run_all(&OracleConfig {
+            seed: 2,
+            full: false,
+        });
         assert!(a.all_passed() && b.all_passed());
         assert_eq!(a.outcomes.len(), b.outcomes.len());
     }

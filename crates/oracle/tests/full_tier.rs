@@ -1,7 +1,7 @@
 //! The `--full` oracle tier end to end: simulation-heavy differential
 //! checks included. This is the same set `btfluid selfcheck --full` runs.
 
-use btfluid_oracle::{run_all, registry, OracleConfig};
+use btfluid_oracle::{registry, run_all, OracleConfig};
 
 #[test]
 fn full_tier_passes() {

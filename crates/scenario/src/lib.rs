@@ -50,7 +50,7 @@ pub use fault::FaultPlan;
 pub use fluid::{des_avg_downloaders, fluid_avg_downloaders, ScheduledMtcd};
 pub use program::{ProgramHook, ScenarioPhase, ScenarioProgram};
 pub use registry::{by_name, SCENARIO_NAMES};
-pub use runner::{run_all, run_one, scheme_lineup, PhaseStats, ScenarioRun};
+pub use runner::{run_all, run_one, scheme_lineup, PhaseStats, RateMode, ScenarioRun};
 pub use schedule::Schedule;
 
 /// Convenience error alias.

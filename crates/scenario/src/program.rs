@@ -196,6 +196,7 @@ impl ScenarioProgram {
             order_policy: OrderPolicy::default(),
             record_every: Some(self.record_every),
             exact_rates: false,
+            aggregate: false,
             checked: false,
         };
         cfg.validate()?;

@@ -95,6 +95,31 @@ fn push_record(stats: &mut ClassStats, r: &UserRecord) {
     stats.rho.push(r.final_rho);
 }
 
+/// Which rate-scheduling engine a scenario run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RateMode {
+    /// Incremental dirty-tracking refresh — the production default.
+    #[default]
+    Incremental,
+    /// Forced full recompute on every event: O(peers) per event,
+    /// bit-identical to [`RateMode::Incremental`] (the verification
+    /// baseline).
+    Exact,
+    /// Class-aggregated completion scheduling: one exponential completion
+    /// event per (file, class, band) group, flat per-event cost.
+    /// Distribution-equivalent to the per-peer modes, not bit-identical;
+    /// incompatible with Adapt (which needs per-peer progress accounting).
+    Aggregate,
+}
+
+impl RateMode {
+    /// Applies the mode to an engine configuration.
+    pub fn apply(self, cfg: &mut btfluid_des::DesConfig) {
+        cfg.exact_rates = self == RateMode::Exact;
+        cfg.aggregate = self == RateMode::Aggregate;
+    }
+}
+
 /// Runs one scheme (optionally with Adapt) against the program.
 ///
 /// # Errors
@@ -105,9 +130,9 @@ pub fn run_one(
     adapt: Option<AdaptSetup>,
     label: &str,
     seed: u64,
-    exact_rates: bool,
+    mode: RateMode,
 ) -> Result<ScenarioRun, NumError> {
-    run_one_probed(program, scheme, adapt, label, seed, exact_rates, None)
+    run_one_probed(program, scheme, adapt, label, seed, mode, None)
 }
 
 /// [`run_one`] with a telemetry probe attached to the engine. Probes only
@@ -122,13 +147,13 @@ pub fn run_one_probed(
     adapt: Option<AdaptSetup>,
     label: &str,
     seed: u64,
-    exact_rates: bool,
+    mode: RateMode,
     probe: Option<Box<dyn Probe>>,
 ) -> Result<ScenarioRun, NumError> {
     program.validate()?;
     let mut cfg = program.des_config(scheme, seed)?;
     cfg.adapt = adapt;
-    cfg.exact_rates = exact_rates;
+    mode.apply(&mut cfg);
     cfg.validate()?;
     let mut sim = Simulation::with_hook(cfg, Box::new(program.hook()))?;
     if let Some(probe) = probe {
@@ -169,28 +194,35 @@ pub fn scheme_lineup(program: &ScenarioProgram) -> Vec<(SchemeKind, Option<Adapt
 pub fn run_all(
     program: &ScenarioProgram,
     seed: u64,
-    exact_rates: bool,
+    mode: RateMode,
 ) -> Result<Vec<ScenarioRun>, NumError> {
-    run_all_probed(program, seed, exact_rates, &mut |_| None)
+    run_all_probed(program, seed, mode, &mut |_| None)
 }
 
 /// [`run_all`] with a per-scheme telemetry probe: `make_probe` is called
 /// with each run's label and may return a probe for it (e.g. one
 /// [`btfluid_des::SinkProbe`] per scheme sharing a trace sink).
 ///
+/// In [`RateMode::Aggregate`] the CMFSD+Adapt cell is omitted: Adapt
+/// steers individual ρ from per-peer progress, which the aggregate engine
+/// does not track (its config is rejected by validation). The shorter
+/// line-up is visible in the returned runs rather than silently downgraded
+/// to a different mode.
+///
 /// # Errors
 /// Propagates configuration validation errors from any run.
 pub fn run_all_probed(
     program: &ScenarioProgram,
     seed: u64,
-    exact_rates: bool,
+    mode: RateMode,
     make_probe: &mut dyn FnMut(&str) -> Option<Box<dyn Probe>>,
 ) -> Result<Vec<ScenarioRun>, NumError> {
     scheme_lineup(program)
         .into_iter()
+        .filter(|(_, adapt, _)| !(mode == RateMode::Aggregate && adapt.is_some()))
         .map(|(scheme, adapt, label)| {
             let probe = make_probe(&label);
-            run_one_probed(program, scheme, adapt, &label, seed, exact_rates, probe)
+            run_one_probed(program, scheme, adapt, &label, seed, mode, probe)
         })
         .collect()
 }
@@ -205,7 +237,7 @@ mod tests {
     #[test]
     fn smoke_flash_crowd_all_schemes() {
         let program = registry::flash_crowd().time_scaled(0.25);
-        let runs = run_all(&program, 7, false).expect("runs");
+        let runs = run_all(&program, 7, RateMode::Incremental).expect("runs");
         assert_eq!(runs.len(), 5);
         for run in &runs {
             assert_eq!(run.phases.len(), 3, "{}", run.label);
@@ -237,7 +269,15 @@ mod tests {
     #[test]
     fn abort_storm_produces_aborts() {
         let program = registry::abort_storm().time_scaled(0.25);
-        let run = run_one(&program, SchemeKind::Mtcd, None, "MTCD", 11, false).expect("run");
+        let run = run_one(
+            &program,
+            SchemeKind::Mtcd,
+            None,
+            "MTCD",
+            11,
+            RateMode::Incremental,
+        )
+        .expect("run");
         assert!(
             !run.outcome.aborts.is_empty(),
             "storm injected no aborts at all"
@@ -270,8 +310,8 @@ mod tests {
         }
 
         let program = registry::flash_crowd().time_scaled(0.25);
-        for exact in [false, true] {
-            let bare = run_one(&program, SchemeKind::Mtcd, None, "MTCD", 9, exact).expect("bare");
+        for mode in [RateMode::Incremental, RateMode::Exact] {
+            let bare = run_one(&program, SchemeKind::Mtcd, None, "MTCD", 9, mode).expect("bare");
             let shared = Arc::new(Mutex::new(MemoryProbe::new(5.0)));
             let probed = run_one_probed(
                 &program,
@@ -279,7 +319,7 @@ mod tests {
                 None,
                 "MTCD",
                 9,
-                exact,
+                mode,
                 Some(Box::new(Fwd(Arc::clone(&shared)))),
             )
             .expect("probed");
@@ -298,10 +338,7 @@ mod tests {
                 probed.outcome.population.window.to_bits()
             );
             let mem = shared.lock().unwrap();
-            assert!(
-                !mem.samples.is_empty(),
-                "sampler never fired (exact={exact})"
-            );
+            assert!(!mem.samples.is_empty(), "sampler never fired ({mode:?})");
             assert!(mem.finished.is_some(), "on_finish not called");
         }
     }
@@ -310,7 +347,15 @@ mod tests {
     #[test]
     fn phase_metric_sanity() {
         let program = registry::diurnal().time_scaled(0.25);
-        let run = run_one(&program, SchemeKind::Mtsd, None, "MTSD", 3, false).expect("run");
+        let run = run_one(
+            &program,
+            SchemeKind::Mtsd,
+            None,
+            "MTSD",
+            3,
+            RateMode::Incremental,
+        )
+        .expect("run");
         for ph in &run.phases {
             if ph.completed() > 0 {
                 let v = ph.online_per_file().expect("metric");

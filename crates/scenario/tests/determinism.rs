@@ -8,7 +8,7 @@
 //!   relative tolerance the stationary validation harness uses.
 
 use btfluid_des::SchemeKind;
-use btfluid_scenario::{des_avg_downloaders, fluid_avg_downloaders, registry, runner};
+use btfluid_scenario::{des_avg_downloaders, fluid_avg_downloaders, registry, runner, RateMode};
 
 const SCHEMES: [SchemeKind; 4] = [
     SchemeKind::Mtsd,
@@ -25,9 +25,12 @@ fn assert_identical(program_name: &str) {
         .expect("registry name")
         .time_scaled(0.25);
     for scheme in SCHEMES {
-        let a = runner::run_one(&program, scheme, None, "a", 42, false).expect("incremental run");
-        let b = runner::run_one(&program, scheme, None, "b", 42, true).expect("exact run");
-        let c = runner::run_one(&program, scheme, None, "c", 42, false).expect("repeat run");
+        let a = runner::run_one(&program, scheme, None, "a", 42, RateMode::Incremental)
+            .expect("incremental run");
+        let b =
+            runner::run_one(&program, scheme, None, "b", 42, RateMode::Exact).expect("exact run");
+        let c = runner::run_one(&program, scheme, None, "c", 42, RateMode::Incremental)
+            .expect("repeat run");
         for (label, other) in [("exact_rates", &b), ("repeat", &c)] {
             assert_eq!(
                 a.outcome.arrivals,
@@ -55,7 +58,8 @@ fn assert_identical(program_name: &str) {
             );
         }
         // A different seed must actually change the realization.
-        let d = runner::run_one(&program, scheme, None, "d", 43, false).expect("reseeded run");
+        let d = runner::run_one(&program, scheme, None, "d", 43, RateMode::Incremental)
+            .expect("reseeded run");
         assert_ne!(
             a.outcome.records,
             d.outcome.records,
@@ -89,7 +93,15 @@ fn flash_crowd_des_matches_fluid_transient() {
     // pins a full μ per subtorrent, which is a ~20% service boost at this
     // swarm scale. Zero it on both sides for an apples-to-apples check.
     program.origin_seeds = 0;
-    let run = runner::run_one(&program, SchemeKind::Mtcd, None, "MTCD", 1, false).expect("DES run");
+    let run = runner::run_one(
+        &program,
+        SchemeKind::Mtcd,
+        None,
+        "MTCD",
+        1,
+        RateMode::Incremental,
+    )
+    .expect("DES run");
     let des = des_avg_downloaders(&run.outcome);
     let fluid = fluid_avg_downloaders(&program, 0.5).expect("fluid transient");
     let rel = (des - fluid).abs() / fluid.max(1e-9);

@@ -27,6 +27,11 @@ pub struct Counters {
     pub snapshot_bytes: u64,
     /// Total wall-clock microseconds spent writing them.
     pub snapshot_micros: u64,
+    /// Group-rate recomputations performed by the aggregate cache
+    /// (aggregate scheduling mode; zero under per-peer scheduling).
+    pub agg_rate_updates: u64,
+    /// Aggregate completion events dispatched (one member sampled each).
+    pub agg_samples: u64,
 }
 
 impl Counters {
@@ -36,7 +41,8 @@ impl Counters {
         format!(
             "{{\"events_popped\":{},\"stale_discards\":{},\"heap_peak\":{},\
              \"rate_recomputes\":{},\"rate_clean_hits\":{},\"snapshots_taken\":{},\
-             \"snapshot_bytes\":{},\"snapshot_micros\":{}}}",
+             \"snapshot_bytes\":{},\"snapshot_micros\":{},\
+             \"agg_rate_updates\":{},\"agg_samples\":{}}}",
             self.events_popped,
             self.stale_discards,
             self.heap_peak,
@@ -45,6 +51,8 @@ impl Counters {
             self.snapshots_taken,
             self.snapshot_bytes,
             self.snapshot_micros,
+            self.agg_rate_updates,
+            self.agg_samples,
         )
     }
 }
@@ -64,6 +72,8 @@ mod tests {
         assert!(s.starts_with('{') && s.ends_with('}'));
         assert!(s.contains("\"events_popped\":3"));
         assert!(s.contains(&format!("\"snapshot_bytes\":{}", u64::MAX)));
+        assert!(s.contains("\"agg_rate_updates\":0"));
+        assert!(s.contains("\"agg_samples\":0"));
         assert!(!s.contains(' '), "compact encoding only: {s}");
     }
 

@@ -287,7 +287,10 @@ mod tests {
         for &p in &[0.0, 1e-6, 0.1, 0.5, 0.9, 1.0] {
             let m = model(p);
             let mean = m.mean_files_per_entrant();
-            assert!(mean >= m.mean_files_per_visitor().max(1.0) - 1e-12, "p = {p}");
+            assert!(
+                mean >= m.mean_files_per_visitor().max(1.0) - 1e-12,
+                "p = {p}"
+            );
             assert!(mean <= 10.0 + 1e-12, "p = {p}");
         }
     }

@@ -37,6 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         order_policy: OrderPolicy::default(),
         record_every: None,
         exact_rates: false,
+        aggregate: false,
         checked: false,
     };
     println!(

@@ -37,6 +37,7 @@ fn simulated_rho(cheater_fraction: f64, seed: u64) -> f64 {
         order_policy: OrderPolicy::Random,
         record_every: None,
         exact_rates: false,
+        aggregate: false,
         checked: false,
     };
     let outcome = Simulation::new(cfg).unwrap().run();

@@ -24,6 +24,7 @@ fn des_cfg(scheme: SchemeKind, p: f64) -> DesConfig {
         order_policy: OrderPolicy::default(),
         record_every: None,
         exact_rates: false,
+        aggregate: false,
         checked: false,
     }
 }
@@ -108,6 +109,7 @@ fn cmfsd_cfg(p: f64, rho: f64) -> DesConfig {
         order_policy: OrderPolicy::default(),
         record_every: None,
         exact_rates: false,
+        aggregate: false,
         checked: false,
     }
 }
