@@ -18,8 +18,20 @@ fn agg_smoke_only() -> bool {
     std::env::var_os("BTFLUID_AGG_SMOKE").is_some()
 }
 
+/// True when `BTFLUID_HYBRID_SMOKE=1`: the CI hybrid-smoke job wants the
+/// `hybrid_scale` speedup guard and nothing else.
+fn hybrid_smoke_only() -> bool {
+    std::env::var_os("BTFLUID_HYBRID_SMOKE").is_some()
+}
+
+/// True when either CI smoke job is driving this target: every bench not
+/// belonging to that job stays silent.
+fn smoke_only() -> bool {
+    agg_smoke_only() || hybrid_smoke_only()
+}
+
 fn bench_engine(c: &mut Criterion) {
-    if agg_smoke_only() {
+    if smoke_only() {
         return;
     }
     let mut group = c.benchmark_group("des");
@@ -43,7 +55,7 @@ fn bench_engine(c: &mut Criterion) {
 }
 
 fn bench_validation(c: &mut Criterion) {
-    if agg_smoke_only() {
+    if smoke_only() {
         return;
     }
     // Print the X3 comparison once for the record.
@@ -136,6 +148,9 @@ fn bench_des_scale(c: &mut Criterion) {
 
     if agg_smoke {
         agg_smoke_guards();
+        return;
+    }
+    if hybrid_smoke_only() {
         return;
     }
 
@@ -306,7 +321,7 @@ fn agg_smoke_guards() {
 /// largest — an upper bound for every earlier checkpoint. Recorded under
 /// `"checkpoint_overhead"` in `BENCH_des.json`.
 fn bench_checkpoint_overhead(_c: &mut Criterion) {
-    if agg_smoke_only() {
+    if smoke_only() {
         return;
     }
     let test_mode = std::env::args().any(|a| a == "--test");
@@ -440,7 +455,7 @@ fn bench_telemetry_overhead(_c: &mut Criterion) {
     use btfluid_des::{NoopProbe, SinkProbe, TraceSink};
     use btfluid_telemetry::DEFAULT_SAMPLE_EVERY;
 
-    if agg_smoke_only() {
+    if smoke_only() {
         return;
     }
     let test_mode = std::env::args().any(|a| a == "--test");
@@ -529,12 +544,159 @@ fn bench_telemetry_overhead(_c: &mut Criterion) {
     println!("updated {path} with telemetry_overhead");
 }
 
+/// Hybrid-vs-DES scaling study: the amplified flash crowd at
+/// λ₀ ∈ {128, 2048}, each point run through the multiscale hybrid driver
+/// and through the pure class-aggregated DES (both MTSD, same seed,
+/// both observed as per-class mean downloading users). The per-event DES
+/// cost is flat (the PR 6 guard above), so the hybrid's win is
+/// *event count*: above the fluid threshold the ODE replaces the event
+/// stream entirely and the wall-clock ratio grows with λ₀.
+///
+/// Two in-bench guards make the headline claims regressions instead of
+/// prose: at λ₀ = 2048 the hybrid must be ≥ 3× faster than the pure
+/// aggregate DES *and* agree with it on total mean downloading users
+/// within the 0.1 tolerance it was configured with. Recorded under
+/// `"hybrid_scale"` in `BENCH_des.json`. `BTFLUID_HYBRID_SMOKE=1` (the
+/// CI hybrid-smoke job) runs only the λ₀ = 2048 guards on one-shot
+/// timings and skips the artifact.
+fn bench_hybrid_scale(_c: &mut Criterion) {
+    use btfluid_hybrid::{amplified_flash_crowd, HybridConfig, HybridOutcome, HybridRunner};
+
+    if agg_smoke_only() {
+        return;
+    }
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let smoke = hybrid_smoke_only();
+    const TOL: f64 = 0.1;
+    const SEED: u64 = 7;
+    // Time-compressed like the oracle's accuracy check but 2× longer, so
+    // the pure-DES side dispatches enough events for a stable ratio.
+    const TIME_SCALE: f64 = 0.01;
+
+    let hybrid_run = |lambda0: f64| -> (f64, HybridOutcome) {
+        let cfg = HybridConfig {
+            program: amplified_flash_crowd(lambda0, TIME_SCALE),
+            scheme: SchemeKind::Mtsd,
+            seed: SEED,
+            tol: TOL,
+            aggregate: true,
+        };
+        let start = Instant::now();
+        let outcome = black_box(HybridRunner::run(cfg).expect("hybrid runs"));
+        (start.elapsed().as_secs_f64(), outcome)
+    };
+    let pure_run = |lambda0: f64| -> (f64, f64, u64) {
+        let program = amplified_flash_crowd(lambda0, TIME_SCALE);
+        let mut cfg = program
+            .des_config(SchemeKind::Mtsd, SEED)
+            .expect("valid program");
+        cfg.aggregate = true;
+        cfg.drain = 0.0;
+        cfg.record_every = None;
+        cfg.validate().expect("valid config");
+        let hook = Box::new(program.hook());
+        let sim = Simulation::with_hook(cfg, hook).expect("valid");
+        let start = Instant::now();
+        let outcome = black_box(sim.try_run().expect("pure DES runs"));
+        let wall = start.elapsed().as_secs_f64();
+        let total: f64 = (1..=outcome.k())
+            .map(|i| outcome.population.avg_downloader_peers(i))
+            .sum();
+        (wall, total, outcome.events)
+    };
+    // Deterministic identical work: best-of-N is the noise-robust
+    // statistic, and one rep suffices for the smoke/test paths.
+    let reps = if test_mode || smoke { 1 } else { 3 };
+    let best = |f: &dyn Fn() -> f64| (0..reps).map(|_| f()).fold(f64::INFINITY, f64::min);
+
+    if test_mode {
+        // Smallest point, one shot: both paths run and agree on shape.
+        let (_, outcome) = hybrid_run(128.0);
+        let (_, _, events) = pure_run(128.0);
+        assert!(events > 0, "pure DES dispatched no events");
+        assert!(outcome.final_t > 0.0, "hybrid run did not advance");
+        return;
+    }
+
+    let mut rows = Vec::new();
+    let mut speedup_at_2048 = 0.0;
+    for lambda0 in [128.0, 2048.0] {
+        if smoke && lambda0 < 2048.0 {
+            continue; // the CI job only needs the headline guard
+        }
+        let hyb_s = best(&|| hybrid_run(lambda0).0);
+        let (_, outcome) = hybrid_run(lambda0);
+        let pure_s = best(&|| pure_run(lambda0).0);
+        let (_, pure_total, pure_events) = pure_run(lambda0);
+        let speedup = pure_s / hyb_s;
+        let rel = (outcome.total_mean() - pure_total).abs() / pure_total.max(1e-9);
+        println!(
+            "hybrid_scale λ₀={lambda0}: hybrid {hyb_s:.4}s ({} DES events, \
+             {} fluid substeps, {} handoffs), pure aggregate {pure_s:.4}s \
+             ({pure_events} events) — speedup {speedup:.1}×, total mean rel {rel:.3}",
+            outcome.des_events,
+            outcome.fluid_steps,
+            outcome.handoffs.len()
+        );
+        if lambda0 == 2048.0 {
+            speedup_at_2048 = speedup;
+            assert!(
+                !outcome.handoffs.is_empty(),
+                "hybrid never left the discrete regime at λ₀ = 2048 — \
+                 the speedup would be vacuous"
+            );
+            assert!(
+                rel <= TOL,
+                "hybrid total mean off by {rel:.3} (> tol {TOL}) at λ₀ = 2048"
+            );
+        }
+        rows.push(format!(
+            "    {{\"lambda0\": {lambda0}, \"hybrid_wall_s\": {hyb_s:.6}, \
+             \"hybrid_des_events\": {}, \"hybrid_fluid_steps\": {}, \
+             \"handoffs\": {}, \"pure_wall_s\": {pure_s:.6}, \
+             \"pure_events\": {pure_events}, \"speedup\": {speedup:.3}, \
+             \"total_mean_rel\": {rel:.4}}}",
+            outcome.des_events,
+            outcome.fluid_steps,
+            outcome.handoffs.len()
+        ));
+    }
+    assert!(
+        speedup_at_2048 >= 3.0,
+        "hybrid only {speedup_at_2048:.2}× over pure aggregate DES at λ₀ = 2048 \
+         (claim is ≥ 3×)"
+    );
+    if smoke {
+        return;
+    }
+
+    // Merge into BENCH_des.json (written by bench_des_scale earlier in
+    // this group).
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_des.json");
+    let body = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".into());
+    let trimmed = body.trim_end();
+    let head = trimmed
+        .strip_suffix('}')
+        .expect("BENCH_des.json ends with an object")
+        .trim_end();
+    let sep = if head.ends_with('{') { "" } else { "," };
+    let merged = format!(
+        "{head}{sep}\n  \"hybrid_scale\": {{\"scheme\": \"MTSD\", \"tol\": {TOL}, \
+         \"time_scale\": {TIME_SCALE}, \"points\": [\n{}\n  ], \
+         \"speedup_at_lambda0_2048\": {speedup_at_2048:.3}}}\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(path, merged).expect("write BENCH_des.json");
+    println!("updated {path} with hybrid_scale");
+}
+
 criterion_group!(
     benches,
     bench_engine,
     bench_validation,
     bench_des_scale,
     bench_checkpoint_overhead,
-    bench_telemetry_overhead
+    bench_telemetry_overhead,
+    bench_hybrid_scale
 );
 criterion_main!(benches);

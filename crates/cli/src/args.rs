@@ -45,6 +45,7 @@ const NUMERIC: &[&str] = &[
     "event-budget",
     "wall-budget-ms",
     "sample-every",
+    "hybrid-tol",
 ];
 
 /// Value-taking options with free-form string arguments (paths, scheme
@@ -74,6 +75,7 @@ const FLAGS: &[&str] = &[
     "smoke",
     "resume",
     "fluid",
+    "hybrid",
     "full",
     "expect-fail",
     "help",

@@ -14,10 +14,11 @@ use btfluid_des::{
 };
 use btfluid_harness as harness;
 use btfluid_harness::json::Json;
+use btfluid_hybrid::{HybridConfig, HybridRunner, Regime};
 use btfluid_scenario::{registry, runner, RateMode};
 use btfluid_telemetry::{
-    diag, set_level, Counters, Level, MetaField, SinkProbe, TraceSink, DEFAULT_SAMPLE_EVERY,
-    TRACE_SCHEMA, TRACE_VERSION,
+    diag, set_level, Counters, Level, MetaField, SharedSink, SinkProbe, TraceSink,
+    DEFAULT_SAMPLE_EVERY, TRACE_SCHEMA, TRACE_VERSION,
 };
 use btfluid_workload::CorrelationModel;
 use std::fs;
@@ -57,6 +58,10 @@ COMMANDS
                 crash-safe (single-scheme only):
                   [--checkpoint FILE] [--checkpoint-every N] [--resume]
                   [--records FILE]
+                multiscale fluid/DES driver (mtcd|mtsd only):
+                  --hybrid [--hybrid-tol T] (default 0.1; thresholds
+                  hi = ceil(1/T²), lo = hi/2); --checkpoint-every counts
+                  decision boundaries here, not events
   inspect     summarize a telemetry trace: counters, anomaly flags,
               per-class trajectories
                 btfluid inspect <trace.jsonl> [--csv-out FILE]
@@ -550,6 +555,11 @@ fn cmd_scenario(rest: &[String]) -> Result<(), CliError> {
         }
         None => None,
     };
+
+    if opts.has("hybrid") {
+        return run_scenario_hybrid(name, &program, seed, scale, mode, &opts, sink);
+    }
+
     // Each scheme run gets its own meta record (a trace "segment") and a
     // fresh probe streaming into the shared sink, so one file holds the
     // whole line-up and `btfluid inspect` can tell the runs apart.
@@ -764,6 +774,158 @@ fn run_scenario_resumable(
         outcome,
         phases,
     })
+}
+
+/// `btfluid scenario <name> --hybrid` — the multiscale fluid/DES driver:
+/// the scheduled ODE carries the swarm while the population is large,
+/// the DES takes over for small/critical windows (DESIGN.md §15).
+///
+/// Honors `--checkpoint`/`--checkpoint-every`/`--resume` with hybrid
+/// snapshots (v4); `--checkpoint-every` counts decision boundaries, not
+/// events. Per-class means print with shortest-roundtrip formatting, so
+/// byte-identical `--out` files mean bit-identical runs.
+fn run_scenario_hybrid(
+    name: &str,
+    program: &btfluid_scenario::ScenarioProgram,
+    seed: u64,
+    scale: f64,
+    mode: RateMode,
+    opts: &Options,
+    sink: Option<SharedSink>,
+) -> Result<(), CliError> {
+    let scheme = match opts.get("scheme") {
+        Some(spec) => parse_scheme(spec)?,
+        None => {
+            return Err(
+                "scenario: --hybrid needs --scheme mtcd|mtsd (the schemes with \
+                 scheduled fluid models)"
+                    .into(),
+            )
+        }
+    };
+    if !matches!(scheme, SchemeKind::Mtcd | SchemeKind::Mtsd) {
+        return Err(format!(
+            "scenario: --hybrid supports mtcd and mtsd, not {}",
+            scheme.name()
+        )
+        .into());
+    }
+    if mode == RateMode::Exact {
+        return Err(
+            "scenario: --exact has no fluid counterpart; use --hybrid with the \
+             incremental or --aggregate engine"
+                .into(),
+        );
+    }
+    if opts.get("records").is_some() || opts.has("checked") {
+        return Err(
+            "scenario: --records/--checked are not supported with --hybrid \
+             (the driver is class-level; there is no per-user record stream)"
+                .into(),
+        );
+    }
+    let tol = opts.get_f64("hybrid-tol", 0.1)?;
+    let cfg = HybridConfig {
+        program: program.clone(),
+        scheme,
+        seed,
+        tol,
+        aggregate: mode == RateMode::Aggregate,
+    };
+
+    let checkpoint = opts.get("checkpoint").map(PathBuf::from);
+    let every = opts.get_u64("checkpoint-every", 8)?.max(1);
+    let mut runner = match &checkpoint {
+        Some(path) if opts.has("resume") && path.is_file() => {
+            let bytes = fs::read(path)?;
+            let r = HybridRunner::resume(cfg.clone(), &bytes)?;
+            diag!(
+                Level::Info,
+                "resumed hybrid run at t = {:.3} in the {:?} regime \
+                 ({} handoff(s) so far)",
+                r.sim_time(),
+                r.regime(),
+                r.handoffs().len()
+            );
+            r
+        }
+        _ => HybridRunner::new(cfg)?,
+    };
+
+    if let Some(sink) = &sink {
+        sink.lock().unwrap_or_else(|e| e.into_inner()).meta(&[
+            ("scenario", MetaField::Str(name.to_string())),
+            ("label", MetaField::Str(format!("hybrid-{}", scheme.name()))),
+            ("seed", MetaField::U64(seed)),
+            ("scale", MetaField::F64(scale)),
+            ("hybrid", MetaField::Bool(true)),
+            ("hybrid_tol", MetaField::F64(tol)),
+            ("aggregate", MetaField::Bool(mode == RateMode::Aggregate)),
+        ]);
+        runner.attach_sink(sink.clone());
+    }
+
+    let mut since_checkpoint = 0u64;
+    while runner.step_boundary()? {
+        since_checkpoint += 1;
+        if let Some(path) = &checkpoint {
+            if since_checkpoint >= every {
+                harness::atomic_write(path, &runner.snapshot())?;
+                since_checkpoint = 0;
+            }
+        }
+    }
+    let outcome = runner.finish();
+
+    if let Some(sink) = sink {
+        let counters = Counters {
+            events_popped: outcome.des_events,
+            ..Default::default()
+        };
+        let mut guard = sink.lock().unwrap_or_else(|e| e.into_inner());
+        guard.end(outcome.final_t, &counters);
+        let path = guard.finish()?;
+        diag!(Level::Info, "wrote trace {}", path.display());
+    }
+    if let Some(path) = &checkpoint {
+        if path.is_file() {
+            fs::remove_file(path)?;
+        }
+    }
+
+    let mut t = Table::new(
+        format!(
+            "scenario {name} — hybrid {} (tol {tol}, seed {seed})",
+            scheme.name()
+        ),
+        vec!["class", "mean downloading users"],
+    );
+    for (i, mean) in outcome.class_means.iter().enumerate() {
+        t.push_row(vec![format!("{}", i + 1), format!("{mean}")]);
+    }
+    t.push_row(vec!["total".into(), format!("{}", outcome.total_mean())]);
+    emit(&t, opts)?;
+
+    let to_fluid = outcome
+        .handoffs
+        .iter()
+        .filter(|h| h.to == Regime::Fluid)
+        .count();
+    diag!(
+        Level::Info,
+        "hybrid {name}: {} handoff(s) ({to_fluid} →fluid, {} →discrete), \
+         {} DES events, {} fluid substeps, final t {:.1}",
+        outcome.handoffs.len(),
+        outcome.handoffs.len() - to_fluid,
+        outcome.des_events,
+        outcome.fluid_steps,
+        outcome.final_t
+    );
+
+    if opts.has("fluid") {
+        scenario_fluid_comparison(name, program, seed)?;
+    }
+    Ok(())
 }
 
 /// Writes the per-user record stream as CSV. Floats use Rust's
@@ -1087,7 +1249,9 @@ struct TraceSegment {
     exact_rates: bool,
     aggregate: bool,
     samples: Vec<TraceSample>,
-    spans: Vec<(String, u64)>,
+    /// `(name, micros, t)` — `t` is the simulated time the span was
+    /// emitted at (present on hybrid handoff spans, absent on plain ones).
+    spans: Vec<(String, u64, Option<f64>)>,
     end: Option<(f64, Counters)>,
 }
 
@@ -1100,6 +1264,16 @@ impl TraceSegment {
             .map(|(_, c)| *c)
             .or_else(|| self.samples.last().map(|s| s.counters))
             .unwrap_or_default()
+    }
+
+    /// Simulated times of hybrid regime switches, in trace order (the
+    /// driver emits one timestamped `handoff:*` span per switch).
+    fn handoff_times(&self) -> Vec<f64> {
+        self.spans
+            .iter()
+            .filter(|(name, _, _)| name.starts_with("handoff:"))
+            .filter_map(|(_, _, t)| *t)
+            .collect()
     }
 
     /// Appends human-readable anomaly descriptions for this segment.
@@ -1230,6 +1404,25 @@ impl TraceSegment {
                         class + 1
                     ));
                 }
+            }
+        }
+        // Hybrid regime thrash: the hysteresis band exists precisely so
+        // that switches are rare, so the yardstick is the run's own
+        // median dwell between switches. Four consecutive switches packed
+        // inside one median dwell means the driver is flip-flopping —
+        // burning handoff cost without either engine settling.
+        let switches = self.handoff_times();
+        if switches.len() >= 4 {
+            let mut dwells: Vec<f64> = switches.windows(2).map(|w| w[1] - w[0]).collect();
+            dwells.sort_by(f64::total_cmp);
+            let median = dwells[dwells.len() / 2];
+            if let Some(w) = switches.windows(4).find(|w| w[3] - w[0] <= median) {
+                out.push(format!(
+                    "{label}: hybrid regime thrash (4 switches within {:.3} time \
+                     units at t = {:.1}; median dwell {median:.3})",
+                    w[3] - w[0],
+                    w[0]
+                ));
             }
         }
     }
@@ -1380,6 +1573,7 @@ fn cmd_inspect(rest: &[String]) -> Result<(), CliError> {
                     .unwrap_or("?")
                     .to_string(),
                 v.get("micros").and_then(Json::as_u64).unwrap_or(0),
+                v.get("t").and_then(Json::as_f64),
             )),
             "end" => {
                 seg.end = Some((
@@ -1431,7 +1625,7 @@ fn cmd_inspect(rest: &[String]) -> Result<(), CliError> {
 
     for seg in &segments {
         let mut totals: Vec<(String, u64, u64)> = Vec::new();
-        for (name, micros) in &seg.spans {
+        for (name, micros, _) in &seg.spans {
             match totals.iter_mut().find(|row| &row.0 == name) {
                 Some(row) => {
                     row.1 += 1;
@@ -1445,6 +1639,21 @@ fn cmd_inspect(rest: &[String]) -> Result<(), CliError> {
                 Level::Info,
                 "{}: span {name}: {n} × totalling {micros} µs",
                 seg.label
+            );
+        }
+        let handoffs = seg.handoff_times();
+        if !handoffs.is_empty() {
+            let to_fluid = seg
+                .spans
+                .iter()
+                .filter(|(name, _, _)| name == "handoff:des->fluid")
+                .count();
+            println!(
+                "{}: {} hybrid handoff(s): {} →fluid, {} →discrete",
+                seg.label,
+                handoffs.len(),
+                to_fluid,
+                handoffs.len() - to_fluid
             );
         }
     }
@@ -1632,6 +1841,7 @@ fn cmd_all(opts: &Options) -> Result<(), CliError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::errors::EXIT_CONFIG;
 
     #[test]
     fn scheme_parsing() {
@@ -2054,6 +2264,94 @@ mod tests {
             all.contains("per-peer rate recomputes in aggregate mode"),
             "{all}"
         );
+    }
+
+    /// The hybrid driver runs end to end from the CLI, writes a trace
+    /// `inspect` can read back, and rejects the unsupported knobs.
+    #[test]
+    fn scenario_hybrid_smoke_and_guards() {
+        let dir = std::env::temp_dir().join("btfluid_cli_hybrid_smoke");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("hybrid.jsonl");
+        let argv = vec![
+            "scenario".into(),
+            "flash_crowd".into(),
+            "--hybrid".into(),
+            "--scheme".into(),
+            "mtsd".into(),
+            "--aggregate".into(),
+            "--smoke".into(),
+            "--seed".into(),
+            "3".into(),
+            "--trace".into(),
+            trace.to_str().unwrap().to_string(),
+            "--csv".into(),
+        ];
+        dispatch(&argv).unwrap();
+        let body = std::fs::read_to_string(&trace).unwrap();
+        assert!(body.contains("\"label\":\"hybrid-MTSD\""), "{body}");
+        assert!(body.contains("\"kind\":\"end\""), "{body}");
+        dispatch(&["inspect".into(), trace.to_str().unwrap().to_string()]).unwrap();
+
+        let base = |extra: &[&str]| -> Vec<String> {
+            ["scenario", "flash_crowd", "--hybrid", "--smoke"]
+                .iter()
+                .copied()
+                .chain(extra.iter().copied())
+                .map(String::from)
+                .collect()
+        };
+        // --scheme is mandatory and must be a scheduled-fluid scheme.
+        assert!(dispatch(&base(&[])).is_err());
+        assert!(dispatch(&base(&["--scheme", "mfcd"])).is_err());
+        // --exact, --records, --checked, and out-of-range tolerances are
+        // rejected before anything runs.
+        assert!(dispatch(&base(&["--scheme", "mtsd", "--exact"])).is_err());
+        assert!(dispatch(&base(&["--scheme", "mtsd", "--checked"])).is_err());
+        let err = dispatch(&base(&["--scheme", "mtsd", "--hybrid-tol", "3"])).unwrap_err();
+        assert_eq!(err.code, EXIT_CONFIG, "{}", err.message);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The thrash heuristic flags a burst of regime switches measured
+    /// against the run's own median dwell — and stays quiet when the
+    /// same number of switches is evenly spread.
+    #[test]
+    fn inspect_hybrid_thrash_heuristic() {
+        let span = |t: f64| ("handoff:des->fluid".to_string(), 10u64, Some(t));
+        let segment = |spans: Vec<(String, u64, Option<f64>)>| TraceSegment {
+            label: "H".into(),
+            exact_rates: false,
+            aggregate: true,
+            samples: Vec::new(),
+            spans,
+            end: Some((2000.0, Counters::default())),
+        };
+
+        // Four switches packed into 1.5 time units amid ~400-unit dwells.
+        let thrashing = segment(vec![
+            span(100.0),
+            span(500.0),
+            span(900.0),
+            span(1300.0),
+            span(1300.5),
+            span(1301.0),
+            span(1301.5),
+            span(1700.0),
+        ]);
+        let mut out = Vec::new();
+        thrashing.detect_anomalies(&mut out);
+        assert!(
+            out.iter().any(|a| a.contains("regime thrash")),
+            "burst not flagged: {out:?}"
+        );
+
+        // The same switch count, evenly spaced: healthy.
+        let healthy = segment(vec![span(100.0), span(600.0), span(1100.0), span(1600.0)]);
+        let mut out = Vec::new();
+        healthy.detect_anomalies(&mut out);
+        assert!(out.is_empty(), "even spacing flagged: {out:?}");
     }
 
     /// Result-writing commands refuse to clobber without `--force`.

@@ -17,6 +17,7 @@
 use crate::args::ArgError;
 use btfluid_des::{DesError, SnapshotError};
 use btfluid_harness::HarnessError;
+use btfluid_hybrid::HybridError;
 use btfluid_numkit::NumError;
 use std::fmt;
 
@@ -124,6 +125,18 @@ impl From<DesError> for CliError {
     }
 }
 
+impl From<HybridError> for CliError {
+    fn from(e: HybridError) -> Self {
+        match e {
+            HybridError::Num(e) => e.into(),
+            HybridError::Des(e) => e.into(),
+            HybridError::Snapshot(msg) => {
+                Self::new(EXIT_SNAPSHOT, format!("hybrid snapshot: {msg}"))
+            }
+        }
+    }
+}
+
 impl From<HarnessError> for CliError {
     fn from(e: HarnessError) -> Self {
         match e {
@@ -170,6 +183,9 @@ mod tests {
         assert_eq!(e.code, EXIT_INVARIANT);
 
         let e: CliError = SnapshotError::ChecksumMismatch.into();
+        assert_eq!(e.code, EXIT_SNAPSHOT);
+
+        let e: CliError = HybridError::Snapshot("truncated".into()).into();
         assert_eq!(e.code, EXIT_SNAPSHOT);
 
         let e: CliError = HarnessError::Config("no".into()).into();

@@ -1,0 +1,153 @@
+//! Crash recovery for the hybrid driver, against the real `btfluid`
+//! binary: a hybrid run SIGKILLed mid-flight and resumed from its v4
+//! checkpoint must emit per-class means byte-identical to an
+//! uninterrupted run (the CLI prints them with shortest-roundtrip
+//! formatting, so byte equality is bit equality).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_btfluid");
+
+fn hybrid_args(out: &Path) -> Vec<String> {
+    [
+        "scenario",
+        "flash_crowd",
+        "--hybrid",
+        "--scheme",
+        "mtsd",
+        "--aggregate",
+        "--seed",
+        "9",
+        "--csv",
+        "--out",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .chain([out.to_str().unwrap().to_string()])
+    .collect()
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn sigkill_then_resume_is_bit_identical() {
+    let dir = fresh_dir("btfluid_hybrid_kill_resume_test");
+    let straight = dir.join("straight.csv");
+    let resumed = dir.join("resumed.csv");
+    let checkpoint = dir.join("cp.hsnap");
+
+    // Reference: one uninterrupted run.
+    let status = Command::new(BIN)
+        .args(hybrid_args(&straight))
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("spawn reference run");
+    assert!(status.success(), "reference run failed: {status}");
+
+    // Victim: same run checkpointing at every decision boundary, killed
+    // (SIGKILL — no cleanup handler runs) once a checkpoint lands.
+    let mut victim_args = hybrid_args(&resumed);
+    victim_args.extend(
+        [
+            "--checkpoint",
+            checkpoint.to_str().unwrap(),
+            "--checkpoint-every",
+            "1",
+        ]
+        .map(String::from),
+    );
+    let mut child = Command::new(BIN)
+        .args(&victim_args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn victim run");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut killed = false;
+    loop {
+        if checkpoint.is_file() {
+            child.kill().expect("kill victim");
+            child.wait().expect("reap victim");
+            killed = true;
+            break;
+        }
+        if let Some(status) = child.try_wait().expect("poll victim") {
+            // Finished before the first checkpoint was observed — the
+            // race went the fast way; determinism is still compared.
+            assert!(status.success(), "victim failed on its own: {status}");
+            break;
+        }
+        assert!(Instant::now() < deadline, "no checkpoint within 30s");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    if killed {
+        assert!(
+            !resumed.is_file(),
+            "victim was killed yet already wrote its means"
+        );
+        let mut resume_args = victim_args.clone();
+        resume_args.push("--resume".into());
+        let status = Command::new(BIN)
+            .args(&resume_args)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .status()
+            .expect("spawn resume run");
+        assert!(status.success(), "resume run failed: {status}");
+        assert!(
+            !checkpoint.is_file(),
+            "completed run must remove its checkpoint"
+        );
+    }
+
+    let straight_bytes = std::fs::read(&straight).expect("read reference means");
+    let resumed_bytes = std::fs::read(&resumed).expect("read resumed means");
+    assert!(
+        straight_bytes == resumed_bytes,
+        "resumed hybrid means diverged from the uninterrupted run \
+         (killed mid-run: {killed})"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A corrupt hybrid checkpoint must die with the documented snapshot
+/// exit code (5), not a generic failure.
+#[test]
+fn corrupt_hybrid_checkpoint_exits_with_snapshot_code() {
+    let dir = fresh_dir("btfluid_hybrid_corrupt_cp_test");
+    let checkpoint = dir.join("cp.hsnap");
+    std::fs::write(&checkpoint, b"BTFSgarbage").unwrap();
+    let out = dir.join("means.csv");
+    let mut args = hybrid_args(&out);
+    args.extend(
+        [
+            "--checkpoint",
+            checkpoint.to_str().unwrap(),
+            "--checkpoint-every",
+            "1",
+        ]
+        .map(String::from),
+    );
+    args.push("--resume".into());
+    let out = Command::new(BIN)
+        .args(&args)
+        .stdout(Stdio::null())
+        .output()
+        .expect("spawn run");
+    assert_eq!(
+        out.status.code(),
+        Some(5),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

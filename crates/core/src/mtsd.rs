@@ -70,6 +70,21 @@ impl Mtsd {
         self.t_raw() + self.params.seed_residence()
     }
 
+    /// Steady per-user service rate `1/T = γμη/(γ−μ)` — the rate at which
+    /// a downloading MTSD user completes its current file once each torrent
+    /// has relaxed to the Qiu–Srikant fixed point (1/60 per time unit with
+    /// the paper's parameters).
+    ///
+    /// The transient fluid ODE ([`btfluid-scenario`]'s staged MTSD system)
+    /// must converge to exactly this rate under a constant workload; the
+    /// hybrid engine uses it as the reference scale for its tolerance model.
+    ///
+    /// # Errors
+    /// Returns [`NumError::InvalidInput`] when `γ ≤ μ`.
+    pub fn steady_service_rate(&self) -> Result<f64, NumError> {
+        Ok(1.0 / self.download_time()?)
+    }
+
     /// Per-class user totals for classes `1..=k`:
     /// download `i·T`, online `i·(T + 1/γ)`.
     ///
@@ -100,6 +115,7 @@ mod tests {
         let m = Mtsd::new(FluidParams::paper());
         assert!((m.download_time().unwrap() - 60.0).abs() < 1e-12);
         assert!((m.online_time_per_file() - 80.0).abs() < 1e-12);
+        assert!((m.steady_service_rate().unwrap() - 1.0 / 60.0).abs() < 1e-15);
     }
 
     #[test]

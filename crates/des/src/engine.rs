@@ -45,7 +45,7 @@ use btfluid_numkit::rng::{RngCore, Xoshiro256StarStar};
 use btfluid_numkit::series::TimeSeries;
 use btfluid_numkit::NumError;
 use btfluid_telemetry::{diag, Counters, Level, Probe, Sample};
-use btfluid_workload::requests::{FileId, RequestSampler};
+use btfluid_workload::requests::{random_order, uniform_subset, FileId, RequestSampler};
 
 /// What happens next.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -462,19 +462,8 @@ impl Simulation {
     /// Builds a warm-start peer of class `i` with a uniform random file set
     /// and order.
     fn make_warm_peer(&mut self, i: usize, k: usize) -> Peer {
-        // Partial Fisher–Yates: pick i distinct files uniformly.
-        let mut pool: Vec<FileId> = (0..k as FileId).collect();
-        for idx in 0..i {
-            let j = idx + self.rng_service.next_below((k - idx) as u64) as usize;
-            pool.swap(idx, j);
-        }
-        let mut files: Vec<FileId> = pool[..i].to_vec();
-        files.sort_unstable();
-        let mut order: Vec<usize> = (0..i).collect();
-        for idx in (1..i).rev() {
-            let j = self.rng_service.next_below(idx as u64 + 1) as usize;
-            order.swap(idx, j);
-        }
+        let files = uniform_subset(&mut self.rng_service, k, i);
+        let order = random_order(&mut self.rng_service, i);
         let mut peer = Peer::new(self.user_counter, -1.0, files, order, 1.0);
         self.user_counter += 1;
         assign_arrival_policy(
@@ -663,6 +652,71 @@ impl Simulation {
     /// Events dispatched so far.
     pub fn events(&self) -> u64 {
         self.outcome.events
+    }
+
+    /// Live downloading-peer counts per class (index `class − 1`).
+    pub fn class_downloaders(&self) -> &[usize] {
+        &self.dl_peers
+    }
+
+    /// The peer slab. Contains departed tombstones — filter on
+    /// [`Phase::Departed`] before aggregating.
+    pub fn peers(&self) -> &[Peer] {
+        &self.peers
+    }
+
+    /// Seeds a not-yet-started, empty simulation with an externally sampled
+    /// population (the hybrid engine's fluid→DES handoff).
+    ///
+    /// The caller supplies fully initialized [`Peer`]s — file sets, order,
+    /// progress, phase, seed timers — drawn on its *own* RNG stream; the
+    /// engine only assigns ids and registers the peers with its caches and
+    /// counters, so none of the engine streams advance and a run seeded this
+    /// way stays bit-reproducible. Injected peers should carry `arrival`
+    /// −1.0 (like warm-start peers) so the statistics window never counts
+    /// them as arrivals.
+    ///
+    /// # Errors
+    /// Rejects simulations that have already started or hold peers, and
+    /// peers whose file ids fall outside `0..K` or whose parallel vectors
+    /// disagree with the file count.
+    pub fn inject_peers(&mut self, mut incoming: Vec<Peer>) -> Result<(), NumError> {
+        if self.started || !self.peers.is_empty() {
+            return Err(NumError::InvalidInput {
+                what: "Simulation::inject_peers",
+                detail: "peers can only be injected into a fresh, empty simulation".into(),
+            });
+        }
+        let k = self.cfg.model.k() as usize;
+        for peer in &mut incoming {
+            let n = peer.files.len();
+            let shape_ok = n >= 1
+                && peer.remaining.len() == n
+                && peer.order.len() == n
+                && peer.seed_until.len() == n
+                && peer.files.iter().all(|&f| (f as usize) < k);
+            if !shape_ok {
+                return Err(NumError::InvalidInput {
+                    what: "Simulation::inject_peers",
+                    detail: format!("malformed injected peer (files {:?}, K {k})", peer.files),
+                });
+            }
+            peer.id = self.user_counter;
+            self.user_counter += 1;
+        }
+        self.peers = incoming;
+        self.cache_grow(self.peers.len());
+        for idx in 0..self.peers.len() {
+            self.cache_register(idx);
+            self.add_counters(idx);
+            for s in 0..self.peers[idx].class() {
+                if self.peers[idx].finished(s) {
+                    self.holders[self.peers[idx].files[s] as usize] += 1;
+                }
+            }
+            self.reschedule_expiry(idx);
+        }
+        Ok(())
     }
 
     /// Captures the run's full mutable state between steps.
@@ -1713,12 +1767,7 @@ impl Simulation {
             .expect("arrival event without a scheduled arrival");
         debug_assert!((ta - self.t).abs() < 1e-9);
         // Random download order (sequential schemes).
-        let n = files.len();
-        let mut order: Vec<usize> = (0..n).collect();
-        for i in (1..n).rev() {
-            let j = self.rng_service.next_below(i as u64 + 1) as usize;
-            order.swap(i, j);
-        }
+        let order = random_order(&mut self.rng_service, files.len());
         let mut peer = Peer::new(self.user_counter, self.t, files, order, 1.0);
         self.user_counter += 1;
         assign_arrival_policy(

@@ -18,6 +18,31 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
+/// Atomically replaces `path` with `bytes`: write `<path>.tmp`, fsync,
+/// rename over the destination. A kill at any instant leaves either the
+/// old file or the new one, never a torn write — the same discipline the
+/// engine snapshot codec uses, exposed for byte formats the harness does
+/// not own (the hybrid engine's snapshot v4, result bundles, …).
+///
+/// # Errors
+/// Propagates the underlying filesystem errors; on failure the temp file
+/// is removed best-effort and `path` is untouched.
+pub fn atomic_write(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let write = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        std::io::Write::write_all(&mut file, bytes)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if write.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    write
+}
+
 /// Where and how often to checkpoint.
 #[derive(Debug, Clone)]
 pub struct CheckpointPlan {

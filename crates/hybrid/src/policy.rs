@@ -1,0 +1,189 @@
+//! Regime-switching policy: population hysteresis bands plus
+//! fault-plan windows that force the discrete engine.
+//!
+//! The Kesidis–Konstantopoulos–Sousi fluid limit says the ODE error on a
+//! population of `N` well-mixed users scales like `1/√N`, so an error
+//! budget `tol` buys a switching threshold `N ≳ 1/tol²`. The policy turns
+//! that into a *hysteresis band* — switch to fluid at `hi = ⌈1/tol²⌉`,
+//! back to discrete at `lo = hi/2` — so a population hovering near the
+//! threshold never chatters between engines. Fault windows (seed outages,
+//! tracker blackouts, abort storms) are forced discrete regardless of
+//! population: the fluid model has no notion of an individual publisher
+//! dying or a blocked visitor queueing at a dark tracker.
+
+use btfluid_numkit::NumError;
+use btfluid_scenario::{ScenarioProgram, Schedule};
+
+/// Which engine integrates the system right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Regime {
+    /// The scheme ODE (deterministic, O(K²) per step).
+    Fluid,
+    /// The discrete-event simulator (exact, O(events)).
+    Discrete,
+}
+
+/// Hysteresis bands + forced-discrete windows, evaluated at decision
+/// boundaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchPolicy {
+    hi: f64,
+    lo: f64,
+    forced: Vec<(f64, f64)>,
+}
+
+impl SwitchPolicy {
+    /// Derives the policy from a program's fault plan and the error
+    /// budget `tol` (relative error on per-class means, `0 < tol ≤ 1`).
+    ///
+    /// Forced windows are the union of the plan's seed outages and
+    /// tracker blackouts, plus the abort schedule's support: a quiet
+    /// `Constant(0)` schedule forces nothing, an abort `Spike` forces its
+    /// `[t0, t1)` burst, and any other shape with positive mass forces
+    /// the whole run (the policy cannot bound its support).
+    ///
+    /// # Errors
+    /// Rejects `tol` outside `(0, 1]`.
+    pub fn from_program(program: &ScenarioProgram, tol: f64) -> Result<Self, NumError> {
+        if !(tol > 0.0 && tol <= 1.0) {
+            return Err(NumError::InvalidInput {
+                what: "SwitchPolicy::from_program",
+                detail: format!("hybrid tolerance must be in (0, 1], got {tol}"),
+            });
+        }
+        let hi = (1.0 / (tol * tol)).ceil();
+        let mut forced: Vec<(f64, f64)> = Vec::new();
+        forced.extend_from_slice(&program.faults.seed_outages);
+        forced.extend_from_slice(&program.faults.tracker_blackouts);
+        match &program.faults.abort {
+            Schedule::Spike { peak, t0, t1, base } if *base == 0.0 => {
+                if *peak > 0.0 {
+                    forced.push((*t0, *t1));
+                }
+            }
+            other => {
+                if other.upper_bound() > 0.0 {
+                    forced.push((0.0, program.horizon));
+                }
+            }
+        }
+        forced.retain(|&(s, e)| e > s);
+        forced.sort_by(|a, b| a.0.total_cmp(&b.0));
+        Ok(Self {
+            hi,
+            lo: hi / 2.0,
+            forced,
+        })
+    }
+
+    /// The switch-to-fluid threshold `⌈1/tol²⌉`.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// The switch-back-to-discrete threshold `hi/2`.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// The forced-discrete windows `[start, end)`, sorted by start.
+    pub fn forced(&self) -> &[(f64, f64)] {
+        &self.forced
+    }
+
+    /// Whether `t` falls inside a forced-discrete window.
+    pub fn forced_at(&self, t: f64) -> bool {
+        self.forced.iter().any(|&(s, e)| t >= s && t < e)
+    }
+
+    /// The regime to run in from time `t` onward, given the total
+    /// downloading population `pop` and the regime currently active.
+    ///
+    /// Forced windows dominate; otherwise `pop ≥ hi` selects fluid,
+    /// `pop ≤ lo` selects discrete, and anything strictly inside the band
+    /// keeps the current regime (the hysteresis guarantee).
+    pub fn decide(&self, t: f64, pop: f64, current: Regime) -> Regime {
+        if self.forced_at(t) {
+            return Regime::Discrete;
+        }
+        if pop >= self.hi {
+            Regime::Fluid
+        } else if pop <= self.lo {
+            Regime::Discrete
+        } else {
+            current
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btfluid_scenario::registry;
+
+    fn quiet_policy(tol: f64) -> SwitchPolicy {
+        SwitchPolicy::from_program(&registry::flash_crowd(), tol).unwrap()
+    }
+
+    #[test]
+    fn tolerance_maps_to_clt_thresholds() {
+        let p = quiet_policy(0.1);
+        assert_eq!(p.hi(), 100.0);
+        assert_eq!(p.lo(), 50.0);
+        let tight = quiet_policy(0.02);
+        assert_eq!(tight.hi(), 2500.0);
+    }
+
+    #[test]
+    fn invalid_tolerance_rejected() {
+        let program = registry::flash_crowd();
+        assert!(SwitchPolicy::from_program(&program, 0.0).is_err());
+        assert!(SwitchPolicy::from_program(&program, -0.5).is_err());
+        assert!(SwitchPolicy::from_program(&program, 1.5).is_err());
+    }
+
+    #[test]
+    fn hysteresis_band_keeps_current_regime() {
+        let p = quiet_policy(0.1);
+        for pop in [51.0, 75.0, 99.9] {
+            assert_eq!(p.decide(10.0, pop, Regime::Fluid), Regime::Fluid);
+            assert_eq!(p.decide(10.0, pop, Regime::Discrete), Regime::Discrete);
+        }
+        assert_eq!(p.decide(10.0, 100.0, Regime::Discrete), Regime::Fluid);
+        assert_eq!(p.decide(10.0, 50.0, Regime::Fluid), Regime::Discrete);
+    }
+
+    #[test]
+    fn fault_windows_force_discrete() {
+        let program = registry::by_name("seed_outage").expect("registry scenario");
+        assert!(
+            !program.faults.seed_outages.is_empty(),
+            "seed_outage scenario must carry outage windows"
+        );
+        let p = SwitchPolicy::from_program(&program, 0.1).unwrap();
+        let (s, e) = p.forced()[0];
+        let mid = 0.5 * (s + e);
+        assert_eq!(p.decide(mid, 1e6, Regime::Fluid), Regime::Discrete);
+        assert!(
+            p.forced_at(s) && !p.forced_at(e),
+            "windows are [start, end)"
+        );
+    }
+
+    #[test]
+    fn abort_spike_forces_only_its_burst() {
+        let mut program = registry::flash_crowd();
+        program.faults.abort = Schedule::Spike {
+            base: 0.0,
+            peak: 0.05,
+            t0: 1000.0,
+            t1: 1500.0,
+        };
+        let p = SwitchPolicy::from_program(&program, 0.1).unwrap();
+        assert_eq!(p.forced(), &[(1000.0, 1500.0)]);
+        // A shape the policy cannot bound forces the whole run.
+        program.faults.abort = Schedule::Constant(0.01);
+        let p = SwitchPolicy::from_program(&program, 0.1).unwrap();
+        assert_eq!(p.forced(), &[(0.0, program.horizon)]);
+    }
+}

@@ -1,0 +1,292 @@
+//! Snapshot v4: checkpoint/resume for hybrid runs.
+//!
+//! A hybrid checkpoint is taken *between decision boundaries* and captures
+//! everything the driver cannot re-derive from its config: the clock, the
+//! active regime, the fluid state vector or the embedded engine snapshot
+//! (the DES layer's own v2/v3 codec, verbatim), the handoff RNG stream,
+//! the per-class integrals, and the handoff log. Boundaries, policy, and
+//! the fluid model are pure functions of the config and are rebuilt on
+//! restore; a config digest plus an FNV-1a checksum reject mismatched or
+//! torn files with typed errors. Restore-then-run is bit-identical to
+//! never having stopped — the same contract the engine snapshot keeps.
+
+use crate::driver::{segment_config, HybridConfig, HybridError, HybridRunner, ShiftedHook};
+use crate::handoff::HandoffRecord;
+use crate::policy::Regime;
+use btfluid_des::{Simulation, Snapshot};
+use btfluid_numkit::rng::Xoshiro256StarStar;
+
+/// Shared magic with the engine codec — the version field disambiguates.
+const MAGIC: &[u8; 4] = b"BTFS";
+/// Hybrid snapshots are version 4 (the engine owns v2/v3).
+pub const HYBRID_SNAPSHOT_VERSION: u32 = 4;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// Digest of everything that parameterizes a run. Debug formatting of the
+/// program is stable, covers every schedule/fault field, and is the same
+/// representation the scenario hook fingerprint relies on.
+fn config_digest(cfg: &HybridConfig) -> u64 {
+    let mut bytes = format!("{:?}", cfg.program).into_bytes();
+    bytes.extend_from_slice(cfg.scheme.name().as_bytes());
+    bytes.extend_from_slice(&cfg.seed.to_le_bytes());
+    bytes.extend_from_slice(&cfg.tol.to_bits().to_le_bytes());
+    bytes.push(u8::from(cfg.aggregate));
+    fnv1a(&bytes)
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], HybridError> {
+        if self.pos + n > self.buf.len() {
+            return Err(HybridError::Snapshot(format!(
+                "truncated at byte {} (wanted {n} more of {})",
+                self.pos,
+                self.buf.len()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, HybridError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, HybridError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, HybridError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, HybridError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+impl HybridRunner {
+    /// Serializes the full driver state (between decision boundaries).
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256);
+        out.extend_from_slice(MAGIC);
+        push_u32(&mut out, HYBRID_SNAPSHOT_VERSION);
+        push_u64(&mut out, config_digest(self.config()));
+        push_f64(&mut out, self.t);
+        out.push(match self.regime {
+            Regime::Fluid => 0,
+            Regime::Discrete => 1,
+        });
+        push_f64(&mut out, self.seg_t0);
+        push_u64(&mut out, self.seg_seed);
+        push_u64(&mut out, self.segment);
+        push_u64(&mut out, self.next_boundary as u64);
+        for w in self.rng_handoff.state() {
+            push_u64(&mut out, w);
+        }
+        push_u64(&mut out, self.des_events);
+        push_u64(&mut out, self.fluid_steps);
+        push_u32(&mut out, self.integrals.len() as u32);
+        for &v in &self.integrals {
+            push_f64(&mut out, v);
+        }
+        push_u32(&mut out, self.fluid.len() as u32);
+        for &v in &self.fluid {
+            push_f64(&mut out, v);
+        }
+        push_u32(&mut out, self.handoffs.len() as u32);
+        for h in &self.handoffs {
+            push_f64(&mut out, h.t);
+            out.push(match h.to {
+                Regime::Fluid => 0,
+                Regime::Discrete => 1,
+            });
+            push_f64(&mut out, h.pop);
+        }
+        match &self.sim {
+            Some(sim) => {
+                out.push(1);
+                let engine = sim.snapshot().to_bytes();
+                push_u64(&mut out, engine.len() as u64);
+                out.extend_from_slice(&engine);
+            }
+            None => out.push(0),
+        }
+        let sum = fnv1a(&out);
+        push_u64(&mut out, sum);
+        out
+    }
+
+    /// Rebuilds a runner from `cfg` and a snapshot taken by an identical
+    /// config; stepping on is bit-identical to never having stopped.
+    ///
+    /// # Errors
+    /// Typed [`HybridError::Snapshot`] on truncation, checksum or digest
+    /// mismatch, bad magic/version; propagates embedded-engine restore
+    /// failures.
+    pub fn resume(cfg: HybridConfig, bytes: &[u8]) -> Result<Self, HybridError> {
+        if bytes.len() < 20 {
+            return Err(HybridError::Snapshot("file too short".into()));
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().unwrap());
+        if fnv1a(body) != stored {
+            return Err(HybridError::Snapshot(
+                "checksum mismatch (torn write?)".into(),
+            ));
+        }
+        let mut r = Reader { buf: body, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(HybridError::Snapshot("bad magic".into()));
+        }
+        let version = r.u32()?;
+        if version != HYBRID_SNAPSHOT_VERSION {
+            return Err(HybridError::Snapshot(format!(
+                "version {version}, expected {HYBRID_SNAPSHOT_VERSION}"
+            )));
+        }
+        let digest = r.u64()?;
+        if digest != config_digest(&cfg) {
+            return Err(HybridError::Snapshot(
+                "config digest mismatch (snapshot from a different run)".into(),
+            ));
+        }
+        let mut runner = Self::new(cfg)?;
+        runner.t = r.f64()?;
+        runner.regime = match r.u8()? {
+            0 => Regime::Fluid,
+            1 => Regime::Discrete,
+            other => {
+                return Err(HybridError::Snapshot(format!("unknown regime tag {other}")));
+            }
+        };
+        runner.seg_t0 = r.f64()?;
+        runner.seg_seed = r.u64()?;
+        runner.segment = r.u64()?;
+        runner.next_boundary = r.u64()? as usize;
+        let mut rng_state = [0u64; 4];
+        for w in &mut rng_state {
+            *w = r.u64()?;
+        }
+        runner.rng_handoff = Xoshiro256StarStar::from_state(rng_state);
+        runner.des_events = r.u64()?;
+        runner.fluid_steps = r.u64()?;
+        let n_int = r.u32()? as usize;
+        if n_int != runner.integrals.len() {
+            return Err(HybridError::Snapshot(format!(
+                "integral count {n_int} does not match K = {}",
+                runner.integrals.len()
+            )));
+        }
+        for slot in &mut runner.integrals {
+            *slot = r.f64()?;
+        }
+        let n_fluid = r.u32()? as usize;
+        if n_fluid != runner.fluid.len() {
+            return Err(HybridError::Snapshot(format!(
+                "fluid dim {n_fluid} does not match model dim {}",
+                runner.fluid.len()
+            )));
+        }
+        for slot in &mut runner.fluid {
+            *slot = r.f64()?;
+        }
+        let n_handoffs = r.u32()? as usize;
+        runner.handoffs = Vec::with_capacity(n_handoffs);
+        for _ in 0..n_handoffs {
+            let t = r.f64()?;
+            let to = match r.u8()? {
+                0 => Regime::Fluid,
+                1 => Regime::Discrete,
+                other => {
+                    return Err(HybridError::Snapshot(format!(
+                        "unknown handoff regime tag {other}"
+                    )));
+                }
+            };
+            let pop = r.f64()?;
+            runner.handoffs.push(HandoffRecord { t, to, pop });
+        }
+        if r.u8()? == 1 {
+            let len = r.u64()? as usize;
+            let engine_bytes = r.take(len)?;
+            let snap = Snapshot::from_bytes(engine_bytes)
+                .map_err(|e| HybridError::Snapshot(format!("embedded engine: {e}")))?;
+            let seg_cfg = segment_config(runner.config(), runner.seg_t0, runner.seg_seed)?;
+            let hook = Box::new(ShiftedHook::new(
+                runner.config().program.hook(),
+                runner.seg_t0,
+            ));
+            runner.sim = Some(Simulation::restore_with_hook(seg_cfg, &snap, hook)?);
+        }
+        Ok(runner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::amplified_flash_crowd;
+    use btfluid_des::SchemeKind;
+
+    fn cfg() -> HybridConfig {
+        HybridConfig {
+            program: amplified_flash_crowd(512.0, 0.005),
+            scheme: SchemeKind::Mtcd,
+            seed: 17,
+            tol: 0.1,
+            aggregate: true,
+        }
+    }
+
+    #[test]
+    fn corrupt_and_mismatched_snapshots_yield_typed_errors() {
+        let runner = HybridRunner::new(cfg()).unwrap();
+        let bytes = runner.snapshot();
+
+        assert!(matches!(
+            HybridRunner::resume(cfg(), b"BTFSgarbage"),
+            Err(HybridError::Snapshot(_))
+        ));
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        assert!(matches!(
+            HybridRunner::resume(cfg(), &flipped),
+            Err(HybridError::Snapshot(_))
+        ));
+        let mut other = cfg();
+        other.seed = 18;
+        assert!(matches!(
+            HybridRunner::resume(other, &bytes),
+            Err(HybridError::Snapshot(_))
+        ));
+        // The pristine bytes restore fine.
+        assert!(HybridRunner::resume(cfg(), &bytes).is_ok());
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for the hybrid membrane and policy:
+//! fluid→DES→fluid round-trips conserve class masses, sampling is
+//! deterministic per seed, and hysteresis bands never chatter.
+
+use btfluid_des::SchemeKind;
+use btfluid_hybrid::{FluidModel, Regime, SwitchPolicy, HANDOFF_STREAM};
+use btfluid_numkit::dist::Exponential;
+use btfluid_numkit::rng::Xoshiro256StarStar;
+use btfluid_scenario::registry;
+use proptest::prelude::*;
+
+fn model(scheme: SchemeKind) -> FluidModel {
+    FluidModel::new(&registry::flash_crowd(), scheme).unwrap()
+}
+
+fn gamma() -> Exponential {
+    Exponential::new(registry::flash_crowd().params.gamma()).unwrap()
+}
+
+/// Random non-negative fluid masses, enough components for either model
+/// (MTCD uses 20, MTSD 110 at K = 10).
+fn masses() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..6.0, 110)
+}
+
+proptest! {
+    /// fold(sample(m)) reproduces the realized (quantized) masses to
+    /// 1e-9 for both schemes — no user is created or destroyed crossing
+    /// the membrane.
+    #[test]
+    fn round_trip_conserves_class_masses(raw in masses(), seed in any::<u64>()) {
+        for scheme in [SchemeKind::Mtcd, SchemeKind::Mtsd] {
+            let m = model(scheme);
+            let state = &raw[..m.dim()];
+            let mut rng = Xoshiro256StarStar::stream(seed, HANDOFF_STREAM);
+            let (peers, realized) = m.sample(state, &mut rng, &gamma());
+            let folded = m.fold(&peers);
+            prop_assert_eq!(folded.len(), realized.len());
+            for (idx, (&f, &r)) in folded.iter().zip(realized.iter()).enumerate() {
+                prop_assert!(
+                    (f - r).abs() < 1e-9,
+                    "{:?} component {}: fold {} vs realized {}",
+                    scheme, idx, f, r
+                );
+            }
+            // Quantization never moves a mass by more than half a user.
+            for (idx, (&r, &s)) in realized.iter().zip(state.iter()).enumerate() {
+                prop_assert!(
+                    (r - s).abs() <= 0.5 + 1e-9,
+                    "{:?} component {}: realized {} vs requested {}",
+                    scheme, idx, r, s
+                );
+            }
+        }
+    }
+
+    /// The same seed samples the same population, peer for peer; the
+    /// stream index is dedicated so this holds independently of any
+    /// engine activity.
+    #[test]
+    fn sampling_is_deterministic_per_seed(raw in masses(), seed in any::<u64>()) {
+        for scheme in [SchemeKind::Mtcd, SchemeKind::Mtsd] {
+            let m = model(scheme);
+            let state = &raw[..m.dim()];
+            let mut a = Xoshiro256StarStar::stream(seed, HANDOFF_STREAM);
+            let mut b = Xoshiro256StarStar::stream(seed, HANDOFF_STREAM);
+            let (pa, ra) = m.sample(state, &mut a, &gamma());
+            let (pb, rb) = m.sample(state, &mut b, &gamma());
+            prop_assert_eq!(ra, rb);
+            prop_assert_eq!(pa.len(), pb.len());
+            for (x, y) in pa.iter().zip(pb.iter()) {
+                prop_assert_eq!(format!("{:?}", x), format!("{:?}", y));
+            }
+        }
+    }
+
+    /// A population path strictly inside the hysteresis band (lo, hi)
+    /// never flips the regime — the no-chatter guarantee.
+    #[test]
+    fn hysteresis_band_never_chatters(path in prop::collection::vec(any::<u8>(), 1..40)) {
+        let program = registry::flash_crowd();
+        let policy = SwitchPolicy::from_program(&program, 0.1).unwrap();
+        let (lo, hi) = (policy.lo(), policy.hi());
+        for start in [Regime::Fluid, Regime::Discrete] {
+            let mut regime = start;
+            for (step, &raw) in path.iter().enumerate() {
+                // Map the byte strictly inside (lo, hi).
+                let pop = lo + (hi - lo) * (f64::from(raw) + 1.0) / 257.0;
+                prop_assert!(pop > lo && pop < hi);
+                let t = step as f64 * program.record_every;
+                let decided = policy.decide(t, pop, regime);
+                prop_assert_eq!(
+                    decided, regime,
+                    "switch inside the band at t = {} pop = {}", t, pop
+                );
+                regime = decided;
+            }
+        }
+    }
+
+    /// Inside a forced window the decision is discrete no matter the
+    /// population or prior regime.
+    #[test]
+    fn forced_windows_always_decide_discrete(pop in 0.0f64..1e7) {
+        let program = registry::by_name("seed_outage").expect("registry scenario");
+        let policy = SwitchPolicy::from_program(&program, 0.1).unwrap();
+        prop_assert!(!policy.forced().is_empty());
+        for &(s, e) in policy.forced() {
+            for t in [s, 0.5 * (s + e), e - 1e-6] {
+                prop_assert_eq!(policy.decide(t, pop, Regime::Fluid), Regime::Discrete);
+                prop_assert_eq!(policy.decide(t, pop, Regime::Discrete), Regime::Discrete);
+            }
+        }
+    }
+}

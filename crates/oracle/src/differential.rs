@@ -402,3 +402,88 @@ pub fn des_vs_closed_form_mtsd(cfg: &OracleConfig) -> Result<String, String> {
         ))
     }
 }
+
+/// Hybrid engine against pure aggregate DES on the acceptance-criteria
+/// workload: flash_crowd amplified to λ₀ = 2048 on a compressed axis, for
+/// both schemes with scheduled fluid models. Per-class downloading-user
+/// means must agree within the hybrid run's own declared tolerance
+/// wherever the class population reaches the CLT regime the tolerance
+/// model assumes (mean ≥ 1/tol², the same bound that sets the switching
+/// threshold — below it a single DES realization legitimately fluctuates
+/// by more than `tol`), and so must the totals.
+pub fn hybrid_vs_des(cfg: &OracleConfig) -> Result<String, String> {
+    use btfluid_hybrid::{HybridConfig, HybridRunner};
+
+    const TOL: f64 = 0.1;
+    const MIN_MEAN: f64 = 1.0 / (TOL * TOL);
+    let program = btfluid_hybrid::amplified_flash_crowd(2048.0, 0.005);
+    let mut evidence = Vec::new();
+    for scheme in [SchemeKind::Mtcd, SchemeKind::Mtsd] {
+        let hybrid = HybridRunner::run(HybridConfig {
+            program: program.clone(),
+            scheme,
+            seed: cfg.seed.wrapping_add(37),
+            tol: TOL,
+            aggregate: true,
+        })
+        .map_err(|e| e.to_string())?;
+
+        let mut des_cfg = program
+            .des_config(scheme, cfg.seed.wrapping_add(37))
+            .map_err(|e| e.to_string())?;
+        des_cfg.aggregate = true;
+        des_cfg.drain = 0.0;
+        des_cfg.record_every = None;
+        des_cfg.validate().map_err(|e| e.to_string())?;
+        let sim =
+            Simulation::with_hook(des_cfg, Box::new(program.hook())).map_err(|e| e.to_string())?;
+        let outcome = sim.try_run().map_err(|e| e.to_string())?;
+
+        let mut compared = 0usize;
+        let mut worst = 0.0f64;
+        for class in 1..=outcome.k() {
+            let des_mean = outcome.population.avg_downloader_peers(class);
+            let hy_mean = hybrid.class_means[class - 1];
+            if des_mean < MIN_MEAN {
+                continue;
+            }
+            compared += 1;
+            let rel = (hy_mean - des_mean).abs() / des_mean;
+            worst = worst.max(rel);
+            if rel > TOL {
+                return Err(format!(
+                    "{} class {class}: hybrid {hy_mean:.2} vs DES {des_mean:.2} \
+                     downloading users (rel {rel:.3} > tol {TOL})",
+                    scheme.name()
+                ));
+            }
+        }
+        if compared < 3 {
+            return Err(format!(
+                "{}: only {compared} classes populated enough to compare",
+                scheme.name()
+            ));
+        }
+        let des_total: f64 = (1..=outcome.k())
+            .map(|i| outcome.population.avg_downloader_peers(i))
+            .sum();
+        let hy_total = hybrid.total_mean();
+        let rel_total = (hy_total - des_total).abs() / des_total.max(1e-9);
+        if rel_total > TOL {
+            return Err(format!(
+                "{} total: hybrid {hy_total:.1} vs DES {des_total:.1} (rel {rel_total:.3} > {TOL})",
+                scheme.name()
+            ));
+        }
+        evidence.push(format!(
+            "{}: total {hy_total:.0} vs {des_total:.0} (rel {rel_total:.3}), \
+             {compared} classes worst rel {worst:.3}, {} handoffs, \
+             {} DES events vs {} pure",
+            scheme.name(),
+            hybrid.handoffs.len(),
+            hybrid.des_events,
+            outcome.events,
+        ));
+    }
+    Ok(format!("tol {TOL}: {}", evidence.join("; ")))
+}

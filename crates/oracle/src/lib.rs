@@ -153,6 +153,12 @@ pub fn registry() -> Vec<Check> {
             tier: Tier::Full,
             run: differential::supervised_scheme_cells,
         },
+        Check {
+            name: "hybrid-vs-des",
+            paper_ref: "fluid-limit convergence (hybrid tracks pure DES)",
+            tier: Tier::Full,
+            run: differential::hybrid_vs_des,
+        },
     ]
 }
 

@@ -95,6 +95,124 @@ impl OdeSystem for ScheduledMtcd {
     }
 }
 
+/// The staged MTSD fluid model of the whole system with schedule-driven
+/// class entry rates.
+///
+/// A class-`i` MTSD user downloads its `i` files one at a time, seeding
+/// each finished file for `Exp(γ)` before moving on. The fluid state
+/// tracks, for every class `i = 1..=K` and stage `j = 1..=i`,
+/// `x_{i,j}` (users downloading their `j`-th file) and `s_{i,j}` (users
+/// seeding their `j`-th file) — `K(K+1)` components total, laid out
+/// `[x-block | s-block]` with class `i` occupying `i` consecutive stages
+/// at offset `i(i−1)/2` inside each block.
+///
+/// Every downloader works in a single-file Qiu–Srikant torrent, so its
+/// completion rate is `μη + μ·(seeds/downloaders)` in *its* torrent;
+/// under the symmetric workload the seed/downloader ratio is the same in
+/// every torrent and the aggregate closure
+/// `r(t) = μη + μ·S_tot/X_tot` (0 seed term when `X_tot = 0`) is exact.
+/// At the fixed point `r = γμη/(γ−μ)` — the closed form
+/// [`btfluid_core::mtsd::Mtsd::steady_service_rate`].
+///
+/// Flows: `ẋ_{i,1} = λᵢ(t) − r·x_{i,1}`, `ṡ_{i,j} = r·x_{i,j} − γ·s_{i,j}`,
+/// `ẋ_{i,j+1} = γ·s_{i,j} − r·x_{i,j+1}`; class-`K` seeds in stage `K`
+/// drain out of the system (the user departs). Unlike [`ScheduledMtcd`]
+/// this system is per *class*, not per torrent:
+/// `λᵢ(t) = λ₀(t)·C(K,i)pⁱ(1−p)^{K−i}` and downloading users of class `i`
+/// are simply `Σⱼ x_{i,j}`.
+#[derive(Debug, Clone)]
+pub struct ScheduledMtsd {
+    params: FluidParams,
+    k: usize,
+    lambda0: Schedule,
+    correlation: Schedule,
+}
+
+impl ScheduledMtsd {
+    /// Builds the system from a validated program's parameters and
+    /// schedules.
+    ///
+    /// # Errors
+    /// Propagates [`ScenarioProgram::validate`] failures.
+    pub fn from_program(program: &ScenarioProgram) -> Result<Self, NumError> {
+        program.validate()?;
+        Ok(Self {
+            params: program.params,
+            k: program.k as usize,
+            lambda0: program.lambda0.clone(),
+            correlation: program.correlation.clone(),
+        })
+    }
+
+    /// Number of classes `K`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// System-wide class entry rate `λᵢ(t) = λ₀(t)·C(K,i)pⁱ(1−p)^{K−i}`
+    /// for class `i` (1-based).
+    pub fn class_rate_at(&self, t: f64, i: usize) -> f64 {
+        let p = self.correlation.value(t).clamp(0.0, 1.0);
+        if p == 0.0 {
+            return 0.0;
+        }
+        self.lambda0.value(t) * binomial_pmf(self.k as u32, i as u32, p).unwrap_or(0.0)
+    }
+
+    /// Index of `x_{i,j}` (class `i`, stage `j`, both 1-based) in the
+    /// state vector. The matching seed stage `s_{i,j}` lives at
+    /// `stage_index + dim()/2`.
+    pub fn stage_index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(1 <= j && j <= i && i <= self.k);
+        i * (i - 1) / 2 + (j - 1)
+    }
+
+    /// Per-class downloading users `Σⱼ x_{i,j}` (index `class − 1`),
+    /// clamped at zero against transient undershoot.
+    pub fn class_downloaders(&self, state: &[f64], out: &mut [f64]) {
+        let xs = &state[..self.dim() / 2];
+        for i in 1..=self.k {
+            out[i - 1] = (0..i)
+                .map(|j| xs[self.stage_index(i, j + 1)].max(0.0))
+                .sum();
+        }
+    }
+}
+
+impl OdeSystem for ScheduledMtsd {
+    fn dim(&self) -> usize {
+        self.k * (self.k + 1)
+    }
+
+    fn rhs(&self, t: f64, state: &[f64], d: &mut [f64]) {
+        let half = self.dim() / 2;
+        let (mu, eta, gamma) = (self.params.mu(), self.params.eta(), self.params.gamma());
+        let (xs, ss) = state.split_at(half);
+
+        let x_tot: f64 = xs.iter().map(|x| x.max(0.0)).sum();
+        let s_tot: f64 = ss.iter().map(|s| s.max(0.0)).sum();
+        let r = if x_tot > 0.0 {
+            mu * eta + mu * s_tot / x_tot
+        } else {
+            mu * eta
+        };
+
+        for i in 1..=self.k {
+            for j in 1..=i {
+                let idx = self.stage_index(i, j);
+                let inflow = if j == 1 {
+                    self.class_rate_at(t, i)
+                } else {
+                    gamma * ss[idx - 1].max(0.0)
+                };
+                let served = r * xs[idx].max(0.0);
+                d[idx] = inflow - served;
+                d[half + idx] = served - gamma * ss[idx].max(0.0);
+            }
+        }
+    }
+}
+
 /// Integrates the scheduled MTCD model from an empty torrent over
 /// `[0, horizon]`, sampling every `program.record_every`. Channels are
 /// named `x1..xK, y1..yK`.
@@ -222,6 +340,72 @@ mod tests {
             peak > 2.0 * before,
             "surge should visibly grow the swarm: before {before}, peak {peak}"
         );
+    }
+
+    #[test]
+    fn mtsd_stationary_stages_match_closed_form() {
+        // Constant workload: every stage must settle at x_{i,j} = λᵢ·T,
+        // s_{i,j} = λᵢ/γ with T = 1/steady_service_rate = 60.
+        let mut program = registry::flash_crowd();
+        program.lambda0 = Schedule::Constant(0.25);
+        let sys = ScheduledMtsd::from_program(&program).unwrap();
+        let rate = btfluid_core::mtsd::Mtsd::new(program.params)
+            .steady_service_rate()
+            .unwrap();
+        let t_dl = 1.0 / rate;
+        let gamma = program.params.gamma();
+
+        let x0 = vec![0.0; sys.dim()];
+        let series = integrate_observed(
+            &Rk4,
+            &sys,
+            0.0,
+            &x0,
+            20_000.0,
+            0.5,
+            ObserveEvery::Time(1000.0),
+            None,
+        )
+        .unwrap();
+        let last = series.times().len() - 1;
+        let half = sys.dim() / 2;
+        for i in 1..=10usize {
+            let li = sys.class_rate_at(0.0, i);
+            for j in 1..=i {
+                let x = series.channel(sys.stage_index(i, j))[last];
+                let s = series.channel(half + sys.stage_index(i, j))[last];
+                assert!(
+                    (x - li * t_dl).abs() < 0.02 * (li * t_dl).max(0.05),
+                    "x[{i},{j}] = {x}, want {}",
+                    li * t_dl
+                );
+                assert!(
+                    (s - li / gamma).abs() < 0.02 * (li / gamma).max(0.05),
+                    "s[{i},{j}] = {s}, want {}",
+                    li / gamma
+                );
+            }
+        }
+        // Total downloading users Σᵢ i·λᵢ·T = λ₀·K·p·T.
+        let mut dl = vec![0.0; 10];
+        let state: Vec<f64> = (0..sys.dim()).map(|c| series.channel(c)[last]).collect();
+        sys.class_downloaders(&state, &mut dl);
+        let total: f64 = dl.iter().sum();
+        let want = 0.25 * 10.0 * 0.4 * t_dl;
+        assert!(
+            (total - want).abs() < 0.02 * want,
+            "total downloaders {total}, want {want}"
+        );
+    }
+
+    #[test]
+    fn mtsd_class_rates_sum_to_entrant_rate() {
+        let program = registry::flash_crowd();
+        let sys = ScheduledMtsd::from_program(&program).unwrap();
+        let total: f64 = (1..=10).map(|i| sys.class_rate_at(1000.0, i)).sum();
+        // Σᵢ λᵢ = λ₀(1 − (1−p)^K).
+        let want = program.lambda0.value(1000.0) * (1.0 - 0.6f64.powi(10));
+        assert!((total - want).abs() < 1e-12, "Σλᵢ = {total}, want {want}");
     }
 
     #[test]

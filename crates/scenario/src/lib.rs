@@ -47,7 +47,7 @@ pub mod runner;
 pub mod schedule;
 
 pub use fault::FaultPlan;
-pub use fluid::{des_avg_downloaders, fluid_avg_downloaders, ScheduledMtcd};
+pub use fluid::{des_avg_downloaders, fluid_avg_downloaders, ScheduledMtcd, ScheduledMtsd};
 pub use program::{ProgramHook, ScenarioPhase, ScenarioProgram};
 pub use registry::{by_name, SCENARIO_NAMES};
 pub use runner::{run_all, run_one, scheme_lineup, PhaseStats, RateMode, ScenarioRun};

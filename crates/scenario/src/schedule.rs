@@ -316,6 +316,44 @@ impl Schedule {
             },
         }
     }
+
+    /// Scales all *values* by `factor`, leaving the time axis alone:
+    /// `s.rate_scaled(c).value(t) = c · s.value(t)`. The dual of
+    /// [`Schedule::time_scaled`] — together they turn any scenario into an
+    /// amplified and/or compressed variant (the hybrid benchmarks drive
+    /// flash_crowd at λ₀ up to 2048 this way).
+    pub fn rate_scaled(&self, factor: f64) -> Self {
+        match self {
+            Schedule::Constant(v) => Schedule::Constant(v * factor),
+            Schedule::Piecewise { initial, steps } => Schedule::Piecewise {
+                initial: initial * factor,
+                steps: steps.iter().map(|&(at, v)| (at, v * factor)).collect(),
+            },
+            Schedule::Ramp { from, to, t0, t1 } => Schedule::Ramp {
+                from: from * factor,
+                to: to * factor,
+                t0: *t0,
+                t1: *t1,
+            },
+            Schedule::Periodic {
+                mean,
+                amplitude,
+                period,
+                phase,
+            } => Schedule::Periodic {
+                mean: mean * factor,
+                amplitude: amplitude * factor,
+                period: *period,
+                phase: *phase,
+            },
+            Schedule::Spike { base, peak, t0, t1 } => Schedule::Spike {
+                base: base * factor,
+                peak: peak * factor,
+                t0: *t0,
+                t1: *t1,
+            },
+        }
+    }
 }
 
 #[cfg(test)]
@@ -488,5 +526,45 @@ mod tests {
         assert_eq!(q.value(50.0), 0.25);
         // Values preserved, integral scales with the axis.
         assert!((q.integral(0.0, 75.0) - s.integral(0.0, 300.0) * 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_scaling_multiplies_values_pointwise() {
+        let shapes = [
+            Schedule::Constant(0.25),
+            Schedule::Piecewise {
+                initial: 0.2,
+                steps: vec![(100.0, 0.6)],
+            },
+            Schedule::Ramp {
+                from: 0.1,
+                to: 0.9,
+                t0: 50.0,
+                t1: 150.0,
+            },
+            Schedule::Periodic {
+                mean: 0.5,
+                amplitude: 0.25,
+                period: 200.0,
+                phase: 10.0,
+            },
+            Schedule::Spike {
+                base: 0.25,
+                peak: 1.0,
+                t0: 100.0,
+                t1: 200.0,
+            },
+        ];
+        for s in &shapes {
+            let scaled = s.rate_scaled(8.0);
+            for &t in &[0.0, 75.0, 120.0, 250.0] {
+                assert!(
+                    (scaled.value(t) - 8.0 * s.value(t)).abs() < 1e-12,
+                    "{s:?} at t = {t}"
+                );
+            }
+            assert!((scaled.upper_bound() - 8.0 * s.upper_bound()).abs() < 1e-12);
+            scaled.validate().unwrap();
+        }
     }
 }

@@ -157,6 +157,23 @@ impl TraceSink {
         self.write_line(&s);
     }
 
+    /// Writes a span-timing record anchored to a simulated-time instant
+    /// (an additive `"t"` field on the span record; schema version
+    /// unchanged — readers without the field ignore it).
+    ///
+    /// Hybrid fluid↔DES handoffs use this: *when* in model time a switch
+    /// happened matters to later thrash analysis, not just how long the
+    /// handoff took in wall time.
+    pub fn span_at(&mut self, name: &str, micros: u64, t: f64) {
+        let mut s = String::with_capacity(80);
+        s.push_str("{\"kind\":\"span\",\"name\":");
+        jsonw::push_str_lit(&mut s, name);
+        let _ = write!(s, ",\"micros\":{micros},\"t\":");
+        jsonw::push_f64(&mut s, t);
+        s.push('}');
+        self.write_line(&s);
+    }
+
     /// Writes the final end record.
     pub fn end(&mut self, t: f64, counters: &Counters) {
         let mut s = String::with_capacity(128);

@@ -44,7 +44,7 @@ pub use arrivals::{ArrivalTimes, NonHomogeneousProcess, PoissonProcess, ThinnedA
 pub use classes::ClassMix;
 pub use correlation::CorrelationModel;
 pub use popularity::NonUniformModel;
-pub use requests::RequestSampler;
+pub use requests::{random_order, uniform_subset, RequestSampler};
 pub use trace::{Arrival, ArrivalTrace};
 
 /// Convenience error alias (all fallible APIs in this crate return the

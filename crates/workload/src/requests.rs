@@ -78,6 +78,42 @@ impl RequestSampler {
     }
 }
 
+/// Draws `i` distinct files uniformly at random from `0..k`, returned
+/// sorted ascending.
+///
+/// A partial Fisher–Yates shuffle over the identity pool: exactly `i`
+/// calls of `next_below(k − idx)` in ascending `idx`. The DES warm start
+/// inlined this sequence before the hybrid engine needed it too, so the
+/// draw order is load-bearing — changing it breaks bit-reproducibility of
+/// every warm-start and handoff stream.
+pub fn uniform_subset<R: RngCore + ?Sized>(rng: &mut R, k: usize, i: usize) -> Vec<FileId> {
+    debug_assert!(i <= k);
+    let mut pool: Vec<FileId> = (0..k as FileId).collect();
+    for idx in 0..i {
+        let j = idx + rng.next_below((k - idx) as u64) as usize;
+        pool.swap(idx, j);
+    }
+    let mut files: Vec<FileId> = pool[..i].to_vec();
+    files.sort_unstable();
+    files
+}
+
+/// Draws a uniformly random permutation of `0..n` (a download order over
+/// `n` slots).
+///
+/// Fisher–Yates from the top: `n − 1` calls of `next_below(idx + 1)` for
+/// `idx = n−1 .. 1`. Same bit-reproducibility caveat as
+/// [`uniform_subset`] — the DES arrival path consumes this exact
+/// sequence.
+pub fn random_order<R: RngCore + ?Sized>(rng: &mut R, n: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    for idx in (1..n).rev() {
+        let j = rng.next_below(idx as u64 + 1) as usize;
+        order.swap(idx, j);
+    }
+    order
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,5 +233,51 @@ mod tests {
                 "class {i}: freq {freq}, expect {expect}"
             );
         }
+    }
+
+    #[test]
+    fn uniform_subset_is_sorted_distinct_and_uniform() {
+        let mut r = rng(11);
+        let mut hits = [0usize; 10];
+        for _ in 0..40_000 {
+            let files = uniform_subset(&mut r, 10, 3);
+            assert_eq!(files.len(), 3);
+            assert!(files.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+            for &f in &files {
+                hits[f as usize] += 1;
+            }
+        }
+        // Each file appears with marginal probability i/k = 0.3.
+        for (f, &n) in hits.iter().enumerate() {
+            let freq = n as f64 / 40_000.0;
+            assert!((freq - 0.3).abs() < 0.01, "file {f}: freq {freq}");
+        }
+    }
+
+    #[test]
+    fn random_order_is_permutation_and_uniform_first_slot() {
+        let mut r = rng(12);
+        let mut first = [0usize; 5];
+        for _ in 0..50_000 {
+            let order = random_order(&mut r, 5);
+            let mut seen = [false; 5];
+            for &s in &order {
+                assert!(!seen[s], "duplicate slot in order");
+                seen[s] = true;
+            }
+            first[order[0]] += 1;
+        }
+        for (s, &n) in first.iter().enumerate() {
+            let freq = n as f64 / 50_000.0;
+            assert!((freq - 0.2).abs() < 0.01, "slot {s} first: freq {freq}");
+        }
+    }
+
+    #[test]
+    fn empty_draws_are_well_defined() {
+        let mut r = rng(13);
+        assert!(uniform_subset(&mut r, 10, 0).is_empty());
+        assert!(random_order(&mut r, 0).is_empty());
+        assert_eq!(random_order(&mut r, 1), vec![0]);
     }
 }
