@@ -389,6 +389,7 @@ fn bench_checkpoint_overhead(_c: &mut Criterion) {
     let plan = btfluid_harness::CheckpointPlan {
         path: Some(cp.clone()),
         every_events: (base_events / 5).max(1),
+        retry: btfluid_harness::RetryPolicy::default(),
     };
     let start = Instant::now();
     let coarse_events = drive_events(Some(&plan));
@@ -442,6 +443,84 @@ fn bench_checkpoint_overhead(_c: &mut Criterion) {
     );
     std::fs::write(path, merged).expect("write BENCH_des.json");
     println!("updated {path} with checkpoint_overhead");
+}
+
+/// Fault-injector seam guard: with the injector disarmed (the normal
+/// state), every seam consultation is one relaxed atomic load, and the
+/// run must stay within 1% of a des_scale run. Shared-machine wall
+/// clocks can't resolve sub-percent effects (repeated identical runs
+/// spread ±15%), so the guard is arithmetic: micro-time the disarmed
+/// `write_plan` consult, then bound the *worst imaginable* seam traffic
+/// — one consult per dispatched event, vastly more than the real
+/// per-checkpoint-write rate — against the run's measured wall time.
+/// Recorded under `"injector_overhead"` in `BENCH_des.json`.
+fn bench_injector_overhead(_c: &mut Criterion) {
+    use btfluid_telemetry::faults::{self, FaultSite, WritePlan};
+    if smoke_only() {
+        return;
+    }
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let (lambda0, horizon, warmup, drain) = if test_mode {
+        SCALE_POINTS[0]
+    } else {
+        (8.0, 1200.0, 150.0, 600.0)
+    };
+
+    assert!(!faults::armed(), "bench requires a disarmed injector");
+    // Micro-time the disarmed consult (and pin its answer).
+    let consults = 1_000_000u64;
+    let start = Instant::now();
+    for _ in 0..consults {
+        let plan = std::hint::black_box(faults::write_plan(FaultSite::CheckpointWrite, 1024));
+        assert!(
+            matches!(plan, WritePlan::Full),
+            "disarmed injector must plan a full write"
+        );
+    }
+    let per_consult_s = start.elapsed().as_secs_f64() / consults as f64;
+
+    // A real des_scale run for the denominator (with the seam live on its
+    // checkpoint path, as in production).
+    let start = Instant::now();
+    let events = Simulation::new(scale_config(lambda0, horizon, warmup, drain))
+        .expect("valid")
+        .run()
+        .events;
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let bound_pct = per_consult_s * events as f64 / wall_s * 100.0;
+    println!(
+        "injector_overhead λ₀={lambda0}: disarmed consult {:.1}ns; {events} events in \
+         {wall_s:.3}s → even one consult per event bounds overhead at {bound_pct:.4}% \
+         (real traffic is per checkpoint write, orders of magnitude rarer)",
+        per_consult_s * 1e9
+    );
+    assert!(
+        bound_pct < 1.0,
+        "disarmed-injector overhead bound {bound_pct:.4}% blew the 1% guard"
+    );
+    if test_mode {
+        return;
+    }
+
+    // Merge into BENCH_des.json (checkpoint_overhead wrote it just before us).
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_des.json");
+    let body = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".into());
+    let trimmed = body.trim_end();
+    let head = trimmed
+        .strip_suffix('}')
+        .expect("BENCH_des.json ends with an object")
+        .trim_end();
+    let sep = if head.ends_with('{') { "" } else { "," };
+    let merged = format!(
+        "{head}{sep}\n  \"injector_overhead\": {{\"lambda0\": {lambda0}, \
+         \"events\": {events}, \"per_consult_ns\": {:.2}, \
+         \"run_wall_s\": {wall_s:.6}, \
+         \"per_event_bound_pct\": {bound_pct:.4}}}\n}}\n",
+        per_consult_s * 1e9
+    );
+    std::fs::write(path, merged).expect("write BENCH_des.json");
+    println!("updated {path} with injector_overhead");
 }
 
 /// Telemetry-overhead guard: with a no-op probe attached the engine must
@@ -696,6 +775,7 @@ criterion_group!(
     bench_validation,
     bench_des_scale,
     bench_checkpoint_overhead,
+    bench_injector_overhead,
     bench_telemetry_overhead,
     bench_hybrid_scale
 );

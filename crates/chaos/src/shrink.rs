@@ -1,0 +1,166 @@
+//! Greedy plan shrinking: reduce a failing plan to a minimal one that
+//! still fails, so the repro bundle a human opens carries one fault, not
+//! a haystack.
+//!
+//! The candidate moves, tried round-robin until a fixpoint or the
+//! evaluation budget runs out (each evaluation is a full plan re-run, so
+//! the budget is the knob that bounds shrink cost):
+//!
+//! 1. drop an injection rule entirely;
+//! 2. halve a rule's fault window (`count`), permanent faults first
+//!    dropping to a single large-but-finite window;
+//! 3. drop the scenario fault windows;
+//! 4. drop the trace sink;
+//! 5. drop the kill point.
+//!
+//! Moves are ordered most-aggressive-first, and a successful move
+//! restarts the scan — the classic greedy delta-debugging loop.
+
+use crate::plan::ChaosPlan;
+
+/// Shrinks `plan` under `still_fails` (a full re-execution oracle),
+/// spending at most `max_evals` evaluations. Returns the smallest failing
+/// plan found and the evaluations spent.
+///
+/// `plan` itself is assumed failing and is not re-evaluated.
+pub fn shrink<F>(plan: &ChaosPlan, mut still_fails: F, max_evals: u32) -> (ChaosPlan, u32)
+where
+    F: FnMut(&ChaosPlan) -> bool,
+{
+    let mut best = plan.clone();
+    let mut evals = 0u32;
+    'outer: loop {
+        for candidate in candidates(&best) {
+            if evals >= max_evals {
+                break 'outer;
+            }
+            evals += 1;
+            if still_fails(&candidate) {
+                best = candidate;
+                continue 'outer; // restart the scan from the smaller plan
+            }
+        }
+        break; // full scan with no improvement: fixpoint
+    }
+    (best, evals)
+}
+
+fn candidates(plan: &ChaosPlan) -> Vec<ChaosPlan> {
+    let mut out = Vec::new();
+    for i in 0..plan.script.rules.len() {
+        let mut cand = plan.clone();
+        cand.script.rules.remove(i);
+        out.push(cand);
+    }
+    for i in 0..plan.script.rules.len() {
+        let count = plan.script.rules[i].count;
+        let halved = if count == u64::MAX {
+            1 << 20
+        } else {
+            count / 2
+        };
+        if halved >= 1 && halved < count {
+            let mut cand = plan.clone();
+            cand.script.rules[i].count = halved;
+            out.push(cand);
+        }
+    }
+    if plan.seed_outage.is_some() {
+        let mut cand = plan.clone();
+        cand.seed_outage = None;
+        out.push(cand);
+    }
+    if plan.tracker_blackout.is_some() {
+        let mut cand = plan.clone();
+        cand.tracker_blackout = None;
+        out.push(cand);
+    }
+    if plan.trace {
+        let mut cand = plan.clone();
+        cand.trace = false;
+        out.push(cand);
+    }
+    if plan.kill_at.is_some() {
+        let mut cand = plan.clone();
+        cand.kill_at = None;
+        out.push(cand);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{canary, PERMANENT};
+    use btfluid_telemetry::{FaultKind, FaultRule, FaultSite};
+
+    // A synthetic oracle: the plan "fails" iff it still injects
+    // CorruptWrite on the checkpoint-write site AND keeps its kill point —
+    // the canary's actual failure mechanism, evaluated without running.
+    fn fails(plan: &ChaosPlan) -> bool {
+        plan.kill_at.is_some()
+            && plan
+                .script
+                .rules
+                .iter()
+                .any(|r| r.site == FaultSite::CheckpointWrite && r.kind == FaultKind::CorruptWrite)
+    }
+
+    #[test]
+    fn shrinks_to_the_single_load_bearing_rule() {
+        let mut plan = canary(3);
+        // Bolt on dead weight the shrinker must strip.
+        plan.script.rules.push(FaultRule {
+            site: FaultSite::TraceWrite,
+            kind: FaultKind::Eio,
+            from_op: 0,
+            count: PERMANENT,
+        });
+        plan.script.rules.push(FaultRule {
+            site: FaultSite::CheckpointRename,
+            kind: FaultKind::RenameFail,
+            from_op: 2,
+            count: 3,
+        });
+        plan.trace = true;
+        assert!(fails(&plan));
+
+        let (small, evals) = shrink(&plan, fails, 200);
+        assert!(fails(&small), "shrunk plan must still fail");
+        assert!(evals > 0 && evals <= 200);
+        assert_eq!(small.script.rules.len(), 1, "dead rules stripped");
+        assert_eq!(small.script.rules[0].kind, FaultKind::CorruptWrite);
+        assert!(!small.trace, "trace stripped");
+        assert!(small.seed_outage.is_none(), "scenario fault stripped");
+        assert!(small.kill_at.is_some(), "load-bearing kill point kept");
+        assert!(
+            small.script.rules[0].count < PERMANENT,
+            "permanent window reduced to a finite one"
+        );
+    }
+
+    #[test]
+    fn budget_zero_returns_the_original() {
+        let plan = canary(4);
+        let (same, evals) = shrink(&plan, |_| true, 0);
+        assert_eq!(same, plan);
+        assert_eq!(evals, 0);
+    }
+
+    #[test]
+    fn shrink_is_deterministic() {
+        let plan = {
+            let mut p = canary(5);
+            p.script.rules.push(FaultRule {
+                site: FaultSite::ManifestAppend,
+                kind: FaultKind::ShortWrite,
+                from_op: 1,
+                count: 2,
+            });
+            p
+        };
+        let a = shrink(&plan, fails, 100);
+        let b = shrink(&plan, fails, 100);
+        assert_eq!(a, b);
+    }
+}

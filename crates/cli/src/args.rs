@@ -34,6 +34,7 @@ const NUMERIC: &[&str] = &[
     "horizon",
     "warmup",
     "seed",
+    "cells",
     "cheaters",
     "crowd",
     "epoch",

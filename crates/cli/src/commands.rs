@@ -1,7 +1,7 @@
 //! Subcommand dispatch and execution.
 
 use crate::args::Options;
-use crate::errors::{CliError, EXIT_CLOBBER, EXIT_SWEEP_FAILED};
+use crate::errors::{CliError, EXIT_CLOBBER, EXIT_INVARIANT, EXIT_SWEEP_FAILED};
 use btfluid_bench::{
     ablation, adapt_exp, fig2, fig3, fig4a, fig4bc, skew, transient, validate, Table,
 };
@@ -71,8 +71,17 @@ COMMANDS
                 [--retries N] [--workers N] [--event-budget N]
                 [--wall-budget-ms MS] [--checkpoint-every N] [--checked]
                 [--exact] [--inject-panic CELL@EVENT]
-  repro       replay a quarantined cell from its repro bundle
+  repro       replay a quarantined cell (or chaos plan) from its repro
+              bundle
                 btfluid repro <bundle-dir>
+  chaos       deterministic chaos sweep: seeded random fault plans × I/O
+              fault schedules × kill/resume points, run against the
+              invariant catalog; violations are shrunk to minimal failing
+              plans and written as replayable repro bundles
+                [--seed S] [--cells N] [--bundles DIR] [--expect-fail]
+              exits 4 when any invariant is violated; --expect-fail runs
+              a canary with silently corrupted checkpoints that must be
+              caught (exit 4) — CI asserts exactly that
   selfcheck   differential self-check oracle: paper-derived invariants,
               cross-implementation agreement, decoder fuzz
                 [--full] [--seed S] [--expect-fail]
@@ -116,7 +125,7 @@ CRASH SAFETY
 
 EXIT CODES
   0 success          1 usage or I/O     2 invalid configuration
-  3 solver diverged  4 invariant violated (--checked)
+  3 solver diverged  4 invariant violated (--checked, chaos)
   5 snapshot/checkpoint rejected        6 sweep had failures / repro
   7 refused to overwrite (use --force)    reproduced the recorded failure
 ";
@@ -174,6 +183,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
         "eta" => cmd_eta(&opts),
         "sim" => cmd_sim(&opts),
         "sweep" => cmd_sweep(&opts),
+        "chaos" => cmd_chaos(&opts),
         "selfcheck" => cmd_selfcheck(&opts),
         "all" => cmd_all(&opts),
         other => Err(format!("unknown command '{other}' (try --help)").into()),
@@ -551,6 +561,9 @@ fn cmd_scenario(rest: &[String]) -> Result<(), CliError> {
     let sink = match opts.get("trace") {
         Some(path) => {
             check_clobber(path, &opts)?;
+            // A kill between the sink's tmp write and its finishing rename
+            // leaves `<trace>.tmp` behind; clear it like checkpoint tmps.
+            harness::clean_stale_tmp(Path::new(path));
             Some(TraceSink::create(Path::new(path))?.shared())
         }
         None => None,
@@ -744,6 +757,7 @@ fn run_scenario_resumable(
     let plan = harness::CheckpointPlan {
         path: opts.get("checkpoint").map(PathBuf::from),
         every_events: opts.get_u64("checkpoint-every", 5000)?,
+        retry: harness::RetryPolicy::default(),
     };
     let hook_factory = || -> Box<dyn btfluid_des::ScenarioHook> { Box::new(program.hook()) };
     let report = harness::drive(
@@ -835,6 +849,12 @@ fn run_scenario_hybrid(
 
     let checkpoint = opts.get("checkpoint").map(PathBuf::from);
     let every = opts.get_u64("checkpoint-every", 8)?.max(1);
+    // Same discipline as the engine driver: a leftover `.tmp` from a kill
+    // mid-rename is never a valid resume source — remove it so the resume
+    // below reads only the committed hybrid v4 checkpoint.
+    if let Some(path) = &checkpoint {
+        harness::clean_stale_tmp(path);
+    }
     let mut runner = match &checkpoint {
         Some(path) if opts.has("resume") && path.is_file() => {
             let bytes = fs::read(path)?;
@@ -1149,6 +1169,11 @@ fn cmd_repro(rest: &[String]) -> Result<(), CliError> {
         return Err("repro: missing bundle directory (written under a sweep's --bundles)".into());
     };
     let _opts = Options::parse(&rest[1..])?;
+    // Chaos bundles (`chaos.json`) replay through the chaos executor;
+    // supervisor cell bundles (`repro.json`) through the engine below.
+    if btfluid_chaos::ChaosBundle::is_chaos_dir(Path::new(dir)) {
+        return repro_chaos(Path::new(dir));
+    }
     let bundle = harness::ReproBundle::read(Path::new(dir))?;
     diag!(
         Level::Info,
@@ -1228,6 +1253,157 @@ fn cmd_repro(rest: &[String]) -> Result<(), CliError> {
             Ok(())
         }
     }
+}
+
+/// Scratch directory for chaos executor checkpoints/traces.
+fn chaos_work_dir() -> Result<PathBuf, CliError> {
+    let work = std::env::temp_dir().join(format!("btfluid-chaos-{}", std::process::id()));
+    fs::create_dir_all(&work)?;
+    Ok(work)
+}
+
+/// `btfluid chaos` — the deterministic chaos sweep: generate seeded
+/// random plans, execute each against the invariant catalog, shrink any
+/// violation to a minimal failing plan, and write replayable bundles.
+fn cmd_chaos(opts: &Options) -> Result<(), CliError> {
+    let seed = opts.get_u64("seed", 2006)?;
+    let cells = opts.get_u64("cells", 100)?;
+    let bundles = opts.get("bundles").unwrap_or("chaos-bundles").to_string();
+    let work = chaos_work_dir()?;
+
+    let plans = if opts.has("expect-fail") {
+        diag!(
+            Level::Info,
+            "chaos: expect-fail canary — silently corrupted checkpoint \
+             writes; the resume must catch it via the snapshot checksum"
+        );
+        vec![btfluid_chaos::canary(seed)]
+    } else {
+        btfluid_chaos::generate(seed, cells)
+    };
+
+    let mut failing: Vec<(btfluid_chaos::ChaosPlan, btfluid_chaos::Verdict)> = Vec::new();
+    for (i, plan) in plans.iter().enumerate() {
+        let verdict = btfluid_chaos::run_plan(plan, &work);
+        if !verdict.clean() {
+            diag!(
+                Level::Warn,
+                "chaos plan {}: {} violation(s): {}",
+                plan.index,
+                verdict.violations.len(),
+                verdict
+                    .violations
+                    .iter()
+                    .map(|v| v.invariant.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            failing.push((plan.clone(), verdict));
+        }
+        if (i + 1) % 20 == 0 {
+            diag!(Level::Info, "chaos: {}/{} plans run", i + 1, plans.len());
+        }
+    }
+    println!(
+        "chaos: seed {seed}, {} plan(s), {} violating",
+        plans.len(),
+        failing.len()
+    );
+    if failing.is_empty() {
+        return Ok(());
+    }
+
+    // Shrink and bundle the first few failures (each shrink evaluation is
+    // a full re-run, so keep the tail bounded).
+    const MAX_BUNDLES: usize = 4;
+    const SHRINK_BUDGET: u32 = 60;
+    for (plan, _) in failing.iter().take(MAX_BUNDLES) {
+        let (small, evals) = btfluid_chaos::shrink(
+            plan,
+            |cand| !btfluid_chaos::run_plan(cand, &work).clean(),
+            SHRINK_BUDGET,
+        );
+        let verdict = btfluid_chaos::run_plan(&small, &work);
+        let bundle = btfluid_chaos::ChaosBundle {
+            master_seed: seed,
+            plan: small,
+            violations: verdict.violations,
+            shrink_evals: evals,
+        };
+        let dir = Path::new(&bundles).join(format!("plan-{}", plan.index));
+        bundle
+            .write(&dir)
+            .map_err(|e| CliError::new(1, format!("chaos: writing {}: {e}", dir.display())))?;
+        println!(
+            "chaos: plan {} shrunk ({} rule(s) left, {} eval(s)) -> {}",
+            plan.index,
+            bundle.plan.script.rules.len(),
+            evals,
+            dir.display()
+        );
+    }
+    if failing.len() > MAX_BUNDLES {
+        diag!(
+            Level::Warn,
+            "chaos: only the first {MAX_BUNDLES} of {} failing plans were \
+             shrunk and bundled",
+            failing.len()
+        );
+    }
+    Err(CliError::new(
+        EXIT_INVARIANT,
+        format!(
+            "chaos: {}/{} plan(s) violated invariants (seed {seed}; bundles \
+             under {bundles})",
+            failing.len(),
+            plans.len()
+        ),
+    ))
+}
+
+/// Replays a chaos bundle: re-run the shrunk plan and report whether the
+/// recorded violation reproduces (exit 6, mirroring cell repro) or is
+/// gone (exit 0).
+fn repro_chaos(dir: &Path) -> Result<(), CliError> {
+    let bundle = btfluid_chaos::ChaosBundle::read(dir)
+        .map_err(|e| CliError::new(1, format!("repro: {e}")))?;
+    diag!(
+        Level::Info,
+        "repro chaos plan {} (master seed {}): recorded {} violation(s), \
+         shrunk in {} eval(s)",
+        bundle.plan.index,
+        bundle.master_seed,
+        bundle.violations.len(),
+        bundle.shrink_evals
+    );
+    let verdict = btfluid_chaos::run_plan(&bundle.plan, &chaos_work_dir()?);
+    if verdict.clean() {
+        println!(
+            "chaos plan {}: ran clean; the recorded violation did not reproduce",
+            bundle.plan.index
+        );
+        return Ok(());
+    }
+    for v in &verdict.violations {
+        println!("violation[{}]: {}", v.invariant, v.detail);
+    }
+    let same = verdict
+        .violations
+        .iter()
+        .any(|v| bundle.violations.iter().any(|r| r.invariant == v.invariant));
+    Err(CliError::new(
+        EXIT_SWEEP_FAILED,
+        format!(
+            "repro: chaos plan {} reproduced {} violation(s){}",
+            bundle.plan.index,
+            verdict.violations.len(),
+            if same {
+                " (same invariant class as recorded)"
+            } else {
+                " (different invariant class than recorded)"
+            }
+        ),
+    ))
 }
 
 /// One `sample` record from a trace, decoded.

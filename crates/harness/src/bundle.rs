@@ -20,6 +20,22 @@ use std::path::Path;
 /// Bundle format version; bumped on incompatible `repro.json` changes.
 pub const BUNDLE_VERSION: u64 = 1;
 
+/// One bundle file write, routed through the chaos injection seam so a
+/// scripted ENOSPC/EIO/short write on the `bundle-write` site surfaces as
+/// the typed I/O error the real failure would.
+fn bundle_write(path: &Path, bytes: &[u8]) -> Result<(), HarnessError> {
+    use btfluid_telemetry::faults::{self, FaultSite, WritePlan};
+    match faults::write_plan(FaultSite::BundleWrite, bytes.len()) {
+        WritePlan::Full | WritePlan::Corrupt => {}
+        WritePlan::Short(n, e) => {
+            let _ = std::fs::write(path, &bytes[..n]);
+            return Err(io_err(path, e));
+        }
+        WritePlan::Fail(e) => return Err(io_err(path, e)),
+    }
+    std::fs::write(path, bytes).map_err(|e| io_err(path, e))
+}
+
 /// A scenario program reference: enough to recompile the exact hook.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioRef {
@@ -71,11 +87,10 @@ impl ReproBundle {
     pub fn write(&self, dir: &Path) -> Result<(), HarnessError> {
         std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
         let json_path = dir.join("repro.json");
-        std::fs::write(&json_path, format!("{}\n", self.to_json()))
-            .map_err(|e| io_err(&json_path, e))?;
+        bundle_write(&json_path, format!("{}\n", self.to_json()).as_bytes())?;
         let snap_path = dir.join("checkpoint.snap");
         match &self.checkpoint {
-            Some(bytes) => std::fs::write(&snap_path, bytes).map_err(|e| io_err(&snap_path, e))?,
+            Some(bytes) => bundle_write(&snap_path, bytes)?,
             None => {
                 // A re-written bundle must not keep a stale checkpoint.
                 if snap_path.exists() {

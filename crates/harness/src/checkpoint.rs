@@ -13,10 +13,12 @@
 
 use crate::error::{io_err, HarnessError};
 use btfluid_des::{DesConfig, Probe, ScenarioHook, SimOutcome, Simulation, Snapshot};
+use btfluid_numkit::rng::{RngCore, SplitMix64};
+use btfluid_telemetry::faults::{self, FaultSite, WritePlan};
 use btfluid_telemetry::{diag, Level};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Atomically replaces `path` with `bytes`: write `<path>.tmp`, fsync,
 /// rename over the destination. A kill at any instant leaves either the
@@ -24,23 +26,162 @@ use std::time::Instant;
 /// engine snapshot codec uses, exposed for byte formats the harness does
 /// not own (the hybrid engine's snapshot v4, result bundles, …).
 ///
+/// Both steps pass through the chaos injection seam
+/// ([`btfluid_telemetry::faults`]) under the checkpoint sites, so a
+/// scripted ENOSPC/EIO/short-write/rename failure surfaces here exactly
+/// like the real one would.
+///
 /// # Errors
 /// Propagates the underlying filesystem errors; on failure the temp file
 /// is removed best-effort and `path` is untouched.
-pub fn atomic_write(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = PathBuf::from(tmp);
     let write = (|| {
         let mut file = std::fs::File::create(&tmp)?;
-        std::io::Write::write_all(&mut file, bytes)?;
+        match faults::write_plan(FaultSite::CheckpointWrite, bytes.len()) {
+            WritePlan::Full => std::io::Write::write_all(&mut file, bytes)?,
+            WritePlan::Short(n, e) => {
+                let _ = std::io::Write::write_all(&mut file, &bytes[..n]);
+                return Err(e);
+            }
+            WritePlan::Fail(e) => return Err(e),
+            WritePlan::Corrupt => {
+                // Silent corruption: commit a byte-flipped copy with no
+                // error — the lying-firmware case only read-time
+                // checksums can catch.
+                let mut poisoned = bytes.to_vec();
+                let mid = poisoned.len() / 2;
+                if let Some(b) = poisoned.get_mut(mid) {
+                    *b ^= 0x40;
+                }
+                std::io::Write::write_all(&mut file, &poisoned)?;
+            }
+        }
         file.sync_all()?;
+        if let Some(kind) = faults::intercept(FaultSite::CheckpointRename) {
+            return Err(kind.to_io_error());
+        }
         std::fs::rename(&tmp, path)
     })();
     if write.is_err() {
         let _ = std::fs::remove_file(&tmp);
     }
     write
+}
+
+/// Removes a leftover `<path>.tmp` from a write interrupted between the
+/// temp-file write and the rename (checkpoints, traces, hybrid v4
+/// snapshots — every atomic writer in the workspace uses the same
+/// discipline). Returns whether a stale file was actually removed.
+///
+/// The temp file is never a valid resume source (the rename is the commit
+/// point), so cleaning it up beats letting the next atomic write trip
+/// over it or an operator mistaking it for state.
+pub fn clean_stale_tmp(path: &Path) -> bool {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    if tmp.exists() {
+        diag!(
+            Level::Warn,
+            "removing leftover temp file {} (interrupted mid-write)",
+            tmp.display()
+        );
+        let _ = std::fs::remove_file(&tmp);
+        return true;
+    }
+    false
+}
+
+/// Bounded retry with exponential backoff for transient checkpoint I/O
+/// failures, plus the graceful-degradation threshold: after
+/// `degrade_after` *consecutive* failed write cycles (each cycle already
+/// containing `max_attempts` backed-off tries) the driver stops
+/// checkpointing entirely, bumps the process-wide
+/// [`faults::checkpoint_degraded_count`] tally, warns once, and lets the
+/// run finish on the engine's in-memory state — a correct result beats a
+/// dead run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Write attempts per checkpoint cycle (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per attempt after that.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Consecutive failed cycles before checkpointing is disabled.
+    pub degrade_after: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_millis(400),
+            degrade_after: 3,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A no-sleep variant for tests and chaos sweeps, where hundreds of
+    /// injected failures must not stack real wall-clock backoff.
+    pub fn immediate() -> Self {
+        Self {
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            ..Self::default()
+        }
+    }
+
+    /// Backoff before retry `attempt` (1-based): `base * 2^(attempt-1)`
+    /// capped at `max_backoff`, plus a deterministic jitter in
+    /// `[0, base/2)` drawn from a SplitMix64 stream seeded by `salt` —
+    /// reruns of the same failing run back off identically, so chaos
+    /// verdicts stay bit-reproducible.
+    fn backoff(&self, attempt: u32, salt: u64) -> Duration {
+        if self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+        let capped = exp.min(self.max_backoff);
+        let half_base = (self.base_backoff.as_micros() as u64 / 2).max(1);
+        let jitter = SplitMix64::new(salt ^ u64::from(attempt)).next_u64() % half_base;
+        capped + Duration::from_micros(jitter)
+    }
+
+    /// Runs one checkpoint write cycle: up to `max_attempts` tries with
+    /// backed-off sleeps between them.
+    fn write_cycle(&self, path: &Path, bytes: &[u8], salt: u64) -> std::io::Result<()> {
+        let mut attempt = 0u32;
+        loop {
+            match atomic_write(path, bytes) {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= self.max_attempts.max(1) {
+                        return Err(e);
+                    }
+                    let pause = self.backoff(attempt, salt);
+                    diag!(
+                        Level::Warn,
+                        "checkpoint write to {} failed ({e}); retry {attempt}/{} in {:?}",
+                        path.display(),
+                        self.max_attempts.max(1) - 1,
+                        pause
+                    );
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Where and how often to checkpoint.
@@ -51,6 +192,8 @@ pub struct CheckpointPlan {
     pub path: Option<PathBuf>,
     /// Snapshot after this many engine events (> 0).
     pub every_events: u64,
+    /// Retry/backoff/degradation policy for checkpoint write failures.
+    pub retry: RetryPolicy,
 }
 
 /// Cooperative limits, checked between chunks (and the panic injection,
@@ -93,6 +236,12 @@ pub struct RunReport {
     pub resumed: bool,
     /// Checkpoints written to disk.
     pub checkpoints: u64,
+    /// Checkpoint write cycles that failed even after retries. Failures
+    /// never kill the run — checkpointing is a pure observer.
+    pub checkpoint_failures: u64,
+    /// Whether checkpointing was disabled mid-run after
+    /// [`RetryPolicy::degrade_after`] consecutive failed cycles.
+    pub degraded: bool,
 }
 
 /// Runs `cfg` under the plan and limits.
@@ -143,17 +292,7 @@ pub fn drive(
     // rename is the commit point), so clean it up rather than letting the
     // next atomic write trip over it or an operator mistake it for state.
     if let Some(path) = checkpoint_path {
-        let mut tmp = path.as_os_str().to_owned();
-        tmp.push(".tmp");
-        let tmp = PathBuf::from(tmp);
-        if tmp.exists() {
-            diag!(
-                Level::Warn,
-                "removing leftover checkpoint temp file {} (interrupted mid-write)",
-                tmp.display()
-            );
-            let _ = std::fs::remove_file(&tmp);
-        }
+        clean_stale_tmp(path);
     }
     let existing = resume
         .then(|| checkpoint_path.filter(|p| p.exists()))
@@ -177,27 +316,68 @@ pub fn drive(
     }
     let resumed = existing.is_some();
     let chunk = plan.map_or(u64::MAX, |p| p.every_events);
+    let retry = plan.map_or_else(RetryPolicy::default, |p| p.retry);
     let mut checkpoints = 0u64;
+    let mut checkpoint_failures = 0u64;
+    let mut consecutive_failures = 0u32;
+    let mut degraded = false;
     let mut next_checkpoint = sim.events().saturating_add(chunk);
     let drive_start = Instant::now();
 
-    let take_snapshot =
-        |sim: &mut Simulation, on_snapshot: &mut Option<&mut dyn FnMut(&Snapshot)>| {
-            let started = Instant::now();
-            let snap = sim.snapshot();
-            if let Some(cb) = on_snapshot.as_mut() {
-                cb(&snap);
+    // Checkpointing is a pure observer of the run: a failed write must
+    // never change the result, so write failures warn (after the retry
+    // policy's backed-off attempts) instead of propagating, and after
+    // `degrade_after` consecutive failed cycles the driver gives up on
+    // disk entirely and lets the run finish on in-memory state.
+    let take_snapshot = |sim: &mut Simulation,
+                         on_snapshot: &mut Option<&mut dyn FnMut(&Snapshot)>,
+                         checkpoint_failures: &mut u64,
+                         consecutive_failures: &mut u32,
+                         degraded: &mut bool| {
+        let started = Instant::now();
+        let snap = sim.snapshot();
+        if let Some(cb) = on_snapshot.as_mut() {
+            cb(&snap);
+        }
+        if *degraded {
+            return false;
+        }
+        if let Some(path) = checkpoint_path {
+            let bytes = snap.to_bytes();
+            let salt = snap.events() ^ 0x5eed_c0de;
+            match retry.write_cycle(path, &bytes, salt) {
+                Ok(()) => {
+                    *consecutive_failures = 0;
+                    let micros = started.elapsed().as_micros() as u64;
+                    sim.note_snapshot(bytes.len() as u64, micros);
+                    sim.emit_span("checkpoint", micros);
+                    return true;
+                }
+                Err(e) => {
+                    *checkpoint_failures += 1;
+                    *consecutive_failures += 1;
+                    faults::note_checkpoint_failure();
+                    diag!(
+                        Level::Warn,
+                        "checkpoint cycle at event {} failed after {} attempt(s): {e}; run continues",
+                        snap.events(),
+                        retry.max_attempts.max(1)
+                    );
+                    if *consecutive_failures >= retry.degrade_after.max(1) {
+                        *degraded = true;
+                        faults::note_checkpoint_degraded();
+                        diag!(
+                            Level::Warn,
+                            "disabling checkpoints after {} consecutive failed cycles; \
+                             run continues without crash protection",
+                            consecutive_failures
+                        );
+                    }
+                }
             }
-            if let Some(path) = checkpoint_path {
-                let bytes = snap.to_bytes();
-                Snapshot::write_file_bytes(path, &bytes)?;
-                let micros = started.elapsed().as_micros() as u64;
-                sim.note_snapshot(bytes.len() as u64, micros);
-                sim.emit_span("checkpoint", micros);
-                return Ok::<bool, HarnessError>(true);
-            }
-            Ok(false)
-        };
+        }
+        false
+    };
 
     let end = loop {
         if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
@@ -220,7 +400,13 @@ pub fn drive(
             break RunEnd::Completed;
         }
         if sim.events() >= next_checkpoint {
-            if take_snapshot(&mut sim, &mut on_snapshot)? {
+            if take_snapshot(
+                &mut sim,
+                &mut on_snapshot,
+                &mut checkpoint_failures,
+                &mut consecutive_failures,
+                &mut degraded,
+            ) {
                 checkpoints += 1;
             }
             next_checkpoint = sim.events().saturating_add(chunk);
@@ -246,11 +432,19 @@ pub fn drive(
             events,
             resumed,
             checkpoints,
+            checkpoint_failures,
+            degraded,
         });
     }
 
     // Interrupted: persist the frontier so nothing is lost.
-    if take_snapshot(&mut sim, &mut on_snapshot)? {
+    if take_snapshot(
+        &mut sim,
+        &mut on_snapshot,
+        &mut checkpoint_failures,
+        &mut consecutive_failures,
+        &mut degraded,
+    ) {
         checkpoints += 1;
     }
     sim.emit_span("engine", drive_start.elapsed().as_micros() as u64);
@@ -260,6 +454,8 @@ pub fn drive(
         events: sim.events(),
         resumed,
         checkpoints,
+        checkpoint_failures,
+        degraded,
     })
 }
 
@@ -291,6 +487,7 @@ mod tests {
         let plan = CheckpointPlan {
             path: Some(path.clone()),
             every_events: 64,
+            retry: RetryPolicy::immediate(),
         };
         let limits = RunLimits {
             max_events: Some(333),
@@ -334,6 +531,7 @@ mod tests {
         let plan = CheckpointPlan {
             path: Some(path.clone()),
             every_events: 64,
+            retry: RetryPolicy::immediate(),
         };
         let limits = RunLimits {
             max_events: Some(333),
@@ -393,6 +591,7 @@ mod tests {
         let plan = CheckpointPlan {
             path: None,
             every_events: 100,
+            retry: RetryPolicy::immediate(),
         };
         let mut observe = |snap: &Snapshot| {
             seen += 1;
@@ -433,6 +632,7 @@ mod tests {
         let plan = CheckpointPlan {
             path: None,
             every_events: 0,
+            retry: RetryPolicy::immediate(),
         };
         assert!(matches!(
             drive(
@@ -479,6 +679,7 @@ mod tests {
         let plan = CheckpointPlan {
             path: Some(path.clone()),
             every_events: 64,
+            retry: RetryPolicy::immediate(),
         };
         let shared = Arc::new(Mutex::new(Shared::default()));
         let report = drive(

@@ -35,7 +35,9 @@ pub mod shard;
 pub mod supervisor;
 
 pub use bundle::{config_from_json, config_to_json, ReproBundle, ScenarioRef};
-pub use checkpoint::{atomic_write, drive, CheckpointPlan, RunEnd, RunLimits, RunReport};
+pub use checkpoint::{
+    atomic_write, clean_stale_tmp, drive, CheckpointPlan, RetryPolicy, RunEnd, RunLimits, RunReport,
+};
 pub use error::HarnessError;
 pub use manifest::{CellRecord, CellStatus, ManifestWriter};
 pub use shard::{run_shards, ShardOutcome, ShardSpec};

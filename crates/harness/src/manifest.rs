@@ -11,6 +11,8 @@
 use crate::error::{io_err, HarnessError};
 use crate::json::Json;
 use btfluid_des::Counters;
+use btfluid_telemetry::faults::{self, FaultSite, WritePlan};
+use btfluid_telemetry::{diag, Level};
 use std::collections::BTreeSet;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
@@ -128,8 +130,11 @@ fn counters_from_json(v: &Json) -> Option<Counters> {
     })
 }
 
-/// Loads a journal. A missing file is an empty journal; a torn final line
-/// (crash mid-append) is ignored; any other malformed line is an error.
+/// Loads a journal. A missing file is an empty journal; a torn *final*
+/// line (crash mid-append — with or without its trailing newline) is
+/// skipped with a warning, since the cell it described will simply be
+/// re-run; a malformed line anywhere *before* the final one means the
+/// journal itself is corrupt and is an error.
 pub fn load(path: &Path) -> Result<Vec<CellRecord>, HarnessError> {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -138,16 +143,32 @@ pub fn load(path: &Path) -> Result<Vec<CellRecord>, HarnessError> {
     };
     let mut records = Vec::new();
     let complete_len = text.rfind('\n').map_or(0, |i| i + 1);
-    for (lineno, line) in text[..complete_len].lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
+    let lines: Vec<(usize, &str)> = text[..complete_len]
+        .lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .collect();
+    let last = lines.len().saturating_sub(1);
+    for (i, (lineno, line)) in lines.iter().enumerate() {
         let parsed = Json::parse(line)
             .ok()
             .as_ref()
             .and_then(CellRecord::from_json);
         match parsed {
             Some(r) => records.push(r),
+            // A torn write killed mid-append can persist any prefix of the
+            // line — including one that happens to end in a newline. Only
+            // the final line can be a torn append; treat it like the
+            // unterminated case below and let the cell re-run.
+            None if i == last => {
+                diag!(
+                    Level::Warn,
+                    "{}: skipping truncated final journal line {} (torn append); \
+                     its cell will be re-run",
+                    path.display(),
+                    lineno + 1
+                );
+            }
             None => {
                 return Err(HarnessError::Manifest {
                     path: path.display().to_string(),
@@ -156,7 +177,14 @@ pub fn load(path: &Path) -> Result<Vec<CellRecord>, HarnessError> {
             }
         }
     }
-    // Anything after the last newline is a torn append; drop it silently.
+    if complete_len < text.len() {
+        diag!(
+            Level::Warn,
+            "{}: dropping unterminated final journal line (torn append); \
+             its cell will be re-run",
+            path.display()
+        );
+    }
     Ok(records)
 }
 
@@ -177,12 +205,30 @@ pub struct ManifestWriter {
 }
 
 impl ManifestWriter {
-    /// Opens (creating if needed) the journal for appending.
+    /// Opens (creating if needed) the journal for appending. An
+    /// unterminated final line from a torn append is truncated away first
+    /// — otherwise the next append would glue a fresh record onto the
+    /// garbage tail and turn a recoverable torn line into a corrupt
+    /// middle line.
     pub fn open(path: &Path) -> Result<Self, HarnessError> {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent).map_err(|e| io_err(parent, e))?;
             }
+        }
+        match std::fs::read_to_string(path) {
+            Ok(text) if !text.is_empty() && !text.ends_with('\n') => {
+                let keep = text.rfind('\n').map_or(0, |i| i + 1);
+                diag!(
+                    Level::Warn,
+                    "{}: truncating torn final journal line before appending",
+                    path.display()
+                );
+                std::fs::write(path, &text[..keep]).map_err(|e| io_err(path, e))?;
+            }
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(io_err(path, e)),
         }
         let file = OpenOptions::new()
             .create(true)
@@ -195,9 +241,23 @@ impl ManifestWriter {
         })
     }
 
-    /// Appends one record and forces it to disk.
+    /// Appends one record and forces it to disk. Passes through the chaos
+    /// injection seam: a scripted short write persists a torn prefix of
+    /// the line — exactly what a kill mid-append leaves behind.
     pub fn append(&mut self, record: &CellRecord) -> Result<(), HarnessError> {
         let line = format!("{}\n", record.to_json());
+        match faults::write_plan(FaultSite::ManifestAppend, line.len()) {
+            WritePlan::Full | WritePlan::Corrupt => {}
+            WritePlan::Short(n, e) => {
+                let _ = self
+                    .file
+                    .write_all(&line.as_bytes()[..n])
+                    .and_then(|()| self.file.flush())
+                    .and_then(|()| self.file.sync_data());
+                return Err(io_err(&self.path, e));
+            }
+            WritePlan::Fail(e) => return Err(io_err(&self.path, e)),
+        }
         self.file
             .write_all(line.as_bytes())
             .and_then(|()| self.file.flush())
@@ -295,10 +355,62 @@ mod tests {
     }
 
     #[test]
-    fn malformed_complete_line_is_an_error() {
+    fn truncated_final_line_with_newline_is_skipped() {
+        // A torn append can persist any prefix of the line — including one
+        // that ends in a newline. The final line must be skipped with a
+        // warning, not fail the whole sweep resume.
+        let path = tmp("torn-newline.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut w = ManifestWriter::open(&path).unwrap();
+        w.append(&rec("a", CellStatus::Done)).unwrap();
+        drop(w);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"id\":\"b\",\"sta\n"); // hand-truncated, newline intact
+        std::fs::write(&path, text).unwrap();
+        let records = load(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].id, "a");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn malformed_middle_line_is_an_error() {
+        // Corruption before the final line is not a torn append — the
+        // journal is damaged and resuming over it silently would lose
+        // cells.
         let path = tmp("bad.jsonl");
-        std::fs::write(&path, "{\"id\":\"a\"}\n").unwrap();
+        let mut text = String::from("{\"id\":\"a\"}\n");
+        let mut w = ManifestWriter::open(&tmp("bad-donor.jsonl")).unwrap();
+        w.append(&rec("b", CellStatus::Done)).unwrap();
+        drop(w);
+        text.push_str(&std::fs::read_to_string(tmp("bad-donor.jsonl")).unwrap());
+        std::fs::write(&path, text).unwrap();
         assert!(matches!(load(&path), Err(HarnessError::Manifest { .. })));
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(tmp("bad-donor.jsonl")).unwrap();
+    }
+
+    #[test]
+    fn reopen_truncates_torn_tail_before_appending() {
+        // Appending after a torn tail must not weld the new record onto
+        // the garbage — open() repairs the file back to its last complete
+        // line first.
+        let path = tmp("reopen-torn.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut w = ManifestWriter::open(&path).unwrap();
+        w.append(&rec("a", CellStatus::Done)).unwrap();
+        drop(w);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"id\":\"b\",\"sta"); // unterminated torn append
+        std::fs::write(&path, text).unwrap();
+
+        let mut w = ManifestWriter::open(&path).unwrap();
+        w.append(&rec("c", CellStatus::Done)).unwrap();
+        drop(w);
+        let records = load(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].id, "a");
+        assert_eq!(records[1].id, "c");
         std::fs::remove_file(&path).unwrap();
     }
 }

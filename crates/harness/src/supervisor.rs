@@ -391,6 +391,7 @@ fn run_attempt(
         let plan = CheckpointPlan {
             path: None,
             every_events: sup.checkpoint_every,
+            retry: crate::checkpoint::RetryPolicy::default(),
         };
         let limits = RunLimits {
             max_events: sup.budget.max_events,

@@ -100,6 +100,12 @@ pub fn registry() -> Vec<Check> {
             run: structural::snapshot_fuzz,
         },
         Check {
+            name: "hybrid-snapshot-fuzz",
+            paper_ref: "hybrid snapshot v4 contract (typed errors, no panic)",
+            tier: Tier::Quick,
+            run: structural::hybrid_snapshot_fuzz,
+        },
+        Check {
             name: "des-exact-vs-incremental",
             paper_ref: "engine contract (bit-identical modes)",
             tier: Tier::Quick,

@@ -138,3 +138,103 @@ pub fn trace_jsonl_round_trip(cfg: &OracleConfig) -> Result<String, String> {
     let _ = std::fs::remove_dir_all(&dir);
     result
 }
+
+/// Builds a genuine hybrid snapshot (format v4) by stepping a runner
+/// across a couple of regime boundaries of the fast flash-crowd config.
+fn live_hybrid_snapshot_bytes(
+    seed: u64,
+) -> Result<(btfluid_hybrid::HybridConfig, Vec<u8>), String> {
+    let cfg = btfluid_hybrid::HybridConfig {
+        program: btfluid_hybrid::amplified_flash_crowd(512.0, 0.005),
+        scheme: SchemeKind::Mtcd,
+        seed,
+        tol: 0.1,
+        aggregate: false,
+    };
+    let mut runner =
+        btfluid_hybrid::HybridRunner::new(cfg.clone()).map_err(|e| format!("hybrid new: {e}"))?;
+    for _ in 0..2 {
+        if !runner
+            .step_boundary()
+            .map_err(|e| format!("hybrid step: {e}"))?
+        {
+            break;
+        }
+    }
+    Ok((cfg, runner.snapshot()))
+}
+
+/// Hybrid snapshot v4 decoder under fire: *every* single-byte corruption
+/// of a valid file (one flipped bit per byte position, plus seeded
+/// truncations) must come back as a typed [`HybridError::Snapshot`] —
+/// never a panic, never an accepted resume, never a different error
+/// class. The v4 format ends in an FNV-1a checksum over the content, so
+/// any one-byte change is detectable.
+///
+/// [`HybridError::Snapshot`]: btfluid_hybrid::HybridError
+pub fn hybrid_snapshot_fuzz(cfg: &OracleConfig) -> Result<String, String> {
+    use btfluid_hybrid::{HybridError, HybridRunner};
+
+    let (hcfg, bytes) = live_hybrid_snapshot_bytes(cfg.seed.wrapping_add(11))?;
+    // Sanity: the pristine bytes must resume.
+    HybridRunner::resume(hcfg.clone(), &bytes)
+        .map_err(|e| format!("pristine hybrid snapshot failed to resume: {e}"))?;
+
+    let mut rng = Xoshiro256StarStar::stream(cfg.seed, 4);
+    // Visit every byte position when the file is small (or in --full);
+    // otherwise stride so ~1024 positions are covered — still spanning
+    // header, payload, and trailing checksum.
+    let stride = if cfg.full || bytes.len() <= 1024 {
+        1
+    } else {
+        bytes.len().div_ceil(1024)
+    };
+    let mut rejected = 0usize;
+    let mut byte = 0usize;
+    while byte < bytes.len() {
+        let bit = rng.next_u64() % 8;
+        let mut mutated = bytes.clone();
+        mutated[byte] ^= 1u8 << bit;
+        let verdict = catch_unwind(AssertUnwindSafe(|| {
+            HybridRunner::resume(hcfg.clone(), &mutated).map(|_| ())
+        }));
+        match verdict {
+            Err(_) => return Err(format!("resume PANICKED on bit flip at byte {byte}")),
+            Ok(Ok(())) => {
+                return Err(format!(
+                    "resume ACCEPTED corrupt bytes (bit flip at byte {byte}, bit {bit})"
+                ))
+            }
+            Ok(Err(HybridError::Snapshot(_))) => rejected += 1,
+            Ok(Err(other)) => {
+                return Err(format!(
+                    "bit flip at byte {byte} produced a non-snapshot error class: {other}"
+                ))
+            }
+        }
+        byte += stride;
+    }
+    // Truncations: strictly shorter prefixes, including the empty file.
+    let cuts = if cfg.full { 64 } else { 24 };
+    for _ in 0..cuts {
+        let cut = (rng.next_u64() % bytes.len() as u64) as usize;
+        let mutated = &bytes[..cut];
+        let verdict = catch_unwind(AssertUnwindSafe(|| {
+            HybridRunner::resume(hcfg.clone(), mutated).map(|_| ())
+        }));
+        match verdict {
+            Err(_) => return Err(format!("resume PANICKED on truncation to {cut} bytes")),
+            Ok(Ok(())) => return Err(format!("resume ACCEPTED a truncated file ({cut} bytes)")),
+            Ok(Err(HybridError::Snapshot(_))) => rejected += 1,
+            Ok(Err(other)) => {
+                return Err(format!(
+                    "truncation to {cut} bytes produced a non-snapshot error class: {other}"
+                ))
+            }
+        }
+    }
+    Ok(format!(
+        "{rejected} mutations of a {}-byte v4 hybrid snapshot rejected as HybridError::Snapshot (stride {stride})",
+        bytes.len()
+    ))
+}

@@ -25,12 +25,14 @@
 
 pub mod counters;
 pub mod diag;
+pub mod faults;
 pub mod jsonw;
 pub mod probe;
 pub mod sink;
 
 pub use counters::Counters;
 pub use diag::{enabled, level, set_level, Level};
+pub use faults::{FaultKind, FaultRule, FaultScript, FaultSite};
 pub use jsonw::{non_finite_null_count, note_non_finite_null};
 pub use probe::{MemoryProbe, NoopProbe, OwnedSample, Probe, Sample};
 pub use sink::{MetaField, SharedSink, SinkProbe, TraceSink, TRACE_SCHEMA, TRACE_VERSION};

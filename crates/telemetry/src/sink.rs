@@ -89,10 +89,21 @@ impl TraceSink {
             self.error = Some("write after finish".into());
             return;
         };
-        match out
-            .write_all(line.as_bytes())
-            .and_then(|()| out.write_all(b"\n"))
-        {
+        // The chaos injection seam: a scripted fault here behaves exactly
+        // like the OS failing the buffered write — the error is deferred
+        // and surfaces (typed) at finish(), the sink's normal discipline.
+        let wrote =
+            match crate::faults::write_plan(crate::faults::FaultSite::TraceWrite, line.len()) {
+                crate::faults::WritePlan::Full | crate::faults::WritePlan::Corrupt => out
+                    .write_all(line.as_bytes())
+                    .and_then(|()| out.write_all(b"\n")),
+                crate::faults::WritePlan::Short(n, e) => {
+                    let _ = out.write_all(&line.as_bytes()[..n]);
+                    Err(e)
+                }
+                crate::faults::WritePlan::Fail(e) => Err(e),
+            };
+        match wrote {
             Ok(()) => self.lines += 1,
             Err(e) => self.error = Some(e.to_string()),
         }
@@ -211,6 +222,9 @@ impl TraceSink {
             return fail(&self.tmp_path, e);
         }
         drop(file);
+        if let Some(kind) = crate::faults::intercept(crate::faults::FaultSite::TraceFinish) {
+            return fail(&self.tmp_path, kind.to_io_error());
+        }
         if let Err(e) = std::fs::rename(&self.tmp_path, &self.final_path) {
             return fail(&self.tmp_path, e);
         }
