@@ -22,6 +22,9 @@ pub struct ChaosBundle {
     pub violations: Vec<Violation>,
     /// Plan evaluations the shrinker spent.
     pub shrink_evals: u32,
+    /// Flight-recorder dump (`flightrec v1` JSONL) from the violating
+    /// run, written as a sibling `flightrec.jsonl` when present.
+    pub flight: Option<String>,
 }
 
 impl ChaosBundle {
@@ -55,7 +58,21 @@ impl ChaosBundle {
                 Json::num_u64(u64::from(self.shrink_evals)),
             ),
         ]);
-        btfluid_harness::atomic_write(&dir.join("chaos.json"), format!("{doc}\n").as_bytes())
+        btfluid_harness::atomic_write(&dir.join("chaos.json"), format!("{doc}\n").as_bytes())?;
+        let flight_path = dir.join("flightrec.jsonl");
+        match &self.flight {
+            Some(dump) => btfluid_harness::atomic_write(&flight_path, dump.as_bytes())?,
+            None => {
+                // Delete a stale dump from an earlier bundle of the same
+                // cell, so the directory never mixes generations.
+                if let Err(e) = std::fs::remove_file(&flight_path) {
+                    if e.kind() != std::io::ErrorKind::NotFound {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Reads a bundle directory back.
@@ -107,6 +124,11 @@ impl ChaosBundle {
                 .and_then(Json::as_u64)
                 .and_then(|x| u32::try_from(x).ok())
                 .unwrap_or(0),
+            flight: match std::fs::read_to_string(dir.join("flightrec.jsonl")) {
+                Ok(dump) => Some(dump),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+                Err(e) => return Err(format!("flightrec.jsonl: {e}")),
+            },
         })
     }
 
@@ -138,12 +160,25 @@ mod tests {
                 detail: "resume leg: Engine(Snapshot(..))".into(),
             }],
             shrink_evals: 17,
+            flight: Some(
+                "{\"schema\":\"flightrec\",\"version\":1,\"capacity\":4,\"total\":1,\"dropped\":0}\n\
+                 {\"k\":\"pop\",\"t\":1.5,\"ev\":1,\"a\":1,\"b\":0}\n"
+                    .into(),
+            ),
         };
         let dir = tmp("roundtrip");
         bundle.write(&dir).unwrap();
         assert!(ChaosBundle::is_chaos_dir(&dir));
         let back = ChaosBundle::read(&dir).unwrap();
         assert_eq!(bundle, back);
+        // A rewrite without a dump clears the stale member.
+        let bare = ChaosBundle {
+            flight: None,
+            ..bundle
+        };
+        bare.write(&dir).unwrap();
+        assert!(!dir.join("flightrec.jsonl").exists());
+        assert_eq!(ChaosBundle::read(&dir).unwrap().flight, None);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -25,8 +25,12 @@ use btfluid_harness::{
 };
 use btfluid_hybrid::{HybridConfig, HybridOutcome, HybridRunner};
 use btfluid_telemetry::faults::{self, FaultScript};
-use btfluid_telemetry::{diag, Level, SinkProbe, TraceSink};
+use btfluid_telemetry::{
+    diag, shared_recorder, FanoutProbe, Level, RecorderProbe, SharedRecorder, SinkProbe, TraceSink,
+    DEFAULT_FLIGHT_CAPACITY,
+};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// One invariant violation: which catalog entry, and what was seen.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,6 +57,9 @@ pub struct Verdict {
     pub index: u64,
     /// Violations found (empty = the plan was survived correctly).
     pub violations: Vec<Violation>,
+    /// Flight-recorder dump (`flightrec v1` JSONL) of the chaos legs'
+    /// last happenings — populated only on a non-clean verdict.
+    pub flight: Option<String>,
 }
 
 impl Verdict {
@@ -62,11 +69,13 @@ impl Verdict {
     }
 }
 
-/// Disarms the injector even if the executor unwinds.
+/// Disarms the injector (and detaches its flight hook) even if the
+/// executor unwinds.
 struct Disarm;
 impl Drop for Disarm {
     fn drop(&mut self) {
         faults::disarm();
+        faults::uninstall_flight();
     }
 }
 
@@ -75,11 +84,13 @@ impl Drop for Disarm {
 /// process-global, so plans must run sequentially anyway).
 pub fn run_plan(plan: &ChaosPlan, work_dir: &Path) -> Verdict {
     let mut violations = Vec::new();
+    let flight = shared_recorder(DEFAULT_FLIGHT_CAPACITY);
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match plan.mode {
-        ChaosMode::Des => run_des(plan, work_dir),
-        ChaosMode::Hybrid => run_hybrid(plan, work_dir),
+        ChaosMode::Des => run_des(plan, work_dir, &flight),
+        ChaosMode::Hybrid => run_hybrid(plan, work_dir, &flight),
     }));
     faults::disarm();
+    faults::uninstall_flight();
     match outcome {
         Ok(mut v) => violations.append(&mut v),
         Err(payload) => {
@@ -91,9 +102,14 @@ pub fn run_plan(plan: &ChaosPlan, work_dir: &Path) -> Verdict {
             violations.push(Violation::new("no-panic", format!("panicked: {msg}")));
         }
     }
+    let flight = {
+        let ring = flight.lock().unwrap_or_else(|e| e.into_inner());
+        (!violations.is_empty() && !ring.is_empty()).then(|| ring.dump_string(None))
+    };
     Verdict {
         index: plan.index,
         violations,
+        flight,
     }
 }
 
@@ -105,7 +121,7 @@ fn ckpt_plan(path: PathBuf) -> CheckpointPlan {
     }
 }
 
-fn run_des(plan: &ChaosPlan, work_dir: &Path) -> Vec<Violation> {
+fn run_des(plan: &ChaosPlan, work_dir: &Path, flight: &SharedRecorder) -> Vec<Violation> {
     let program = plan.program();
     let cfg = match program.des_config(plan.scheme, plan.seed) {
         Ok(mut cfg) => {
@@ -147,7 +163,16 @@ fn run_des(plan: &ChaosPlan, work_dir: &Path) -> Vec<Violation> {
 
     let _guard = Disarm;
     faults::arm(plan.script.clone());
+    faults::install_flight(Arc::clone(flight));
     let cplan = ckpt_plan(ckpt.clone());
+    let first_probe: Box<dyn btfluid_des::Probe> = {
+        let mut probes: Vec<Box<dyn btfluid_des::Probe>> =
+            vec![Box::new(RecorderProbe::new(Arc::clone(flight)))];
+        if let Some(s) = sink.clone() {
+            probes.push(Box::new(SinkProbe::new(s, 10.0)));
+        }
+        Box::new(FanoutProbe::new(probes))
+    };
     let first: Result<RunReport, HarnessError> = drive(
         cfg.clone(),
         Some(&hook_factory),
@@ -159,8 +184,7 @@ fn run_des(plan: &ChaosPlan, work_dir: &Path) -> Vec<Violation> {
         },
         None,
         None,
-        sink.clone()
-            .map(|s| Box::new(SinkProbe::new(s, 10.0)) as Box<dyn btfluid_des::Probe>),
+        Some(first_probe),
     );
     let chaos = match first {
         Ok(report) if report.end == RunEnd::Completed => report.outcome,
@@ -177,7 +201,7 @@ fn run_des(plan: &ChaosPlan, work_dir: &Path) -> Vec<Violation> {
                 &RunLimits::default(),
                 None,
                 None,
-                None,
+                Some(Box::new(RecorderProbe::new(Arc::clone(flight)))),
             ) {
                 Ok(report) => report.outcome,
                 Err(e) => {
@@ -255,7 +279,7 @@ fn check_des(baseline: &SimOutcome, chaos: &SimOutcome) -> Vec<Violation> {
     violations
 }
 
-fn run_hybrid(plan: &ChaosPlan, work_dir: &Path) -> Vec<Violation> {
+fn run_hybrid(plan: &ChaosPlan, work_dir: &Path, flight: &SharedRecorder) -> Vec<Violation> {
     let peak = 256.0 * (1 << (plan.seed % 3)) as f64; // 256 / 512 / 1024
     let cfg = HybridConfig {
         program: btfluid_hybrid::amplified_flash_crowd(peak, 0.005),
@@ -273,8 +297,10 @@ fn run_hybrid(plan: &ChaosPlan, work_dir: &Path) -> Vec<Violation> {
     let _ = std::fs::remove_file(&ckpt);
     let _guard = Disarm;
     faults::arm(plan.script.clone());
+    faults::install_flight(Arc::clone(flight));
     let chaos = (|| -> Result<HybridOutcome, String> {
         let mut runner = HybridRunner::new(cfg.clone()).map_err(|e| format!("new: {e:?}"))?;
+        runner.attach_flight(Arc::clone(flight));
         let mut boundary = 0u64;
         let mut killed = false;
         loop {
@@ -304,6 +330,7 @@ fn run_hybrid(plan: &ChaosPlan, work_dir: &Path) -> Vec<Violation> {
                         std::fs::read(&ckpt).map_err(|e| format!("read checkpoint: {e}"))?;
                     runner = HybridRunner::resume(cfg.clone(), &on_disk)
                         .map_err(|e| format!("resume: {e:?}"))?;
+                    runner.attach_flight(Arc::clone(flight));
                 }
             }
         }

@@ -47,6 +47,7 @@ const NUMERIC: &[&str] = &[
     "wall-budget-ms",
     "sample-every",
     "hybrid-tol",
+    "flightrec-cap",
 ];
 
 /// Value-taking options with free-form string arguments (paths, scheme
@@ -63,6 +64,11 @@ const STRINGLY: &[&str] = &[
     "inject-panic",
     "trace",
     "csv-out",
+    "flightrec",
+    "history",
+    "report",
+    "md-out",
+    "bench",
 ];
 
 /// Known bare flags. Anything else starting with `--` is an unknown
@@ -82,6 +88,9 @@ const FLAGS: &[&str] = &[
     "help",
     "verbose",
     "quiet",
+    "record",
+    "check",
+    "canary",
 ];
 
 impl Options {

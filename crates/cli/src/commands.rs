@@ -17,12 +17,14 @@ use btfluid_harness::json::Json;
 use btfluid_hybrid::{HybridConfig, HybridRunner, Regime};
 use btfluid_scenario::{registry, runner, RateMode};
 use btfluid_telemetry::{
-    diag, set_level, Counters, Level, MetaField, SharedSink, SinkProbe, TraceSink,
-    DEFAULT_SAMPLE_EVERY, TRACE_SCHEMA, TRACE_VERSION,
+    diag, set_level, shared_recorder, Counters, FanoutProbe, Level, MetaField, Profiler,
+    RecorderProbe, SharedRecorder, SharedSink, SinkProbe, TraceSink, DEFAULT_FLIGHT_CAPACITY,
+    DEFAULT_SAMPLE_EVERY, FLIGHTREC_SCHEMA, FLIGHTREC_VERSION, TRACE_SCHEMA, TRACE_VERSION,
 };
 use btfluid_workload::CorrelationModel;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "\
@@ -62,9 +64,28 @@ COMMANDS
                   --hybrid [--hybrid-tol T] (default 0.1; thresholds
                   hi = ceil(1/T²), lo = hi/2); --checkpoint-every counts
                   decision boundaries here, not events
-  inspect     summarize a telemetry trace: counters, anomaly flags,
-              per-class trajectories
-                btfluid inspect <trace.jsonl> [--csv-out FILE]
+                flight recorder (observe-only ring of recent happenings):
+                  [--flightrec FILE] [--flightrec-cap N] (default 256)
+  inspect     summarize a telemetry trace (counters, anomaly flags,
+              per-class trajectories) or a flight-recorder dump (event
+              mix, last handoff/checkpoint, staleness vs failure time)
+                btfluid inspect <trace.jsonl|flightrec.jsonl> [--csv-out FILE]
+  profile     hot-path self-profiler: one engine run with scoped phase
+              timers (heap ops, rate maintenance, member sampling, hook
+              dispatch, snapshot encode, sink write), calibrated-overhead
+              subtracted, rendered as per-phase wall and per-event tables
+                [--scheme S] [--p P] [--horizon H] [--seed S]
+                [--exact | --aggregate] [--trace FILE]
+  perf        cross-run performance observatory over committed BENCH_*.json
+              and sweep manifests
+                [--bench FILES] [--manifest FILE] [--history FILE]
+                [--report FILE] [--md-out FILE] [--record] [--check]
+                [--canary]
+              --record appends today's metrics to the history
+              (PERF_HISTORY.jsonl); --check compares them against the
+              noise band (median ± MAD over history) and exits 4 on a
+              regression; --canary degrades the metrics first and must
+              exit 4 — CI asserts exactly that
   sweep       supervised replicate sweep with failure quarantine
                 --manifest FILE [--bundles DIR] [--schemes LIST] [--reps N]
                 [--seed S] [--p P] [--k K] [--horizon H] [--resume]
@@ -182,6 +203,8 @@ pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
         "skew" => cmd_skew(&opts),
         "eta" => cmd_eta(&opts),
         "sim" => cmd_sim(&opts),
+        "profile" => cmd_profile(&opts),
+        "perf" => crate::perf::cmd_perf(&opts),
         "sweep" => cmd_sweep(&opts),
         "chaos" => cmd_chaos(&opts),
         "selfcheck" => cmd_selfcheck(&opts),
@@ -505,6 +528,146 @@ fn cmd_sim(opts: &Options) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Writes a flight recorder's `flightrec v1` dump to `path` atomically.
+fn write_flight_dump(path: &Path, flight: &SharedRecorder) -> Result<(), CliError> {
+    let dump = flight
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .dump_string(None);
+    harness::atomic_write(path, dump.as_bytes())?;
+    diag!(Level::Info, "wrote flight recording {}", path.display());
+    Ok(())
+}
+
+/// Best-effort flight dump on an error path, so a typed engine or driver
+/// error still ships its last-N-events story. Never masks the original
+/// error: a dump failure only warns, and an empty ring (the error fired
+/// before any run) writes nothing.
+fn dump_flight_on_error(path: &Path, flight: &SharedRecorder) {
+    if flight.lock().unwrap_or_else(|e| e.into_inner()).is_empty() {
+        return;
+    }
+    if let Err(e) = write_flight_dump(path, flight) {
+        diag!(Level::Warn, "flight dump on the error path failed: {e}");
+    }
+}
+
+/// `btfluid profile` — run one engine configuration with the hierarchical
+/// self-profiler enabled and render the per-phase cost tables.
+fn cmd_profile(opts: &Options) -> Result<(), CliError> {
+    let scheme = parse_scheme(opts.get("scheme").unwrap_or("mtcd"))?;
+    let p = opts.get_f64("p", 0.5)?;
+    let horizon = opts.get_f64("horizon", 2000.0)?;
+    let cfg = DesConfig {
+        params: FluidParams::paper(),
+        model: CorrelationModel::new(10, p, 0.25)?,
+        scheme,
+        horizon,
+        warmup: opts.get_f64("warmup", horizon / 4.0)?,
+        drain: horizon,
+        seed: opts.get_u64("seed", 1)?,
+        adapt: None,
+        origin_seeds: opts.get_usize("origin-seeds", 1)?,
+        warm_start: false,
+        order_policy: OrderPolicy::default(),
+        record_every: None,
+        exact_rates: opts.has("exact"),
+        aggregate: opts.has("aggregate"),
+        checked: opts.has("checked"),
+    };
+    let sink = match opts.get("trace") {
+        Some(path) => {
+            check_clobber(path, opts)?;
+            harness::clean_stale_tmp(Path::new(path));
+            Some(TraceSink::create(Path::new(path))?.shared())
+        }
+        None => None,
+    };
+    let mut sim = Simulation::new(cfg)?;
+    sim.enable_profiler(Profiler::calibrated());
+    if let Some(sink) = &sink {
+        sink.lock().unwrap_or_else(|e| e.into_inner()).meta(&[
+            (
+                "label",
+                MetaField::Str(format!("profile-{}", scheme.name())),
+            ),
+            ("seed", MetaField::U64(opts.get_u64("seed", 1)?)),
+        ]);
+        sim.attach_probe(Box::new(SinkProbe::new(
+            sink.clone(),
+            opts.get_f64("sample-every", DEFAULT_SAMPLE_EVERY)?,
+        )));
+    }
+    let started = std::time::Instant::now();
+    while sim.step()? {}
+    let wall = started.elapsed();
+    let table = sim
+        .profiler_table()
+        .ok_or_else(|| CliError::from("internal: profiler vanished".to_string()))?;
+    let outcome = sim.finish();
+    if let Some(sink) = sink {
+        let mut guard = sink.lock().unwrap_or_else(|e| e.into_inner());
+        guard.profile(&table);
+        let path = guard.finish()?;
+        diag!(Level::Info, "wrote trace {}", path.display());
+    }
+
+    let events = table.events.max(1);
+    let accounted = table.accounted_ns();
+    let mut t = Table::new(
+        format!(
+            "profile — {} (p = {p}, {} events, {:.1} ms wall)",
+            scheme.name(),
+            table.events,
+            wall.as_secs_f64() * 1e3
+        ),
+        vec![
+            "phase", "calls", "self ms", "total ms", "ns/call", "ns/event", "self %",
+        ],
+    );
+    for (name, stats) in &table.phases {
+        let pct = if accounted > 0 {
+            100.0 * stats.self_ns as f64 / accounted as f64
+        } else {
+            0.0
+        };
+        let per_call = if stats.calls > 0 {
+            format!("{:.0}", stats.self_ns as f64 / stats.calls as f64)
+        } else {
+            "-".into()
+        };
+        t.push_row(vec![
+            (*name).to_string(),
+            format!("{}", stats.calls),
+            format!("{:.3}", stats.self_ns as f64 / 1e6),
+            format!("{:.3}", stats.total_ns as f64 / 1e6),
+            per_call,
+            format!("{:.0}", stats.self_ns as f64 / events as f64),
+            format!("{pct:.1}"),
+        ]);
+    }
+    t.push_row(vec![
+        "accounted".into(),
+        "-".into(),
+        format!("{:.3}", accounted as f64 / 1e6),
+        "-".into(),
+        "-".into(),
+        format!("{:.0}", accounted as f64 / events as f64),
+        "100.0".into(),
+    ]);
+    emit(&t, opts)?;
+    diag!(
+        Level::Info,
+        "profile: pair overhead {} ns (subtracted per scope); {:.1}% of wall \
+         accounted to phases; arrivals {}, completed {}",
+        table.pair_overhead_ns,
+        100.0 * accounted as f64 / (wall.as_nanos().max(1) as f64),
+        outcome.arrivals,
+        outcome.records.len()
+    );
+    Ok(())
+}
+
 /// `btfluid scenario list` | `btfluid scenario <name> [options]`.
 ///
 /// The scenario name is positional, so it is peeled off before the
@@ -569,60 +732,112 @@ fn cmd_scenario(rest: &[String]) -> Result<(), CliError> {
         None => None,
     };
 
+    // Flight recorder: an observe-only ring of the last-N engine
+    // happenings, dumped as a `flightrec v1` JSONL artifact at the end.
+    let flightrec = opts.get("flightrec").map(PathBuf::from);
+    let flight = match &flightrec {
+        Some(path) => {
+            check_clobber(&path.display().to_string(), &opts)?;
+            let cap = opts.get_usize("flightrec-cap", DEFAULT_FLIGHT_CAPACITY)?;
+            if cap == 0 {
+                return Err("scenario: --flightrec-cap must be at least 1".into());
+            }
+            Some(shared_recorder(cap))
+        }
+        None => None,
+    };
+
     if opts.has("hybrid") {
-        return run_scenario_hybrid(name, &program, seed, scale, mode, &opts, sink);
+        return run_scenario_hybrid(
+            name,
+            &program,
+            seed,
+            scale,
+            mode,
+            &opts,
+            sink,
+            flight.map(|f| (f, flightrec.expect("flight implies a path"))),
+        );
     }
 
     // Each scheme run gets its own meta record (a trace "segment") and a
     // fresh probe streaming into the shared sink, so one file holds the
     // whole line-up and `btfluid inspect` can tell the runs apart.
     let mut make_probe = |label: &str| -> Option<Box<dyn btfluid_des::Probe>> {
-        let sink = sink.as_ref()?;
-        sink.lock().unwrap_or_else(|e| e.into_inner()).meta(&[
-            ("scenario", MetaField::Str(name.clone())),
-            ("label", MetaField::Str(label.to_string())),
-            ("seed", MetaField::U64(seed)),
-            ("scale", MetaField::F64(scale)),
-            ("exact_rates", MetaField::Bool(mode == RateMode::Exact)),
-            ("aggregate", MetaField::Bool(mode == RateMode::Aggregate)),
-            ("sample_every", MetaField::F64(sample_every)),
-        ]);
-        Some(Box::new(SinkProbe::new(sink.clone(), sample_every)))
+        let mut probes: Vec<Box<dyn btfluid_des::Probe>> = Vec::new();
+        if let Some(sink) = sink.as_ref() {
+            sink.lock().unwrap_or_else(|e| e.into_inner()).meta(&[
+                ("scenario", MetaField::Str(name.clone())),
+                ("label", MetaField::Str(label.to_string())),
+                ("seed", MetaField::U64(seed)),
+                ("scale", MetaField::F64(scale)),
+                ("exact_rates", MetaField::Bool(mode == RateMode::Exact)),
+                ("aggregate", MetaField::Bool(mode == RateMode::Aggregate)),
+                ("sample_every", MetaField::F64(sample_every)),
+            ]);
+            probes.push(Box::new(SinkProbe::new(sink.clone(), sample_every)));
+        }
+        if let Some(flight) = flight.as_ref() {
+            probes.push(Box::new(RecorderProbe::new(Arc::clone(flight))));
+        }
+        match probes.len() {
+            0 => None,
+            1 => probes.pop(),
+            _ => Some(Box::new(FanoutProbe::new(probes))),
+        }
     };
 
-    let runs = match opts.get("scheme") {
-        Some(spec) => {
-            let scheme = parse_scheme(spec)?;
-            let probe = make_probe(&scheme.name());
-            if crash_safe {
-                vec![run_scenario_resumable(
-                    &program, scheme, seed, mode, &opts, probe,
-                )?]
-            } else {
-                vec![runner::run_one_probed(
-                    &program,
-                    scheme,
-                    None,
-                    &scheme.name(),
-                    seed,
-                    mode,
-                    probe,
-                )?]
+    let run_result = (|| -> Result<Vec<runner::ScenarioRun>, CliError> {
+        match opts.get("scheme") {
+            Some(spec) => {
+                let scheme = parse_scheme(spec)?;
+                let probe = make_probe(&scheme.name());
+                if crash_safe {
+                    Ok(vec![run_scenario_resumable(
+                        &program, scheme, seed, mode, &opts, probe,
+                    )?])
+                } else {
+                    Ok(vec![runner::run_one_probed(
+                        &program,
+                        scheme,
+                        None,
+                        &scheme.name(),
+                        seed,
+                        mode,
+                        probe,
+                    )?])
+                }
             }
-        }
-        None if crash_safe => {
-            return Err(
+            None if crash_safe => Err(
                 "scenario: --checkpoint/--records/--resume/--checked need --scheme \
                  (one engine run, one checkpoint)"
                     .into(),
-            )
+            ),
+            None => Ok(runner::run_all_probed(
+                &program,
+                seed,
+                mode,
+                &mut make_probe,
+            )?),
         }
-        None => runner::run_all_probed(&program, seed, mode, &mut make_probe)?,
+    })();
+    let runs = match run_result {
+        Ok(runs) => runs,
+        Err(e) => {
+            // A surfaced DesError still ships its flight story.
+            if let (Some(path), Some(flight)) = (&flightrec, &flight) {
+                dump_flight_on_error(path, flight);
+            }
+            return Err(e);
+        }
     };
 
     if let Some(sink) = sink {
         let path = sink.lock().unwrap_or_else(|e| e.into_inner()).finish()?;
         diag!(Level::Info, "wrote trace {}", path.display());
+    }
+    if let (Some(path), Some(flight)) = (&flightrec, &flight) {
+        write_flight_dump(path, flight)?;
     }
 
     if let Some(path) = opts.get("records") {
@@ -798,6 +1013,7 @@ fn run_scenario_resumable(
 /// snapshots (v4); `--checkpoint-every` counts decision boundaries, not
 /// events. Per-class means print with shortest-roundtrip formatting, so
 /// byte-identical `--out` files mean bit-identical runs.
+#[allow(clippy::too_many_arguments)]
 fn run_scenario_hybrid(
     name: &str,
     program: &btfluid_scenario::ScenarioProgram,
@@ -806,6 +1022,7 @@ fn run_scenario_hybrid(
     mode: RateMode,
     opts: &Options,
     sink: Option<SharedSink>,
+    flight: Option<(SharedRecorder, PathBuf)>,
 ) -> Result<(), CliError> {
     let scheme = match opts.get("scheme") {
         Some(spec) => parse_scheme(spec)?,
@@ -884,16 +1101,29 @@ fn run_scenario_hybrid(
         ]);
         runner.attach_sink(sink.clone());
     }
+    if let Some((rec, _)) = &flight {
+        runner.attach_flight(Arc::clone(rec));
+    }
 
     let mut since_checkpoint = 0u64;
-    while runner.step_boundary()? {
-        since_checkpoint += 1;
-        if let Some(path) = &checkpoint {
-            if since_checkpoint >= every {
-                harness::atomic_write(path, &runner.snapshot())?;
-                since_checkpoint = 0;
+    let drive = (|| -> Result<(), CliError> {
+        while runner.step_boundary()? {
+            since_checkpoint += 1;
+            if let Some(path) = &checkpoint {
+                if since_checkpoint >= every {
+                    harness::atomic_write(path, &runner.snapshot())?;
+                    since_checkpoint = 0;
+                }
             }
         }
+        Ok(())
+    })();
+    if let Err(e) = drive {
+        // A surfaced HybridError still ships its flight story.
+        if let Some((rec, path)) = &flight {
+            dump_flight_on_error(path, rec);
+        }
+        return Err(e);
     }
     let outcome = runner.finish();
 
@@ -906,6 +1136,9 @@ fn run_scenario_hybrid(
         guard.end(outcome.final_t, &counters);
         let path = guard.finish()?;
         diag!(Level::Info, "wrote trace {}", path.display());
+    }
+    if let Some((rec, path)) = &flight {
+        write_flight_dump(path, rec)?;
     }
     if let Some(path) = &checkpoint {
         if path.is_file() {
@@ -1329,6 +1562,7 @@ fn cmd_chaos(opts: &Options) -> Result<(), CliError> {
             plan: small,
             violations: verdict.violations,
             shrink_evals: evals,
+            flight: verdict.flight,
         };
         let dir = Path::new(&bundles).join(format!("plan-{}", plan.index));
         bundle
@@ -1675,6 +1909,139 @@ fn trajectories_csv(segments: &[TraceSegment]) -> String {
     out
 }
 
+/// Summarizes a `flightrec v1` dump: record mix, last handoff, last
+/// checkpoint, and a staleness flag when the newest record predates the
+/// failure time stamped into the meta line.
+fn inspect_flightrec(path: &str, body: &str, opts: &Options) -> Result<(), CliError> {
+    let mut lines = body.lines().filter(|l| !l.trim().is_empty());
+    let meta = Json::parse(lines.next().expect("caller checked the meta line"))
+        .map_err(|e| format!("inspect: {path}:1: {e}"))?;
+    let version = meta.get("version").and_then(Json::as_u64).unwrap_or(0);
+    if version != u64::from(FLIGHTREC_VERSION) {
+        diag!(
+            Level::Warn,
+            "inspect: {path}: flightrec version {version}; this build reads \
+             v{FLIGHTREC_VERSION}"
+        );
+    }
+    let capacity = meta.get("capacity").and_then(Json::as_u64).unwrap_or(0);
+    let total = meta.get("total").and_then(Json::as_u64).unwrap_or(0);
+    let dropped = meta.get("dropped").and_then(Json::as_u64).unwrap_or(0);
+    let failure_t = meta.get("failure_t").and_then(Json::as_f64);
+
+    // (kind, count, last t, last events, last a, last b) per record kind,
+    // in first-seen order; the dump is oldest-first so "last" is newest.
+    let mut mix: Vec<(String, u64, f64, u64, u64, u64)> = Vec::new();
+    let mut newest_t = f64::NEG_INFINITY;
+    let mut pop_codes: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    let mut records = 0u64;
+    for (idx, line) in lines.enumerate() {
+        let v = Json::parse(line).map_err(|e| format!("inspect: {path}:{}: {e}", idx + 2))?;
+        let Some(k) = v.get("k").and_then(Json::as_str).map(str::to_string) else {
+            return Err(format!("inspect: {path}:{}: record without 'k'", idx + 2).into());
+        };
+        let t = v.get("t").and_then(Json::as_f64).unwrap_or(f64::NAN);
+        let ev = v.get("ev").and_then(Json::as_u64).unwrap_or(0);
+        let a = v.get("a").and_then(Json::as_u64).unwrap_or(0);
+        let b = v.get("b").and_then(Json::as_u64).unwrap_or(0);
+        records += 1;
+        if t.is_finite() && t > newest_t {
+            newest_t = t;
+        }
+        if k == "pop" {
+            *pop_codes.entry(a).or_insert(0) += 1;
+        }
+        match mix.iter_mut().find(|row| row.0 == k) {
+            Some(row) => {
+                row.1 += 1;
+                (row.2, row.3, row.4, row.5) = (t, ev, a, b);
+            }
+            None => mix.push((k, 1, t, ev, a, b)),
+        }
+    }
+
+    let mut t = Table::new(
+        format!(
+            "flight recording {path} — {records} of {total} record(s) \
+             retained (capacity {capacity}, dropped {dropped})"
+        ),
+        vec!["kind", "count", "last t", "last events", "last a", "last b"],
+    );
+    for (k, n, last_t, last_ev, a, b) in &mix {
+        t.push_row(vec![
+            k.clone(),
+            format!("{n}"),
+            format!("{last_t:.3}"),
+            format!("{last_ev}"),
+            format!("{a}"),
+            format!("{b}"),
+        ]);
+    }
+    emit(&t, opts)?;
+
+    const EVENT_NAMES: [&str; 7] = [
+        "end",
+        "arrival",
+        "completion",
+        "seed-expiry",
+        "epoch",
+        "abort",
+        "control",
+    ];
+    let pops: Vec<String> = pop_codes
+        .iter()
+        .map(|(code, n)| {
+            let name = EVENT_NAMES
+                .get(usize::try_from(*code).unwrap_or(usize::MAX))
+                .copied()
+                .unwrap_or("?");
+            format!("{name} × {n}")
+        })
+        .collect();
+    if !pops.is_empty() {
+        diag!(Level::Info, "event mix: {}", pops.join(", "));
+    }
+    if let Some(row) = mix.iter().find(|row| row.0 == "handoff") {
+        diag!(
+            Level::Info,
+            "last handoff: t = {:.3}, {} (population {})",
+            row.2,
+            if row.4 == 0 {
+                "DES -> fluid"
+            } else {
+                "fluid -> DES"
+            },
+            row.5
+        );
+    }
+    if let Some(row) = mix.iter().find(|row| row.0 == "checkpoint") {
+        diag!(
+            Level::Info,
+            "last checkpoint: t = {:.3} at {} events ({} snapshot bytes)",
+            row.2,
+            row.3,
+            row.4
+        );
+    }
+    if let Some(ft) = failure_t {
+        // `failure_t` is parsed from a message formatted at 3 decimals,
+        // so allow half an ulp of that rounding before calling it stale.
+        if newest_t.is_finite() && newest_t < ft - 5e-4 {
+            println!(
+                "WARNING: stale dump — newest record at t = {newest_t:.3} predates \
+                 the failure at t = {ft:.3}; the recorder stopped observing before \
+                 the quarantine fired"
+            );
+        } else {
+            diag!(
+                Level::Info,
+                "dump covers the failure time (newest t = {newest_t:.3} >= {ft:.3})"
+            );
+        }
+    }
+    Ok(())
+}
+
 /// `btfluid inspect <trace.jsonl>` — summarize a telemetry trace.
 fn cmd_inspect(rest: &[String]) -> Result<(), CliError> {
     let Some(path) = rest.first() else {
@@ -1682,6 +2049,15 @@ fn cmd_inspect(rest: &[String]) -> Result<(), CliError> {
     };
     let opts = Options::parse(&rest[1..])?;
     let body = fs::read_to_string(path)?;
+    // A flight-recorder dump leads with its own schema marker; route it
+    // to the dedicated summarizer before assuming a telemetry trace.
+    if let Some(first) = body.lines().find(|l| !l.trim().is_empty()) {
+        if let Ok(head) = Json::parse(first) {
+            if head.get("schema").and_then(Json::as_str) == Some(FLIGHTREC_SCHEMA) {
+                return inspect_flightrec(path, &body, &opts);
+            }
+        }
+    }
     let mut segments: Vec<TraceSegment> = Vec::new();
     for (idx, line) in body.lines().enumerate() {
         let line = line.trim();
@@ -1756,6 +2132,21 @@ fn cmd_inspect(rest: &[String]) -> Result<(), CliError> {
                     v.get("t").and_then(Json::as_f64).unwrap_or(f64::NAN),
                     trace_counters(v.get("counters")),
                 ))
+            }
+            "profile" => {
+                let events = v.get("events").and_then(Json::as_u64).unwrap_or(0).max(1);
+                for ph in v.get("phases").and_then(Json::as_arr).unwrap_or(&[]) {
+                    let name = ph.get("name").and_then(Json::as_str).unwrap_or("?");
+                    let calls = ph.get("calls").and_then(Json::as_u64).unwrap_or(0);
+                    let self_ns = ph.get("self_ns").and_then(Json::as_u64).unwrap_or(0);
+                    diag!(
+                        Level::Info,
+                        "{}: profile {name}: {calls} call(s), self {:.3} ms, {:.0} ns/event",
+                        seg.label,
+                        self_ns as f64 / 1e6,
+                        self_ns as f64 / events as f64
+                    );
+                }
             }
             other => diag!(
                 Level::Warn,

@@ -19,6 +19,7 @@
 mod args;
 mod commands;
 mod errors;
+mod perf;
 
 use btfluid_telemetry::{diag, Level};
 use std::process::ExitCode;

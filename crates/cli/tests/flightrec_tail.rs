@@ -1,0 +1,161 @@
+//! Flight-recorder crash-recovery contract against the real `btfluid`
+//! binary: the dump a resumed run writes must carry the same record tail
+//! as an uninterrupted twin. The ring only keeps the last `capacity`
+//! records, and engine replay after resume is bit-identical, so once the
+//! post-resume leg has produced at least `capacity` records the two rings
+//! hold byte-identical windows — only the meta line (totals and drop
+//! counts, which are per-process) may differ.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_btfluid");
+const CAP: &str = "128";
+
+fn scenario_args(records: &Path, flightrec: &Path) -> Vec<String> {
+    [
+        "scenario",
+        "flash_crowd",
+        "--scheme",
+        "mtcd",
+        "--seed",
+        "11",
+        "--csv",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .chain([
+        "--records".to_string(),
+        records.to_str().unwrap().to_string(),
+        "--flightrec".to_string(),
+        flightrec.to_str().unwrap().to_string(),
+        "--flightrec-cap".to_string(),
+        CAP.to_string(),
+    ])
+    .collect()
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Splits a flightrec dump into its meta line and record lines.
+fn split_dump(path: &Path) -> (String, Vec<String>) {
+    let body = std::fs::read_to_string(path).expect("read flightrec dump");
+    let mut lines = body.lines().map(str::to_string);
+    let meta = lines.next().expect("dump has a meta line");
+    (meta, lines.collect())
+}
+
+#[test]
+fn resumed_run_dumps_the_same_flight_tail() {
+    let dir = fresh_dir("btfluid_flightrec_tail_test");
+    let straight = dir.join("straight.csv");
+    let straight_fr = dir.join("straight.flightrec.jsonl");
+    let resumed = dir.join("resumed.csv");
+    let resumed_fr = dir.join("resumed.flightrec.jsonl");
+    let checkpoint = dir.join("cp.snap");
+    let ref_checkpoint = dir.join("cp_ref.snap");
+
+    // Reference: one uninterrupted run with the recorder attached. It
+    // checkpoints on the same cadence (to its own file) so that the two
+    // record streams contain identical `checkpoint` entries — the cadence
+    // is event-count based, so it lines up across the resume boundary.
+    let mut ref_args = scenario_args(&straight, &straight_fr);
+    ref_args.extend(
+        [
+            "--checkpoint",
+            ref_checkpoint.to_str().unwrap(),
+            "--checkpoint-every",
+            "200",
+        ]
+        .map(String::from),
+    );
+    let status = Command::new(BIN)
+        .args(&ref_args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("spawn reference run");
+    assert!(status.success(), "reference run failed: {status}");
+
+    // Victim: same run with checkpointing, SIGKILLed as soon as the first
+    // checkpoint lands (no dump gets written — the dump happens at exit).
+    let mut victim_args = scenario_args(&resumed, &resumed_fr);
+    victim_args.extend(
+        [
+            "--checkpoint",
+            checkpoint.to_str().unwrap(),
+            "--checkpoint-every",
+            "200",
+        ]
+        .map(String::from),
+    );
+    let mut child = Command::new(BIN)
+        .args(&victim_args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn victim run");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut killed = false;
+    loop {
+        if checkpoint.is_file() {
+            child.kill().expect("kill victim");
+            child.wait().expect("reap victim");
+            killed = true;
+            break;
+        }
+        if let Some(status) = child.try_wait().expect("poll victim") {
+            assert!(status.success(), "victim failed on its own: {status}");
+            break;
+        }
+        assert!(Instant::now() < deadline, "no checkpoint within 30s");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    if killed {
+        assert!(
+            !resumed_fr.is_file(),
+            "victim was killed yet already wrote its flight dump"
+        );
+        let mut resume_args = victim_args.clone();
+        resume_args.push("--resume".into());
+        let status = Command::new(BIN)
+            .args(&resume_args)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .status()
+            .expect("spawn resume run");
+        assert!(status.success(), "resume run failed: {status}");
+    }
+
+    let (straight_meta, straight_records) = split_dump(&straight_fr);
+    let (resumed_meta, resumed_records) = split_dump(&resumed_fr);
+    for meta in [&straight_meta, &resumed_meta] {
+        assert!(
+            meta.contains("\"schema\":\"flightrec\"") && meta.contains("\"version\":1"),
+            "meta line is not a flightrec v1 header: {meta}"
+        );
+    }
+    // The post-resume leg of flash_crowd produces far more than `CAP`
+    // records, so both rings ended full of the same final window.
+    let cap: usize = CAP.parse().unwrap();
+    assert_eq!(
+        straight_records.len(),
+        cap,
+        "reference ring did not fill its capacity"
+    );
+    assert!(
+        straight_records == resumed_records,
+        "flight-recorder tails diverged (killed mid-run: {killed})\n\
+         reference tail head: {:?}\nresumed tail head: {:?}",
+        straight_records.first(),
+        resumed_records.first()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -44,7 +44,8 @@ use btfluid_numkit::dist::Exponential;
 use btfluid_numkit::rng::{RngCore, Xoshiro256StarStar};
 use btfluid_numkit::series::TimeSeries;
 use btfluid_numkit::NumError;
-use btfluid_telemetry::{diag, Counters, Level, Probe, Sample};
+use btfluid_telemetry::profiler::{Phase as ProfPhase, ProfileTable, Profiler};
+use btfluid_telemetry::{diag, Counters, FlightKind, FlightRecord, Level, Probe, Sample};
 use btfluid_workload::requests::{random_order, uniform_subset, FileId, RequestSampler};
 
 /// What happens next.
@@ -65,6 +66,20 @@ enum Event {
     Abort,
     /// A scenario boundary: origin-seed count or tracker state changes.
     Control,
+}
+
+/// Stable wire code for an event kind, the `a` payload of an
+/// [`FlightKind::EventPop`] flight record (DESIGN.md §17).
+fn event_code(event: &Event) -> u64 {
+    match event {
+        Event::End => 0,
+        Event::Arrival => 1,
+        Event::Completion(..) => 2,
+        Event::SeedExpiry(_) => 3,
+        Event::Epoch => 4,
+        Event::Abort => 5,
+        Event::Control => 6,
+    }
 }
 
 /// One Exp(1) draw from the open-interval uniform: the hazard target of
@@ -161,6 +176,13 @@ pub struct Simulation {
     /// Mean Adapt Δ observed at the most recent epoch (telemetry only;
     /// feeds nothing back into the simulation).
     last_delta: f64,
+    /// Cached [`Probe::wants_flight`] of the attached probe, so the
+    /// disarmed flight recorder costs one boolean test per event. Like
+    /// the probe itself, excluded from snapshots.
+    flight: bool,
+    /// Optional self-profiler (scoped phase timers). Wall-clock only —
+    /// excluded from snapshots, observes without perturbing.
+    profiler: Option<Profiler>,
 }
 
 impl Simulation {
@@ -240,6 +262,8 @@ impl Simulation {
             sample_every: 0.0,
             next_sample: 0.0,
             last_delta: 0.0,
+            flight: false,
+            profiler: None,
         };
         if sim.cfg.warm_start {
             sim.populate_from_fluid()?;
@@ -309,6 +333,7 @@ impl Simulation {
     /// snapshotted phase.
     pub fn attach_probe(&mut self, probe: Box<dyn Probe>) {
         self.sample_every = probe.sample_every();
+        self.flight = probe.wants_flight();
         self.probe = Some(probe);
     }
 
@@ -366,6 +391,59 @@ impl Simulation {
     pub fn emit_span(&mut self, name: &str, micros: u64) {
         if let Some(probe) = self.probe.as_mut() {
             probe.on_span(name, micros);
+        }
+    }
+
+    /// Forwards a flight record to the attached probe when it asked for
+    /// them at attach time. Public so checkpointing drivers can record
+    /// checkpoint cycles into the same ring the engine feeds.
+    pub fn emit_flight(&mut self, kind: FlightKind, a: u64, b: u64) {
+        if !self.flight {
+            return;
+        }
+        let rec = FlightRecord {
+            t: self.t,
+            events: self.outcome.events,
+            kind,
+            a,
+            b,
+        };
+        if let Some(probe) = self.probe.as_mut() {
+            probe.on_flight(&rec);
+        }
+    }
+
+    /// Enables the self-profiler for the rest of the run. Wall-clock
+    /// observation only: results never feed back into the simulation.
+    pub fn enable_profiler(&mut self, profiler: Profiler) {
+        self.profiler = Some(profiler);
+    }
+
+    /// Adds externally-timed work to a profiler phase (no-op when no
+    /// profiler is enabled) — the checkpoint driver reports snapshot
+    /// encode cost here.
+    pub fn profiler_add(&mut self, phase: ProfPhase, ns: u64) {
+        if let Some(p) = self.profiler.as_mut() {
+            p.add(phase, ns);
+        }
+    }
+
+    /// The profiler's aggregated per-phase table, when one is enabled.
+    pub fn profiler_table(&self) -> Option<ProfileTable> {
+        self.profiler.as_ref().map(|p| p.table(self.outcome.events))
+    }
+
+    #[inline]
+    fn prof_enter(&mut self, phase: ProfPhase) {
+        if let Some(p) = self.profiler.as_mut() {
+            p.enter(phase);
+        }
+    }
+
+    #[inline]
+    fn prof_leave(&mut self, phase: ProfPhase) {
+        if let Some(p) = self.profiler.as_mut() {
+            p.leave(phase);
         }
     }
 
@@ -544,7 +622,9 @@ impl Simulation {
             self.emit_trace();
         }
         if self.sample_every > 0.0 && self.t >= self.next_sample {
+            self.prof_enter(ProfPhase::SinkWrite);
             self.emit_sample();
+            self.prof_leave(ProfPhase::SinkWrite);
             while self.next_sample <= self.t {
                 self.next_sample += self.sample_every;
             }
@@ -553,7 +633,22 @@ impl Simulation {
         if queue_len > self.counters.heap_peak {
             self.counters.heap_peak = queue_len;
         }
+        // Counter snapshot for the flight recorder: the record points
+        // reuse deltas of counters the engine maintains anyway, so the
+        // armed cost is a few integer subtractions per event and the
+        // disarmed cost is this one boolean test.
+        let flight_before = if self.flight {
+            Some((
+                self.counters.rate_recomputes,
+                self.counters.agg_rate_updates,
+                self.counters.agg_samples,
+            ))
+        } else {
+            None
+        };
+        self.prof_enter(ProfPhase::HeapOps);
         let (t_next, event) = self.next_event(end);
+        self.prof_leave(ProfPhase::HeapOps);
         self.outcome.events += 1;
         let dt = t_next - self.t;
         debug_assert!(dt >= -1e-9, "time went backwards: dt = {dt}");
@@ -577,8 +672,12 @@ impl Simulation {
             );
         }
         self.t = t_next;
+        self.prof_enter(ProfPhase::HookDispatch);
         match event {
-            Event::End => return Ok(false),
+            Event::End => {
+                self.prof_leave(ProfPhase::HookDispatch);
+                return Ok(false);
+            }
             Event::Arrival => self.handle_arrival(),
             Event::Completion(p, slot) => self.handle_completion(p, slot),
             Event::SeedExpiry(p) => self.handle_seed_expiry(p),
@@ -586,9 +685,24 @@ impl Simulation {
             Event::Abort => self.handle_abort(),
             Event::Control => self.handle_control(),
         }
+        self.prof_leave(ProfPhase::HookDispatch);
         // Epochs may rewrite every ρ, so both modes recompute fully.
         let force = self.cfg.exact_rates || matches!(event, Event::Epoch);
+        self.prof_enter(ProfPhase::RateMaint);
         self.refresh_rates(force);
+        self.prof_leave(ProfPhase::RateMaint);
+        if let Some((recomputes, agg_updates, agg_samples)) = flight_before {
+            self.emit_flight(FlightKind::EventPop, event_code(&event), 0);
+            let ds = self.counters.agg_samples - agg_samples;
+            if ds > 0 {
+                self.emit_flight(FlightKind::AggResample, ds, 0);
+            }
+            let dr = self.counters.rate_recomputes - recomputes;
+            let da = self.counters.agg_rate_updates - agg_updates;
+            if dr > 0 || da > 0 {
+                self.emit_flight(FlightKind::RateRecompute, dr, da);
+            }
+        }
         if self.hook.is_some() {
             // The downloader count may have changed; re-sample the
             // abort candidate (exact by memorylessness — the thinned
@@ -920,6 +1034,8 @@ impl Simulation {
             sample_every: 0.0,
             next_sample: snap.next_sample,
             last_delta: snap.last_delta,
+            flight: false,
+            profiler: None,
             cfg,
         };
         if let Some(h) = hook {
@@ -1359,6 +1475,9 @@ impl Simulation {
                     // only now decide *which* member finished. Canonical draw
                     // order — member index first, replacement Exp(1) target
                     // second — is part of the reproducibility contract.
+                    if let Some(p) = self.profiler.as_mut() {
+                        p.enter(ProfPhase::MemberSample);
+                    }
                     let agg = self.agg.as_mut().expect("agg entry without cache");
                     let n = agg.group_len(e.peer);
                     debug_assert!(n > 0, "armed aggregate group with no members");
@@ -1368,6 +1487,9 @@ impl Simulation {
                     agg.on_pop(e.peer, target, e.time);
                     self.counters.agg_samples += 1;
                     best = Event::Completion(p as usize, s as usize);
+                    if let Some(p) = self.profiler.as_mut() {
+                        p.leave(ProfPhase::MemberSample);
+                    }
                 } else {
                     let peer = &mut self.peers[e.peer as usize];
                     if e.rank == RANK_COMPLETION {

@@ -85,5 +85,7 @@ pub use snapshot::{Snapshot, SnapshotError};
 // Observability surface, re-exported so downstream crates can attach
 // probes without depending on `btfluid-telemetry` directly.
 pub use btfluid_telemetry::{
-    Counters, MemoryProbe, NoopProbe, OwnedSample, Probe, Sample, SinkProbe, TraceSink,
+    shared_recorder, Counters, FanoutProbe, FlightKind, FlightRecord, FlightRecorder, MemoryProbe,
+    NoopProbe, OwnedSample, Probe, ProfileTable, Profiler, RecorderProbe, Sample, SharedRecorder,
+    SinkProbe, TraceSink,
 };

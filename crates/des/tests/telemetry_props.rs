@@ -15,7 +15,10 @@ use btfluid_des::config::{AdaptSetup, DesConfig, OrderPolicy, SchemeKind};
 use btfluid_des::engine::Simulation;
 use btfluid_des::observer::SimOutcome;
 use btfluid_des::snapshot::Snapshot;
-use btfluid_des::{Counters, MemoryProbe, OwnedSample, Probe, Sample};
+use btfluid_des::{
+    shared_recorder, Counters, FanoutProbe, FlightKind, FlightRecord, FlightRecorder, MemoryProbe,
+    OwnedSample, Probe, RecorderProbe, Sample,
+};
 use proptest::prelude::*;
 use std::sync::{Arc, Mutex};
 
@@ -42,6 +45,12 @@ fn memory_probe(cadence: f64) -> (Arc<Mutex<MemoryProbe>>, Box<dyn Probe>) {
     let shared = Arc::new(Mutex::new(MemoryProbe::new(cadence)));
     let probe = Box::new(Fwd(Arc::clone(&shared)));
     (shared, probe)
+}
+
+/// Rate-maintenance mode axis: 0 = incremental, 1 = exact, 2 = aggregate.
+fn apply_mode(cfg: &mut DesConfig, mode: usize) {
+    cfg.exact_rates = mode == 1;
+    cfg.aggregate = mode == 2;
 }
 
 /// The five engine configurations the contracts must hold for (kept
@@ -128,17 +137,29 @@ fn deterministic_view(s: &OwnedSample) -> OwnedSample {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// Attaching a sampling probe never changes the run.
+    /// Attaching a sampling probe — with the flight recorder armed — never
+    /// changes the run, in the incremental, exact, and aggregate rate
+    /// modes alike.
     #[test]
     fn telemetry_never_perturbs_the_run(
         variant in 0usize..5,
-        exact in 0usize..2,
+        mode in 0usize..3,
         seed in 1u64..500,
     ) {
-        let cfg = variant_cfg(variant, exact == 1, seed);
+        // Aggregate mode rejects Adapt by construction (variant 4).
+        prop_assume!(!(mode == 2 && variant == 4));
+        let mut cfg = variant_cfg(variant, false, seed);
+        apply_mode(&mut cfg, mode);
         let bare = Simulation::new(cfg.clone()).unwrap().run();
         let (shared, probe) = memory_probe(7.5);
-        let probed = Simulation::new(cfg).unwrap().with_probe(probe).run();
+        let flight = shared_recorder(64);
+        let probed = Simulation::new(cfg)
+            .unwrap()
+            .with_probe(Box::new(FanoutProbe::new(vec![
+                probe,
+                Box::new(RecorderProbe::new(Arc::clone(&flight))),
+            ])))
+            .run();
         assert_bit_identical(&bare, &probed);
 
         let mem = shared.lock().unwrap();
@@ -151,6 +172,57 @@ proptest! {
             prop_assert!(w[1].events >= w[0].events);
             prop_assert!(w[1].counters.events_popped >= w[0].counters.events_popped);
         }
+        // The armed recorder observed the run: every step emits a pop
+        // record, aggregate mode also resamples, and the ring's clock and
+        // event counter are nondecreasing.
+        let ring = flight.lock().unwrap();
+        prop_assert!(ring.total() > 0, "flight recorder never fired");
+        let records: Vec<&FlightRecord> = ring.iter().collect();
+        prop_assert!(records.iter().any(|r| r.kind == FlightKind::EventPop));
+        if mode == 2 {
+            prop_assert!(
+                records.iter().any(|r| r.kind == FlightKind::AggResample),
+                "aggregate run recorded no member resamples"
+            );
+        }
+        for w in records.windows(2) {
+            prop_assert!(w[1].events >= w[0].events);
+        }
+    }
+
+    /// A capacity-C ring holds exactly the last `min(C, total)` records of
+    /// the stream, oldest first, and accounts for every drop.
+    #[test]
+    fn flight_ring_keeps_exactly_the_last_capacity_records(
+        capacity in 1usize..48,
+        n in 0usize..150,
+    ) {
+        let mut ring = FlightRecorder::new(capacity);
+        let mut stream = Vec::with_capacity(n);
+        for i in 0..n {
+            let rec = FlightRecord {
+                t: i as f64,
+                events: i as u64,
+                kind: FlightKind::EventPop,
+                a: i as u64 % 7,
+                b: i as u64 % 3,
+            };
+            ring.record(rec);
+            stream.push(rec);
+        }
+        prop_assert_eq!(ring.total(), n as u64);
+        prop_assert_eq!(ring.len(), n.min(capacity));
+        let kept: Vec<FlightRecord> = ring.iter().copied().collect();
+        let expect = &stream[n - n.min(capacity)..];
+        prop_assert_eq!(kept.len(), expect.len());
+        for (got, want) in kept.iter().zip(expect) {
+            prop_assert_eq!(got.events, want.events);
+            prop_assert_eq!(got.t.to_bits(), want.t.to_bits());
+        }
+        // The dump round-trips the same window: one meta line plus one
+        // line per retained record.
+        let dump = ring.dump_string(None);
+        prop_assert_eq!(dump.lines().count(), 1 + ring.len());
     }
 }
 

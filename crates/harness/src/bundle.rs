@@ -74,10 +74,15 @@ pub struct ReproBundle {
     pub inject_panic_at: Option<u64>,
     /// Raw bytes of the last checkpoint taken before the failure.
     pub checkpoint: Option<Vec<u8>>,
+    /// The cell's `flightrec v1` dump (JSONL text): the last-N engine
+    /// happenings before the failure, captured by the supervisor's
+    /// always-on flight recorder.
+    pub flight: Option<String>,
 }
 
 impl ReproBundle {
-    /// Writes the bundle directory (`repro.json` + `checkpoint.snap`).
+    /// Writes the bundle directory (`repro.json` + `checkpoint.snap` +
+    /// `flightrec.jsonl`).
     ///
     /// Bundles are failure diagnostics keyed by cell id: rewriting one for
     /// the same cell replaces the stale diagnosis, so no `--force` gate.
@@ -95,6 +100,16 @@ impl ReproBundle {
                 // A re-written bundle must not keep a stale checkpoint.
                 if snap_path.exists() {
                     std::fs::remove_file(&snap_path).map_err(|e| io_err(&snap_path, e))?;
+                }
+            }
+        }
+        let flight_path = dir.join("flightrec.jsonl");
+        match &self.flight {
+            Some(text) => bundle_write(&flight_path, text.as_bytes())?,
+            None => {
+                // Same stale-member discipline as the checkpoint.
+                if flight_path.exists() {
+                    std::fs::remove_file(&flight_path).map_err(|e| io_err(&flight_path, e))?;
                 }
             }
         }
@@ -117,6 +132,12 @@ impl ReproBundle {
             Ok(bytes) => Some(bytes),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
             Err(e) => return Err(io_err(&snap_path, e)),
+        };
+        let flight_path = dir.join("flightrec.jsonl");
+        bundle.flight = match std::fs::read_to_string(&flight_path) {
+            Ok(text) => Some(text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(io_err(&flight_path, e)),
         };
         Ok(bundle)
     }
@@ -187,6 +208,7 @@ impl ReproBundle {
                 Some(v) => Some(v.as_u64().ok_or_else(|| bad("inject_panic_at"))?),
             },
             checkpoint: None,
+            flight: None,
         })
     }
 }
@@ -387,6 +409,11 @@ mod tests {
             }),
             inject_panic_at: Some(50),
             checkpoint: Some(vec![1, 2, 3, 4]),
+            flight: Some(
+                "{\"schema\":\"flightrec\",\"version\":1,\"capacity\":4,\"total\":1,\"dropped\":0}\n\
+                 {\"k\":\"pop\",\"t\":1.5,\"ev\":1,\"a\":1,\"b\":0}\n"
+                    .into(),
+            ),
         };
         bundle.write(&dir).unwrap();
         let back = ReproBundle::read(&dir).unwrap();
@@ -395,17 +422,22 @@ mod tests {
         assert_eq!(back.scenario, bundle.scenario);
         assert_eq!(back.inject_panic_at, Some(50));
         assert_eq!(back.checkpoint, Some(vec![1, 2, 3, 4]));
+        assert_eq!(back.flight, bundle.flight);
         assert_eq!(
             btfluid_des::snapshot::config_digest(&back.cfg),
             btfluid_des::snapshot::config_digest(&bundle.cfg)
         );
         assert!(back.scenario.unwrap().build_hook().is_ok());
 
-        // Re-writing without a checkpoint clears the stale one.
+        // Re-writing without a checkpoint or flight dump clears the
+        // stale members.
         let mut no_snap = bundle.clone();
         no_snap.checkpoint = None;
+        no_snap.flight = None;
         no_snap.write(&dir).unwrap();
-        assert_eq!(ReproBundle::read(&dir).unwrap().checkpoint, None);
+        let reread = ReproBundle::read(&dir).unwrap();
+        assert_eq!(reread.checkpoint, None);
+        assert_eq!(reread.flight, None);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

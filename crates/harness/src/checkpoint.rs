@@ -12,9 +12,10 @@
 //! means "this run did not finish".
 
 use crate::error::{io_err, HarnessError};
-use btfluid_des::{DesConfig, Probe, ScenarioHook, SimOutcome, Simulation, Snapshot};
+use btfluid_des::{DesConfig, FlightKind, Probe, ScenarioHook, SimOutcome, Simulation, Snapshot};
 use btfluid_numkit::rng::{RngCore, SplitMix64};
 use btfluid_telemetry::faults::{self, FaultSite, WritePlan};
+use btfluid_telemetry::profiler::Phase as ProfPhase;
 use btfluid_telemetry::{diag, Level};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -336,6 +337,7 @@ pub fn drive(
                          degraded: &mut bool| {
         let started = Instant::now();
         let snap = sim.snapshot();
+        let mut encode_ns = started.elapsed().as_nanos() as u64;
         if let Some(cb) = on_snapshot.as_mut() {
             cb(&snap);
         }
@@ -343,7 +345,10 @@ pub fn drive(
             return false;
         }
         if let Some(path) = checkpoint_path {
+            let encode_started = Instant::now();
             let bytes = snap.to_bytes();
+            encode_ns += encode_started.elapsed().as_nanos() as u64;
+            sim.profiler_add(ProfPhase::SnapshotEncode, encode_ns);
             let salt = snap.events() ^ 0x5eed_c0de;
             match retry.write_cycle(path, &bytes, salt) {
                 Ok(()) => {
@@ -351,6 +356,7 @@ pub fn drive(
                     let micros = started.elapsed().as_micros() as u64;
                     sim.note_snapshot(bytes.len() as u64, micros);
                     sim.emit_span("checkpoint", micros);
+                    sim.emit_flight(FlightKind::Checkpoint, bytes.len() as u64, 0);
                     return true;
                 }
                 Err(e) => {

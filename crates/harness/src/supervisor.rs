@@ -21,7 +21,10 @@ use crate::checkpoint::{drive, CheckpointPlan, RunEnd, RunLimits};
 use crate::error::HarnessError;
 use crate::manifest::{self, CellRecord, CellStatus, ManifestWriter};
 use btfluid_des::{Counters, DesConfig, Probe, SimOutcome};
-use btfluid_telemetry::{diag, Level};
+use btfluid_telemetry::{
+    diag, shared_recorder, FanoutProbe, Level, RecorderProbe, SharedRecorder,
+    DEFAULT_FLIGHT_CAPACITY,
+};
 use std::collections::{BTreeSet, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -312,7 +315,10 @@ fn supervise_cell(
     let last_snap: Arc<Mutex<Option<Vec<u8>>>> = Arc::new(Mutex::new(None));
     loop {
         attempt += 1;
-        match run_attempt(sup, cell, &last_snap) {
+        // Fresh flight recorder per attempt, so a quarantine dumps the
+        // last-N happenings of the attempt that actually failed.
+        let flight = shared_recorder(DEFAULT_FLIGHT_CAPACITY);
+        match run_attempt(sup, cell, &last_snap, &flight) {
             Attempt::Done(result) => {
                 let record = CellRecord {
                     id: cell.id.clone(),
@@ -335,6 +341,10 @@ fn supervise_cell(
             }
             Attempt::Panicked(reason) | Attempt::Fatal(reason) => {
                 let bundle_dir = sup.bundle_dir.join(sanitize_id(&cell.id));
+                let flight_dump = {
+                    let ring = flight.lock().unwrap_or_else(|e| e.into_inner());
+                    (!ring.is_empty()).then(|| ring.dump_string(parse_failure_t(&reason)))
+                };
                 let bundle = ReproBundle {
                     cell_id: cell.id.clone(),
                     reason: reason.clone(),
@@ -342,6 +352,7 @@ fn supervise_cell(
                     scenario: cell.scenario.clone(),
                     inject_panic_at: cell.inject_panic_at,
                     checkpoint: last_snap.lock().unwrap().clone(),
+                    flight: flight_dump,
                 };
                 if let Err(e) = bundle.write(&bundle_dir) {
                     diag!(
@@ -378,6 +389,7 @@ fn run_attempt(
     sup: &SupervisorConfig,
     cell: &CellSpec,
     last_snap: &Arc<Mutex<Option<Vec<u8>>>>,
+    flight: &SharedRecorder,
 ) -> Attempt {
     let cancel = Arc::new(AtomicBool::new(false));
     let (tx, rx) = mpsc::channel();
@@ -388,6 +400,7 @@ fn run_attempt(
         let cancel = Arc::clone(&cancel);
         let last_snap = Arc::clone(last_snap);
         let captured = Arc::clone(&captured);
+        let flight = Arc::clone(flight);
         let plan = CheckpointPlan {
             path: None,
             every_events: sup.checkpoint_every,
@@ -420,7 +433,10 @@ fn run_attempt(
                         Some(&mut |snap: &btfluid_des::Snapshot| {
                             *last_snap.lock().unwrap() = Some(snap.to_bytes());
                         }),
-                        Some(Box::new(CounterCapture(Arc::clone(&captured)))),
+                        Some(Box::new(FanoutProbe::new(vec![
+                            Box::new(CounterCapture(Arc::clone(&captured))),
+                            Box::new(RecorderProbe::new(Arc::clone(&flight))),
+                        ]))),
                     ),
                     Some(sref) => drive(
                         cell.cfg.clone(),
@@ -432,7 +448,10 @@ fn run_attempt(
                         Some(&mut |snap: &btfluid_des::Snapshot| {
                             *last_snap.lock().unwrap() = Some(snap.to_bytes());
                         }),
-                        Some(Box::new(CounterCapture(Arc::clone(&captured)))),
+                        Some(Box::new(FanoutProbe::new(vec![
+                            Box::new(CounterCapture(Arc::clone(&captured))),
+                            Box::new(RecorderProbe::new(Arc::clone(&flight))),
+                        ]))),
                     ),
                 }
             }));
@@ -482,6 +501,18 @@ fn run_attempt(
             Attempt::Panicked("worker thread died without reporting".into())
         }
     }
+}
+
+/// Extracts the simulated failure time from a quarantine reason, when the
+/// message carries one ("... (t = 12.345)"). The flight-recorder dump
+/// stamps it into its meta line so `btfluid inspect` can flag dumps whose
+/// newest record predates the failure.
+fn parse_failure_t(reason: &str) -> Option<f64> {
+    let rest = &reason[reason.find("t = ")? + 4..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// Renders a panic payload the way `std` would.

@@ -195,6 +195,7 @@ fn injected_faults_degrade_gracefully_and_never_change_results() {
         scenario: None,
         inject_panic_at: None,
         checkpoint: None,
+        flight: None,
     };
     faults::arm(FaultScript {
         rules: vec![rule(FaultSite::BundleWrite, FaultKind::Enospc, 0, u64::MAX)],

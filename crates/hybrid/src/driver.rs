@@ -23,7 +23,7 @@ use btfluid_numkit::dist::Exponential;
 use btfluid_numkit::rng::{SplitMix64, Xoshiro256StarStar};
 use btfluid_numkit::NumError;
 use btfluid_scenario::{registry, ProgramHook, ScenarioProgram};
-use btfluid_telemetry::SharedSink;
+use btfluid_telemetry::{FlightKind, FlightRecord, SharedRecorder, SharedSink};
 use std::fmt;
 use std::time::Instant;
 
@@ -195,6 +195,7 @@ pub struct HybridRunner {
     pub(crate) fluid_steps: u64,
     pub(crate) handoffs: Vec<HandoffRecord>,
     sink: Option<SharedSink>,
+    flight: Option<SharedRecorder>,
     fluid_h: f64,
     scratch: Vec<f64>,
 }
@@ -234,6 +235,7 @@ impl HybridRunner {
             fluid_steps: 0,
             handoffs: Vec::new(),
             sink: None,
+            flight: None,
             fluid_h,
             scratch: vec![0.0; k],
         })
@@ -278,6 +280,12 @@ impl HybridRunner {
     /// sink is excluded from snapshots and never affects results.
     pub fn attach_sink(&mut self, sink: SharedSink) {
         self.sink = Some(sink);
+    }
+
+    /// Attaches a flight recorder that receives a [`FlightKind::Handoff`]
+    /// record at every regime switch. Observer-only, like the sink.
+    pub fn attach_flight(&mut self, flight: SharedRecorder) {
+        self.flight = Some(flight);
     }
 
     /// Total downloading users under the active engine.
@@ -432,6 +440,23 @@ impl HybridRunner {
                 started.elapsed().as_micros() as u64,
                 self.t,
             );
+        }
+        if let Some(flight) = &self.flight {
+            // Direction code 0 = DES->fluid, 1 = fluid->DES; payload `b`
+            // carries the population at the membrane, rounded.
+            flight
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .record(FlightRecord {
+                    t: self.t,
+                    events: self.des_events,
+                    kind: FlightKind::Handoff,
+                    a: match decided {
+                        Regime::Fluid => 0,
+                        Regime::Discrete => 1,
+                    },
+                    b: pop.round() as u64,
+                });
         }
         Ok(())
     }

@@ -106,6 +106,12 @@ pub fn registry() -> Vec<Check> {
             run: structural::hybrid_snapshot_fuzz,
         },
         Check {
+            name: "flightrec-round-trip",
+            paper_ref: "flightrec v1 contract (last-capacity window, parseable)",
+            tier: Tier::Quick,
+            run: structural::flightrec_round_trip,
+        },
+        Check {
             name: "des-exact-vs-incremental",
             paper_ref: "engine contract (bit-identical modes)",
             tier: Tier::Quick,

@@ -7,7 +7,10 @@ use crate::report::OracleConfig;
 use btfluid_des::{DesConfig, SchemeKind, Simulation};
 use btfluid_harness::json::Json;
 use btfluid_numkit::rng::{RngCore, Xoshiro256StarStar};
-use btfluid_telemetry::{Counters, MetaField, Sample, TraceSink};
+use btfluid_telemetry::{
+    Counters, FlightKind, FlightRecord, FlightRecorder, MetaField, Sample, TraceSink,
+    FLIGHTREC_SCHEMA, FLIGHTREC_VERSION,
+};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Builds a realistic snapshot by stepping a live engine a few hundred
@@ -137,6 +140,91 @@ pub fn trace_jsonl_round_trip(cfg: &OracleConfig) -> Result<String, String> {
     })();
     let _ = std::fs::remove_dir_all(&dir);
     result
+}
+
+/// Flight-recorder dump contract: for seeded random record streams and
+/// ring capacities, `dump_string` must emit a meta line whose accounting
+/// fields reconcile (`total = retained + dropped`), every record line
+/// must parse as JSON with a known kind, and the retained records must be
+/// **exactly the last `min(capacity, total)`** of the stream, in order.
+pub fn flightrec_round_trip(cfg: &OracleConfig) -> Result<String, String> {
+    let mut rng = Xoshiro256StarStar::stream(cfg.seed, 9);
+    let trials = if cfg.full { 64 } else { 16 };
+    let kinds = [
+        FlightKind::EventPop,
+        FlightKind::RateRecompute,
+        FlightKind::AggResample,
+        FlightKind::Handoff,
+        FlightKind::Checkpoint,
+        FlightKind::FaultConsult,
+    ];
+    let mut lines_checked = 0usize;
+    for trial in 0..trials {
+        let capacity = 1 + (rng.next_u64() % 40) as usize;
+        let n = (rng.next_u64() % 120) as usize;
+        let mut rec = FlightRecorder::new(capacity);
+        let mut stream = Vec::with_capacity(n);
+        for i in 0..n {
+            let r = FlightRecord {
+                t: i as f64 * 0.5,
+                events: i as u64,
+                kind: kinds[(rng.next_u64() % kinds.len() as u64) as usize],
+                a: rng.next_u64() % 100,
+                b: rng.next_u64() % 100,
+            };
+            rec.record(r);
+            stream.push(r);
+        }
+        let failure_t = (trial % 2 == 0).then_some(n as f64);
+        let dump = rec.dump_string(failure_t);
+        let mut lines = dump.lines();
+        let meta = Json::parse(lines.next().ok_or("empty dump")?)
+            .map_err(|e| format!("meta line: {e}"))?;
+        if meta.get("schema").and_then(Json::as_str) != Some(FLIGHTREC_SCHEMA)
+            || meta.get("version").and_then(Json::as_u64) != Some(u64::from(FLIGHTREC_VERSION))
+        {
+            return Err(format!("bad schema/version in meta: {dump}"));
+        }
+        let total = meta.get("total").and_then(Json::as_u64).ok_or("no total")?;
+        let dropped = meta
+            .get("dropped")
+            .and_then(Json::as_u64)
+            .ok_or("no dropped")?;
+        if meta.get("failure_t").is_some() != failure_t.is_some() {
+            return Err("failure_t presence mismatch".into());
+        }
+        let records: Vec<&str> = lines.collect();
+        if total != n as u64 || total != records.len() as u64 + dropped {
+            return Err(format!(
+                "accounting mismatch: total {total}, retained {}, dropped {dropped} (n = {n})",
+                records.len()
+            ));
+        }
+        let expect = &stream[n - n.min(capacity)..];
+        if records.len() != expect.len() {
+            return Err(format!(
+                "retained {} records, expected the last {}",
+                records.len(),
+                expect.len()
+            ));
+        }
+        for (line, want) in records.iter().zip(expect) {
+            let doc = Json::parse(line).map_err(|e| format!("record line: {e}\n{line}"))?;
+            let k = doc.get("k").and_then(Json::as_str).ok_or("record sans k")?;
+            if FlightKind::parse(k) != Some(want.kind)
+                || doc.get("ev").and_then(Json::as_u64) != Some(want.events)
+                || doc.get("a").and_then(Json::as_u64) != Some(want.a)
+                || doc.get("b").and_then(Json::as_u64) != Some(want.b)
+            {
+                return Err(format!("record mismatch: {line} vs {want:?}"));
+            }
+            lines_checked += 1;
+        }
+    }
+    Ok(format!(
+        "{trials} seeded ring configurations round-trip; {lines_checked} record \
+         lines parsed and matched the last-capacity window exactly"
+    ))
 }
 
 /// Builds a genuine hybrid snapshot (format v4) by stepping a runner

@@ -14,6 +14,7 @@
 //! disables checkpointing) — the same pattern as
 //! [`crate::jsonw::non_finite_null_count`].
 
+use crate::flightrec::{FlightKind, FlightRecord, SharedRecorder};
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -182,6 +183,40 @@ fn state() -> &'static Mutex<Option<Armed>> {
     &STATE
 }
 
+fn flight() -> &'static Mutex<Option<SharedRecorder>> {
+    static FLIGHT: Mutex<Option<SharedRecorder>> = Mutex::new(None);
+    &FLIGHT
+}
+
+/// Routes a [`FlightKind::FaultConsult`] record into `rec` for every
+/// injector consult while a script is armed. The hook lives entirely on
+/// the armed path (inside the script mutex), so disarmed runs still pay
+/// only the one relaxed load.
+///
+/// Record payload: `a` = site index, `b` = matched-kind code + 1 (0 when
+/// the consult passed through clean); `t` is `-1.0` because no simulated
+/// clock is in scope at the I/O layer.
+pub fn install_flight(rec: SharedRecorder) {
+    let mut guard = flight().lock().unwrap_or_else(|e| e.into_inner());
+    *guard = Some(rec);
+}
+
+/// Removes the flight-record hook installed by [`install_flight`].
+pub fn uninstall_flight() {
+    let mut guard = flight().lock().unwrap_or_else(|e| e.into_inner());
+    *guard = None;
+}
+
+fn kind_code(kind: FaultKind) -> u64 {
+    match kind {
+        FaultKind::Enospc => 0,
+        FaultKind::Eio => 1,
+        FaultKind::ShortWrite => 2,
+        FaultKind::RenameFail => 3,
+        FaultKind::CorruptWrite => 4,
+    }
+}
+
 /// Arms `script` process-wide, resetting all per-site operation counters.
 /// Replaces any previously armed script.
 pub fn arm(script: FaultScript) {
@@ -224,6 +259,17 @@ pub fn intercept(site: FaultSite) -> Option<FaultKind> {
         .map(|r| r.kind);
     if kind.is_some() {
         INJECTED.fetch_add(1, Ordering::Relaxed);
+    }
+    if let Some(rec) = flight().lock().unwrap_or_else(|e| e.into_inner()).as_ref() {
+        rec.lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .record(FlightRecord {
+                t: -1.0,
+                events: 0,
+                kind: FlightKind::FaultConsult,
+                a: site.index() as u64,
+                b: kind.map_or(0, |k| kind_code(k) + 1),
+            });
     }
     kind
 }

@@ -26,15 +26,22 @@
 pub mod counters;
 pub mod diag;
 pub mod faults;
+pub mod flightrec;
 pub mod jsonw;
 pub mod probe;
+pub mod profiler;
 pub mod sink;
 
 pub use counters::Counters;
 pub use diag::{enabled, level, set_level, Level};
 pub use faults::{FaultKind, FaultRule, FaultScript, FaultSite};
+pub use flightrec::{
+    shared_recorder, FanoutProbe, FlightKind, FlightRecord, FlightRecorder, RecorderProbe,
+    SharedRecorder, DEFAULT_FLIGHT_CAPACITY, FLIGHTREC_SCHEMA, FLIGHTREC_VERSION,
+};
 pub use jsonw::{non_finite_null_count, note_non_finite_null};
 pub use probe::{MemoryProbe, NoopProbe, OwnedSample, Probe, Sample};
+pub use profiler::{Phase, PhaseStats, ProfileTable, Profiler, PHASES};
 pub use sink::{MetaField, SharedSink, SinkProbe, TraceSink, TRACE_SCHEMA, TRACE_VERSION};
 
 /// Default sampling cadence (simulated time units) for trace-producing

@@ -8,6 +8,7 @@
 //! receive shared borrows of engine state and have nowhere to write back.
 
 use crate::counters::Counters;
+use crate::flightrec::FlightRecord;
 
 /// One cadence-point observation of the engine, borrowed from live
 /// engine state (no allocation on the hot path).
@@ -99,6 +100,20 @@ pub trait Probe: Send {
 
     /// Called at each cadence point (and once at `t = 0` on a fresh run).
     fn on_sample(&mut self, _sample: &Sample<'_>) {}
+
+    /// Whether this probe wants [`FlightRecord`]s. The engine caches the
+    /// answer at attach time (like `sample_every`), so a `false` here
+    /// costs the hot loop one cached boolean test per event and nothing
+    /// else.
+    fn wants_flight(&self) -> bool {
+        false
+    }
+
+    /// Called with each flight-recorder entry when [`wants_flight`]
+    /// returned `true` at attach time.
+    ///
+    /// [`wants_flight`]: Probe::wants_flight
+    fn on_flight(&mut self, _rec: &FlightRecord) {}
 
     /// Called with a named phase timing (e.g. `engine`, `checkpoint`).
     fn on_span(&mut self, _name: &str, _micros: u64) {}

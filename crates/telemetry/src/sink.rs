@@ -185,6 +185,30 @@ impl TraceSink {
         self.write_line(&s);
     }
 
+    /// Writes one self-profiler record (an additive `"profile"` record
+    /// kind; schema version unchanged — readers without it skip unknown
+    /// kinds, the same discipline as [`TraceSink::span_at`]'s `"t"`).
+    pub fn profile(&mut self, table: &crate::profiler::ProfileTable) {
+        let mut s = String::with_capacity(64 + table.phases.len() * 96);
+        let _ = write!(
+            s,
+            "{{\"kind\":\"profile\",\"events\":{},\"pair_overhead_ns\":{},\"phases\":[",
+            table.events, table.pair_overhead_ns
+        );
+        for (i, (name, stat)) in table.phases.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"name\":\"{name}\",\"calls\":{},\"self_ns\":{},\"total_ns\":{}}}",
+                stat.calls, stat.self_ns, stat.total_ns
+            );
+        }
+        s.push_str("]}");
+        self.write_line(&s);
+    }
+
     /// Writes the final end record.
     pub fn end(&mut self, t: f64, counters: &Counters) {
         let mut s = String::with_capacity(128);
