@@ -1,0 +1,122 @@
+//! Criterion bench for the trace pipeline: codec encode/decode
+//! throughput for both wire formats, moment-matching fit cost, and
+//! trace-replay engine throughput (written to `BENCH_trace.json`).
+//!
+//! The subject trace is a measured-preset synthesis (diurnal λ₀(t),
+//! Pareto session tails, 70% leechers) over 20k time units — a few
+//! thousand arrivals, the size a calibration workflow actually handles.
+
+use btfluid_des::{SchemeKind, Simulation};
+use btfluid_numkit::rng::Xoshiro256StarStar;
+use btfluid_scenario::{trace_program, TraceHook, TraceShaper};
+use btfluid_workload::{fit_model, ArrivalTrace};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+const SEED: u64 = 11;
+
+fn subject() -> ArrivalTrace {
+    let shaper = TraceShaper::measured(10, 20_000.0);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(SEED);
+    shaper
+        .synthesize(&mut rng)
+        .expect("measured preset synthesizes")
+}
+
+/// Times `reps` calls of `f` and returns total wall seconds.
+fn time_reps<T>(reps: u64, mut f: impl FnMut() -> T) -> f64 {
+    let start = Instant::now();
+    for _ in 0..reps {
+        black_box(f());
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn bench_trace(c: &mut Criterion) {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let trace = subject();
+    let csv = trace.to_csv();
+    let jsonl = trace.to_jsonl();
+
+    let mut group = c.benchmark_group("trace");
+    group.sample_size(10);
+    group.bench_function("csv_round_trip", |b| {
+        b.iter(|| black_box(ArrivalTrace::from_csv(&trace.to_csv()).expect("round trip")))
+    });
+    group.bench_function("fit_model", |b| {
+        b.iter(|| black_box(fit_model(&trace).expect("fit")))
+    });
+    group.finish();
+
+    if test_mode {
+        // Smoke-check every measured path once; skip the JSON artifact.
+        assert_eq!(ArrivalTrace::from_csv(&csv).expect("csv"), trace);
+        assert_eq!(ArrivalTrace::from_jsonl(&jsonl).expect("jsonl"), trace);
+        fit_model(&trace).expect("fit");
+        return;
+    }
+
+    let n = trace.len() as f64;
+    let reps = 40;
+    let enc_csv_s = time_reps(reps, || trace.to_csv());
+    let dec_csv_s = time_reps(reps, || ArrivalTrace::from_csv(&csv).expect("csv"));
+    let enc_jsonl_s = time_reps(reps, || trace.to_jsonl());
+    let dec_jsonl_s = time_reps(reps, || ArrivalTrace::from_jsonl(&jsonl).expect("jsonl"));
+    let fit_s = time_reps(reps, || fit_model(&trace).expect("fit"));
+
+    // Replay throughput: the recorded arrivals driven through MTCD.
+    let program = trace_program(&trace, 8, 5000.0).expect("trace program");
+    let mut replay_s = 0.0;
+    let mut replay_events = 0;
+    for rep in 0..5u64 {
+        let cfg = program
+            .des_config(SchemeKind::Mtcd, SEED + rep)
+            .expect("valid config");
+        let sim = Simulation::with_hook(cfg, Box::new(TraceHook::new(&trace).expect("hook")))
+            .expect("valid");
+        let start = Instant::now();
+        let outcome = black_box(sim.run());
+        replay_s += start.elapsed().as_secs_f64();
+        replay_events += outcome.events;
+    }
+
+    let per_s = |wall: f64| n * reps as f64 / wall;
+    let replay_eps = replay_events as f64 / replay_s;
+    println!(
+        "trace_codec: {} arrivals; csv enc {:.0}/s dec {:.0}/s, jsonl enc {:.0}/s \
+         dec {:.0}/s, fit {:.0} traces/s, replay {replay_eps:.0} ev/s",
+        trace.len(),
+        per_s(enc_csv_s),
+        per_s(dec_csv_s),
+        per_s(enc_jsonl_s),
+        per_s(dec_jsonl_s),
+        reps as f64 / fit_s
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"trace\",\n  \"seed\": {SEED},\n  \"arrivals\": {},\n  \
+         \"csv_bytes\": {},\n  \"jsonl_bytes\": {},\n  \
+         \"csv_encode_arrivals_per_s\": {:.1},\n  \
+         \"csv_decode_arrivals_per_s\": {:.1},\n  \
+         \"jsonl_encode_arrivals_per_s\": {:.1},\n  \
+         \"jsonl_decode_arrivals_per_s\": {:.1},\n  \
+         \"fit_per_s\": {:.1},\n  \
+         \"replay\": {{\"events\": {replay_events}, \"wall_s\": {replay_s:.6}, \
+         \"events_per_s\": {replay_eps:.1}}}\n}}\n",
+        trace.len(),
+        csv.len(),
+        jsonl.len(),
+        per_s(enc_csv_s),
+        per_s(dec_csv_s),
+        per_s(enc_jsonl_s),
+        per_s(dec_jsonl_s),
+        reps as f64 / fit_s,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace.json");
+    std::fs::write(path, json).expect("write BENCH_trace.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench_trace);
+criterion_main!(benches);

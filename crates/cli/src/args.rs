@@ -48,6 +48,10 @@ const NUMERIC: &[&str] = &[
     "sample-every",
     "hybrid-tol",
     "flightrec-cap",
+    "lambda0",
+    "alpha",
+    "leecher-frac",
+    "bins",
 ];
 
 /// Value-taking options with free-form string arguments (paths, scheme
@@ -69,6 +73,10 @@ const STRINGLY: &[&str] = &[
     "report",
     "md-out",
     "bench",
+    "in",
+    "shape",
+    "format",
+    "workload",
 ];
 
 /// Known bare flags. Anything else starting with `--` is an unknown

@@ -15,13 +15,13 @@ use btfluid_des::{
 use btfluid_harness as harness;
 use btfluid_harness::json::Json;
 use btfluid_hybrid::{HybridConfig, HybridRunner, Regime};
-use btfluid_scenario::{registry, runner, RateMode};
+use btfluid_scenario::{registry, runner, trace_program, RateMode, TraceHook, TraceShaper};
 use btfluid_telemetry::{
     diag, set_level, shared_recorder, Counters, FanoutProbe, Level, MetaField, Profiler,
     RecorderProbe, SharedRecorder, SharedSink, SinkProbe, TraceSink, DEFAULT_FLIGHT_CAPACITY,
     DEFAULT_SAMPLE_EVERY, FLIGHTREC_SCHEMA, FLIGHTREC_VERSION, TRACE_SCHEMA, TRACE_VERSION,
 };
-use btfluid_workload::CorrelationModel;
+use btfluid_workload::{fit_model, ArrivalTrace, CorrelationModel};
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -92,6 +92,22 @@ COMMANDS
                 [--retries N] [--workers N] [--event-budget N]
                 [--wall-budget-ms MS] [--checkpoint-every N] [--checked]
                 [--exact] [--inject-panic CELL@EVENT]
+                [--workload FILE] replays a recorded arrival trace into
+                every cell (geometry and rates come from the trace;
+                --p/--k/--horizon are ignored; [--bins N] bins the
+                empirical rate for the reference schedule)
+  trace       measurement-calibrated workload traces
+              (codec btfluid-trace-arrivals v1, CSV or JSONL)
+                btfluid trace gen --out FILE [--shape flat|diurnal]
+                  [--k K] [--p P] [--lambda0 L] [--horizon H] [--seed S]
+                  [--alpha A] [--leecher-frac F] [--format csv|jsonl]
+                btfluid trace fit --in FILE          recover (λ₀, p) by
+                  moment matching; prints fitted vs empirical moments
+                btfluid trace replay --in FILE [--scheme S] [--seed S]
+                  [--exact | --aggregate] [--bins N] [--warmup W]
+                  [--fluid]  drive the DES with the recorded arrivals
+                btfluid trace info --in FILE         codec header, rate,
+                  and class histogram
   repro       replay a quarantined cell (or chaos plan) from its repro
               bundle
                 btfluid repro <bundle-dir>
@@ -173,8 +189,8 @@ pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
         print!("{USAGE}");
         return Ok(());
     }
-    // `scenario`, `repro`, and `inspect` take a positional argument
-    // before the options.
+    // `scenario`, `repro`, `inspect`, and `trace` take a positional
+    // argument before the options.
     if cmd == "scenario" {
         return cmd_scenario(&argv[1..]);
     }
@@ -183,6 +199,9 @@ pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
     }
     if cmd == "inspect" {
         return cmd_inspect(&argv[1..]);
+    }
+    if cmd == "trace" {
+        return cmd_trace(&argv[1..]);
     }
     let opts = Options::parse(&argv[1..])?;
     if opts.has("help") {
@@ -1263,28 +1282,64 @@ fn cmd_sweep(opts: &Options) -> Result<(), CliError> {
     let warmup = opts.get_f64("warmup", horizon / 4.0)?;
     let inject = parse_inject(opts.get("inject-panic"))?;
 
+    // `--workload FILE` makes every cell a trace replay: the recorded
+    // arrivals drive the engine and the reference model/geometry come
+    // from the trace itself (fitted by `trace_program`), not from
+    // --p/--k/--horizon.
+    let workload = match opts.get("workload") {
+        None => None,
+        Some(path) => {
+            let trace = harness::load_trace(Path::new(path))?;
+            let bins = opts.get_usize("bins", 8)?;
+            let w = opts.get_f64("warmup", trace.horizon() / 4.0)?;
+            let program = trace_program(&trace, bins, w)?;
+            diag!(
+                Level::Info,
+                "workload {path}: {} arrivals over [0, {}), K = {}, \
+                 entering rate {:.4}",
+                trace.len(),
+                trace.horizon(),
+                trace.k(),
+                trace.empirical_rate()
+            );
+            Some((path.to_string(), program))
+        }
+    };
+
     let mut cells = Vec::new();
     for spec in &scheme_specs {
         let scheme = parse_scheme(spec)?;
         for rep in 0..reps {
             let seed = base_seed.wrapping_add(rep as u64);
             let id = format!("{spec}-s{seed}");
-            let cfg = DesConfig {
-                params: FluidParams::paper(),
-                model: CorrelationModel::new(k, p, 0.25)?,
-                scheme,
-                horizon,
-                warmup,
-                drain: horizon,
-                seed,
-                adapt: None,
-                origin_seeds: 1,
-                warm_start: false,
-                order_policy: OrderPolicy::default(),
-                record_every: None,
-                exact_rates: opts.has("exact"),
-                aggregate: opts.has("aggregate"),
-                checked: opts.has("checked"),
+            let (cfg, scenario) = match &workload {
+                Some((path, program)) => {
+                    let mut cfg = program.des_config(scheme, seed)?;
+                    cfg.exact_rates = opts.has("exact");
+                    cfg.aggregate = opts.has("aggregate");
+                    cfg.checked = opts.has("checked");
+                    (cfg, Some(harness::ScenarioRef::traced(path)))
+                }
+                None => {
+                    let cfg = DesConfig {
+                        params: FluidParams::paper(),
+                        model: CorrelationModel::new(k, p, 0.25)?,
+                        scheme,
+                        horizon,
+                        warmup,
+                        drain: horizon,
+                        seed,
+                        adapt: None,
+                        origin_seeds: 1,
+                        warm_start: false,
+                        order_policy: OrderPolicy::default(),
+                        record_every: None,
+                        exact_rates: opts.has("exact"),
+                        aggregate: opts.has("aggregate"),
+                        checked: opts.has("checked"),
+                    };
+                    (cfg, None)
+                }
             };
             cfg.validate()?;
             let inject_panic_at = inject
@@ -1293,7 +1348,7 @@ fn cmd_sweep(opts: &Options) -> Result<(), CliError> {
             cells.push(harness::CellSpec {
                 id,
                 cfg,
-                scenario: None,
+                scenario,
                 inject_panic_at,
             });
         }
@@ -1394,6 +1449,267 @@ fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
     } else {
         "non-string panic payload".into()
     }
+}
+
+/// `btfluid trace <gen|fit|replay|info>` — the measurement-calibrated
+/// workload pipeline (DESIGN.md §18): synthesize shaped traces, fit the
+/// stationary model back out of a recording, and replay recordings into
+/// the DES.
+fn cmd_trace(rest: &[String]) -> Result<(), CliError> {
+    let Some(sub) = rest.first() else {
+        return Err("trace: missing subcommand (gen | fit | replay | info)".into());
+    };
+    let opts = Options::parse(&rest[1..])?;
+    if opts.has("help") {
+        print!("{USAGE}");
+        return Ok(());
+    }
+    match sub.as_str() {
+        "gen" => trace_gen(&opts),
+        "fit" => trace_fit(&opts),
+        "replay" => trace_replay(&opts),
+        "info" => trace_info(&opts),
+        other => {
+            Err(format!("trace: unknown subcommand '{other}' (gen | fit | replay | info)").into())
+        }
+    }
+}
+
+/// Loads the `--in FILE` trace; the codec follows the extension
+/// (`.jsonl` → JSONL, anything else → CSV).
+fn trace_input(opts: &Options, sub: &str) -> Result<ArrivalTrace, CliError> {
+    let Some(path) = opts.get("in") else {
+        return Err(format!("trace {sub}: --in FILE is required").into());
+    };
+    Ok(harness::load_trace(Path::new(path))?)
+}
+
+/// `btfluid trace gen` — synthesize a trace through [`TraceShaper`].
+fn trace_gen(opts: &Options) -> Result<(), CliError> {
+    let k = opts.get_usize("k", 10)? as u32;
+    let horizon = opts.get_f64("horizon", 2000.0)?;
+    let seed = opts.get_u64("seed", 1)?;
+    let shape = opts.get("shape").unwrap_or("flat");
+    let mut shaper = match shape {
+        "flat" => TraceShaper::flat(
+            opts.get_f64("lambda0", 0.25)?,
+            opts.get_f64("p", 0.4)?,
+            k,
+            horizon,
+        ),
+        "diurnal" => {
+            if opts.get("lambda0").is_some() || opts.get("p").is_some() {
+                return Err("trace gen: --shape diurnal fixes λ₀(t) and p to the \
+                     measured preset; --alpha/--leecher-frac remain tunable"
+                    .into());
+            }
+            TraceShaper::measured(k, horizon)
+        }
+        other => {
+            return Err(format!("trace gen: unknown --shape '{other}' (flat | diurnal)").into())
+        }
+    };
+    if opts.get("alpha").is_some() {
+        shaper.session_alpha = opts.get_f64("alpha", 0.0)?;
+    }
+    if opts.get("leecher-frac").is_some() {
+        shaper.leecher_fraction = opts.get_f64("leecher-frac", 1.0)?;
+    }
+    let mut rng = btfluid_numkit::rng::Xoshiro256StarStar::seed_from_u64(seed);
+    let trace = shaper.synthesize(&mut rng)?;
+
+    let out = opts.get("out");
+    let format = match opts.get("format") {
+        Some("csv") => "csv",
+        Some("jsonl") => "jsonl",
+        Some(other) => {
+            return Err(format!("trace gen: unknown --format '{other}' (csv | jsonl)").into())
+        }
+        None => match out {
+            Some(p) if p.ends_with(".jsonl") => "jsonl",
+            _ => "csv",
+        },
+    };
+    let text = if format == "jsonl" {
+        trace.to_jsonl()
+    } else {
+        trace.to_csv()
+    };
+    match out {
+        Some(path) => {
+            check_clobber(path, opts)?;
+            fs::write(path, &text)?;
+            diag!(
+                Level::Info,
+                "wrote {} arrivals ({format}) to {path}",
+                trace.len()
+            );
+        }
+        None => print!("{text}"),
+    }
+    diag!(
+        Level::Info,
+        "trace gen: shape {shape}, seed {seed}, K = {}, horizon {}, \
+         entering rate {:.4}",
+        trace.k(),
+        trace.horizon(),
+        trace.empirical_rate()
+    );
+    Ok(())
+}
+
+/// `btfluid trace fit` — recover `(λ₀, p)` by moment matching.
+fn trace_fit(opts: &Options) -> Result<(), CliError> {
+    let trace = trace_input(opts, "fit")?;
+    let fit = fit_model(&trace)?;
+    let mut t = Table::new(
+        "trace fit — moment-matched stationary model",
+        vec!["quantity", "fitted", "empirical"],
+    );
+    t.push_row(vec![
+        "K (files)".into(),
+        fit.k().to_string(),
+        trace.k().to_string(),
+    ]);
+    t.push_row(vec![
+        "λ₀ (visitor rate)".into(),
+        format!("{:.6}", fit.lambda0()),
+        "-".into(),
+    ]);
+    t.push_row(vec![
+        "p (correlation)".into(),
+        format!("{:.6}", fit.p()),
+        "-".into(),
+    ]);
+    t.push_row(vec![
+        "entering rate".into(),
+        format!("{:.6}", fit.entering_rate()),
+        format!("{:.6}", trace.empirical_rate()),
+    ]);
+    t.push_row(vec![
+        "mean files/entrant".into(),
+        format!("{:.4}", fit.mean_files_per_entrant()),
+        format!("{:.4}", trace.mean_files_per_entrant()),
+    ]);
+    t.push_row(vec!["arrivals".into(), "-".into(), trace.len().to_string()]);
+    emit(&t, opts)
+}
+
+/// `btfluid trace replay` — drive the DES with the recorded arrivals.
+fn trace_replay(opts: &Options) -> Result<(), CliError> {
+    let trace = trace_input(opts, "replay")?;
+    let scheme = parse_scheme(opts.get("scheme").unwrap_or("mtcd"))?;
+    let seed = opts.get_u64("seed", 2006)?;
+    let mode = match (opts.has("exact"), opts.has("aggregate")) {
+        (true, true) => {
+            return Err("trace replay: --exact and --aggregate are mutually exclusive".into())
+        }
+        (true, false) => RateMode::Exact,
+        (false, true) => RateMode::Aggregate,
+        (false, false) => RateMode::Incremental,
+    };
+    let bins = opts.get_usize("bins", 8)?;
+    let warmup = opts.get_f64("warmup", trace.horizon() / 4.0)?;
+    let program = trace_program(&trace, bins, warmup)?;
+    let mut cfg = program.des_config(scheme, seed)?;
+    mode.apply(&mut cfg);
+    let outcome = Simulation::with_hook(cfg, Box::new(TraceHook::new(&trace)?))?.run();
+
+    let mut t = Table::new(
+        format!(
+            "trace replay — {} over {} arrivals",
+            scheme.name(),
+            trace.len()
+        ),
+        vec!["quantity", "value"],
+    );
+    let mut online = 0.0;
+    let mut files = 0.0;
+    for (idx, c) in outcome.classes.iter().enumerate() {
+        online += c.online.mean() * c.count() as f64;
+        files += (idx + 1) as f64 * c.count() as f64;
+    }
+    t.push_row(vec![
+        "arrivals admitted".into(),
+        outcome.arrivals.to_string(),
+    ]);
+    t.push_row(vec!["completed".into(), outcome.records.len().to_string()]);
+    t.push_row(vec!["aborted".into(), outcome.aborts.len().to_string()]);
+    t.push_row(vec!["censored".into(), outcome.censored.to_string()]);
+    t.push_row(vec![
+        "avg online/file".into(),
+        if files > 0.0 {
+            format!("{:.2}", online / files)
+        } else {
+            "-".into()
+        },
+    ]);
+    t.push_row(vec![
+        "avg downloading users".into(),
+        format!("{:.2}", btfluid_scenario::des_avg_downloaders(&outcome)),
+    ]);
+    emit(&t, opts)?;
+
+    if opts.has("fluid") {
+        // The schedule adapter replays the binned empirical λ(t) through
+        // the MTCD fluid ODE; under MTCD replay the two must agree.
+        let des = btfluid_scenario::des_avg_downloaders(&outcome);
+        let fluid = btfluid_scenario::fluid_avg_downloaders(&program, 0.5)?;
+        let rel = (des - fluid).abs() / fluid.max(1e-9);
+        diag!(
+            Level::Info,
+            "fluid check ({}, trace-driven): DES {des:.2} downloading users, \
+             scheduled fluid {fluid:.2}, relative error {:.1}%",
+            scheme.name(),
+            100.0 * rel
+        );
+    }
+    Ok(())
+}
+
+/// `btfluid trace info` — codec header, moments, and class histogram.
+fn trace_info(opts: &Options) -> Result<(), CliError> {
+    let trace = trace_input(opts, "info")?;
+    let mut t = Table::new(
+        format!(
+            "{} v{} — {}",
+            btfluid_workload::TRACE_FORMAT,
+            btfluid_workload::TRACE_VERSION,
+            opts.get("in").unwrap_or("?")
+        ),
+        vec!["quantity", "value"],
+    );
+    t.push_row(vec!["K (files)".into(), trace.k().to_string()]);
+    t.push_row(vec!["horizon".into(), format!("{}", trace.horizon())]);
+    t.push_row(vec!["arrivals".into(), trace.len().to_string()]);
+    t.push_row(vec![
+        "entering rate".into(),
+        format!("{:.6}", trace.empirical_rate()),
+    ]);
+    t.push_row(vec![
+        "total file requests".into(),
+        trace.total_files().to_string(),
+    ]);
+    t.push_row(vec![
+        "mean files/entrant".into(),
+        format!("{:.4}", trace.mean_files_per_entrant()),
+    ]);
+    emit(&t, opts)?;
+    if !trace.is_empty() {
+        let counts = trace.class_counts();
+        let mut h = Table::new("class histogram", vec!["class", "count", "share"]);
+        for (idx, n) in counts.iter().enumerate() {
+            if *n > 0 {
+                h.push_row(vec![
+                    (idx + 1).to_string(),
+                    n.to_string(),
+                    format!("{:.1}%", 100.0 * *n as f64 / trace.len() as f64),
+                ]);
+            }
+        }
+        emit(&h, opts)?;
+    }
+    Ok(())
 }
 
 /// `btfluid repro <bundle-dir>` — replay a quarantined cell.

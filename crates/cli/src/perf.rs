@@ -157,7 +157,7 @@ fn observe(opts: &Options) -> Result<BTreeMap<String, f64>, CliError> {
     let mut metrics = BTreeMap::new();
     let bench_list = opts
         .get("bench")
-        .unwrap_or("BENCH_des.json,BENCH_scenario.json");
+        .unwrap_or("BENCH_des.json,BENCH_scenario.json,BENCH_trace.json");
     for path in bench_list
         .split(',')
         .map(str::trim)

@@ -141,6 +141,12 @@ pub struct Simulation {
     abort_bound: f64,
     /// Raw thinning clock: the last arrival *candidate* time, which can
     /// run ahead of the (possibly tracker-deferred) scheduled arrival.
+    ///
+    /// Under a replaying hook ([`ScenarioHook::replays`]) this field is
+    /// repurposed as the trace cursor: the integer index of the next
+    /// recorded arrival to consume, stored exactly (indices stay far
+    /// below 2⁵³). Reusing the field keeps the snapshot format unchanged,
+    /// so a mid-replay checkpoint resumes the trace bit-identically.
     arrival_clock: f64,
     next_abort: Option<f64>,
     next_control: Option<f64>,
@@ -1845,6 +1851,10 @@ impl Simulation {
     /// rush — without distorting the underlying Poisson process.
     fn schedule_arrival_hooked(&mut self) {
         self.next_arrival = None;
+        if self.hook.as_ref().is_some_and(|h| h.replays()) {
+            self.schedule_arrival_replay();
+            return;
+        }
         let gap = self
             .hook_gap
             .expect("hooked scheduling without a gap sampler");
@@ -1878,6 +1888,39 @@ impl Simulation {
             }
             self.arrival_clock = t;
             self.next_arrival = Some((release, files));
+            return;
+        }
+    }
+
+    /// Replay scheduling ([`ScenarioHook::replays`]): consumes recorded
+    /// arrivals by index instead of thinning. `arrival_clock` holds the
+    /// cursor (see its field docs); nothing is drawn from any RNG stream,
+    /// so replay determinism is independent of the rate-refresh mode.
+    fn schedule_arrival_replay(&mut self) {
+        let mut idx = self.arrival_clock as u64;
+        loop {
+            let hook = self
+                .hook
+                .as_ref()
+                .expect("replay scheduling without a hook");
+            let Some((t, files)) = hook.replay_arrival(idx) else {
+                // End of trace: park the cursor and leave no arrival armed.
+                self.arrival_clock = idx as f64;
+                return;
+            };
+            if t >= self.cfg.horizon {
+                // Trace times are non-decreasing, so nothing later can
+                // land inside the horizon either.
+                self.arrival_clock = idx as f64;
+                return;
+            }
+            let release = hook.tracker_release(t);
+            idx += 1;
+            if files.is_empty() || release >= self.cfg.horizon {
+                continue; // malformed record or tracker dark past the cutoff
+            }
+            self.arrival_clock = idx as f64;
+            self.next_arrival = Some((release.max(t), files));
             return;
         }
     }

@@ -38,6 +38,8 @@
 //! reproducibility and `exact_rates` bit-equivalence guarantees extend to
 //! scenario runs only because the hook itself carries no hidden state.
 
+use btfluid_workload::requests::FileId;
+
 /// Time-varying workload and fault description consulted by the engine.
 ///
 /// Implementations live outside this crate (the `btfluid-scenario`
@@ -87,6 +89,28 @@ pub trait ScenarioHook {
     /// ever matches another hook that also declares no state.
     fn hook_state(&self) -> Vec<u8> {
         Vec::new()
+    }
+
+    /// Whether this hook *replays* a recorded arrival trace instead of
+    /// describing a stochastic arrival process. When true, the engine
+    /// bypasses Lewis–Shedler thinning entirely: it walks
+    /// [`Self::replay_arrival`] by index (the cursor is snapshotted, so
+    /// resumed runs continue the trace bit-identically) and draws nothing
+    /// from the arrival RNG stream. [`Self::arrival_rate`] and
+    /// [`Self::arrival_rate_bound`] must still return a finite positive
+    /// summary rate (the empirical one) for attachment validation and
+    /// observability; [`Self::correlation`] is never used for sampling.
+    fn replays(&self) -> bool {
+        false
+    }
+
+    /// The `idx`-th recorded arrival — `(time, files)` with a non-empty,
+    /// strictly increasing file set — or `None` past the end of the
+    /// trace. Times must be non-decreasing in `idx`. Only consulted when
+    /// [`Self::replays`] returns true.
+    fn replay_arrival(&self, idx: u64) -> Option<(f64, Vec<FileId>)> {
+        let _ = idx;
+        None
     }
 
     /// The earliest time `≥ t` at which the tracker is up — where an

@@ -39,23 +39,73 @@ fn bundle_write(path: &Path, bytes: &[u8]) -> Result<(), HarnessError> {
 /// A scenario program reference: enough to recompile the exact hook.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioRef {
-    /// Registry name (`flash_crowd`, …).
+    /// Registry name (`flash_crowd`, …), or a descriptive label when
+    /// [`Self::trace`] is set.
     pub name: String,
-    /// Time-scale factor applied before compiling the hook.
+    /// Time-scale factor applied before compiling the hook (registry
+    /// scenarios only).
     pub scale: f64,
+    /// Path to a recorded `btfluid-trace-arrivals` file. When set, the
+    /// hook replays that trace ([`btfluid_scenario::TraceHook`]) instead
+    /// of compiling a registry program; `.jsonl` selects the JSONL codec,
+    /// anything else the CSV codec.
+    pub trace: Option<String>,
 }
 
 impl ScenarioRef {
-    /// Recompiles the scenario hook this reference describes.
+    /// A registry-scenario reference.
+    pub fn named(name: &str, scale: f64) -> Self {
+        Self {
+            name: name.into(),
+            scale,
+            trace: None,
+        }
+    }
+
+    /// A trace-replay reference.
+    pub fn traced(path: &str) -> Self {
+        Self {
+            name: format!("trace:{path}"),
+            scale: 1.0,
+            trace: Some(path.into()),
+        }
+    }
+
+    /// Recompiles the scenario hook this reference describes: a replaying
+    /// [`btfluid_scenario::TraceHook`] when [`Self::trace`] is set, the
+    /// named registry program otherwise.
     ///
     /// # Errors
-    /// [`HarnessError::Bundle`] for an unknown registry name.
+    /// [`HarnessError::Bundle`] for an unknown registry name, an
+    /// unreadable trace file, or a trace that fails codec validation.
     pub fn build_hook(&self) -> Result<Box<dyn ScenarioHook>, HarnessError> {
+        if let Some(path) = &self.trace {
+            let trace = load_trace(Path::new(path))?;
+            let hook = btfluid_scenario::TraceHook::new(&trace)
+                .map_err(|e| HarnessError::Bundle(format!("trace '{path}': {e}")))?;
+            return Ok(Box::new(hook));
+        }
         let program = registry::by_name(&self.name)
             .ok_or_else(|| HarnessError::Bundle(format!("unknown scenario '{}'", self.name)))?;
         let program = program.time_scaled(self.scale);
         Ok(Box::new(program.hook()))
     }
+}
+
+/// Reads and decodes a trace file, choosing the codec by extension
+/// (`.jsonl` → JSONL, anything else → CSV).
+///
+/// # Errors
+/// [`HarnessError::Io`] for filesystem failure, [`HarnessError::Bundle`]
+/// for codec validation failure.
+pub fn load_trace(path: &Path) -> Result<btfluid_workload::ArrivalTrace, HarnessError> {
+    let text = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
+    let decoded = if path.extension().is_some_and(|e| e == "jsonl") {
+        btfluid_workload::ArrivalTrace::from_jsonl(&text)
+    } else {
+        btfluid_workload::ArrivalTrace::from_csv(&text)
+    };
+    decoded.map_err(|e| HarnessError::Bundle(format!("trace '{}': {e}", path.display())))
 }
 
 /// One quarantined cell, ready to replay.
@@ -151,10 +201,18 @@ impl ReproBundle {
                 "scenario".into(),
                 match &self.scenario {
                     None => Json::Null,
-                    Some(s) => Json::Obj(vec![
-                        ("name".into(), Json::Str(s.name.clone())),
-                        ("scale".into(), Json::num_f64(s.scale)),
-                    ]),
+                    Some(s) => {
+                        let mut fields = vec![
+                            ("name".into(), Json::Str(s.name.clone())),
+                            ("scale".into(), Json::num_f64(s.scale)),
+                        ];
+                        // Written only when present, so bundles from
+                        // registry scenarios keep their original shape.
+                        if let Some(path) = &s.trace {
+                            fields.push(("trace".into(), Json::Str(path.clone())));
+                        }
+                        Json::Obj(fields)
+                    }
                 },
             ),
             (
@@ -188,6 +246,11 @@ impl ReproBundle {
                     .get("scale")
                     .and_then(Json::as_f64)
                     .ok_or_else(|| bad("scenario.scale"))?,
+                // Absent in bundles written before the trace pipeline.
+                trace: match s.get("trace") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(v.as_str().ok_or_else(|| bad("scenario.trace"))?.to_string()),
+                },
             }),
         };
         Ok(ReproBundle {
@@ -403,10 +466,7 @@ mod tests {
             cell_id: "cmfsd:0.3-s42".into(),
             reason: "injected panic at event 50".into(),
             cfg: sample_cfg(),
-            scenario: Some(ScenarioRef {
-                name: "flash_crowd".into(),
-                scale: 0.25,
-            }),
+            scenario: Some(ScenarioRef::named("flash_crowd", 0.25)),
             inject_panic_at: Some(50),
             checkpoint: Some(vec![1, 2, 3, 4]),
             flight: Some(
@@ -443,11 +503,45 @@ mod tests {
 
     #[test]
     fn unknown_scenario_is_refused() {
-        let r = ScenarioRef {
-            name: "nope".into(),
-            scale: 1.0,
-        };
+        let r = ScenarioRef::named("nope", 1.0);
         assert!(matches!(r.build_hook(), Err(HarnessError::Bundle(_))));
+    }
+
+    #[test]
+    fn trace_ref_roundtrips_and_builds_a_replay_hook() {
+        use btfluid_numkit::rng::Xoshiro256StarStar;
+        use btfluid_workload::{ArrivalTrace, CorrelationModel};
+        let dir = std::env::temp_dir().join(format!("btfs-traceref-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("workload.csv");
+        let model = CorrelationModel::new(5, 0.5, 0.5).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let trace = ArrivalTrace::generate(&model, 200.0, &mut rng).unwrap();
+        std::fs::write(&path, trace.to_csv()).unwrap();
+
+        let bundle = ReproBundle {
+            cell_id: "trace-cell".into(),
+            reason: "test".into(),
+            cfg: sample_cfg(),
+            scenario: Some(ScenarioRef::traced(path.to_str().unwrap())),
+            inject_panic_at: None,
+            checkpoint: None,
+            flight: None,
+        };
+        bundle.write(&dir).unwrap();
+        let back = ReproBundle::read(&dir).unwrap();
+        assert_eq!(back.scenario, bundle.scenario);
+        let hook = back.scenario.unwrap().build_hook().unwrap();
+        assert!(hook.replays());
+        assert!(hook.replay_arrival(0).is_some());
+
+        // A corrupt trace file is a typed bundle error, not a panic.
+        std::fs::write(&path, "garbage").unwrap();
+        assert!(matches!(
+            bundle.scenario.clone().unwrap().build_hook(),
+            Err(HarnessError::Bundle(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod manifest;
 pub mod shard;
 pub mod supervisor;
 
-pub use bundle::{config_from_json, config_to_json, ReproBundle, ScenarioRef};
+pub use bundle::{config_from_json, config_to_json, load_trace, ReproBundle, ScenarioRef};
 pub use checkpoint::{
     atomic_write, clean_stale_tmp, drive, CheckpointPlan, RetryPolicy, RunEnd, RunLimits, RunReport,
 };

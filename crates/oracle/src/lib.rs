@@ -106,6 +106,12 @@ pub fn registry() -> Vec<Check> {
             run: structural::hybrid_snapshot_fuzz,
         },
         Check {
+            name: "trace-codec-fuzz",
+            paper_ref: "trace codec contract (typed errors, no panic)",
+            tier: Tier::Quick,
+            run: structural::trace_codec_fuzz,
+        },
+        Check {
             name: "flightrec-round-trip",
             paper_ref: "flightrec v1 contract (last-capacity window, parseable)",
             tier: Tier::Quick,
@@ -170,6 +176,12 @@ pub fn registry() -> Vec<Check> {
             paper_ref: "fluid-limit convergence (hybrid tracks pure DES)",
             tier: Tier::Full,
             run: differential::hybrid_vs_des,
+        },
+        Check {
+            name: "trace-fit-closure",
+            paper_ref: "Sec. 3 moments (fit → synthesize → refit closes)",
+            tier: Tier::Full,
+            run: differential::trace_fit_closure,
         },
     ]
 }

@@ -326,3 +326,82 @@ pub fn hybrid_snapshot_fuzz(cfg: &OracleConfig) -> Result<String, String> {
         bytes.len()
     ))
 }
+
+/// Trace codec under fire: random bit flips and truncations of genuine
+/// `btfluid-trace-arrivals v1` CSV and JSONL encodings must never panic
+/// the importers — every outcome is either a typed [`NumError`] rejection
+/// or an accepted trace that itself round-trips bit-exactly (a text codec
+/// carries no checksum, so some single-character mutations remain valid
+/// traces; the contract is *no panic, no torn state*, not
+/// reject-everything).
+///
+/// [`NumError`]: btfluid_numkit::NumError
+pub fn trace_codec_fuzz(cfg: &OracleConfig) -> Result<String, String> {
+    let model = btfluid_workload::CorrelationModel::new(6, 0.5, 0.5).map_err(|e| e.to_string())?;
+    let mut gen_rng = Xoshiro256StarStar::stream(cfg.seed, 41);
+    let trace = btfluid_workload::ArrivalTrace::generate(&model, 200.0, &mut gen_rng)
+        .map_err(|e| e.to_string())?;
+    let corpora: [(&str, Vec<u8>); 2] = [
+        ("csv", trace.to_csv().into_bytes()),
+        ("jsonl", trace.to_jsonl().into_bytes()),
+    ];
+    let decode = |codec: &str, bytes: &[u8]| {
+        let text = String::from_utf8_lossy(bytes).into_owned();
+        if codec == "csv" {
+            btfluid_workload::ArrivalTrace::from_csv(&text)
+        } else {
+            btfluid_workload::ArrivalTrace::from_jsonl(&text)
+        }
+    };
+
+    let mut rng = Xoshiro256StarStar::stream(cfg.seed, 42);
+    let trials_per_codec = if cfg.full { 400 } else { 120 };
+    let mut rejected = 0usize;
+    let mut accepted = 0usize;
+    for (codec, bytes) in &corpora {
+        // Sanity: the pristine encoding must decode to the original.
+        match decode(codec, bytes) {
+            Ok(t) if t == trace => {}
+            Ok(_) => return Err(format!("pristine {codec} decoded to a different trace")),
+            Err(e) => return Err(format!("pristine {codec} failed to decode: {e}")),
+        }
+        for trial in 0..trials_per_codec {
+            let mut mutated = bytes.clone();
+            let what = if trial % 3 == 2 {
+                let cut = (rng.next_u64() % bytes.len() as u64) as usize;
+                mutated.truncate(cut);
+                format!("{codec} truncation to {cut} bytes")
+            } else {
+                let byte = (rng.next_u64() % bytes.len() as u64) as usize;
+                let bit = rng.next_u64() % 8;
+                mutated[byte] ^= 1u8 << bit;
+                format!("{codec} bit flip at byte {byte}, bit {bit}")
+            };
+            let verdict = catch_unwind(AssertUnwindSafe(|| decode(codec, &mutated)));
+            match verdict {
+                Err(_) => return Err(format!("importer PANICKED on {what}")),
+                Ok(Err(_)) => rejected += 1,
+                Ok(Ok(t)) => {
+                    // A mutation that still parses must yield a coherent
+                    // trace: its own re-encoding round-trips bit-exactly.
+                    let again = if *codec == "csv" {
+                        btfluid_workload::ArrivalTrace::from_csv(&t.to_csv())
+                    } else {
+                        btfluid_workload::ArrivalTrace::from_jsonl(&t.to_jsonl())
+                    };
+                    if again.as_ref() != Ok(&t) {
+                        return Err(format!(
+                            "accepted mutation broke the round-trip invariant ({what})"
+                        ));
+                    }
+                    accepted += 1;
+                }
+            }
+        }
+    }
+    Ok(format!(
+        "{rejected} mutations rejected with typed errors, {accepted} still-valid \
+         mutations round-tripped, 0 panics over {} trials",
+        2 * trials_per_codec
+    ))
+}

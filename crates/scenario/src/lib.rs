@@ -43,15 +43,19 @@ pub mod fault;
 pub mod fluid;
 pub mod program;
 pub mod registry;
+pub mod replay;
 pub mod runner;
 pub mod schedule;
+pub mod shaper;
 
 pub use fault::FaultPlan;
 pub use fluid::{des_avg_downloaders, fluid_avg_downloaders, ScheduledMtcd, ScheduledMtsd};
 pub use program::{ProgramHook, ScenarioPhase, ScenarioProgram};
 pub use registry::{by_name, SCENARIO_NAMES};
+pub use replay::{trace_program, TraceHook};
 pub use runner::{run_all, run_one, scheme_lineup, PhaseStats, RateMode, ScenarioRun};
 pub use schedule::Schedule;
+pub use shaper::TraceShaper;
 
 /// Convenience error alias.
 pub type ScenarioError = btfluid_numkit::NumError;

@@ -260,6 +260,24 @@ mod tests {
     }
 
     #[test]
+    fn times_until_horizon_is_half_open() {
+        // Regression for the horizon-semantics audit: the documented
+        // convention is the half-open window [0, horizon) — an event at
+        // exactly `horizon` must never be yielded, however high the rate
+        // pushes events toward the boundary.
+        let p = PoissonProcess::new(500.0).unwrap();
+        for seed in 0..20 {
+            let mut r = rng(100 + seed);
+            let ts: Vec<f64> = p.times_until(&mut r, 1.0);
+            assert!(!ts.is_empty());
+            assert!(
+                ts.iter().all(|&t| t > 0.0 && t < 1.0),
+                "seed {seed}: a time escaped (0, 1)"
+            );
+        }
+    }
+
+    #[test]
     fn nonhomogeneous_times_sorted() {
         let p = NonHomogeneousProcess::new(|t: f64| 1.0 + (t / 7.0).cos().abs(), 2.0).unwrap();
         let mut r = rng(9);

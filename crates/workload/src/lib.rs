@@ -45,7 +45,7 @@ pub use classes::ClassMix;
 pub use correlation::CorrelationModel;
 pub use popularity::NonUniformModel;
 pub use requests::{random_order, uniform_subset, RequestSampler};
-pub use trace::{Arrival, ArrivalTrace};
+pub use trace::{fit_model, Arrival, ArrivalTrace, TRACE_FORMAT, TRACE_VERSION};
 
 /// Convenience error alias (all fallible APIs in this crate return the
 /// shared numeric error type).
